@@ -1,0 +1,134 @@
+// Fig. 5 harness: LeHDC train/test accuracy per epoch on the CIFAR-10
+// profile under the four regularization settings — {neither, weight decay
+// only, dropout only, both}.
+//
+// The paper's observations to reproduce: adding weight decay + dropout gives
+// the highest *test* accuracy while *lowering* training accuracy (the
+// over-fitting gap closes).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/lehdc_trainer.hpp"
+#include "data/profiles.hpp"
+#include "eval/presets.hpp"
+#include "eval/report.hpp"
+#include "hdc/encoded_dataset.hpp"
+#include "util/flags.hpp"
+#include "util/log.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lehdc;
+
+  util::FlagParser flags(
+      "fig5_regularization",
+      "Regenerates Fig. 5: LeHDC training/testing accuracy along epochs on "
+      "CIFAR-10 with/without weight decay and dropout.");
+  flags.add_int("dim", 2000, "hypervector dimension D");
+  flags.add_double("scale", 0.04, "fraction of paper-scale sample counts");
+  flags.add_int("epochs", 40, "training epochs to record");
+  flags.add_int("seed", 7, "master seed");
+  flags.add_string("dataset", "cifar-10", "benchmark profile");
+  flags.add_string("csv", "fig5_regularization.csv",
+                   "output CSV ('' disables)");
+  flags.add_int("stride", 2, "print every n-th epoch");
+  flags.add_double("wd", 0.003,
+                   "weight decay for the wd variants; the Table 2 value "
+                   "(0.03) is tuned for paper scale — at the scaled-down "
+                   "default run a lighter decay matches the paper's "
+                   "qualitative effect (0 keeps the preset)");
+  flags.add_double("dropout", 0.0, "override dropout rate (0 keeps preset)");
+  flags.add_flag("full", "paper scale (D=10000, all samples, 200 epochs)");
+  flags.parse(argc, argv);
+
+  const bool full = flags.get_flag("full");
+  const std::size_t dim =
+      full ? 10000 : static_cast<std::size_t>(flags.get_int("dim"));
+  const double sample_scale = full ? 1.0 : flags.get_double("scale");
+
+  const auto profile =
+      data::scaled(data::profile_by_name(flags.get_string("dataset")),
+                   sample_scale);
+  util::log_info("generating " + profile.name + ": " +
+                 std::to_string(profile.config.train_count) + " train / " +
+                 std::to_string(profile.config.test_count) + " test");
+  const data::TrainTestSplit split = generate_synthetic(profile.config);
+
+  hdc::RecordEncoderConfig encoder_cfg;
+  encoder_cfg.dim = dim;
+  encoder_cfg.feature_count = split.train.feature_count();
+  encoder_cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const hdc::RecordEncoder encoder(encoder_cfg);
+  const auto encoded_train = hdc::encode_dataset(encoder, split.train);
+  const auto encoded_test = hdc::encode_dataset(encoder, split.test);
+
+  core::LeHdcConfig base = eval::lehdc_preset(profile.id);
+  if (!full) {
+    base.epochs = static_cast<std::size_t>(flags.get_int("epochs"));
+    base.batch_size = 64;
+    base.learning_rate = 0.01f;
+  }
+  // Random initialization isolates the regularizers' effect (the Eq. 2
+  // warm start is itself a strong implicit regularizer that masks them).
+  base.init = core::LeHdcConfig::Init::kRandom;
+  if (!full && flags.get_double("wd") > 0.0) {
+    base.weight_decay = static_cast<float>(flags.get_double("wd"));
+  }
+  if (flags.get_double("dropout") > 0.0) {
+    base.dropout_rate = static_cast<float>(flags.get_double("dropout"));
+  }
+
+  struct Variant {
+    const char* name;
+    bool weight_decay;
+    bool dropout;
+  };
+  const std::vector<Variant> variants{
+      {"none", false, false},
+      {"wd", true, false},
+      {"dropout", false, true},
+      {"wd+dropout", true, true},
+  };
+
+  std::vector<eval::Series> series;
+  std::printf("Fig. 5: LeHDC regularization ablation on %s (D=%zu, "
+              "%zu epochs)\n\n",
+              profile.name.c_str(), dim, base.epochs);
+  for (const auto& variant : variants) {
+    core::LeHdcConfig cfg = base;
+    if (!variant.weight_decay) {
+      cfg.weight_decay = 0.0f;
+    }
+    if (!variant.dropout) {
+      cfg.dropout_rate = 0.0f;
+    }
+    util::log_info(std::string("training variant: ") + variant.name);
+    const core::LeHdcTrainer trainer(cfg);
+    train::TrainOptions options;
+    options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    options.test = &encoded_test;
+    options.record_trajectory = true;
+    auto result = trainer.train(encoded_train, options);
+    series.push_back({variant.name, std::move(result.trajectory)});
+  }
+
+  eval::print_series(series,
+                     static_cast<std::size_t>(flags.get_int("stride")));
+
+  std::printf("\nfinal epoch summary:\n");
+  for (const auto& s : series) {
+    const auto& last = s.points.back();
+    std::printf("  %-11s train %.2f%%  test %.2f%%  (gap %+.2f)\n",
+                s.name.c_str(), last.train_accuracy * 100.0,
+                last.test_accuracy * 100.0,
+                (last.train_accuracy - last.test_accuracy) * 100.0);
+  }
+
+  if (const auto& csv = flags.get_string("csv"); !csv.empty()) {
+    eval::write_series_csv(csv, series);
+    std::printf("series written to %s\n", csv.c_str());
+  }
+  return 0;
+}

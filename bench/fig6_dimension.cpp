@@ -1,0 +1,154 @@
+// Fig. 6 harness: inference accuracy vs hypervector dimension D on the
+// Fashion-MNIST and ISOLET profiles for all four training strategies.
+//
+// The paper's observations to reproduce: LeHDC dominates at every D; its
+// accuracy at D = 2,000 matches retraining at D = 10,000; multi-model can
+// fall below the baseline (ISOLET).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "data/profiles.hpp"
+#include "eval/experiment.hpp"
+#include "eval/presets.hpp"
+#include "util/flags.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lehdc;
+
+std::vector<std::size_t> parse_dims(const std::string& text) {
+  std::vector<std::size_t> dims;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string token =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!token.empty()) {
+      dims.push_back(static_cast<std::size_t>(std::stoul(token)));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return dims;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagParser flags(
+      "fig6_dimension",
+      "Regenerates Fig. 6: accuracy vs hypervector dimension on the "
+      "Fashion-MNIST and ISOLET profiles for all four strategies.");
+  flags.add_string("dims", "500,1000,2000,4000",
+                   "comma-separated dimensions to sweep");
+  flags.add_double("scale", 0.05, "fraction of paper-scale sample counts");
+  flags.add_int("trials", 1, "independent trials per point");
+  flags.add_int("seed", 7, "master seed");
+  flags.add_string("datasets", "fashion-mnist,isolet",
+                   "comma-separated benchmark profiles");
+  flags.add_string("csv", "fig6_dimension.csv", "output CSV ('' disables)");
+  flags.add_flag("full",
+                 "paper scale: dims 500..10000, full sample counts");
+  flags.parse(argc, argv);
+
+  const bool full = flags.get_flag("full");
+  const std::vector<std::size_t> dims =
+      full ? std::vector<std::size_t>{500, 1000, 2000, 4000, 6000, 8000,
+                                      10000}
+           : parse_dims(flags.get_string("dims"));
+  const double sample_scale = full ? 1.0 : flags.get_double("scale");
+  const auto trials = static_cast<std::size_t>(flags.get_int("trials"));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  std::vector<std::string> dataset_names;
+  {
+    const std::string text = flags.get_string("datasets");
+    std::size_t start = 0;
+    while (start < text.size()) {
+      const std::size_t comma = text.find(',', start);
+      dataset_names.push_back(text.substr(
+          start,
+          comma == std::string::npos ? std::string::npos : comma - start));
+      if (comma == std::string::npos) {
+        break;
+      }
+      start = comma + 1;
+    }
+  }
+
+  std::vector<std::vector<std::string>> csv_rows;
+  csv_rows.push_back({"dataset", "dim", "strategy", "accuracy_mean",
+                      "accuracy_std"});
+
+  for (const auto& name : dataset_names) {
+    const auto profile =
+        data::scaled(data::profile_by_name(name), sample_scale);
+    util::log_info("generating " + profile.name + " (" +
+                   std::to_string(profile.config.train_count) +
+                   " train samples)");
+    const data::TrainTestSplit split = generate_synthetic(profile.config);
+
+    const auto strategies = eval::table1_strategies();
+    util::TextTable table([&] {
+      std::vector<std::string> header{"D"};
+      for (const auto s : strategies) {
+        header.push_back(core::strategy_name(s));
+      }
+      return header;
+    }());
+
+    for (const std::size_t dim : dims) {
+      std::vector<core::PipelineConfig> configs;
+      for (const auto strategy : strategies) {
+        core::PipelineConfig cfg =
+            eval::table1_config(profile.id, strategy, dim, seed);
+        if (!full) {
+          cfg.lehdc.epochs = 20;
+          cfg.lehdc.learning_rate =
+              std::clamp(cfg.lehdc.learning_rate, 0.005f, 0.02f);
+          cfg.lehdc.batch_size = std::min<std::size_t>(
+              cfg.lehdc.batch_size,
+              std::max<std::size_t>(16, profile.config.train_count / 12));
+          cfg.retrain.iterations = 25;
+          cfg.multimodel.models_per_class = 8;
+          cfg.multimodel.epochs = 10;
+        }
+        configs.push_back(cfg);
+      }
+      const auto outcomes =
+          eval::compare_strategies_shared_encoding(split, configs, trials);
+
+      std::vector<std::string> row{std::to_string(dim)};
+      for (const auto& outcome : outcomes) {
+        row.push_back(outcome.test_accuracy.to_string());
+        csv_rows.push_back({profile.name, std::to_string(dim),
+                            outcome.strategy,
+                            std::to_string(outcome.test_accuracy.mean),
+                            std::to_string(outcome.test_accuracy.stddev)});
+      }
+      table.add_row(std::move(row));
+      util::log_info("  D=" + std::to_string(dim) + " done");
+    }
+
+    std::printf("\nFig. 6: accuracy (%%) vs dimension on %s\n",
+                profile.name.c_str());
+    table.print(std::cout);
+  }
+
+  if (const auto& csv_path = flags.get_string("csv"); !csv_path.empty()) {
+    util::CsvWriter csv(csv_path);
+    for (const auto& row : csv_rows) {
+      csv.write_row(row);
+    }
+    std::printf("series written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Micro benchmarks (google-benchmark) for the primitive operations every
+// experiment rests on: binding (XOR), Hamming similarity (popcount),
+// bit-sliced vs naive majority bundling, record encoding, single-query
+// inference, and one LeHDC optimizer step.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/lehdc_trainer.hpp"
+#include "hdc/classifier.hpp"
+#include "hdc/encoded_dataset.hpp"
+#include "hdc/encoder.hpp"
+#include "hv/bitslice.hpp"
+#include "hv/bitvector.hpp"
+#include "hv/intvector.hpp"
+#include "nn/loss.hpp"
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lehdc;
+
+void BM_BindXor(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  hv::BitVector a = hv::BitVector::random(dim, rng);
+  const hv::BitVector b = hv::BitVector::random(dim, rng);
+  for (auto _ : state) {
+    a.bind_inplace(b);
+    benchmark::DoNotOptimize(a.words().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(dim));
+}
+BENCHMARK(BM_BindXor)->Arg(2000)->Arg(10000);
+
+void BM_HammingPopcount(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  const hv::BitVector a = hv::BitVector::random(dim, rng);
+  const hv::BitVector b = hv::BitVector::random(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hv::BitVector::hamming(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(dim));
+}
+BENCHMARK(BM_HammingPopcount)->Arg(2000)->Arg(10000);
+
+void BM_BundleBitSliced(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const std::size_t count = 784;
+  util::Rng rng(1);
+  std::vector<hv::BitVector> hvs;
+  for (std::size_t i = 0; i < count; ++i) {
+    hvs.push_back(hv::BitVector::random(dim, rng));
+  }
+  const hv::BitVector tie_break = hv::BitVector::random(dim, rng);
+  for (auto _ : state) {
+    hv::BitSliceAccumulator acc(dim);
+    for (const auto& hv : hvs) {
+      acc.add(hv);
+    }
+    benchmark::DoNotOptimize(acc.majority(tie_break));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(dim * count));
+}
+BENCHMARK(BM_BundleBitSliced)->Arg(2000)->Arg(10000);
+
+void BM_BundleNaiveCounters(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const std::size_t count = 784;
+  util::Rng rng(1);
+  std::vector<hv::BitVector> hvs;
+  for (std::size_t i = 0; i < count; ++i) {
+    hvs.push_back(hv::BitVector::random(dim, rng));
+  }
+  const hv::BitVector tie_break = hv::BitVector::random(dim, rng);
+  for (auto _ : state) {
+    hv::IntVector acc(dim);
+    for (const auto& hv : hvs) {
+      acc.add(hv);
+    }
+    benchmark::DoNotOptimize(acc.sign(tie_break));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(dim * count));
+}
+BENCHMARK(BM_BundleNaiveCounters)->Arg(2000)->Arg(10000);
+
+void BM_RecordEncode(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  hdc::RecordEncoderConfig cfg;
+  cfg.dim = dim;
+  cfg.feature_count = 784;
+  cfg.seed = 1;
+  const hdc::RecordEncoder encoder(cfg);
+  util::Rng rng(2);
+  std::vector<float> sample(cfg.feature_count);
+  for (auto& v : sample) {
+    v = rng.next_float();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(sample));
+  }
+}
+BENCHMARK(BM_RecordEncode)->Arg(2000)->Arg(10000);
+
+void BM_InferenceQuery(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const std::size_t classes = 10;
+  util::Rng rng(1);
+  std::vector<hv::BitVector> class_hvs;
+  for (std::size_t k = 0; k < classes; ++k) {
+    class_hvs.push_back(hv::BitVector::random(dim, rng));
+  }
+  const hdc::BinaryClassifier classifier(std::move(class_hvs));
+  const hv::BitVector query = hv::BitVector::random(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.predict(query));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(dim * classes));
+}
+BENCHMARK(BM_InferenceQuery)->Arg(2000)->Arg(10000);
+
+void BM_SoftmaxXentBackward(benchmark::State& state) {
+  const std::size_t batch = 64;
+  const std::size_t classes = 10;
+  util::Rng rng(1);
+  nn::Matrix logits(batch, classes);
+  logits.fill_gaussian(rng, 2.0f);
+  nn::Matrix grad(batch, classes);
+  std::vector<int> labels(batch);
+  for (auto& label : labels) {
+    label = static_cast<int>(rng.next_below(classes));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nn::softmax_xent_backward(logits, labels, grad));
+  }
+}
+BENCHMARK(BM_SoftmaxXentBackward);
+
+void BM_LeHdcEpoch(benchmark::State& state) {
+  // One full LeHDC training epoch on a small encoded dataset: the cost unit
+  // the Table 2 epoch counts multiply.
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const std::size_t samples = 256;
+  const std::size_t classes = 10;
+  util::Rng rng(1);
+  hdc::EncodedDataset dataset(dim, classes);
+  for (std::size_t i = 0; i < samples; ++i) {
+    dataset.add(hv::BitVector::random(dim, rng),
+                static_cast<int>(i % classes));
+  }
+  core::LeHdcConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 64;
+  const core::LeHdcTrainer trainer(cfg);
+  train::TrainOptions options;
+  options.seed = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.train(dataset, options));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(samples * dim * classes));
+}
+BENCHMARK(BM_LeHdcEpoch)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

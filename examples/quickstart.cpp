@@ -1,0 +1,72 @@
+// Quickstart: train a LeHDC classifier on a small synthetic dataset and
+// compare it against the baseline binary HDC — the 60-second tour of the
+// public API.
+//
+//   $ ./examples/quickstart [--dim 2000] [--train 2000] [--epochs 20]
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lehdc;
+
+  util::FlagParser flags("quickstart",
+                         "Train LeHDC vs baseline HDC on synthetic data.");
+  flags.add_int("dim", 2000, "hypervector dimension D");
+  flags.add_int("train", 2000, "training samples");
+  flags.add_int("test", 500, "test samples");
+  flags.add_int("epochs", 20, "LeHDC training epochs");
+  flags.add_int("seed", 1, "master seed");
+  flags.parse(argc, argv);
+
+  // 1. Get data: a 4-class synthetic sensor-like dataset (swap in your own
+  //    data::Dataset, or load real files with data::load_csv / load_idx).
+  data::SyntheticConfig synth;
+  synth.feature_count = 128;
+  synth.class_count = 6;
+  synth.train_count = static_cast<std::size_t>(flags.get_int("train"));
+  synth.test_count = static_cast<std::size_t>(flags.get_int("test"));
+  synth.prototypes_per_class = 6;   // multi-modal classes...
+  synth.shared_atoms = 8;           // ...with heavy inter-class overlap:
+  synth.class_separation = 0.05;    // the regime where averaged class
+  synth.intra_class_spread = 1.2;   // hypervectors (Eq. 2) fall short and
+  synth.noise_stddev = 0.75;         // learned ones (LeHDC) shine.
+  synth.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const data::TrainTestSplit split = data::generate_synthetic(synth);
+  std::printf("train: %s\ntest:  %s\n", split.train.summary().c_str(),
+              split.test.summary().c_str());
+
+  // 2. Configure the pipeline: encoding is shared; only the training
+  //    strategy differs.
+  core::PipelineConfig config;
+  config.dim = static_cast<std::size_t>(flags.get_int("dim"));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.lehdc.epochs = static_cast<std::size_t>(flags.get_int("epochs"));
+
+  // 3. Baseline binary HDC (Eq. 2 averaging).
+  config.strategy = core::Strategy::kBaseline;
+  core::Pipeline baseline(config);
+  const core::FitReport base_report = baseline.fit(split.train, &split.test);
+  std::printf("\nBaseline HDC : train %.2f%%  test %.2f%%  (%.2fs)\n",
+              base_report.train_accuracy * 100.0,
+              base_report.test_accuracy * 100.0, base_report.train_seconds);
+
+  // 4. LeHDC: same encoder, BNN-trained class hypervectors.
+  config.strategy = core::Strategy::kLeHdc;
+  core::Pipeline lehdc(config);
+  const core::FitReport le_report = lehdc.fit(split.train, &split.test);
+  std::printf("LeHDC        : train %.2f%%  test %.2f%%  (%.2fs)\n",
+              le_report.train_accuracy * 100.0,
+              le_report.test_accuracy * 100.0, le_report.train_seconds);
+
+  // 5. Classify a single raw sample through the trained pipeline.
+  const int predicted = lehdc.predict(split.test.sample(0));
+  std::printf("\nsample 0: predicted class %d, true class %d\n", predicted,
+              split.test.label(0));
+
+  std::printf("accuracy improvement: %+.2f points\n",
+              (le_report.test_accuracy - base_report.test_accuracy) * 100.0);
+  return 0;
+}

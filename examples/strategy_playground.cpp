@@ -1,0 +1,76 @@
+// Strategy playground: sweep every difficulty knob of the synthetic
+// generator and watch how the four Table 1 strategies respond — the tool
+// used to calibrate the benchmark profiles, kept as an example because it
+// doubles as a quick what-if console for custom workload shapes.
+//
+//   $ ./examples/strategy_playground --classes 10 --features 200 //         --sep 0.3 --noise 0.8 --protos 4
+#include <cstdio>
+
+#include "data/synthetic.hpp"
+#include "eval/experiment.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lehdc;
+  util::FlagParser flags("strategy_playground",
+                         "sweep synthetic difficulty knobs across strategies");
+  flags.add_int("features", 784, "input feature count N");
+  flags.add_int("classes", 10, "class count K");
+  flags.add_int("train", 3000, "training samples");
+  flags.add_int("test", 600, "test samples");
+  flags.add_int("protos", 4, "prototype sub-clusters per class");
+  flags.add_int("atoms", 6, "shared dictionary atoms (class overlap)");
+  flags.add_double("sep", 1.0, "class separation strength");
+  flags.add_double("spread", 0.5, "intra-class prototype spread");
+  flags.add_double("noise", 0.4, "per-sample Gaussian noise");
+  flags.add_int("smooth", 5, "feature smoothing window");
+  flags.add_int("dim", 2000, "hypervector dimension D");
+  flags.add_int("levels", 32, "value quantization levels");
+  flags.add_int("epochs", 15, "LeHDC epochs");
+  flags.add_int("iters", 25, "retraining iterations");
+  flags.add_int("mm", 8, "multi-model hypervectors per class");
+  flags.add_double("flip", 0.01, "multi-model flip probability");
+  flags.add_int("mm-epochs", 15, "multi-model epochs");
+  flags.add_int("trials", 1, "trials for mean ± std");
+  flags.add_int("seed", 7, "master seed");
+  flags.parse(argc, argv);
+
+  data::SyntheticConfig s;
+  s.feature_count = flags.get_int("features");
+  s.class_count = flags.get_int("classes");
+  s.train_count = flags.get_int("train");
+  s.test_count = flags.get_int("test");
+  s.prototypes_per_class = flags.get_int("protos");
+  s.shared_atoms = flags.get_int("atoms");
+  s.class_separation = flags.get_double("sep");
+  s.intra_class_spread = flags.get_double("spread");
+  s.noise_stddev = flags.get_double("noise");
+  s.smoothing_window = flags.get_int("smooth");
+  s.seed = 99;
+  const auto split = data::generate_synthetic(s);
+
+  std::vector<core::PipelineConfig> configs;
+  for (auto strat :
+       {core::Strategy::kBaseline, core::Strategy::kMultiModel,
+        core::Strategy::kRetraining, core::Strategy::kLeHdc}) {
+    core::PipelineConfig c;
+    c.dim = flags.get_int("dim");
+    c.levels = flags.get_int("levels");
+    c.seed = flags.get_int("seed");
+    c.strategy = strat;
+    c.lehdc.epochs = flags.get_int("epochs");
+    c.retrain.iterations = flags.get_int("iters");
+    c.multimodel.models_per_class = flags.get_int("mm");
+    c.multimodel.flip_probability = flags.get_double("flip");
+    c.multimodel.epochs = flags.get_int("mm-epochs");
+    configs.push_back(c);
+  }
+  const auto outcomes = eval::compare_strategies_shared_encoding(
+      split, configs, flags.get_int("trials"));
+  for (const auto& o : outcomes) {
+    std::printf("%-12s test %s  train %s\n", o.strategy.c_str(),
+                o.test_accuracy.to_string().c_str(),
+                o.train_accuracy.to_string().c_str());
+  }
+  return 0;
+}

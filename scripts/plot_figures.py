@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Plot the CSV series written by the bench harnesses against the paper's
+figures.
+
+Usage (after running the benches, which drop the CSVs in the CWD):
+
+    python3 scripts/plot_figures.py [--dir .] [--out figures/]
+
+Produces fig3_retraining.png (trajectories), fig5_regularization.png
+(regularization ablation) and fig6_dimension.png (dimension sweep) when the
+corresponding CSV exists. Requires matplotlib; degrades to a clear error
+message without it.
+"""
+import argparse
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    return rows[0], rows[1:]
+
+
+def to_float(cell):
+    return float(cell) if cell not in ("", None) else None
+
+
+def plot_series_csv(plt, path, out, title, ylabel):
+    """fig3/fig5 format: epoch, <name>_train_accuracy, <name>_test_accuracy."""
+    header, rows = read_csv(path)
+    epochs = [int(r[0]) for r in rows]
+    fig, ax = plt.subplots(figsize=(7, 4.2))
+    for col in range(1, len(header)):
+        series = [to_float(r[col]) for r in rows]
+        xs = [e for e, v in zip(epochs, series) if v is not None]
+        ys = [v * 100.0 for v in series if v is not None]
+        style = "--" if header[col].endswith("_train_accuracy") else "-"
+        label = header[col].replace("_accuracy", "").replace("_", " ")
+        ax.plot(xs, ys, style, label=label, linewidth=1.4)
+    ax.set_xlabel("iteration / epoch")
+    ax.set_ylabel(ylabel)
+    ax.set_title(title)
+    ax.legend(fontsize=8)
+    ax.grid(alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def plot_dimension_csv(plt, path, out):
+    """fig6 format: dataset, dim, strategy, accuracy_mean, accuracy_std."""
+    _, rows = read_csv(path)
+    datasets = sorted({r[0] for r in rows})
+    fig, axes = plt.subplots(1, len(datasets), figsize=(6 * len(datasets), 4.2),
+                             squeeze=False)
+    for ax, dataset in zip(axes[0], datasets):
+        strategies = sorted({r[2] for r in rows if r[0] == dataset})
+        for strategy in strategies:
+            points = sorted((int(r[1]), float(r[3]))
+                            for r in rows
+                            if r[0] == dataset and r[2] == strategy)
+            ax.plot([p[0] for p in points], [p[1] for p in points],
+                    marker="o", label=strategy, linewidth=1.4)
+        ax.set_xlabel("hypervector dimension D")
+        ax.set_ylabel("test accuracy (%)")
+        ax.set_title(f"Fig. 6 — {dataset}")
+        ax.legend(fontsize=8)
+        ax.grid(alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default=".", help="directory with the CSVs")
+    parser.add_argument("--out", default=".", help="output directory")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    os.makedirs(args.out, exist_ok=True)
+    made_any = False
+
+    fig3 = os.path.join(args.dir, "fig3_retraining.csv")
+    if os.path.exists(fig3):
+        plot_series_csv(plt, fig3, os.path.join(args.out,
+                                                "fig3_retraining.png"),
+                        "Fig. 3 — basic vs enhanced retraining",
+                        "accuracy (%)")
+        made_any = True
+
+    fig5 = os.path.join(args.dir, "fig5_regularization.csv")
+    if os.path.exists(fig5):
+        plot_series_csv(plt, fig5, os.path.join(args.out,
+                                                "fig5_regularization.png"),
+                        "Fig. 5 — weight decay / dropout ablation",
+                        "accuracy (%)")
+        made_any = True
+
+    fig6 = os.path.join(args.dir, "fig6_dimension.csv")
+    if os.path.exists(fig6):
+        plot_dimension_csv(plt, fig6, os.path.join(args.out,
+                                                   "fig6_dimension.png"))
+        made_any = True
+
+    if not made_any:
+        sys.exit("no bench CSVs found — run the bench/ binaries first")
+
+
+if __name__ == "__main__":
+    main()

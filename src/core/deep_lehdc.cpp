@@ -1,0 +1,274 @@
+#include "core/deep_lehdc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/binarize.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/schedule.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lehdc::core {
+
+DeepBinaryModel::DeepBinaryModel(std::vector<hv::BitVector> hidden_rows,
+                                 std::vector<std::int32_t> hidden_thresholds,
+                                 std::vector<hv::BitVector> output_rows)
+    : hidden_rows_(std::move(hidden_rows)),
+      hidden_thresholds_(std::move(hidden_thresholds)),
+      output_rows_(std::move(output_rows)) {
+  util::expects(!hidden_rows_.empty() && !output_rows_.empty(),
+                "deep model needs both layers");
+  util::expects(hidden_thresholds_.size() == hidden_rows_.size(),
+                "one threshold per hidden unit");
+  for (const auto& row : output_rows_) {
+    util::expects(row.dim() == hidden_rows_.size(),
+                  "output rows must span the hidden layer");
+  }
+}
+
+int DeepBinaryModel::predict(const hv::BitVector& query) const {
+  // Layer 1: h_i = sgn(row_i · x − t_i); ties resolve to +1.
+  hv::BitVector hidden(hidden_rows_.size());
+  for (std::size_t i = 0; i < hidden_rows_.size(); ++i) {
+    if (hv::BitVector::dot(hidden_rows_[i], query) <
+        hidden_thresholds_[i]) {
+      hidden.set_bit(i, true);
+    }
+  }
+  // Layer 2: argmax over binary output rows.
+  int best = 0;
+  std::int64_t best_score = hv::BitVector::dot(output_rows_[0], hidden);
+  for (std::size_t k = 1; k < output_rows_.size(); ++k) {
+    const std::int64_t score = hv::BitVector::dot(output_rows_[k], hidden);
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+double DeepBinaryModel::accuracy(const hdc::EncodedDataset& dataset) const {
+  if (dataset.empty()) {
+    return 0.0;
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (predict(dataset.hypervector(i)) == dataset.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+std::size_t DeepBinaryModel::storage_bits() const noexcept {
+  std::size_t bits = 0;
+  for (const auto& row : hidden_rows_) {
+    bits += row.dim();
+  }
+  for (const auto& row : output_rows_) {
+    bits += row.dim();
+  }
+  return bits;
+}
+
+DeepLeHdcTrainer::DeepLeHdcTrainer(const DeepLeHdcConfig& config)
+    : config_(config) {
+  util::expects(config.hidden >= 2, "need at least two hidden units");
+  util::expects(config.learning_rate > 0.0f, "learning rate must be positive");
+  util::expects(config.dropout_rate >= 0.0f && config.dropout_rate < 1.0f,
+                "dropout rate must lie in [0, 1)");
+  util::expects(config.batch_size >= 1, "batch size must be positive");
+  util::expects(config.epochs >= 1, "need at least one epoch");
+}
+
+train::TrainResult DeepLeHdcTrainer::train(
+    const hdc::EncodedDataset& train_set,
+    const train::TrainOptions& options) const {
+  util::expects(!train_set.empty(), "cannot train on an empty dataset");
+  const util::Stopwatch timer;
+  util::Rng rng(options.seed);
+
+  const std::size_t n = train_set.size();
+  const std::size_t d = train_set.dim();
+  const std::size_t h = config_.hidden;
+  const std::size_t k_classes = train_set.class_count();
+  const std::size_t batch = std::min(config_.batch_size, n);
+  const float act_clip =
+      config_.act_clip_scale * std::sqrt(static_cast<float>(d));
+  const float logit_scale =
+      config_.logit_scale > 0.0f
+          ? config_.logit_scale
+          : 1.0f / std::sqrt(static_cast<float>(h));
+
+  // Latent float weights for both layers.
+  nn::Matrix w1(h, d);
+  w1.fill_gaussian(rng, 0.1f);
+  nn::Matrix w2(k_classes, h);
+  w2.fill_gaussian(rng, 0.1f);
+
+  nn::AdamConfig adam_cfg;
+  adam_cfg.learning_rate = config_.learning_rate;
+  adam_cfg.weight_decay = config_.weight_decay;
+  adam_cfg.decay_mode = nn::WeightDecayMode::kL2;
+  nn::AdamOptimizer adam1(h, d, adam_cfg);
+  nn::AdamOptimizer adam2(k_classes, h, adam_cfg);
+  // The activation thresholds train without weight decay (they are biases).
+  nn::AdamConfig bias_cfg = adam_cfg;
+  bias_cfg.weight_decay = 0.0f;
+  nn::AdamOptimizer adam_bias(1, h, bias_cfg);
+  nn::Matrix bias(1, h);
+  nn::Matrix bias_grad(1, h);
+  nn::PlateauDecay schedule(config_.learning_rate, 0.5f, 3);
+
+  // Batch buffers.
+  nn::Matrix x(batch, d);
+  nn::Matrix w1_fwd(h, d);
+  nn::Matrix w2_fwd(k_classes, h);
+  nn::Matrix pre_hidden(batch, h);
+  nn::Matrix hidden(batch, h);
+  nn::Matrix logits(batch, k_classes);
+  nn::Matrix logit_grad(batch, k_classes);
+  nn::Matrix hidden_grad(batch, h);
+  nn::Matrix w1_grad(h, d);
+  nn::Matrix w2_grad(k_classes, h);
+  std::vector<int> batch_labels(batch);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  const auto unpack = [&](const hv::BitVector& sample,
+                          std::span<float> out) {
+    const auto words = sample.words();
+    const float keep = config_.dropout_rate > 0.0f
+                           ? 1.0f / (1.0f - config_.dropout_rate)
+                           : 1.0f;
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      if (config_.dropout_rate > 0.0f &&
+          rng.next_float() < config_.dropout_rate) {
+        out[j] = 0.0f;
+        continue;
+      }
+      const bool negative = ((words[j / 64] >> (j % 64)) & 1u) != 0;
+      out[j] = negative ? -keep : keep;
+    }
+  };
+
+  train::TrainResult result;
+  const auto snapshot_model = [&] {
+    std::vector<std::int32_t> thresholds(h, 0);
+    for (std::size_t i = 0; i < h; ++i) {
+      thresholds[i] =
+          static_cast<std::int32_t>(std::lround(bias.at(0, i)));
+    }
+    return std::make_shared<DeepBinaryModel>(nn::binarize_rows(w1),
+                                             std::move(thresholds),
+                                             nn::binarize_rows(w2));
+  };
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order.begin(), order.end());
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+
+    for (std::size_t start = 0; start + batch <= n; start += batch) {
+      for (std::size_t b = 0; b < batch; ++b) {
+        const std::size_t i = order[start + b];
+        unpack(train_set.hypervector(i), x.row(b));
+        batch_labels[b] = train_set.label(i);
+      }
+
+      // Forward: both layers use binarized weights; the hidden layer uses
+      // the sign activation.
+      nn::binarize_to_float(w1, w1_fwd);
+      nn::binarize_to_float(w2, w2_fwd);
+      nn::matmul_abt(x, w1_fwd, pre_hidden);
+      if (config_.train_thresholds) {
+        for (std::size_t b = 0; b < batch; ++b) {
+          const auto row = pre_hidden.row(b);
+          for (std::size_t i = 0; i < h; ++i) {
+            row[i] -= bias.at(0, i);
+          }
+        }
+      }
+      for (std::size_t i = 0; i < hidden.size(); ++i) {
+        hidden.data()[i] = pre_hidden.data()[i] < 0.0f ? -1.0f : 1.0f;
+      }
+      nn::matmul_abt(hidden, w2_fwd, logits);
+      for (auto& v : logits.data()) {
+        v *= logit_scale;
+      }
+
+      epoch_loss +=
+          nn::softmax_xent_backward(logits, batch_labels, logit_grad);
+      ++batches;
+      // Chain rule through the logit scaling.
+      for (auto& v : logit_grad.data()) {
+        v *= logit_scale;
+      }
+
+      // Backward. W2 gradient: g2 = logit_gradᵀ · hidden.
+      w2_grad.fill(0.0f);
+      nn::accumulate_gta(logit_grad, hidden, w2_grad);
+      // Hidden gradient through the binary W2 and the hard-tanh STE.
+      nn::matmul_ab(logit_grad, w2_fwd, hidden_grad);
+      for (std::size_t i = 0; i < hidden_grad.size(); ++i) {
+        if (std::abs(pre_hidden.data()[i]) > act_clip) {
+          hidden_grad.data()[i] = 0.0f;  // saturated sign: no gradient
+        }
+      }
+      // W1 gradient: g1 = hidden_gradᵀ · x.
+      w1_grad.fill(0.0f);
+      nn::accumulate_gta(hidden_grad, x, w1_grad);
+
+      adam2.step(w2, w2_grad);
+      adam1.step(w1, w1_grad);
+      if (config_.train_thresholds) {
+        // pre' = pre − b, so dL/db = −Σ_batch hidden_grad.
+        bias_grad.fill(0.0f);
+        for (std::size_t b = 0; b < batch; ++b) {
+          const auto row = hidden_grad.row(b);
+          for (std::size_t i = 0; i < h; ++i) {
+            bias_grad.at(0, i) -= row[i];
+          }
+        }
+        adam_bias.step(bias, bias_grad);
+      }
+      if (config_.latent_clip > 0.0f) {
+        nn::clip_latent(w1, config_.latent_clip);
+        nn::clip_latent(w2, config_.latent_clip);
+      }
+    }
+
+    const double mean_loss =
+        batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
+    if (config_.lr_plateau_decay) {
+      const float lr = schedule.observe(mean_loss);
+      adam1.set_learning_rate(lr);
+      adam2.set_learning_rate(lr);
+    }
+
+    result.epochs_run = epoch + 1;
+    if (options.record_trajectory) {
+      const auto model = snapshot_model();
+      train::EpochPoint point;
+      point.epoch = epoch;
+      point.train_loss = mean_loss;
+      point.train_accuracy = model->accuracy(train_set);
+      if (options.test != nullptr) {
+        point.test_accuracy = model->accuracy(*options.test);
+      }
+      result.trajectory.push_back(point);
+    }
+  }
+
+  result.model = snapshot_model();
+  result.train_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace lehdc::core

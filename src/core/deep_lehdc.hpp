@@ -1,0 +1,94 @@
+// DeepLeHDC — a two-layer BNN extension of LeHDC (the paper's future-work
+// direction).
+//
+// The conclusion of the paper attributes the remaining accuracy gap to the
+// "fundamental limitations of the existing HDC framework, which is
+// essentially a simple single-layer BNN", and expects gains "along with
+// the advances in training BNNs". This trainer realizes the next step: a
+// hidden layer of H binary neurons between the encoded hypervector and the
+// class outputs,
+//
+//     h = sgn(W1 · En(x)),      o = W2 · h,
+//
+// trained end-to-end with straight-through estimators on both the binary
+// weights and the sign activation (hard-tanh STE). The deployed model is
+// still all-binary — inference is two rounds of XOR+popcount — but it is
+// no longer a drop-in HDC associative memory, so it trades the paper's
+// zero-overhead property for accuracy. bench/ablation_training quantifies
+// that tradeoff.
+#pragma once
+
+#include <cstdint>
+
+#include "train/trainer.hpp"
+
+namespace lehdc::core {
+
+struct DeepLeHdcConfig {
+  /// Hidden binary neurons H.
+  std::size_t hidden = 512;
+  float learning_rate = 0.01f;
+  /// Under Adam's per-parameter rescaling, an L2 term easily dominates the
+  /// thin per-weight data gradient of a wide binary layer; keep it light.
+  float weight_decay = 0.0005f;
+  float dropout_rate = 0.1f;  // on the input hypervector
+  std::size_t batch_size = 64;
+  std::size_t epochs = 50;
+  float latent_clip = 1.0f;
+  /// The sign-activation STE passes gradient where |pre-activation| is
+  /// below act_clip_scale * sqrt(D) (the natural scale of a bipolar dot).
+  float act_clip_scale = 4.0f;
+  /// Train a per-hidden-unit activation threshold (bias). Binary nets
+  /// without normalization are barely trainable; a learned threshold is
+  /// the cheap hardware-compatible substitute.
+  bool train_thresholds = true;
+  bool lr_plateau_decay = true;
+  /// Output logits are multiplied by this before softmax; 0 selects the
+  /// fan-in rule 1/sqrt(H). Raw binary dot products span ±H and saturate
+  /// the softmax (XNOR-Net-style scaling is the standard remedy).
+  float logit_scale = 0.0f;
+};
+
+/// The exported two-layer binary network (all-bit inference). Each hidden
+/// unit carries an integer activation threshold t_i (a trained bias,
+/// quantized at export): h_i = sgn(row_i · x − t_i). Thresholded popcount
+/// compare is exactly the hardware primitive HDC accelerators already have.
+class DeepBinaryModel final : public train::Model {
+ public:
+  DeepBinaryModel(std::vector<hv::BitVector> hidden_rows,
+                  std::vector<std::int32_t> hidden_thresholds,
+                  std::vector<hv::BitVector> output_rows);
+
+  [[nodiscard]] int predict(const hv::BitVector& query) const override;
+  [[nodiscard]] double accuracy(
+      const hdc::EncodedDataset& dataset) const override;
+  [[nodiscard]] std::size_t storage_bits() const noexcept override;
+
+  [[nodiscard]] std::size_t hidden_units() const noexcept {
+    return hidden_rows_.size();
+  }
+  [[nodiscard]] std::size_t class_count() const noexcept {
+    return output_rows_.size();
+  }
+
+ private:
+  std::vector<hv::BitVector> hidden_rows_;        // H x D packed
+  std::vector<std::int32_t> hidden_thresholds_;   // per-unit bias
+  std::vector<hv::BitVector> output_rows_;        // K x H packed
+};
+
+class DeepLeHdcTrainer final : public train::Trainer {
+ public:
+  explicit DeepLeHdcTrainer(const DeepLeHdcConfig& config = {});
+
+  [[nodiscard]] std::string name() const override { return "DeepLeHDC"; }
+
+  [[nodiscard]] train::TrainResult train(
+      const hdc::EncodedDataset& train_set,
+      const train::TrainOptions& options) const override;
+
+ private:
+  DeepLeHdcConfig config_;
+};
+
+}  // namespace lehdc::core

@@ -1,0 +1,232 @@
+#include "core/lehdc_trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <optional>
+
+#include "nn/binarize.hpp"
+#include "nn/dropout.hpp"
+#include "nn/loss.hpp"
+#include "nn/schedule.hpp"
+#include "train/baseline.hpp"
+#include "train/class_matrix.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lehdc::core {
+
+namespace {
+
+/// Unpacks sample hypervector `h` into float ±1 and applies inverted
+/// dropout in the same pass.
+void unpack_with_dropout(const hv::BitVector& h, std::span<float> out,
+                         float dropout_rate, util::Rng& rng) {
+  const auto words = h.words();
+  const float keep_scale =
+      dropout_rate > 0.0f ? 1.0f / (1.0f - dropout_rate) : 1.0f;
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    if (dropout_rate > 0.0f && rng.next_float() < dropout_rate) {
+      out[j] = 0.0f;
+      continue;
+    }
+    const bool negative = ((words[j / 64] >> (j % 64)) & 1u) != 0;
+    out[j] = negative ? -keep_scale : keep_scale;
+  }
+}
+
+nn::Matrix initial_latent(const hdc::EncodedDataset& train_set,
+                          LeHdcConfig::Init init, util::Rng& rng) {
+  if (init == LeHdcConfig::Init::kRandom) {
+    nn::Matrix latent(train_set.class_count(), train_set.dim());
+    latent.fill_gaussian(rng, 0.1f);
+    return latent;
+  }
+  // Warm start from the Eq. 2 accumulation, rescaled so the largest latent
+  // magnitude is 1 (keeps the STE clip from freezing the warm start).
+  nn::Matrix latent =
+      train::to_class_matrix(train::accumulate_classes(train_set));
+  float max_abs = 0.0f;
+  for (const float v : latent.data()) {
+    max_abs = std::max(max_abs, std::abs(v));
+  }
+  if (max_abs > 0.0f) {
+    const float inv = 1.0f / max_abs;
+    for (auto& v : latent.data()) {
+      v *= inv;
+    }
+  }
+  return latent;
+}
+
+}  // namespace
+
+LeHdcTrainer::LeHdcTrainer(const LeHdcConfig& config) : config_(config) {
+  util::expects(config.logit_scale > 0.0f, "logit scale must be positive");
+  util::expects(config.learning_rate > 0.0f, "learning rate must be positive");
+  util::expects(config.weight_decay >= 0.0f,
+                "weight decay must be non-negative");
+  util::expects(config.dropout_rate >= 0.0f && config.dropout_rate < 1.0f,
+                "dropout rate must lie in [0, 1)");
+  util::expects(config.batch_size >= 1, "batch size must be positive");
+  util::expects(config.epochs >= 1, "need at least one epoch");
+  util::expects(config.latent_clip >= 0.0f, "clip bound must be >= 0");
+}
+
+train::TrainResult LeHdcTrainer::train(
+    const hdc::EncodedDataset& train_set,
+    const train::TrainOptions& options) const {
+  util::expects(!train_set.empty(), "cannot train on an empty dataset");
+  const util::Stopwatch timer;
+  util::Rng rng(options.seed);
+
+  const std::size_t n = train_set.size();
+  const std::size_t d = train_set.dim();
+  const std::size_t k_classes = train_set.class_count();
+  const std::size_t batch = std::min(config_.batch_size, n);
+
+  nn::Matrix latent = initial_latent(train_set, config_.init, rng);
+
+  // Optimizer over the latent weights C_nb.
+  std::optional<nn::AdamOptimizer> adam;
+  std::optional<nn::SgdOptimizer> sgd;
+  if (config_.use_adam) {
+    nn::AdamConfig cfg;
+    cfg.learning_rate = config_.learning_rate;
+    cfg.beta1 = config_.adam_beta1;
+    cfg.beta2 = config_.adam_beta2;
+    cfg.weight_decay = config_.weight_decay;
+    cfg.decay_mode = config_.decay_mode;
+    adam.emplace(k_classes, d, cfg);
+  } else {
+    nn::SgdConfig cfg;
+    cfg.learning_rate = config_.learning_rate;
+    cfg.momentum = config_.sgd_momentum;
+    cfg.weight_decay = config_.weight_decay;
+    cfg.decay_mode = config_.decay_mode;
+    sgd.emplace(k_classes, d, cfg);
+  }
+  nn::PlateauDecay schedule(config_.learning_rate, config_.lr_decay_factor,
+                            config_.lr_patience);
+
+  // Reusable batch buffers.
+  nn::Matrix x(batch, d);             // dropped-out float inputs
+  nn::Matrix weights_fwd(k_classes, d);  // sgn(C_nb) or C_nb itself
+  nn::Matrix logits(batch, k_classes);
+  nn::Matrix logit_grad(batch, k_classes);
+  nn::Matrix weight_grad(k_classes, d);
+  std::vector<int> batch_labels(batch);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  train::TrainResult result;
+
+  const auto evaluate_point = [&](std::size_t epoch, double loss) {
+    train::EpochPoint point;
+    point.epoch = epoch;
+    point.train_loss = loss;
+    const hdc::BinaryClassifier snapshot(nn::binarize_rows(latent));
+    point.train_accuracy = snapshot.accuracy(train_set);
+    if (options.test != nullptr) {
+      point.test_accuracy = snapshot.accuracy(*options.test);
+    }
+    result.trajectory.push_back(point);
+  };
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order.begin(), order.end());
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+
+    for (std::size_t start = 0; start + batch <= n; start += batch) {
+      // Materialize the batch with fresh dropout masks.
+      for (std::size_t b = 0; b < batch; ++b) {
+        const std::size_t i = order[start + b];
+        unpack_with_dropout(train_set.hypervector(i), x.row(b),
+                            config_.dropout_rate, rng);
+        batch_labels[b] = train_set.label(i);
+      }
+
+      // Forward with binarized weights (Eq. 8) — or the float ablation.
+      if (config_.binary_forward) {
+        nn::binarize_to_float(latent, weights_fwd);
+        nn::matmul_abt(x, weights_fwd, logits);
+      } else {
+        nn::matmul_abt(x, latent, logits);
+      }
+
+      if (config_.logit_scale != 1.0f) {
+        for (auto& v : logits.data()) {
+          v *= config_.logit_scale;
+        }
+      }
+
+      // Loss (Eq. 9) and fused softmax gradient; then the straight-through
+      // weight gradient G = gᵀX of Eq. 7.
+      epoch_loss +=
+          nn::softmax_xent_backward(logits, batch_labels, logit_grad);
+      ++batches;
+      if (config_.logit_scale != 1.0f) {
+        for (auto& v : logit_grad.data()) {
+          v *= config_.logit_scale;
+        }
+      }
+      weight_grad.fill(0.0f);
+      nn::accumulate_gta(logit_grad, x, weight_grad);
+
+      if (adam) {
+        adam->step(latent, weight_grad);
+      } else {
+        sgd->step(latent, weight_grad);
+      }
+      if (config_.latent_clip > 0.0f) {
+        nn::clip_latent(latent, config_.latent_clip);
+      }
+    }
+
+    const double mean_loss =
+        batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
+    if (config_.lr_plateau_decay) {
+      const float lr = schedule.observe(mean_loss);
+      if (adam) {
+        adam->set_learning_rate(lr);
+      } else {
+        sgd->set_learning_rate(lr);
+      }
+    }
+
+    result.epochs_run = epoch + 1;
+    if (options.record_trajectory) {
+      evaluate_point(epoch, mean_loss);
+    }
+  }
+
+  if (config_.non_binary_model) {
+    // Footnote 1: keep non-binary class vectors and cosine inference.
+    // Latent floats are scaled to a fixed-point integer grid.
+    std::vector<hv::IntVector> classes;
+    classes.reserve(k_classes);
+    for (std::size_t k = 0; k < k_classes; ++k) {
+      hv::IntVector vec(d);
+      const auto row = latent.row(k);
+      for (std::size_t j = 0; j < d; ++j) {
+        vec.set(j, static_cast<std::int32_t>(
+                       std::lround(row[j] * 1024.0f)));
+      }
+      classes.push_back(std::move(vec));
+    }
+    result.model = std::make_shared<train::NonBinaryModel>(
+        hdc::NonBinaryClassifier(std::move(classes)));
+  } else {
+    // C = sgn(C_nb): the exported class hypervectors (zero-overhead
+    // inference on the unchanged HDC path).
+    result.model = std::make_shared<train::BinaryModel>(
+        hdc::BinaryClassifier(nn::binarize_rows(latent)));
+  }
+  result.train_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace lehdc::core

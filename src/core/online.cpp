@@ -1,0 +1,95 @@
+#include "core/online.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lehdc::core {
+
+OnlineHdcLearner::OnlineHdcLearner(const OnlineConfig& config)
+    : dim_(config.dim),
+      config_(config),
+      tie_break_(config.dim),
+      classes_(config.class_count, hv::IntVector(config.dim)),
+      binary_(config.class_count, hv::BitVector(config.dim)),
+      seen_per_class_(config.class_count, 0) {
+  util::expects(config.dim > 0, "dimension must be positive");
+  util::expects(config.class_count >= 2, "need at least two classes");
+  util::expects(config.alpha >= 1, "alpha must be a positive integer");
+  util::Rng rng(config.seed);
+  tie_break_.randomize(rng);
+}
+
+void OnlineHdcLearner::rebinarize(std::size_t k) {
+  binary_[k] = classes_[k].sign(tie_break_);
+}
+
+void OnlineHdcLearner::observe(const hv::BitVector& sample, int label) {
+  util::expects(sample.dim() == dim_, "sample dimension mismatch");
+  util::expects(label >= 0 &&
+                    static_cast<std::size_t>(label) < classes_.size(),
+                "label out of range");
+  ++observed_;
+  const auto k = static_cast<std::size_t>(label);
+  ++seen_per_class_[k];
+
+  if (config_.mode == OnlineMode::kCentroid) {
+    classes_[k].add(sample);
+    rebinarize(k);
+    ++updates_;
+    return;
+  }
+
+  // Warm-up: bundle the first few samples of each class unconditionally so
+  // an initially lucky class still acquires a real prototype.
+  if (seen_per_class_[k] <= config_.warmup_per_class) {
+    classes_[k].add_scaled(sample, config_.alpha);
+    rebinarize(k);
+    ++updates_;
+    return;
+  }
+
+  // Perceptron mode: update only on a mistake by the current binary model.
+  const int predicted = predict(sample);
+  if (predicted == label) {
+    return;
+  }
+  ++updates_;
+  const auto wrong = static_cast<std::size_t>(predicted);
+  classes_[k].add_scaled(sample, config_.alpha);
+  classes_[wrong].add_scaled(sample, -config_.alpha);
+  rebinarize(k);
+  rebinarize(wrong);
+}
+
+int OnlineHdcLearner::predict(const hv::BitVector& query) const {
+  util::expects(query.dim() == dim_, "query dimension mismatch");
+  int best = 0;
+  std::int64_t best_score = hv::BitVector::dot(query, binary_[0]);
+  for (std::size_t k = 1; k < binary_.size(); ++k) {
+    const std::int64_t score = hv::BitVector::dot(query, binary_[k]);
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+double OnlineHdcLearner::accuracy(const hdc::EncodedDataset& dataset) const {
+  if (dataset.empty()) {
+    return 0.0;
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (predict(dataset.hypervector(i)) == dataset.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+hdc::BinaryClassifier OnlineHdcLearner::snapshot() const {
+  return hdc::BinaryClassifier(binary_);
+}
+
+}  // namespace lehdc::core

@@ -1,0 +1,88 @@
+// On-device incremental HDC learning.
+//
+// The IoT deployments that motivate HDC (paper Sec. 1) often cannot afford
+// a full offline training pass: samples arrive as a stream and the model
+// must improve in place. This learner maintains the non-binary class
+// accumulators C_nb online and serves predictions from their binarized
+// form at any point in the stream:
+//
+//  * kCentroid    — every observed sample is bundled into its class
+//                   accumulator (the streaming form of Eq. 2);
+//  * kPerceptron  — a sample updates the accumulators only when the current
+//                   binary model misclassifies it (the streaming, single-
+//                   pass form of the Eq. 3 retraining rule).
+//
+// Extension beyond the paper (its training is offline); included because
+// the mapping to the single-layer network makes the online variants
+// immediate, and they share all invariants with the offline trainers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hdc/classifier.hpp"
+#include "hv/bitvector.hpp"
+#include "hv/intvector.hpp"
+
+namespace lehdc::core {
+
+enum class OnlineMode {
+  kCentroid,
+  kPerceptron,
+};
+
+struct OnlineConfig {
+  std::size_t dim = 10000;
+  std::size_t class_count = 2;
+  OnlineMode mode = OnlineMode::kPerceptron;
+  /// Integer update magnitude for the perceptron rule.
+  std::int32_t alpha = 1;
+  /// In perceptron mode, the first `warmup_per_class` samples of each class
+  /// are always bundled in (centroid-style) regardless of the prediction —
+  /// a cold mistake-driven learner otherwise leaves lucky classes empty.
+  std::size_t warmup_per_class = 3;
+  /// Seed for the sgn(0) tie-break hypervector.
+  std::uint64_t seed = 1;
+};
+
+class OnlineHdcLearner {
+ public:
+  explicit OnlineHdcLearner(const OnlineConfig& config);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t class_count() const noexcept {
+    return classes_.size();
+  }
+  /// Samples consumed so far.
+  [[nodiscard]] std::size_t observed() const noexcept { return observed_; }
+  /// Samples that triggered an update (== observed() in centroid mode).
+  [[nodiscard]] std::size_t updates() const noexcept { return updates_; }
+
+  /// Consumes one labelled sample. Preconditions: matching dimension,
+  /// 0 <= label < class_count().
+  void observe(const hv::BitVector& sample, int label);
+
+  /// Predicts with the current binarized model. Classes that have seen no
+  /// samples behave as all-(+1) hypervectors. Precondition: matching dim.
+  [[nodiscard]] int predict(const hv::BitVector& query) const;
+
+  /// Accuracy of the current model over a dataset.
+  [[nodiscard]] double accuracy(const hdc::EncodedDataset& dataset) const;
+
+  /// Snapshot of the current binary model (deployable like any other).
+  [[nodiscard]] hdc::BinaryClassifier snapshot() const;
+
+ private:
+  void rebinarize(std::size_t k);
+
+  std::size_t dim_;
+  OnlineConfig config_;
+  hv::BitVector tie_break_;
+  std::vector<hv::IntVector> classes_;  // C_nb accumulators
+  std::vector<hv::BitVector> binary_;   // C = sgn(C_nb), kept in sync
+  std::vector<std::size_t> seen_per_class_;
+  std::size_t observed_ = 0;
+  std::size_t updates_ = 0;
+};
+
+}  // namespace lehdc::core

@@ -1,0 +1,169 @@
+#include "core/pipeline.hpp"
+
+#include <cctype>
+
+#include "hdc/encoded_dataset.hpp"
+#include "train/baseline.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lehdc::core {
+
+std::string strategy_name(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kBaseline:
+      return "Baseline";
+    case Strategy::kMultiModel:
+      return "Multi-Model";
+    case Strategy::kRetraining:
+      return "Retraining";
+    case Strategy::kEnhancedRetraining:
+      return "EnhancedRetraining";
+    case Strategy::kAdaptHd:
+      return "AdaptHD";
+    case Strategy::kNonBinary:
+      return "NonBinaryHDC";
+    case Strategy::kLeHdc:
+      return "LeHDC";
+  }
+  return "?";
+}
+
+Strategy strategy_from_name(const std::string& name) {
+  std::string key;
+  for (const char ch : name) {
+    if (ch == '-' || ch == '_' || ch == ' ') {
+      continue;
+    }
+    key.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(ch))));
+  }
+  if (key == "baseline") return Strategy::kBaseline;
+  if (key == "multimodel") return Strategy::kMultiModel;
+  if (key == "retraining" || key == "retrain") return Strategy::kRetraining;
+  if (key == "enhancedretraining" || key == "enhanced") {
+    return Strategy::kEnhancedRetraining;
+  }
+  if (key == "adapthd" || key == "adapt") return Strategy::kAdaptHd;
+  if (key == "nonbinaryhdc" || key == "nonbinary") return Strategy::kNonBinary;
+  if (key == "lehdc") return Strategy::kLeHdc;
+  throw std::invalid_argument("unknown strategy: " + name);
+}
+
+std::unique_ptr<train::Trainer> make_trainer(const PipelineConfig& config) {
+  switch (config.strategy) {
+    case Strategy::kBaseline:
+      return std::make_unique<train::BaselineTrainer>();
+    case Strategy::kMultiModel:
+      return std::make_unique<train::MultiModelTrainer>(config.multimodel);
+    case Strategy::kRetraining:
+      return std::make_unique<train::RetrainingTrainer>(config.retrain);
+    case Strategy::kEnhancedRetraining:
+      return std::make_unique<train::EnhancedRetrainingTrainer>(
+          config.retrain);
+    case Strategy::kAdaptHd:
+      return std::make_unique<train::AdaptHdTrainer>(config.adapt);
+    case Strategy::kNonBinary:
+      return std::make_unique<train::NonBinaryTrainer>(config.nonbinary);
+    case Strategy::kLeHdc:
+      return std::make_unique<LeHdcTrainer>(config.lehdc);
+  }
+  throw std::invalid_argument("unknown strategy enum value");
+}
+
+Pipeline::Pipeline(const PipelineConfig& config) : config_(config) {
+  util::expects(config.dim > 0, "hypervector dimension must be positive");
+  util::expects(config.levels >= 2, "need at least two quantization levels");
+}
+
+Pipeline Pipeline::restore(const PipelineConfig& config,
+                           const hdc::RecordEncoderConfig& encoder_config,
+                           hdc::BinaryClassifier classifier) {
+  util::expects(encoder_config.dim == config.dim,
+                "encoder/pipeline dimension mismatch");
+  util::expects(classifier.dim() == config.dim,
+                "classifier/pipeline dimension mismatch");
+  Pipeline pipeline(config);
+  pipeline.encoder_ = std::make_unique<hdc::RecordEncoder>(encoder_config);
+  pipeline.model_ =
+      std::make_shared<train::BinaryModel>(std::move(classifier));
+  return pipeline;
+}
+
+void Pipeline::ensure_encoder(const data::Dataset& train) {
+  if (encoder_ != nullptr &&
+      encoder_->feature_count() == train.feature_count()) {
+    return;
+  }
+  const auto [lo, hi] = train.value_range();
+  hdc::RecordEncoderConfig cfg;
+  cfg.dim = config_.dim;
+  cfg.feature_count = train.feature_count();
+  cfg.levels = config_.levels;
+  cfg.range_lo = lo;
+  cfg.range_hi = hi > lo ? hi : lo + 1.0f;
+  cfg.seed = config_.seed;
+  encoder_ = std::make_unique<hdc::RecordEncoder>(cfg);
+}
+
+FitReport Pipeline::fit(const data::Dataset& train, const data::Dataset* test,
+                        bool record_trajectory) {
+  util::expects(!train.empty(), "cannot fit on an empty dataset");
+  if (test != nullptr) {
+    util::expects(test->feature_count() == train.feature_count() &&
+                      test->class_count() == train.class_count(),
+                  "train/test schema mismatch");
+  }
+  ensure_encoder(train);
+
+  FitReport report;
+  const util::Stopwatch encode_timer;
+  const hdc::EncodedDataset encoded_train =
+      hdc::encode_dataset(*encoder_, train);
+  hdc::EncodedDataset encoded_test;
+  if (test != nullptr) {
+    encoded_test = hdc::encode_dataset(*encoder_, *test);
+  }
+  report.encode_seconds = encode_timer.elapsed_seconds();
+
+  const auto trainer = make_trainer(config_);
+  train::TrainOptions options;
+  options.seed = config_.seed;
+  options.record_trajectory = record_trajectory;
+  options.test = (test != nullptr && !encoded_test.empty()) ? &encoded_test
+                                                            : nullptr;
+  train::TrainResult result = trainer->train(encoded_train, options);
+  model_ = result.model;
+
+  report.train_seconds = result.train_seconds;
+  report.epochs_run = result.epochs_run;
+  report.trajectory = std::move(result.trajectory);
+  report.train_accuracy = model_->accuracy(encoded_train);
+  if (options.test != nullptr) {
+    report.test_accuracy = model_->accuracy(encoded_test);
+  }
+  return report;
+}
+
+int Pipeline::predict(std::span<const float> features) const {
+  util::expects(fitted(), "predict before fit");
+  return model_->predict(encoder_->encode(features));
+}
+
+double Pipeline::evaluate(const data::Dataset& dataset) const {
+  util::expects(fitted(), "evaluate before fit");
+  const hdc::EncodedDataset encoded = hdc::encode_dataset(*encoder_, dataset);
+  return model_->accuracy(encoded);
+}
+
+const train::Model& Pipeline::model() const {
+  util::expects(fitted(), "model() before fit");
+  return *model_;
+}
+
+const hdc::Encoder& Pipeline::encoder() const {
+  util::expects(encoder_ != nullptr, "encoder() before fit");
+  return *encoder_;
+}
+
+}  // namespace lehdc::core

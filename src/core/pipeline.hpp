@@ -1,0 +1,112 @@
+// High-level end-to-end API: raw dataset → record encoding → any training
+// strategy → deployable classifier.
+//
+// This is the public entry point a downstream user adopts; the examples and
+// every bench harness are built on it. The encoder is constructed once and
+// shared across strategies (LeHDC never changes encoding or inference,
+// Sec. 4), so strategy comparisons are apples-to-apples.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/lehdc_trainer.hpp"
+#include "data/dataset.hpp"
+#include "hdc/encoder.hpp"
+#include "train/adapt.hpp"
+#include "train/multimodel.hpp"
+#include "train/nonbinary.hpp"
+#include "train/retrain.hpp"
+#include "train/trainer.hpp"
+
+namespace lehdc::core {
+
+enum class Strategy {
+  kBaseline,
+  kMultiModel,
+  kRetraining,
+  kEnhancedRetraining,
+  kAdaptHd,
+  kNonBinary,
+  kLeHdc,
+};
+
+/// Display name used in table rows ("Baseline", "Multi-Model", ...).
+[[nodiscard]] std::string strategy_name(Strategy strategy);
+
+/// Case-insensitive reverse lookup; throws std::invalid_argument.
+[[nodiscard]] Strategy strategy_from_name(const std::string& name);
+
+struct PipelineConfig {
+  /// Hypervector dimension D (paper default 10,000).
+  std::size_t dim = 10000;
+  /// Feature value quantization levels Q.
+  std::size_t levels = 32;
+  /// Master seed: item memories, tie-breaks and training stochasticity.
+  std::uint64_t seed = 1;
+
+  Strategy strategy = Strategy::kLeHdc;
+
+  // Per-strategy knobs; only the block matching `strategy` is read.
+  LeHdcConfig lehdc;
+  train::RetrainConfig retrain;
+  train::MultiModelConfig multimodel;
+  train::AdaptConfig adapt;
+  train::NonBinaryConfig nonbinary;
+};
+
+/// Builds the Trainer implementing config.strategy.
+[[nodiscard]] std::unique_ptr<train::Trainer> make_trainer(
+    const PipelineConfig& config);
+
+struct FitReport {
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;  // 0 when no test set given
+  double encode_seconds = 0.0;
+  double train_seconds = 0.0;
+  std::size_t epochs_run = 0;
+  std::vector<train::EpochPoint> trajectory;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(const PipelineConfig& config);
+
+  /// Rebuilds a previously fitted pipeline from persisted parts (see
+  /// core/pipeline_io.hpp). Only strategies exporting a plain binary
+  /// classifier (baseline, retraining variants, LeHDC) are restorable.
+  [[nodiscard]] static Pipeline restore(
+      const PipelineConfig& config,
+      const hdc::RecordEncoderConfig& encoder_config,
+      hdc::BinaryClassifier classifier);
+
+  /// Encodes and trains. The value range for quantization is taken from
+  /// the training set. Preconditions: !train.empty(); if test is given it
+  /// must share the training schema.
+  FitReport fit(const data::Dataset& train,
+                const data::Dataset* test = nullptr,
+                bool record_trajectory = false);
+
+  /// Predicts the class of one raw feature vector. Precondition: fitted.
+  [[nodiscard]] int predict(std::span<const float> features) const;
+
+  /// Accuracy over a raw dataset (encodes on the fly).
+  [[nodiscard]] double evaluate(const data::Dataset& dataset) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return model_ != nullptr; }
+  [[nodiscard]] const train::Model& model() const;
+  [[nodiscard]] const hdc::Encoder& encoder() const;
+  [[nodiscard]] const PipelineConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void ensure_encoder(const data::Dataset& train);
+
+  PipelineConfig config_;
+  std::unique_ptr<hdc::RecordEncoder> encoder_;
+  std::shared_ptr<const train::Model> model_;
+};
+
+}  // namespace lehdc::core

@@ -1,0 +1,124 @@
+#include "core/pipeline_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "hdc/model_io.hpp"
+#include "util/check.hpp"
+
+namespace lehdc::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'H', 'D', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& in, T& value, const std::string& path) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) {
+    throw std::runtime_error("truncated pipeline bundle: " + path);
+  }
+}
+
+}  // namespace
+
+void save_pipeline(const Pipeline& pipeline, const std::string& path) {
+  util::expects(pipeline.fitted(), "cannot save an unfitted pipeline");
+  const auto* binary = pipeline.model().as_binary();
+  util::expects(binary != nullptr,
+                "only binary-classifier models are bundle-serializable");
+  const auto& encoder =
+      dynamic_cast<const hdc::RecordEncoder&>(pipeline.encoder());
+  const hdc::RecordEncoderConfig& encoder_cfg = encoder.config();
+  const PipelineConfig& cfg = pipeline.config();
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open pipeline bundle for writing: " +
+                             path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+
+  write_pod(out, static_cast<std::uint64_t>(cfg.dim));
+  write_pod(out, static_cast<std::uint64_t>(cfg.levels));
+  write_pod(out, static_cast<std::uint64_t>(cfg.seed));
+  write_pod(out, static_cast<std::uint32_t>(cfg.strategy));
+
+  write_pod(out, static_cast<std::uint64_t>(encoder_cfg.dim));
+  write_pod(out, static_cast<std::uint64_t>(encoder_cfg.feature_count));
+  write_pod(out, static_cast<std::uint64_t>(encoder_cfg.levels));
+  write_pod(out, encoder_cfg.range_lo);
+  write_pod(out, encoder_cfg.range_hi);
+  write_pod(out, static_cast<std::uint64_t>(encoder_cfg.seed));
+
+  hdc::write_classifier(out, *binary);
+  if (!out) {
+    throw std::runtime_error("failed writing pipeline bundle: " + path);
+  }
+}
+
+Pipeline load_pipeline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open pipeline bundle: " + path);
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not a LHDP pipeline bundle: " + path);
+  }
+  std::uint32_t version = 0;
+  read_pod(in, version, path);
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported pipeline bundle version in " +
+                             path);
+  }
+
+  PipelineConfig cfg;
+  std::uint64_t dim = 0;
+  std::uint64_t levels = 0;
+  std::uint64_t seed = 0;
+  std::uint32_t strategy = 0;
+  read_pod(in, dim, path);
+  read_pod(in, levels, path);
+  read_pod(in, seed, path);
+  read_pod(in, strategy, path);
+  cfg.dim = dim;
+  cfg.levels = levels;
+  cfg.seed = seed;
+  if (strategy > static_cast<std::uint32_t>(Strategy::kLeHdc)) {
+    throw std::runtime_error("unknown strategy id in pipeline bundle: " +
+                             path);
+  }
+  cfg.strategy = static_cast<Strategy>(strategy);
+
+  hdc::RecordEncoderConfig encoder_cfg;
+  std::uint64_t encoder_dim = 0;
+  std::uint64_t feature_count = 0;
+  std::uint64_t encoder_levels = 0;
+  std::uint64_t encoder_seed = 0;
+  read_pod(in, encoder_dim, path);
+  read_pod(in, feature_count, path);
+  read_pod(in, encoder_levels, path);
+  read_pod(in, encoder_cfg.range_lo, path);
+  read_pod(in, encoder_cfg.range_hi, path);
+  read_pod(in, encoder_seed, path);
+  encoder_cfg.dim = encoder_dim;
+  encoder_cfg.feature_count = feature_count;
+  encoder_cfg.levels = encoder_levels;
+  encoder_cfg.seed = encoder_seed;
+
+  hdc::BinaryClassifier classifier = hdc::read_classifier(in, path);
+  return Pipeline::restore(cfg, encoder_cfg, std::move(classifier));
+}
+
+}  // namespace lehdc::core

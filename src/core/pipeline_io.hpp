@@ -1,0 +1,31 @@
+// Pipeline bundles: one file holding everything needed to deploy a fitted
+// pipeline on another machine — the pipeline settings, the encoder
+// configuration (item memories regenerate deterministically from it), and
+// the trained binary class hypervectors.
+//
+// Format (little-endian):
+//   magic "LHDP" | u32 version
+//   | pipeline: u64 dim, u64 levels, u64 seed, u32 strategy
+//   | encoder:  u64 dim, u64 feature_count, u64 levels, f32 lo, f32 hi,
+//               u64 seed
+//   | embedded LHDC classifier payload (hdc/model_io.hpp)
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace lehdc::core {
+
+/// Persists a fitted pipeline. Preconditions: pipeline.fitted() and the
+/// trained model is a plain binary classifier (as_binary() != nullptr) —
+/// true for baseline, the retraining variants and LeHDC.
+/// Throws std::runtime_error on I/O failure.
+void save_pipeline(const Pipeline& pipeline, const std::string& path);
+
+/// Restores a pipeline bundle; the result predicts bit-identically to the
+/// pipeline that was saved. Throws std::runtime_error on I/O failure or a
+/// malformed file.
+[[nodiscard]] Pipeline load_pipeline(const std::string& path);
+
+}  // namespace lehdc::core

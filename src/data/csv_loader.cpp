@@ -1,0 +1,112 @@
+#include "data/csv_loader.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace lehdc::data {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line, char delimiter) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream stream(line);
+  while (std::getline(stream, cell, delimiter)) {
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+float parse_float(const std::string& cell, std::size_t line_no) {
+  try {
+    std::size_t consumed = 0;
+    const float value = std::stof(cell, &consumed);
+    // Allow trailing whitespace only.
+    for (std::size_t i = consumed; i < cell.size(); ++i) {
+      if (!std::isspace(static_cast<unsigned char>(cell[i]))) {
+        throw std::invalid_argument("trailing junk");
+      }
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("non-numeric CSV cell '" + cell +
+                                "' on line " + std::to_string(line_no));
+  }
+}
+
+}  // namespace
+
+Dataset load_csv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open CSV file: " + path);
+  }
+
+  std::vector<std::vector<float>> rows;
+  std::vector<int> labels;
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t width = 0;
+  int max_label = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line_no <= options.skip_rows || line.empty()) {
+      continue;
+    }
+    const auto cells = split_line(line, options.delimiter);
+    if (cells.empty()) {
+      continue;
+    }
+    const std::size_t label_index =
+        options.label_column < 0
+            ? cells.size() - 1
+            : static_cast<std::size_t>(options.label_column);
+    util::expects(label_index < cells.size(),
+                  "label column beyond CSV row width");
+
+    if (width == 0) {
+      width = cells.size();
+    } else if (cells.size() != width) {
+      throw std::invalid_argument("inconsistent CSV row width on line " +
+                                  std::to_string(line_no));
+    }
+
+    const int raw_label = static_cast<int>(
+        parse_float(cells[label_index], line_no));
+    const int label = raw_label - options.label_base;
+    if (label < 0) {
+      throw std::invalid_argument("label below label_base on line " +
+                                  std::to_string(line_no));
+    }
+    max_label = std::max(max_label, label);
+
+    std::vector<float> features;
+    features.reserve(cells.size() - 1);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i == label_index) {
+        continue;
+      }
+      features.push_back(parse_float(cells[i], line_no));
+    }
+    rows.push_back(std::move(features));
+    labels.push_back(label);
+  }
+
+  if (rows.empty()) {
+    throw std::runtime_error("CSV file contains no data rows: " + path);
+  }
+
+  Dataset out(rows.front().size(), static_cast<std::size_t>(max_label) + 1);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out.add_sample(rows[i], labels[i]);
+  }
+  return out;
+}
+
+}  // namespace lehdc::data

@@ -1,0 +1,29 @@
+// Loader for numeric CSV datasets (UCIHAR / ISOLET / PAMAP distributions are
+// commonly shipped as delimiter-separated text).
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace lehdc::data {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Column holding the integer class label; −1 means the last column.
+  int label_column = -1;
+  /// Skip this many leading lines (headers).
+  std::size_t skip_rows = 0;
+  /// Labels in the file start at this value (e.g. 1 for 1-based labels);
+  /// they are shifted down to 0-based.
+  int label_base = 0;
+};
+
+/// Parses the file into a Dataset; the class count is inferred as
+/// (max label + 1). Throws std::runtime_error on I/O failure and
+/// std::invalid_argument on malformed rows (inconsistent width,
+/// non-numeric cells, labels below label_base).
+[[nodiscard]] Dataset load_csv(const std::string& path,
+                               const CsvOptions& options = {});
+
+}  // namespace lehdc::data

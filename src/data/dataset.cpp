@@ -1,0 +1,126 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace lehdc::data {
+
+Dataset::Dataset(std::size_t feature_count, std::size_t class_count)
+    : feature_count_(feature_count), class_count_(class_count) {
+  util::expects(feature_count > 0, "datasets need at least one feature");
+  util::expects(class_count > 0, "datasets need at least one class");
+}
+
+void Dataset::add_sample(std::span<const float> features, int label) {
+  util::expects(features.size() == feature_count_,
+                "sample feature width mismatch");
+  util::expects(label >= 0 && static_cast<std::size_t>(label) < class_count_,
+                "label out of range");
+  features_.insert(features_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+std::span<const float> Dataset::sample(std::size_t i) const {
+  util::expects(i < size(), "sample index out of range");
+  return {features_.data() + i * feature_count_, feature_count_};
+}
+
+std::span<float> Dataset::mutable_sample(std::size_t i) {
+  util::expects(i < size(), "sample index out of range");
+  return {features_.data() + i * feature_count_, feature_count_};
+}
+
+int Dataset::label(std::size_t i) const {
+  util::expects(i < size(), "sample index out of range");
+  return labels_[i];
+}
+
+void Dataset::shuffle(util::Rng& rng) {
+  const std::size_t n = size();
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    const std::size_t a = i - 1;
+    if (a == j) {
+      continue;
+    }
+    std::swap(labels_[a], labels_[j]);
+    std::swap_ranges(features_.begin() +
+                         static_cast<std::ptrdiff_t>(a * feature_count_),
+                     features_.begin() +
+                         static_cast<std::ptrdiff_t>((a + 1) * feature_count_),
+                     features_.begin() +
+                         static_cast<std::ptrdiff_t>(j * feature_count_));
+  }
+}
+
+std::pair<Dataset, Dataset> Dataset::split(std::size_t head_size) const {
+  util::expects(head_size <= size(), "split point beyond dataset size");
+  Dataset head(feature_count_, class_count_);
+  Dataset tail(feature_count_, class_count_);
+  for (std::size_t i = 0; i < size(); ++i) {
+    (i < head_size ? head : tail).add_sample(sample(i), labels_[i]);
+  }
+  return {std::move(head), std::move(tail)};
+}
+
+std::pair<float, float> Dataset::value_range() const noexcept {
+  if (features_.empty()) {
+    return {0.0f, 1.0f};
+  }
+  const auto [lo, hi] = std::minmax_element(features_.begin(),
+                                            features_.end());
+  return {*lo, *hi};
+}
+
+void Dataset::minmax_normalize(bool per_feature) {
+  if (empty()) {
+    return;
+  }
+  if (!per_feature) {
+    const auto [lo, hi] = value_range();
+    const float span = hi - lo;
+    if (span <= 0.0f) {
+      std::fill(features_.begin(), features_.end(), 0.0f);
+      return;
+    }
+    for (auto& v : features_) {
+      v = (v - lo) / span;
+    }
+    return;
+  }
+  for (std::size_t f = 0; f < feature_count_; ++f) {
+    float lo = std::numeric_limits<float>::max();
+    float hi = std::numeric_limits<float>::lowest();
+    for (std::size_t i = 0; i < size(); ++i) {
+      const float v = features_[i * feature_count_ + f];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const float span = hi - lo;
+    for (std::size_t i = 0; i < size(); ++i) {
+      float& v = features_[i * feature_count_ + f];
+      v = span > 0.0f ? (v - lo) / span : 0.0f;
+    }
+  }
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> histogram(class_count_, 0);
+  for (const int label : labels_) {
+    ++histogram[static_cast<std::size_t>(label)];
+  }
+  return histogram;
+}
+
+std::string Dataset::summary() const {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer),
+                "n=%zu features=%zu classes=%zu", size(), feature_count_,
+                class_count_);
+  return buffer;
+}
+
+}  // namespace lehdc::data

@@ -1,0 +1,76 @@
+// Plain in-memory datasets: row-major feature matrices with integer labels.
+//
+// This is the substrate standing in for the benchmark corpora of Sec. 5
+// (MNIST, Fashion-MNIST, CIFAR-10, UCIHAR, ISOLET, PAMAP). Real data can be
+// loaded through idx_loader / csv_loader; synthetic.hpp generates
+// shape-compatible stand-ins when the originals are unavailable.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lehdc::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Creates an empty dataset with the given schema.
+  Dataset(std::size_t feature_count, std::size_t class_count);
+
+  [[nodiscard]] std::size_t feature_count() const noexcept {
+    return feature_count_;
+  }
+  [[nodiscard]] std::size_t class_count() const noexcept {
+    return class_count_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return labels_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return labels_.empty(); }
+
+  /// Appends one sample. Preconditions: features.size() == feature_count(),
+  /// 0 <= label < class_count().
+  void add_sample(std::span<const float> features, int label);
+
+  /// Feature row of sample i. Precondition: i < size().
+  [[nodiscard]] std::span<const float> sample(std::size_t i) const;
+  [[nodiscard]] std::span<float> mutable_sample(std::size_t i);
+
+  [[nodiscard]] int label(std::size_t i) const;
+
+  [[nodiscard]] std::span<const int> labels() const noexcept {
+    return labels_;
+  }
+
+  /// In-place random permutation of the samples.
+  void shuffle(util::Rng& rng);
+
+  /// Splits off the first `head_size` samples into the first returned
+  /// dataset and the remainder into the second. Precondition:
+  /// head_size <= size().
+  [[nodiscard]] std::pair<Dataset, Dataset> split(std::size_t head_size) const;
+
+  /// Global min/max over every feature value; {0, 1} for an empty dataset.
+  [[nodiscard]] std::pair<float, float> value_range() const noexcept;
+
+  /// Rescales all feature values into [0, 1]. With per_feature, each feature
+  /// column is normalized by its own range (constant columns map to 0).
+  void minmax_normalize(bool per_feature = false);
+
+  /// Per-class sample counts.
+  [[nodiscard]] std::vector<std::size_t> class_histogram() const;
+
+  /// Human-readable one-line summary ("n=...  features=...  classes=...").
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::size_t feature_count_ = 0;
+  std::size_t class_count_ = 0;
+  std::vector<float> features_;  // row-major, size() * feature_count_
+  std::vector<int> labels_;
+};
+
+}  // namespace lehdc::data

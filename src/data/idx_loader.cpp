@@ -1,0 +1,84 @@
+#include "data/idx_loader.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace lehdc::data {
+
+namespace {
+
+std::uint32_t read_be32(std::istream& in, const std::string& path) {
+  unsigned char bytes[4];
+  in.read(reinterpret_cast<char*>(bytes), 4);
+  if (!in) {
+    throw std::runtime_error("truncated IDX header in " + path);
+  }
+  return (static_cast<std::uint32_t>(bytes[0]) << 24) |
+         (static_cast<std::uint32_t>(bytes[1]) << 16) |
+         (static_cast<std::uint32_t>(bytes[2]) << 8) |
+         static_cast<std::uint32_t>(bytes[3]);
+}
+
+std::ifstream open_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open IDX file: " + path);
+  }
+  return in;
+}
+
+}  // namespace
+
+Dataset load_idx(const std::string& image_path, const std::string& label_path,
+                 std::size_t class_count) {
+  constexpr std::uint32_t kImageMagic = 0x00000803;
+  constexpr std::uint32_t kLabelMagic = 0x00000801;
+
+  std::ifstream images = open_binary(image_path);
+  if (read_be32(images, image_path) != kImageMagic) {
+    throw std::runtime_error("bad IDX image magic in " + image_path);
+  }
+  const std::uint32_t image_count = read_be32(images, image_path);
+  const std::uint32_t rows = read_be32(images, image_path);
+  const std::uint32_t cols = read_be32(images, image_path);
+  const std::size_t pixels = static_cast<std::size_t>(rows) * cols;
+  if (pixels == 0) {
+    throw std::runtime_error("IDX image file has zero-sized images: " +
+                             image_path);
+  }
+
+  std::ifstream labels = open_binary(label_path);
+  if (read_be32(labels, label_path) != kLabelMagic) {
+    throw std::runtime_error("bad IDX label magic in " + label_path);
+  }
+  const std::uint32_t label_count = read_be32(labels, label_path);
+  util::expects(label_count == image_count,
+                "IDX image/label sample counts disagree");
+
+  Dataset out(pixels, class_count);
+  std::vector<unsigned char> pixel_buffer(pixels);
+  std::vector<float> row(pixels);
+  for (std::uint32_t s = 0; s < image_count; ++s) {
+    images.read(reinterpret_cast<char*>(pixel_buffer.data()),
+                static_cast<std::streamsize>(pixels));
+    char label_byte = 0;
+    labels.read(&label_byte, 1);
+    if (!images || !labels) {
+      throw std::runtime_error("truncated IDX payload");
+    }
+    for (std::size_t i = 0; i < pixels; ++i) {
+      row[i] = static_cast<float>(pixel_buffer[i]) / 255.0f;
+    }
+    const int label = static_cast<int>(static_cast<unsigned char>(label_byte));
+    util::expects(static_cast<std::size_t>(label) < class_count,
+                  "IDX label exceeds class_count");
+    out.add_sample(row, label);
+  }
+  return out;
+}
+
+}  // namespace lehdc::data

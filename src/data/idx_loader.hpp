@@ -1,0 +1,23 @@
+// Loader for the IDX binary format used by MNIST / Fashion-MNIST
+// distributions (uncompressed .idx3-ubyte / .idx1-ubyte files).
+//
+// When the genuine corpora are available on disk, the harnesses can run on
+// them instead of the synthetic stand-ins; the loader normalizes pixel
+// values to [0, 1].
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace lehdc::data {
+
+/// Reads an IDX image file (magic 0x00000803) and an IDX label file
+/// (magic 0x00000801) into a Dataset with class_count classes.
+/// Throws std::runtime_error on I/O errors or malformed headers, and
+/// std::invalid_argument if image/label sample counts disagree.
+[[nodiscard]] Dataset load_idx(const std::string& image_path,
+                               const std::string& label_path,
+                               std::size_t class_count = 10);
+
+}  // namespace lehdc::data

@@ -1,0 +1,50 @@
+// Benchmark profiles: synthetic stand-ins shaped like the six corpora the
+// paper evaluates in Sec. 5 (Table 1).
+//
+// Feature/class/sample counts match the real datasets; the difficulty knobs
+// (prototype count, separation, noise) are tuned so the qualitative
+// structure of Table 1 reproduces: CIFAR-like hardest, PAMAP-like highly multi-modal
+// (weak centroid baseline, near-perfect discriminative accuracy), ISOLET-like
+// many-classes/few-samples (multi-model underperforms).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+
+namespace lehdc::data {
+
+enum class BenchmarkId {
+  kMnist,
+  kFashionMnist,
+  kCifar10,
+  kUcihar,
+  kIsolet,
+  kPamap,
+};
+
+struct BenchmarkProfile {
+  BenchmarkId id = BenchmarkId::kMnist;
+  std::string name;          // e.g. "MNIST" (printed in table rows)
+  SyntheticConfig config;    // full paper-scale shape
+};
+
+/// The profile for one benchmark at full scale.
+[[nodiscard]] BenchmarkProfile profile(BenchmarkId id);
+
+/// All six benchmarks in the paper's column order.
+[[nodiscard]] std::vector<BenchmarkId> all_benchmarks();
+
+/// Lookup by case-insensitive name ("mnist", "fashion-mnist", "cifar-10",
+/// "ucihar", "isolet", "pamap"); throws std::invalid_argument if unknown.
+[[nodiscard]] BenchmarkProfile profile_by_name(const std::string& name);
+
+/// Shrinks sample counts by `sample_scale` (0 < scale <= 1) and optionally
+/// caps the feature count (0 = keep), preserving at least 10 samples per
+/// split. Used by harness default (fast) modes.
+[[nodiscard]] BenchmarkProfile scaled(BenchmarkProfile profile,
+                                      double sample_scale,
+                                      std::size_t max_features = 0);
+
+}  // namespace lehdc::data

@@ -1,0 +1,138 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lehdc::data {
+
+namespace {
+
+/// Box filter over adjacent features, clamped at the edges.
+void smooth(std::vector<double>& row, std::size_t window) {
+  if (window <= 1) {
+    return;
+  }
+  const std::size_t n = row.size();
+  std::vector<double> out(n, 0.0);
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(window) / 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::ptrdiff_t d = -half; d <= half; ++d) {
+      const std::ptrdiff_t j = static_cast<std::ptrdiff_t>(i) + d;
+      if (j >= 0 && j < static_cast<std::ptrdiff_t>(n)) {
+        sum += row[static_cast<std::size_t>(j)];
+        ++count;
+      }
+    }
+    out[i] = sum / static_cast<double>(count);
+  }
+  row = std::move(out);
+}
+
+}  // namespace
+
+TrainTestSplit generate_synthetic(const SyntheticConfig& config) {
+  util::expects(config.feature_count > 0, "feature_count must be positive");
+  util::expects(config.class_count >= 2, "need at least two classes");
+  util::expects(config.prototypes_per_class > 0,
+                "need at least one prototype per class");
+  util::expects(config.shared_atoms > 0, "need at least one shared atom");
+
+  util::Rng rng(config.seed);
+  const std::size_t n = config.feature_count;
+
+  // Shared atom dictionary: smooth random feature patterns every class
+  // draws from.
+  std::vector<std::vector<double>> atoms(config.shared_atoms);
+  for (auto& atom : atoms) {
+    atom.resize(n);
+    for (auto& v : atom) {
+      v = rng.next_gaussian();
+    }
+    smooth(atom, config.smoothing_window);
+  }
+
+  // Class-specific directions.
+  std::vector<std::vector<double>> class_dirs(config.class_count);
+  for (auto& dir : class_dirs) {
+    dir.resize(n);
+    for (auto& v : dir) {
+      v = rng.next_gaussian();
+    }
+    smooth(dir, config.smoothing_window);
+  }
+
+  // Prototypes: shared-atom mixture + class direction + per-prototype
+  // offset.
+  const std::size_t protos_total =
+      config.class_count * config.prototypes_per_class;
+  std::vector<std::vector<double>> prototypes(protos_total);
+  for (std::size_t k = 0; k < config.class_count; ++k) {
+    for (std::size_t p = 0; p < config.prototypes_per_class; ++p) {
+      auto& proto = prototypes[k * config.prototypes_per_class + p];
+      proto.assign(n, 0.0);
+      // Random convex mixture of shared atoms (the inter-class overlap).
+      double weight_sum = 0.0;
+      std::vector<double> weights(config.shared_atoms);
+      for (auto& w : weights) {
+        w = rng.next_double();
+        weight_sum += w;
+      }
+      for (std::size_t a = 0; a < config.shared_atoms; ++a) {
+        const double w = weights[a] / weight_sum;
+        for (std::size_t i = 0; i < n; ++i) {
+          proto[i] += w * atoms[a][i];
+        }
+      }
+      // Class direction and prototype-specific offset.
+      std::vector<double> offset(n);
+      for (auto& v : offset) {
+        v = rng.next_gaussian();
+      }
+      smooth(offset, config.smoothing_window);
+      for (std::size_t i = 0; i < n; ++i) {
+        proto[i] += config.class_separation * class_dirs[k][i] +
+                    config.intra_class_spread * offset[i];
+      }
+    }
+  }
+
+  const auto draw_sample = [&](std::size_t class_id,
+                               std::vector<float>& out_row) {
+    const std::size_t p = rng.next_below(config.prototypes_per_class);
+    const auto& proto =
+        prototypes[class_id * config.prototypes_per_class + p];
+    out_row.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Squash to [0, 1] with a logistic so that values behave like
+      // normalized sensor/pixel intensities.
+      const double raw =
+          proto[i] + config.noise_stddev * rng.next_gaussian();
+      out_row[i] = static_cast<float>(1.0 / (1.0 + std::exp(-raw)));
+    }
+  };
+
+  TrainTestSplit split{Dataset(n, config.class_count),
+                       Dataset(n, config.class_count)};
+  std::vector<float> row;
+  for (std::size_t s = 0; s < config.train_count; ++s) {
+    const std::size_t k = s % config.class_count;  // balanced classes
+    draw_sample(k, row);
+    split.train.add_sample(row, static_cast<int>(k));
+  }
+  for (std::size_t s = 0; s < config.test_count; ++s) {
+    const std::size_t k = s % config.class_count;
+    draw_sample(k, row);
+    split.test.add_sample(row, static_cast<int>(k));
+  }
+  split.train.shuffle(rng);
+  split.test.shuffle(rng);
+  return split;
+}
+
+}  // namespace lehdc::data

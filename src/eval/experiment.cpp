@@ -1,0 +1,125 @@
+#include "eval/experiment.hpp"
+
+#include "hdc/encoded_dataset.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lehdc::eval {
+
+StrategyOutcome run_trials(const data::TrainTestSplit& split,
+                           const core::PipelineConfig& base,
+                           std::size_t trials) {
+  util::expects(trials >= 1, "need at least one trial");
+  util::expects(!split.train.empty() && !split.test.empty(),
+                "need non-empty train and test sets");
+
+  std::vector<double> test_acc;
+  std::vector<double> train_acc;
+  test_acc.reserve(trials);
+  train_acc.reserve(trials);
+  double train_seconds = 0.0;
+  double encode_seconds = 0.0;
+
+  for (std::size_t t = 0; t < trials; ++t) {
+    core::PipelineConfig cfg = base;
+    cfg.seed = base.seed + t;
+    core::Pipeline pipeline(cfg);
+    const core::FitReport report = pipeline.fit(split.train, &split.test);
+    test_acc.push_back(report.test_accuracy * 100.0);
+    train_acc.push_back(report.train_accuracy * 100.0);
+    train_seconds += report.train_seconds;
+    encode_seconds += report.encode_seconds;
+  }
+
+  StrategyOutcome outcome;
+  outcome.strategy = core::strategy_name(base.strategy);
+  outcome.test_accuracy = util::summarize(test_acc);
+  outcome.train_accuracy = util::summarize(train_acc);
+  outcome.mean_train_seconds = train_seconds / static_cast<double>(trials);
+  outcome.mean_encode_seconds = encode_seconds / static_cast<double>(trials);
+  return outcome;
+}
+
+std::vector<StrategyOutcome> compare_strategies(
+    const data::TrainTestSplit& split,
+    const std::vector<core::PipelineConfig>& configs, std::size_t trials) {
+  std::vector<StrategyOutcome> outcomes;
+  outcomes.reserve(configs.size());
+  for (const auto& config : configs) {
+    outcomes.push_back(run_trials(split, config, trials));
+  }
+  return outcomes;
+}
+
+std::vector<StrategyOutcome> compare_strategies_shared_encoding(
+    const data::TrainTestSplit& split,
+    const std::vector<core::PipelineConfig>& configs, std::size_t trials) {
+  util::expects(!configs.empty(), "need at least one strategy config");
+  util::expects(trials >= 1, "need at least one trial");
+  util::expects(!split.train.empty() && !split.test.empty(),
+                "need non-empty train and test sets");
+  for (const auto& cfg : configs) {
+    util::expects(cfg.dim == configs.front().dim &&
+                      cfg.levels == configs.front().levels &&
+                      cfg.seed == configs.front().seed,
+                  "shared-encoding comparison requires identical encoder "
+                  "settings across strategies");
+  }
+
+  struct Accumulator {
+    std::vector<double> test_acc;
+    std::vector<double> train_acc;
+    double train_seconds = 0.0;
+  };
+  std::vector<Accumulator> accumulators(configs.size());
+  double encode_seconds_total = 0.0;
+
+  const auto [lo, hi] = split.train.value_range();
+  for (std::size_t t = 0; t < trials; ++t) {
+    hdc::RecordEncoderConfig encoder_cfg;
+    encoder_cfg.dim = configs.front().dim;
+    encoder_cfg.feature_count = split.train.feature_count();
+    encoder_cfg.levels = configs.front().levels;
+    encoder_cfg.range_lo = lo;
+    encoder_cfg.range_hi = hi > lo ? hi : lo + 1.0f;
+    encoder_cfg.seed = configs.front().seed + t;
+    const hdc::RecordEncoder encoder(encoder_cfg);
+
+    const util::Stopwatch encode_timer;
+    const hdc::EncodedDataset encoded_train =
+        hdc::encode_dataset(encoder, split.train);
+    const hdc::EncodedDataset encoded_test =
+        hdc::encode_dataset(encoder, split.test);
+    encode_seconds_total += encode_timer.elapsed_seconds();
+
+    for (std::size_t s = 0; s < configs.size(); ++s) {
+      const auto trainer = make_trainer(configs[s]);
+      train::TrainOptions options;
+      options.seed = configs[s].seed + t;
+      const train::TrainResult result =
+          trainer->train(encoded_train, options);
+      accumulators[s].test_acc.push_back(
+          result.model->accuracy(encoded_test) * 100.0);
+      accumulators[s].train_acc.push_back(
+          result.model->accuracy(encoded_train) * 100.0);
+      accumulators[s].train_seconds += result.train_seconds;
+    }
+  }
+
+  std::vector<StrategyOutcome> outcomes;
+  outcomes.reserve(configs.size());
+  for (std::size_t s = 0; s < configs.size(); ++s) {
+    StrategyOutcome outcome;
+    outcome.strategy = core::strategy_name(configs[s].strategy);
+    outcome.test_accuracy = util::summarize(accumulators[s].test_acc);
+    outcome.train_accuracy = util::summarize(accumulators[s].train_acc);
+    outcome.mean_train_seconds =
+        accumulators[s].train_seconds / static_cast<double>(trials);
+    outcome.mean_encode_seconds =
+        encode_seconds_total / static_cast<double>(trials);
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace lehdc::eval

@@ -1,0 +1,46 @@
+// Multi-trial experiment runner: encodes a dataset once per seed, trains a
+// strategy, and aggregates test accuracy over trials as "mean ± std" — the
+// cell format of Table 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "util/stats.hpp"
+
+namespace lehdc::eval {
+
+struct StrategyOutcome {
+  std::string strategy;
+  util::Summary test_accuracy;   // percent (0..100)
+  util::Summary train_accuracy;  // percent
+  double mean_train_seconds = 0.0;
+  double mean_encode_seconds = 0.0;
+};
+
+/// Runs `trials` independent trainings of `base` (seed varied per trial:
+/// seed_i = base.seed + i) on the given split and aggregates accuracy.
+/// Each trial rebuilds the item memories, so the ±std covers encoding
+/// randomness as well as training stochasticity, as in the paper.
+[[nodiscard]] StrategyOutcome run_trials(const data::TrainTestSplit& split,
+                                         const core::PipelineConfig& base,
+                                         std::size_t trials);
+
+/// Convenience: run_trials for several strategies on one split.
+[[nodiscard]] std::vector<StrategyOutcome> compare_strategies(
+    const data::TrainTestSplit& split,
+    const std::vector<core::PipelineConfig>& configs, std::size_t trials);
+
+/// Like compare_strategies, but encodes the split once per trial and feeds
+/// the same encoded hypervectors to every strategy — 1/|configs| of the
+/// encoding work, and exactly the paper's protocol (all strategies share
+/// encoding; only training differs). All configs must agree on dim, levels
+/// and seed; throws std::invalid_argument otherwise.
+[[nodiscard]] std::vector<StrategyOutcome> compare_strategies_shared_encoding(
+    const data::TrainTestSplit& split,
+    const std::vector<core::PipelineConfig>& configs, std::size_t trials);
+
+}  // namespace lehdc::eval

@@ -1,0 +1,38 @@
+#include "eval/hardware_model.hpp"
+
+#include "util/check.hpp"
+
+namespace lehdc::eval {
+
+HardwareEstimate estimate_hardware(core::Strategy strategy,
+                                   const ResourceParams& params,
+                                   const HardwareConfig& hardware) {
+  util::expects(hardware.clock_mhz > 0.0, "clock must be positive");
+  util::expects(hardware.lanes > 0, "need at least one lane");
+
+  const ResourceEstimate resources = estimate_resources(strategy, params);
+
+  // Hypervectors visited during the similarity search (per-class models or
+  // the full ensemble).
+  std::size_t vectors_visited = params.classes;
+  if (strategy == core::Strategy::kMultiModel) {
+    vectors_visited = params.classes * params.models_per_class;
+  }
+
+  const std::size_t word_ops = resources.inference_word_ops;
+  const std::size_t lane_cycles =
+      (word_ops + hardware.lanes - 1) / hardware.lanes;
+  const std::size_t cycles =
+      lane_cycles + vectors_visited * hardware.compare_cycles;
+
+  HardwareEstimate out;
+  out.strategy = resources.strategy;
+  out.cycles_per_query = cycles;
+  out.latency_us = static_cast<double>(cycles) / hardware.clock_mhz;
+  out.energy_nj = static_cast<double>(word_ops) *
+                  hardware.energy_per_word_op_pj / 1000.0;
+  out.model_kib = static_cast<double>(resources.model_bits) / 8192.0;
+  return out;
+}
+
+}  // namespace lehdc::eval

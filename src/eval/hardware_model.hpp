@@ -1,0 +1,44 @@
+// First-order digital-hardware cost model for HDC inference.
+//
+// Sec. 5.1 of the paper argues LeHDC inherits the baseline's hardware
+// profile ("hardware acceleration on FPGA and in-memory computing is
+// explored to support the inference in microseconds"). This model turns
+// the per-strategy word-operation counts of resource.hpp into latency and
+// energy figures for a parameterized accelerator datapath: a bank of
+// 64-bit XOR+popcount lanes running at a given clock, with an accumulate-
+// compare stage per class hypervector.
+//
+// The numbers are first-order (no memory hierarchy, no pipelining stalls)
+// — meant to reproduce the paper's *relative* claims: LeHDC == baseline,
+// multi-model scales with M, everything lands in the microsecond class.
+#pragma once
+
+#include "eval/resource.hpp"
+
+namespace lehdc::eval {
+
+struct HardwareConfig {
+  /// Accelerator clock in MHz.
+  double clock_mhz = 200.0;
+  /// 64-bit XOR+popcount lanes operating per cycle.
+  std::size_t lanes = 64;
+  /// Energy per 64-bit XOR+popcount lane operation, picojoules.
+  double energy_per_word_op_pj = 2.0;
+  /// Cycles for the final compare/argmax per class hypervector visited.
+  std::size_t compare_cycles = 1;
+};
+
+struct HardwareEstimate {
+  std::string strategy;
+  std::size_t cycles_per_query = 0;
+  double latency_us = 0.0;
+  double energy_nj = 0.0;
+  double model_kib = 0.0;
+};
+
+/// Latency/energy for one similarity-search query under the datapath.
+[[nodiscard]] HardwareEstimate estimate_hardware(
+    core::Strategy strategy, const ResourceParams& params,
+    const HardwareConfig& hardware);
+
+}  // namespace lehdc::eval

@@ -1,0 +1,90 @@
+#include "eval/metrics.hpp"
+
+#include "util/check.hpp"
+
+namespace lehdc::eval {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t class_count)
+    : class_count_(class_count), cells_(class_count * class_count, 0) {
+  util::expects(class_count > 0, "confusion matrix needs >= 1 class");
+}
+
+void ConfusionMatrix::add(int true_label, int predicted_label) {
+  util::expects(true_label >= 0 &&
+                    static_cast<std::size_t>(true_label) < class_count_,
+                "true label out of range");
+  util::expects(predicted_label >= 0 &&
+                    static_cast<std::size_t>(predicted_label) < class_count_,
+                "predicted label out of range");
+  ++cells_[static_cast<std::size_t>(true_label) * class_count_ +
+           static_cast<std::size_t>(predicted_label)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(int true_label, int predicted_label) const {
+  util::expects(true_label >= 0 &&
+                    static_cast<std::size_t>(true_label) < class_count_ &&
+                    predicted_label >= 0 &&
+                    static_cast<std::size_t>(predicted_label) < class_count_,
+                "label out of range");
+  return cells_[static_cast<std::size_t>(true_label) * class_count_ +
+                static_cast<std::size_t>(predicted_label)];
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  std::size_t correct = 0;
+  for (std::size_t k = 0; k < class_count_; ++k) {
+    correct += cells_[k * class_count_ + k];
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(int label) const {
+  const auto k = static_cast<std::size_t>(label);
+  util::expects(label >= 0 && k < class_count_, "label out of range");
+  std::size_t row_total = 0;
+  for (std::size_t j = 0; j < class_count_; ++j) {
+    row_total += cells_[k * class_count_ + j];
+  }
+  if (row_total == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(cells_[k * class_count_ + k]) /
+         static_cast<double>(row_total);
+}
+
+double ConfusionMatrix::precision(int label) const {
+  const auto k = static_cast<std::size_t>(label);
+  util::expects(label >= 0 && k < class_count_, "label out of range");
+  std::size_t col_total = 0;
+  for (std::size_t i = 0; i < class_count_; ++i) {
+    col_total += cells_[i * class_count_ + k];
+  }
+  if (col_total == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(cells_[k * class_count_ + k]) /
+         static_cast<double>(col_total);
+}
+
+double ConfusionMatrix::macro_recall() const {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < class_count_; ++k) {
+    sum += recall(static_cast<int>(k));
+  }
+  return sum / static_cast<double>(class_count_);
+}
+
+ConfusionMatrix evaluate_confusion(const train::Model& model,
+                                   const hdc::EncodedDataset& dataset) {
+  ConfusionMatrix matrix(dataset.class_count());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    matrix.add(dataset.label(i), model.predict(dataset.hypervector(i)));
+  }
+  return matrix;
+}
+
+}  // namespace lehdc::eval

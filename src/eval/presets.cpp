@@ -1,0 +1,64 @@
+#include "eval/presets.hpp"
+
+namespace lehdc::eval {
+
+core::LeHdcConfig lehdc_preset(data::BenchmarkId id) {
+  core::LeHdcConfig cfg;
+  switch (id) {
+    case data::BenchmarkId::kMnist:
+      cfg.weight_decay = 0.05f;
+      cfg.learning_rate = 0.01f;
+      cfg.batch_size = 64;
+      cfg.dropout_rate = 0.5f;
+      cfg.epochs = 100;
+      break;
+    case data::BenchmarkId::kFashionMnist:
+      cfg.weight_decay = 0.03f;
+      cfg.learning_rate = 0.1f;
+      cfg.batch_size = 256;
+      cfg.dropout_rate = 0.3f;
+      cfg.epochs = 200;
+      break;
+    case data::BenchmarkId::kCifar10:
+      cfg.weight_decay = 0.03f;
+      cfg.learning_rate = 0.001f;
+      cfg.batch_size = 512;
+      cfg.dropout_rate = 0.3f;
+      cfg.epochs = 200;
+      break;
+    case data::BenchmarkId::kUcihar:
+    case data::BenchmarkId::kIsolet:
+    case data::BenchmarkId::kPamap:
+      cfg.weight_decay = 0.05f;
+      cfg.learning_rate = 0.01f;
+      cfg.batch_size = 64;
+      cfg.dropout_rate = 0.5f;
+      cfg.epochs = 100;
+      break;
+  }
+  return cfg;
+}
+
+core::PipelineConfig table1_config(data::BenchmarkId id,
+                                   core::Strategy strategy, std::size_t dim,
+                                   std::uint64_t seed) {
+  core::PipelineConfig cfg;
+  cfg.dim = dim;
+  cfg.seed = seed;
+  cfg.strategy = strategy;
+  cfg.lehdc = lehdc_preset(id);
+
+  // Sec. 5 baselines' settings.
+  cfg.retrain.alpha = 0.05f;
+  cfg.retrain.alpha_first = 1.5f;
+  cfg.retrain.iterations = 150;
+  cfg.multimodel.models_per_class = 64;
+  return cfg;
+}
+
+std::vector<core::Strategy> table1_strategies() {
+  return {core::Strategy::kBaseline, core::Strategy::kMultiModel,
+          core::Strategy::kRetraining, core::Strategy::kLeHdc};
+}
+
+}  // namespace lehdc::eval

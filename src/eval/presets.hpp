@@ -1,0 +1,28 @@
+// Table 2 hyper-parameter presets and Table 1 strategy configurations.
+//
+// The paper tunes LeHDC per dataset (Table 2) and fixes the baselines'
+// settings in Sec. 5 (retraining: alpha = 0.05, 1.5 on the first iteration,
+// 150 iterations; multi-model: 64 hypervectors per class). These presets
+// reproduce those numbers; the bench harnesses scale epochs/ensemble size
+// down in their fast default mode.
+#pragma once
+
+#include "core/pipeline.hpp"
+#include "data/profiles.hpp"
+
+namespace lehdc::eval {
+
+/// LeHDC hyper-parameters from Table 2 for one benchmark.
+[[nodiscard]] core::LeHdcConfig lehdc_preset(data::BenchmarkId id);
+
+/// Full pipeline configuration for one (benchmark, strategy) cell of
+/// Table 1 at hypervector dimension `dim` and master seed `seed`.
+[[nodiscard]] core::PipelineConfig table1_config(data::BenchmarkId id,
+                                                 core::Strategy strategy,
+                                                 std::size_t dim,
+                                                 std::uint64_t seed);
+
+/// The four strategies of Table 1, in row order.
+[[nodiscard]] std::vector<core::Strategy> table1_strategies();
+
+}  // namespace lehdc::eval

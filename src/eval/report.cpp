@@ -1,0 +1,96 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "util/table.hpp"
+
+namespace lehdc::eval {
+
+namespace {
+
+/// Collects the union of epochs and a per-series epoch -> point index map.
+std::vector<std::size_t> epoch_union(const std::vector<Series>& series) {
+  std::vector<std::size_t> epochs;
+  for (const auto& s : series) {
+    for (const auto& p : s.points) {
+      epochs.push_back(p.epoch);
+    }
+  }
+  std::sort(epochs.begin(), epochs.end());
+  epochs.erase(std::unique(epochs.begin(), epochs.end()), epochs.end());
+  return epochs;
+}
+
+const train::EpochPoint* find_point(const Series& s, std::size_t epoch) {
+  for (const auto& p : s.points) {
+    if (p.epoch == epoch) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void print_series(const std::vector<Series>& series, std::size_t stride) {
+  if (series.empty()) {
+    return;
+  }
+  std::vector<std::string> header{"epoch"};
+  for (const auto& s : series) {
+    header.push_back(s.name + " train%");
+    header.push_back(s.name + " test%");
+  }
+  util::TextTable table(std::move(header));
+
+  const auto epochs = epoch_union(series);
+  const std::size_t step = std::max<std::size_t>(1, stride);
+  for (std::size_t e = 0; e < epochs.size(); ++e) {
+    if (e % step != 0 && e + 1 != epochs.size()) {
+      continue;  // always keep the final epoch
+    }
+    std::vector<std::string> row{std::to_string(epochs[e])};
+    for (const auto& s : series) {
+      const auto* point = find_point(s, epochs[e]);
+      if (point == nullptr) {
+        row.emplace_back("");
+        row.emplace_back("");
+      } else {
+        row.push_back(util::TextTable::cell(point->train_accuracy * 100.0));
+        row.push_back(util::TextTable::cell(point->test_accuracy * 100.0));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+void write_series_csv(const std::string& path,
+                      const std::vector<Series>& series) {
+  util::CsvWriter csv(path);
+  std::vector<std::string> header{"epoch"};
+  for (const auto& s : series) {
+    header.push_back(s.name + "_train_accuracy");
+    header.push_back(s.name + "_test_accuracy");
+  }
+  csv.write_row(header);
+
+  for (const std::size_t epoch : epoch_union(series)) {
+    std::vector<std::string> row{std::to_string(epoch)};
+    for (const auto& s : series) {
+      const auto* point = find_point(s, epoch);
+      if (point == nullptr) {
+        row.emplace_back("");
+        row.emplace_back("");
+      } else {
+        row.push_back(std::to_string(point->train_accuracy));
+        row.push_back(std::to_string(point->test_accuracy));
+      }
+    }
+    csv.write_row(row);
+  }
+}
+
+}  // namespace lehdc::eval

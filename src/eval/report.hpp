@@ -1,0 +1,27 @@
+// Report helpers: print training trajectories and persist figure series as
+// CSV so they can be re-plotted against the paper's figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "train/trainer.hpp"
+
+namespace lehdc::eval {
+
+/// One named trajectory (e.g. "basic retraining" vs "enhanced retraining").
+struct Series {
+  std::string name;
+  std::vector<train::EpochPoint> points;
+};
+
+/// Prints a compact multi-series table to stdout: one row per epoch with
+/// train/test accuracy columns per series. Epochs are the union across
+/// series; missing points print blank. `stride` prints every n-th epoch.
+void print_series(const std::vector<Series>& series, std::size_t stride = 1);
+
+/// Writes all series to a CSV: epoch, <name> train acc, <name> test acc...
+void write_series_csv(const std::string& path,
+                      const std::vector<Series>& series);
+
+}  // namespace lehdc::eval

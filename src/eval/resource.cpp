@@ -1,0 +1,39 @@
+#include "eval/resource.hpp"
+
+namespace lehdc::eval {
+
+ResourceEstimate estimate_resources(core::Strategy strategy,
+                                    const ResourceParams& params) {
+  const std::size_t words = (params.dim + 63) / 64;
+  ResourceEstimate out;
+  out.strategy = core::strategy_name(strategy);
+  out.encoder_bits = (params.features + params.levels) * params.dim;
+
+  switch (strategy) {
+    case core::Strategy::kBaseline:
+    case core::Strategy::kRetraining:
+    case core::Strategy::kEnhancedRetraining:
+    case core::Strategy::kAdaptHd:
+    case core::Strategy::kLeHdc:
+      // One binary hypervector per class: K Hamming comparisons per query.
+      out.model_bits = params.classes * params.dim;
+      out.inference_word_ops = params.classes * words;
+      break;
+    case core::Strategy::kMultiModel:
+      out.model_bits =
+          params.classes * params.models_per_class * params.dim;
+      out.inference_word_ops =
+          params.classes * params.models_per_class * words;
+      break;
+    case core::Strategy::kNonBinary:
+      out.model_bits =
+          params.classes * params.dim * params.nonbinary_bits;
+      // Integer dot products cost ~1 multiply-add per component; expressed
+      // in 64-bit word-op equivalents (64 components per word baseline).
+      out.inference_word_ops = params.classes * params.dim;
+      break;
+  }
+  return out;
+}
+
+}  // namespace lehdc::eval

@@ -1,0 +1,39 @@
+// Analytic resource model for the Sec. 5.1 discussion: LeHDC inference is
+// byte-identical to baseline/retraining binary HDC (same storage, same
+// XOR+popcount work per query), while the multi-model ensemble multiplies
+// both by its ensemble size; non-binary HDC multiplies storage by the
+// component width.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace lehdc::eval {
+
+struct ResourceEstimate {
+  std::string strategy;
+  /// Class-model storage in bits.
+  std::size_t model_bits = 0;
+  /// Item memory (encoder codebook) storage in bits — identical across
+  /// strategies because LeHDC never touches encoding.
+  std::size_t encoder_bits = 0;
+  /// 64-bit XOR+popcount word operations per query for the similarity
+  /// search stage (excludes encoding, which is also identical).
+  std::size_t inference_word_ops = 0;
+};
+
+struct ResourceParams {
+  std::size_t dim = 10000;
+  std::size_t classes = 10;
+  std::size_t features = 784;
+  std::size_t levels = 32;
+  std::size_t models_per_class = 64;  // multi-model only
+  std::size_t nonbinary_bits = 32;    // component width, non-binary only
+};
+
+[[nodiscard]] ResourceEstimate estimate_resources(core::Strategy strategy,
+                                                  const ResourceParams& params);
+
+}  // namespace lehdc::eval

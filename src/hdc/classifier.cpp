@@ -1,0 +1,160 @@
+#include "hdc/classifier.hpp"
+
+#include <atomic>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lehdc::hdc {
+
+namespace {
+
+template <typename PredictFn>
+double accuracy_over(const EncodedDataset& dataset, PredictFn&& predict) {
+  if (dataset.empty()) {
+    return 0.0;
+  }
+  std::atomic<std::size_t> correct{0};
+  util::parallel_for(0, dataset.size(), [&](std::size_t begin,
+                                            std::size_t end) {
+    std::size_t local = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (predict(dataset.hypervector(i)) == dataset.label(i)) {
+        ++local;
+      }
+    }
+    correct.fetch_add(local, std::memory_order_relaxed);
+  });
+  return static_cast<double>(correct.load()) /
+         static_cast<double>(dataset.size());
+}
+
+}  // namespace
+
+BinaryClassifier::BinaryClassifier(
+    std::vector<hv::BitVector> class_hypervectors)
+    : classes_(std::move(class_hypervectors)) {
+  util::expects(!classes_.empty(), "classifier needs at least one class");
+  for (const auto& hv : classes_) {
+    util::expects(hv.dim() == classes_.front().dim(),
+                  "class hypervectors must share one dimension");
+  }
+}
+
+const hv::BitVector& BinaryClassifier::class_hypervector(
+    std::size_t k) const {
+  util::expects(k < classes_.size(), "class index out of range");
+  return classes_[k];
+}
+
+std::vector<std::int64_t> BinaryClassifier::scores(
+    const hv::BitVector& query) const {
+  std::vector<std::int64_t> out(classes_.size());
+  for (std::size_t k = 0; k < classes_.size(); ++k) {
+    out[k] = hv::BitVector::dot(query, classes_[k]);
+  }
+  return out;
+}
+
+int BinaryClassifier::predict(const hv::BitVector& query) const {
+  util::expects(!classes_.empty(), "predict on an empty classifier");
+  int best = 0;
+  std::int64_t best_score = hv::BitVector::dot(query, classes_[0]);
+  for (std::size_t k = 1; k < classes_.size(); ++k) {
+    const std::int64_t score = hv::BitVector::dot(query, classes_[k]);
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+double BinaryClassifier::accuracy(const EncodedDataset& dataset) const {
+  return accuracy_over(dataset,
+                       [this](const hv::BitVector& q) { return predict(q); });
+}
+
+EnsembleClassifier::EnsembleClassifier(
+    std::vector<std::vector<hv::BitVector>> models)
+    : models_(std::move(models)) {
+  util::expects(!models_.empty(), "ensemble needs at least one class");
+  const std::size_t per_class = models_.front().size();
+  util::expects(per_class > 0, "ensemble needs >= 1 hypervector per class");
+  for (const auto& class_models : models_) {
+    util::expects(class_models.size() == per_class,
+                  "all classes must hold the same number of hypervectors");
+  }
+}
+
+int EnsembleClassifier::predict(const hv::BitVector& query,
+                                std::size_t* best_model) const {
+  util::expects(!models_.empty(), "predict on an empty ensemble");
+  int best_class = 0;
+  std::size_t best_index = 0;
+  std::int64_t best_score = hv::BitVector::dot(query, models_[0][0]);
+  for (std::size_t k = 0; k < models_.size(); ++k) {
+    for (std::size_t m = 0; m < models_[k].size(); ++m) {
+      if (k == 0 && m == 0) {
+        continue;
+      }
+      const std::int64_t score = hv::BitVector::dot(query, models_[k][m]);
+      if (score > best_score) {
+        best_score = score;
+        best_class = static_cast<int>(k);
+        best_index = m;
+      }
+    }
+  }
+  if (best_model != nullptr) {
+    *best_model = best_index;
+  }
+  return best_class;
+}
+
+double EnsembleClassifier::accuracy(const EncodedDataset& dataset) const {
+  return accuracy_over(dataset,
+                       [this](const hv::BitVector& q) { return predict(q); });
+}
+
+std::size_t EnsembleClassifier::storage_bits() const noexcept {
+  std::size_t bits = 0;
+  for (const auto& class_models : models_) {
+    for (const auto& model : class_models) {
+      bits += model.dim();
+    }
+  }
+  return bits;
+}
+
+NonBinaryClassifier::NonBinaryClassifier(
+    std::vector<hv::IntVector> class_vectors)
+    : classes_(std::move(class_vectors)) {
+  util::expects(!classes_.empty(), "classifier needs at least one class");
+}
+
+const hv::IntVector& NonBinaryClassifier::class_vector(std::size_t k) const {
+  util::expects(k < classes_.size(), "class index out of range");
+  return classes_[k];
+}
+
+int NonBinaryClassifier::predict(const hv::BitVector& query) const {
+  util::expects(!classes_.empty(), "predict on an empty classifier");
+  int best = 0;
+  double best_score = classes_[0].cosine(query);
+  for (std::size_t k = 1; k < classes_.size(); ++k) {
+    const double score = classes_[k].cosine(query);
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+double NonBinaryClassifier::accuracy(const EncodedDataset& dataset) const {
+  return accuracy_over(dataset,
+                       [this](const hv::BitVector& q) { return predict(q); });
+}
+
+}  // namespace lehdc::hdc

@@ -1,0 +1,109 @@
+// HDC inference (Sec. 2 "Inference" and Eq. 4/6).
+//
+// BinaryClassifier holds one class hypervector per class and predicts
+// argmin Hamming — identically argmax dot (the BNN forward pass of Fig. 4).
+// EnsembleClassifier generalizes to multiple hypervectors per class
+// (the multi-model strategy of [8]); NonBinaryClassifier keeps integer
+// class hypervectors and predicts argmax cosine (footnote 1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hdc/encoded_dataset.hpp"
+#include "hv/bitvector.hpp"
+#include "hv/intvector.hpp"
+
+namespace lehdc::hdc {
+
+class BinaryClassifier {
+ public:
+  BinaryClassifier() = default;
+
+  /// Takes ownership of one hypervector per class (index = class id).
+  explicit BinaryClassifier(std::vector<hv::BitVector> class_hypervectors);
+
+  [[nodiscard]] std::size_t class_count() const noexcept {
+    return classes_.size();
+  }
+  [[nodiscard]] std::size_t dim() const noexcept {
+    return classes_.empty() ? 0 : classes_.front().dim();
+  }
+
+  [[nodiscard]] const hv::BitVector& class_hypervector(std::size_t k) const;
+
+  /// Bipolar dot similarity to every class (the BNN output vector o).
+  [[nodiscard]] std::vector<std::int64_t> scores(
+      const hv::BitVector& query) const;
+
+  /// Predicted label: argmax dot == argmin Hamming. Ties resolve to the
+  /// lowest class id. Precondition: class_count() > 0.
+  [[nodiscard]] int predict(const hv::BitVector& query) const;
+
+  /// Fraction of correctly classified samples in [0, 1].
+  [[nodiscard]] double accuracy(const EncodedDataset& dataset) const;
+
+ private:
+  std::vector<hv::BitVector> classes_;
+};
+
+/// Multiple hypervectors per class; a query is assigned the class owning
+/// the single most similar hypervector (the multi-model rule of [8]).
+class EnsembleClassifier {
+ public:
+  EnsembleClassifier() = default;
+
+  /// models[k] holds the hypervectors of class k (all non-empty, equal dim).
+  explicit EnsembleClassifier(
+      std::vector<std::vector<hv::BitVector>> models);
+
+  [[nodiscard]] std::size_t class_count() const noexcept {
+    return models_.size();
+  }
+  [[nodiscard]] std::size_t models_per_class() const noexcept {
+    return models_.empty() ? 0 : models_.front().size();
+  }
+
+  [[nodiscard]] const std::vector<std::vector<hv::BitVector>>& models()
+      const noexcept {
+    return models_;
+  }
+
+  /// Predicted label and, via best_model, the index of the winning
+  /// hypervector inside that class.
+  [[nodiscard]] int predict(const hv::BitVector& query,
+                            std::size_t* best_model = nullptr) const;
+
+  [[nodiscard]] double accuracy(const EncodedDataset& dataset) const;
+
+  /// Total storage in bits (class_count * models_per_class * D) — the
+  /// quantity the paper's Sec. 5.1 resource discussion compares.
+  [[nodiscard]] std::size_t storage_bits() const noexcept;
+
+ private:
+  std::vector<std::vector<hv::BitVector>> models_;
+};
+
+/// Non-binary HDC (footnote 1): integer class hypervectors, cosine rule.
+class NonBinaryClassifier {
+ public:
+  NonBinaryClassifier() = default;
+
+  explicit NonBinaryClassifier(std::vector<hv::IntVector> class_vectors);
+
+  [[nodiscard]] std::size_t class_count() const noexcept {
+    return classes_.size();
+  }
+
+  [[nodiscard]] const hv::IntVector& class_vector(std::size_t k) const;
+
+  [[nodiscard]] int predict(const hv::BitVector& query) const;
+
+  [[nodiscard]] double accuracy(const EncodedDataset& dataset) const;
+
+ private:
+  std::vector<hv::IntVector> classes_;
+};
+
+}  // namespace lehdc::hdc

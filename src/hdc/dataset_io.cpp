@@ -1,0 +1,99 @@
+#include "hdc/dataset_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace lehdc::hdc {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'H', 'D', 'D'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& in, T& value, const std::string& path) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) {
+    throw std::runtime_error("truncated dataset cache: " + path);
+  }
+}
+
+}  // namespace
+
+void save_encoded_dataset(const EncodedDataset& dataset,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open dataset cache for writing: " +
+                             path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(dataset.dim()));
+  write_pod(out, static_cast<std::uint64_t>(dataset.class_count()));
+  write_pod(out, static_cast<std::uint64_t>(dataset.size()));
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    write_pod(out, static_cast<std::int32_t>(dataset.label(i)));
+  }
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto words = dataset.hypervector(i).words();
+    out.write(reinterpret_cast<const char*>(words.data()),
+              static_cast<std::streamsize>(words.size() * sizeof(words[0])));
+  }
+  if (!out) {
+    throw std::runtime_error("failed writing dataset cache: " + path);
+  }
+}
+
+EncodedDataset load_encoded_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open dataset cache: " + path);
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not a LHDD dataset cache: " + path);
+  }
+  std::uint32_t version = 0;
+  read_pod(in, version, path);
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported dataset cache version in " + path);
+  }
+  std::uint64_t dim = 0;
+  std::uint64_t class_count = 0;
+  std::uint64_t size = 0;
+  read_pod(in, dim, path);
+  read_pod(in, class_count, path);
+  read_pod(in, size, path);
+  if (dim == 0 || class_count == 0) {
+    throw std::runtime_error("degenerate dataset cache header in " + path);
+  }
+
+  std::vector<std::int32_t> labels(size);
+  for (auto& label : labels) {
+    read_pod(in, label, path);
+  }
+
+  EncodedDataset out(dim, class_count);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    hv::BitVector hv(dim);
+    const auto words = hv.words();
+    in.read(reinterpret_cast<char*>(words.data()),
+            static_cast<std::streamsize>(words.size() * sizeof(words[0])));
+    if (!in) {
+      throw std::runtime_error("truncated dataset cache payload in " + path);
+    }
+    out.add(std::move(hv), labels[i]);
+  }
+  return out;
+}
+
+}  // namespace lehdc::hdc

@@ -1,0 +1,44 @@
+#include "hdc/encoded_dataset.hpp"
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lehdc::hdc {
+
+void EncodedDataset::add(hv::BitVector hv, int label) {
+  util::expects(hv.dim() == dim_, "hypervector dimension mismatch");
+  util::expects(label >= 0 && static_cast<std::size_t>(label) < class_count_,
+                "label out of range");
+  hypervectors_.push_back(std::move(hv));
+  labels_.push_back(label);
+}
+
+const hv::BitVector& EncodedDataset::hypervector(std::size_t i) const {
+  util::expects(i < size(), "sample index out of range");
+  return hypervectors_[i];
+}
+
+int EncodedDataset::label(std::size_t i) const {
+  util::expects(i < size(), "sample index out of range");
+  return labels_[i];
+}
+
+EncodedDataset encode_dataset(const Encoder& encoder,
+                              const data::Dataset& dataset) {
+  util::expects(encoder.feature_count() == dataset.feature_count(),
+                "encoder/dataset feature width mismatch");
+  const std::size_t n = dataset.size();
+  std::vector<hv::BitVector> encoded(n);
+  util::parallel_for(0, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      encoded[i] = encoder.encode(dataset.sample(i));
+    }
+  });
+  EncodedDataset out(encoder.dim(), dataset.class_count());
+  for (std::size_t i = 0; i < n; ++i) {
+    out.add(std::move(encoded[i]), dataset.label(i));
+  }
+  return out;
+}
+
+}  // namespace lehdc::hdc

@@ -1,0 +1,98 @@
+#include "hdc/encoder.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lehdc::hdc {
+
+namespace {
+// Independent seed streams per codebook so that, e.g., changing the level
+// count does not perturb the position memory.
+constexpr std::uint64_t kPositionStream = 0x1001;
+constexpr std::uint64_t kLevelStream = 0x2002;
+constexpr std::uint64_t kTieBreakStream = 0x3003;
+
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  util::SplitMix64 mixer(seed ^ (stream * 0x9e3779b97f4a7c15ULL));
+  return mixer();
+}
+}  // namespace
+
+RecordEncoder::RecordEncoder(const RecordEncoderConfig& config)
+    : config_(config),
+      positions_(config.feature_count, config.dim,
+                 stream_seed(config.seed, kPositionStream)),
+      levels_(config.levels, config.dim, config.range_lo, config.range_hi,
+              stream_seed(config.seed, kLevelStream)),
+      tie_break_(config.dim) {
+  util::Rng rng(stream_seed(config.seed, kTieBreakStream));
+  tie_break_.randomize(rng);
+}
+
+std::size_t RecordEncoder::dim() const noexcept { return positions_.dim(); }
+
+std::size_t RecordEncoder::feature_count() const noexcept {
+  return positions_.size();
+}
+
+hv::BitVector RecordEncoder::encode(std::span<const float> features) const {
+  util::expects(features.size() == feature_count(),
+                "encode: feature width mismatch");
+  hv::BitSliceAccumulator accumulator(dim());
+  hv::BitVector bound(dim());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    // bound = 𝓕_i ∘ 𝓥_{f_i}; XOR of the packed words.
+    const auto& position = positions_.at(i);
+    const auto& level = levels_.for_value(features[i]);
+    const auto pos_words = position.words();
+    const auto lvl_words = level.words();
+    const auto out_words = bound.words();
+    for (std::size_t w = 0; w < out_words.size(); ++w) {
+      out_words[w] = pos_words[w] ^ lvl_words[w];
+    }
+    accumulator.add(bound);
+  }
+  return accumulator.majority(tie_break_);
+}
+
+NgramEncoder::NgramEncoder(const NgramEncoderConfig& config)
+    : feature_count_(config.feature_count),
+      ngram_(config.ngram),
+      levels_(config.levels, config.dim, config.range_lo, config.range_hi,
+              stream_seed(config.seed, kLevelStream)),
+      tie_break_(config.dim) {
+  util::expects(config.ngram >= 1, "n-gram length must be at least 1");
+  util::expects(config.feature_count >= config.ngram,
+                "n-gram length exceeds the feature count");
+  util::Rng rng(stream_seed(config.seed, kTieBreakStream));
+  tie_break_.randomize(rng);
+}
+
+std::size_t NgramEncoder::dim() const noexcept { return levels_.dim(); }
+
+std::size_t NgramEncoder::feature_count() const noexcept {
+  return feature_count_;
+}
+
+hv::BitVector NgramEncoder::encode(std::span<const float> features) const {
+  util::expects(features.size() == feature_count_,
+                "encode: feature width mismatch");
+  hv::BitSliceAccumulator accumulator(dim());
+  for (std::size_t start = 0; start + ngram_ <= features.size(); ++start) {
+    hv::BitVector window(dim());
+    for (std::size_t j = 0; j < ngram_; ++j) {
+      // Older positions in the window get higher rotation counts, encoding
+      // order information.
+      const std::size_t rotation = ngram_ - 1 - j;
+      hv::BitVector value = levels_.for_value(features[start + j]);
+      if (rotation > 0) {
+        value = value.rotated(rotation);
+      }
+      window.bind_inplace(value);
+    }
+    accumulator.add(window);
+  }
+  return accumulator.majority(tie_break_);
+}
+
+}  // namespace lehdc::hdc

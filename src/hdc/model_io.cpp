@@ -1,0 +1,173 @@
+#include "hdc/model_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace lehdc::hdc {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'H', 'D', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& in, T& value, const std::string& context) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) {
+    throw std::runtime_error("truncated model data: " + context);
+  }
+}
+
+}  // namespace
+
+void write_classifier(std::ostream& out, const BinaryClassifier& classifier) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(classifier.dim()));
+  write_pod(out, static_cast<std::uint64_t>(classifier.class_count()));
+  for (std::size_t k = 0; k < classifier.class_count(); ++k) {
+    const auto words = classifier.class_hypervector(k).words();
+    out.write(reinterpret_cast<const char*>(words.data()),
+              static_cast<std::streamsize>(words.size() * sizeof(words[0])));
+  }
+}
+
+BinaryClassifier read_classifier(std::istream& in,
+                                 const std::string& context) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not a LHDC model payload: " + context);
+  }
+  std::uint32_t version = 0;
+  read_pod(in, version, context);
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported model version in " + context);
+  }
+  std::uint64_t dim = 0;
+  std::uint64_t class_count = 0;
+  read_pod(in, dim, context);
+  read_pod(in, class_count, context);
+  if (dim == 0 || class_count == 0) {
+    throw std::runtime_error("degenerate model header in " + context);
+  }
+
+  std::vector<hv::BitVector> classes;
+  classes.reserve(class_count);
+  for (std::uint64_t k = 0; k < class_count; ++k) {
+    hv::BitVector hv(dim);
+    const auto words = hv.words();
+    in.read(reinterpret_cast<char*>(words.data()),
+            static_cast<std::streamsize>(words.size() * sizeof(words[0])));
+    if (!in) {
+      throw std::runtime_error("truncated model payload in " + context);
+    }
+    classes.push_back(std::move(hv));
+  }
+  return BinaryClassifier(std::move(classes));
+}
+
+void save_classifier(const BinaryClassifier& classifier,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open model file for writing: " + path);
+  }
+  write_classifier(out, classifier);
+  if (!out) {
+    throw std::runtime_error("failed writing model file: " + path);
+  }
+}
+
+BinaryClassifier load_classifier(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open model file: " + path);
+  }
+  return read_classifier(in, path);
+}
+
+namespace {
+constexpr char kEnsembleMagic[4] = {'L', 'H', 'D', 'E'};
+}  // namespace
+
+void save_ensemble(const EnsembleClassifier& classifier,
+                   const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open ensemble file for writing: " +
+                             path);
+  }
+  out.write(kEnsembleMagic, sizeof(kEnsembleMagic));
+  write_pod(out, kVersion);
+  const auto& models = classifier.models();
+  const std::uint64_t dim = models.front().front().dim();
+  write_pod(out, dim);
+  write_pod(out, static_cast<std::uint64_t>(classifier.class_count()));
+  write_pod(out, static_cast<std::uint64_t>(classifier.models_per_class()));
+  for (const auto& class_models : models) {
+    for (const auto& model : class_models) {
+      const auto words = model.words();
+      out.write(
+          reinterpret_cast<const char*>(words.data()),
+          static_cast<std::streamsize>(words.size() * sizeof(words[0])));
+    }
+  }
+  if (!out) {
+    throw std::runtime_error("failed writing ensemble file: " + path);
+  }
+}
+
+EnsembleClassifier load_ensemble(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open ensemble file: " + path);
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kEnsembleMagic, sizeof(kEnsembleMagic)) !=
+                 0) {
+    throw std::runtime_error("not a LHDE ensemble file: " + path);
+  }
+  std::uint32_t version = 0;
+  read_pod(in, version, path);
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported ensemble version in " + path);
+  }
+  std::uint64_t dim = 0;
+  std::uint64_t classes = 0;
+  std::uint64_t per_class = 0;
+  read_pod(in, dim, path);
+  read_pod(in, classes, path);
+  read_pod(in, per_class, path);
+  if (dim == 0 || classes == 0 || per_class == 0) {
+    throw std::runtime_error("degenerate ensemble header in " + path);
+  }
+
+  std::vector<std::vector<hv::BitVector>> models(classes);
+  for (auto& class_models : models) {
+    class_models.reserve(per_class);
+    for (std::uint64_t m = 0; m < per_class; ++m) {
+      hv::BitVector hv(dim);
+      const auto words = hv.words();
+      in.read(
+          reinterpret_cast<char*>(words.data()),
+          static_cast<std::streamsize>(words.size() * sizeof(words[0])));
+      if (!in) {
+        throw std::runtime_error("truncated ensemble payload in " + path);
+      }
+      class_models.push_back(std::move(hv));
+    }
+  }
+  return EnsembleClassifier(std::move(models));
+}
+
+}  // namespace lehdc::hdc

@@ -1,0 +1,42 @@
+// Binary model serialization.
+//
+// Persists a trained BinaryClassifier (and the encoder configuration needed
+// to rebuild its item memories deterministically) so a model trained by any
+// strategy — including LeHDC — can be deployed to the unchanged HDC
+// inference path on another machine.
+//
+// Format (little-endian):
+//   magic "LHDC" | u32 version | u64 dim | u64 class_count
+//   | per class: dim-bit packed payload (ceil(dim/64) u64 words)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hdc/classifier.hpp"
+
+namespace lehdc::hdc {
+
+/// Writes the classifier to `path`; throws std::runtime_error on I/O
+/// failure.
+void save_classifier(const BinaryClassifier& classifier,
+                     const std::string& path);
+
+/// Reads a classifier back; throws std::runtime_error on I/O failure or a
+/// malformed/incompatible file.
+[[nodiscard]] BinaryClassifier load_classifier(const std::string& path);
+
+/// Stream-level variants used to embed a classifier inside container
+/// formats (e.g. the pipeline bundles of core/pipeline_io.hpp). The stream
+/// forms write/read exactly the same bytes as the file forms.
+void write_classifier(std::ostream& out, const BinaryClassifier& classifier);
+[[nodiscard]] BinaryClassifier read_classifier(std::istream& in,
+                                               const std::string& context);
+
+/// Ensemble (multi-model) persistence: magic "LHDE", then K x M packed
+/// hypervectors. Same error contract as the classifier functions.
+void save_ensemble(const EnsembleClassifier& classifier,
+                   const std::string& path);
+[[nodiscard]] EnsembleClassifier load_ensemble(const std::string& path);
+
+}  // namespace lehdc::hdc

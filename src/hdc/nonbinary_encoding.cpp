@@ -1,0 +1,187 @@
+#include "hdc/nonbinary_encoding.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "hv/bitslice.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lehdc::hdc {
+
+hv::IntVector encode_record_nonbinary(const RecordEncoder& encoder,
+                                      std::span<const float> features) {
+  util::expects(features.size() == encoder.feature_count(),
+                "encode: feature width mismatch");
+  hv::BitSliceAccumulator accumulator(encoder.dim());
+  hv::BitVector bound(encoder.dim());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    const auto& position = encoder.positions().at(i);
+    const auto& level = encoder.levels().for_value(features[i]);
+    const auto pos_words = position.words();
+    const auto lvl_words = level.words();
+    const auto out_words = bound.words();
+    for (std::size_t w = 0; w < out_words.size(); ++w) {
+      out_words[w] = pos_words[w] ^ lvl_words[w];
+    }
+    accumulator.add(bound);
+  }
+  return accumulator.to_int_vector();
+}
+
+void NonBinaryEncodedDataset::add(hv::IntVector code, int label) {
+  util::expects(code.dim() == dim_, "code dimension mismatch");
+  util::expects(label >= 0 && static_cast<std::size_t>(label) < class_count_,
+                "label out of range");
+  codes_.push_back(std::move(code));
+  labels_.push_back(label);
+}
+
+const hv::IntVector& NonBinaryEncodedDataset::code(std::size_t i) const {
+  util::expects(i < size(), "sample index out of range");
+  return codes_[i];
+}
+
+int NonBinaryEncodedDataset::label(std::size_t i) const {
+  util::expects(i < size(), "sample index out of range");
+  return labels_[i];
+}
+
+NonBinaryEncodedDataset encode_dataset_nonbinary(
+    const RecordEncoder& encoder, const data::Dataset& dataset) {
+  util::expects(encoder.feature_count() == dataset.feature_count(),
+                "encoder/dataset feature width mismatch");
+  const std::size_t n = dataset.size();
+  std::vector<hv::IntVector> codes(n);
+  util::parallel_for(0, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      codes[i] = encode_record_nonbinary(encoder, dataset.sample(i));
+    }
+  });
+  NonBinaryEncodedDataset out(encoder.dim(), dataset.class_count());
+  for (std::size_t i = 0; i < n; ++i) {
+    out.add(std::move(codes[i]), dataset.label(i));
+  }
+  return out;
+}
+
+namespace {
+
+double cosine_to_centroid(const std::vector<double>& centroid,
+                          double centroid_norm, const hv::IntVector& code) {
+  double dot = 0.0;
+  double code_norm_sq = 0.0;
+  const auto values = code.values();
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    dot += centroid[j] * values[j];
+    code_norm_sq +=
+        static_cast<double>(values[j]) * static_cast<double>(values[j]);
+  }
+  const double denom = centroid_norm * std::sqrt(code_norm_sq);
+  return denom == 0.0 ? 0.0 : dot / denom;
+}
+
+}  // namespace
+
+FullNonBinaryClassifier FullNonBinaryClassifier::fit(
+    const NonBinaryEncodedDataset& train_set, std::size_t retrain_epochs,
+    double alpha, std::uint64_t seed) {
+  util::expects(!train_set.empty(), "cannot fit on an empty dataset");
+  util::expects(alpha > 0.0, "alpha must be positive");
+
+  FullNonBinaryClassifier out;
+  out.classes_.assign(train_set.class_count(),
+                      std::vector<double>(train_set.dim(), 0.0));
+
+  // Initial training: class-wise accumulation (non-binary Eq. 2).
+  for (std::size_t i = 0; i < train_set.size(); ++i) {
+    auto& centroid = out.classes_[static_cast<std::size_t>(
+        train_set.label(i))];
+    const auto values = train_set.code(i).values();
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      centroid[j] += values[j];
+    }
+  }
+
+  const auto refresh_norms = [&out] {
+    out.norms_.resize(out.classes_.size());
+    for (std::size_t k = 0; k < out.classes_.size(); ++k) {
+      double sum = 0.0;
+      for (const double v : out.classes_[k]) {
+        sum += v * v;
+      }
+      out.norms_[k] = std::sqrt(sum);
+    }
+  };
+  refresh_norms();
+
+  // Perceptron refinement (non-binary Eq. 3).
+  util::Rng rng(seed);
+  std::vector<std::size_t> order(train_set.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t epoch = 0; epoch < retrain_epochs; ++epoch) {
+    rng.shuffle(order.begin(), order.end());
+    std::size_t updates = 0;
+    for (const std::size_t i : order) {
+      const auto& code = train_set.code(i);
+      const int label = train_set.label(i);
+      const int predicted = out.predict(code);
+      if (predicted == label) {
+        continue;
+      }
+      ++updates;
+      auto& correct = out.classes_[static_cast<std::size_t>(label)];
+      auto& wrong = out.classes_[static_cast<std::size_t>(predicted)];
+      const auto values = code.values();
+      for (std::size_t j = 0; j < values.size(); ++j) {
+        correct[j] += alpha * values[j];
+        wrong[j] -= alpha * values[j];
+      }
+      // Only the two touched centroids need their norms recomputed.
+      for (const auto k : {static_cast<std::size_t>(label),
+                           static_cast<std::size_t>(predicted)}) {
+        double sum = 0.0;
+        for (const double v : out.classes_[k]) {
+          sum += v * v;
+        }
+        out.norms_[k] = std::sqrt(sum);
+      }
+    }
+    if (updates == 0) {
+      break;
+    }
+  }
+  return out;
+}
+
+int FullNonBinaryClassifier::predict(const hv::IntVector& code) const {
+  util::expects(!classes_.empty(), "predict before fit");
+  util::expects(code.dim() == dim(), "code dimension mismatch");
+  int best = 0;
+  double best_score = cosine_to_centroid(classes_[0], norms_[0], code);
+  for (std::size_t k = 1; k < classes_.size(); ++k) {
+    const double score = cosine_to_centroid(classes_[k], norms_[k], code);
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+double FullNonBinaryClassifier::accuracy(
+    const NonBinaryEncodedDataset& dataset) const {
+  if (dataset.empty()) {
+    return 0.0;
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (predict(dataset.code(i)) == dataset.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+}  // namespace lehdc::hdc

@@ -1,0 +1,89 @@
+// The complete non-binary HDC path (paper footnote 1 and the last
+// paragraph of Sec. 3.1).
+//
+// Non-binary HDC skips the sgn() of Eq. 1: the encoded sample keeps the
+// integer accumulator Σ_i 𝓕_i ∘ 𝓥_{f_i} ∈ ℤ^D, class vectors accumulate
+// those integer codes, and inference is argmax cosine. The paper notes this
+// "contains richer information expression" at higher compute/storage cost —
+// bench/ablation_encoding and the NonBinary strategy quantify that tradeoff;
+// this header supplies the integer-code substrate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "hdc/encoder.hpp"
+#include "hv/intvector.hpp"
+
+namespace lehdc::hdc {
+
+/// Encodes one sample with the record scheme but *without* binarization:
+/// the returned vector is the raw bundling accumulator of Eq. 1.
+[[nodiscard]] hv::IntVector encode_record_nonbinary(
+    const RecordEncoder& encoder, std::span<const float> features);
+
+/// Dataset of integer sample codes with labels.
+class NonBinaryEncodedDataset {
+ public:
+  NonBinaryEncodedDataset() = default;
+  NonBinaryEncodedDataset(std::size_t dim, std::size_t class_count)
+      : dim_(dim), class_count_(class_count) {}
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t class_count() const noexcept {
+    return class_count_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return labels_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return labels_.empty(); }
+
+  void add(hv::IntVector code, int label);
+
+  [[nodiscard]] const hv::IntVector& code(std::size_t i) const;
+  [[nodiscard]] int label(std::size_t i) const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::size_t class_count_ = 0;
+  std::vector<hv::IntVector> codes_;
+  std::vector<int> labels_;
+};
+
+/// Encodes every sample without binarization (parallel).
+[[nodiscard]] NonBinaryEncodedDataset encode_dataset_nonbinary(
+    const RecordEncoder& encoder, const data::Dataset& dataset);
+
+/// Full non-binary classifier: float class centroids over integer codes,
+/// cosine inference on integer queries (the "simple single-layer neural
+/// network / perceptron" view of Sec. 3.1).
+class FullNonBinaryClassifier {
+ public:
+  FullNonBinaryClassifier() = default;
+
+  /// Trains by class-wise accumulation of the integer codes, with an
+  /// optional perceptron refinement (alpha-scaled add/subtract on
+  /// misclassification, `epochs` passes).
+  [[nodiscard]] static FullNonBinaryClassifier fit(
+      const NonBinaryEncodedDataset& train_set, std::size_t retrain_epochs,
+      double alpha, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t class_count() const noexcept {
+    return classes_.size();
+  }
+  [[nodiscard]] std::size_t dim() const noexcept {
+    return classes_.empty() ? 0 : classes_.front().size();
+  }
+
+  /// argmax cosine over the float centroids. Precondition: fitted and
+  /// matching dimension.
+  [[nodiscard]] int predict(const hv::IntVector& code) const;
+
+  [[nodiscard]] double accuracy(
+      const NonBinaryEncodedDataset& dataset) const;
+
+ private:
+  std::vector<std::vector<double>> classes_;  // K x D float centroids
+  std::vector<double> norms_;                 // cached l2 norms
+};
+
+}  // namespace lehdc::hdc

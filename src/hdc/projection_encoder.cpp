@@ -1,0 +1,51 @@
+#include "hdc/projection_encoder.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lehdc::hdc {
+
+ProjectionEncoder::ProjectionEncoder(const ProjectionEncoderConfig& config)
+    : dim_(config.dim),
+      feature_count_(config.feature_count),
+      center_(config.center),
+      tie_break_(config.dim) {
+  util::expects(config.dim > 0, "projection dimension must be positive");
+  util::expects(config.feature_count > 0,
+                "projection encoder needs >= 1 feature");
+  util::Rng rng(config.seed);
+  rows_.reserve(dim_);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    rows_.push_back(hv::BitVector::random(feature_count_, rng));
+  }
+  tie_break_.randomize(rng);
+}
+
+hv::BitVector ProjectionEncoder::encode(
+    std::span<const float> features) const {
+  util::expects(features.size() == feature_count_,
+                "encode: feature width mismatch");
+  // Centered copy so the sign threshold is meaningful for [0, 1] inputs.
+  std::vector<float> centered(features.size());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    centered[i] = features[i] - center_;
+  }
+
+  hv::BitVector out(dim_);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    const auto words = rows_[d].words();
+    double sum = 0.0;
+    for (std::size_t i = 0; i < centered.size(); ++i) {
+      const bool negative = ((words[i / 64] >> (i % 64)) & 1u) != 0;
+      sum += negative ? -centered[i] : centered[i];
+    }
+    if (sum < 0.0) {
+      out.set_bit(d, true);
+    } else if (sum == 0.0) {
+      out.set_bit(d, tie_break_.get_bit(d));
+    }
+  }
+  return out;
+}
+
+}  // namespace lehdc::hdc

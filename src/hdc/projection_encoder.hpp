@@ -1,0 +1,53 @@
+// Random-projection encoder: En(x) = sgn(Φ x) with a fixed random bipolar
+// projection matrix Φ ∈ {−1,+1}^{D×N}.
+//
+// This is the "sophisticated feature extraction" family the paper points to
+// in Sec. 2 (footnote on [20]) as an alternative front end: instead of
+// quantizing each feature into a level codebook, every output component is
+// a signed random linear combination of *all* features. LeHDC is encoder
+// agnostic (Sec. 4), so this drops into the same pipeline; the ablation
+// bench compares it against the record encoder.
+//
+// Φ is never materialized as floats: row d of Φ is a packed bipolar
+// hypervector over the N features, so Φx is computed with sign-flips and
+// adds only.
+#pragma once
+
+#include <cstdint>
+
+#include "hdc/encoder.hpp"
+#include "hv/bitvector.hpp"
+
+namespace lehdc::hdc {
+
+struct ProjectionEncoderConfig {
+  std::size_t dim = 10000;        // output dimension D
+  std::size_t feature_count = 0;  // input features N (required)
+  /// Features are centered by this value before projecting (0.5 for
+  /// inputs normalized to [0, 1]) so that sgn thresholds around zero.
+  float center = 0.5f;
+  std::uint64_t seed = 1;
+};
+
+class ProjectionEncoder final : public Encoder {
+ public:
+  explicit ProjectionEncoder(const ProjectionEncoderConfig& config);
+
+  [[nodiscard]] std::size_t dim() const noexcept override { return dim_; }
+  [[nodiscard]] std::size_t feature_count() const noexcept override {
+    return feature_count_;
+  }
+  [[nodiscard]] hv::BitVector encode(
+      std::span<const float> features) const override;
+
+ private:
+  std::size_t dim_;
+  std::size_t feature_count_;
+  float center_;
+  // rows_[d] holds row d of Φ packed over the N input features; a tie-break
+  // hypervector resolves sgn(0).
+  std::vector<hv::BitVector> rows_;
+  hv::BitVector tie_break_;
+};
+
+}  // namespace lehdc::hdc

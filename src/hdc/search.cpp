@@ -1,0 +1,62 @@
+#include "hdc/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace lehdc::hdc {
+
+RankedPrediction rank_classes(const BinaryClassifier& classifier,
+                              const hv::BitVector& query) {
+  util::expects(classifier.class_count() > 0, "rank on an empty classifier");
+  util::expects(classifier.dim() == query.dim(),
+                "query dimension mismatch");
+  const auto dim = static_cast<double>(query.dim());
+
+  RankedPrediction out;
+  out.ranking.reserve(classifier.class_count());
+  for (std::size_t k = 0; k < classifier.class_count(); ++k) {
+    const std::int64_t dot =
+        hv::BitVector::dot(query, classifier.class_hypervector(k));
+    ScoredClass scored;
+    scored.label = static_cast<int>(k);
+    scored.dot = dot;
+    scored.normalized_hamming =
+        (dim - static_cast<double>(dot)) / (2.0 * dim);
+    out.ranking.push_back(scored);
+  }
+  std::stable_sort(out.ranking.begin(), out.ranking.end(),
+                   [](const ScoredClass& a, const ScoredClass& b) {
+                     return a.dot > b.dot;
+                   });
+
+  if (out.ranking.size() >= 2) {
+    out.margin = static_cast<double>(out.ranking[0].dot -
+                                     out.ranking[1].dot) /
+                 (2.0 * dim);
+  } else {
+    out.margin = 1.0;
+  }
+
+  // Softmax over cosine similarities (dot / D) — bounded inputs keep it
+  // numerically trivial.
+  double denom = 0.0;
+  const double top = static_cast<double>(out.ranking[0].dot) / dim;
+  for (const auto& scored : out.ranking) {
+    denom += std::exp(static_cast<double>(scored.dot) / dim - top);
+  }
+  out.confidence = 1.0 / denom;
+  return out;
+}
+
+std::vector<ScoredClass> top_k(const BinaryClassifier& classifier,
+                               const hv::BitVector& query, std::size_t k) {
+  RankedPrediction ranked = rank_classes(classifier, query);
+  if (k < ranked.ranking.size()) {
+    ranked.ranking.resize(k);
+  }
+  return std::move(ranked.ranking);
+}
+
+}  // namespace lehdc::hdc

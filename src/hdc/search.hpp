@@ -1,0 +1,50 @@
+// Ranked similarity search and prediction confidence.
+//
+// predict() returns only the argmax; deployed systems usually also want
+// the ranked alternatives and a confidence signal so low-margin queries can
+// be rejected or escalated (the Sec. 3.2(2) discussion — samples "very
+// close to the classification border" — is exactly the low-margin case
+// this API exposes).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hdc/classifier.hpp"
+#include "hv/bitvector.hpp"
+
+namespace lehdc::hdc {
+
+struct ScoredClass {
+  int label = 0;
+  std::int64_t dot = 0;                 // En(x)·c_k (the BNN output o_k)
+  double normalized_hamming = 0.0;      // (D − dot) / (2D)
+};
+
+struct RankedPrediction {
+  /// Classes sorted by descending similarity; front() is the prediction.
+  std::vector<ScoredClass> ranking;
+
+  /// Normalized margin in [0, 1]: (o_best − o_runner_up) / (2D). Zero means
+  /// a tie — the classification-border case.
+  double margin = 0.0;
+
+  /// Softmax of the normalized similarities of the top class — a cheap
+  /// monotone confidence proxy in (0, 1].
+  double confidence = 0.0;
+
+  [[nodiscard]] int label() const { return ranking.front().label; }
+};
+
+/// Scores the query against every class of the classifier and returns the
+/// full ranking with margin/confidence. Preconditions: non-empty
+/// classifier, matching dimension.
+[[nodiscard]] RankedPrediction rank_classes(const BinaryClassifier& classifier,
+                                            const hv::BitVector& query);
+
+/// Top-k convenience: the k most similar classes (k clamped to K).
+[[nodiscard]] std::vector<ScoredClass> top_k(
+    const BinaryClassifier& classifier, const hv::BitVector& query,
+    std::size_t k);
+
+}  // namespace lehdc::hdc

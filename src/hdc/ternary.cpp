@@ -1,0 +1,126 @@
+#include "hdc/ternary.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace lehdc::hdc {
+
+TernaryVector::TernaryVector(std::size_t dim) : sign_(dim), mask_(dim) {}
+
+TernaryVector TernaryVector::quantize(std::span<const float> values,
+                                      float threshold) {
+  util::expects(threshold >= 0.0f, "threshold must be non-negative");
+  TernaryVector out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (std::abs(values[i]) <= threshold) {
+      continue;  // dead zone → 0
+    }
+    out.mask_.set_bit(i, true);
+    if (values[i] < 0.0f) {
+      out.sign_.set_bit(i, true);
+    }
+    ++out.active_;
+  }
+  return out;
+}
+
+int TernaryVector::get(std::size_t i) const {
+  util::expects(i < dim(), "component index out of range");
+  if (!mask_.get_bit(i)) {
+    return 0;
+  }
+  return sign_.get_bit(i) ? -1 : +1;
+}
+
+std::size_t TernaryVector::active_count() const noexcept { return active_; }
+
+std::int64_t TernaryVector::dot(const hv::BitVector& query) const {
+  util::expects(query.dim() == dim(), "query dimension mismatch");
+  const auto q = query.words();
+  const auto s = sign_.words();
+  const auto m = mask_.words();
+  std::size_t mismatches = 0;
+  for (std::size_t w = 0; w < q.size(); ++w) {
+    mismatches +=
+        static_cast<std::size_t>(std::popcount((q[w] ^ s[w]) & m[w]));
+  }
+  return static_cast<std::int64_t>(active_) -
+         2 * static_cast<std::int64_t>(mismatches);
+}
+
+TernaryClassifier::TernaryClassifier(std::vector<TernaryVector> classes)
+    : classes_(std::move(classes)) {
+  util::expects(!classes_.empty(), "classifier needs at least one class");
+  for (const auto& c : classes_) {
+    util::expects(c.dim() == classes_.front().dim(),
+                  "class vectors must share one dimension");
+  }
+}
+
+TernaryClassifier TernaryClassifier::from_class_matrix(
+    const nn::Matrix& c_nb, float threshold_fraction) {
+  util::expects(c_nb.rows() > 0 && c_nb.cols() > 0,
+                "empty class matrix");
+  util::expects(threshold_fraction >= 0.0f,
+                "threshold fraction must be non-negative");
+  std::vector<TernaryVector> classes;
+  classes.reserve(c_nb.rows());
+  for (std::size_t k = 0; k < c_nb.rows(); ++k) {
+    const auto row = c_nb.row(k);
+    double mean_abs = 0.0;
+    for (const float v : row) {
+      mean_abs += std::abs(v);
+    }
+    mean_abs /= static_cast<double>(row.size());
+    classes.push_back(TernaryVector::quantize(
+        row, threshold_fraction * static_cast<float>(mean_abs)));
+  }
+  return TernaryClassifier(std::move(classes));
+}
+
+const TernaryVector& TernaryClassifier::class_vector(std::size_t k) const {
+  util::expects(k < classes_.size(), "class index out of range");
+  return classes_[k];
+}
+
+int TernaryClassifier::predict(const hv::BitVector& query) const {
+  util::expects(!classes_.empty(), "predict on an empty classifier");
+  int best = 0;
+  std::int64_t best_score = classes_[0].dot(query);
+  for (std::size_t k = 1; k < classes_.size(); ++k) {
+    const std::int64_t score = classes_[k].dot(query);
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+double TernaryClassifier::accuracy(const EncodedDataset& dataset) const {
+  if (dataset.empty()) {
+    return 0.0;
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (predict(dataset.hypervector(i)) == dataset.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+double TernaryClassifier::sparsity() const noexcept {
+  if (classes_.empty() || dim() == 0) {
+    return 0.0;
+  }
+  double zero_total = 0.0;
+  for (const auto& c : classes_) {
+    zero_total += static_cast<double>(dim() - c.active_count());
+  }
+  return zero_total / static_cast<double>(classes_.size() * dim());
+}
+
+}  // namespace lehdc::hdc

@@ -1,0 +1,89 @@
+// Ternary class models — the QuantHD [4] quantization level between binary
+// and full-precision.
+//
+// QuantHD ("A quantization framework for hyperdimensional computing", the
+// paper's retraining baseline) quantizes trained class hypervectors to
+// {−1, 0, +1}: components of the non-binary accumulator whose magnitude
+// falls below a dead-zone threshold contribute nothing to the similarity
+// score. Storage is 2 bits/component; inference stays XOR+popcount by
+// keeping two packed planes per class:
+//
+//     sign plane s  (bit = 1 ⇔ component negative)
+//     mask plane m  (bit = 1 ⇔ component non-zero)
+//
+//     dot(x, c) = Σ_{j: m_j} x_j·sign_j = popcnt(m) − 2·popcnt((x ⊕ s) & m)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hdc/encoded_dataset.hpp"
+#include "hv/bitvector.hpp"
+#include "nn/matrix.hpp"
+
+namespace lehdc::hdc {
+
+/// One ternary class hypervector as two packed planes.
+class TernaryVector {
+ public:
+  explicit TernaryVector(std::size_t dim = 0);
+
+  /// Quantizes a float vector: |v| <= threshold → 0, otherwise sgn(v).
+  static TernaryVector quantize(std::span<const float> values,
+                                float threshold);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return sign_.dim(); }
+
+  /// Component in {−1, 0, +1}. Precondition: i < dim().
+  [[nodiscard]] int get(std::size_t i) const;
+
+  /// Number of non-zero components.
+  [[nodiscard]] std::size_t active_count() const noexcept;
+
+  /// Bipolar-query dot product Σ_j x_j · c_j over non-zero components.
+  [[nodiscard]] std::int64_t dot(const hv::BitVector& query) const;
+
+  bool operator==(const TernaryVector& other) const noexcept = default;
+
+ private:
+  hv::BitVector sign_;
+  hv::BitVector mask_;
+  std::size_t active_ = 0;
+};
+
+/// Classifier over ternary class hypervectors (argmax dot).
+class TernaryClassifier {
+ public:
+  TernaryClassifier() = default;
+  explicit TernaryClassifier(std::vector<TernaryVector> classes);
+
+  /// Quantizes a trained non-binary class matrix C_nb (K x D) with a
+  /// dead zone of `threshold_fraction` times each row's mean |value|.
+  static TernaryClassifier from_class_matrix(const nn::Matrix& c_nb,
+                                             float threshold_fraction);
+
+  [[nodiscard]] std::size_t class_count() const noexcept {
+    return classes_.size();
+  }
+  [[nodiscard]] std::size_t dim() const noexcept {
+    return classes_.empty() ? 0 : classes_.front().dim();
+  }
+
+  [[nodiscard]] const TernaryVector& class_vector(std::size_t k) const;
+
+  [[nodiscard]] int predict(const hv::BitVector& query) const;
+  [[nodiscard]] double accuracy(const EncodedDataset& dataset) const;
+
+  /// Storage at 2 bits/component (the QuantHD tradeoff vs 1-bit binary).
+  [[nodiscard]] std::size_t storage_bits() const noexcept {
+    return class_count() * dim() * 2;
+  }
+
+  /// Mean fraction of zeroed components across classes.
+  [[nodiscard]] double sparsity() const noexcept;
+
+ private:
+  std::vector<TernaryVector> classes_;
+};
+
+}  // namespace lehdc::hdc

@@ -1,0 +1,90 @@
+#include "hv/bitslice.hpp"
+
+#include "util/check.hpp"
+
+namespace lehdc::hv {
+
+namespace {
+constexpr std::size_t words_for(std::size_t dim) noexcept {
+  return (dim + 63) / 64;
+}
+}  // namespace
+
+BitSliceAccumulator::BitSliceAccumulator(std::size_t dim)
+    : dim_(dim), words_(words_for(dim)) {}
+
+void BitSliceAccumulator::reset() noexcept {
+  planes_.clear();
+  added_ = 0;
+}
+
+void BitSliceAccumulator::add(const BitVector& hv) {
+  util::expects(hv.dim() == dim_, "accumulator dimension mismatch");
+  const auto input = hv.words();
+  // Ripple carry-save add: carry starts as the incoming bits and propagates
+  // up the planes; a new plane is allocated only when a carry escapes the
+  // current most significant plane.
+  std::vector<std::uint64_t> carry(input.begin(), input.end());
+  carry.resize(words_, 0);
+  for (std::size_t p = 0; p < planes_.size(); ++p) {
+    bool any_carry = false;
+    auto& plane = planes_[p];
+    for (std::size_t w = 0; w < words_; ++w) {
+      const std::uint64_t sum = plane[w] ^ carry[w];
+      const std::uint64_t out = plane[w] & carry[w];
+      plane[w] = sum;
+      carry[w] = out;
+      any_carry |= (out != 0);
+    }
+    if (!any_carry) {
+      ++added_;
+      return;
+    }
+  }
+  // A carry escaped every existing plane: the escaping carries become the
+  // new most significant plane.
+  planes_.push_back(std::move(carry));
+  ++added_;
+}
+
+std::size_t BitSliceAccumulator::count(std::size_t i) const {
+  util::expects(i < dim_, "component index out of range");
+  const std::size_t w = i / 64;
+  const std::size_t b = i % 64;
+  std::size_t value = 0;
+  for (std::size_t p = 0; p < planes_.size(); ++p) {
+    value |= static_cast<std::size_t>((planes_[p][w] >> b) & 1u) << p;
+  }
+  return value;
+}
+
+BitVector BitSliceAccumulator::majority(const BitVector& tie_break) const {
+  util::expects(added_ > 0, "majority of an empty accumulator");
+  util::expects(tie_break.dim() == dim_, "tie-break dimension mismatch");
+  BitVector out(dim_);
+  const bool can_tie = (added_ % 2 == 0);
+  const std::size_t half = added_ / 2;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const std::size_t negatives = count(i);
+    bool bit = false;
+    if (negatives * 2 > added_) {
+      bit = true;
+    } else if (can_tie && negatives == half) {
+      bit = tie_break.get_bit(i);
+    }
+    out.set_bit(i, bit);
+  }
+  return out;
+}
+
+IntVector BitSliceAccumulator::to_int_vector() const {
+  IntVector out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const auto negatives = static_cast<std::int64_t>(count(i));
+    out.set(i, static_cast<std::int32_t>(static_cast<std::int64_t>(added_) -
+                                         2 * negatives));
+  }
+  return out;
+}
+
+}  // namespace lehdc::hv

@@ -1,0 +1,164 @@
+#include "hv/bitvector.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace lehdc::hv {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+constexpr std::size_t words_for(std::size_t dim) noexcept {
+  return (dim + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+BitVector::BitVector(std::size_t dim) : dim_(dim), words_(words_for(dim), 0) {}
+
+void BitVector::clear_tail() noexcept {
+  const std::size_t tail = dim_ % kWordBits;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+}
+
+int BitVector::get(std::size_t i) const { return get_bit(i) ? -1 : +1; }
+
+void BitVector::set(std::size_t i, int bipolar_value) {
+  util::expects(bipolar_value == 1 || bipolar_value == -1,
+                "bipolar components must be +1 or -1");
+  set_bit(i, bipolar_value == -1);
+}
+
+bool BitVector::get_bit(std::size_t i) const {
+  util::expects(i < dim_, "component index out of range");
+  return ((words_[i / kWordBits] >> (i % kWordBits)) & 1u) != 0;
+}
+
+void BitVector::set_bit(std::size_t i, bool bit) {
+  util::expects(i < dim_, "component index out of range");
+  const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+  if (bit) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+void BitVector::randomize(util::Rng& rng) {
+  for (auto& word : words_) {
+    word = rng.next();
+  }
+  clear_tail();
+}
+
+void BitVector::flip(std::size_t i) {
+  util::expects(i < dim_, "component index out of range");
+  words_[i / kWordBits] ^= std::uint64_t{1} << (i % kWordBits);
+}
+
+void BitVector::flip_random(std::size_t count, util::Rng& rng) {
+  util::expects(count <= dim_, "cannot flip more components than D");
+  // Floyd's algorithm for sampling `count` distinct indices without
+  // materializing a full permutation.
+  std::vector<std::size_t> chosen;
+  chosen.reserve(count);
+  for (std::size_t j = dim_ - count; j < dim_; ++j) {
+    const std::size_t t = rng.next_below(j + 1);
+    bool duplicate = false;
+    for (const std::size_t c : chosen) {
+      if (c == t) {
+        duplicate = true;
+        break;
+      }
+    }
+    chosen.push_back(duplicate ? j : t);
+  }
+  for (const std::size_t i : chosen) {
+    flip(i);
+  }
+}
+
+void BitVector::bind_inplace(const BitVector& other) {
+  util::expects(dim_ == other.dim_, "binding requires equal dimensions");
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] ^= other.words_[w];
+  }
+}
+
+BitVector BitVector::rotated(std::size_t k) const {
+  BitVector out(dim_);
+  if (dim_ == 0) {
+    return out;
+  }
+  k %= dim_;
+  if (k == 0) {
+    return *this;
+  }
+  // Logical (component-level) rotation. Word-level shifting would be faster
+  // but D is rarely a multiple of 64 in sweeps; correctness first, and the
+  // N-gram encoder only rotates by small constants once per level.
+  for (std::size_t i = 0; i < dim_; ++i) {
+    out.set_bit((i + k) % dim_, get_bit(i));
+  }
+  return out;
+}
+
+std::size_t BitVector::count_negatives() const noexcept {
+  std::size_t total = 0;
+  for (const auto word : words_) {
+    total += static_cast<std::size_t>(std::popcount(word));
+  }
+  return total;
+}
+
+std::size_t BitVector::hamming(const BitVector& a, const BitVector& b) {
+  util::expects(a.dim_ == b.dim_, "hamming requires equal dimensions");
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < a.words_.size(); ++w) {
+    total += static_cast<std::size_t>(std::popcount(a.words_[w] ^ b.words_[w]));
+  }
+  return total;
+}
+
+std::int64_t BitVector::dot(const BitVector& a, const BitVector& b) {
+  const auto distance = static_cast<std::int64_t>(hamming(a, b));
+  return static_cast<std::int64_t>(a.dim_) - 2 * distance;
+}
+
+std::int64_t BitVector::masked_dot(const BitVector& a, const BitVector& b,
+                                   std::span<const std::uint64_t> mask,
+                                   std::size_t kept) {
+  util::expects(a.dim_ == b.dim_, "masked_dot requires equal dimensions");
+  util::expects(mask.size() >= a.words_.size(),
+                "mask must cover every storage word");
+  std::size_t mismatches = 0;
+  for (std::size_t w = 0; w < a.words_.size(); ++w) {
+    mismatches += static_cast<std::size_t>(
+        std::popcount((a.words_[w] ^ b.words_[w]) & mask[w]));
+  }
+  return static_cast<std::int64_t>(kept) -
+         2 * static_cast<std::int64_t>(mismatches);
+}
+
+std::string BitVector::to_string(std::size_t limit) const {
+  const std::size_t n = std::min(limit, dim_);
+  std::string out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(get_bit(i) ? '-' : '+');
+  }
+  if (n < dim_) {
+    out += "...";
+  }
+  return out;
+}
+
+BitVector BitVector::random(std::size_t dim, util::Rng& rng) {
+  BitVector hv(dim);
+  hv.randomize(rng);
+  return hv;
+}
+
+}  // namespace lehdc::hv

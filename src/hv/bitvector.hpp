@@ -1,0 +1,102 @@
+// Packed bipolar hypervectors.
+//
+// A binary HDC hypervector lives in {+1, −1}^D (Sec. 2 of the paper). We
+// store it as D bits packed into 64-bit words with the convention
+//
+//     bit = 1  <=>  component = −1,     bit = 0  <=>  component = +1,
+//
+// so that the Hadamard product ("binding", Eq. 1) is a word-wise XOR and the
+// normalized Hamming distance of Eq. 4 is a popcount. The dot product used by
+// the equivalent BNN (Eq. 6) follows from  H1·H2 = D − 2·|H1 ≠ H2|.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lehdc::hv {
+
+class BitVector {
+ public:
+  /// Creates an all-(+1) hypervector of the given dimension (may be 0).
+  explicit BitVector(std::size_t dim = 0);
+
+  /// Number of bipolar components D.
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+
+  /// Number of 64-bit storage words (ceil(D / 64)).
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return words_.size();
+  }
+
+  /// Raw packed words; bits at positions >= D are guaranteed zero.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+  [[nodiscard]] std::span<std::uint64_t> words() noexcept { return words_; }
+
+  /// Component access as a bipolar value (+1 or −1). Precondition: i < D.
+  [[nodiscard]] int get(std::size_t i) const;
+  void set(std::size_t i, int bipolar_value);
+
+  /// Component access as a raw bit (true = −1). Precondition: i < D.
+  [[nodiscard]] bool get_bit(std::size_t i) const;
+  void set_bit(std::size_t i, bool bit);
+
+  /// Fills with independent fair coin flips.
+  void randomize(util::Rng& rng);
+
+  /// Flips `count` distinct randomly chosen components (used to build
+  /// correlated level hypervectors). Precondition: count <= D.
+  void flip_random(std::size_t count, util::Rng& rng);
+
+  /// Flips component i. Precondition: i < D.
+  void flip(std::size_t i);
+
+  /// In-place binding (element-wise Hadamard product): *this ∘ other.
+  /// Precondition: matching dimensions.
+  void bind_inplace(const BitVector& other);
+
+  /// Cyclic rotation by k positions (the HDC permutation operator used by
+  /// N-gram encoding). Rotation is over the D logical components.
+  [[nodiscard]] BitVector rotated(std::size_t k) const;
+
+  /// Number of −1 components.
+  [[nodiscard]] std::size_t count_negatives() const noexcept;
+
+  /// Unnormalized Hamming distance |a ≠ b|. Precondition: same dimension.
+  [[nodiscard]] static std::size_t hamming(const BitVector& a,
+                                           const BitVector& b);
+
+  /// Bipolar dot product a·b = D − 2·hamming(a, b).
+  [[nodiscard]] static std::int64_t dot(const BitVector& a,
+                                        const BitVector& b);
+
+  /// Bipolar dot product restricted to the components whose mask word bit is
+  /// 1; `kept` must be the popcount of the mask. Used by dropout-aware
+  /// binary forward passes. Preconditions: matching dimensions.
+  [[nodiscard]] static std::int64_t masked_dot(const BitVector& a,
+                                               const BitVector& b,
+                                               std::span<const std::uint64_t> mask,
+                                               std::size_t kept);
+
+  bool operator==(const BitVector& other) const noexcept = default;
+
+  /// "+-+-..." rendering of the first limit components (debugging aid).
+  [[nodiscard]] std::string to_string(std::size_t limit = 64) const;
+
+  /// Convenience factory: random hypervector of dimension D.
+  [[nodiscard]] static BitVector random(std::size_t dim, util::Rng& rng);
+
+ private:
+  void clear_tail() noexcept;
+
+  std::size_t dim_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace lehdc::hv

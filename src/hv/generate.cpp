@@ -1,0 +1,53 @@
+#include "hv/generate.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lehdc::hv {
+
+std::vector<BitVector> random_set(std::size_t count, std::size_t dim,
+                                  util::Rng& rng) {
+  std::vector<BitVector> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(BitVector::random(dim, rng));
+  }
+  return out;
+}
+
+std::vector<BitVector> level_set(std::size_t levels, std::size_t dim,
+                                 util::Rng& rng) {
+  util::expects(levels >= 2, "a level set needs at least two levels");
+  util::expects(dim >= levels, "dimension must be at least the level count");
+
+  // To make Hamm(V_i, V_j) exactly proportional to |i − j|, flip a disjoint
+  // slice of a random permutation of D/2 positions at each step; flipping
+  // disjoint position sets guarantees distances add up along the chain.
+  std::vector<std::size_t> positions(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    positions[i] = i;
+  }
+  rng.shuffle(positions.begin(), positions.end());
+
+  const std::size_t total_flips = dim / 2;
+  const std::size_t steps = levels - 1;
+
+  std::vector<BitVector> out;
+  out.reserve(levels);
+  out.push_back(BitVector::random(dim, rng));
+  std::size_t consumed = 0;
+  for (std::size_t step = 1; step <= steps; ++step) {
+    // Distribute total_flips as evenly as possible over the steps.
+    const std::size_t target = (total_flips * step) / steps;
+    BitVector next = out.back();
+    while (consumed < target) {
+      next.flip(positions[consumed]);
+      ++consumed;
+    }
+    out.push_back(std::move(next));
+  }
+  return out;
+}
+
+}  // namespace lehdc::hv

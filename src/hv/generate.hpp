@@ -1,0 +1,33 @@
+// Hypervector set generation (Sec. 2 of the paper).
+//
+//  * Orthogonal sets: i.i.d. random hypervectors are quasi-orthogonal in
+//    high dimension (normalized Hamming ≈ 0.5) — used for feature position
+//    hypervectors 𝓕.
+//  * Level (correlated) sets: consecutive levels differ by a fixed number of
+//    flipped components so that Hamm(V_a, V_b) ∝ |a − b| — used for feature
+//    value hypervectors 𝓥.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hv/bitvector.hpp"
+#include "util/rng.hpp"
+
+namespace lehdc::hv {
+
+/// `count` independent random hypervectors of dimension `dim`.
+[[nodiscard]] std::vector<BitVector> random_set(std::size_t count,
+                                                std::size_t dim,
+                                                util::Rng& rng);
+
+/// `levels` hypervectors where level 0 is random and each subsequent level
+/// flips ~D/(2·(levels−1)) fresh components of its predecessor, giving
+/// Hamm(V_0, V_{levels−1}) ≈ 0.5 and Hamm(V_i, V_j) approximately
+/// proportional to |i − j| (the correlation property of Sec. 2).
+/// Preconditions: levels >= 2, dim >= levels.
+[[nodiscard]] std::vector<BitVector> level_set(std::size_t levels,
+                                               std::size_t dim,
+                                               util::Rng& rng);
+
+}  // namespace lehdc::hv

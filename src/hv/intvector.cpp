@@ -1,0 +1,107 @@
+#include "hv/intvector.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace lehdc::hv {
+
+IntVector::IntVector(std::size_t dim) : values_(dim, 0) {}
+
+IntVector::IntVector(const BitVector& bits) : values_(bits.dim(), 0) {
+  for (std::size_t i = 0; i < bits.dim(); ++i) {
+    values_[i] = bits.get_bit(i) ? -1 : +1;
+  }
+}
+
+std::int32_t IntVector::get(std::size_t i) const {
+  util::expects(i < values_.size(), "component index out of range");
+  return values_[i];
+}
+
+void IntVector::set(std::size_t i, std::int32_t value) {
+  util::expects(i < values_.size(), "component index out of range");
+  values_[i] = value;
+}
+
+void IntVector::add(const BitVector& bits) { add_scaled(bits, 1); }
+
+void IntVector::subtract(const BitVector& bits) { add_scaled(bits, -1); }
+
+void IntVector::add_scaled(const BitVector& bits, std::int32_t scale) {
+  util::expects(bits.dim() == values_.size(),
+                "dimension mismatch in accumulate");
+  const auto words = bits.words();
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const bool negative = ((words[i / 64] >> (i % 64)) & 1u) != 0;
+    values_[i] += negative ? -scale : scale;
+  }
+}
+
+void IntVector::add(const IntVector& other) {
+  util::expects(other.dim() == dim(), "dimension mismatch in accumulate");
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] += other.values_[i];
+  }
+}
+
+BitVector IntVector::sign(const BitVector& tie_break) const {
+  util::expects(tie_break.dim() == dim(),
+                "tie-break hypervector dimension mismatch");
+  BitVector out(dim());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] < 0) {
+      out.set_bit(i, true);
+    } else if (values_[i] == 0) {
+      out.set_bit(i, tie_break.get_bit(i));
+    }
+  }
+  return out;
+}
+
+BitVector IntVector::sign() const {
+  BitVector out(dim());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    out.set_bit(i, values_[i] < 0);
+  }
+  return out;
+}
+
+std::int64_t IntVector::dot(const BitVector& bits) const {
+  util::expects(bits.dim() == dim(), "dimension mismatch in dot");
+  std::int64_t total = 0;
+  const auto words = bits.words();
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const bool negative = ((words[i / 64] >> (i % 64)) & 1u) != 0;
+    total += negative ? -values_[i] : values_[i];
+  }
+  return total;
+}
+
+double IntVector::cosine(const BitVector& bits) const {
+  const double denom = norm() * std::sqrt(static_cast<double>(bits.dim()));
+  if (denom == 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(dot(bits)) / denom;
+}
+
+double IntVector::norm() const noexcept {
+  double sum = 0.0;
+  for (const auto v : values_) {
+    sum += static_cast<double>(v) * static_cast<double>(v);
+  }
+  return std::sqrt(sum);
+}
+
+double cosine(const IntVector& a, const IntVector& b) {
+  util::expects(a.dim() == b.dim(), "dimension mismatch in cosine");
+  double dot = 0.0;
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    dot += static_cast<double>(a.get(i)) * static_cast<double>(b.get(i));
+  }
+  const double denom = a.norm() * b.norm();
+  return denom == 0.0 ? 0.0 : dot / denom;
+}
+
+}  // namespace lehdc::hv

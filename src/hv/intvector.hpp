@@ -1,0 +1,76 @@
+// Non-binary (integer) hypervectors.
+//
+// These serve two roles from the paper:
+//   * the accumulator used by basic training (Eq. 2) before the sgn()
+//     binarization, and
+//   * the non-binary class hypervectors C_nb kept alongside binary ones by
+//     the retraining strategy (Eq. 3 / Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hv/bitvector.hpp"
+#include "util/rng.hpp"
+
+namespace lehdc::hv {
+
+class IntVector {
+ public:
+  explicit IntVector(std::size_t dim = 0);
+
+  /// Builds from a bipolar hypervector (each component becomes ±1).
+  explicit IntVector(const BitVector& bits);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return values_.size(); }
+
+  [[nodiscard]] std::int32_t get(std::size_t i) const;
+  void set(std::size_t i, std::int32_t value);
+
+  [[nodiscard]] std::span<const std::int32_t> values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] std::span<std::int32_t> values() noexcept { return values_; }
+
+  /// *this += bits (component-wise ±1). Precondition: equal dimensions.
+  void add(const BitVector& bits);
+
+  /// *this -= bits. Precondition: equal dimensions.
+  void subtract(const BitVector& bits);
+
+  /// *this += scale * bits — the retraining update of Eq. 3 with learning
+  /// rate folded into `scale`. Precondition: equal dimensions.
+  void add_scaled(const BitVector& bits, std::int32_t scale);
+
+  /// *this += other (integer vector addition). Precondition: equal dims.
+  void add(const IntVector& other);
+
+  /// Binarization sgn(·) of Eq. 2 / Eq. 8. Zero components are tie-broken
+  /// by the corresponding component of `tie_break` (the paper assigns
+  /// sgn(0) randomly; a fixed random hypervector keeps it reproducible).
+  [[nodiscard]] BitVector sign(const BitVector& tie_break) const;
+
+  /// Binarization with deterministic +1 tie-break.
+  [[nodiscard]] BitVector sign() const;
+
+  /// Integer dot product with a bipolar hypervector.
+  [[nodiscard]] std::int64_t dot(const BitVector& bits) const;
+
+  /// Cosine similarity with a bipolar hypervector; 0 if either is zero.
+  [[nodiscard]] double cosine(const BitVector& bits) const;
+
+  /// l2 norm.
+  [[nodiscard]] double norm() const noexcept;
+
+  bool operator==(const IntVector& other) const noexcept = default;
+
+ private:
+  std::vector<std::int32_t> values_;
+};
+
+/// Cosine similarity between two integer hypervectors; 0 if either is zero.
+[[nodiscard]] double cosine(const IntVector& a, const IntVector& b);
+
+}  // namespace lehdc::hv

@@ -1,0 +1,17 @@
+#include "hv/similarity.hpp"
+
+#include "util/check.hpp"
+
+namespace lehdc::hv {
+
+double normalized_hamming(const BitVector& a, const BitVector& b) {
+  util::expects(a.dim() > 0, "similarity of zero-dimensional hypervectors");
+  return static_cast<double>(BitVector::hamming(a, b)) /
+         static_cast<double>(a.dim());
+}
+
+double cosine(const BitVector& a, const BitVector& b) {
+  return 1.0 - 2.0 * normalized_hamming(a, b);
+}
+
+}  // namespace lehdc::hv

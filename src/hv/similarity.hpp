@@ -1,0 +1,21 @@
+// Similarity measures between hypervectors (Sec. 3.1 of the paper).
+//
+// The paper's central identity — cosine(H1, H2) = 1 − 2·Hamm(H1, H2) for
+// bipolar hypervectors — is implemented and unit-tested here; the inference
+// rule of Eq. 4/6 (argmin Hamming ≡ argmax dot) follows from it.
+#pragma once
+
+#include "hv/bitvector.hpp"
+#include "hv/intvector.hpp"
+
+namespace lehdc::hv {
+
+/// Normalized Hamming distance |a ≠ b| / D in [0, 1].
+[[nodiscard]] double normalized_hamming(const BitVector& a,
+                                        const BitVector& b);
+
+/// Cosine similarity of two bipolar hypervectors, computed through the
+/// Hamming identity (exact for bipolar inputs).
+[[nodiscard]] double cosine(const BitVector& a, const BitVector& b);
+
+}  // namespace lehdc::hv

@@ -1,0 +1,47 @@
+#include "nn/binarize.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lehdc::nn {
+
+void binarize_to_float(const Matrix& latent, Matrix& out) {
+  util::expects(out.rows() == latent.rows() && out.cols() == latent.cols(),
+                "shape mismatch in binarize_to_float");
+  const auto in = latent.data();
+  const auto dst = out.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    dst[i] = in[i] < 0.0f ? -1.0f : 1.0f;
+  }
+}
+
+hv::BitVector binarize_row(const Matrix& latent, std::size_t k) {
+  util::expects(k < latent.rows(), "row index out of range");
+  hv::BitVector out(latent.cols());
+  const auto row = latent.row(k);
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    if (row[j] < 0.0f) {
+      out.set_bit(j, true);
+    }
+  }
+  return out;
+}
+
+std::vector<hv::BitVector> binarize_rows(const Matrix& latent) {
+  std::vector<hv::BitVector> out;
+  out.reserve(latent.rows());
+  for (std::size_t k = 0; k < latent.rows(); ++k) {
+    out.push_back(binarize_row(latent, k));
+  }
+  return out;
+}
+
+void clip_latent(Matrix& latent, float clip) {
+  util::expects(clip > 0.0f, "clip bound must be positive");
+  for (auto& v : latent.data()) {
+    v = std::clamp(v, -clip, clip);
+  }
+}
+
+}  // namespace lehdc::nn

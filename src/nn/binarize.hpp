@@ -1,0 +1,30 @@
+// Straight-through-estimator binarization (Eq. 8 and the two-copy scheme of
+// Sec. 4).
+//
+// Training keeps the latent non-binary weights C_nb; the forward pass uses
+// C = sgn(C_nb). Gradients flow to C_nb unchanged (the straight-through
+// estimator); optionally C_nb is clipped to [−clip, clip] after each update,
+// the standard BNN trick that keeps latent weights responsive to gradient
+// sign changes.
+#pragma once
+
+#include "hv/bitvector.hpp"
+#include "nn/matrix.hpp"
+
+namespace lehdc::nn {
+
+/// out[i][j] = sgn(latent[i][j]) as float ±1 (sgn(0) = +1, matching
+/// IntVector::sign()'s deterministic variant). Same shape required.
+void binarize_to_float(const Matrix& latent, Matrix& out);
+
+/// Packs row k of the binarized latent matrix into a bipolar hypervector
+/// (component j is −1 iff latent[k][j] < 0). Precondition: k < rows.
+[[nodiscard]] hv::BitVector binarize_row(const Matrix& latent, std::size_t k);
+
+/// Packs every row: the exported class hypervector set C = sgn(C_nb).
+[[nodiscard]] std::vector<hv::BitVector> binarize_rows(const Matrix& latent);
+
+/// Clamps every latent weight into [−clip, clip]. Precondition: clip > 0.
+void clip_latent(Matrix& latent, float clip);
+
+}  // namespace lehdc::nn

@@ -1,0 +1,51 @@
+#include "nn/dropout.hpp"
+
+#include "util/check.hpp"
+
+namespace lehdc::nn {
+
+Dropout::Dropout(float rate) : rate_(rate) {
+  util::expects(rate >= 0.0f && rate < 1.0f, "dropout rate must be in [0, 1)");
+}
+
+void Dropout::apply(Matrix& activations, util::Rng& rng) {
+  apply(activations.data(), rng);
+}
+
+void Dropout::apply(std::span<float> activations, util::Rng& rng) {
+  if (rate_ == 0.0f) {
+    return;
+  }
+  const float scale = 1.0f / (1.0f - rate_);
+  const auto threshold = static_cast<float>(rate_);
+  for (auto& v : activations) {
+    if (rng.next_float() < threshold) {
+      v = 0.0f;
+    } else {
+      v *= scale;
+    }
+  }
+}
+
+void Dropout::backward(std::span<float> grad,
+                       std::span<const std::uint8_t> mask, float rate) {
+  util::expects(grad.size() == mask.size(), "mask/gradient size mismatch");
+  const float scale = 1.0f / (1.0f - rate);
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    grad[i] = mask[i] != 0 ? grad[i] * scale : 0.0f;
+  }
+}
+
+std::vector<std::uint8_t> Dropout::make_mask(std::size_t count,
+                                             util::Rng& rng) const {
+  std::vector<std::uint8_t> mask(count, 1);
+  if (rate_ == 0.0f) {
+    return mask;
+  }
+  for (auto& bit : mask) {
+    bit = rng.next_float() < rate_ ? 0 : 1;
+  }
+  return mask;
+}
+
+}  // namespace lehdc::nn

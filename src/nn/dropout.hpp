@@ -1,0 +1,48 @@
+// Inverted dropout (Sec. 4: "the dropout strategy also plays an
+// indispensable role in the equivalent single-layer BNN training").
+//
+// Applied to the input hypervector En(x): each component is dropped with
+// probability `rate` and survivors are scaled by 1/(1−rate), so inference
+// needs no rescaling — matching the paper's zero-inference-overhead claim.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace lehdc::nn {
+
+class Dropout {
+ public:
+  /// rate in [0, 1): the probability of dropping each activation.
+  explicit Dropout(float rate);
+
+  [[nodiscard]] float rate() const noexcept { return rate_; }
+
+  /// Applies a fresh mask to every element of `activations` in place.
+  void apply(Matrix& activations, util::Rng& rng);
+
+  /// Applies a fresh mask to one row/vector in place.
+  void apply(std::span<float> activations, util::Rng& rng);
+
+  /// Propagates gradients through the most basic use here — dropout of the
+  /// *input* layer needs no backward pass (inputs carry no gradient), but
+  /// the mask-backward is provided for completeness and testing: zeroes
+  /// gradient entries whose activation was dropped, scaling the rest.
+  /// `mask` must come from make_mask on the same shape.
+  static void backward(std::span<float> grad,
+                       std::span<const std::uint8_t> mask, float rate);
+
+  /// Materializes a mask (1 = keep) without applying it.
+  [[nodiscard]] std::vector<std::uint8_t> make_mask(std::size_t count,
+                                                    util::Rng& rng) const;
+
+ private:
+  float rate_;
+};
+
+}  // namespace lehdc::nn

@@ -1,0 +1,30 @@
+#include "nn/gradcheck.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace lehdc::nn {
+
+double max_gradient_error(Matrix& params, const Matrix& analytic_grad,
+                          const std::function<double()>& loss, float epsilon) {
+  util::expects(params.rows() == analytic_grad.rows() &&
+                    params.cols() == analytic_grad.cols(),
+                "gradient shape mismatch");
+  double worst = 0.0;
+  const auto p = params.data();
+  const auto g = analytic_grad.data();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const float original = p[i];
+    p[i] = original + epsilon;
+    const double up = loss();
+    p[i] = original - epsilon;
+    const double down = loss();
+    p[i] = original;
+    const double numeric = (up - down) / (2.0 * static_cast<double>(epsilon));
+    worst = std::max(worst, std::abs(numeric - static_cast<double>(g[i])));
+  }
+  return worst;
+}
+
+}  // namespace lehdc::nn

@@ -1,0 +1,20 @@
+// Finite-difference gradient checking (test support).
+//
+// Verifies analytic gradients of the loss pipeline against central
+// differences — the standard way to certify a hand-written backward pass.
+#pragma once
+
+#include <functional>
+
+#include "nn/matrix.hpp"
+
+namespace lehdc::nn {
+
+/// Evaluates `loss` at perturbations of every entry of `params` and returns
+/// the maximum absolute difference between the central-difference estimate
+/// and `analytic_grad`. `loss` must be a pure function of params.
+[[nodiscard]] double max_gradient_error(
+    Matrix& params, const Matrix& analytic_grad,
+    const std::function<double()>& loss, float epsilon = 1e-3f);
+
+}  // namespace lehdc::nn

@@ -1,0 +1,80 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace lehdc::nn {
+
+namespace {
+
+/// Row-wise stable softmax into `out`; returns log(sum exp(shifted)) + max,
+/// i.e. the log-partition needed for the loss.
+double softmax_row(std::span<const float> logits, std::span<float> out) {
+  float max_logit = logits[0];
+  for (const float v : logits) {
+    max_logit = std::max(max_logit, v);
+  }
+  double sum = 0.0;
+  for (std::size_t k = 0; k < logits.size(); ++k) {
+    const double e = std::exp(static_cast<double>(logits[k] - max_logit));
+    out[k] = static_cast<float>(e);
+    sum += e;
+  }
+  const auto inv = static_cast<float>(1.0 / sum);
+  for (auto& v : out) {
+    v *= inv;
+  }
+  return std::log(sum) + static_cast<double>(max_logit);
+}
+
+}  // namespace
+
+void softmax_rows(Matrix& logits) {
+  util::expects(logits.cols() > 0, "softmax over empty rows");
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const auto row = logits.row(r);
+    softmax_row(row, row);
+  }
+}
+
+double cross_entropy(const Matrix& logits, std::span<const int> labels) {
+  util::expects(labels.size() == logits.rows(),
+                "label count does not match the batch size");
+  util::expects(logits.cols() > 0, "cross entropy over empty rows");
+  double total = 0.0;
+  std::vector<float> probs(logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const int y = labels[r];
+    util::expects(y >= 0 && static_cast<std::size_t>(y) < logits.cols(),
+                  "label out of range");
+    const double log_z = softmax_row(logits.row(r), probs);
+    total += log_z - static_cast<double>(logits.at(r, static_cast<std::size_t>(y)));
+  }
+  return total / static_cast<double>(logits.rows());
+}
+
+double softmax_xent_backward(const Matrix& logits, std::span<const int> labels,
+                             Matrix& grad) {
+  util::expects(labels.size() == logits.rows(),
+                "label count does not match the batch size");
+  util::expects(grad.rows() == logits.rows() && grad.cols() == logits.cols(),
+                "gradient shape mismatch");
+  const auto batch = static_cast<double>(logits.rows());
+  double total = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const int y = labels[r];
+    util::expects(y >= 0 && static_cast<std::size_t>(y) < logits.cols(),
+                  "label out of range");
+    const auto grad_row = grad.row(r);
+    const double log_z = softmax_row(logits.row(r), grad_row);
+    total += log_z - static_cast<double>(logits.at(r, static_cast<std::size_t>(y)));
+    for (auto& g : grad_row) {
+      g /= static_cast<float>(batch);
+    }
+    grad_row[static_cast<std::size_t>(y)] -= 1.0f / static_cast<float>(batch);
+  }
+  return total / batch;
+}
+
+}  // namespace lehdc::nn

@@ -1,0 +1,29 @@
+// Softmax + cross-entropy (Eq. 9) with the fused analytic gradient.
+//
+// For logits o and one-hot target y, L = −log softmax(o)_y and
+// ∂L/∂o = softmax(o) − y; the fused form avoids materializing the softmax
+// twice and is the standard numerically-stable max-shifted implementation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "nn/matrix.hpp"
+
+namespace lehdc::nn {
+
+/// In-place row-wise softmax. Each row must be non-empty.
+void softmax_rows(Matrix& logits);
+
+/// Mean cross-entropy over a batch of logits (NOT yet softmaxed) against
+/// integer labels. Preconditions: labels.size() == logits.rows(), every
+/// label in [0, logits.cols()).
+[[nodiscard]] double cross_entropy(const Matrix& logits,
+                                   std::span<const int> labels);
+
+/// Computes grad = (softmax(logits) − onehot(labels)) / batch and returns
+/// the mean cross-entropy in one pass. grad must have the logits' shape.
+double softmax_xent_backward(const Matrix& logits, std::span<const int> labels,
+                             Matrix& grad);
+
+}  // namespace lehdc::nn

@@ -1,0 +1,131 @@
+#include "nn/matrix.hpp"
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lehdc::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+float& Matrix::at(std::size_t r, std::size_t c) {
+  util::expects(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+float Matrix::at(std::size_t r, std::size_t c) const {
+  util::expects(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+std::span<float> Matrix::row(std::size_t r) {
+  util::expects(r < rows_, "matrix row out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const float> Matrix::row(std::size_t r) const {
+  util::expects(r < rows_, "matrix row out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+void Matrix::fill(float value) noexcept {
+  for (auto& v : data_) {
+    v = value;
+  }
+}
+
+void Matrix::fill_gaussian(util::Rng& rng, float stddev) {
+  for (auto& v : data_) {
+    v = static_cast<float>(rng.next_gaussian()) * stddev;
+  }
+}
+
+void Matrix::fill_uniform(util::Rng& rng, float lo, float hi) {
+  for (auto& v : data_) {
+    v = lo + (hi - lo) * rng.next_float();
+  }
+}
+
+void Matrix::add_scaled(const Matrix& other, float scale) {
+  util::expects(rows_ == other.rows_ && cols_ == other.cols_,
+                "shape mismatch in add_scaled");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+double Matrix::squared_norm() const noexcept {
+  double total = 0.0;
+  for (const float v : data_) {
+    total += static_cast<double>(v) * static_cast<double>(v);
+  }
+  return total;
+}
+
+void matmul_abt(const Matrix& a, const Matrix& bT, Matrix& out) {
+  util::expects(a.cols() == bT.cols(), "inner dimension mismatch");
+  util::expects(out.rows() == a.rows() && out.cols() == bT.rows(),
+                "output shape mismatch");
+  const std::size_t d = a.cols();
+  util::parallel_for(0, a.rows(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t b = begin; b < end; ++b) {
+      const auto a_row = a.row(b);
+      const auto out_row = out.row(b);
+      for (std::size_t k = 0; k < bT.rows(); ++k) {
+        const auto b_row = bT.row(k);
+        float sum = 0.0f;
+        for (std::size_t j = 0; j < d; ++j) {
+          sum += a_row[j] * b_row[j];
+        }
+        out_row[k] = sum;
+      }
+    }
+  });
+}
+
+void accumulate_gta(const Matrix& g, const Matrix& a, Matrix& out) {
+  util::expects(g.rows() == a.rows(), "batch dimension mismatch");
+  util::expects(out.rows() == g.cols() && out.cols() == a.cols(),
+                "output shape mismatch");
+  const std::size_t d = a.cols();
+  util::parallel_for(0, g.cols(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      const auto out_row = out.row(k);
+      for (std::size_t b = 0; b < g.rows(); ++b) {
+        const float scale = g.at(b, k);
+        if (scale == 0.0f) {
+          continue;
+        }
+        const auto a_row = a.row(b);
+        for (std::size_t j = 0; j < d; ++j) {
+          out_row[j] += scale * a_row[j];
+        }
+      }
+    }
+  });
+}
+
+void matmul_ab(const Matrix& a, const Matrix& b, Matrix& out) {
+  util::expects(a.cols() == b.rows(), "inner dimension mismatch");
+  util::expects(out.rows() == a.rows() && out.cols() == b.cols(),
+                "output shape mismatch");
+  out.fill(0.0f);
+  util::parallel_for(0, a.rows(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto a_row = a.row(i);
+      const auto out_row = out.row(i);
+      for (std::size_t k = 0; k < b.rows(); ++k) {
+        const float scale = a_row[k];
+        if (scale == 0.0f) {
+          continue;
+        }
+        const auto b_row = b.row(k);
+        for (std::size_t j = 0; j < b.cols(); ++j) {
+          out_row[j] += scale * b_row[j];
+        }
+      }
+    }
+  });
+}
+
+}  // namespace lehdc::nn

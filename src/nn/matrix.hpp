@@ -1,0 +1,75 @@
+// Dense row-major float matrices — the numeric substrate for the
+// single-layer BNN of Fig. 4.
+//
+// Deliberately minimal: the LeHDC trainer needs batched forward products,
+// rank-B gradient accumulation, and element-wise updates; nothing more.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lehdc::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] float& at(std::size_t r, std::size_t c);
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const;
+
+  /// Row r as a contiguous span. Precondition: r < rows().
+  [[nodiscard]] std::span<float> row(std::size_t r);
+  [[nodiscard]] std::span<const float> row(std::size_t r) const;
+
+  [[nodiscard]] std::span<float> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+  void fill(float value) noexcept;
+
+  /// Independent N(0, stddev) entries.
+  void fill_gaussian(util::Rng& rng, float stddev);
+
+  /// Independent uniform entries in [lo, hi).
+  void fill_uniform(util::Rng& rng, float lo, float hi);
+
+  /// this += scale * other. Precondition: same shape.
+  void add_scaled(const Matrix& other, float scale);
+
+  /// Frobenius norm squared (the ||C_nb||^2 term of Eq. 10).
+  [[nodiscard]] double squared_norm() const noexcept;
+
+  bool operator==(const Matrix& other) const noexcept = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out[b][k] = sum_j a[b][j] * bT[k][j]  — i.e. out = a * transpose(bT).
+/// Shapes: a is B x D, bT is K x D, out is B x K. bT being row-major over K
+/// keeps the inner loop contiguous for both operands (each class
+/// hypervector is one row).
+void matmul_abt(const Matrix& a, const Matrix& bT, Matrix& out);
+
+/// out[k][j] += sum_b g[b][k] * a[b][j]  — accumulates transpose(g) * a.
+/// Shapes: g is B x K, a is B x D, out is K x D. This is the weight-gradient
+/// accumulation of Eq. 7 for a whole batch.
+void accumulate_gta(const Matrix& g, const Matrix& a, Matrix& out);
+
+/// out[i][j] = sum_k a[i][k] * b[k][j]  — plain row-major product, used by
+/// multi-layer backpropagation (gradient wrt a hidden activation).
+/// Shapes: a is I x K, b is K x J, out is I x J.
+void matmul_ab(const Matrix& a, const Matrix& b, Matrix& out);
+
+}  // namespace lehdc::nn

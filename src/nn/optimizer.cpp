@@ -1,0 +1,93 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lehdc::nn {
+
+AdamOptimizer::AdamOptimizer(std::size_t rows, std::size_t cols,
+                             const AdamConfig& config)
+    : config_(config), m_(rows, cols), v_(rows, cols) {
+  util::expects(config.learning_rate > 0.0f, "learning rate must be positive");
+  util::expects(config.beta1 >= 0.0f && config.beta1 < 1.0f &&
+                    config.beta2 >= 0.0f && config.beta2 < 1.0f,
+                "Adam betas must lie in [0, 1)");
+}
+
+void AdamOptimizer::step(Matrix& params, const Matrix& grad) {
+  util::expects(params.rows() == m_.rows() && params.cols() == m_.cols(),
+                "parameter shape does not match the optimizer state");
+  util::expects(grad.rows() == params.rows() && grad.cols() == params.cols(),
+                "gradient shape mismatch");
+  ++steps_;
+  const float b1 = config_.beta1;
+  const float b2 = config_.beta2;
+  const double bias1 =
+      1.0 - std::pow(static_cast<double>(b1), static_cast<double>(steps_));
+  const double bias2 =
+      1.0 - std::pow(static_cast<double>(b2), static_cast<double>(steps_));
+  const float lr = config_.learning_rate;
+  const float eps = config_.epsilon;
+  const float lambda = config_.weight_decay;
+  const auto mode = config_.decay_mode;
+
+  auto p = params.data();
+  auto g = grad.data();
+  auto m = m_.data();
+  auto v = v_.data();
+  util::parallel_for(0, p.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      float gi = g[i];
+      if (mode == WeightDecayMode::kL2) {
+        gi += lambda * p[i];
+      }
+      m[i] = b1 * m[i] + (1.0f - b1) * gi;
+      v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
+      const auto m_hat = static_cast<float>(m[i] / bias1);
+      const auto v_hat = static_cast<float>(v[i] / bias2);
+      p[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+      if (mode == WeightDecayMode::kDecoupled) {
+        p[i] -= lr * lambda * p[i];
+      }
+    }
+  });
+}
+
+SgdOptimizer::SgdOptimizer(std::size_t rows, std::size_t cols,
+                           const SgdConfig& config)
+    : config_(config), velocity_(rows, cols) {
+  util::expects(config.learning_rate > 0.0f, "learning rate must be positive");
+  util::expects(config.momentum >= 0.0f && config.momentum < 1.0f,
+                "momentum must lie in [0, 1)");
+}
+
+void SgdOptimizer::step(Matrix& params, const Matrix& grad) {
+  util::expects(params.rows() == velocity_.rows() &&
+                    params.cols() == velocity_.cols(),
+                "parameter shape does not match the optimizer state");
+  util::expects(grad.rows() == params.rows() && grad.cols() == params.cols(),
+                "gradient shape mismatch");
+  const float lr = config_.learning_rate;
+  const float mu = config_.momentum;
+  const float lambda = config_.weight_decay;
+  const auto mode = config_.decay_mode;
+
+  auto p = params.data();
+  auto g = grad.data();
+  auto vel = velocity_.data();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    float gi = g[i];
+    if (mode == WeightDecayMode::kL2) {
+      gi += lambda * p[i];
+    }
+    vel[i] = mu * vel[i] + gi;
+    p[i] -= lr * vel[i];
+    if (mode == WeightDecayMode::kDecoupled) {
+      p[i] -= lr * lambda * p[i];
+    }
+  }
+}
+
+}  // namespace lehdc::nn

@@ -1,0 +1,79 @@
+// Optimizers for the single-layer BNN.
+//
+// The paper selects Adam ("Adam can outperform other SGD-based algorithms on
+// the BNN optimization", Sec. 4, citing Liu et al. 2021); plain SGD with
+// momentum is kept as the comparison point for the ablation bench.
+// Weight decay supports both the paper's Eq. 10 form (L2 penalty folded
+// into the gradient) and the decoupled (AdamW) form.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/matrix.hpp"
+
+namespace lehdc::nn {
+
+enum class WeightDecayMode {
+  kNone,
+  kL2,         // grad += lambda * w  (the paper's Eq. 10)
+  kDecoupled,  // w -= lr * lambda * w (AdamW-style)
+};
+
+struct AdamConfig {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;
+  WeightDecayMode decay_mode = WeightDecayMode::kL2;
+};
+
+class AdamOptimizer {
+ public:
+  /// Shapes the moment buffers after the parameter matrix.
+  AdamOptimizer(std::size_t rows, std::size_t cols, const AdamConfig& config);
+
+  /// One update: params -= lr * m_hat / (sqrt(v_hat) + eps), applying the
+  /// configured weight decay. grad is logically const (kL2 temporarily adds
+  /// the decay term internally without mutating the caller's matrix).
+  void step(Matrix& params, const Matrix& grad);
+
+  /// Current learning rate (mutable to support LR schedules).
+  [[nodiscard]] float learning_rate() const noexcept {
+    return config_.learning_rate;
+  }
+  void set_learning_rate(float lr) noexcept { config_.learning_rate = lr; }
+
+  [[nodiscard]] std::size_t step_count() const noexcept { return steps_; }
+
+ private:
+  AdamConfig config_;
+  Matrix m_;
+  Matrix v_;
+  std::size_t steps_ = 0;
+};
+
+struct SgdConfig {
+  float learning_rate = 1e-2f;
+  float momentum = 0.0f;
+  float weight_decay = 0.0f;
+  WeightDecayMode decay_mode = WeightDecayMode::kL2;
+};
+
+class SgdOptimizer {
+ public:
+  SgdOptimizer(std::size_t rows, std::size_t cols, const SgdConfig& config);
+
+  void step(Matrix& params, const Matrix& grad);
+
+  [[nodiscard]] float learning_rate() const noexcept {
+    return config_.learning_rate;
+  }
+  void set_learning_rate(float lr) noexcept { config_.learning_rate = lr; }
+
+ private:
+  SgdConfig config_;
+  Matrix velocity_;
+};
+
+}  // namespace lehdc::nn

@@ -1,0 +1,54 @@
+#include "nn/schedule.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lehdc::nn {
+
+PlateauDecay::PlateauDecay(float initial_lr, float factor,
+                           std::size_t patience, float min_lr)
+    : lr_(initial_lr),
+      factor_(factor),
+      patience_(patience),
+      min_lr_(min_lr),
+      best_loss_(0.0) {
+  util::expects(initial_lr > 0.0f, "initial LR must be positive");
+  util::expects(factor > 0.0f && factor < 1.0f, "factor must be in (0, 1)");
+  util::expects(patience >= 1, "patience must be at least 1");
+}
+
+float PlateauDecay::observe(double loss) {
+  if (!seen_any_) {
+    seen_any_ = true;
+    best_loss_ = loss;
+    return lr_;
+  }
+  if (loss < best_loss_) {
+    best_loss_ = loss;
+    bad_epochs_ = 0;
+    return lr_;
+  }
+  if (++bad_epochs_ >= patience_) {
+    bad_epochs_ = 0;
+    lr_ = std::max(min_lr_, lr_ * factor_);
+    ++decays_;
+  }
+  return lr_;
+}
+
+StepDecay::StepDecay(float initial_lr, float factor, std::size_t interval)
+    : lr_(initial_lr), factor_(factor), interval_(interval) {
+  util::expects(initial_lr > 0.0f, "initial LR must be positive");
+  util::expects(factor > 0.0f && factor <= 1.0f, "factor must be in (0, 1]");
+  util::expects(interval >= 1, "interval must be at least 1");
+}
+
+float StepDecay::observe() {
+  if (++count_ % interval_ == 0) {
+    lr_ *= factor_;
+  }
+  return lr_;
+}
+
+}  // namespace lehdc::nn

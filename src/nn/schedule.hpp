@@ -1,0 +1,53 @@
+// Learning-rate schedules.
+//
+// Sec. 5.2: "The learning rate will decay during the training, if the
+// training loss increasing is detected" — implemented as PlateauDecay.
+// StepDecay is the conventional fixed-interval alternative for ablations.
+#pragma once
+
+#include <cstddef>
+
+namespace lehdc::nn {
+
+/// Multiplies the LR by `factor` whenever the observed training loss fails
+/// to improve (increases) relative to the best seen so far for `patience`
+/// consecutive observations.
+class PlateauDecay {
+ public:
+  PlateauDecay(float initial_lr, float factor = 0.5f,
+               std::size_t patience = 2, float min_lr = 1e-6f);
+
+  /// Feeds one epoch's training loss; returns the LR to use next.
+  float observe(double loss);
+
+  [[nodiscard]] float learning_rate() const noexcept { return lr_; }
+  [[nodiscard]] std::size_t decay_count() const noexcept { return decays_; }
+
+ private:
+  float lr_;
+  float factor_;
+  std::size_t patience_;
+  float min_lr_;
+  double best_loss_;
+  std::size_t bad_epochs_ = 0;
+  std::size_t decays_ = 0;
+  bool seen_any_ = false;
+};
+
+/// Multiplies the LR by `factor` every `interval` observations.
+class StepDecay {
+ public:
+  StepDecay(float initial_lr, float factor, std::size_t interval);
+
+  float observe();
+
+  [[nodiscard]] float learning_rate() const noexcept { return lr_; }
+
+ private:
+  float lr_;
+  float factor_;
+  std::size_t interval_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace lehdc::nn

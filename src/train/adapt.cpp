@@ -1,0 +1,127 @@
+#include "train/adapt.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "train/baseline.hpp"
+#include "train/class_matrix.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lehdc::train {
+
+AdaptHdTrainer::AdaptHdTrainer(const AdaptConfig& config) : config_(config) {
+  util::expects(config.alpha_max > 0.0f, "alpha_max must be positive");
+  util::expects(config.alpha_min > 0.0f && config.alpha_min <= config.alpha_max,
+                "alpha_min must lie in (0, alpha_max]");
+  util::expects(config.iterations >= 1, "need at least one iteration");
+}
+
+TrainResult AdaptHdTrainer::train(const hdc::EncodedDataset& train_set,
+                                  const TrainOptions& options) const {
+  util::expects(!train_set.empty(), "cannot train on an empty dataset");
+  const util::Stopwatch timer;
+  util::Rng rng(options.seed);
+
+  nn::Matrix c_nb = to_class_matrix(accumulate_classes(train_set));
+  const std::size_t k_classes = c_nb.rows();
+  const auto dim_d = static_cast<double>(train_set.dim());
+
+  std::vector<std::size_t> order(train_set.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainResult result;
+  std::vector<hv::BitVector> binary;
+  std::vector<std::int64_t> scores(k_classes);
+
+  double first_error_rate = -1.0;
+  float alpha_iteration = config_.alpha_max;
+
+  for (std::size_t iteration = 0; iteration < config_.iterations;
+       ++iteration) {
+    binary = binarize_class_matrix(c_nb);
+
+    if (options.record_trajectory) {
+      const hdc::BinaryClassifier snapshot(binary);
+      EpochPoint point;
+      point.epoch = iteration;
+      point.train_accuracy = snapshot.accuracy(train_set);
+      point.train_loss = 1.0 - point.train_accuracy;
+      if (options.test != nullptr) {
+        point.test_accuracy = snapshot.accuracy(*options.test);
+      }
+      result.trajectory.push_back(point);
+    }
+
+    if (config_.shuffle) {
+      rng.shuffle(order.begin(), order.end());
+    }
+
+    std::size_t updates = 0;
+    for (const std::size_t i : order) {
+      const hv::BitVector& h = train_set.hypervector(i);
+      const auto label = static_cast<std::size_t>(train_set.label(i));
+      for (std::size_t k = 0; k < k_classes; ++k) {
+        scores[k] = hv::BitVector::dot(h, binary[k]);
+      }
+      std::size_t predicted = 0;
+      for (std::size_t k = 1; k < k_classes; ++k) {
+        if (scores[k] > scores[predicted]) {
+          predicted = k;
+        }
+      }
+      if (predicted == label) {
+        continue;
+      }
+      ++updates;
+
+      float alpha = alpha_iteration;
+      if (config_.mode == AdaptMode::kDataDependent) {
+        // Similarity gap in [0, 1]: how decisively the wrong class won.
+        const double gap =
+            static_cast<double>(scores[predicted] - scores[label]) /
+            (2.0 * dim_d);
+        alpha = std::clamp(config_.alpha_max * static_cast<float>(gap) *
+                               static_cast<float>(k_classes),
+                           config_.alpha_min, config_.alpha_max);
+      }
+      add_hypervector_scaled(c_nb.row(label), h, alpha);
+      add_hypervector_scaled(c_nb.row(predicted), h, -alpha);
+    }
+
+    const double error_rate =
+        static_cast<double>(updates) / static_cast<double>(train_set.size());
+    if (config_.mode == AdaptMode::kIterationDependent) {
+      if (first_error_rate < 0.0) {
+        first_error_rate = std::max(error_rate, 1e-9);
+      }
+      alpha_iteration = std::clamp(
+          config_.alpha_max *
+              static_cast<float>(error_rate / first_error_rate),
+          config_.alpha_min, config_.alpha_max);
+    }
+
+    result.epochs_run = iteration + 1;
+    if (updates == 0 && config_.stop_when_converged) {
+      break;
+    }
+  }
+
+  hdc::BinaryClassifier classifier(binarize_class_matrix(c_nb));
+  if (options.record_trajectory) {
+    EpochPoint point;
+    point.epoch = result.epochs_run;
+    point.train_accuracy = classifier.accuracy(train_set);
+    point.train_loss = 1.0 - point.train_accuracy;
+    if (options.test != nullptr) {
+      point.test_accuracy = classifier.accuracy(*options.test);
+    }
+    result.trajectory.push_back(point);
+  }
+  result.model = std::make_shared<BinaryModel>(std::move(classifier));
+  result.train_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace lehdc::train

@@ -1,0 +1,43 @@
+// AdaptHD-style adaptive-learning-rate retraining (Imani et al., BioCAS'19),
+// the "improved version" Sec. 3.2(2) of the paper discusses: instead of a
+// fixed alpha, the update magnitude adapts either to the running training
+// error rate (iteration-dependent) or to the similarity gap between the
+// winning wrong class and the correct class (data-dependent).
+#pragma once
+
+#include "train/trainer.hpp"
+
+namespace lehdc::train {
+
+enum class AdaptMode {
+  /// alpha_t = alpha_max * (error rate of the previous iteration / error
+  /// rate of the first iteration), clamped to [alpha_min, alpha_max].
+  kIterationDependent,
+  /// alpha_i = alpha_max * (o_wrong − o_correct) / (2D) per misclassified
+  /// sample — large confident mistakes move the hypervectors more.
+  kDataDependent,
+};
+
+struct AdaptConfig {
+  float alpha_max = 1.0f;
+  float alpha_min = 0.02f;
+  std::size_t iterations = 150;
+  AdaptMode mode = AdaptMode::kDataDependent;
+  bool stop_when_converged = true;
+  bool shuffle = true;
+};
+
+class AdaptHdTrainer final : public Trainer {
+ public:
+  explicit AdaptHdTrainer(const AdaptConfig& config = {});
+
+  [[nodiscard]] std::string name() const override { return "AdaptHD"; }
+
+  [[nodiscard]] TrainResult train(const hdc::EncodedDataset& train_set,
+                                  const TrainOptions& options) const override;
+
+ private:
+  AdaptConfig config_;
+};
+
+}  // namespace lehdc::train

@@ -1,0 +1,66 @@
+#include "train/baseline.hpp"
+
+#include "hv/bitslice.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lehdc::train {
+
+std::vector<hv::BitVector> bundle_classes(
+    const hdc::EncodedDataset& train_set, std::uint64_t seed) {
+  util::expects(!train_set.empty(), "cannot train on an empty dataset");
+  util::Rng rng(seed);
+  const hv::BitVector tie_break = hv::BitVector::random(train_set.dim(), rng);
+
+  std::vector<hv::BitSliceAccumulator> accumulators(
+      train_set.class_count(), hv::BitSliceAccumulator(train_set.dim()));
+  for (std::size_t i = 0; i < train_set.size(); ++i) {
+    accumulators[static_cast<std::size_t>(train_set.label(i))].add(
+        train_set.hypervector(i));
+  }
+
+  std::vector<hv::BitVector> classes;
+  classes.reserve(accumulators.size());
+  for (auto& accumulator : accumulators) {
+    util::expects(accumulator.added() > 0,
+                  "every class needs at least one training sample");
+    classes.push_back(accumulator.majority(tie_break));
+  }
+  return classes;
+}
+
+std::vector<hv::IntVector> accumulate_classes(
+    const hdc::EncodedDataset& train_set) {
+  util::expects(!train_set.empty(), "cannot train on an empty dataset");
+  std::vector<hv::IntVector> classes(train_set.class_count(),
+                                     hv::IntVector(train_set.dim()));
+  for (std::size_t i = 0; i < train_set.size(); ++i) {
+    classes[static_cast<std::size_t>(train_set.label(i))].add(
+        train_set.hypervector(i));
+  }
+  return classes;
+}
+
+TrainResult BaselineTrainer::train(const hdc::EncodedDataset& train_set,
+                                   const TrainOptions& options) const {
+  const util::Stopwatch timer;
+  hdc::BinaryClassifier classifier(bundle_classes(train_set, options.seed));
+
+  TrainResult result;
+  result.epochs_run = 1;
+  if (options.record_trajectory) {
+    EpochPoint point;
+    point.epoch = 0;
+    point.train_accuracy = classifier.accuracy(train_set);
+    if (options.test != nullptr) {
+      point.test_accuracy = classifier.accuracy(*options.test);
+    }
+    result.trajectory.push_back(point);
+  }
+  result.model = std::make_shared<BinaryModel>(std::move(classifier));
+  result.train_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace lehdc::train

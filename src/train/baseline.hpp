@@ -1,0 +1,31 @@
+// Baseline binary HDC training (Eq. 2): each class hypervector is the
+// component-wise majority of its class's sample hypervectors — the
+// "averaging" strategy whose limitations Sec. 3.2 dissects.
+#pragma once
+
+#include "train/trainer.hpp"
+
+namespace lehdc::train {
+
+class BaselineTrainer final : public Trainer {
+ public:
+  BaselineTrainer() = default;
+
+  [[nodiscard]] std::string name() const override { return "Baseline"; }
+
+  [[nodiscard]] TrainResult train(const hdc::EncodedDataset& train_set,
+                                  const TrainOptions& options) const override;
+};
+
+/// Shared helper: per-class majority bundling (Eq. 2) returning binary
+/// class hypervectors; sgn(0) ties break with a random hypervector derived
+/// from `seed`. Used by BaselineTrainer and as retraining's initial model.
+[[nodiscard]] std::vector<hv::BitVector> bundle_classes(
+    const hdc::EncodedDataset& train_set, std::uint64_t seed);
+
+/// Per-class integer accumulation (the non-binary form of Eq. 2), the
+/// initial C_nb for the retraining strategies.
+[[nodiscard]] std::vector<hv::IntVector> accumulate_classes(
+    const hdc::EncodedDataset& train_set);
+
+}  // namespace lehdc::train

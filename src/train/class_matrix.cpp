@@ -1,0 +1,37 @@
+#include "train/class_matrix.hpp"
+
+#include "nn/binarize.hpp"
+#include "util/check.hpp"
+
+namespace lehdc::train {
+
+nn::Matrix to_class_matrix(const std::vector<hv::IntVector>& classes) {
+  util::expects(!classes.empty(), "no class hypervectors");
+  nn::Matrix out(classes.size(), classes.front().dim());
+  for (std::size_t k = 0; k < classes.size(); ++k) {
+    util::expects(classes[k].dim() == out.cols(),
+                  "class hypervector dimension mismatch");
+    const auto row = out.row(k);
+    const auto values = classes[k].values();
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      row[j] = static_cast<float>(values[j]);
+    }
+  }
+  return out;
+}
+
+void add_hypervector_scaled(std::span<float> row, const hv::BitVector& h,
+                            float scale) {
+  util::expects(row.size() == h.dim(), "dimension mismatch in update");
+  const auto words = h.words();
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    const bool negative = ((words[j / 64] >> (j % 64)) & 1u) != 0;
+    row[j] += negative ? -scale : scale;
+  }
+}
+
+std::vector<hv::BitVector> binarize_class_matrix(const nn::Matrix& c_nb) {
+  return nn::binarize_rows(c_nb);
+}
+
+}  // namespace lehdc::train

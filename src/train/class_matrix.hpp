@@ -1,0 +1,28 @@
+// Shared representation for retraining-style strategies: the non-binary
+// class hypervectors C_nb as a K x D float matrix plus fast bipolar update
+// and binarization helpers (the two-copy scheme of Fig. 2 / Sec. 4).
+#pragma once
+
+#include <vector>
+
+#include "hdc/encoded_dataset.hpp"
+#include "hv/bitvector.hpp"
+#include "hv/intvector.hpp"
+#include "nn/matrix.hpp"
+
+namespace lehdc::train {
+
+/// Converts integer class hypervectors (Eq. 2 accumulation) to K x D float.
+[[nodiscard]] nn::Matrix to_class_matrix(
+    const std::vector<hv::IntVector>& classes);
+
+/// row += scale * h where h is bipolar (the Eq. 3 update with the learning
+/// rate folded into scale). Precondition: row.size() == h.dim().
+void add_hypervector_scaled(std::span<float> row, const hv::BitVector& h,
+                            float scale);
+
+/// C = sgn(C_nb) row-wise, packed (Eq. 8; sgn(0) = +1).
+[[nodiscard]] std::vector<hv::BitVector> binarize_class_matrix(
+    const nn::Matrix& c_nb);
+
+}  // namespace lehdc::train

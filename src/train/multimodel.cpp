@@ -1,0 +1,204 @@
+#include "train/multimodel.hpp"
+
+#include <bit>
+#include <numeric>
+
+#include "hv/bitslice.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lehdc::train {
+
+namespace {
+
+/// Flips each set bit of `candidates` in `target` independently with
+/// probability p.
+void stochastic_flip(hv::BitVector& target, const hv::BitVector& candidates,
+                     float p, util::Rng& rng) {
+  const auto cand_words = candidates.words();
+  const auto target_words = target.words();
+  for (std::size_t w = 0; w < cand_words.size(); ++w) {
+    std::uint64_t bits = cand_words[w];
+    std::uint64_t flip_mask = 0;
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      if (rng.next_float() < p) {
+        flip_mask |= std::uint64_t{1} << b;
+      }
+    }
+    target_words[w] ^= flip_mask;
+  }
+}
+
+}  // namespace
+
+MultiModelTrainer::MultiModelTrainer(const MultiModelConfig& config)
+    : config_(config) {
+  util::expects(config.models_per_class >= 1,
+                "need at least one hypervector per class");
+  util::expects(config.flip_probability > 0.0f &&
+                    config.flip_probability <= 1.0f,
+                "flip probability must lie in (0, 1]");
+  util::expects(config.epochs >= 1, "need at least one epoch");
+}
+
+TrainResult MultiModelTrainer::train(const hdc::EncodedDataset& train_set,
+                                     const TrainOptions& options) const {
+  util::expects(!train_set.empty(), "cannot train on an empty dataset");
+  const util::Stopwatch timer;
+  util::Rng rng(options.seed);
+
+  const std::size_t k_classes = train_set.class_count();
+  const std::size_t m = config_.models_per_class;
+  const std::size_t dim = train_set.dim();
+  const hv::BitVector tie_break = hv::BitVector::random(dim, rng);
+
+  // Initialization: partition each class's samples into M random groups and
+  // bundle each group (falling back to random hypervectors for groups that
+  // end up empty — e.g. fewer class samples than M).
+  std::vector<std::vector<std::size_t>> by_class(k_classes);
+  for (std::size_t i = 0; i < train_set.size(); ++i) {
+    by_class[static_cast<std::size_t>(train_set.label(i))].push_back(i);
+  }
+
+  std::vector<std::vector<hv::BitVector>> models(k_classes);
+  for (std::size_t k = 0; k < k_classes; ++k) {
+    auto& indices = by_class[k];
+    rng.shuffle(indices.begin(), indices.end());
+    models[k].reserve(m);
+    for (std::size_t g = 0; g < m; ++g) {
+      hv::BitSliceAccumulator accumulator(dim);
+      for (std::size_t j = g; j < indices.size(); j += m) {
+        accumulator.add(train_set.hypervector(indices[j]));
+      }
+      if (accumulator.added() == 0) {
+        models[k].push_back(hv::BitVector::random(dim, rng));
+      } else {
+        models[k].push_back(accumulator.majority(tie_break));
+      }
+    }
+  }
+
+  std::vector<std::size_t> order(train_set.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainResult result;
+  float flip_probability = config_.flip_probability;
+  std::vector<std::vector<hv::BitVector>> best_models;
+  double best_train_accuracy = -1.0;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (options.record_trajectory || config_.keep_best) {
+      const hdc::EnsembleClassifier snapshot(models);
+      const double train_accuracy = snapshot.accuracy(train_set);
+      if (config_.keep_best && train_accuracy > best_train_accuracy) {
+        best_train_accuracy = train_accuracy;
+        best_models = models;
+      }
+      if (options.record_trajectory) {
+        EpochPoint point;
+        point.epoch = epoch;
+        point.train_accuracy = train_accuracy;
+        point.train_loss = 1.0 - train_accuracy;
+        if (options.test != nullptr) {
+          point.test_accuracy = snapshot.accuracy(*options.test);
+        }
+        result.trajectory.push_back(point);
+      }
+    }
+
+    if (config_.shuffle) {
+      rng.shuffle(order.begin(), order.end());
+    }
+
+    std::size_t updates = 0;
+    for (const std::size_t i : order) {
+      const hv::BitVector& h = train_set.hypervector(i);
+      const auto label = static_cast<std::size_t>(train_set.label(i));
+
+      // Ensemble argmax, remembering the winner and the best hypervector of
+      // the correct class.
+      std::size_t best_class = 0;
+      std::size_t best_model = 0;
+      std::int64_t best_score = hv::BitVector::dot(h, models[0][0]);
+      std::size_t correct_best = 0;
+      std::int64_t correct_score =
+          hv::BitVector::dot(h, models[label][0]);
+      for (std::size_t k = 0; k < k_classes; ++k) {
+        for (std::size_t g = 0; g < m; ++g) {
+          const std::int64_t score = hv::BitVector::dot(h, models[k][g]);
+          if (score > best_score) {
+            best_score = score;
+            best_class = k;
+            best_model = g;
+          }
+          if (k == label && score > correct_score) {
+            correct_score = score;
+            correct_best = g;
+          }
+        }
+      }
+      if (best_class == label) {
+        continue;
+      }
+      ++updates;
+
+      // Pull the correct class's best hypervector toward the sample
+      // (candidates = disagreeing bits) and push the winning wrong
+      // hypervector away (candidates = agreeing bits).
+      hv::BitVector disagree = models[label][correct_best];
+      disagree.bind_inplace(h);  // XOR: 1 where they differ
+      stochastic_flip(models[label][correct_best], disagree,
+                      flip_probability, rng);
+
+      hv::BitVector agree = models[best_class][best_model];
+      agree.bind_inplace(h);
+      // Complement inside the dimension: agree bits are where XOR is 0.
+      for (auto& word : agree.words()) {
+        word = ~word;
+      }
+      // Mask the tail beyond D by XOR-ing with an all-ones pattern only on
+      // valid components: rebuild via hamming-safe trick — clear tail bits.
+      if (dim % 64 != 0) {
+        agree.words().back() &= (std::uint64_t{1} << (dim % 64)) - 1;
+      }
+      stochastic_flip(models[best_class][best_model], agree,
+                      flip_probability, rng);
+    }
+
+    flip_probability *= config_.flip_decay;
+    result.epochs_run = epoch + 1;
+    if (updates == 0 && config_.stop_when_converged) {
+      break;
+    }
+  }
+
+  // Export the best ensemble observed (including the post-final-epoch
+  // state) rather than whatever the last stochastic step left behind.
+  if (config_.keep_best) {
+    const hdc::EnsembleClassifier final_snapshot(models);
+    if (final_snapshot.accuracy(train_set) < best_train_accuracy &&
+        !best_models.empty()) {
+      models = std::move(best_models);
+    }
+  }
+
+  hdc::EnsembleClassifier classifier(std::move(models));
+  if (options.record_trajectory) {
+    EpochPoint point;
+    point.epoch = result.epochs_run;
+    point.train_accuracy = classifier.accuracy(train_set);
+    point.train_loss = 1.0 - point.train_accuracy;
+    if (options.test != nullptr) {
+      point.test_accuracy = classifier.accuracy(*options.test);
+    }
+    result.trajectory.push_back(point);
+  }
+  result.model = std::make_shared<EnsembleModel>(std::move(classifier));
+  result.train_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace lehdc::train

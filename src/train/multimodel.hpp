@@ -1,0 +1,53 @@
+// SearcHD-style multi-model HDC (Imani et al., TCAD'19 [8]) — the ensemble
+// baseline of Table 1 ("we follow the approach in [8] and choose 64
+// hypervectors per class").
+//
+// Each class holds M binary hypervectors, initialized by bundling disjoint
+// random subsets of the class's training samples. Training is stochastic
+// bit-flipping: when a sample is misclassified, the most similar hypervector
+// of the correct class flips its disagreeing bits toward the sample with
+// probability `flip_probability`, and the winning wrong hypervector flips
+// its agreeing bits away with the same probability. Inference picks the
+// class owning the single most similar hypervector — so storage (and
+// Hamming-compare work) grows M-fold, the Sec. 5.1 resource drawback.
+#pragma once
+
+#include "train/trainer.hpp"
+
+namespace lehdc::train {
+
+struct MultiModelConfig {
+  /// Hypervectors per class (paper: 64).
+  std::size_t models_per_class = 64;
+  /// Per-bit flip probability on an update.
+  float flip_probability = 0.01f;
+  /// Multiplies the flip probability after every epoch (simulated
+  /// annealing of the stochastic search).
+  float flip_decay = 0.85f;
+  std::size_t epochs = 20;
+  bool stop_when_converged = true;
+  bool shuffle = true;
+  /// Track training accuracy per epoch and export the best ensemble seen
+  /// (stochastic search can wander away from good states; SearcHD-style
+  /// training reports the best model).
+  bool keep_best = true;
+};
+
+class MultiModelTrainer final : public Trainer {
+ public:
+  explicit MultiModelTrainer(const MultiModelConfig& config = {});
+
+  [[nodiscard]] std::string name() const override { return "Multi-Model"; }
+
+  [[nodiscard]] TrainResult train(const hdc::EncodedDataset& train_set,
+                                  const TrainOptions& options) const override;
+
+  [[nodiscard]] const MultiModelConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  MultiModelConfig config_;
+};
+
+}  // namespace lehdc::train

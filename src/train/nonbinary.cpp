@@ -1,0 +1,90 @@
+#include "train/nonbinary.hpp"
+
+#include <numeric>
+
+#include "train/baseline.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lehdc::train {
+
+NonBinaryTrainer::NonBinaryTrainer(const NonBinaryConfig& config)
+    : config_(config) {
+  util::expects(config.alpha >= 1, "alpha must be a positive integer");
+}
+
+TrainResult NonBinaryTrainer::train(const hdc::EncodedDataset& train_set,
+                                    const TrainOptions& options) const {
+  util::expects(!train_set.empty(), "cannot train on an empty dataset");
+  const util::Stopwatch timer;
+  util::Rng rng(options.seed);
+
+  std::vector<hv::IntVector> classes = accumulate_classes(train_set);
+  const std::size_t k_classes = classes.size();
+
+  std::vector<std::size_t> order(train_set.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainResult result;
+  for (std::size_t epoch = 0; epoch < config_.retrain_epochs; ++epoch) {
+    if (options.record_trajectory) {
+      const hdc::NonBinaryClassifier snapshot(classes);
+      EpochPoint point;
+      point.epoch = epoch;
+      point.train_accuracy = snapshot.accuracy(train_set);
+      point.train_loss = 1.0 - point.train_accuracy;
+      if (options.test != nullptr) {
+        point.test_accuracy = snapshot.accuracy(*options.test);
+      }
+      result.trajectory.push_back(point);
+    }
+    if (config_.shuffle) {
+      rng.shuffle(order.begin(), order.end());
+    }
+    std::size_t updates = 0;
+    for (const std::size_t i : order) {
+      const hv::BitVector& h = train_set.hypervector(i);
+      const auto label = static_cast<std::size_t>(train_set.label(i));
+      std::size_t predicted = 0;
+      double best = classes[0].cosine(h);
+      for (std::size_t k = 1; k < k_classes; ++k) {
+        const double score = classes[k].cosine(h);
+        if (score > best) {
+          best = score;
+          predicted = k;
+        }
+      }
+      if (predicted == label) {
+        continue;
+      }
+      ++updates;
+      classes[label].add_scaled(h, config_.alpha);
+      classes[predicted].add_scaled(h, -config_.alpha);
+    }
+    result.epochs_run = epoch + 1;
+    if (updates == 0) {
+      break;
+    }
+  }
+  if (config_.retrain_epochs == 0) {
+    result.epochs_run = 1;
+  }
+
+  hdc::NonBinaryClassifier classifier(std::move(classes));
+  if (options.record_trajectory) {
+    EpochPoint point;
+    point.epoch = result.epochs_run;
+    point.train_accuracy = classifier.accuracy(train_set);
+    point.train_loss = 1.0 - point.train_accuracy;
+    if (options.test != nullptr) {
+      point.test_accuracy = classifier.accuracy(*options.test);
+    }
+    result.trajectory.push_back(point);
+  }
+  result.model = std::make_shared<NonBinaryModel>(std::move(classifier));
+  result.train_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace lehdc::train

@@ -1,0 +1,31 @@
+// Non-binary HDC (footnote 1 / Sec. 3.1 last paragraph): integer class
+// hypervectors with cosine-similarity inference. The optional perceptron
+// retraining applies the integer form of Eq. 3.
+#pragma once
+
+#include "train/trainer.hpp"
+
+namespace lehdc::train {
+
+struct NonBinaryConfig {
+  /// 0 disables retraining (pure Eq. 2 accumulation).
+  std::size_t retrain_epochs = 0;
+  /// Integer step applied on a misclassification.
+  std::int32_t alpha = 1;
+  bool shuffle = true;
+};
+
+class NonBinaryTrainer final : public Trainer {
+ public:
+  explicit NonBinaryTrainer(const NonBinaryConfig& config = {});
+
+  [[nodiscard]] std::string name() const override { return "NonBinaryHDC"; }
+
+  [[nodiscard]] TrainResult train(const hdc::EncodedDataset& train_set,
+                                  const TrainOptions& options) const override;
+
+ private:
+  NonBinaryConfig config_;
+};
+
+}  // namespace lehdc::train

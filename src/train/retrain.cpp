@@ -1,0 +1,151 @@
+#include "train/retrain.hpp"
+
+#include <numeric>
+
+#include "train/baseline.hpp"
+#include "train/class_matrix.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lehdc::train {
+
+namespace {
+
+RetrainConfig validated(RetrainConfig config) {
+  util::expects(config.alpha > 0.0f, "alpha must be positive");
+  util::expects(config.alpha_first > 0.0f, "alpha_first must be positive");
+  util::expects(config.iterations >= 1, "need at least one iteration");
+  return config;
+}
+
+/// Runs the Fig. 2 loop; `enhanced` switches between the basic Eq. 3 update
+/// and the Sec. 3.3 multi-class, similarity-scaled update.
+TrainResult run_retraining(const hdc::EncodedDataset& train_set,
+                           const TrainOptions& options,
+                           const RetrainConfig& config, bool enhanced) {
+  util::expects(!train_set.empty(), "cannot train on an empty dataset");
+  const util::Stopwatch timer;
+  util::Rng rng(options.seed);
+
+  // Initial training (Eq. 2): C_nb accumulates the raw sums, C = sgn(C_nb).
+  nn::Matrix c_nb = to_class_matrix(accumulate_classes(train_set));
+  const std::size_t k_classes = c_nb.rows();
+  const auto dim_d = static_cast<double>(train_set.dim());
+
+  std::vector<std::size_t> order(train_set.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainResult result;
+  std::vector<hv::BitVector> binary;
+  std::vector<std::int64_t> scores(k_classes);
+
+  for (std::size_t iteration = 0; iteration < config.iterations;
+       ++iteration) {
+    binary = binarize_class_matrix(c_nb);
+
+    if (options.record_trajectory) {
+      const hdc::BinaryClassifier snapshot(binary);
+      EpochPoint point;
+      point.epoch = iteration;
+      point.train_accuracy = snapshot.accuracy(train_set);
+      point.train_loss = 1.0 - point.train_accuracy;
+      if (options.test != nullptr) {
+        point.test_accuracy = snapshot.accuracy(*options.test);
+      }
+      result.trajectory.push_back(point);
+    }
+
+    if (config.shuffle) {
+      rng.shuffle(order.begin(), order.end());
+    }
+    const float alpha =
+        iteration == 0 ? config.alpha_first : config.alpha;
+
+    std::size_t updates = 0;
+    for (const std::size_t i : order) {
+      const hv::BitVector& h = train_set.hypervector(i);
+      const auto label = static_cast<std::size_t>(train_set.label(i));
+
+      for (std::size_t k = 0; k < k_classes; ++k) {
+        scores[k] = hv::BitVector::dot(h, binary[k]);
+      }
+      std::size_t predicted = 0;
+      for (std::size_t k = 1; k < k_classes; ++k) {
+        if (scores[k] > scores[predicted]) {
+          predicted = k;
+        }
+      }
+      if (predicted == label) {
+        continue;
+      }
+      ++updates;
+
+      if (!enhanced) {
+        // Eq. 3: only the correct and the single winning wrong class move.
+        add_hypervector_scaled(c_nb.row(label), h, alpha);
+        add_hypervector_scaled(c_nb.row(predicted), h, -alpha);
+        continue;
+      }
+
+      // Sec. 3.3 enhancement: normalized Hamming d_k = (D − o_k) / (2D);
+      // the ideal distance is 0 for the correct class and 0.5 for wrong
+      // ones, and |d_k − ideal| scales each update.
+      const double d_correct =
+          (dim_d - static_cast<double>(scores[label])) / (2.0 * dim_d);
+      add_hypervector_scaled(c_nb.row(label), h,
+                             alpha * static_cast<float>(d_correct));
+      for (std::size_t k = 0; k < k_classes; ++k) {
+        if (k == label || scores[k] < scores[label]) {
+          continue;  // only classes at least as similar as the correct one
+        }
+        const double d_k =
+            (dim_d - static_cast<double>(scores[k])) / (2.0 * dim_d);
+        const double scale = std::max(0.0, 0.5 - d_k);
+        add_hypervector_scaled(c_nb.row(k), h,
+                               -alpha * static_cast<float>(scale));
+      }
+    }
+
+    result.epochs_run = iteration + 1;
+    if (updates == 0 && config.stop_when_converged) {
+      break;
+    }
+  }
+
+  hdc::BinaryClassifier classifier(binarize_class_matrix(c_nb));
+  if (options.record_trajectory) {
+    EpochPoint point;
+    point.epoch = result.epochs_run;
+    point.train_accuracy = classifier.accuracy(train_set);
+    point.train_loss = 1.0 - point.train_accuracy;
+    if (options.test != nullptr) {
+      point.test_accuracy = classifier.accuracy(*options.test);
+    }
+    result.trajectory.push_back(point);
+  }
+  result.model = std::make_shared<BinaryModel>(std::move(classifier));
+  result.train_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace
+
+RetrainingTrainer::RetrainingTrainer(const RetrainConfig& config)
+    : config_(validated(config)) {}
+
+TrainResult RetrainingTrainer::train(const hdc::EncodedDataset& train_set,
+                                     const TrainOptions& options) const {
+  return run_retraining(train_set, options, config_, /*enhanced=*/false);
+}
+
+EnhancedRetrainingTrainer::EnhancedRetrainingTrainer(
+    const RetrainConfig& config)
+    : config_(validated(config)) {}
+
+TrainResult EnhancedRetrainingTrainer::train(
+    const hdc::EncodedDataset& train_set, const TrainOptions& options) const {
+  return run_retraining(train_set, options, config_, /*enhanced=*/true);
+}
+
+}  // namespace lehdc::train

@@ -1,0 +1,65 @@
+// Retraining strategies.
+//
+//  * RetrainingTrainer — the state-of-the-art QuantHD-style retraining the
+//    paper uses as its strongest baseline (Sec. 2.2, Eq. 3, Fig. 2): binary
+//    class hypervectors validate, non-binary ones accumulate the ±alpha*H
+//    updates of misclassified samples, and the binary model is refreshed by
+//    sgn() after every iteration.
+//  * EnhancedRetrainingTrainer — the paper's own Sec. 3.3 case study: on a
+//    misclassification, *every* class hypervector at least as similar as
+//    the correct one is updated, and each update is scaled by the gap
+//    between the observed normalized Hamming distance and its ideal value
+//    (0 for the correct class, 0.5 for wrong ones).
+#pragma once
+
+#include "train/trainer.hpp"
+
+namespace lehdc::train {
+
+struct RetrainConfig {
+  /// Learning rate alpha of Eq. 3 for iterations after the first.
+  float alpha = 0.05f;
+  /// Paper Sec. 5: "alpha = 1.5 in the first iteration".
+  float alpha_first = 1.5f;
+  /// Paper Sec. 5: "We run 150 iterations to ensure the retraining has
+  /// converged."
+  std::size_t iterations = 150;
+  /// Stop early once an iteration misclassifies no training sample.
+  bool stop_when_converged = true;
+  /// Visit samples in a fresh random order each iteration.
+  bool shuffle = true;
+};
+
+class RetrainingTrainer final : public Trainer {
+ public:
+  explicit RetrainingTrainer(const RetrainConfig& config = {});
+
+  [[nodiscard]] std::string name() const override { return "Retraining"; }
+
+  [[nodiscard]] TrainResult train(const hdc::EncodedDataset& train_set,
+                                  const TrainOptions& options) const override;
+
+  [[nodiscard]] const RetrainConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  RetrainConfig config_;
+};
+
+class EnhancedRetrainingTrainer final : public Trainer {
+ public:
+  explicit EnhancedRetrainingTrainer(const RetrainConfig& config = {});
+
+  [[nodiscard]] std::string name() const override {
+    return "EnhancedRetraining";
+  }
+
+  [[nodiscard]] TrainResult train(const hdc::EncodedDataset& train_set,
+                                  const TrainOptions& options) const override;
+
+ private:
+  RetrainConfig config_;
+};
+
+}  // namespace lehdc::train

@@ -1,0 +1,154 @@
+// The common interface every HDC training strategy implements.
+//
+// The paper compares four strategies on identical encoded inputs (Table 1):
+// baseline bundling, multi-model [8], retraining [4] and LeHDC. All of them
+// — plus the enhanced-retraining and AdaptHD variants discussed in Sec. 3 —
+// implement Trainer, so the bench harnesses and examples can sweep
+// strategies uniformly. A Trainer is immutable and reusable: train() may be
+// called repeatedly (e.g. once per trial seed).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hdc/classifier.hpp"
+#include "hdc/encoded_dataset.hpp"
+
+namespace lehdc::train {
+
+/// A trained model: the minimal inference surface shared by single-vector,
+/// ensemble and non-binary classifiers.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  [[nodiscard]] virtual int predict(const hv::BitVector& query) const = 0;
+  [[nodiscard]] virtual double accuracy(
+      const hdc::EncodedDataset& dataset) const = 0;
+
+  /// Model storage in bits (Sec. 5.1 resource comparison).
+  [[nodiscard]] virtual std::size_t storage_bits() const noexcept = 0;
+
+  /// Non-null when the model is a plain binary classifier (baseline /
+  /// retraining / LeHDC all export exactly K binary hypervectors).
+  [[nodiscard]] virtual const hdc::BinaryClassifier* as_binary()
+      const noexcept {
+    return nullptr;
+  }
+};
+
+/// One point of a training trajectory (drives Fig. 3 and Fig. 5).
+struct EpochPoint {
+  std::size_t epoch = 0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;  // 0 when no test set was supplied
+  double train_loss = 0.0;     // strategy-specific (0 if undefined)
+};
+
+struct TrainOptions {
+  /// Seed for any stochasticity inside the strategy (shuffling, dropout,
+  /// stochastic flips, tie-breaks).
+  std::uint64_t seed = 1;
+
+  /// Optional held-out set evaluated per epoch when recording a trajectory.
+  const hdc::EncodedDataset* test = nullptr;
+
+  /// Record per-epoch train/test accuracy (costs one extra inference pass
+  /// over each set per epoch).
+  bool record_trajectory = false;
+};
+
+struct TrainResult {
+  std::shared_ptr<const Model> model;
+  std::vector<EpochPoint> trajectory;
+  std::size_t epochs_run = 0;
+  double train_seconds = 0.0;
+};
+
+class Trainer {
+ public:
+  virtual ~Trainer() = default;
+
+  /// Strategy name as printed in table rows (e.g. "Retraining").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Trains on the encoded dataset. Precondition: !train_set.empty().
+  [[nodiscard]] virtual TrainResult train(
+      const hdc::EncodedDataset& train_set,
+      const TrainOptions& options) const = 0;
+};
+
+/// Model wrapper around hdc::BinaryClassifier.
+class BinaryModel final : public Model {
+ public:
+  explicit BinaryModel(hdc::BinaryClassifier classifier)
+      : classifier_(std::move(classifier)) {}
+
+  [[nodiscard]] int predict(const hv::BitVector& query) const override {
+    return classifier_.predict(query);
+  }
+  [[nodiscard]] double accuracy(
+      const hdc::EncodedDataset& dataset) const override {
+    return classifier_.accuracy(dataset);
+  }
+  [[nodiscard]] std::size_t storage_bits() const noexcept override {
+    return classifier_.class_count() * classifier_.dim();
+  }
+  [[nodiscard]] const hdc::BinaryClassifier* as_binary()
+      const noexcept override {
+    return &classifier_;
+  }
+
+ private:
+  hdc::BinaryClassifier classifier_;
+};
+
+/// Model wrapper around hdc::EnsembleClassifier.
+class EnsembleModel final : public Model {
+ public:
+  explicit EnsembleModel(hdc::EnsembleClassifier classifier)
+      : classifier_(std::move(classifier)) {}
+
+  [[nodiscard]] int predict(const hv::BitVector& query) const override {
+    return classifier_.predict(query);
+  }
+  [[nodiscard]] double accuracy(
+      const hdc::EncodedDataset& dataset) const override {
+    return classifier_.accuracy(dataset);
+  }
+  [[nodiscard]] std::size_t storage_bits() const noexcept override {
+    return classifier_.storage_bits();
+  }
+
+ private:
+  hdc::EnsembleClassifier classifier_;
+};
+
+/// Model wrapper around hdc::NonBinaryClassifier (stores 32-bit components).
+class NonBinaryModel final : public Model {
+ public:
+  explicit NonBinaryModel(hdc::NonBinaryClassifier classifier)
+      : classifier_(std::move(classifier)) {}
+
+  [[nodiscard]] int predict(const hv::BitVector& query) const override {
+    return classifier_.predict(query);
+  }
+  [[nodiscard]] double accuracy(
+      const hdc::EncodedDataset& dataset) const override {
+    return classifier_.accuracy(dataset);
+  }
+  [[nodiscard]] std::size_t storage_bits() const noexcept override {
+    std::size_t bits = 0;
+    for (std::size_t k = 0; k < classifier_.class_count(); ++k) {
+      bits += classifier_.class_vector(k).dim() * 32;
+    }
+    return bits;
+  }
+
+ private:
+  hdc::NonBinaryClassifier classifier_;
+};
+
+}  // namespace lehdc::train

@@ -1,0 +1,16 @@
+#include "util/check.hpp"
+
+namespace lehdc::util::detail {
+
+std::string locate(std::string_view message, const std::source_location& loc) {
+  std::string out;
+  out.reserve(message.size() + 64);
+  out.append(loc.file_name());
+  out.push_back(':');
+  out.append(std::to_string(loc.line()));
+  out.append(": ");
+  out.append(message);
+  return out;
+}
+
+}  // namespace lehdc::util::detail

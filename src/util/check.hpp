@@ -1,0 +1,48 @@
+// Precondition / invariant checking helpers.
+//
+// Following the C++ Core Guidelines (I.6, E.12) these are plain functions
+// rather than macros; they throw typed exceptions so callers can distinguish
+// interface misuse (std::invalid_argument) from broken internal state
+// (std::logic_error).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace lehdc::util {
+
+/// Error thrown when an internal invariant is violated (a bug in this
+/// library rather than in the caller).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[nodiscard]] std::string locate(std::string_view message,
+                                 const std::source_location& loc);
+}  // namespace detail
+
+/// Validates a function precondition; throws std::invalid_argument on
+/// failure. Use for misuse of a public interface by the caller.
+inline void expects(bool condition, std::string_view message,
+                    const std::source_location loc =
+                        std::source_location::current()) {
+  if (!condition) {
+    throw std::invalid_argument(detail::locate(message, loc));
+  }
+}
+
+/// Validates an internal invariant or postcondition; throws InvariantError
+/// on failure. Use for conditions that should be unreachable.
+inline void ensures(bool condition, std::string_view message,
+                    const std::source_location loc =
+                        std::source_location::current()) {
+  if (!condition) {
+    throw InvariantError(detail::locate(message, loc));
+  }
+}
+
+}  // namespace lehdc::util

@@ -1,0 +1,183 @@
+#include "util/flags.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace lehdc::util {
+
+FlagParser::FlagParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+FlagParser::Entry& FlagParser::declare(std::string_view name, Kind kind,
+                                       std::string_view help) {
+  expects(!name.empty() && name.substr(0, 2) != "--",
+          "flag names are declared without the leading --");
+  auto [it, inserted] = entries_.try_emplace(std::string(name));
+  expects(inserted, "duplicate flag declaration");
+  order_.emplace_back(name);
+  it->second.kind = kind;
+  it->second.help = std::string(help);
+  return it->second;
+}
+
+void FlagParser::add_int(std::string_view name, std::int64_t default_value,
+                         std::string_view help) {
+  Entry& entry = declare(name, Kind::kInt, help);
+  entry.int_value = default_value;
+  entry.default_text = std::to_string(default_value);
+}
+
+void FlagParser::add_double(std::string_view name, double default_value,
+                            std::string_view help) {
+  Entry& entry = declare(name, Kind::kDouble, help);
+  entry.double_value = default_value;
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", default_value);
+  entry.default_text = buffer;
+}
+
+void FlagParser::add_string(std::string_view name,
+                            std::string_view default_value,
+                            std::string_view help) {
+  Entry& entry = declare(name, Kind::kString, help);
+  entry.string_value = std::string(default_value);
+  entry.default_text = std::string(default_value);
+}
+
+void FlagParser::add_flag(std::string_view name, std::string_view help) {
+  Entry& entry = declare(name, Kind::kBool, help);
+  entry.bool_value = false;
+  entry.default_text = "false";
+}
+
+void FlagParser::assign(Entry& entry, std::string_view name,
+                        std::string_view value) {
+  switch (entry.kind) {
+    case Kind::kInt: {
+      std::int64_t parsed = 0;
+      const auto* end = value.data() + value.size();
+      const auto result = std::from_chars(value.data(), end, parsed);
+      if (result.ec != std::errc{} || result.ptr != end) {
+        throw std::invalid_argument("invalid integer for --" +
+                                    std::string(name) + ": " +
+                                    std::string(value));
+      }
+      entry.int_value = parsed;
+      break;
+    }
+    case Kind::kDouble: {
+      try {
+        std::size_t consumed = 0;
+        const std::string text(value);
+        entry.double_value = std::stod(text, &consumed);
+        if (consumed != text.size()) {
+          throw std::invalid_argument("trailing characters");
+        }
+      } catch (const std::exception&) {
+        throw std::invalid_argument("invalid number for --" +
+                                    std::string(name) + ": " +
+                                    std::string(value));
+      }
+      break;
+    }
+    case Kind::kString:
+      entry.string_value = std::string(value);
+      break;
+    case Kind::kBool:
+      if (value == "true" || value == "1") {
+        entry.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        entry.bool_value = false;
+      } else {
+        throw std::invalid_argument("invalid boolean for --" +
+                                    std::string(name) + ": " +
+                                    std::string(value));
+      }
+      break;
+  }
+}
+
+void FlagParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (arg.substr(0, 2) != "--") {
+      throw std::invalid_argument("unexpected positional argument: " +
+                                  std::string(arg));
+    }
+    arg.remove_prefix(2);
+
+    std::string_view name = arg;
+    std::string_view value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      throw std::invalid_argument("unknown flag: --" + std::string(name));
+    }
+    Entry& entry = it->second;
+
+    if (entry.kind == Kind::kBool && !has_value) {
+      entry.bool_value = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("missing value for --" +
+                                    std::string(name));
+      }
+      value = argv[++i];
+    }
+    assign(entry, name, value);
+  }
+}
+
+const FlagParser::Entry& FlagParser::lookup(std::string_view name,
+                                            Kind kind) const {
+  const auto it = entries_.find(name);
+  expects(it != entries_.end(), "flag was never declared");
+  expects(it->second.kind == kind, "flag accessed with the wrong type");
+  return it->second;
+}
+
+std::int64_t FlagParser::get_int(std::string_view name) const {
+  return lookup(name, Kind::kInt).int_value;
+}
+
+double FlagParser::get_double(std::string_view name) const {
+  return lookup(name, Kind::kDouble).double_value;
+}
+
+const std::string& FlagParser::get_string(std::string_view name) const {
+  return lookup(name, Kind::kString).string_value;
+}
+
+bool FlagParser::get_flag(std::string_view name) const {
+  return lookup(name, Kind::kBool).bool_value;
+}
+
+std::string FlagParser::usage() const {
+  std::string out = program_ + " — " + description_ + "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Entry& entry = entries_.at(name);
+    out += "  --" + name;
+    out += " (default: " + entry.default_text + ")\n      " + entry.help +
+           "\n";
+  }
+  out += "  --help\n      print this message\n";
+  return out;
+}
+
+}  // namespace lehdc::util

@@ -1,0 +1,68 @@
+// A small typed command-line flag parser for the bench harnesses and
+// examples: `--name value`, `--name=value`, and boolean `--name`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lehdc::util {
+
+/// Declares flags, parses argv, and answers typed lookups with defaults.
+///
+/// Usage:
+///   FlagParser flags("bench_table1", "Regenerates Table 1.");
+///   flags.add_int("dim", 2000, "hypervector dimension");
+///   flags.add_flag("full", "run at full paper scale");
+///   flags.parse(argc, argv);           // exits(0) after printing --help
+///   const int dim = flags.get_int("dim");
+class FlagParser {
+ public:
+  FlagParser(std::string program, std::string description);
+
+  void add_int(std::string_view name, std::int64_t default_value,
+               std::string_view help);
+  void add_double(std::string_view name, double default_value,
+                  std::string_view help);
+  void add_string(std::string_view name, std::string_view default_value,
+                  std::string_view help);
+  /// Boolean flag, false unless present.
+  void add_flag(std::string_view name, std::string_view help);
+
+  /// Parses argv. Throws std::invalid_argument on unknown flags or
+  /// malformed values. Prints usage and std::exit(0)s on --help.
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::int64_t get_int(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] const std::string& get_string(std::string_view name) const;
+  [[nodiscard]] bool get_flag(std::string_view name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::string default_text;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  Entry& declare(std::string_view name, Kind kind, std::string_view help);
+  const Entry& lookup(std::string_view name, Kind kind) const;
+  void assign(Entry& entry, std::string_view name, std::string_view value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace lehdc::util

@@ -1,0 +1,25 @@
+// Minimal leveled logging to stderr.
+//
+// The harnesses print their primary results on stdout; diagnostic progress
+// (epoch counters, timing) goes through this logger so it can be silenced.
+#pragma once
+
+#include <string_view>
+
+namespace lehdc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits "[level] message\n" to stderr when level >= threshold.
+void log(LogLevel level, std::string_view message);
+
+void log_debug(std::string_view message);
+void log_info(std::string_view message);
+void log_warn(std::string_view message);
+void log_error(std::string_view message);
+
+}  // namespace lehdc::util

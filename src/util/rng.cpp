@@ -1,0 +1,92 @@
+#include "util/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace lehdc::util {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return std::rotl(x, k);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 mixer(seed);
+  for (auto& word : state_) {
+    word = mixer();
+  }
+  // Xoshiro's all-zero state is a fixed point; SplitMix64 cannot emit four
+  // consecutive zeros, but guard anyway for defense in depth.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  __extension__ using u128 = unsigned __int128;
+  std::uint64_t x = next();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<u128>(x) * static_cast<u128>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+float Rng::next_float() noexcept {
+  return static_cast<float>(next() >> 40) * 0x1.0p-24f;
+}
+
+bool Rng::next_bool(double p) noexcept { return next_double() < p; }
+
+double Rng::next_gaussian() noexcept {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = next_double();
+  // Avoid log(0).
+  while (u1 <= 0.0) {
+    u1 = next_double();
+  }
+  const double u2 = next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::next_range(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+std::uint64_t Rng::derive_seed(std::uint64_t stream_id) noexcept {
+  SplitMix64 mixer(next() ^ (stream_id * 0xd1342543de82ef95ULL));
+  return mixer();
+}
+
+}  // namespace lehdc::util

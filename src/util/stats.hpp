@@ -1,0 +1,64 @@
+// Streaming and batch summary statistics.
+//
+// Used by the experiment harness to report "mean ± std" rows exactly as
+// Table 1 of the paper does, and by tests to validate statistical
+// properties of hypervector generation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lehdc::util {
+
+/// Welford's online algorithm: numerically stable running mean/variance.
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Immutable summary of a sample set.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Formats as "mean ± std" with the given precision, mirroring the
+  /// paper's Table 1 cell format.
+  [[nodiscard]] std::string to_string(int precision = 2) const;
+};
+
+/// Summarizes a batch of values.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Mean of a batch; 0 for an empty batch.
+[[nodiscard]] double mean_of(std::span<const double> values) noexcept;
+
+/// Pearson correlation coefficient; requires equal-length, non-empty spans.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+}  // namespace lehdc::util

@@ -1,0 +1,116 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace lehdc::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  expects(!header_.empty(), "table header must have at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  expects(cells.size() == header_.size(),
+          "row width does not match the header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::cell(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      os << std::string(widths[c] - row[c].size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  const auto print_rule = [&] {
+    os << '+';
+    for (const std::size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  print_rule();
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string csv_escape(std::string_view cell) {
+  const bool needs_quoting =
+      cell.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quoting) {
+    return std::string(cell);
+  }
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (const char ch : cell) {
+    if (ch == '"') {
+      out.push_back('"');
+    }
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    throw std::runtime_error("cannot open CSV file for writing: " + path);
+  }
+  file_ = file;
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(file_));
+  }
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  auto* file = static_cast<std::FILE*>(file_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      std::fputc(',', file);
+    }
+    const std::string escaped = csv_escape(cells[i]);
+    std::fwrite(escaped.data(), 1, escaped.size(), file);
+  }
+  std::fputc('\n', file);
+}
+
+}  // namespace lehdc::util

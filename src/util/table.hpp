@@ -1,0 +1,61 @@
+// Console table and CSV output used by the table/figure harnesses.
+//
+// TextTable renders aligned, boxed tables on stdout (the harnesses print the
+// same rows the paper's tables report); CsvWriter persists figure series so
+// they can be re-plotted.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lehdc::util {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number formatting convenience: fixed precision.
+  [[nodiscard]] static std::string cell(double value, int precision = 2);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table (header, separator, rows) to the stream.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes rows to a CSV file; cells containing commas/quotes are quoted.
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  void* file_;  // std::FILE*, kept opaque to avoid <cstdio> in the header
+};
+
+/// Escapes one CSV cell (exposed for testing).
+[[nodiscard]] std::string csv_escape(std::string_view cell);
+
+}  // namespace lehdc::util

@@ -1,0 +1,116 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "util/check.hpp"
+
+namespace lehdc::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // With a single worker all work runs inline on the calling thread; no
+  // threads are spawned at all.
+  if (workers == 1) {
+    return;
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& thread : threads_) {
+    thread.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) {
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  expects(begin <= end, "parallel_for: begin must not exceed end");
+  if (begin == end) {
+    return;
+  }
+  const std::size_t n = end - begin;
+  const std::size_t workers = worker_count();
+  if (workers == 1 || n == 1) {
+    fn(begin, end);
+    return;
+  }
+
+  const std::size_t chunks = std::min(n, workers);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+
+  std::atomic<std::size_t> remaining{chunks};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    auto task = [&, lo, hi] {
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::scoped_lock lock(done_mutex);
+        done.notify_one();
+      }
+    };
+    {
+      const std::scoped_lock lock(mutex_);
+      tasks_.emplace(std::move(task));
+    }
+    task_ready_.notify_one();
+  }
+
+  std::unique_lock lock(done_mutex);
+  done.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(begin, end, fn);
+}
+
+}  // namespace lehdc::util

@@ -1,0 +1,55 @@
+// A fixed-size thread pool with a chunked parallel_for.
+//
+// Training at paper scale (D = 10,000, tens of thousands of samples) is
+// embarrassingly parallel over hypervector dimensions and over samples.
+// The pool degrades gracefully to inline execution when constructed with a
+// single worker (e.g. on one-core CI machines).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lehdc::util {
+
+class ThreadPool {
+ public:
+  /// Creates `workers` threads; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return threads_.empty() ? 1 : threads_.size();
+  }
+
+  /// Runs fn(begin..end) split into contiguous chunks across the pool and
+  /// blocks until all chunks complete. fn receives [chunk_begin, chunk_end).
+  /// Exceptions thrown by fn propagate to the caller (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide pool sized to the hardware; created on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  bool stopping_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().parallel_for.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace lehdc::util

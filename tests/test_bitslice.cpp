@@ -1,0 +1,171 @@
+#include "hv/bitslice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lehdc::hv {
+namespace {
+
+TEST(BitSliceAccumulator, CountsSingleAdd) {
+  BitSliceAccumulator acc(10);
+  BitVector hv(10);
+  hv.set_bit(3, true);
+  acc.add(hv);
+  EXPECT_EQ(acc.added(), 1u);
+  EXPECT_EQ(acc.count(3), 1u);
+  EXPECT_EQ(acc.count(0), 0u);
+}
+
+TEST(BitSliceAccumulator, RejectsDimensionMismatch) {
+  BitSliceAccumulator acc(10);
+  const BitVector wrong(11);
+  EXPECT_THROW(acc.add(wrong), std::invalid_argument);
+}
+
+TEST(BitSliceAccumulator, MajorityOfEmptyThrows) {
+  const BitSliceAccumulator acc(10);
+  const BitVector tie(10);
+  EXPECT_THROW((void)acc.majority(tie), std::invalid_argument);
+}
+
+TEST(BitSliceAccumulator, CountsMatchNaiveCounters) {
+  util::Rng rng(1);
+  const std::size_t dim = 200;
+  const std::size_t n = 100;
+  BitSliceAccumulator acc(dim);
+  std::vector<std::size_t> naive(dim, 0);
+  for (std::size_t s = 0; s < n; ++s) {
+    const BitVector hv = BitVector::random(dim, rng);
+    acc.add(hv);
+    for (std::size_t i = 0; i < dim; ++i) {
+      naive[i] += hv.get_bit(i) ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(acc.added(), n);
+  for (std::size_t i = 0; i < dim; ++i) {
+    ASSERT_EQ(acc.count(i), naive[i]) << "component " << i;
+  }
+}
+
+TEST(BitSliceAccumulator, MajorityMatchesIntVectorSign) {
+  util::Rng rng(2);
+  const std::size_t dim = 300;
+  BitSliceAccumulator acc(dim);
+  IntVector reference(dim);
+  const BitVector tie = BitVector::random(dim, rng);
+  for (std::size_t s = 0; s < 33; ++s) {
+    const BitVector hv = BitVector::random(dim, rng);
+    acc.add(hv);
+    reference.add(hv);
+  }
+  EXPECT_EQ(acc.majority(tie), reference.sign(tie));
+}
+
+TEST(BitSliceAccumulator, MajorityTieBreaksOnEvenCounts) {
+  BitSliceAccumulator acc(2);
+  BitVector a(2);
+  a.set(0, -1);  // component 0: one −1 vote and one +1 vote → tie
+  BitVector b(2);
+  acc.add(a);
+  acc.add(b);
+  BitVector tie_neg(2);
+  tie_neg.set(0, -1);
+  tie_neg.set(1, -1);
+  const BitVector with_neg = acc.majority(tie_neg);
+  EXPECT_EQ(with_neg.get(0), -1);  // tied component follows the tie-break
+  EXPECT_EQ(with_neg.get(1), 1);   // two +1 votes: a clear majority
+  const BitVector tie_pos(2);
+  const BitVector with_pos = acc.majority(tie_pos);
+  EXPECT_EQ(with_pos.get(0), 1);
+  EXPECT_EQ(with_pos.get(1), 1);
+}
+
+TEST(BitSliceAccumulator, OddCountsNeverTie) {
+  util::Rng rng(3);
+  const std::size_t dim = 100;
+  BitSliceAccumulator acc(dim);
+  IntVector reference(dim);
+  for (std::size_t s = 0; s < 7; ++s) {
+    const BitVector hv = BitVector::random(dim, rng);
+    acc.add(hv);
+    reference.add(hv);
+  }
+  // With an odd add count the tie-break must be irrelevant.
+  BitVector ties_neg(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    ties_neg.set_bit(i, true);
+  }
+  EXPECT_EQ(acc.majority(ties_neg), acc.majority(BitVector(dim)));
+  EXPECT_EQ(acc.majority(BitVector(dim)), reference.sign());
+}
+
+TEST(BitSliceAccumulator, ToIntVectorMatchesBipolarSum) {
+  util::Rng rng(4);
+  const std::size_t dim = 150;
+  BitSliceAccumulator acc(dim);
+  IntVector reference(dim);
+  for (std::size_t s = 0; s < 21; ++s) {
+    const BitVector hv = BitVector::random(dim, rng);
+    acc.add(hv);
+    reference.add(hv);
+  }
+  EXPECT_EQ(acc.to_int_vector(), reference);
+}
+
+TEST(BitSliceAccumulator, PlaneCountGrowsLogarithmically) {
+  util::Rng rng(5);
+  BitSliceAccumulator acc(64);
+  BitVector ones(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    ones.set_bit(i, true);
+  }
+  for (std::size_t s = 0; s < 1000; ++s) {
+    acc.add(ones);
+  }
+  // Counting to 1000 needs exactly 10 bit planes.
+  EXPECT_EQ(acc.plane_count(), 10u);
+  EXPECT_EQ(acc.count(0), 1000u);
+}
+
+TEST(BitSliceAccumulator, ResetClearsState) {
+  util::Rng rng(6);
+  BitSliceAccumulator acc(32);
+  acc.add(BitVector::random(32, rng));
+  acc.reset();
+  EXPECT_EQ(acc.added(), 0u);
+  EXPECT_EQ(acc.plane_count(), 0u);
+  acc.add(BitVector::random(32, rng));
+  EXPECT_EQ(acc.added(), 1u);
+}
+
+class BitSliceSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(BitSliceSweep, AgreesWithNaiveAcrossShapes) {
+  const auto [dim, adds] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(dim * 1000 + adds));
+  BitSliceAccumulator acc(dim);
+  IntVector reference(dim);
+  const BitVector tie = BitVector::random(dim, rng);
+  for (std::size_t s = 0; s < adds; ++s) {
+    const BitVector hv = BitVector::random(dim, rng);
+    acc.add(hv);
+    reference.add(hv);
+  }
+  ASSERT_EQ(acc.majority(tie), reference.sign(tie));
+  ASSERT_EQ(acc.to_int_vector(), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BitSliceSweep,
+    ::testing::Combine(::testing::Values(1, 63, 64, 65, 500),
+                       ::testing::Values(1, 2, 3, 16, 17, 128)));
+
+}  // namespace
+}  // namespace lehdc::hv

@@ -1,0 +1,230 @@
+#include "hv/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lehdc::hv {
+namespace {
+
+TEST(BitVector, StartsAllPositive) {
+  const BitVector hv(100);
+  EXPECT_EQ(hv.dim(), 100u);
+  EXPECT_EQ(hv.count_negatives(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(hv.get(i), 1);
+  }
+}
+
+TEST(BitVector, SetAndGetBipolar) {
+  BitVector hv(10);
+  hv.set(3, -1);
+  EXPECT_EQ(hv.get(3), -1);
+  EXPECT_TRUE(hv.get_bit(3));
+  hv.set(3, 1);
+  EXPECT_EQ(hv.get(3), 1);
+  EXPECT_FALSE(hv.get_bit(3));
+}
+
+TEST(BitVector, RejectsNonBipolarValues) {
+  BitVector hv(10);
+  EXPECT_THROW(hv.set(0, 0), std::invalid_argument);
+  EXPECT_THROW(hv.set(0, 2), std::invalid_argument);
+}
+
+TEST(BitVector, BoundsChecked) {
+  BitVector hv(10);
+  EXPECT_THROW((void)hv.get(10), std::invalid_argument);
+  EXPECT_THROW(hv.set_bit(10, true), std::invalid_argument);
+  EXPECT_THROW(hv.flip(10), std::invalid_argument);
+}
+
+TEST(BitVector, WordCountIsCeilDiv64) {
+  EXPECT_EQ(BitVector(0).word_count(), 0u);
+  EXPECT_EQ(BitVector(1).word_count(), 1u);
+  EXPECT_EQ(BitVector(64).word_count(), 1u);
+  EXPECT_EQ(BitVector(65).word_count(), 2u);
+  EXPECT_EQ(BitVector(10000).word_count(), 157u);
+}
+
+TEST(BitVector, BindingMatchesComponentwiseProduct) {
+  util::Rng rng(1);
+  const BitVector a = BitVector::random(200, rng);
+  const BitVector b = BitVector::random(200, rng);
+  BitVector bound = a;
+  bound.bind_inplace(b);
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(bound.get(i), a.get(i) * b.get(i));
+  }
+}
+
+TEST(BitVector, BindingIsAnInvolution) {
+  util::Rng rng(2);
+  const BitVector a = BitVector::random(300, rng);
+  const BitVector b = BitVector::random(300, rng);
+  BitVector restored = a;
+  restored.bind_inplace(b);
+  restored.bind_inplace(b);
+  EXPECT_EQ(restored, a);
+}
+
+TEST(BitVector, BindingRejectsMismatchedDims) {
+  BitVector a(10);
+  const BitVector b(11);
+  EXPECT_THROW(a.bind_inplace(b), std::invalid_argument);
+}
+
+TEST(BitVector, HammingOfSelfIsZero) {
+  util::Rng rng(3);
+  const BitVector a = BitVector::random(500, rng);
+  EXPECT_EQ(BitVector::hamming(a, a), 0u);
+}
+
+TEST(BitVector, HammingOfComplementIsD) {
+  util::Rng rng(4);
+  BitVector a = BitVector::random(100, rng);
+  BitVector b = a;
+  for (std::size_t i = 0; i < 100; ++i) {
+    b.flip(i);
+  }
+  EXPECT_EQ(BitVector::hamming(a, b), 100u);
+}
+
+TEST(BitVector, HammingIsSymmetric) {
+  util::Rng rng(5);
+  const BitVector a = BitVector::random(777, rng);
+  const BitVector b = BitVector::random(777, rng);
+  EXPECT_EQ(BitVector::hamming(a, b), BitVector::hamming(b, a));
+}
+
+TEST(BitVector, DotEqualsDMinusTwoHamming) {
+  util::Rng rng(6);
+  const BitVector a = BitVector::random(321, rng);
+  const BitVector b = BitVector::random(321, rng);
+  std::int64_t manual = 0;
+  for (std::size_t i = 0; i < 321; ++i) {
+    manual += a.get(i) * b.get(i);
+  }
+  EXPECT_EQ(BitVector::dot(a, b), manual);
+  EXPECT_EQ(BitVector::dot(a, b),
+            321 - 2 * static_cast<std::int64_t>(BitVector::hamming(a, b)));
+}
+
+TEST(BitVector, MaskedDotMatchesManual) {
+  util::Rng rng(7);
+  const std::size_t dim = 130;
+  const BitVector a = BitVector::random(dim, rng);
+  const BitVector b = BitVector::random(dim, rng);
+  std::vector<std::uint64_t> mask(a.word_count(), 0);
+  std::size_t kept = 0;
+  std::int64_t manual = 0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (rng.next_bool(0.6)) {
+      mask[i / 64] |= std::uint64_t{1} << (i % 64);
+      ++kept;
+      manual += a.get(i) * b.get(i);
+    }
+  }
+  EXPECT_EQ(BitVector::masked_dot(a, b, mask, kept), manual);
+}
+
+TEST(BitVector, RotationPreservesNegativeCount) {
+  util::Rng rng(8);
+  const BitVector a = BitVector::random(100, rng);
+  const BitVector r = a.rotated(17);
+  EXPECT_EQ(a.count_negatives(), r.count_negatives());
+}
+
+TEST(BitVector, RotationShiftsComponents) {
+  BitVector a(10);
+  a.set_bit(2, true);
+  const BitVector r = a.rotated(3);
+  EXPECT_TRUE(r.get_bit(5));
+  EXPECT_EQ(r.count_negatives(), 1u);
+}
+
+TEST(BitVector, RotationWrapsAround) {
+  BitVector a(10);
+  a.set_bit(8, true);
+  const BitVector r = a.rotated(5);
+  EXPECT_TRUE(r.get_bit(3));
+}
+
+TEST(BitVector, FullRotationIsIdentity) {
+  util::Rng rng(9);
+  const BitVector a = BitVector::random(97, rng);
+  EXPECT_EQ(a.rotated(97), a);
+  EXPECT_EQ(a.rotated(0), a);
+}
+
+TEST(BitVector, RotationComposes) {
+  util::Rng rng(10);
+  const BitVector a = BitVector::random(50, rng);
+  EXPECT_EQ(a.rotated(7).rotated(11), a.rotated(18));
+}
+
+TEST(BitVector, FlipRandomFlipsExactCount) {
+  util::Rng rng(11);
+  BitVector a(200);
+  a.flip_random(37, rng);
+  EXPECT_EQ(a.count_negatives(), 37u);
+}
+
+TEST(BitVector, FlipRandomRejectsOverflow) {
+  util::Rng rng(12);
+  BitVector a(10);
+  EXPECT_THROW(a.flip_random(11, rng), std::invalid_argument);
+}
+
+TEST(BitVector, RandomizeIsBalanced) {
+  util::Rng rng(13);
+  const BitVector a = BitVector::random(10000, rng);
+  const double fraction =
+      static_cast<double>(a.count_negatives()) / 10000.0;
+  EXPECT_NEAR(fraction, 0.5, 0.03);
+}
+
+TEST(BitVector, RandomTailBitsStayClear) {
+  util::Rng rng(14);
+  // dim = 70: the final word has 6 valid bits; the rest must be zero so
+  // popcount-based distances stay exact.
+  const BitVector a = BitVector::random(70, rng);
+  EXPECT_EQ(a.words().back() >> 6, 0u);
+}
+
+TEST(BitVector, ToStringRendersSigns) {
+  BitVector a(5);
+  a.set(1, -1);
+  a.set(4, -1);
+  EXPECT_EQ(a.to_string(), "+-++-");
+  EXPECT_EQ(a.to_string(3), "+-+...");
+}
+
+class BitVectorDimSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVectorDimSweep, DistanceIdentitiesHoldAtWordBoundaries) {
+  const std::size_t dim = GetParam();
+  util::Rng rng(100 + dim);
+  const BitVector a = BitVector::random(dim, rng);
+  const BitVector b = BitVector::random(dim, rng);
+  const std::size_t hamming = BitVector::hamming(a, b);
+  EXPECT_LE(hamming, dim);
+  EXPECT_EQ(BitVector::dot(a, b),
+            static_cast<std::int64_t>(dim) -
+                2 * static_cast<std::int64_t>(hamming));
+  std::size_t manual = 0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    manual += a.get_bit(i) != b.get_bit(i) ? 1 : 0;
+  }
+  EXPECT_EQ(hamming, manual);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, BitVectorDimSweep,
+                         ::testing::Values(1, 2, 63, 64, 65, 127, 128, 129,
+                                           1000, 2048));
+
+}  // namespace
+}  // namespace lehdc::hv

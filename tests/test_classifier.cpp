@@ -1,0 +1,173 @@
+#include "hdc/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lehdc::hdc {
+namespace {
+
+/// Builds K well-separated random class hypervectors.
+std::vector<hv::BitVector> random_classes(std::size_t k, std::size_t dim,
+                                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<hv::BitVector> out;
+  for (std::size_t i = 0; i < k; ++i) {
+    out.push_back(hv::BitVector::random(dim, rng));
+  }
+  return out;
+}
+
+/// A noisy copy of `base` with `flips` random components flipped.
+hv::BitVector noisy(const hv::BitVector& base, std::size_t flips,
+                    util::Rng& rng) {
+  hv::BitVector out = base;
+  out.flip_random(flips, rng);
+  return out;
+}
+
+TEST(BinaryClassifier, PredictsNearestClass) {
+  const auto classes = random_classes(4, 1024, 1);
+  const BinaryClassifier classifier(classes);
+  util::Rng rng(2);
+  for (std::size_t k = 0; k < 4; ++k) {
+    const auto query = noisy(classes[k], 100, rng);
+    EXPECT_EQ(classifier.predict(query), static_cast<int>(k));
+  }
+}
+
+TEST(BinaryClassifier, ScoresMatchDotProducts) {
+  const auto classes = random_classes(3, 256, 3);
+  const BinaryClassifier classifier(classes);
+  util::Rng rng(4);
+  const auto query = hv::BitVector::random(256, rng);
+  const auto scores = classifier.scores(query);
+  ASSERT_EQ(scores.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(scores[k], hv::BitVector::dot(query, classes[k]));
+  }
+}
+
+TEST(BinaryClassifier, ArgminHammingEqualsArgmaxDot) {
+  // Eq. 4/6 equivalence on random queries.
+  const auto classes = random_classes(5, 512, 5);
+  const BinaryClassifier classifier(classes);
+  util::Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto query = hv::BitVector::random(512, rng);
+    std::size_t argmin = 0;
+    for (std::size_t k = 1; k < 5; ++k) {
+      if (hv::BitVector::hamming(query, classes[k]) <
+          hv::BitVector::hamming(query, classes[argmin])) {
+        argmin = k;
+      }
+    }
+    ASSERT_EQ(classifier.predict(query), static_cast<int>(argmin));
+  }
+}
+
+TEST(BinaryClassifier, TieGoesToLowestClass) {
+  std::vector<hv::BitVector> classes;
+  classes.push_back(hv::BitVector(8));
+  classes.push_back(hv::BitVector(8));  // identical hypervectors
+  const BinaryClassifier classifier(classes);
+  EXPECT_EQ(classifier.predict(hv::BitVector(8)), 0);
+}
+
+TEST(BinaryClassifier, AccuracyOverDataset) {
+  const auto classes = random_classes(2, 512, 7);
+  const BinaryClassifier classifier(classes);
+  util::Rng rng(8);
+  EncodedDataset dataset(512, 2);
+  dataset.add(noisy(classes[0], 50, rng), 0);
+  dataset.add(noisy(classes[1], 50, rng), 1);
+  dataset.add(noisy(classes[0], 50, rng), 1);  // deliberately mislabeled
+  EXPECT_NEAR(classifier.accuracy(dataset), 2.0 / 3.0, 1e-12);
+}
+
+TEST(BinaryClassifier, AccuracyOfEmptyDatasetIsZero) {
+  const BinaryClassifier classifier(random_classes(2, 64, 9));
+  const EncodedDataset dataset(64, 2);
+  EXPECT_EQ(classifier.accuracy(dataset), 0.0);
+}
+
+TEST(BinaryClassifier, RejectsEmptyOrRaggedClasses) {
+  EXPECT_THROW(BinaryClassifier{std::vector<hv::BitVector>{}},
+               std::invalid_argument);
+  std::vector<hv::BitVector> ragged;
+  ragged.push_back(hv::BitVector(64));
+  ragged.push_back(hv::BitVector(65));
+  EXPECT_THROW(BinaryClassifier{std::move(ragged)}, std::invalid_argument);
+}
+
+TEST(EnsembleClassifier, PredictsClassOfBestModel) {
+  util::Rng rng(10);
+  std::vector<std::vector<hv::BitVector>> models(2);
+  models[0] = random_classes(3, 512, 11);
+  models[1] = random_classes(3, 512, 12);
+  const EnsembleClassifier classifier(models);
+  EXPECT_EQ(classifier.class_count(), 2u);
+  EXPECT_EQ(classifier.models_per_class(), 3u);
+
+  const auto query = noisy(models[1][2], 60, rng);
+  std::size_t best_model = 99;
+  EXPECT_EQ(classifier.predict(query, &best_model), 1);
+  EXPECT_EQ(best_model, 2u);
+}
+
+TEST(EnsembleClassifier, StorageGrowsWithEnsembleSize) {
+  std::vector<std::vector<hv::BitVector>> small(2);
+  small[0] = random_classes(1, 128, 13);
+  small[1] = random_classes(1, 128, 14);
+  std::vector<std::vector<hv::BitVector>> big(2);
+  big[0] = random_classes(8, 128, 15);
+  big[1] = random_classes(8, 128, 16);
+  EXPECT_EQ(EnsembleClassifier(small).storage_bits(), 2u * 128u);
+  EXPECT_EQ(EnsembleClassifier(big).storage_bits(), 2u * 8u * 128u);
+}
+
+TEST(EnsembleClassifier, RejectsRaggedModelCounts) {
+  std::vector<std::vector<hv::BitVector>> ragged(2);
+  ragged[0] = random_classes(2, 64, 17);
+  ragged[1] = random_classes(3, 64, 18);
+  EXPECT_THROW(EnsembleClassifier{std::move(ragged)},
+               std::invalid_argument);
+}
+
+TEST(NonBinaryClassifier, CosinePredict) {
+  util::Rng rng(19);
+  std::vector<hv::IntVector> classes;
+  const auto proto0 = hv::BitVector::random(512, rng);
+  const auto proto1 = hv::BitVector::random(512, rng);
+  hv::IntVector c0(512);
+  c0.add_scaled(proto0, 3);
+  hv::IntVector c1(512);
+  c1.add_scaled(proto1, 3);
+  classes.push_back(std::move(c0));
+  classes.push_back(std::move(c1));
+  const NonBinaryClassifier classifier(std::move(classes));
+  EXPECT_EQ(classifier.predict(noisy(proto0, 60, rng)), 0);
+  EXPECT_EQ(classifier.predict(noisy(proto1, 60, rng)), 1);
+}
+
+TEST(NonBinaryClassifier, MagnitudeInvariance) {
+  // Cosine inference must not prefer a class merely for having seen more
+  // samples (larger accumulator norm).
+  util::Rng rng(20);
+  const auto proto0 = hv::BitVector::random(256, rng);
+  const auto proto1 = hv::BitVector::random(256, rng);
+  hv::IntVector heavy(256);
+  heavy.add_scaled(proto0, 100);  // class 0 accumulated 100 samples
+  hv::IntVector light(256);
+  light.add_scaled(proto1, 1);  // class 1 accumulated one
+  std::vector<hv::IntVector> classes;
+  classes.push_back(std::move(heavy));
+  classes.push_back(std::move(light));
+  const NonBinaryClassifier classifier(std::move(classes));
+  EXPECT_EQ(classifier.predict(noisy(proto1, 30, rng)), 1);
+}
+
+}  // namespace
+}  // namespace lehdc::hdc

@@ -1,0 +1,157 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lehdc::data {
+namespace {
+
+Dataset tiny() {
+  Dataset dataset(2, 3);
+  dataset.add_sample(std::vector<float>{0.0f, 1.0f}, 0);
+  dataset.add_sample(std::vector<float>{2.0f, 3.0f}, 1);
+  dataset.add_sample(std::vector<float>{4.0f, 5.0f}, 2);
+  dataset.add_sample(std::vector<float>{6.0f, 7.0f}, 1);
+  return dataset;
+}
+
+TEST(Dataset, ShapeAndAccess) {
+  const Dataset dataset = tiny();
+  EXPECT_EQ(dataset.size(), 4u);
+  EXPECT_EQ(dataset.feature_count(), 2u);
+  EXPECT_EQ(dataset.class_count(), 3u);
+  EXPECT_FALSE(dataset.empty());
+  EXPECT_EQ(dataset.sample(1)[0], 2.0f);
+  EXPECT_EQ(dataset.label(3), 1);
+}
+
+TEST(Dataset, RejectsDegenerateSchema) {
+  EXPECT_THROW(Dataset(0, 2), std::invalid_argument);
+  EXPECT_THROW(Dataset(2, 0), std::invalid_argument);
+}
+
+TEST(Dataset, ValidatesSamples) {
+  Dataset dataset(2, 2);
+  EXPECT_THROW(dataset.add_sample(std::vector<float>{1.0f}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(dataset.add_sample(std::vector<float>{1.0f, 2.0f}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(dataset.add_sample(std::vector<float>{1.0f, 2.0f}, -1),
+               std::invalid_argument);
+}
+
+TEST(Dataset, BoundsCheckedAccess) {
+  const Dataset dataset = tiny();
+  EXPECT_THROW((void)dataset.sample(4), std::invalid_argument);
+  EXPECT_THROW((void)dataset.label(4), std::invalid_argument);
+}
+
+TEST(Dataset, ShufflePreservesSampleLabelPairs) {
+  Dataset dataset = tiny();
+  // Record the original (feature, label) multiset.
+  std::map<float, int> pairing;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    pairing[dataset.sample(i)[0]] = dataset.label(i);
+  }
+  util::Rng rng(1);
+  dataset.shuffle(rng);
+  EXPECT_EQ(dataset.size(), 4u);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    ASSERT_EQ(pairing.at(dataset.sample(i)[0]), dataset.label(i));
+  }
+}
+
+TEST(Dataset, ShuffleActuallyPermutes) {
+  Dataset dataset(1, 2);
+  for (int i = 0; i < 100; ++i) {
+    dataset.add_sample(std::vector<float>{static_cast<float>(i)}, i % 2);
+  }
+  util::Rng rng(2);
+  dataset.shuffle(rng);
+  bool moved = false;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (dataset.sample(i)[0] != static_cast<float>(i)) {
+      moved = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(Dataset, SplitPartitionsInOrder) {
+  const Dataset dataset = tiny();
+  const auto [head, tail] = dataset.split(3);
+  EXPECT_EQ(head.size(), 3u);
+  EXPECT_EQ(tail.size(), 1u);
+  EXPECT_EQ(head.label(0), 0);
+  EXPECT_EQ(tail.sample(0)[0], 6.0f);
+  EXPECT_THROW((void)dataset.split(5), std::invalid_argument);
+}
+
+TEST(Dataset, ValueRange) {
+  const Dataset dataset = tiny();
+  const auto [lo, hi] = dataset.value_range();
+  EXPECT_EQ(lo, 0.0f);
+  EXPECT_EQ(hi, 7.0f);
+  const Dataset empty(2, 2);
+  const auto [elo, ehi] = empty.value_range();
+  EXPECT_EQ(elo, 0.0f);
+  EXPECT_EQ(ehi, 1.0f);
+}
+
+TEST(Dataset, GlobalMinMaxNormalize) {
+  Dataset dataset = tiny();
+  dataset.minmax_normalize(false);
+  const auto [lo, hi] = dataset.value_range();
+  EXPECT_EQ(lo, 0.0f);
+  EXPECT_EQ(hi, 1.0f);
+  EXPECT_NEAR(dataset.sample(1)[0], 2.0f / 7.0f, 1e-6f);
+}
+
+TEST(Dataset, PerFeatureNormalize) {
+  Dataset dataset(2, 2);
+  dataset.add_sample(std::vector<float>{0.0f, 100.0f}, 0);
+  dataset.add_sample(std::vector<float>{10.0f, 300.0f}, 1);
+  dataset.minmax_normalize(true);
+  EXPECT_EQ(dataset.sample(0)[0], 0.0f);
+  EXPECT_EQ(dataset.sample(1)[0], 1.0f);
+  EXPECT_EQ(dataset.sample(0)[1], 0.0f);
+  EXPECT_EQ(dataset.sample(1)[1], 1.0f);
+}
+
+TEST(Dataset, NormalizeConstantColumnsToZero) {
+  Dataset dataset(1, 2);
+  dataset.add_sample(std::vector<float>{5.0f}, 0);
+  dataset.add_sample(std::vector<float>{5.0f}, 1);
+  dataset.minmax_normalize(true);
+  EXPECT_EQ(dataset.sample(0)[0], 0.0f);
+  Dataset flat(1, 2);
+  flat.add_sample(std::vector<float>{5.0f}, 0);
+  flat.minmax_normalize(false);
+  EXPECT_EQ(flat.sample(0)[0], 0.0f);
+}
+
+TEST(Dataset, ClassHistogram) {
+  const Dataset dataset = tiny();
+  const auto histogram = dataset.class_histogram();
+  ASSERT_EQ(histogram.size(), 3u);
+  EXPECT_EQ(histogram[0], 1u);
+  EXPECT_EQ(histogram[1], 2u);
+  EXPECT_EQ(histogram[2], 1u);
+}
+
+TEST(Dataset, SummaryMentionsShape) {
+  const Dataset dataset = tiny();
+  const auto summary = dataset.summary();
+  EXPECT_NE(summary.find("n=4"), std::string::npos);
+  EXPECT_NE(summary.find("features=2"), std::string::npos);
+  EXPECT_NE(summary.find("classes=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lehdc::data

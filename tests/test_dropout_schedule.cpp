@@ -1,0 +1,198 @@
+// Tests for dropout, LR schedules and STE binarization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/binarize.hpp"
+#include "nn/dropout.hpp"
+#include "nn/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace lehdc::nn {
+namespace {
+
+TEST(Dropout, RateZeroIsIdentity) {
+  Dropout dropout(0.0f);
+  util::Rng rng(1);
+  Matrix m(4, 4);
+  m.fill(2.0f);
+  dropout.apply(m, rng);
+  for (const float v : m.data()) {
+    EXPECT_EQ(v, 2.0f);
+  }
+}
+
+TEST(Dropout, RejectsInvalidRate) {
+  EXPECT_THROW(Dropout(-0.1f), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0f), std::invalid_argument);
+}
+
+TEST(Dropout, DropsApproximatelyRateFraction) {
+  Dropout dropout(0.3f);
+  util::Rng rng(2);
+  Matrix m(100, 100);
+  m.fill(1.0f);
+  dropout.apply(m, rng);
+  std::size_t zeros = 0;
+  for (const float v : m.data()) {
+    zeros += (v == 0.0f) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.02);
+}
+
+TEST(Dropout, SurvivorsAreInvertedScaled) {
+  Dropout dropout(0.5f);
+  util::Rng rng(3);
+  Matrix m(10, 10);
+  m.fill(3.0f);
+  dropout.apply(m, rng);
+  for (const float v : m.data()) {
+    EXPECT_TRUE(v == 0.0f || std::abs(v - 6.0f) < 1e-6f) << v;
+  }
+}
+
+TEST(Dropout, PreservesExpectedValue) {
+  Dropout dropout(0.4f);
+  util::Rng rng(4);
+  Matrix m(200, 200);
+  m.fill(1.0f);
+  dropout.apply(m, rng);
+  double sum = 0.0;
+  for (const float v : m.data()) {
+    sum += v;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(m.size()), 1.0, 0.03);
+}
+
+TEST(Dropout, MaskStatisticsMatchRate) {
+  const Dropout dropout(0.25f);
+  util::Rng rng(5);
+  const auto mask = dropout.make_mask(20000, rng);
+  std::size_t kept = 0;
+  for (const auto bit : mask) {
+    kept += bit;
+  }
+  EXPECT_NEAR(static_cast<double>(kept) / 20000.0, 0.75, 0.02);
+}
+
+TEST(Dropout, BackwardZeroesDroppedGradients) {
+  std::vector<float> grad{1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<std::uint8_t> mask{1, 0, 1, 0};
+  Dropout::backward(grad, mask, 0.5f);
+  EXPECT_EQ(grad[0], 2.0f);  // kept, scaled by 1/(1-0.5)
+  EXPECT_EQ(grad[1], 0.0f);
+  EXPECT_EQ(grad[2], 6.0f);
+  EXPECT_EQ(grad[3], 0.0f);
+}
+
+TEST(Dropout, BackwardValidatesSizes) {
+  std::vector<float> grad{1.0f};
+  const std::vector<std::uint8_t> mask{1, 1};
+  EXPECT_THROW(Dropout::backward(grad, mask, 0.5f), std::invalid_argument);
+}
+
+TEST(PlateauDecay, KeepsLrWhileImproving) {
+  PlateauDecay schedule(0.1f, 0.5f, 2);
+  EXPECT_EQ(schedule.observe(1.0), 0.1f);
+  EXPECT_EQ(schedule.observe(0.9), 0.1f);
+  EXPECT_EQ(schedule.observe(0.8), 0.1f);
+  EXPECT_EQ(schedule.decay_count(), 0u);
+}
+
+TEST(PlateauDecay, DecaysAfterPatienceBadEpochs) {
+  PlateauDecay schedule(0.1f, 0.5f, 2);
+  (void)schedule.observe(1.0);
+  (void)schedule.observe(1.1);  // bad 1
+  const float lr = schedule.observe(1.2);  // bad 2 → decay
+  EXPECT_NEAR(lr, 0.05f, 1e-7f);
+  EXPECT_EQ(schedule.decay_count(), 1u);
+}
+
+TEST(PlateauDecay, ImprovementResetsPatience) {
+  PlateauDecay schedule(0.1f, 0.5f, 2);
+  (void)schedule.observe(1.0);
+  (void)schedule.observe(1.1);   // bad 1
+  (void)schedule.observe(0.5);   // improvement resets
+  (void)schedule.observe(0.6);   // bad 1 again
+  EXPECT_EQ(schedule.learning_rate(), 0.1f);
+  (void)schedule.observe(0.7);   // bad 2 → decay
+  EXPECT_NEAR(schedule.learning_rate(), 0.05f, 1e-7f);
+}
+
+TEST(PlateauDecay, RespectsMinLr) {
+  PlateauDecay schedule(0.1f, 0.1f, 1, 0.01f);
+  (void)schedule.observe(1.0);
+  (void)schedule.observe(2.0);  // decay to 0.01 (clamped)
+  (void)schedule.observe(3.0);  // clamped at min
+  EXPECT_NEAR(schedule.learning_rate(), 0.01f, 1e-7f);
+}
+
+TEST(PlateauDecay, ValidatesConfig) {
+  EXPECT_THROW(PlateauDecay(0.0f, 0.5f, 1), std::invalid_argument);
+  EXPECT_THROW(PlateauDecay(0.1f, 1.0f, 1), std::invalid_argument);
+  EXPECT_THROW(PlateauDecay(0.1f, 0.5f, 0), std::invalid_argument);
+}
+
+TEST(StepDecay, DecaysEveryInterval) {
+  StepDecay schedule(1.0f, 0.5f, 3);
+  EXPECT_EQ(schedule.observe(), 1.0f);
+  EXPECT_EQ(schedule.observe(), 1.0f);
+  EXPECT_EQ(schedule.observe(), 0.5f);
+  EXPECT_EQ(schedule.observe(), 0.5f);
+  EXPECT_EQ(schedule.observe(), 0.5f);
+  EXPECT_EQ(schedule.observe(), 0.25f);
+}
+
+TEST(Binarize, ToFloatProducesSigns) {
+  Matrix latent(1, 4);
+  latent.at(0, 0) = 0.5f;
+  latent.at(0, 1) = -0.5f;
+  latent.at(0, 2) = 0.0f;  // sgn(0) = +1
+  latent.at(0, 3) = -100.0f;
+  Matrix out(1, 4);
+  binarize_to_float(latent, out);
+  EXPECT_EQ(out.at(0, 0), 1.0f);
+  EXPECT_EQ(out.at(0, 1), -1.0f);
+  EXPECT_EQ(out.at(0, 2), 1.0f);
+  EXPECT_EQ(out.at(0, 3), -1.0f);
+}
+
+TEST(Binarize, RowPacksSigns) {
+  Matrix latent(2, 3);
+  latent.at(1, 0) = -1.0f;
+  latent.at(1, 2) = 2.0f;
+  const hv::BitVector packed = binarize_row(latent, 1);
+  EXPECT_EQ(packed.get(0), -1);
+  EXPECT_EQ(packed.get(1), 1);
+  EXPECT_EQ(packed.get(2), 1);
+  EXPECT_THROW((void)binarize_row(latent, 2), std::invalid_argument);
+}
+
+TEST(Binarize, RowsMatchFloatBinarization) {
+  util::Rng rng(6);
+  Matrix latent(3, 100);
+  latent.fill_gaussian(rng, 1.0f);
+  const auto rows = binarize_rows(latent);
+  ASSERT_EQ(rows.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t j = 0; j < 100; ++j) {
+      EXPECT_EQ(rows[k].get(j), latent.at(k, j) < 0.0f ? -1 : 1);
+    }
+  }
+}
+
+TEST(Binarize, ClipLatentClampsRange) {
+  Matrix latent(1, 3);
+  latent.at(0, 0) = 5.0f;
+  latent.at(0, 1) = -5.0f;
+  latent.at(0, 2) = 0.3f;
+  clip_latent(latent, 1.0f);
+  EXPECT_EQ(latent.at(0, 0), 1.0f);
+  EXPECT_EQ(latent.at(0, 1), -1.0f);
+  EXPECT_EQ(latent.at(0, 2), 0.3f);
+  EXPECT_THROW(clip_latent(latent, 0.0f), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lehdc::nn

@@ -1,0 +1,196 @@
+#include "hdc/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "hdc/encoded_dataset.hpp"
+#include "hv/similarity.hpp"
+#include "util/rng.hpp"
+
+namespace lehdc::hdc {
+namespace {
+
+RecordEncoderConfig small_config() {
+  RecordEncoderConfig cfg;
+  cfg.dim = 2048;
+  cfg.feature_count = 32;
+  cfg.levels = 16;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::vector<float> random_sample(std::size_t n, util::Rng& rng) {
+  std::vector<float> out(n);
+  for (auto& v : out) {
+    v = rng.next_float();
+  }
+  return out;
+}
+
+TEST(RecordEncoder, ReportsShape) {
+  const RecordEncoder encoder(small_config());
+  EXPECT_EQ(encoder.dim(), 2048u);
+  EXPECT_EQ(encoder.feature_count(), 32u);
+}
+
+TEST(RecordEncoder, EncodingIsDeterministic) {
+  const RecordEncoder encoder(small_config());
+  util::Rng rng(1);
+  const auto sample = random_sample(32, rng);
+  EXPECT_EQ(encoder.encode(sample), encoder.encode(sample));
+}
+
+TEST(RecordEncoder, SameSeedSameEncoder) {
+  const RecordEncoder a(small_config());
+  const RecordEncoder b(small_config());
+  util::Rng rng(2);
+  const auto sample = random_sample(32, rng);
+  EXPECT_EQ(a.encode(sample), b.encode(sample));
+}
+
+TEST(RecordEncoder, DifferentSeedsGiveDifferentCodes) {
+  auto cfg = small_config();
+  const RecordEncoder a(cfg);
+  cfg.seed = 8;
+  const RecordEncoder b(cfg);
+  util::Rng rng(3);
+  const auto sample = random_sample(32, rng);
+  EXPECT_NEAR(hv::normalized_hamming(a.encode(sample), b.encode(sample)),
+              0.5, 0.05);
+}
+
+TEST(RecordEncoder, RejectsWrongFeatureWidth) {
+  const RecordEncoder encoder(small_config());
+  const std::vector<float> wrong(31, 0.5f);
+  EXPECT_THROW((void)encoder.encode(wrong), std::invalid_argument);
+}
+
+TEST(RecordEncoder, SimilarInputsHaveSimilarCodes) {
+  // Locality: perturbing a few features slightly must move the code far
+  // less than replacing the sample entirely.
+  const RecordEncoder encoder(small_config());
+  util::Rng rng(4);
+  auto sample = random_sample(32, rng);
+  const auto code = encoder.encode(sample);
+
+  auto nudged = sample;
+  nudged[0] = std::min(1.0f, nudged[0] + 0.05f);
+  const double near_distance =
+      hv::normalized_hamming(code, encoder.encode(nudged));
+
+  const auto other = random_sample(32, rng);
+  const double far_distance =
+      hv::normalized_hamming(code, encoder.encode(other));
+
+  EXPECT_LT(near_distance, 0.15);
+  EXPECT_GT(far_distance, near_distance);
+}
+
+TEST(RecordEncoder, DistanceGrowsWithPerturbedFeatureCount) {
+  const RecordEncoder encoder(small_config());
+  util::Rng rng(5);
+  const auto sample = random_sample(32, rng);
+  const auto code = encoder.encode(sample);
+  double previous = 0.0;
+  for (const std::size_t changed : {4u, 16u, 32u}) {
+    auto perturbed = sample;
+    for (std::size_t i = 0; i < changed; ++i) {
+      perturbed[i] = 1.0f - perturbed[i];
+    }
+    const double distance =
+        hv::normalized_hamming(code, encoder.encode(perturbed));
+    EXPECT_GT(distance, previous);
+    previous = distance;
+  }
+}
+
+TEST(RecordEncoder, ValueRangeClampsGracefully) {
+  const RecordEncoder encoder(small_config());
+  const std::vector<float> below(32, -100.0f);
+  const std::vector<float> above(32, +100.0f);
+  // Out-of-range values clamp to the boundary levels: still valid codes.
+  EXPECT_EQ(encoder.encode(below).dim(), 2048u);
+  EXPECT_EQ(encoder.encode(above).dim(), 2048u);
+}
+
+TEST(NgramEncoder, EncodesAndIsDeterministic) {
+  NgramEncoderConfig cfg;
+  cfg.dim = 1024;
+  cfg.feature_count = 16;
+  cfg.ngram = 3;
+  cfg.seed = 9;
+  const NgramEncoder encoder(cfg);
+  EXPECT_EQ(encoder.dim(), 1024u);
+  util::Rng rng(6);
+  const auto sample = random_sample(16, rng);
+  EXPECT_EQ(encoder.encode(sample), encoder.encode(sample));
+}
+
+TEST(NgramEncoder, OrderSensitive) {
+  // Unlike bag-of-values approaches, the permutation makes N-gram codes
+  // sensitive to feature order.
+  NgramEncoderConfig cfg;
+  cfg.dim = 4096;
+  cfg.feature_count = 8;
+  cfg.ngram = 2;
+  cfg.seed = 10;
+  const NgramEncoder encoder(cfg);
+  const std::vector<float> forward{0.1f, 0.9f, 0.2f, 0.8f,
+                                   0.3f, 0.7f, 0.4f, 0.6f};
+  std::vector<float> reversed(forward.rbegin(), forward.rend());
+  // Reversal shares many symmetric windows, so the distance is modest but
+  // must be clearly nonzero (a bag-of-values encoder would give 0).
+  EXPECT_GT(
+      hv::normalized_hamming(encoder.encode(forward),
+                             encoder.encode(reversed)),
+      0.05);
+}
+
+TEST(NgramEncoder, RejectsBadWindow) {
+  NgramEncoderConfig cfg;
+  cfg.dim = 256;
+  cfg.feature_count = 4;
+  cfg.ngram = 5;
+  EXPECT_THROW(NgramEncoder{cfg}, std::invalid_argument);
+}
+
+TEST(EncodeDataset, PreservesLabelsAndOrder) {
+  auto cfg = small_config();
+  const RecordEncoder encoder(cfg);
+  data::Dataset dataset(32, 3);
+  util::Rng rng(11);
+  for (int i = 0; i < 9; ++i) {
+    const auto sample = random_sample(32, rng);
+    dataset.add_sample(sample, i % 3);
+  }
+  const EncodedDataset encoded = encode_dataset(encoder, dataset);
+  ASSERT_EQ(encoded.size(), 9u);
+  EXPECT_EQ(encoded.dim(), 2048u);
+  EXPECT_EQ(encoded.class_count(), 3u);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(encoded.label(i), dataset.label(i));
+    EXPECT_EQ(encoded.hypervector(i), encoder.encode(dataset.sample(i)));
+  }
+}
+
+TEST(EncodeDataset, RejectsFeatureWidthMismatch) {
+  const RecordEncoder encoder(small_config());
+  const data::Dataset dataset(31, 2);
+  EXPECT_THROW((void)encode_dataset(encoder, dataset),
+               std::invalid_argument);
+}
+
+TEST(EncodedDataset, ValidatesAdds) {
+  EncodedDataset dataset(64, 2);
+  EXPECT_THROW(dataset.add(hv::BitVector(32), 0), std::invalid_argument);
+  EXPECT_THROW(dataset.add(hv::BitVector(64), 2), std::invalid_argument);
+  EXPECT_THROW(dataset.add(hv::BitVector(64), -1), std::invalid_argument);
+  dataset.add(hv::BitVector(64), 1);
+  EXPECT_EQ(dataset.size(), 1u);
+  EXPECT_THROW((void)dataset.hypervector(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lehdc::hdc

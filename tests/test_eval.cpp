@@ -1,0 +1,276 @@
+// Tests for the evaluation layer: metrics, presets, experiment runner,
+// resource model and report writers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "eval/experiment.hpp"
+#include "train/baseline.hpp"
+#include "eval/metrics.hpp"
+#include "eval/presets.hpp"
+#include "eval/report.hpp"
+#include "eval/resource.hpp"
+#include "train_test_util.hpp"
+
+namespace lehdc::eval {
+namespace {
+
+TEST(ConfusionMatrix, AccumulatesCounts) {
+  ConfusionMatrix matrix(3);
+  matrix.add(0, 0);
+  matrix.add(0, 1);
+  matrix.add(1, 1);
+  matrix.add(2, 2);
+  EXPECT_EQ(matrix.total(), 4u);
+  EXPECT_EQ(matrix.count(0, 1), 1u);
+  EXPECT_EQ(matrix.count(0, 0), 1u);
+  EXPECT_NEAR(matrix.accuracy(), 0.75, 1e-12);
+}
+
+TEST(ConfusionMatrix, RecallAndPrecision) {
+  ConfusionMatrix matrix(2);
+  // class 0: 3 samples, 2 predicted correctly; one class-1 sample
+  // misclassified as 0.
+  matrix.add(0, 0);
+  matrix.add(0, 0);
+  matrix.add(0, 1);
+  matrix.add(1, 0);
+  EXPECT_NEAR(matrix.recall(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(matrix.precision(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(matrix.recall(1), 0.0, 1e-12);
+  EXPECT_NEAR(matrix.macro_recall(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, EmptyClassesGiveZero) {
+  ConfusionMatrix matrix(2);
+  EXPECT_EQ(matrix.accuracy(), 0.0);
+  EXPECT_EQ(matrix.recall(0), 0.0);
+  EXPECT_EQ(matrix.precision(0), 0.0);
+}
+
+TEST(ConfusionMatrix, ValidatesLabels) {
+  ConfusionMatrix matrix(2);
+  EXPECT_THROW(matrix.add(2, 0), std::invalid_argument);
+  EXPECT_THROW(matrix.add(0, -1), std::invalid_argument);
+  EXPECT_THROW((void)matrix.count(0, 2), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, EvaluateOverModel) {
+  const auto fixture = test::make_encoded_fixture(3, 512, 10, 5, 40, 1);
+  const train::BaselineTrainer trainer;
+  train::TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(fixture.train, options);
+  const ConfusionMatrix matrix =
+      evaluate_confusion(*result.model, fixture.test);
+  EXPECT_EQ(matrix.total(), fixture.test.size());
+  EXPECT_NEAR(matrix.accuracy(), result.model->accuracy(fixture.test),
+              1e-12);
+}
+
+TEST(Presets, Table2ValuesMatchPaper) {
+  const auto mnist = lehdc_preset(data::BenchmarkId::kMnist);
+  EXPECT_FLOAT_EQ(mnist.weight_decay, 0.05f);
+  EXPECT_FLOAT_EQ(mnist.learning_rate, 0.01f);
+  EXPECT_EQ(mnist.batch_size, 64u);
+  EXPECT_FLOAT_EQ(mnist.dropout_rate, 0.5f);
+  EXPECT_EQ(mnist.epochs, 100u);
+
+  const auto fashion = lehdc_preset(data::BenchmarkId::kFashionMnist);
+  EXPECT_FLOAT_EQ(fashion.weight_decay, 0.03f);
+  EXPECT_FLOAT_EQ(fashion.learning_rate, 0.1f);
+  EXPECT_EQ(fashion.batch_size, 256u);
+  EXPECT_FLOAT_EQ(fashion.dropout_rate, 0.3f);
+  EXPECT_EQ(fashion.epochs, 200u);
+
+  const auto cifar = lehdc_preset(data::BenchmarkId::kCifar10);
+  EXPECT_FLOAT_EQ(cifar.learning_rate, 0.001f);
+  EXPECT_EQ(cifar.batch_size, 512u);
+
+  const auto isolet = lehdc_preset(data::BenchmarkId::kIsolet);
+  EXPECT_EQ(isolet.batch_size, 64u);
+  EXPECT_EQ(isolet.epochs, 100u);
+}
+
+TEST(Presets, Table1ConfigEncodesSec5Settings) {
+  const auto cfg = table1_config(data::BenchmarkId::kMnist,
+                                 core::Strategy::kRetraining, 10000, 1);
+  EXPECT_FLOAT_EQ(cfg.retrain.alpha, 0.05f);
+  EXPECT_FLOAT_EQ(cfg.retrain.alpha_first, 1.5f);
+  EXPECT_EQ(cfg.retrain.iterations, 150u);
+  EXPECT_EQ(cfg.multimodel.models_per_class, 64u);
+  EXPECT_EQ(cfg.dim, 10000u);
+  EXPECT_EQ(cfg.strategy, core::Strategy::kRetraining);
+}
+
+TEST(Presets, Table1StrategiesInRowOrder) {
+  const auto strategies = table1_strategies();
+  ASSERT_EQ(strategies.size(), 4u);
+  EXPECT_EQ(strategies[0], core::Strategy::kBaseline);
+  EXPECT_EQ(strategies[1], core::Strategy::kMultiModel);
+  EXPECT_EQ(strategies[2], core::Strategy::kRetraining);
+  EXPECT_EQ(strategies[3], core::Strategy::kLeHdc);
+}
+
+data::TrainTestSplit tiny_split() {
+  data::SyntheticConfig cfg;
+  cfg.feature_count = 16;
+  cfg.class_count = 2;
+  cfg.train_count = 60;
+  cfg.test_count = 24;
+  cfg.class_separation = 1.5;
+  cfg.noise_stddev = 0.15;
+  cfg.prototypes_per_class = 1;
+  cfg.seed = 4;
+  return generate_synthetic(cfg);
+}
+
+core::PipelineConfig tiny_config(core::Strategy strategy) {
+  core::PipelineConfig cfg;
+  cfg.dim = 256;
+  cfg.seed = 5;
+  cfg.strategy = strategy;
+  cfg.lehdc.epochs = 5;
+  cfg.lehdc.batch_size = 8;
+  cfg.retrain.iterations = 5;
+  cfg.multimodel.models_per_class = 2;
+  cfg.multimodel.epochs = 3;
+  return cfg;
+}
+
+TEST(Experiment, RunTrialsAggregates) {
+  const auto split = tiny_split();
+  const auto outcome =
+      run_trials(split, tiny_config(core::Strategy::kBaseline), 3);
+  EXPECT_EQ(outcome.strategy, "Baseline");
+  EXPECT_EQ(outcome.test_accuracy.count, 3u);
+  EXPECT_GT(outcome.test_accuracy.mean, 80.0);  // percent
+  EXPECT_GE(outcome.test_accuracy.stddev, 0.0);
+}
+
+TEST(Experiment, RunTrialsValidates) {
+  const auto split = tiny_split();
+  EXPECT_THROW(
+      (void)run_trials(split, tiny_config(core::Strategy::kBaseline), 0),
+      std::invalid_argument);
+}
+
+TEST(Experiment, CompareStrategiesKeepsOrder) {
+  const auto split = tiny_split();
+  const auto outcomes = compare_strategies(
+      split,
+      {tiny_config(core::Strategy::kBaseline),
+       tiny_config(core::Strategy::kLeHdc)},
+      1);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].strategy, "Baseline");
+  EXPECT_EQ(outcomes[1].strategy, "LeHDC");
+}
+
+TEST(Experiment, SharedEncodingMatchesSeparateEncoding) {
+  const auto split = tiny_split();
+  const auto shared = compare_strategies_shared_encoding(
+      split, {tiny_config(core::Strategy::kBaseline)}, 2);
+  ASSERT_EQ(shared.size(), 1u);
+  EXPECT_GT(shared[0].test_accuracy.mean, 80.0);
+}
+
+TEST(Experiment, SharedEncodingRejectsMixedEncoders) {
+  const auto split = tiny_split();
+  auto a = tiny_config(core::Strategy::kBaseline);
+  auto b = tiny_config(core::Strategy::kLeHdc);
+  b.dim = 128;
+  EXPECT_THROW(
+      (void)compare_strategies_shared_encoding(split, {a, b}, 1),
+      std::invalid_argument);
+}
+
+TEST(Resource, LeHdcMatchesBaselineExactly) {
+  ResourceParams params;
+  const auto baseline =
+      estimate_resources(core::Strategy::kBaseline, params);
+  const auto lehdc = estimate_resources(core::Strategy::kLeHdc, params);
+  const auto retraining =
+      estimate_resources(core::Strategy::kRetraining, params);
+  EXPECT_EQ(lehdc.model_bits, baseline.model_bits);
+  EXPECT_EQ(lehdc.inference_word_ops, baseline.inference_word_ops);
+  EXPECT_EQ(retraining.model_bits, baseline.model_bits);
+}
+
+TEST(Resource, MultiModelScalesWithEnsembleSize) {
+  ResourceParams params;
+  params.models_per_class = 64;
+  const auto baseline =
+      estimate_resources(core::Strategy::kBaseline, params);
+  const auto multi = estimate_resources(core::Strategy::kMultiModel, params);
+  EXPECT_EQ(multi.model_bits, 64u * baseline.model_bits);
+  EXPECT_EQ(multi.inference_word_ops, 64u * baseline.inference_word_ops);
+  EXPECT_EQ(multi.encoder_bits, baseline.encoder_bits);
+}
+
+TEST(Resource, NonBinaryScalesWithComponentWidth) {
+  ResourceParams params;
+  params.nonbinary_bits = 32;
+  const auto baseline =
+      estimate_resources(core::Strategy::kBaseline, params);
+  const auto nonbinary =
+      estimate_resources(core::Strategy::kNonBinary, params);
+  EXPECT_EQ(nonbinary.model_bits, 32u * baseline.model_bits);
+}
+
+TEST(Report, SeriesCsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/series.csv";
+  std::vector<Series> series(2);
+  series[0].name = "basic";
+  series[1].name = "enhanced";
+  for (std::size_t e = 0; e < 3; ++e) {
+    series[0].points.push_back({e, 0.5 + 0.1 * static_cast<double>(e),
+                                0.4 + 0.1 * static_cast<double>(e), 0.0});
+    series[1].points.push_back({e, 0.6, 0.5, 0.0});
+  }
+  write_series_csv(path, series);
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header,
+            "epoch,basic_train_accuracy,basic_test_accuracy,"
+            "enhanced_train_accuracy,enhanced_test_accuracy");
+  int rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 3);
+  std::remove(path.c_str());
+}
+
+TEST(Report, CsvHandlesMissingEpochs) {
+  const std::string path = ::testing::TempDir() + "/sparse.csv";
+  std::vector<Series> series(2);
+  series[0].name = "a";
+  series[0].points.push_back({0, 0.5, 0.5, 0.0});
+  series[1].name = "b";
+  series[1].points.push_back({1, 0.6, 0.6, 0.0});
+  write_series_csv(path, series);
+  std::ifstream in(path);
+  std::string line;
+  (void)std::getline(in, line);  // header
+  ASSERT_TRUE(std::getline(in, line));
+  // Epoch 0: series b has no point → empty trailing cells.
+  EXPECT_EQ(line.substr(0, 2), "0,");
+  EXPECT_EQ(line.back(), ',');
+  std::remove(path.c_str());
+}
+
+TEST(Report, PrintSeriesDoesNotCrash) {
+  std::vector<Series> series(1);
+  series[0].name = "only";
+  series[0].points.push_back({0, 0.5, 0.4, 0.1});
+  series[0].points.push_back({1, 0.6, 0.5, 0.1});
+  print_series(series, 1);  // writes to stdout; just exercise the path
+}
+
+}  // namespace
+}  // namespace lehdc::eval

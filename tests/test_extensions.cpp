@@ -1,0 +1,346 @@
+// Tests for the extension modules: projection encoder, encoded-dataset
+// cache, pipeline bundles, online learning, hardware cost model.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/online.hpp"
+#include "core/pipeline_io.hpp"
+#include "data/synthetic.hpp"
+#include "eval/hardware_model.hpp"
+#include "hdc/dataset_io.hpp"
+#include "hdc/projection_encoder.hpp"
+#include "train/baseline.hpp"
+#include "hv/similarity.hpp"
+#include "train_test_util.hpp"
+
+namespace lehdc {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ---------------------------------------------------------------- encoder
+
+hdc::ProjectionEncoderConfig projection_config() {
+  hdc::ProjectionEncoderConfig cfg;
+  cfg.dim = 1024;
+  cfg.feature_count = 32;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(ProjectionEncoder, ShapeAndDeterminism) {
+  const hdc::ProjectionEncoder encoder(projection_config());
+  EXPECT_EQ(encoder.dim(), 1024u);
+  EXPECT_EQ(encoder.feature_count(), 32u);
+  util::Rng rng(1);
+  std::vector<float> sample(32);
+  for (auto& v : sample) {
+    v = rng.next_float();
+  }
+  EXPECT_EQ(encoder.encode(sample), encoder.encode(sample));
+}
+
+TEST(ProjectionEncoder, RejectsWrongWidth) {
+  const hdc::ProjectionEncoder encoder(projection_config());
+  EXPECT_THROW((void)encoder.encode(std::vector<float>(31, 0.5f)),
+               std::invalid_argument);
+}
+
+TEST(ProjectionEncoder, LocalityPreserving) {
+  const hdc::ProjectionEncoder encoder(projection_config());
+  util::Rng rng(2);
+  std::vector<float> sample(32);
+  for (auto& v : sample) {
+    v = rng.next_float();
+  }
+  auto nudged = sample;
+  nudged[0] += 0.02f;
+  std::vector<float> other(32);
+  for (auto& v : other) {
+    v = rng.next_float();
+  }
+  const auto code = encoder.encode(sample);
+  EXPECT_LT(hv::normalized_hamming(code, encoder.encode(nudged)),
+            hv::normalized_hamming(code, encoder.encode(other)));
+}
+
+TEST(ProjectionEncoder, BalancedOutput) {
+  // sgn of a centered random projection should produce ~50% of each sign.
+  const hdc::ProjectionEncoder encoder(projection_config());
+  util::Rng rng(4);
+  std::vector<float> sample(32);
+  for (auto& v : sample) {
+    v = rng.next_float();
+  }
+  const auto code = encoder.encode(sample);
+  const double fraction =
+      static_cast<double>(code.count_negatives()) /
+      static_cast<double>(code.dim());
+  EXPECT_NEAR(fraction, 0.5, 0.1);
+}
+
+TEST(ProjectionEncoder, TrainsThroughTheStack) {
+  // End-to-end: projection-encoded data is learnable by the trainers.
+  data::SyntheticConfig synth;
+  synth.feature_count = 32;
+  synth.class_count = 3;
+  synth.train_count = 120;
+  synth.test_count = 45;
+  synth.class_separation = 1.2;
+  synth.noise_stddev = 0.2;
+  synth.prototypes_per_class = 1;
+  synth.seed = 5;
+  const auto split = generate_synthetic(synth);
+  const hdc::ProjectionEncoder encoder(projection_config());
+  const auto train_set = hdc::encode_dataset(encoder, split.train);
+  const auto test_set = hdc::encode_dataset(encoder, split.test);
+  const train::BaselineTrainer trainer;
+  train::TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(train_set, options);
+  EXPECT_GT(result.model->accuracy(test_set), 0.85);
+}
+
+// ------------------------------------------------------------ dataset i/o
+
+TEST(DatasetIo, RoundTrip) {
+  const auto fixture = test::make_encoded_fixture(3, 300, 5, 0, 20, 6);
+  const auto path = temp_path("cache.lhdd");
+  hdc::save_encoded_dataset(fixture.train, path);
+  const hdc::EncodedDataset loaded = hdc::load_encoded_dataset(path);
+  ASSERT_EQ(loaded.size(), fixture.train.size());
+  EXPECT_EQ(loaded.dim(), fixture.train.dim());
+  EXPECT_EQ(loaded.class_count(), fixture.train.class_count());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    ASSERT_EQ(loaded.label(i), fixture.train.label(i));
+    ASSERT_EQ(loaded.hypervector(i), fixture.train.hypervector(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, MissingFileThrows) {
+  EXPECT_THROW((void)hdc::load_encoded_dataset(temp_path("no.lhdd")),
+               std::runtime_error);
+}
+
+TEST(DatasetIo, RejectsWrongMagic) {
+  const auto path = temp_path("wrong.lhdd");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("LHDCxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)hdc::load_encoded_dataset(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------- pipeline i/o
+
+core::Pipeline fitted_pipeline(const data::TrainTestSplit& split) {
+  core::PipelineConfig cfg;
+  cfg.dim = 512;
+  cfg.seed = 7;
+  cfg.strategy = core::Strategy::kLeHdc;
+  cfg.lehdc.epochs = 8;
+  cfg.lehdc.batch_size = 16;
+  core::Pipeline pipeline(cfg);
+  (void)pipeline.fit(split.train);
+  return pipeline;
+}
+
+data::TrainTestSplit bundle_split() {
+  data::SyntheticConfig synth;
+  synth.feature_count = 20;
+  synth.class_count = 3;
+  synth.train_count = 90;
+  synth.test_count = 30;
+  synth.class_separation = 1.2;
+  synth.noise_stddev = 0.2;
+  synth.prototypes_per_class = 1;
+  synth.seed = 8;
+  return generate_synthetic(synth);
+}
+
+TEST(PipelineIo, BundleRoundTripPredictsIdentically) {
+  const auto split = bundle_split();
+  core::Pipeline original = fitted_pipeline(split);
+  const auto path = temp_path("bundle.lhdp");
+  core::save_pipeline(original, path);
+  core::Pipeline restored = core::load_pipeline(path);
+  EXPECT_TRUE(restored.fitted());
+  for (std::size_t i = 0; i < split.test.size(); ++i) {
+    ASSERT_EQ(restored.predict(split.test.sample(i)),
+              original.predict(split.test.sample(i)));
+  }
+  EXPECT_EQ(restored.config().strategy, core::Strategy::kLeHdc);
+  EXPECT_EQ(restored.config().dim, 512u);
+  std::remove(path.c_str());
+}
+
+TEST(PipelineIo, RejectsUnfittedPipeline) {
+  core::PipelineConfig cfg;
+  cfg.dim = 128;
+  const core::Pipeline pipeline(cfg);
+  EXPECT_THROW(core::save_pipeline(pipeline, temp_path("x.lhdp")),
+               std::invalid_argument);
+}
+
+TEST(PipelineIo, MissingFileThrows) {
+  EXPECT_THROW((void)core::load_pipeline(temp_path("no.lhdp")),
+               std::runtime_error);
+}
+
+TEST(PipelineRestore, ValidatesDimensions) {
+  core::PipelineConfig cfg;
+  cfg.dim = 128;
+  hdc::RecordEncoderConfig encoder_cfg;
+  encoder_cfg.dim = 256;  // mismatch
+  encoder_cfg.feature_count = 4;
+  std::vector<hv::BitVector> classes(2, hv::BitVector(128));
+  EXPECT_THROW((void)core::Pipeline::restore(
+                   cfg, encoder_cfg,
+                   hdc::BinaryClassifier(std::move(classes))),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------- online learner
+
+TEST(OnlineLearner, CentroidStreamMatchesBatchBaseline) {
+  const auto fixture = test::make_encoded_fixture(3, 256, 10, 5, 25, 9);
+  core::OnlineConfig cfg;
+  cfg.dim = 256;
+  cfg.class_count = 3;
+  cfg.mode = core::OnlineMode::kCentroid;
+  cfg.seed = 77;
+  core::OnlineHdcLearner learner(cfg);
+  for (std::size_t i = 0; i < fixture.train.size(); ++i) {
+    learner.observe(fixture.train.hypervector(i), fixture.train.label(i));
+  }
+  EXPECT_EQ(learner.observed(), fixture.train.size());
+  EXPECT_EQ(learner.updates(), fixture.train.size());
+  // Same accumulation as Eq. 2 with the same tie-break seed.
+  const auto batch = train::bundle_classes(fixture.train, 77);
+  const auto snapshot = learner.snapshot();
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(snapshot.class_hypervector(k), batch[k]);
+  }
+}
+
+TEST(OnlineLearner, PerceptronSkipsCorrectSamples) {
+  const auto fixture = test::make_encoded_fixture(2, 256, 20, 5, 10, 10);
+  core::OnlineConfig cfg;
+  cfg.dim = 256;
+  cfg.class_count = 2;
+  cfg.mode = core::OnlineMode::kPerceptron;
+  core::OnlineHdcLearner learner(cfg);
+  for (std::size_t i = 0; i < fixture.train.size(); ++i) {
+    learner.observe(fixture.train.hypervector(i), fixture.train.label(i));
+  }
+  // Once the classes are pinned down, further samples stop updating.
+  EXPECT_LT(learner.updates(), learner.observed());
+  EXPECT_GT(learner.accuracy(fixture.test), 0.85);
+}
+
+TEST(OnlineLearner, ImprovesOverTheStream) {
+  const auto fixture = test::make_hard_fixture(41, 256);
+  core::OnlineConfig cfg;
+  cfg.dim = 256;
+  cfg.class_count = fixture.train.class_count();
+  cfg.mode = core::OnlineMode::kPerceptron;
+  core::OnlineHdcLearner learner(cfg);
+  const std::size_t half = fixture.train.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    learner.observe(fixture.train.hypervector(i), fixture.train.label(i));
+  }
+  const double mid_accuracy = learner.accuracy(fixture.test);
+  for (std::size_t i = half; i < fixture.train.size(); ++i) {
+    learner.observe(fixture.train.hypervector(i), fixture.train.label(i));
+  }
+  EXPECT_GE(learner.accuracy(fixture.test), mid_accuracy - 0.05);
+  EXPECT_GT(learner.accuracy(fixture.test), 0.35);
+}
+
+TEST(OnlineLearner, ValidatesInput) {
+  core::OnlineConfig cfg;
+  cfg.dim = 64;
+  cfg.class_count = 2;
+  core::OnlineHdcLearner learner(cfg);
+  EXPECT_THROW(learner.observe(hv::BitVector(32), 0),
+               std::invalid_argument);
+  EXPECT_THROW(learner.observe(hv::BitVector(64), 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)learner.predict(hv::BitVector(32)),
+               std::invalid_argument);
+  core::OnlineConfig bad;
+  bad.class_count = 1;
+  EXPECT_THROW(core::OnlineHdcLearner{bad}, std::invalid_argument);
+}
+
+// -------------------------------------------------------- hardware model
+
+TEST(HardwareModel, LeHdcMatchesBaseline) {
+  const eval::ResourceParams params;
+  const eval::HardwareConfig hardware;
+  const auto baseline =
+      eval::estimate_hardware(core::Strategy::kBaseline, params, hardware);
+  const auto lehdc =
+      eval::estimate_hardware(core::Strategy::kLeHdc, params, hardware);
+  EXPECT_EQ(lehdc.cycles_per_query, baseline.cycles_per_query);
+  EXPECT_EQ(lehdc.latency_us, baseline.latency_us);
+  EXPECT_EQ(lehdc.energy_nj, baseline.energy_nj);
+}
+
+TEST(HardwareModel, LatencyIsMicrosecondClass) {
+  // Sec. 5.1: accelerated inference runs "in microseconds" at D = 10,000.
+  eval::ResourceParams params;
+  params.dim = 10000;
+  params.classes = 10;
+  const eval::HardwareConfig hardware;
+  const auto estimate =
+      eval::estimate_hardware(core::Strategy::kBaseline, params, hardware);
+  EXPECT_LT(estimate.latency_us, 10.0);
+  EXPECT_GT(estimate.latency_us, 0.0);
+}
+
+TEST(HardwareModel, MultiModelScalesLinearly) {
+  eval::ResourceParams params;
+  params.models_per_class = 16;
+  const eval::HardwareConfig hardware;
+  const auto baseline =
+      eval::estimate_hardware(core::Strategy::kBaseline, params, hardware);
+  const auto multi =
+      eval::estimate_hardware(core::Strategy::kMultiModel, params, hardware);
+  EXPECT_NEAR(static_cast<double>(multi.cycles_per_query),
+              16.0 * static_cast<double>(baseline.cycles_per_query),
+              static_cast<double>(baseline.cycles_per_query));
+  EXPECT_DOUBLE_EQ(multi.energy_nj, 16.0 * baseline.energy_nj);
+}
+
+TEST(HardwareModel, MoreLanesReduceLatency) {
+  const eval::ResourceParams params;
+  eval::HardwareConfig narrow;
+  narrow.lanes = 8;
+  eval::HardwareConfig wide;
+  wide.lanes = 256;
+  const auto slow =
+      eval::estimate_hardware(core::Strategy::kBaseline, params, narrow);
+  const auto fast =
+      eval::estimate_hardware(core::Strategy::kBaseline, params, wide);
+  EXPECT_LT(fast.latency_us, slow.latency_us);
+}
+
+TEST(HardwareModel, ValidatesConfig) {
+  const eval::ResourceParams params;
+  eval::HardwareConfig bad;
+  bad.clock_mhz = 0.0;
+  EXPECT_THROW(
+      (void)eval::estimate_hardware(core::Strategy::kBaseline, params, bad),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lehdc

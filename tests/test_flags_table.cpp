@@ -1,0 +1,184 @@
+// Tests for the flag parser and the table/CSV writers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace lehdc::util {
+namespace {
+
+FlagParser make_parser() {
+  FlagParser flags("prog", "test program");
+  flags.add_int("count", 5, "a counter");
+  flags.add_double("rate", 0.5, "a rate");
+  flags.add_string("name", "default", "a name");
+  flags.add_flag("verbose", "a switch");
+  return flags;
+}
+
+void parse(FlagParser& flags, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagParser, DefaultsApply) {
+  auto flags = make_parser();
+  parse(flags, {});
+  EXPECT_EQ(flags.get_int("count"), 5);
+  EXPECT_EQ(flags.get_double("rate"), 0.5);
+  EXPECT_EQ(flags.get_string("name"), "default");
+  EXPECT_FALSE(flags.get_flag("verbose"));
+}
+
+TEST(FlagParser, SpaceSeparatedValues) {
+  auto flags = make_parser();
+  parse(flags, {"--count", "42", "--rate", "1.25", "--name", "xyz"});
+  EXPECT_EQ(flags.get_int("count"), 42);
+  EXPECT_EQ(flags.get_double("rate"), 1.25);
+  EXPECT_EQ(flags.get_string("name"), "xyz");
+}
+
+TEST(FlagParser, EqualsSeparatedValues) {
+  auto flags = make_parser();
+  parse(flags, {"--count=7", "--rate=0.125", "--name=a=b"});
+  EXPECT_EQ(flags.get_int("count"), 7);
+  EXPECT_EQ(flags.get_double("rate"), 0.125);
+  EXPECT_EQ(flags.get_string("name"), "a=b");
+}
+
+TEST(FlagParser, BooleanForms) {
+  auto flags = make_parser();
+  parse(flags, {"--verbose"});
+  EXPECT_TRUE(flags.get_flag("verbose"));
+
+  auto flags2 = make_parser();
+  parse(flags2, {"--verbose=false"});
+  EXPECT_FALSE(flags2.get_flag("verbose"));
+
+  auto flags3 = make_parser();
+  parse(flags3, {"--verbose=1"});
+  EXPECT_TRUE(flags3.get_flag("verbose"));
+}
+
+TEST(FlagParser, NegativeNumbers) {
+  auto flags = make_parser();
+  parse(flags, {"--count", "-3", "--rate", "-0.5"});
+  EXPECT_EQ(flags.get_int("count"), -3);
+  EXPECT_EQ(flags.get_double("rate"), -0.5);
+}
+
+TEST(FlagParser, UnknownFlagThrows) {
+  auto flags = make_parser();
+  EXPECT_THROW(parse(flags, {"--bogus", "1"}), std::invalid_argument);
+}
+
+TEST(FlagParser, MalformedIntThrows) {
+  auto flags = make_parser();
+  EXPECT_THROW(parse(flags, {"--count", "abc"}), std::invalid_argument);
+  auto flags2 = make_parser();
+  EXPECT_THROW(parse(flags2, {"--count", "12x"}), std::invalid_argument);
+}
+
+TEST(FlagParser, MalformedDoubleThrows) {
+  auto flags = make_parser();
+  EXPECT_THROW(parse(flags, {"--rate", "fast"}), std::invalid_argument);
+}
+
+TEST(FlagParser, MissingValueThrows) {
+  auto flags = make_parser();
+  EXPECT_THROW(parse(flags, {"--count"}), std::invalid_argument);
+}
+
+TEST(FlagParser, PositionalArgumentThrows) {
+  auto flags = make_parser();
+  EXPECT_THROW(parse(flags, {"stray"}), std::invalid_argument);
+}
+
+TEST(FlagParser, WrongTypeAccessThrows) {
+  auto flags = make_parser();
+  parse(flags, {});
+  EXPECT_THROW((void)flags.get_int("rate"), std::invalid_argument);
+  EXPECT_THROW((void)flags.get_string("count"), std::invalid_argument);
+}
+
+TEST(FlagParser, UndeclaredAccessThrows) {
+  auto flags = make_parser();
+  parse(flags, {});
+  EXPECT_THROW((void)flags.get_int("nope"), std::invalid_argument);
+}
+
+TEST(FlagParser, DuplicateDeclarationThrows) {
+  FlagParser flags("prog", "dup");
+  flags.add_int("x", 1, "first");
+  EXPECT_THROW(flags.add_int("x", 2, "second"), std::invalid_argument);
+}
+
+TEST(FlagParser, UsageListsAllFlags) {
+  const auto flags = make_parser();
+  const std::string usage = flags.usage();
+  for (const char* name : {"count", "rate", "name", "verbose", "help"}) {
+    EXPECT_NE(usage.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"a", "long-header"});
+  table.add_row({"wide-cell", "x"});
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("| a         | long-header |"), std::string::npos);
+  EXPECT_NE(rendered.find("| wide-cell | x           |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongWidthRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, CellFormatsPrecision) {
+  EXPECT_EQ(TextTable::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::cell(3.14159, 0), "3");
+}
+
+TEST(CsvEscape, PassesPlainCells) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+}
+
+TEST(CsvEscape, QuotesSpecialCells) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesRowsToFile) {
+  const std::string path = ::testing::TempDir() + "/lehdc_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_row({"h1", "h2"});
+    csv.write_row({"1", "two,three"});
+  }
+  std::ifstream in(path);
+  std::string line1;
+  std::string line2;
+  ASSERT_TRUE(std::getline(in, line1));
+  ASSERT_TRUE(std::getline(in, line2));
+  EXPECT_EQ(line1, "h1,h2");
+  EXPECT_EQ(line2, "1,\"two,three\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/impossible.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lehdc::util

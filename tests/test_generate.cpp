@@ -1,0 +1,92 @@
+#include "hv/generate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hv/similarity.hpp"
+#include "util/rng.hpp"
+
+namespace lehdc::hv {
+namespace {
+
+TEST(RandomSet, ProducesRequestedCount) {
+  util::Rng rng(1);
+  const auto set = random_set(5, 128, rng);
+  ASSERT_EQ(set.size(), 5u);
+  for (const auto& hv : set) {
+    EXPECT_EQ(hv.dim(), 128u);
+  }
+}
+
+TEST(RandomSet, PairsAreQuasiOrthogonal) {
+  // Sec. 2: feature position hypervectors must satisfy
+  // Hamm(F_i, F_j) ≈ 0.5 for i ≠ j.
+  util::Rng rng(2);
+  const auto set = random_set(10, 10000, rng);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = i + 1; j < set.size(); ++j) {
+      EXPECT_NEAR(normalized_hamming(set[i], set[j]), 0.5, 0.03);
+    }
+  }
+}
+
+TEST(LevelSet, RequiresAtLeastTwoLevels) {
+  util::Rng rng(3);
+  EXPECT_THROW((void)level_set(1, 100, rng), std::invalid_argument);
+}
+
+TEST(LevelSet, RequiresSufficientDimension) {
+  util::Rng rng(4);
+  EXPECT_THROW((void)level_set(10, 5, rng), std::invalid_argument);
+}
+
+TEST(LevelSet, DistancesProportionalToLevelGap) {
+  // Sec. 2: Hamm(V_a, V_b) ∝ |a − b|. With disjoint flip slices the
+  // proportionality is exact up to rounding of the per-step flip counts.
+  util::Rng rng(5);
+  const std::size_t levels = 9;
+  const std::size_t dim = 8000;
+  const auto set = level_set(levels, dim, rng);
+  ASSERT_EQ(set.size(), levels);
+  const double full =
+      normalized_hamming(set.front(), set.back());
+  EXPECT_NEAR(full, 0.5, 0.01);
+  for (std::size_t gap = 1; gap < levels; ++gap) {
+    for (std::size_t i = 0; i + gap < levels; ++i) {
+      const double expected =
+          full * static_cast<double>(gap) / (levels - 1);
+      EXPECT_NEAR(normalized_hamming(set[i], set[i + gap]), expected, 0.01)
+          << "levels " << i << " and " << i + gap;
+    }
+  }
+}
+
+TEST(LevelSet, AdjacentLevelsAreHighlyCorrelated) {
+  util::Rng rng(6);
+  const auto set = level_set(32, 4096, rng);
+  for (std::size_t i = 0; i + 1 < set.size(); ++i) {
+    EXPECT_LT(normalized_hamming(set[i], set[i + 1]), 0.05);
+  }
+}
+
+TEST(LevelSet, DistancesAreAdditiveAlongTheChain) {
+  // Flip slices are disjoint, so d(0, k) = sum of adjacent distances.
+  util::Rng rng(7);
+  const auto set = level_set(6, 1000, rng);
+  std::size_t cumulative = 0;
+  for (std::size_t i = 0; i + 1 < set.size(); ++i) {
+    cumulative += BitVector::hamming(set[i], set[i + 1]);
+    EXPECT_EQ(BitVector::hamming(set[0], set[i + 1]), cumulative);
+  }
+}
+
+TEST(LevelSet, MinimumConfiguration) {
+  util::Rng rng(8);
+  const auto set = level_set(2, 64, rng);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(BitVector::hamming(set[0], set[1]), 32u);
+}
+
+}  // namespace
+}  // namespace lehdc::hv

@@ -1,0 +1,124 @@
+// Integration regression tests: a miniature version of the Table 1
+// experiment matrix whose *orderings* (the paper's qualitative claims) are
+// asserted, plus ensemble persistence. These are the tests that would catch
+// a silent regression in any trainer's quality, not just its plumbing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/profiles.hpp"
+#include "eval/experiment.hpp"
+#include "eval/presets.hpp"
+#include "hdc/model_io.hpp"
+#include "train/multimodel.hpp"
+#include "train_test_util.hpp"
+
+namespace lehdc {
+namespace {
+
+/// One shrunken benchmark column: all four Table 1 strategies on a small
+/// profile with shared encoding, single trial.
+std::vector<eval::StrategyOutcome> mini_column(data::BenchmarkId id,
+                                               double scale,
+                                               std::size_t max_features) {
+  const auto profile = data::scaled(data::profile(id), scale, max_features);
+  const data::TrainTestSplit split = generate_synthetic(profile.config);
+
+  std::vector<core::PipelineConfig> configs;
+  for (const auto strategy : eval::table1_strategies()) {
+    core::PipelineConfig cfg = eval::table1_config(id, strategy, 1024, 5);
+    cfg.lehdc.epochs = 20;
+    cfg.lehdc.batch_size = 32;
+    cfg.lehdc.learning_rate = 0.01f;
+    cfg.retrain.iterations = 20;
+    cfg.multimodel.models_per_class = 4;
+    cfg.multimodel.epochs = 8;
+    configs.push_back(cfg);
+  }
+  return eval::compare_strategies_shared_encoding(split, configs, 1);
+}
+
+double accuracy_of(const std::vector<eval::StrategyOutcome>& outcomes,
+                   const std::string& strategy) {
+  for (const auto& outcome : outcomes) {
+    if (outcome.strategy == strategy) {
+      return outcome.test_accuracy.mean;
+    }
+  }
+  ADD_FAILURE() << "strategy " << strategy << " missing";
+  return 0.0;
+}
+
+TEST(MiniTable1, LeHdcBeatsBaselineOnFashionColumn) {
+  const auto outcomes =
+      mini_column(data::BenchmarkId::kFashionMnist, 0.02, 256);
+  const double baseline = accuracy_of(outcomes, "Baseline");
+  const double retraining = accuracy_of(outcomes, "Retraining");
+  const double lehdc = accuracy_of(outcomes, "LeHDC");
+  EXPECT_GT(lehdc, baseline) << "the paper's headline ordering";
+  EXPECT_GT(retraining, baseline - 3.0)
+      << "retraining must not collapse below the baseline";
+  EXPECT_GT(lehdc, 30.0);  // sanity floor, percent
+}
+
+TEST(MiniTable1, PamapColumnShowsMultimodalGap) {
+  const auto outcomes = mini_column(data::BenchmarkId::kPamap, 0.02, 0);
+  const double baseline = accuracy_of(outcomes, "Baseline");
+  const double lehdc = accuracy_of(outcomes, "LeHDC");
+  // PAMAP-like data is strongly multi-modal: the learned model must open a
+  // clear gap over Eq. 2 averaging.
+  EXPECT_GT(lehdc, baseline + 2.0);
+}
+
+TEST(EnsembleIo, RoundTripPredictsIdentically) {
+  const auto fixture = test::make_encoded_fixture(3, 300, 12, 6, 40, 7);
+  train::MultiModelConfig cfg;
+  cfg.models_per_class = 3;
+  cfg.epochs = 4;
+  const train::MultiModelTrainer trainer(cfg);
+  train::TrainOptions options;
+  options.seed = 2;
+  const auto result = trainer.train(fixture.train, options);
+
+  // Training is deterministic per seed, so a retrained ensemble is
+  // bit-identical — the precondition for meaningful persistence.
+  const auto result2 = trainer.train(fixture.train, options);
+  ASSERT_EQ(result.model->accuracy(fixture.test),
+            result2.model->accuracy(fixture.test));
+
+  // Build an ensemble classifier directly for the IO test.
+  util::Rng rng(3);
+  std::vector<std::vector<hv::BitVector>> direct(2);
+  for (auto& class_models : direct) {
+    for (int m = 0; m < 3; ++m) {
+      class_models.push_back(hv::BitVector::random(300, rng));
+    }
+  }
+  const hdc::EnsembleClassifier original(direct);
+  const std::string path = ::testing::TempDir() + "/ensemble.lhde";
+  hdc::save_ensemble(original, path);
+  const hdc::EnsembleClassifier loaded = hdc::load_ensemble(path);
+  ASSERT_EQ(loaded.class_count(), 2u);
+  ASSERT_EQ(loaded.models_per_class(), 3u);
+  for (int i = 0; i < 20; ++i) {
+    const auto query = hv::BitVector::random(300, rng);
+    ASSERT_EQ(loaded.predict(query), original.predict(query));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EnsembleIo, MissingAndCorruptFilesThrow) {
+  EXPECT_THROW((void)hdc::load_ensemble(::testing::TempDir() + "/no.lhde"),
+               std::runtime_error);
+  const std::string path = ::testing::TempDir() + "/bad.lhde";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("LHDCnotanensemble...............", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)hdc::load_ensemble(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lehdc

@@ -1,0 +1,196 @@
+#include "hv/intvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hv/similarity.hpp"
+#include "util/rng.hpp"
+
+namespace lehdc::hv {
+namespace {
+
+TEST(IntVector, StartsAtZero) {
+  const IntVector v(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(v.get(i), 0);
+  }
+}
+
+TEST(IntVector, ConstructsFromBitVector) {
+  BitVector bits(4);
+  bits.set(1, -1);
+  const IntVector v(bits);
+  EXPECT_EQ(v.get(0), 1);
+  EXPECT_EQ(v.get(1), -1);
+  EXPECT_EQ(v.get(2), 1);
+  EXPECT_EQ(v.get(3), 1);
+}
+
+TEST(IntVector, AddAccumulatesBipolarValues) {
+  util::Rng rng(1);
+  const BitVector a = BitVector::random(64, rng);
+  const BitVector b = BitVector::random(64, rng);
+  IntVector acc(64);
+  acc.add(a);
+  acc.add(b);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(acc.get(i), a.get(i) + b.get(i));
+  }
+}
+
+TEST(IntVector, SubtractIsInverseOfAdd) {
+  util::Rng rng(2);
+  const BitVector a = BitVector::random(100, rng);
+  IntVector acc(100);
+  acc.add(a);
+  acc.subtract(a);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(acc.get(i), 0);
+  }
+}
+
+TEST(IntVector, AddScaledAppliesScale) {
+  BitVector bits(3);
+  bits.set(2, -1);
+  IntVector acc(3);
+  acc.add_scaled(bits, 5);
+  EXPECT_EQ(acc.get(0), 5);
+  EXPECT_EQ(acc.get(2), -5);
+}
+
+TEST(IntVector, AddIntVector) {
+  IntVector a(3);
+  a.set(0, 2);
+  IntVector b(3);
+  b.set(0, 3);
+  b.set(2, -1);
+  a.add(b);
+  EXPECT_EQ(a.get(0), 5);
+  EXPECT_EQ(a.get(2), -1);
+}
+
+TEST(IntVector, DimensionMismatchThrows) {
+  IntVector acc(10);
+  const BitVector wrong(11);
+  EXPECT_THROW(acc.add(wrong), std::invalid_argument);
+  EXPECT_THROW((void)acc.dot(wrong), std::invalid_argument);
+}
+
+TEST(IntVector, SignBinarizesWithDeterministicTies) {
+  IntVector v(4);
+  v.set(0, 3);
+  v.set(1, -2);
+  v.set(2, 0);
+  v.set(3, -1);
+  const BitVector sign = v.sign();
+  EXPECT_EQ(sign.get(0), 1);
+  EXPECT_EQ(sign.get(1), -1);
+  EXPECT_EQ(sign.get(2), 1);  // sgn(0) = +1 deterministically
+  EXPECT_EQ(sign.get(3), -1);
+}
+
+TEST(IntVector, SignUsesTieBreakOnZeros) {
+  IntVector v(3);
+  v.set(0, 0);
+  v.set(1, 0);
+  v.set(2, 7);
+  BitVector tie(3);
+  tie.set(0, -1);
+  const BitVector sign = v.sign(tie);
+  EXPECT_EQ(sign.get(0), -1);  // tie broken toward the tie-break component
+  EXPECT_EQ(sign.get(1), 1);
+  EXPECT_EQ(sign.get(2), 1);
+}
+
+TEST(IntVector, DotMatchesManual) {
+  util::Rng rng(3);
+  const BitVector bits = BitVector::random(50, rng);
+  IntVector v(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    v.set(i, static_cast<std::int32_t>(rng.next_below(21)) - 10);
+  }
+  std::int64_t manual = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    manual += static_cast<std::int64_t>(v.get(i)) * bits.get(i);
+  }
+  EXPECT_EQ(v.dot(bits), manual);
+}
+
+TEST(IntVector, NormMatchesEuclidean) {
+  IntVector v(3);
+  v.set(0, 3);
+  v.set(1, 4);
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+}
+
+TEST(IntVector, CosineWithItselfAsBitsIsOne) {
+  util::Rng rng(4);
+  const BitVector bits = BitVector::random(128, rng);
+  const IntVector v(bits);
+  EXPECT_NEAR(v.cosine(bits), 1.0, 1e-12);
+}
+
+TEST(IntVector, CosineOfZeroVectorIsZero) {
+  const IntVector v(16);
+  util::Rng rng(5);
+  const BitVector bits = BitVector::random(16, rng);
+  EXPECT_EQ(v.cosine(bits), 0.0);
+}
+
+TEST(IntVector, IntIntCosine) {
+  IntVector a(2);
+  a.set(0, 1);
+  IntVector b(2);
+  b.set(1, 1);
+  EXPECT_EQ(cosine(a, b), 0.0);
+  EXPECT_NEAR(cosine(a, a), 1.0, 1e-12);
+}
+
+TEST(Similarity, CosineHammingIdentity) {
+  // The paper's key identity (Sec. 3.1): cosine = 1 − 2·Hamm for bipolar
+  // hypervectors.
+  util::Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BitVector a = BitVector::random(500, rng);
+    const BitVector b = BitVector::random(500, rng);
+    const double via_identity = cosine(a, b);
+    const IntVector ai(a);
+    const IntVector bi(b);
+    double dot = 0.0;
+    for (std::size_t i = 0; i < 500; ++i) {
+      dot += static_cast<double>(ai.get(i)) * bi.get(i);
+    }
+    const double direct = dot / 500.0;  // |a| = |b| = sqrt(D)
+    ASSERT_NEAR(via_identity, direct, 1e-12);
+  }
+}
+
+TEST(Similarity, SelfSimilarity) {
+  util::Rng rng(7);
+  const BitVector a = BitVector::random(200, rng);
+  EXPECT_EQ(normalized_hamming(a, a), 0.0);
+  EXPECT_EQ(cosine(a, a), 1.0);
+}
+
+TEST(Similarity, ComplementSimilarity) {
+  util::Rng rng(8);
+  BitVector a = BitVector::random(100, rng);
+  BitVector b = a;
+  for (std::size_t i = 0; i < 100; ++i) {
+    b.flip(i);
+  }
+  EXPECT_EQ(normalized_hamming(a, b), 1.0);
+  EXPECT_EQ(cosine(a, b), -1.0);
+}
+
+TEST(Similarity, RandomPairsNearHalfDistance) {
+  util::Rng rng(9);
+  const BitVector a = BitVector::random(10000, rng);
+  const BitVector b = BitVector::random(10000, rng);
+  EXPECT_NEAR(normalized_hamming(a, b), 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace lehdc::hv

@@ -1,0 +1,119 @@
+#include "hdc/item_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hv/similarity.hpp"
+
+namespace lehdc::hdc {
+namespace {
+
+TEST(PositionMemory, HasRequestedShape) {
+  const PositionMemory memory(16, 512, 1);
+  EXPECT_EQ(memory.size(), 16u);
+  EXPECT_EQ(memory.dim(), 512u);
+  EXPECT_EQ(memory.at(0).dim(), 512u);
+}
+
+TEST(PositionMemory, IsDeterministicPerSeed) {
+  const PositionMemory a(8, 256, 42);
+  const PositionMemory b(8, 256, 42);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.at(i), b.at(i));
+  }
+}
+
+TEST(PositionMemory, DifferentSeedsDiffer) {
+  const PositionMemory a(4, 256, 1);
+  const PositionMemory b(4, 256, 2);
+  EXPECT_NE(a.at(0), b.at(0));
+}
+
+TEST(PositionMemory, ItemsAreQuasiOrthogonal) {
+  const PositionMemory memory(12, 10000, 3);
+  for (std::size_t i = 0; i < memory.size(); ++i) {
+    for (std::size_t j = i + 1; j < memory.size(); ++j) {
+      EXPECT_NEAR(hv::normalized_hamming(memory.at(i), memory.at(j)), 0.5,
+                  0.03);
+    }
+  }
+}
+
+TEST(PositionMemory, BoundsChecked) {
+  const PositionMemory memory(4, 64, 1);
+  EXPECT_THROW((void)memory.at(4), std::invalid_argument);
+}
+
+TEST(PositionMemory, RejectsDegenerateShapes) {
+  EXPECT_THROW(PositionMemory(0, 64, 1), std::invalid_argument);
+  EXPECT_THROW(PositionMemory(4, 0, 1), std::invalid_argument);
+}
+
+TEST(LevelMemory, QuantizeClampsToRange) {
+  const LevelMemory memory(8, 128, 0.0f, 1.0f, 1);
+  EXPECT_EQ(memory.quantize(-5.0f), 0u);
+  EXPECT_EQ(memory.quantize(0.0f), 0u);
+  EXPECT_EQ(memory.quantize(1.0f), 7u);
+  EXPECT_EQ(memory.quantize(99.0f), 7u);
+}
+
+TEST(LevelMemory, QuantizeIsMonotone) {
+  const LevelMemory memory(16, 128, 0.0f, 1.0f, 2);
+  std::size_t previous = 0;
+  for (float v = 0.0f; v <= 1.0f; v += 0.01f) {
+    const std::size_t q = memory.quantize(v);
+    EXPECT_GE(q, previous);
+    previous = q;
+  }
+}
+
+TEST(LevelMemory, QuantizePartitionsEvenly) {
+  const LevelMemory memory(4, 64, 0.0f, 1.0f, 3);
+  EXPECT_EQ(memory.quantize(0.10f), 0u);
+  EXPECT_EQ(memory.quantize(0.30f), 1u);
+  EXPECT_EQ(memory.quantize(0.60f), 2u);
+  EXPECT_EQ(memory.quantize(0.90f), 3u);
+}
+
+TEST(LevelMemory, HandlesNonUnitRanges) {
+  const LevelMemory memory(10, 64, -4.0f, 6.0f, 4);
+  EXPECT_EQ(memory.quantize(-4.0f), 0u);
+  EXPECT_EQ(memory.quantize(6.0f), 9u);
+  EXPECT_EQ(memory.quantize(1.0f), 5u);
+}
+
+TEST(LevelMemory, ForValueReturnsQuantizedLevel) {
+  const LevelMemory memory(8, 64, 0.0f, 1.0f, 5);
+  EXPECT_EQ(&memory.for_value(0.0f), &memory.at(0));
+  EXPECT_EQ(&memory.for_value(1.0f), &memory.at(7));
+}
+
+TEST(LevelMemory, NeighboringLevelsCorrelated) {
+  // Sec. 2: Hamm(V_{f_i}, V_{f_j}) ∝ |f_i − f_j| / (max − min).
+  const LevelMemory memory(32, 8192, 0.0f, 1.0f, 6);
+  const double near =
+      hv::normalized_hamming(memory.at(0), memory.at(1));
+  const double mid =
+      hv::normalized_hamming(memory.at(0), memory.at(16));
+  const double far =
+      hv::normalized_hamming(memory.at(0), memory.at(31));
+  EXPECT_LT(near, mid);
+  EXPECT_LT(mid, far);
+  EXPECT_NEAR(far, 0.5, 0.02);
+  EXPECT_NEAR(mid, 0.25, 0.02);
+}
+
+TEST(LevelMemory, RejectsDegenerateConfigs) {
+  EXPECT_THROW(LevelMemory(1, 64, 0.0f, 1.0f, 1), std::invalid_argument);
+  EXPECT_THROW(LevelMemory(4, 64, 1.0f, 1.0f, 1), std::invalid_argument);
+  EXPECT_THROW(LevelMemory(4, 64, 2.0f, 1.0f, 1), std::invalid_argument);
+}
+
+TEST(LevelMemory, BoundsChecked) {
+  const LevelMemory memory(4, 64, 0.0f, 1.0f, 1);
+  EXPECT_THROW((void)memory.at(4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lehdc::hdc

@@ -1,0 +1,205 @@
+// Tests for the LeHDC trainer — the paper's core contribution (Sec. 4).
+#include "core/lehdc_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "train/baseline.hpp"
+#include "train/retrain.hpp"
+#include "train_test_util.hpp"
+
+namespace lehdc::core {
+namespace {
+
+using test::make_encoded_fixture;
+using test::make_multimodal_fixture;
+
+LeHdcConfig fast_config() {
+  LeHdcConfig cfg;
+  cfg.epochs = 15;
+  cfg.batch_size = 16;
+  cfg.learning_rate = 0.01f;
+  cfg.weight_decay = 0.01f;
+  cfg.dropout_rate = 0.2f;
+  return cfg;
+}
+
+TEST(LeHdc, LearnsSeparableData) {
+  const auto fixture = make_encoded_fixture(4, 512, 16, 8, 60, 1);
+  const LeHdcTrainer trainer(fast_config());
+  train::TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(fixture.train, options);
+  EXPECT_EQ(result.model->accuracy(fixture.test), 1.0);
+}
+
+TEST(LeHdc, BeatsBaselineOnHardData) {
+  // The core claim: learned class hypervectors beat Eq. 2 averaging where
+  // averaging is structurally weak (Table 1's qualitative result).
+  const auto fixture = test::make_hard_fixture(31);
+  train::TrainOptions options;
+  options.seed = 1;
+  const train::BaselineTrainer baseline;
+  const double base_acc =
+      baseline.train(fixture.train, options).model->accuracy(fixture.test);
+  auto cfg = fast_config();
+  cfg.epochs = 25;
+  const LeHdcTrainer lehdc(cfg);
+  const double lehdc_acc =
+      lehdc.train(fixture.train, options).model->accuracy(fixture.test);
+  EXPECT_GT(lehdc_acc, base_acc);
+}
+
+TEST(LeHdc, ExportsPlainBinaryClassifier) {
+  // The zero-overhead property (Sec. 4): the deployed model is exactly K
+  // binary hypervectors — indistinguishable in shape from the baseline's.
+  const auto fixture = make_encoded_fixture(3, 256, 8, 0, 20, 3);
+  const LeHdcTrainer trainer(fast_config());
+  train::TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(fixture.train, options);
+  const auto* binary = result.model->as_binary();
+  ASSERT_NE(binary, nullptr);
+  EXPECT_EQ(binary->class_count(), 3u);
+  EXPECT_EQ(binary->dim(), 256u);
+  EXPECT_EQ(result.model->storage_bits(), 3u * 256u);
+}
+
+TEST(LeHdc, NonBinaryVariantExportsIntModel) {
+  auto cfg = fast_config();
+  cfg.non_binary_model = true;
+  const auto fixture = make_encoded_fixture(3, 256, 8, 4, 20, 4);
+  const LeHdcTrainer trainer(cfg);
+  train::TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(fixture.train, options);
+  EXPECT_EQ(result.model->as_binary(), nullptr);
+  EXPECT_GT(result.model->accuracy(fixture.test), 0.9);
+}
+
+TEST(LeHdc, TrajectoryHasOnePointPerEpoch) {
+  const auto fixture = make_encoded_fixture(2, 256, 8, 4, 20, 5);
+  auto cfg = fast_config();
+  cfg.epochs = 7;
+  const LeHdcTrainer trainer(cfg);
+  train::TrainOptions options;
+  options.seed = 1;
+  options.test = &fixture.test;
+  options.record_trajectory = true;
+  const auto result = trainer.train(fixture.train, options);
+  ASSERT_EQ(result.trajectory.size(), 7u);
+  EXPECT_EQ(result.epochs_run, 7u);
+  for (std::size_t e = 0; e < 7; ++e) {
+    EXPECT_EQ(result.trajectory[e].epoch, e);
+    EXPECT_GE(result.trajectory[e].train_loss, 0.0);
+  }
+}
+
+TEST(LeHdc, LossDecreasesOverTraining) {
+  const auto fixture = make_encoded_fixture(4, 512, 16, 0, 80, 6);
+  auto cfg = fast_config();
+  cfg.epochs = 12;
+  cfg.dropout_rate = 0.0f;
+  cfg.weight_decay = 0.0f;
+  // The warm start already saturates the softmax on separable data (loss
+  // numerically 0); random init exposes the optimization trajectory.
+  cfg.init = LeHdcConfig::Init::kRandom;
+  const LeHdcTrainer trainer(cfg);
+  train::TrainOptions options;
+  options.seed = 1;
+  options.record_trajectory = true;
+  const auto result = trainer.train(fixture.train, options);
+  EXPECT_LT(result.trajectory.back().train_loss,
+            result.trajectory.front().train_loss);
+}
+
+TEST(LeHdc, DeterministicPerSeed) {
+  const auto fixture = make_encoded_fixture(3, 256, 8, 4, 20, 7);
+  const LeHdcTrainer trainer(fast_config());
+  train::TrainOptions options;
+  options.seed = 11;
+  const auto a = trainer.train(fixture.train, options);
+  const auto b = trainer.train(fixture.train, options);
+  const auto* binary_a = a.model->as_binary();
+  const auto* binary_b = b.model->as_binary();
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(binary_a->class_hypervector(k),
+              binary_b->class_hypervector(k));
+  }
+}
+
+TEST(LeHdc, SgdVariantTrains) {
+  auto cfg = fast_config();
+  cfg.use_adam = false;
+  cfg.learning_rate = 0.05f;
+  const auto fixture = make_encoded_fixture(3, 256, 10, 5, 30, 8);
+  const LeHdcTrainer trainer(cfg);
+  train::TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(fixture.train, options);
+  EXPECT_GT(result.model->accuracy(fixture.test), 0.8);
+}
+
+TEST(LeHdc, FloatForwardVariantTrains) {
+  auto cfg = fast_config();
+  cfg.binary_forward = false;
+  const auto fixture = make_encoded_fixture(3, 256, 10, 5, 30, 9);
+  const LeHdcTrainer trainer(cfg);
+  train::TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(fixture.train, options);
+  EXPECT_GT(result.model->accuracy(fixture.test), 0.8);
+}
+
+TEST(LeHdc, RandomInitVariantTrains) {
+  auto cfg = fast_config();
+  cfg.init = LeHdcConfig::Init::kRandom;
+  cfg.epochs = 25;
+  const auto fixture = make_encoded_fixture(3, 256, 12, 6, 30, 10);
+  const LeHdcTrainer trainer(cfg);
+  train::TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(fixture.train, options);
+  EXPECT_GT(result.model->accuracy(fixture.test), 0.8);
+}
+
+TEST(LeHdc, BatchLargerThanDatasetIsClamped) {
+  auto cfg = fast_config();
+  cfg.batch_size = 10000;
+  const auto fixture = make_encoded_fixture(2, 128, 6, 3, 10, 11);
+  const LeHdcTrainer trainer(cfg);
+  train::TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(fixture.train, options);
+  EXPECT_GT(result.model->accuracy(fixture.test), 0.8);
+}
+
+TEST(LeHdc, ValidatesConfig) {
+  LeHdcConfig bad;
+  bad.learning_rate = 0.0f;
+  EXPECT_THROW(LeHdcTrainer{bad}, std::invalid_argument);
+  LeHdcConfig bad_dropout;
+  bad_dropout.dropout_rate = 1.0f;
+  EXPECT_THROW(LeHdcTrainer{bad_dropout}, std::invalid_argument);
+  LeHdcConfig bad_batch;
+  bad_batch.batch_size = 0;
+  EXPECT_THROW(LeHdcTrainer{bad_batch}, std::invalid_argument);
+  LeHdcConfig bad_epochs;
+  bad_epochs.epochs = 0;
+  EXPECT_THROW(LeHdcTrainer{bad_epochs}, std::invalid_argument);
+}
+
+TEST(LeHdc, RejectsEmptyDataset) {
+  const hdc::EncodedDataset empty(64, 2);
+  const LeHdcTrainer trainer(fast_config());
+  train::TrainOptions options;
+  EXPECT_THROW((void)trainer.train(empty, options), std::invalid_argument);
+}
+
+TEST(LeHdc, NameIsLeHDC) {
+  EXPECT_EQ(LeHdcTrainer().name(), "LeHDC");
+}
+
+}  // namespace
+}  // namespace lehdc::core

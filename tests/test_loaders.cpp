@@ -1,0 +1,244 @@
+// Tests for the IDX (MNIST-format) and CSV dataset loaders, using files
+// synthesized into the test temp directory.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "data/csv_loader.hpp"
+#include "data/idx_loader.hpp"
+
+namespace lehdc::data {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void write_be32(std::ofstream& out, std::uint32_t value) {
+  const unsigned char bytes[4] = {
+      static_cast<unsigned char>(value >> 24),
+      static_cast<unsigned char>(value >> 16),
+      static_cast<unsigned char>(value >> 8),
+      static_cast<unsigned char>(value)};
+  out.write(reinterpret_cast<const char*>(bytes), 4);
+}
+
+/// Writes a tiny IDX pair: `count` images of rows x cols whose pixel (i, p)
+/// is (i * 16 + p) mod 256, labelled i mod 3.
+void write_idx_pair(const std::string& image_path,
+                    const std::string& label_path, std::uint32_t count,
+                    std::uint32_t rows, std::uint32_t cols) {
+  std::ofstream images(image_path, std::ios::binary);
+  write_be32(images, 0x00000803);
+  write_be32(images, count);
+  write_be32(images, rows);
+  write_be32(images, cols);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    for (std::uint32_t p = 0; p < rows * cols; ++p) {
+      const auto pixel = static_cast<unsigned char>((i * 16 + p) % 256);
+      images.write(reinterpret_cast<const char*>(&pixel), 1);
+    }
+  }
+  std::ofstream labels(label_path, std::ios::binary);
+  write_be32(labels, 0x00000801);
+  write_be32(labels, count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto label = static_cast<unsigned char>(i % 3);
+    labels.write(reinterpret_cast<const char*>(&label), 1);
+  }
+}
+
+TEST(IdxLoader, LoadsImagesAndLabels) {
+  const auto images = temp_path("t10k.idx3");
+  const auto labels = temp_path("t10k.idx1");
+  write_idx_pair(images, labels, 6, 4, 4);
+  const Dataset dataset = load_idx(images, labels, 3);
+  EXPECT_EQ(dataset.size(), 6u);
+  EXPECT_EQ(dataset.feature_count(), 16u);
+  EXPECT_EQ(dataset.class_count(), 3u);
+  EXPECT_EQ(dataset.label(4), 1);
+  // Pixels normalize to [0, 1].
+  EXPECT_NEAR(dataset.sample(0)[5], 5.0f / 255.0f, 1e-6f);
+  EXPECT_NEAR(dataset.sample(1)[0], 16.0f / 255.0f, 1e-6f);
+  std::remove(images.c_str());
+  std::remove(labels.c_str());
+}
+
+TEST(IdxLoader, MissingFileThrows) {
+  EXPECT_THROW((void)load_idx(temp_path("nope.idx3"), temp_path("nope.idx1")),
+               std::runtime_error);
+}
+
+TEST(IdxLoader, BadMagicThrows) {
+  const auto images = temp_path("bad.idx3");
+  const auto labels = temp_path("bad.idx1");
+  write_idx_pair(images, labels, 2, 2, 2);
+  {
+    std::ofstream broken(images, std::ios::binary);
+    write_be32(broken, 0x12345678);
+    write_be32(broken, 2);
+    write_be32(broken, 2);
+    write_be32(broken, 2);
+  }
+  EXPECT_THROW((void)load_idx(images, labels), std::runtime_error);
+  std::remove(images.c_str());
+  std::remove(labels.c_str());
+}
+
+TEST(IdxLoader, CountMismatchThrows) {
+  const auto images = temp_path("mismatch.idx3");
+  const auto labels = temp_path("mismatch.idx1");
+  write_idx_pair(images, labels, 4, 2, 2);
+  const auto other_labels = temp_path("mismatch5.idx1");
+  {
+    std::ofstream out(other_labels, std::ios::binary);
+    write_be32(out, 0x00000801);
+    write_be32(out, 5);
+    for (int i = 0; i < 5; ++i) {
+      const char z = 0;
+      out.write(&z, 1);
+    }
+  }
+  EXPECT_THROW((void)load_idx(images, other_labels), std::invalid_argument);
+  std::remove(images.c_str());
+  std::remove(labels.c_str());
+  std::remove(other_labels.c_str());
+}
+
+TEST(IdxLoader, TruncatedPayloadThrows) {
+  const auto images = temp_path("short.idx3");
+  const auto labels = temp_path("short.idx1");
+  write_idx_pair(images, labels, 4, 3, 3);
+  // Rewrite both files claiming 10 samples; the image payload only holds 4.
+  {
+    std::ifstream in(images, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(images, std::ios::binary | std::ios::trunc);
+    write_be32(out, 0x00000803);
+    write_be32(out, 10);
+    out.write(contents.data() + 8,
+              static_cast<std::streamsize>(contents.size() - 8));
+  }
+  {
+    std::ofstream out(labels, std::ios::binary | std::ios::trunc);
+    write_be32(out, 0x00000801);
+    write_be32(out, 10);
+    for (int i = 0; i < 10; ++i) {
+      const char zero = 0;
+      out.write(&zero, 1);
+    }
+  }
+  EXPECT_THROW((void)load_idx(images, labels), std::runtime_error);
+  std::remove(images.c_str());
+  std::remove(labels.c_str());
+}
+
+void write_text(const std::string& path, const char* text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+TEST(CsvLoader, ParsesLabelLastByDefault) {
+  const auto path = temp_path("basic.csv");
+  write_text(path,
+             "1.0,2.0,0\n"
+             "3.0,4.0,1\n"
+             "5.0,6.0,2\n");
+  const Dataset dataset = load_csv(path);
+  EXPECT_EQ(dataset.size(), 3u);
+  EXPECT_EQ(dataset.feature_count(), 2u);
+  EXPECT_EQ(dataset.class_count(), 3u);
+  EXPECT_EQ(dataset.sample(1)[1], 4.0f);
+  EXPECT_EQ(dataset.label(2), 2);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoader, SupportsLabelColumnAndBase) {
+  const auto path = temp_path("labelfirst.csv");
+  write_text(path,
+             "1,0.5,0.6\n"
+             "2,0.7,0.8\n");
+  CsvOptions options;
+  options.label_column = 0;
+  options.label_base = 1;  // 1-based labels in the file
+  const Dataset dataset = load_csv(path, options);
+  EXPECT_EQ(dataset.feature_count(), 2u);
+  EXPECT_EQ(dataset.label(0), 0);
+  EXPECT_EQ(dataset.label(1), 1);
+  EXPECT_EQ(dataset.sample(0)[0], 0.5f);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoader, SkipsHeaderRows) {
+  const auto path = temp_path("header.csv");
+  write_text(path,
+             "f1,f2,label\n"
+             "1.0,2.0,0\n");
+  CsvOptions options;
+  options.skip_rows = 1;
+  const Dataset dataset = load_csv(path, options);
+  EXPECT_EQ(dataset.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoader, SupportsCustomDelimiter) {
+  const auto path = temp_path("semicolon.csv");
+  write_text(path, "1.0;2.0;1\n");
+  CsvOptions options;
+  options.delimiter = ';';
+  const Dataset dataset = load_csv(path, options);
+  EXPECT_EQ(dataset.feature_count(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoader, SkipsEmptyLines) {
+  const auto path = temp_path("gaps.csv");
+  write_text(path, "1.0,0\n\n2.0,1\n");
+  const Dataset dataset = load_csv(path);
+  EXPECT_EQ(dataset.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoader, RejectsInconsistentWidth) {
+  const auto path = temp_path("ragged.csv");
+  write_text(path, "1.0,2.0,0\n1.0,1\n");
+  EXPECT_THROW((void)load_csv(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoader, RejectsNonNumericCells) {
+  const auto path = temp_path("text.csv");
+  write_text(path, "1.0,abc,0\n");
+  EXPECT_THROW((void)load_csv(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoader, RejectsLabelBelowBase) {
+  const auto path = temp_path("badlabel.csv");
+  write_text(path, "1.0,0\n");
+  CsvOptions options;
+  options.label_base = 1;
+  EXPECT_THROW((void)load_csv(path, options), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoader, MissingFileThrows) {
+  EXPECT_THROW((void)load_csv(temp_path("missing.csv")),
+               std::runtime_error);
+}
+
+TEST(CsvLoader, EmptyFileThrows) {
+  const auto path = temp_path("empty.csv");
+  write_text(path, "");
+  EXPECT_THROW((void)load_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lehdc::data

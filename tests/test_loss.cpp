@@ -1,0 +1,150 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/gradcheck.hpp"
+#include "util/rng.hpp"
+
+namespace lehdc::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  util::Rng rng(1);
+  Matrix logits(5, 7);
+  logits.fill_gaussian(rng, 3.0f);
+  softmax_rows(logits);
+  for (std::size_t r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 7; ++c) {
+      EXPECT_GT(logits.at(r, c), 0.0f);
+      sum += logits.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  Matrix logits(1, 3);
+  logits.at(0, 0) = 1000.0f;
+  logits.at(0, 1) = 999.0f;
+  logits.at(0, 2) = -1000.0f;
+  softmax_rows(logits);
+  EXPECT_TRUE(std::isfinite(logits.at(0, 0)));
+  EXPECT_NEAR(logits.at(0, 0), 1.0f / (1.0f + std::exp(-1.0f)), 1e-4f);
+  EXPECT_NEAR(logits.at(0, 2), 0.0f, 1e-6f);
+}
+
+TEST(Softmax, UniformLogitsGiveUniformProbabilities) {
+  Matrix logits(1, 4);
+  logits.fill(2.5f);
+  softmax_rows(logits);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(logits.at(0, c), 0.25f, 1e-6f);
+  }
+}
+
+TEST(CrossEntropy, KnownValue) {
+  // Two classes, logits (0, 0): p = 0.5 → loss = ln 2.
+  Matrix logits(1, 2);
+  const std::vector<int> labels{0};
+  EXPECT_NEAR(cross_entropy(logits, labels), std::log(2.0), 1e-9);
+}
+
+TEST(CrossEntropy, PerfectPredictionApproachesZero) {
+  Matrix logits(1, 2);
+  logits.at(0, 0) = 30.0f;
+  const std::vector<int> labels{0};
+  EXPECT_NEAR(cross_entropy(logits, labels), 0.0, 1e-9);
+}
+
+TEST(CrossEntropy, AveragesOverBatch) {
+  Matrix logits(2, 2);
+  logits.at(0, 0) = 30.0f;  // perfect
+  const std::vector<int> labels{0, 1};  // second row uniform → ln 2
+  EXPECT_NEAR(cross_entropy(logits, labels), std::log(2.0) / 2.0, 1e-6);
+}
+
+TEST(CrossEntropy, ValidatesLabels) {
+  Matrix logits(2, 3);
+  EXPECT_THROW((void)cross_entropy(logits, std::vector<int>{0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)cross_entropy(logits, std::vector<int>{0, 3}),
+               std::invalid_argument);
+  EXPECT_THROW((void)cross_entropy(logits, std::vector<int>{0, -1}),
+               std::invalid_argument);
+}
+
+TEST(SoftmaxXentBackward, ReturnsSameLossAsForward) {
+  util::Rng rng(2);
+  Matrix logits(8, 5);
+  logits.fill_gaussian(rng, 2.0f);
+  std::vector<int> labels(8);
+  for (auto& label : labels) {
+    label = static_cast<int>(rng.next_below(5));
+  }
+  Matrix grad(8, 5);
+  const double fused = softmax_xent_backward(logits, labels, grad);
+  EXPECT_NEAR(fused, cross_entropy(logits, labels), 1e-9);
+}
+
+TEST(SoftmaxXentBackward, GradientIsSoftmaxMinusOnehotOverBatch) {
+  Matrix logits(1, 3);
+  logits.at(0, 0) = 1.0f;
+  logits.at(0, 1) = 2.0f;
+  logits.at(0, 2) = 3.0f;
+  Matrix probs = logits;
+  softmax_rows(probs);
+  Matrix grad(1, 3);
+  (void)softmax_xent_backward(logits, std::vector<int>{1}, grad);
+  EXPECT_NEAR(grad.at(0, 0), probs.at(0, 0), 1e-6f);
+  EXPECT_NEAR(grad.at(0, 1), probs.at(0, 1) - 1.0f, 1e-6f);
+  EXPECT_NEAR(grad.at(0, 2), probs.at(0, 2), 1e-6f);
+}
+
+TEST(SoftmaxXentBackward, GradientRowsSumToZero) {
+  util::Rng rng(3);
+  Matrix logits(6, 4);
+  logits.fill_gaussian(rng, 1.5f);
+  std::vector<int> labels{0, 1, 2, 3, 0, 1};
+  Matrix grad(6, 4);
+  (void)softmax_xent_backward(logits, labels, grad);
+  for (std::size_t r = 0; r < 6; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      sum += grad.at(r, c);
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxXentBackward, MatchesFiniteDifferences) {
+  util::Rng rng(4);
+  Matrix logits(3, 4);
+  logits.fill_gaussian(rng, 1.0f);
+  const std::vector<int> labels{1, 3, 0};
+  Matrix grad(3, 4);
+  (void)softmax_xent_backward(logits, labels, grad);
+  const double err = max_gradient_error(
+      logits, grad, [&] { return cross_entropy(logits, labels); }, 1e-3f);
+  EXPECT_LT(err, 1e-3);
+}
+
+TEST(GradCheck, DetectsWrongGradients) {
+  util::Rng rng(5);
+  Matrix logits(2, 3);
+  logits.fill_gaussian(rng, 1.0f);
+  const std::vector<int> labels{0, 2};
+  Matrix wrong_grad(2, 3);
+  wrong_grad.fill(0.7f);
+  const double err = max_gradient_error(
+      logits, wrong_grad, [&] { return cross_entropy(logits, labels); },
+      1e-3f);
+  EXPECT_GT(err, 0.1);
+}
+
+}  // namespace
+}  // namespace lehdc::nn

@@ -1,0 +1,150 @@
+#include "nn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lehdc::nn {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  const Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(m.at(r, c), 0.0f);
+    }
+  }
+}
+
+TEST(Matrix, AtIsBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), std::invalid_argument);
+  EXPECT_THROW((void)m.at(0, 2), std::invalid_argument);
+  EXPECT_THROW((void)m.row(2), std::invalid_argument);
+}
+
+TEST(Matrix, RowIsContiguousView) {
+  Matrix m(2, 3);
+  m.at(1, 0) = 7.0f;
+  const auto row = m.row(1);
+  EXPECT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 7.0f);
+  row[2] = 9.0f;
+  EXPECT_EQ(m.at(1, 2), 9.0f);
+}
+
+TEST(Matrix, FillAndAddScaled) {
+  Matrix a(2, 2);
+  a.fill(1.0f);
+  Matrix b(2, 2);
+  b.fill(3.0f);
+  a.add_scaled(b, 2.0f);
+  EXPECT_EQ(a.at(0, 0), 7.0f);
+  EXPECT_EQ(a.at(1, 1), 7.0f);
+}
+
+TEST(Matrix, AddScaledRejectsShapeMismatch) {
+  Matrix a(2, 2);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a.add_scaled(b, 1.0f), std::invalid_argument);
+}
+
+TEST(Matrix, SquaredNormMatchesManual) {
+  Matrix m(1, 3);
+  m.at(0, 0) = 1.0f;
+  m.at(0, 1) = 2.0f;
+  m.at(0, 2) = -2.0f;
+  EXPECT_DOUBLE_EQ(m.squared_norm(), 9.0);
+}
+
+TEST(Matrix, GaussianFillMoments) {
+  util::Rng rng(1);
+  Matrix m(100, 100);
+  m.fill_gaussian(rng, 2.0f);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const float v : m.data()) {
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(m.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 4.0, 0.2);
+}
+
+TEST(Matrix, UniformFillRange) {
+  util::Rng rng(2);
+  Matrix m(10, 10);
+  m.fill_uniform(rng, -1.0f, 1.0f);
+  for (const float v : m.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix m(r, c);
+  m.fill_gaussian(rng, 1.0f);
+  return m;
+}
+
+TEST(MatMulAbt, MatchesNaiveTripleLoop) {
+  const Matrix a = random_matrix(7, 13, 3);
+  const Matrix bT = random_matrix(5, 13, 4);
+  Matrix out(7, 5);
+  matmul_abt(a, bT, out);
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t k = 0; k < 5; ++k) {
+      float expected = 0.0f;
+      for (std::size_t j = 0; j < 13; ++j) {
+        expected += a.at(i, j) * bT.at(k, j);
+      }
+      ASSERT_NEAR(out.at(i, k), expected, 1e-4f);
+    }
+  }
+}
+
+TEST(MatMulAbt, RejectsBadShapes) {
+  const Matrix a(2, 3);
+  const Matrix bT(4, 5);  // inner dim mismatch
+  Matrix out(2, 4);
+  EXPECT_THROW(matmul_abt(a, bT, out), std::invalid_argument);
+  const Matrix bT2(4, 3);
+  Matrix wrong_out(3, 4);
+  EXPECT_THROW(matmul_abt(a, bT2, wrong_out), std::invalid_argument);
+}
+
+TEST(AccumulateGta, MatchesNaiveTripleLoop) {
+  const Matrix g = random_matrix(6, 4, 5);  // B x K
+  const Matrix a = random_matrix(6, 9, 6);  // B x D
+  Matrix out(4, 9);
+  out.fill(0.5f);  // accumulation on top of existing contents
+  Matrix expected = out;
+  accumulate_gta(g, a, out);
+  for (std::size_t k = 0; k < 4; ++k) {
+    for (std::size_t j = 0; j < 9; ++j) {
+      float sum = expected.at(k, j);
+      for (std::size_t b = 0; b < 6; ++b) {
+        sum += g.at(b, k) * a.at(b, j);
+      }
+      ASSERT_NEAR(out.at(k, j), sum, 1e-4f);
+    }
+  }
+}
+
+TEST(AccumulateGta, RejectsBadShapes) {
+  const Matrix g(6, 4);
+  const Matrix a(5, 9);  // batch mismatch
+  Matrix out(4, 9);
+  EXPECT_THROW(accumulate_gta(g, a, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lehdc::nn

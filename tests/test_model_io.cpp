@@ -1,0 +1,101 @@
+#include "hdc/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/rng.hpp"
+
+namespace lehdc::hdc {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+BinaryClassifier make_classifier(std::size_t classes, std::size_t dim,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<hv::BitVector> hvs;
+  for (std::size_t k = 0; k < classes; ++k) {
+    hvs.push_back(hv::BitVector::random(dim, rng));
+  }
+  return BinaryClassifier(std::move(hvs));
+}
+
+TEST(ModelIo, RoundTripPreservesModel) {
+  const auto path = temp_path("roundtrip.lhdc");
+  const BinaryClassifier original = make_classifier(5, 1000, 1);
+  save_classifier(original, path);
+  const BinaryClassifier loaded = load_classifier(path);
+  ASSERT_EQ(loaded.class_count(), 5u);
+  ASSERT_EQ(loaded.dim(), 1000u);
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_EQ(loaded.class_hypervector(k), original.class_hypervector(k));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, RoundTripAtWordBoundary) {
+  const auto path = temp_path("boundary.lhdc");
+  const BinaryClassifier original = make_classifier(2, 64, 2);
+  save_classifier(original, path);
+  const BinaryClassifier loaded = load_classifier(path);
+  EXPECT_EQ(loaded.class_hypervector(1), original.class_hypervector(1));
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, LoadedModelPredictsIdentically) {
+  const auto path = temp_path("predict.lhdc");
+  const BinaryClassifier original = make_classifier(4, 777, 3);
+  save_classifier(original, path);
+  const BinaryClassifier loaded = load_classifier(path);
+  util::Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const auto query = hv::BitVector::random(777, rng);
+    ASSERT_EQ(loaded.predict(query), original.predict(query));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_classifier(temp_path("does_not_exist.lhdc")),
+               std::runtime_error);
+}
+
+TEST(ModelIo, BadMagicThrows) {
+  const auto path = temp_path("bad_magic.lhdc");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPExxxxxxxxxxxxxxxxxxxxxxxxxxxx";
+  }
+  EXPECT_THROW((void)load_classifier(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, TruncatedPayloadThrows) {
+  const auto path = temp_path("truncated.lhdc");
+  save_classifier(make_classifier(3, 512, 5), path);
+  // Chop the file in half.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+  }
+  EXPECT_THROW((void)load_classifier(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, UnwritableDirectoryThrows) {
+  EXPECT_THROW(
+      save_classifier(make_classifier(1, 64, 6), "/nonexistent/m.lhdc"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lehdc::hdc

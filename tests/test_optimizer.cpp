@@ -1,0 +1,170 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lehdc::nn {
+namespace {
+
+/// Gradient of f(w) = 0.5 * (w - target)^2.
+Matrix quadratic_grad(const Matrix& w, float target) {
+  Matrix g(w.rows(), w.cols());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    g.data()[i] = w.data()[i] - target;
+  }
+  return g;
+}
+
+TEST(Adam, FirstStepHasLearningRateMagnitude) {
+  AdamConfig cfg;
+  cfg.learning_rate = 0.1f;
+  AdamOptimizer adam(1, 1, cfg);
+  Matrix w(1, 1);
+  w.at(0, 0) = 5.0f;
+  Matrix g(1, 1);
+  g.at(0, 0) = 123.0f;  // magnitude is normalized away by Adam
+  adam.step(w, g);
+  // After bias correction the first step is ~lr in the gradient direction.
+  EXPECT_NEAR(w.at(0, 0), 5.0f - 0.1f, 1e-4f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  AdamConfig cfg;
+  cfg.learning_rate = 0.05f;
+  AdamOptimizer adam(2, 3, cfg);
+  Matrix w(2, 3);
+  w.fill(4.0f);
+  for (int step = 0; step < 600; ++step) {
+    const Matrix g = quadratic_grad(w, 1.5f);
+    adam.step(w, g);
+  }
+  for (const float v : w.data()) {
+    EXPECT_NEAR(v, 1.5f, 0.05f);
+  }
+}
+
+TEST(Adam, StepCountAdvances) {
+  AdamOptimizer adam(1, 1, AdamConfig{});
+  EXPECT_EQ(adam.step_count(), 0u);
+  Matrix w(1, 1);
+  Matrix g(1, 1);
+  adam.step(w, g);
+  adam.step(w, g);
+  EXPECT_EQ(adam.step_count(), 2u);
+}
+
+TEST(Adam, L2DecayPullsWeightsTowardZero) {
+  AdamConfig cfg;
+  cfg.learning_rate = 0.05f;
+  cfg.weight_decay = 0.5f;
+  cfg.decay_mode = WeightDecayMode::kL2;
+  AdamOptimizer adam(1, 1, cfg);
+  Matrix w(1, 1);
+  w.at(0, 0) = 2.0f;
+  Matrix zero_grad(1, 1);
+  for (int step = 0; step < 400; ++step) {
+    adam.step(w, zero_grad);
+  }
+  EXPECT_NEAR(w.at(0, 0), 0.0f, 0.1f);
+}
+
+TEST(Adam, DecoupledDecayShrinksMultiplicatively) {
+  AdamConfig cfg;
+  cfg.learning_rate = 0.1f;
+  cfg.weight_decay = 0.1f;
+  cfg.decay_mode = WeightDecayMode::kDecoupled;
+  AdamOptimizer adam(1, 1, cfg);
+  Matrix w(1, 1);
+  w.at(0, 0) = 1.0f;
+  Matrix zero_grad(1, 1);
+  adam.step(w, zero_grad);
+  // Zero gradient → zero Adam step; only the decoupled decay applies.
+  EXPECT_NEAR(w.at(0, 0), 1.0f * (1.0f - 0.1f * 0.1f), 1e-5f);
+}
+
+TEST(Adam, NoDecayLeavesZeroGradStationary) {
+  AdamConfig cfg;
+  cfg.decay_mode = WeightDecayMode::kNone;
+  cfg.weight_decay = 0.5f;  // must be ignored
+  AdamOptimizer adam(1, 1, cfg);
+  Matrix w(1, 1);
+  w.at(0, 0) = 3.0f;
+  Matrix zero_grad(1, 1);
+  adam.step(w, zero_grad);
+  EXPECT_EQ(w.at(0, 0), 3.0f);
+}
+
+TEST(Adam, LearningRateIsAdjustable) {
+  AdamOptimizer adam(1, 1, AdamConfig{});
+  adam.set_learning_rate(0.5f);
+  EXPECT_EQ(adam.learning_rate(), 0.5f);
+}
+
+TEST(Adam, ValidatesConfigAndShapes) {
+  AdamConfig bad;
+  bad.learning_rate = 0.0f;
+  EXPECT_THROW(AdamOptimizer(1, 1, bad), std::invalid_argument);
+  AdamConfig bad_beta;
+  bad_beta.beta1 = 1.0f;
+  EXPECT_THROW(AdamOptimizer(1, 1, bad_beta), std::invalid_argument);
+
+  AdamOptimizer adam(2, 2, AdamConfig{});
+  Matrix wrong(3, 2);
+  Matrix grad(3, 2);
+  EXPECT_THROW(adam.step(wrong, grad), std::invalid_argument);
+}
+
+TEST(Sgd, PlainStepIsLrTimesGrad) {
+  SgdConfig cfg;
+  cfg.learning_rate = 0.1f;
+  SgdOptimizer sgd(1, 1, cfg);
+  Matrix w(1, 1);
+  w.at(0, 0) = 1.0f;
+  Matrix g(1, 1);
+  g.at(0, 0) = 2.0f;
+  sgd.step(w, g);
+  EXPECT_NEAR(w.at(0, 0), 1.0f - 0.2f, 1e-6f);
+}
+
+TEST(Sgd, MomentumAccumulatesVelocity) {
+  SgdConfig cfg;
+  cfg.learning_rate = 0.1f;
+  cfg.momentum = 0.9f;
+  SgdOptimizer sgd(1, 1, cfg);
+  Matrix w(1, 1);
+  Matrix g(1, 1);
+  g.at(0, 0) = 1.0f;
+  sgd.step(w, g);
+  const float after_one = w.at(0, 0);
+  sgd.step(w, g);
+  const float second_step = w.at(0, 0) - after_one;
+  // Second step = -lr * (0.9 * 1 + 1) = -0.19.
+  EXPECT_NEAR(second_step, -0.19f, 1e-6f);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  SgdConfig cfg;
+  cfg.learning_rate = 0.1f;
+  cfg.momentum = 0.5f;
+  SgdOptimizer sgd(1, 4, cfg);
+  Matrix w(1, 4);
+  w.fill(-3.0f);
+  for (int step = 0; step < 300; ++step) {
+    const Matrix g = quadratic_grad(w, 2.0f);
+    sgd.step(w, g);
+  }
+  for (const float v : w.data()) {
+    EXPECT_NEAR(v, 2.0f, 0.01f);
+  }
+}
+
+TEST(Sgd, ValidatesConfig) {
+  SgdConfig bad;
+  bad.momentum = 1.0f;
+  EXPECT_THROW(SgdOptimizer(1, 1, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lehdc::nn

@@ -1,0 +1,180 @@
+// End-to-end tests for the Pipeline API and the strategy registry.
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "data/synthetic.hpp"
+
+namespace lehdc::core {
+namespace {
+
+data::TrainTestSplit easy_split() {
+  data::SyntheticConfig cfg;
+  cfg.feature_count = 24;
+  cfg.class_count = 3;
+  cfg.train_count = 120;
+  cfg.test_count = 45;
+  cfg.prototypes_per_class = 1;
+  cfg.class_separation = 1.5;
+  cfg.noise_stddev = 0.15;
+  cfg.seed = 7;
+  return generate_synthetic(cfg);
+}
+
+PipelineConfig fast_pipeline(Strategy strategy) {
+  PipelineConfig cfg;
+  cfg.dim = 512;
+  cfg.seed = 3;
+  cfg.strategy = strategy;
+  cfg.lehdc.epochs = 10;
+  cfg.lehdc.batch_size = 16;
+  cfg.retrain.iterations = 10;
+  cfg.multimodel.models_per_class = 2;
+  cfg.multimodel.epochs = 5;
+  cfg.adapt.iterations = 10;
+  return cfg;
+}
+
+TEST(StrategyNames, RoundTripThroughRegistry) {
+  for (const auto strategy :
+       {Strategy::kBaseline, Strategy::kMultiModel, Strategy::kRetraining,
+        Strategy::kEnhancedRetraining, Strategy::kAdaptHd,
+        Strategy::kNonBinary, Strategy::kLeHdc}) {
+    EXPECT_EQ(strategy_from_name(strategy_name(strategy)), strategy);
+  }
+}
+
+TEST(StrategyNames, AcceptsAliases) {
+  EXPECT_EQ(strategy_from_name("lehdc"), Strategy::kLeHdc);
+  EXPECT_EQ(strategy_from_name("multi-model"), Strategy::kMultiModel);
+  EXPECT_EQ(strategy_from_name("Multi_Model"), Strategy::kMultiModel);
+  EXPECT_EQ(strategy_from_name("retrain"), Strategy::kRetraining);
+  EXPECT_THROW((void)strategy_from_name("dnn"), std::invalid_argument);
+}
+
+TEST(MakeTrainer, ProducesNamedStrategies) {
+  for (const auto strategy :
+       {Strategy::kBaseline, Strategy::kMultiModel, Strategy::kRetraining,
+        Strategy::kEnhancedRetraining, Strategy::kAdaptHd,
+        Strategy::kNonBinary, Strategy::kLeHdc}) {
+    const auto trainer = make_trainer(fast_pipeline(strategy));
+    ASSERT_NE(trainer, nullptr);
+    EXPECT_EQ(trainer->name(), strategy_name(strategy));
+  }
+}
+
+TEST(Pipeline, FitPredictEvaluate) {
+  const auto split = easy_split();
+  Pipeline pipeline(fast_pipeline(Strategy::kLeHdc));
+  EXPECT_FALSE(pipeline.fitted());
+  const FitReport report = pipeline.fit(split.train, &split.test);
+  EXPECT_TRUE(pipeline.fitted());
+  EXPECT_GT(report.train_accuracy, 0.9);
+  EXPECT_GT(report.test_accuracy, 0.9);
+  EXPECT_GT(report.encode_seconds, 0.0);
+  EXPECT_GT(report.epochs_run, 0u);
+
+  // predict() agrees with evaluate() on the same data.
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < split.test.size(); ++i) {
+    if (pipeline.predict(split.test.sample(i)) == split.test.label(i)) {
+      ++correct;
+    }
+  }
+  const double manual =
+      static_cast<double>(correct) / static_cast<double>(split.test.size());
+  EXPECT_NEAR(pipeline.evaluate(split.test), manual, 1e-12);
+  EXPECT_NEAR(manual, report.test_accuracy, 1e-12);
+}
+
+TEST(Pipeline, EveryStrategyFitsEndToEnd) {
+  const auto split = easy_split();
+  for (const auto strategy :
+       {Strategy::kBaseline, Strategy::kMultiModel, Strategy::kRetraining,
+        Strategy::kEnhancedRetraining, Strategy::kAdaptHd,
+        Strategy::kNonBinary, Strategy::kLeHdc}) {
+    Pipeline pipeline(fast_pipeline(strategy));
+    const FitReport report = pipeline.fit(split.train, &split.test);
+    EXPECT_GT(report.test_accuracy, 0.8)
+        << "strategy " << strategy_name(strategy);
+  }
+}
+
+TEST(Pipeline, TrajectoryRecordingFlowsThrough) {
+  const auto split = easy_split();
+  auto cfg = fast_pipeline(Strategy::kLeHdc);
+  cfg.lehdc.epochs = 5;
+  Pipeline pipeline(cfg);
+  const FitReport report = pipeline.fit(split.train, &split.test, true);
+  EXPECT_EQ(report.trajectory.size(), 5u);
+  EXPECT_GT(report.trajectory.back().test_accuracy, 0.0);
+}
+
+TEST(Pipeline, FitWithoutTestSet) {
+  const auto split = easy_split();
+  Pipeline pipeline(fast_pipeline(Strategy::kBaseline));
+  const FitReport report = pipeline.fit(split.train);
+  EXPECT_GT(report.train_accuracy, 0.9);
+  EXPECT_EQ(report.test_accuracy, 0.0);
+}
+
+TEST(Pipeline, PredictBeforeFitThrows) {
+  Pipeline pipeline(fast_pipeline(Strategy::kBaseline));
+  const std::vector<float> sample(24, 0.5f);
+  EXPECT_THROW((void)pipeline.predict(sample), std::invalid_argument);
+  EXPECT_THROW((void)pipeline.model(), std::invalid_argument);
+  EXPECT_THROW((void)pipeline.encoder(), std::invalid_argument);
+}
+
+TEST(Pipeline, RejectsSchemaMismatch) {
+  const auto split = easy_split();
+  Pipeline pipeline(fast_pipeline(Strategy::kBaseline));
+  const data::Dataset wrong(25, 3);
+  EXPECT_THROW((void)pipeline.fit(split.train, &wrong),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, RejectsEmptyTrainingSet) {
+  Pipeline pipeline(fast_pipeline(Strategy::kBaseline));
+  const data::Dataset empty(24, 3);
+  EXPECT_THROW((void)pipeline.fit(empty), std::invalid_argument);
+}
+
+TEST(Pipeline, ValidatesConfig) {
+  auto cfg = fast_pipeline(Strategy::kBaseline);
+  cfg.dim = 0;
+  EXPECT_THROW(Pipeline{cfg}, std::invalid_argument);
+  cfg = fast_pipeline(Strategy::kBaseline);
+  cfg.levels = 1;
+  EXPECT_THROW(Pipeline{cfg}, std::invalid_argument);
+}
+
+TEST(Pipeline, EncoderDimsMatchConfig) {
+  const auto split = easy_split();
+  Pipeline pipeline(fast_pipeline(Strategy::kBaseline));
+  (void)pipeline.fit(split.train);
+  EXPECT_EQ(pipeline.encoder().dim(), 512u);
+  EXPECT_EQ(pipeline.encoder().feature_count(), 24u);
+}
+
+TEST(Pipeline, LeHdcSharesEncoderWithBaseline) {
+  // Same seed → identical item memories → LeHDC's accuracy gain comes from
+  // training alone (the paper's apples-to-apples protocol).
+  const auto split = easy_split();
+  Pipeline baseline(fast_pipeline(Strategy::kBaseline));
+  Pipeline lehdc(fast_pipeline(Strategy::kLeHdc));
+  (void)baseline.fit(split.train);
+  (void)lehdc.fit(split.train);
+  const std::vector<float> sample(split.train.sample(0).begin(),
+                                  split.train.sample(0).end());
+  EXPECT_EQ(
+      dynamic_cast<const hdc::RecordEncoder&>(baseline.encoder())
+          .encode(sample),
+      dynamic_cast<const hdc::RecordEncoder&>(lehdc.encoder())
+          .encode(sample));
+}
+
+}  // namespace
+}  // namespace lehdc::core

@@ -1,0 +1,294 @@
+// Property-based suites: invariants that must hold across randomized
+// inputs and swept parameters, beyond the example-based unit tests.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <tuple>
+
+#include "core/pipeline.hpp"
+#include "hdc/model_io.hpp"
+#include "train/baseline.hpp"
+#include "core/lehdc_trainer.hpp"
+#include "data/synthetic.hpp"
+#include "hv/bitslice.hpp"
+#include "hv/bitvector.hpp"
+#include "hv/similarity.hpp"
+#include "train_test_util.hpp"
+
+namespace lehdc {
+namespace {
+
+// ------------------------------------------------ hypervector algebra
+
+class HvAlgebraProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HvAlgebraProperty, BindingPreservesDistances) {
+  // For any a, b, c: Hamm(a ∘ c, b ∘ c) == Hamm(a, b) — binding is an
+  // isometry, the property that makes HDC key-value pairs recoverable.
+  util::Rng rng(GetParam());
+  const std::size_t dim = 200 + rng.next_below(400);
+  const auto a = hv::BitVector::random(dim, rng);
+  const auto b = hv::BitVector::random(dim, rng);
+  const auto c = hv::BitVector::random(dim, rng);
+  auto ac = a;
+  ac.bind_inplace(c);
+  auto bc = b;
+  bc.bind_inplace(c);
+  EXPECT_EQ(hv::BitVector::hamming(ac, bc), hv::BitVector::hamming(a, b));
+}
+
+TEST_P(HvAlgebraProperty, BindingIsCommutativeAndAssociative) {
+  util::Rng rng(GetParam() ^ 0xabcdULL);
+  const std::size_t dim = 100 + rng.next_below(200);
+  const auto a = hv::BitVector::random(dim, rng);
+  const auto b = hv::BitVector::random(dim, rng);
+  const auto c = hv::BitVector::random(dim, rng);
+  auto ab = a;
+  ab.bind_inplace(b);
+  auto ba = b;
+  ba.bind_inplace(a);
+  EXPECT_EQ(ab, ba);
+  auto ab_c = ab;
+  ab_c.bind_inplace(c);
+  auto bc = b;
+  bc.bind_inplace(c);
+  auto a_bc = a;
+  a_bc.bind_inplace(bc);
+  EXPECT_EQ(ab_c, a_bc);
+}
+
+TEST_P(HvAlgebraProperty, TriangleInequalityHolds) {
+  util::Rng rng(GetParam() ^ 0x1234ULL);
+  const std::size_t dim = 150 + rng.next_below(300);
+  const auto a = hv::BitVector::random(dim, rng);
+  const auto b = hv::BitVector::random(dim, rng);
+  const auto c = hv::BitVector::random(dim, rng);
+  EXPECT_LE(hv::BitVector::hamming(a, c),
+            hv::BitVector::hamming(a, b) + hv::BitVector::hamming(b, c));
+}
+
+TEST_P(HvAlgebraProperty, RotationIsAnIsometry) {
+  util::Rng rng(GetParam() ^ 0x5678ULL);
+  const std::size_t dim = 100 + rng.next_below(100);
+  const std::size_t k = rng.next_below(dim);
+  const auto a = hv::BitVector::random(dim, rng);
+  const auto b = hv::BitVector::random(dim, rng);
+  EXPECT_EQ(hv::BitVector::hamming(a.rotated(k), b.rotated(k)),
+            hv::BitVector::hamming(a, b));
+}
+
+TEST_P(HvAlgebraProperty, BundleIsWithinEveryInputsBallOnAverage) {
+  // The majority bundle must be closer to each input than a random
+  // hypervector is (the "prototype" property bundling relies on).
+  util::Rng rng(GetParam() ^ 0x9999ULL);
+  const std::size_t dim = 512;
+  hv::BitSliceAccumulator acc(dim);
+  std::vector<hv::BitVector> inputs;
+  const std::size_t count = 3 + rng.next_below(8);
+  for (std::size_t i = 0; i < count; ++i) {
+    inputs.push_back(hv::BitVector::random(dim, rng));
+    acc.add(inputs.back());
+  }
+  const auto bundle = acc.majority(hv::BitVector::random(dim, rng));
+  for (const auto& input : inputs) {
+    EXPECT_LT(hv::BitVector::hamming(bundle, input), dim / 2 + dim / 10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrials, HvAlgebraProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// ------------------------------------------------ pipeline invariants
+
+struct StrategyCase {
+  core::Strategy strategy;
+};
+
+class PipelineStrategyProperty
+    : public ::testing::TestWithParam<core::Strategy> {};
+
+TEST_P(PipelineStrategyProperty, DeterministicPerSeed) {
+  data::SyntheticConfig synth;
+  synth.feature_count = 20;
+  synth.class_count = 3;
+  synth.train_count = 90;
+  synth.test_count = 30;
+  synth.seed = 11;
+  const auto split = generate_synthetic(synth);
+
+  core::PipelineConfig cfg;
+  cfg.dim = 256;
+  cfg.seed = 21;
+  cfg.strategy = GetParam();
+  cfg.lehdc.epochs = 5;
+  cfg.lehdc.batch_size = 16;
+  cfg.retrain.iterations = 5;
+  cfg.adapt.iterations = 5;
+  cfg.multimodel.models_per_class = 2;
+  cfg.multimodel.epochs = 3;
+  cfg.nonbinary.retrain_epochs = 3;
+
+  core::Pipeline a(cfg);
+  core::Pipeline b(cfg);
+  (void)a.fit(split.train);
+  (void)b.fit(split.train);
+  for (std::size_t i = 0; i < split.test.size(); ++i) {
+    ASSERT_EQ(a.predict(split.test.sample(i)),
+              b.predict(split.test.sample(i)))
+        << core::strategy_name(GetParam()) << " sample " << i;
+  }
+}
+
+TEST_P(PipelineStrategyProperty, BeatsChanceOnLearnableData) {
+  data::SyntheticConfig synth;
+  synth.feature_count = 24;
+  synth.class_count = 4;
+  synth.train_count = 160;
+  synth.test_count = 60;
+  synth.class_separation = 1.0;
+  synth.noise_stddev = 0.25;
+  synth.prototypes_per_class = 2;
+  synth.seed = 13;
+  const auto split = generate_synthetic(synth);
+
+  core::PipelineConfig cfg;
+  cfg.dim = 512;
+  cfg.seed = 3;
+  cfg.strategy = GetParam();
+  cfg.lehdc.epochs = 8;
+  cfg.lehdc.batch_size = 16;
+  cfg.retrain.iterations = 8;
+  cfg.adapt.iterations = 8;
+  cfg.multimodel.models_per_class = 2;
+  cfg.multimodel.epochs = 4;
+  core::Pipeline pipeline(cfg);
+  const auto report = pipeline.fit(split.train, &split.test);
+  EXPECT_GT(report.test_accuracy, 0.6)
+      << core::strategy_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, PipelineStrategyProperty,
+    ::testing::Values(core::Strategy::kBaseline, core::Strategy::kMultiModel,
+                      core::Strategy::kRetraining,
+                      core::Strategy::kEnhancedRetraining,
+                      core::Strategy::kAdaptHd, core::Strategy::kNonBinary,
+                      core::Strategy::kLeHdc),
+    [](const auto& info) {
+      // gtest parameter names must be alphanumeric ("Multi-Model" is not).
+      std::string name = core::strategy_name(info.param);
+      std::erase_if(name, [](char ch) { return !std::isalnum(
+                                static_cast<unsigned char>(ch)); });
+      return name;
+    });
+
+// ------------------------------------------------ encoder monotonicity
+
+class EncoderValueSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(EncoderValueSweep, CodeDistanceTracksValueDistance) {
+  // Sweeping one feature across its range must move the code monotonically
+  // (up to quantization plateaus) — the correlation property of Sec. 2
+  // lifted through the whole encoder.
+  const auto [dim, levels] = GetParam();
+  hdc::RecordEncoderConfig cfg;
+  cfg.dim = dim;
+  cfg.feature_count = 8;
+  cfg.levels = levels;
+  cfg.seed = 31;
+  const hdc::RecordEncoder encoder(cfg);
+
+  std::vector<float> base(8, 0.5f);
+  base[0] = 0.0f;
+  const auto reference = encoder.encode(base);
+  std::size_t previous = 0;
+  for (const float value : {0.25f, 0.5f, 0.75f, 1.0f}) {
+    auto moved = base;
+    moved[0] = value;
+    const std::size_t distance =
+        hv::BitVector::hamming(reference, encoder.encode(moved));
+    EXPECT_GE(distance + dim / 50, previous)  // tolerate small plateaus
+        << "value " << value;
+    previous = distance;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EncoderValueSweep,
+    ::testing::Combine(::testing::Values(512, 1000, 2048),
+                       ::testing::Values(4, 16, 64)));
+
+// ------------------------------------------------ LeHDC config sweep
+
+class LeHdcConfigSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, float>> {};
+
+TEST_P(LeHdcConfigSweep, TrainsAcrossBatchAndDropout) {
+  const auto [batch, dropout] = GetParam();
+  const auto fixture = test::make_encoded_fixture(3, 256, 12, 6, 30, 17);
+  core::LeHdcConfig cfg;
+  cfg.epochs = 10;
+  cfg.batch_size = batch;
+  cfg.dropout_rate = dropout;
+  const core::LeHdcTrainer trainer(cfg);
+  train::TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(fixture.train, options);
+  EXPECT_GT(result.model->accuracy(fixture.test), 0.8)
+      << "batch " << batch << " dropout " << dropout;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LeHdcConfigSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(4, 16, 36),
+                       ::testing::Values(0.0f, 0.3f, 0.6f)));
+
+// ------------------------------------------------ serialization fuzz
+
+TEST(SerializationFuzz, CorruptedModelsThrowNeverCrash) {
+  const auto fixture = test::make_encoded_fixture(3, 130, 4, 0, 10, 19);
+  const auto classes = train::bundle_classes(fixture.train, 1);
+  const hdc::BinaryClassifier classifier(classes);
+  const std::string path = ::testing::TempDir() + "/fuzz.lhdc";
+  hdc::save_classifier(classifier, path);
+
+  // Read the pristine bytes once.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+
+  util::Rng rng(20);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string corrupted = bytes;
+    // Truncate or flip a random byte.
+    if (rng.next_bool(0.5)) {
+      corrupted.resize(rng.next_below(corrupted.size()));
+    } else {
+      const std::size_t at = rng.next_below(corrupted.size());
+      corrupted[at] = static_cast<char>(rng.next_below(256));
+    }
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(corrupted.data(),
+                static_cast<std::streamsize>(corrupted.size()));
+    }
+    try {
+      const auto loaded = hdc::load_classifier(path);
+      // A byte flip inside the payload can still parse — that is fine;
+      // the loaded model must at least be structurally sound.
+      EXPECT_GT(loaded.class_count(), 0u);
+    } catch (const std::exception&) {
+      // Throwing (runtime_error / invalid_argument / bad_alloc guarded by
+      // header checks) is the expected outcome for structural corruption.
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lehdc

@@ -1,0 +1,190 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace lehdc::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsProduceDifferentStreams) {
+  Rng a(7);
+  Rng b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (a.next() == b.next()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowBoundOneIsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.next_below(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanIsHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.next_double();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, NextFloatInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.next_float();
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Rng, NextBoolMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.next_bool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NextBoolDegenerateProbabilities) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(29);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NextRangeRespectsBounds) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_range(-2.5, 4.0);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 4.0);
+  }
+}
+
+TEST(Rng, DeriveSeedDecorrelates) {
+  Rng rng(37);
+  const auto s1 = rng.derive_seed(0);
+  const auto s2 = rng.derive_seed(0);
+  EXPECT_NE(s1, s2);  // derivation advances the parent stream
+  Rng child1(s1);
+  Rng child2(s2);
+  EXPECT_NE(child1.next(), child2.next());
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(41);
+  std::vector<int> values(100);
+  for (int i = 0; i < 100; ++i) {
+    values[static_cast<std::size_t>(i)] = i;
+  }
+  auto shuffled = values;
+  rng.shuffle(shuffled.begin(), shuffled.end());
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, ShuffleHandlesSmallRanges) {
+  Rng rng(43);
+  std::vector<int> empty;
+  rng.shuffle(empty.begin(), empty.end());
+  std::vector<int> single{5};
+  rng.shuffle(single.begin(), single.end());
+  EXPECT_EQ(single.front(), 5);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, BitBalanceIsFair) {
+  Rng rng(GetParam());
+  std::size_t ones = 0;
+  const int words = 2000;
+  for (int i = 0; i < words; ++i) {
+    ones += static_cast<std::size_t>(std::popcount(rng.next()));
+  }
+  const double fraction = static_cast<double>(ones) / (64.0 * words);
+  EXPECT_NEAR(fraction, 0.5, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0, 1, 2, 42, 0xdeadbeef,
+                                           0xffffffffffffffffULL));
+
+}  // namespace
+}  // namespace lehdc::util

@@ -1,0 +1,218 @@
+// Tests for ranked search/confidence and the full non-binary HDC path.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "data/synthetic.hpp"
+#include "hdc/nonbinary_encoding.hpp"
+#include "hdc/search.hpp"
+#include "train/baseline.hpp"
+#include "train_test_util.hpp"
+
+namespace lehdc::hdc {
+namespace {
+
+BinaryClassifier small_classifier(std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<hv::BitVector> classes;
+  for (int k = 0; k < 4; ++k) {
+    classes.push_back(hv::BitVector::random(512, rng));
+  }
+  return BinaryClassifier(std::move(classes));
+}
+
+TEST(RankClasses, FrontMatchesPredict) {
+  const auto classifier = small_classifier(1);
+  util::Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const auto query = hv::BitVector::random(512, rng);
+    const auto ranked = rank_classes(classifier, query);
+    ASSERT_EQ(ranked.label(), classifier.predict(query));
+  }
+}
+
+TEST(RankClasses, RankingIsSortedAndComplete) {
+  const auto classifier = small_classifier(3);
+  util::Rng rng(4);
+  const auto query = hv::BitVector::random(512, rng);
+  const auto ranked = rank_classes(classifier, query);
+  ASSERT_EQ(ranked.ranking.size(), 4u);
+  for (std::size_t i = 0; i + 1 < ranked.ranking.size(); ++i) {
+    EXPECT_GE(ranked.ranking[i].dot, ranked.ranking[i + 1].dot);
+  }
+  // Every label appears exactly once.
+  std::vector<bool> seen(4, false);
+  for (const auto& scored : ranked.ranking) {
+    EXPECT_FALSE(seen[static_cast<std::size_t>(scored.label)]);
+    seen[static_cast<std::size_t>(scored.label)] = true;
+  }
+}
+
+TEST(RankClasses, HammingIdentityHolds) {
+  const auto classifier = small_classifier(5);
+  util::Rng rng(6);
+  const auto query = hv::BitVector::random(512, rng);
+  for (const auto& scored : rank_classes(classifier, query).ranking) {
+    const auto expected = static_cast<double>(hv::BitVector::hamming(
+                              query, classifier.class_hypervector(
+                                         static_cast<std::size_t>(
+                                             scored.label)))) /
+                          512.0;
+    EXPECT_NEAR(scored.normalized_hamming, expected, 1e-12);
+  }
+}
+
+TEST(RankClasses, MarginReflectsSeparation) {
+  // A query equal to one class hypervector has a huge margin; a query
+  // equidistant from two identical classes has margin zero.
+  util::Rng rng(7);
+  const auto proto = hv::BitVector::random(256, rng);
+  std::vector<hv::BitVector> classes{proto, hv::BitVector::random(256, rng)};
+  const BinaryClassifier separated(std::move(classes));
+  EXPECT_GT(rank_classes(separated, proto).margin, 0.2);
+
+  std::vector<hv::BitVector> twins{proto, proto};
+  const BinaryClassifier tied(std::move(twins));
+  EXPECT_EQ(rank_classes(tied, proto).margin, 0.0);
+}
+
+TEST(RankClasses, ConfidenceBounds) {
+  const auto classifier = small_classifier(8);
+  util::Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    const auto query = hv::BitVector::random(512, rng);
+    const auto ranked = rank_classes(classifier, query);
+    EXPECT_GT(ranked.confidence, 1.0 / 4.0 - 1e-9);  // >= uniform
+    EXPECT_LE(ranked.confidence, 1.0);
+  }
+}
+
+TEST(TopK, ClampsAndTruncates) {
+  const auto classifier = small_classifier(10);
+  util::Rng rng(11);
+  const auto query = hv::BitVector::random(512, rng);
+  EXPECT_EQ(top_k(classifier, query, 2).size(), 2u);
+  EXPECT_EQ(top_k(classifier, query, 99).size(), 4u);
+  EXPECT_EQ(top_k(classifier, query, 1).front().label,
+            classifier.predict(query));
+}
+
+TEST(RankClasses, ValidatesInput) {
+  const auto classifier = small_classifier(12);
+  EXPECT_THROW((void)rank_classes(classifier, hv::BitVector(100)),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- non-binary path
+
+RecordEncoder nonbinary_encoder() {
+  RecordEncoderConfig cfg;
+  cfg.dim = 1024;
+  cfg.feature_count = 24;
+  cfg.seed = 13;
+  return RecordEncoder(cfg);
+}
+
+TEST(NonBinaryEncoding, AccumulatorBinarizesToTheBinaryCode) {
+  // sgn(non-binary code) must equal the binary encoder output up to
+  // sgn(0) tie components.
+  const auto encoder = nonbinary_encoder();
+  util::Rng rng(14);
+  std::vector<float> sample(24);
+  for (auto& v : sample) {
+    v = rng.next_float();
+  }
+  const hv::IntVector code = encode_record_nonbinary(encoder, sample);
+  const hv::BitVector binary = encoder.encode(sample);
+  for (std::size_t j = 0; j < code.dim(); ++j) {
+    if (code.get(j) != 0) {
+      ASSERT_EQ(code.get(j) < 0, binary.get_bit(j)) << "component " << j;
+    }
+  }
+}
+
+TEST(NonBinaryEncoding, AccumulatorBoundedByFeatureCount) {
+  const auto encoder = nonbinary_encoder();
+  const std::vector<float> sample(24, 0.5f);
+  const hv::IntVector code = encode_record_nonbinary(encoder, sample);
+  for (std::size_t j = 0; j < code.dim(); ++j) {
+    EXPECT_LE(std::abs(code.get(j)), 24);
+    // Parity: the sum of 24 terms of ±1 is even.
+    EXPECT_EQ((code.get(j) + 24) % 2, 0);
+  }
+}
+
+TEST(NonBinaryEncodedDataset, ValidatesAdds) {
+  NonBinaryEncodedDataset dataset(64, 2);
+  EXPECT_THROW(dataset.add(hv::IntVector(32), 0), std::invalid_argument);
+  EXPECT_THROW(dataset.add(hv::IntVector(64), 2), std::invalid_argument);
+  dataset.add(hv::IntVector(64), 1);
+  EXPECT_EQ(dataset.size(), 1u);
+}
+
+data::TrainTestSplit nonbinary_split(double separation) {
+  data::SyntheticConfig synth;
+  synth.feature_count = 24;
+  synth.class_count = 3;
+  synth.train_count = 150;
+  synth.test_count = 60;
+  synth.class_separation = separation;
+  synth.noise_stddev = 0.3;
+  synth.prototypes_per_class = 2;
+  synth.seed = 15;
+  return generate_synthetic(synth);
+}
+
+TEST(FullNonBinary, LearnsSeparableData) {
+  const auto split = nonbinary_split(1.2);
+  const auto encoder = nonbinary_encoder();
+  const auto train_set = encode_dataset_nonbinary(encoder, split.train);
+  const auto test_set = encode_dataset_nonbinary(encoder, split.test);
+  const auto classifier =
+      FullNonBinaryClassifier::fit(train_set, 0, 1.0, 1);
+  EXPECT_EQ(classifier.class_count(), 3u);
+  EXPECT_GT(classifier.accuracy(test_set), 0.9);
+}
+
+TEST(FullNonBinary, RetrainingHelpsOnHardData) {
+  const auto split = nonbinary_split(0.25);
+  const auto encoder = nonbinary_encoder();
+  const auto train_set = encode_dataset_nonbinary(encoder, split.train);
+  const auto test_set = encode_dataset_nonbinary(encoder, split.test);
+  const auto plain = FullNonBinaryClassifier::fit(train_set, 0, 1.0, 1);
+  const auto refined = FullNonBinaryClassifier::fit(train_set, 15, 1.0, 1);
+  EXPECT_GE(refined.accuracy(train_set), plain.accuracy(train_set));
+  EXPECT_GE(refined.accuracy(test_set) + 0.05, plain.accuracy(test_set));
+}
+
+TEST(FullNonBinary, RicherThanBinaryOnTheSameEncoding) {
+  // Footnote 1 / Sec. 2: non-binary codes carry more information, so the
+  // non-binary path should match or beat the binary baseline trained on
+  // the binarized version of the same encoding.
+  const auto split = nonbinary_split(0.3);
+  const auto encoder = nonbinary_encoder();
+  const auto nb_train = encode_dataset_nonbinary(encoder, split.train);
+  const auto nb_test = encode_dataset_nonbinary(encoder, split.test);
+  const auto bin_train = encode_dataset(encoder, split.train);
+  const auto bin_test = encode_dataset(encoder, split.test);
+
+  const auto nonbinary = FullNonBinaryClassifier::fit(nb_train, 0, 1.0, 1);
+  const train::BaselineTrainer baseline;
+  train::TrainOptions options;
+  options.seed = 1;
+  const auto binary = baseline.train(bin_train, options);
+  EXPECT_GE(nonbinary.accuracy(nb_test) + 0.05,
+            binary.model->accuracy(bin_test));
+}
+
+TEST(FullNonBinary, ValidatesUsage) {
+  const NonBinaryEncodedDataset empty(64, 2);
+  EXPECT_THROW((void)FullNonBinaryClassifier::fit(empty, 0, 1.0, 1),
+               std::invalid_argument);
+  const FullNonBinaryClassifier unfitted;
+  EXPECT_THROW((void)unfitted.predict(hv::IntVector(64)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lehdc::hdc

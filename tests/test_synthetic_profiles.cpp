@@ -1,0 +1,192 @@
+// Tests for the synthetic generator and the benchmark profiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "data/profiles.hpp"
+#include "data/synthetic.hpp"
+
+namespace lehdc::data {
+namespace {
+
+SyntheticConfig small_config() {
+  SyntheticConfig cfg;
+  cfg.feature_count = 32;
+  cfg.class_count = 4;
+  cfg.train_count = 200;
+  cfg.test_count = 80;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Synthetic, ProducesRequestedShape) {
+  const auto split = generate_synthetic(small_config());
+  EXPECT_EQ(split.train.size(), 200u);
+  EXPECT_EQ(split.test.size(), 80u);
+  EXPECT_EQ(split.train.feature_count(), 32u);
+  EXPECT_EQ(split.train.class_count(), 4u);
+  EXPECT_EQ(split.test.class_count(), 4u);
+}
+
+TEST(Synthetic, ClassesAreBalanced) {
+  const auto split = generate_synthetic(small_config());
+  for (const auto count : split.train.class_histogram()) {
+    EXPECT_EQ(count, 50u);
+  }
+  for (const auto count : split.test.class_histogram()) {
+    EXPECT_EQ(count, 20u);
+  }
+}
+
+TEST(Synthetic, ValuesInUnitInterval) {
+  const auto split = generate_synthetic(small_config());
+  const auto [lo, hi] = split.train.value_range();
+  EXPECT_GE(lo, 0.0f);
+  EXPECT_LE(hi, 1.0f);
+}
+
+TEST(Synthetic, DeterministicPerSeed) {
+  const auto a = generate_synthetic(small_config());
+  const auto b = generate_synthetic(small_config());
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    ASSERT_EQ(a.train.label(i), b.train.label(i));
+    ASSERT_EQ(a.train.sample(i)[0], b.train.sample(i)[0]);
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  auto cfg = small_config();
+  const auto a = generate_synthetic(cfg);
+  cfg.seed = 6;
+  const auto b = generate_synthetic(cfg);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.train.size() && !any_difference; ++i) {
+    any_difference = a.train.sample(i)[0] != b.train.sample(i)[0];
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Synthetic, TestSamplesAreFreshDraws) {
+  const auto split = generate_synthetic(small_config());
+  for (std::size_t i = 0; i < split.test.size(); ++i) {
+    for (std::size_t j = 0; j < split.train.size(); ++j) {
+      ASSERT_NE(split.test.sample(i)[0], split.train.sample(j)[0]);
+    }
+  }
+}
+
+TEST(Synthetic, SmoothingIncreasesNeighborCorrelation) {
+  auto cfg = small_config();
+  cfg.feature_count = 256;
+  cfg.smoothing_window = 1;
+  const auto rough = generate_synthetic(cfg);
+  cfg.smoothing_window = 9;
+  const auto smooth = generate_synthetic(cfg);
+
+  const auto neighbor_gap = [](const Dataset& dataset) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      const auto row = dataset.sample(i);
+      for (std::size_t j = 0; j + 1 < row.size(); ++j) {
+        total += std::abs(row[j] - row[j + 1]);
+      }
+    }
+    return total / static_cast<double>(dataset.size());
+  };
+  EXPECT_LT(neighbor_gap(smooth.train), neighbor_gap(rough.train));
+}
+
+TEST(Synthetic, ValidatesConfig) {
+  auto cfg = small_config();
+  cfg.class_count = 1;
+  EXPECT_THROW((void)generate_synthetic(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.prototypes_per_class = 0;
+  EXPECT_THROW((void)generate_synthetic(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.shared_atoms = 0;
+  EXPECT_THROW((void)generate_synthetic(cfg), std::invalid_argument);
+}
+
+TEST(Profiles, AllSixBenchmarksHavePaperShapes) {
+  const auto ids = all_benchmarks();
+  ASSERT_EQ(ids.size(), 6u);
+  const auto mnist = profile(BenchmarkId::kMnist);
+  EXPECT_EQ(mnist.config.feature_count, 784u);
+  EXPECT_EQ(mnist.config.class_count, 10u);
+  EXPECT_EQ(mnist.config.train_count, 60000u);
+  EXPECT_EQ(mnist.config.test_count, 10000u);
+  const auto cifar = profile(BenchmarkId::kCifar10);
+  EXPECT_EQ(cifar.config.feature_count, 3072u);
+  const auto isolet = profile(BenchmarkId::kIsolet);
+  EXPECT_EQ(isolet.config.class_count, 26u);
+  const auto ucihar = profile(BenchmarkId::kUcihar);
+  EXPECT_EQ(ucihar.config.feature_count, 561u);
+  EXPECT_EQ(ucihar.config.class_count, 6u);
+}
+
+TEST(Profiles, NamesMatchPaperColumns) {
+  EXPECT_EQ(profile(BenchmarkId::kMnist).name, "MNIST");
+  EXPECT_EQ(profile(BenchmarkId::kFashionMnist).name, "Fashion-MNIST");
+  EXPECT_EQ(profile(BenchmarkId::kCifar10).name, "CIFAR-10");
+  EXPECT_EQ(profile(BenchmarkId::kPamap).name, "PAMAP");
+}
+
+TEST(Profiles, LookupByNameIsFlexible) {
+  EXPECT_EQ(profile_by_name("mnist").id, BenchmarkId::kMnist);
+  EXPECT_EQ(profile_by_name("Fashion-MNIST").id,
+            BenchmarkId::kFashionMnist);
+  EXPECT_EQ(profile_by_name("fashion_mnist").id,
+            BenchmarkId::kFashionMnist);
+  EXPECT_EQ(profile_by_name("CIFAR 10").id, BenchmarkId::kCifar10);
+  EXPECT_EQ(profile_by_name("pamap2").id, BenchmarkId::kPamap);
+  EXPECT_THROW((void)profile_by_name("imagenet"), std::invalid_argument);
+}
+
+TEST(Profiles, ScaledShrinksSampleCounts) {
+  const auto full = profile(BenchmarkId::kMnist);
+  const auto small = scaled(full, 0.1);
+  EXPECT_EQ(small.config.train_count, 6000u);
+  EXPECT_EQ(small.config.test_count, 1000u);
+  EXPECT_EQ(small.config.feature_count, full.config.feature_count);
+}
+
+TEST(Profiles, ScaledAppliesFloors) {
+  const auto isolet = scaled(profile(BenchmarkId::kIsolet), 0.01);
+  // 40 samples per class minimum for a 26-class benchmark.
+  EXPECT_GE(isolet.config.train_count, 26u * 40u);
+  EXPECT_GE(isolet.config.test_count, 200u);
+}
+
+TEST(Profiles, ScaledNeverExceedsOriginal) {
+  const auto pamap = scaled(profile(BenchmarkId::kPamap), 1.0);
+  EXPECT_EQ(pamap.config.train_count,
+            profile(BenchmarkId::kPamap).config.train_count);
+}
+
+TEST(Profiles, ScaledCapsFeatures) {
+  const auto cifar = scaled(profile(BenchmarkId::kCifar10), 0.5, 1024);
+  EXPECT_EQ(cifar.config.feature_count, 1024u);
+}
+
+TEST(Profiles, ScaledValidatesScale) {
+  EXPECT_THROW((void)scaled(profile(BenchmarkId::kMnist), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)scaled(profile(BenchmarkId::kMnist), 1.5),
+               std::invalid_argument);
+}
+
+TEST(Profiles, Generatable) {
+  // Every profile must generate at a small scale without error.
+  for (const auto id : all_benchmarks()) {
+    const auto p = scaled(profile(id), 0.01);
+    const auto split = generate_synthetic(p.config);
+    EXPECT_GT(split.train.size(), 0u);
+    EXPECT_EQ(split.train.feature_count(), p.config.feature_count);
+  }
+}
+
+}  // namespace
+}  // namespace lehdc::data

@@ -1,0 +1,193 @@
+// Tests for the ternary (QuantHD-style) model and the two-layer DeepLeHDC
+// extension.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/deep_lehdc.hpp"
+#include "core/lehdc_trainer.hpp"
+#include "hdc/ternary.hpp"
+#include "train/baseline.hpp"
+#include "train/class_matrix.hpp"
+#include "train_test_util.hpp"
+
+namespace lehdc {
+namespace {
+
+// ---------------------------------------------------------------- ternary
+
+TEST(TernaryVector, QuantizeAppliesDeadZone) {
+  const std::vector<float> values{2.0f, -0.1f, 0.0f, -3.0f, 0.4f};
+  const auto t = hdc::TernaryVector::quantize(values, 0.5f);
+  EXPECT_EQ(t.get(0), 1);
+  EXPECT_EQ(t.get(1), 0);
+  EXPECT_EQ(t.get(2), 0);
+  EXPECT_EQ(t.get(3), -1);
+  EXPECT_EQ(t.get(4), 0);
+  EXPECT_EQ(t.active_count(), 2u);
+}
+
+TEST(TernaryVector, ZeroThresholdKeepsAllNonzeros) {
+  const std::vector<float> values{1.0f, -1.0f, 0.0f};
+  const auto t = hdc::TernaryVector::quantize(values, 0.0f);
+  EXPECT_EQ(t.active_count(), 2u);
+  EXPECT_EQ(t.get(2), 0);  // exact zeros stay in the dead zone
+}
+
+TEST(TernaryVector, DotMatchesManualComputation) {
+  util::Rng rng(1);
+  const std::size_t dim = 200;
+  std::vector<float> values(dim);
+  for (auto& v : values) {
+    v = static_cast<float>(rng.next_gaussian());
+  }
+  const auto t = hdc::TernaryVector::quantize(values, 0.5f);
+  const auto query = hv::BitVector::random(dim, rng);
+  std::int64_t manual = 0;
+  for (std::size_t j = 0; j < dim; ++j) {
+    manual += static_cast<std::int64_t>(t.get(j)) * query.get(j);
+  }
+  EXPECT_EQ(t.dot(query), manual);
+}
+
+TEST(TernaryVector, DotHandlesWordBoundaries) {
+  util::Rng rng(2);
+  for (const std::size_t dim : {63u, 64u, 65u, 130u}) {
+    std::vector<float> values(dim);
+    for (auto& v : values) {
+      v = static_cast<float>(rng.next_gaussian());
+    }
+    const auto t = hdc::TernaryVector::quantize(values, 0.3f);
+    const auto query = hv::BitVector::random(dim, rng);
+    std::int64_t manual = 0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      manual += static_cast<std::int64_t>(t.get(j)) * query.get(j);
+    }
+    ASSERT_EQ(t.dot(query), manual) << "dim " << dim;
+  }
+}
+
+TEST(TernaryClassifier, QuantizedBaselineStaysAccurate) {
+  // QuantHD's claim: ternary quantization of the trained class vectors
+  // preserves accuracy on separable data while zeroing weak components.
+  // Noisy samples leave many near-zero accumulator components — the ones
+  // the QuantHD dead zone removes without hurting accuracy.
+  const auto fixture = test::make_encoded_fixture(4, 512, 20, 10, 150, 3);
+  const nn::Matrix c_nb =
+      train::to_class_matrix(train::accumulate_classes(fixture.train));
+  const auto ternary =
+      hdc::TernaryClassifier::from_class_matrix(c_nb, 1.0f);
+  EXPECT_EQ(ternary.class_count(), 4u);
+  EXPECT_GT(ternary.sparsity(), 0.1);
+  EXPECT_GT(ternary.accuracy(fixture.test), 0.9);
+}
+
+TEST(TernaryClassifier, SparsityGrowsWithThreshold) {
+  const auto fixture = test::make_encoded_fixture(3, 256, 15, 0, 40, 4);
+  const nn::Matrix c_nb =
+      train::to_class_matrix(train::accumulate_classes(fixture.train));
+  const auto tight = hdc::TernaryClassifier::from_class_matrix(c_nb, 0.2f);
+  const auto loose = hdc::TernaryClassifier::from_class_matrix(c_nb, 1.5f);
+  EXPECT_LT(tight.sparsity(), loose.sparsity());
+}
+
+TEST(TernaryClassifier, StorageIsTwoBitsPerComponent) {
+  const auto fixture = test::make_encoded_fixture(2, 128, 4, 0, 10, 5);
+  const nn::Matrix c_nb =
+      train::to_class_matrix(train::accumulate_classes(fixture.train));
+  const auto ternary =
+      hdc::TernaryClassifier::from_class_matrix(c_nb, 0.5f);
+  EXPECT_EQ(ternary.storage_bits(), 2u * 128u * 2u);
+}
+
+TEST(TernaryClassifier, ValidatesInput) {
+  EXPECT_THROW(hdc::TernaryClassifier{std::vector<hdc::TernaryVector>{}},
+               std::invalid_argument);
+  const nn::Matrix empty;
+  EXPECT_THROW(
+      (void)hdc::TernaryClassifier::from_class_matrix(empty, 0.5f),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------------------- deep model
+
+core::DeepLeHdcConfig deep_config() {
+  core::DeepLeHdcConfig cfg;
+  cfg.hidden = 64;
+  cfg.epochs = 20;
+  cfg.batch_size = 16;
+  cfg.dropout_rate = 0.1f;
+  cfg.weight_decay = 0.001f;
+  return cfg;
+}
+
+TEST(DeepLeHdc, LearnsSeparableData) {
+  const auto fixture = test::make_encoded_fixture(3, 256, 16, 8, 30, 6);
+  const core::DeepLeHdcTrainer trainer(deep_config());
+  train::TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(fixture.train, options);
+  EXPECT_GT(result.model->accuracy(fixture.test), 0.9);
+}
+
+TEST(DeepLeHdc, ExportsAllBinaryTwoLayerModel) {
+  const auto fixture = test::make_encoded_fixture(3, 256, 8, 0, 20, 7);
+  const core::DeepLeHdcTrainer trainer(deep_config());
+  train::TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(fixture.train, options);
+  // Not a plain HDC associative memory:
+  EXPECT_EQ(result.model->as_binary(), nullptr);
+  // Storage: H x D + K x H bits.
+  EXPECT_EQ(result.model->storage_bits(), 64u * 256u + 3u * 64u);
+}
+
+TEST(DeepLeHdc, TrajectoryAndDeterminism) {
+  const auto fixture = test::make_encoded_fixture(2, 128, 8, 4, 15, 8);
+  auto cfg = deep_config();
+  cfg.epochs = 5;
+  const core::DeepLeHdcTrainer trainer(cfg);
+  train::TrainOptions options;
+  options.seed = 9;
+  options.test = &fixture.test;
+  options.record_trajectory = true;
+  const auto a = trainer.train(fixture.train, options);
+  EXPECT_EQ(a.trajectory.size(), 5u);
+  const auto b = trainer.train(fixture.train, options);
+  EXPECT_EQ(a.model->accuracy(fixture.test),
+            b.model->accuracy(fixture.test));
+}
+
+TEST(DeepLeHdc, ValidatesConfig) {
+  core::DeepLeHdcConfig bad;
+  bad.hidden = 1;
+  EXPECT_THROW(core::DeepLeHdcTrainer{bad}, std::invalid_argument);
+  core::DeepLeHdcConfig bad_lr;
+  bad_lr.learning_rate = 0.0f;
+  EXPECT_THROW(core::DeepLeHdcTrainer{bad_lr}, std::invalid_argument);
+}
+
+TEST(DeepLeHdc, RejectsEmptyDataset) {
+  const hdc::EncodedDataset empty(64, 2);
+  const core::DeepLeHdcTrainer trainer(deep_config());
+  train::TrainOptions options;
+  EXPECT_THROW((void)trainer.train(empty, options), std::invalid_argument);
+}
+
+TEST(DeepBinaryModel, ValidatesLayers) {
+  std::vector<hv::BitVector> hidden(4, hv::BitVector(32));
+  std::vector<hv::BitVector> outputs(2, hv::BitVector(5));  // wrong width
+  EXPECT_THROW(core::DeepBinaryModel(std::move(hidden),
+                                     std::vector<std::int32_t>(4, 0),
+                                     std::move(outputs)),
+               std::invalid_argument);
+  std::vector<hv::BitVector> hidden2(4, hv::BitVector(32));
+  std::vector<hv::BitVector> outputs2(2, hv::BitVector(4));
+  EXPECT_THROW(core::DeepBinaryModel(std::move(hidden2),
+                                     std::vector<std::int32_t>(3, 0),
+                                     std::move(outputs2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lehdc

@@ -1,0 +1,112 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace lehdc::util {
+namespace {
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  pool.parallel_for(0, visits.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      visits[i].fetch_add(1);
+    }
+  });
+  for (const auto& v : visits) {
+    EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, RejectsInvertedRange) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(10, 5, [](std::size_t, std::size_t) {}),
+      std::invalid_argument);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.parallel_for(0, 10, [&](std::size_t, std::size_t) {
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t lo, std::size_t) {
+                          if (lo == 0) {
+                            throw std::runtime_error("worker failure");
+                          }
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SumReductionMatchesSerial) {
+  ThreadPool pool(3);
+  const std::size_t n = 10000;
+  std::atomic<long long> total{0};
+  pool.parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    long long local = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      local += static_cast<long long>(i);
+    }
+    total.fetch_add(local);
+  });
+  EXPECT_EQ(total.load(), static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 64, [&](std::size_t lo, std::size_t hi) {
+      count.fetch_add(static_cast<int>(hi - lo));
+    });
+    ASSERT_EQ(count.load(), 64);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(ThreadPool, FreeFunctionWrapperWorks) {
+  std::atomic<int> count{0};
+  parallel_for(0, 100, [&](std::size_t lo, std::size_t hi) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SingleElementRange) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.parallel_for(7, 8, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_EQ(lo, 7u);
+    EXPECT_EQ(hi, 8u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace lehdc::util

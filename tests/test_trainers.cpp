@@ -1,0 +1,329 @@
+// Tests for the baseline and heuristic training strategies (Sec. 2 / 3.3).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "train/adapt.hpp"
+#include "train/baseline.hpp"
+#include "train/multimodel.hpp"
+#include "train/nonbinary.hpp"
+#include "train/retrain.hpp"
+#include "train_test_util.hpp"
+
+namespace lehdc::train {
+namespace {
+
+using test::make_encoded_fixture;
+using test::make_multimodal_fixture;
+
+TEST(BundleClasses, MajorityOfOneSampleIsTheSample) {
+  const auto fixture = make_encoded_fixture(3, 256, 1, 0, 0, 1);
+  const auto classes = bundle_classes(fixture.train, 1);
+  ASSERT_EQ(classes.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(classes[k], fixture.prototypes[k]);
+  }
+}
+
+TEST(BundleClasses, MajorityDenoisesTowardPrototype) {
+  const auto fixture = make_encoded_fixture(2, 1024, 31, 0, 200, 2);
+  const auto classes = bundle_classes(fixture.train, 1);
+  // Majority over 31 noisy copies recovers the prototype almost exactly.
+  EXPECT_LT(hv::BitVector::hamming(classes[0], fixture.prototypes[0]), 30u);
+  EXPECT_LT(hv::BitVector::hamming(classes[1], fixture.prototypes[1]), 30u);
+}
+
+TEST(BundleClasses, RequiresEverySeededClass) {
+  hdc::EncodedDataset dataset(64, 3);
+  util::Rng rng(3);
+  dataset.add(hv::BitVector::random(64, rng), 0);
+  dataset.add(hv::BitVector::random(64, rng), 2);  // class 1 empty
+  EXPECT_THROW((void)bundle_classes(dataset, 1), std::invalid_argument);
+}
+
+TEST(AccumulateClasses, SumsPerClass) {
+  const auto fixture = make_encoded_fixture(2, 128, 5, 0, 10, 4);
+  const auto sums = accumulate_classes(fixture.train);
+  ASSERT_EQ(sums.size(), 2u);
+  hv::IntVector expected(128);
+  for (std::size_t i = 0; i < fixture.train.size(); ++i) {
+    if (fixture.train.label(i) == 0) {
+      expected.add(fixture.train.hypervector(i));
+    }
+  }
+  EXPECT_EQ(sums[0], expected);
+}
+
+TEST(BaselineTrainer, PerfectOnSeparableData) {
+  const auto fixture = make_encoded_fixture(4, 1024, 20, 10, 100, 5);
+  const BaselineTrainer trainer;
+  TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(fixture.train, options);
+  EXPECT_EQ(result.model->accuracy(fixture.test), 1.0);
+  EXPECT_EQ(result.epochs_run, 1u);
+  EXPECT_NE(result.model->as_binary(), nullptr);
+}
+
+TEST(BaselineTrainer, RecordsSingleTrajectoryPoint) {
+  const auto fixture = make_encoded_fixture(2, 256, 8, 4, 30, 6);
+  const BaselineTrainer trainer;
+  TrainOptions options;
+  options.seed = 1;
+  options.test = &fixture.test;
+  options.record_trajectory = true;
+  const auto result = trainer.train(fixture.train, options);
+  ASSERT_EQ(result.trajectory.size(), 1u);
+  EXPECT_GT(result.trajectory[0].train_accuracy, 0.9);
+  EXPECT_GT(result.trajectory[0].test_accuracy, 0.9);
+}
+
+TEST(BaselineTrainer, WeakOnHardOverlappingClasses) {
+  // Eq. 2 averaging leaves accuracy on the table when classes are
+  // multi-modal mixtures with low separation — the limitation Sec. 3.2
+  // attributes to the heuristic training.
+  const auto fixture = test::make_hard_fixture(21);
+  const BaselineTrainer trainer;
+  TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(fixture.train, options);
+  const double accuracy = result.model->accuracy(fixture.test);
+  EXPECT_LT(accuracy, 0.97);
+  EXPECT_GT(accuracy, 0.4);  // far above the 25% chance level
+}
+
+TEST(RetrainingTrainer, ImprovesOnHardBaseline) {
+  const auto fixture = test::make_hard_fixture(22);
+  TrainOptions options;
+  options.seed = 1;
+  const BaselineTrainer baseline;
+  const double base_acc =
+      baseline.train(fixture.train, options).model->accuracy(fixture.test);
+  RetrainConfig cfg;
+  cfg.iterations = 30;
+  const RetrainingTrainer retraining(cfg);
+  const double retrain_acc =
+      retraining.train(fixture.train, options).model->accuracy(fixture.test);
+  EXPECT_GT(retrain_acc, base_acc - 0.02);
+  // Training accuracy must improve decisively.
+  const double base_train =
+      baseline.train(fixture.train, options).model->accuracy(fixture.train);
+  const double retrain_train = retraining.train(fixture.train, options)
+                                   .model->accuracy(fixture.train);
+  EXPECT_GT(retrain_train, base_train);
+}
+
+TEST(RetrainingTrainer, StopsEarlyWhenSeparable) {
+  const auto fixture = make_encoded_fixture(3, 512, 15, 5, 50, 9);
+  RetrainConfig cfg;
+  cfg.iterations = 100;
+  cfg.stop_when_converged = true;
+  const RetrainingTrainer trainer(cfg);
+  TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(fixture.train, options);
+  EXPECT_LT(result.epochs_run, 100u);
+  EXPECT_EQ(result.model->accuracy(fixture.train), 1.0);
+}
+
+TEST(RetrainingTrainer, TrajectoryCoversIterations) {
+  const auto fixture = make_multimodal_fixture(3, 256, 8, 4, 20, 10);
+  RetrainConfig cfg;
+  cfg.iterations = 10;
+  cfg.stop_when_converged = false;
+  const RetrainingTrainer trainer(cfg);
+  TrainOptions options;
+  options.seed = 1;
+  options.test = &fixture.test;
+  options.record_trajectory = true;
+  const auto result = trainer.train(fixture.train, options);
+  // One point per iteration plus the final model.
+  EXPECT_EQ(result.trajectory.size(), 11u);
+  EXPECT_EQ(result.trajectory.front().epoch, 0u);
+  EXPECT_EQ(result.trajectory.back().epoch, 10u);
+}
+
+TEST(RetrainingTrainer, ValidatesConfig) {
+  RetrainConfig bad;
+  bad.alpha = 0.0f;
+  EXPECT_THROW(RetrainingTrainer{bad}, std::invalid_argument);
+  RetrainConfig bad_iters;
+  bad_iters.iterations = 0;
+  EXPECT_THROW(RetrainingTrainer{bad_iters}, std::invalid_argument);
+}
+
+TEST(EnhancedRetraining, AtLeastMatchesBasicOnMultimodal) {
+  const auto fixture = make_multimodal_fixture(5, 512, 10, 6, 40, 11);
+  RetrainConfig cfg;
+  cfg.iterations = 20;
+  cfg.stop_when_converged = false;
+  TrainOptions options;
+  options.seed = 2;
+  const RetrainingTrainer basic(cfg);
+  const EnhancedRetrainingTrainer enhanced(cfg);
+  const double basic_acc =
+      basic.train(fixture.train, options).model->accuracy(fixture.test);
+  const double enhanced_acc =
+      enhanced.train(fixture.train, options).model->accuracy(fixture.test);
+  EXPECT_GE(enhanced_acc + 0.05, basic_acc);  // allow small noise margin
+}
+
+TEST(AdaptHd, BothModesTrainSuccessfully) {
+  const auto fixture = make_multimodal_fixture(3, 512, 10, 5, 30, 12);
+  TrainOptions options;
+  options.seed = 1;
+  for (const auto mode :
+       {AdaptMode::kDataDependent, AdaptMode::kIterationDependent}) {
+    AdaptConfig cfg;
+    cfg.iterations = 20;
+    cfg.mode = mode;
+    const AdaptHdTrainer trainer(cfg);
+    const auto result = trainer.train(fixture.train, options);
+    EXPECT_GT(result.model->accuracy(fixture.test), 0.5);
+  }
+}
+
+TEST(AdaptHd, ValidatesConfig) {
+  AdaptConfig bad;
+  bad.alpha_min = 2.0f;
+  bad.alpha_max = 1.0f;
+  EXPECT_THROW(AdaptHdTrainer{bad}, std::invalid_argument);
+}
+
+TEST(MultiModel, CompetitiveWithBaselineOnHardData) {
+  const auto fixture = test::make_hard_fixture(23);
+  TrainOptions options;
+  options.seed = 1;
+  const BaselineTrainer baseline;
+  const double base_acc =
+      baseline.train(fixture.train, options).model->accuracy(fixture.test);
+  MultiModelConfig cfg;
+  cfg.models_per_class = 4;
+  cfg.epochs = 10;
+  const MultiModelTrainer trainer(cfg);
+  const double mm_acc =
+      trainer.train(fixture.train, options).model->accuracy(fixture.test);
+  // The ensemble captures the sub-cluster structure the centroid blurs.
+  EXPECT_GT(mm_acc, base_acc - 0.03);
+}
+
+TEST(MultiModel, HandlesFewerSamplesThanModels) {
+  // 2 samples per class but 8 models per class: empty groups fall back to
+  // random hypervectors and training must not crash.
+  const auto fixture = make_encoded_fixture(3, 256, 2, 2, 20, 14);
+  MultiModelConfig cfg;
+  cfg.models_per_class = 8;
+  cfg.epochs = 3;
+  const MultiModelTrainer trainer(cfg);
+  TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(fixture.train, options);
+  EXPECT_GT(result.model->accuracy(fixture.train), 0.5);
+}
+
+TEST(MultiModel, KeepBestNeverWorseThanFinalState) {
+  const auto fixture = make_multimodal_fixture(3, 256, 10, 5, 40, 15);
+  TrainOptions options;
+  options.seed = 3;
+  MultiModelConfig aggressive;
+  aggressive.models_per_class = 4;
+  aggressive.epochs = 12;
+  aggressive.flip_probability = 0.2f;  // destructive without keep_best
+  aggressive.flip_decay = 1.0f;
+  aggressive.keep_best = true;
+  const MultiModelTrainer with_best(aggressive);
+  aggressive.keep_best = false;
+  const MultiModelTrainer without_best(aggressive);
+  const double with_acc =
+      with_best.train(fixture.train, options).model->accuracy(fixture.train);
+  const double without_acc = without_best.train(fixture.train, options)
+                                 .model->accuracy(fixture.train);
+  EXPECT_GE(with_acc + 1e-9, without_acc);
+}
+
+TEST(MultiModel, StorageReflectsEnsembleSize) {
+  const auto fixture = make_encoded_fixture(2, 128, 4, 0, 10, 16);
+  MultiModelConfig cfg;
+  cfg.models_per_class = 4;
+  cfg.epochs = 1;
+  const MultiModelTrainer trainer(cfg);
+  TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(fixture.train, options);
+  EXPECT_EQ(result.model->storage_bits(), 2u * 4u * 128u);
+  EXPECT_EQ(result.model->as_binary(), nullptr);
+}
+
+TEST(MultiModel, ValidatesConfig) {
+  MultiModelConfig bad;
+  bad.models_per_class = 0;
+  EXPECT_THROW(MultiModelTrainer{bad}, std::invalid_argument);
+  MultiModelConfig bad_flip;
+  bad_flip.flip_probability = 0.0f;
+  EXPECT_THROW(MultiModelTrainer{bad_flip}, std::invalid_argument);
+}
+
+TEST(NonBinary, AccumulationOnlyClassifiesSeparableData) {
+  const auto fixture = make_encoded_fixture(3, 512, 10, 5, 60, 17);
+  NonBinaryConfig cfg;  // retrain_epochs = 0
+  const NonBinaryTrainer trainer(cfg);
+  TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(fixture.train, options);
+  EXPECT_EQ(result.model->accuracy(fixture.test), 1.0);
+  EXPECT_EQ(result.epochs_run, 1u);
+}
+
+TEST(NonBinary, PerceptronRetrainingImprovesMultimodal) {
+  const auto fixture = make_multimodal_fixture(4, 512, 12, 6, 30, 18);
+  TrainOptions options;
+  options.seed = 1;
+  NonBinaryConfig plain;
+  const double plain_acc = NonBinaryTrainer(plain)
+                               .train(fixture.train, options)
+                               .model->accuracy(fixture.test);
+  NonBinaryConfig retrained;
+  retrained.retrain_epochs = 20;
+  const double retrained_acc = NonBinaryTrainer(retrained)
+                                   .train(fixture.train, options)
+                                   .model->accuracy(fixture.test);
+  EXPECT_GT(retrained_acc, plain_acc - 1e-9);
+}
+
+TEST(NonBinary, StorageCountsComponentWidth) {
+  const auto fixture = make_encoded_fixture(2, 128, 4, 0, 10, 19);
+  const NonBinaryTrainer trainer;
+  TrainOptions options;
+  options.seed = 1;
+  const auto result = trainer.train(fixture.train, options);
+  EXPECT_EQ(result.model->storage_bits(), 2u * 128u * 32u);
+}
+
+TEST(Trainers, EmptyDatasetRejectedEverywhere) {
+  const hdc::EncodedDataset empty(64, 2);
+  TrainOptions options;
+  EXPECT_THROW((void)BaselineTrainer().train(empty, options),
+               std::invalid_argument);
+  EXPECT_THROW((void)RetrainingTrainer().train(empty, options),
+               std::invalid_argument);
+  EXPECT_THROW((void)EnhancedRetrainingTrainer().train(empty, options),
+               std::invalid_argument);
+  EXPECT_THROW((void)AdaptHdTrainer().train(empty, options),
+               std::invalid_argument);
+  EXPECT_THROW((void)MultiModelTrainer().train(empty, options),
+               std::invalid_argument);
+  EXPECT_THROW((void)NonBinaryTrainer().train(empty, options),
+               std::invalid_argument);
+}
+
+TEST(Trainers, NamesMatchTableRows) {
+  EXPECT_EQ(BaselineTrainer().name(), "Baseline");
+  EXPECT_EQ(RetrainingTrainer().name(), "Retraining");
+  EXPECT_EQ(EnhancedRetrainingTrainer().name(), "EnhancedRetraining");
+  EXPECT_EQ(AdaptHdTrainer().name(), "AdaptHD");
+  EXPECT_EQ(MultiModelTrainer().name(), "Multi-Model");
+  EXPECT_EQ(NonBinaryTrainer().name(), "NonBinaryHDC");
+}
+
+}  // namespace
+}  // namespace lehdc::train

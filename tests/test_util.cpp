@@ -1,0 +1,184 @@
+// Tests for util: check, stats, stopwatch, log level plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lehdc::util {
+namespace {
+
+TEST(Check, ExpectsPassesOnTrue) {
+  EXPECT_NO_THROW(expects(true, "should not throw"));
+}
+
+TEST(Check, ExpectsThrowsInvalidArgument) {
+  EXPECT_THROW(expects(false, "bad input"), std::invalid_argument);
+}
+
+TEST(Check, EnsuresThrowsInvariantError) {
+  EXPECT_THROW(ensures(false, "broken"), InvariantError);
+}
+
+TEST(Check, InvariantErrorIsALogicError) {
+  try {
+    ensures(false, "broken invariant");
+    FAIL() << "expected a throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("broken invariant"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, MessageContainsSourceLocation) {
+  try {
+    expects(false, "locate me");
+    FAIL() << "expected a throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test_util.cpp"), std::string::npos);
+    EXPECT_NE(what.find("locate me"), std::string::npos);
+  }
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(4.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.5);
+  EXPECT_EQ(stats.stddev(), 0.0);
+  EXPECT_EQ(stats.min(), 4.5);
+  EXPECT_EQ(stats.max(), 4.5);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> values{1.0, 2.0, 4.0, 8.0, 16.0, -3.0};
+  RunningStats stats;
+  double sum = 0.0;
+  for (const double v : values) {
+    stats.add(v);
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(values.size());
+  double ss = 0.0;
+  for (const double v : values) {
+    ss += (v - mean) * (v - mean);
+  }
+  const double variance = ss / static_cast<double>(values.size() - 1);
+  EXPECT_NEAR(stats.mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.variance(), variance, 1e-12);
+  EXPECT_EQ(stats.min(), -3.0);
+  EXPECT_EQ(stats.max(), 16.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i * 0.7) * 10.0;
+    all.add(v);
+    (i < 20 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(2.0);
+  RunningStats empty;
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  empty.merge(stats);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_NEAR(empty.mean(), 1.5, 1e-12);
+}
+
+TEST(Summary, FormatsMeanPlusMinusStd) {
+  const std::vector<double> values{80.0, 82.0, 84.0};
+  const Summary summary = summarize(values);
+  EXPECT_EQ(summary.to_string(), "82.00 ±2.00");
+  EXPECT_EQ(summary.to_string(1), "82.0 ±2.0");
+}
+
+TEST(Summary, SummarizeEmpty) {
+  const Summary summary = summarize({});
+  EXPECT_EQ(summary.count, 0u);
+  EXPECT_EQ(summary.mean, 0.0);
+}
+
+TEST(Stats, MeanOf) {
+  const std::vector<double> values{2.0, 4.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean_of(values), 5.0);
+  EXPECT_EQ(mean_of({}), 0.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{10, 20, 30, 40};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAntiCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantInputGivesZero) {
+  const std::vector<double> xs{5, 5, 5};
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Pearson, RejectsMismatchedLengths) {
+  const std::vector<double> xs{1, 2};
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_THROW(pearson(xs, ys), std::invalid_argument);
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + 1.0;
+  }
+  EXPECT_GE(watch.elapsed_seconds(), 0.0);
+  EXPECT_GE(watch.elapsed_millis(), watch.elapsed_seconds());
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  Stopwatch watch;
+  watch.reset();
+  EXPECT_LT(watch.elapsed_seconds(), 1.0);
+}
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevel old_level = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  log_debug("must be filtered at error level");
+  log_error("visible");
+  set_log_level(old_level);
+}
+
+}  // namespace
+}  // namespace lehdc::util

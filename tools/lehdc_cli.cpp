@@ -1,0 +1,230 @@
+// lehdc_cli — train, evaluate and deploy HDC classifiers from the command
+// line, no C++ required.
+//
+//   lehdc_cli train    --data <spec> --strategy lehdc --model out.lhdp ...
+//   lehdc_cli evaluate --data <spec> --model out.lhdp
+//   lehdc_cli predict  --model out.lhdp --features "0.1,0.9,..."
+//   lehdc_cli info     --model out.lhdp
+//
+// Data specs:
+//   csv:<path>             numeric CSV, label in the last column
+//   idx:<images>:<labels>  MNIST-format IDX pair
+//   synth:<profile>        built-in synthetic benchmark profile
+//                          (mnist, fashion-mnist, cifar-10, ucihar,
+//                           isolet, pamap), scaled by --scale
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/pipeline_io.hpp"
+#include "data/csv_loader.hpp"
+#include "data/idx_loader.hpp"
+#include "data/profiles.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lehdc;
+
+/// Parses a data spec into a train/test pair. For csv:/idx: sources, the
+/// file is shuffled (seeded) and split by --holdout.
+data::TrainTestSplit load_data(const std::string& spec, double scale,
+                               double holdout, std::uint64_t seed) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument(
+        "data spec must look like csv:<path>, idx:<imgs>:<labels> or "
+        "synth:<profile>");
+  }
+  const std::string kind = spec.substr(0, colon);
+  const std::string rest = spec.substr(colon + 1);
+
+  if (kind == "synth") {
+    const auto profile = data::scaled(data::profile_by_name(rest), scale);
+    return generate_synthetic(profile.config);
+  }
+
+  data::Dataset all(1, 2);
+  if (kind == "csv") {
+    all = data::load_csv(rest);
+  } else if (kind == "idx") {
+    const auto second = rest.find(':');
+    if (second == std::string::npos) {
+      throw std::invalid_argument("idx spec needs idx:<images>:<labels>");
+    }
+    all = data::load_idx(rest.substr(0, second), rest.substr(second + 1));
+  } else {
+    throw std::invalid_argument("unknown data spec kind: " + kind);
+  }
+
+  util::Rng rng(seed);
+  all.shuffle(rng);
+  const auto train_size = static_cast<std::size_t>(
+      static_cast<double>(all.size()) * (1.0 - holdout));
+  auto [train, test] = all.split(train_size);
+  return data::TrainTestSplit{std::move(train), std::move(test)};
+}
+
+std::vector<float> parse_features(const std::string& text) {
+  std::vector<float> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string token = text.substr(
+        start, comma == std::string::npos ? std::string::npos
+                                          : comma - start);
+    if (!token.empty()) {
+      out.push_back(std::stof(token));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+int cmd_train(util::FlagParser& flags) {
+  const auto split =
+      load_data(flags.get_string("data"), flags.get_double("scale"),
+                flags.get_double("holdout"),
+                static_cast<std::uint64_t>(flags.get_int("seed")));
+  std::printf("train %s\ntest  %s\n", split.train.summary().c_str(),
+              split.test.summary().c_str());
+
+  core::PipelineConfig config;
+  config.dim = static_cast<std::size_t>(flags.get_int("dim"));
+  config.levels = static_cast<std::size_t>(flags.get_int("levels"));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.strategy = core::strategy_from_name(flags.get_string("strategy"));
+  config.lehdc.epochs = static_cast<std::size_t>(flags.get_int("epochs"));
+  config.retrain.iterations =
+      static_cast<std::size_t>(flags.get_int("epochs"));
+  config.adapt.iterations =
+      static_cast<std::size_t>(flags.get_int("epochs"));
+
+  core::Pipeline pipeline(config);
+  const core::FitReport report =
+      pipeline.fit(split.train, split.test.empty() ? nullptr : &split.test);
+  std::printf("%s: train %.2f%%  test %.2f%%  (encode %.2fs, train %.2fs, "
+              "%zu epochs)\n",
+              core::strategy_name(config.strategy).c_str(),
+              report.train_accuracy * 100.0, report.test_accuracy * 100.0,
+              report.encode_seconds, report.train_seconds,
+              report.epochs_run);
+
+  if (const auto& model = flags.get_string("model"); !model.empty()) {
+    if (pipeline.model().as_binary() == nullptr) {
+      std::fprintf(stderr,
+                   "note: %s models are not bundle-serializable; skipping "
+                   "--model\n",
+                   core::strategy_name(config.strategy).c_str());
+    } else {
+      core::save_pipeline(pipeline, model);
+      std::printf("pipeline bundle written to %s\n", model.c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_evaluate(util::FlagParser& flags) {
+  core::Pipeline pipeline = core::load_pipeline(flags.get_string("model"));
+  const auto split =
+      load_data(flags.get_string("data"), flags.get_double("scale"), 0.0,
+                static_cast<std::uint64_t>(flags.get_int("seed")));
+  const double accuracy = pipeline.evaluate(split.train);
+  std::printf("accuracy over %zu samples: %.2f%%\n", split.train.size(),
+              accuracy * 100.0);
+  return 0;
+}
+
+int cmd_predict(util::FlagParser& flags) {
+  core::Pipeline pipeline = core::load_pipeline(flags.get_string("model"));
+  const auto features = parse_features(flags.get_string("features"));
+  const int label = pipeline.predict(features);
+  std::printf("%d\n", label);
+  return 0;
+}
+
+int cmd_info(util::FlagParser& flags) {
+  const core::Pipeline pipeline =
+      core::load_pipeline(flags.get_string("model"));
+  const auto* binary = pipeline.model().as_binary();
+  const auto& encoder =
+      dynamic_cast<const hdc::RecordEncoder&>(pipeline.encoder());
+  std::printf("strategy:  %s\n",
+              core::strategy_name(pipeline.config().strategy).c_str());
+  std::printf("dimension: %zu\n", binary->dim());
+  std::printf("classes:   %zu\n", binary->class_count());
+  std::printf("features:  %zu\n", encoder.feature_count());
+  std::printf("levels:    %zu (value range [%g, %g])\n",
+              encoder.levels().levels(), encoder.levels().range_lo(),
+              encoder.levels().range_hi());
+  std::printf("model:     %.1f KiB packed\n",
+              static_cast<double>(binary->class_count() * binary->dim()) /
+                  8192.0);
+  return 0;
+}
+
+void print_usage() {
+  std::puts(
+      "usage: lehdc_cli <train|evaluate|predict|info> [flags]\n"
+      "  train    --data <spec> [--strategy lehdc] [--dim 10000]\n"
+      "           [--epochs 100] [--model out.lhdp] [--holdout 0.2]\n"
+      "  evaluate --model out.lhdp --data <spec>\n"
+      "  predict  --model out.lhdp --features \"0.1,0.9,...\"\n"
+      "  info     --model out.lhdp\n"
+      "data specs: csv:<path> | idx:<images>:<labels> | synth:<profile>\n"
+      "run `lehdc_cli <command> --help` for the full flag list");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0) {
+    print_usage();
+    return argc < 2 ? 1 : 0;
+  }
+  const std::string command = argv[1];
+
+  util::FlagParser flags("lehdc_cli " + command,
+                         "HDC training and deployment CLI");
+  flags.add_string("data", "synth:mnist", "data spec (see --help)");
+  flags.add_string("model", "", "pipeline bundle path");
+  flags.add_string("strategy", "lehdc",
+                   "baseline|retraining|enhanced|adapthd|multimodel|"
+                   "nonbinary|lehdc");
+  flags.add_string("features", "", "comma-separated feature vector");
+  flags.add_int("dim", 10000, "hypervector dimension D");
+  flags.add_int("levels", 32, "value quantization levels");
+  flags.add_int("epochs", 100, "training epochs / iterations");
+  flags.add_int("seed", 1, "master seed");
+  flags.add_double("scale", 0.05, "synthetic profile sample scale");
+  flags.add_double("holdout", 0.2, "test fraction for csv/idx sources");
+
+  try {
+    flags.parse(argc - 1, argv + 1);
+    if (command == "train") {
+      return cmd_train(flags);
+    }
+    if (command == "evaluate") {
+      return cmd_evaluate(flags);
+    }
+    if (command == "predict") {
+      return cmd_predict(flags);
+    }
+    if (command == "info") {
+      return cmd_info(flags);
+    }
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    print_usage();
+    return 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
