@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_training"
+  "../bench/ablation_training.pdb"
+  "CMakeFiles/ablation_training.dir/ablation_training.cpp.o"
+  "CMakeFiles/ablation_training.dir/ablation_training.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

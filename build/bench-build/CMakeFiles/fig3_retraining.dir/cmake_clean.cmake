@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_retraining"
+  "../bench/fig3_retraining.pdb"
+  "CMakeFiles/fig3_retraining.dir/fig3_retraining.cpp.o"
+  "CMakeFiles/fig3_retraining.dir/fig3_retraining.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_retraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

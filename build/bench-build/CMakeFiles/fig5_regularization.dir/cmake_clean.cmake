@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_regularization"
+  "../bench/fig5_regularization.pdb"
+  "CMakeFiles/fig5_regularization.dir/fig5_regularization.cpp.o"
+  "CMakeFiles/fig5_regularization.dir/fig5_regularization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_regularization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

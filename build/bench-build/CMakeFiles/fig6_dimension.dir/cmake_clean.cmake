@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_dimension"
+  "../bench/fig6_dimension.pdb"
+  "CMakeFiles/fig6_dimension.dir/fig6_dimension.cpp.o"
+  "CMakeFiles/fig6_dimension.dir/fig6_dimension.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dimension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

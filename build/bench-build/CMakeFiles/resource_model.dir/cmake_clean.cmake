@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/resource_model"
+  "../bench/resource_model.pdb"
+  "CMakeFiles/resource_model.dir/resource_model.cpp.o"
+  "CMakeFiles/resource_model.dir/resource_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_activity.dir/sensor_activity.cpp.o"
+  "CMakeFiles/sensor_activity.dir/sensor_activity.cpp.o.d"
+  "sensor_activity"
+  "sensor_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

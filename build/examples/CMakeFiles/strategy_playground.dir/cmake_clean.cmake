@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_playground.dir/strategy_playground.cpp.o"
+  "CMakeFiles/strategy_playground.dir/strategy_playground.cpp.o.d"
+  "strategy_playground"
+  "strategy_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/deep_lehdc.cpp" "src/core/CMakeFiles/lehdc_core.dir/deep_lehdc.cpp.o" "gcc" "src/core/CMakeFiles/lehdc_core.dir/deep_lehdc.cpp.o.d"
+  "/root/repo/src/core/lehdc_trainer.cpp" "src/core/CMakeFiles/lehdc_core.dir/lehdc_trainer.cpp.o" "gcc" "src/core/CMakeFiles/lehdc_core.dir/lehdc_trainer.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/lehdc_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/lehdc_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/lehdc_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/lehdc_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/pipeline_io.cpp" "src/core/CMakeFiles/lehdc_core.dir/pipeline_io.cpp.o" "gcc" "src/core/CMakeFiles/lehdc_core.dir/pipeline_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/lehdc_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdc/CMakeFiles/lehdc_hdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/lehdc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lehdc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/lehdc_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lehdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

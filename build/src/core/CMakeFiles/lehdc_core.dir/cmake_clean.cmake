@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lehdc_core.dir/deep_lehdc.cpp.o"
+  "CMakeFiles/lehdc_core.dir/deep_lehdc.cpp.o.d"
+  "CMakeFiles/lehdc_core.dir/lehdc_trainer.cpp.o"
+  "CMakeFiles/lehdc_core.dir/lehdc_trainer.cpp.o.d"
+  "CMakeFiles/lehdc_core.dir/online.cpp.o"
+  "CMakeFiles/lehdc_core.dir/online.cpp.o.d"
+  "CMakeFiles/lehdc_core.dir/pipeline.cpp.o"
+  "CMakeFiles/lehdc_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/lehdc_core.dir/pipeline_io.cpp.o"
+  "CMakeFiles/lehdc_core.dir/pipeline_io.cpp.o.d"
+  "liblehdc_core.a"
+  "liblehdc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lehdc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lehdc_data.dir/csv_loader.cpp.o"
+  "CMakeFiles/lehdc_data.dir/csv_loader.cpp.o.d"
+  "CMakeFiles/lehdc_data.dir/dataset.cpp.o"
+  "CMakeFiles/lehdc_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/lehdc_data.dir/idx_loader.cpp.o"
+  "CMakeFiles/lehdc_data.dir/idx_loader.cpp.o.d"
+  "CMakeFiles/lehdc_data.dir/profiles.cpp.o"
+  "CMakeFiles/lehdc_data.dir/profiles.cpp.o.d"
+  "CMakeFiles/lehdc_data.dir/synthetic.cpp.o"
+  "CMakeFiles/lehdc_data.dir/synthetic.cpp.o.d"
+  "liblehdc_data.a"
+  "liblehdc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lehdc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

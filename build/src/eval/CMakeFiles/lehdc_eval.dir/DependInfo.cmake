@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/experiment.cpp" "src/eval/CMakeFiles/lehdc_eval.dir/experiment.cpp.o" "gcc" "src/eval/CMakeFiles/lehdc_eval.dir/experiment.cpp.o.d"
+  "/root/repo/src/eval/hardware_model.cpp" "src/eval/CMakeFiles/lehdc_eval.dir/hardware_model.cpp.o" "gcc" "src/eval/CMakeFiles/lehdc_eval.dir/hardware_model.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/lehdc_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/lehdc_eval.dir/metrics.cpp.o.d"
+  "/root/repo/src/eval/presets.cpp" "src/eval/CMakeFiles/lehdc_eval.dir/presets.cpp.o" "gcc" "src/eval/CMakeFiles/lehdc_eval.dir/presets.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/eval/CMakeFiles/lehdc_eval.dir/report.cpp.o" "gcc" "src/eval/CMakeFiles/lehdc_eval.dir/report.cpp.o.d"
+  "/root/repo/src/eval/resource.cpp" "src/eval/CMakeFiles/lehdc_eval.dir/resource.cpp.o" "gcc" "src/eval/CMakeFiles/lehdc_eval.dir/resource.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lehdc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/lehdc_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdc/CMakeFiles/lehdc_hdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/lehdc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lehdc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/lehdc_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lehdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lehdc_eval.dir/experiment.cpp.o"
+  "CMakeFiles/lehdc_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/lehdc_eval.dir/hardware_model.cpp.o"
+  "CMakeFiles/lehdc_eval.dir/hardware_model.cpp.o.d"
+  "CMakeFiles/lehdc_eval.dir/metrics.cpp.o"
+  "CMakeFiles/lehdc_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/lehdc_eval.dir/presets.cpp.o"
+  "CMakeFiles/lehdc_eval.dir/presets.cpp.o.d"
+  "CMakeFiles/lehdc_eval.dir/report.cpp.o"
+  "CMakeFiles/lehdc_eval.dir/report.cpp.o.d"
+  "CMakeFiles/lehdc_eval.dir/resource.cpp.o"
+  "CMakeFiles/lehdc_eval.dir/resource.cpp.o.d"
+  "liblehdc_eval.a"
+  "liblehdc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lehdc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

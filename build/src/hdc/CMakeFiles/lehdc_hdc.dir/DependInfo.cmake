@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdc/classifier.cpp" "src/hdc/CMakeFiles/lehdc_hdc.dir/classifier.cpp.o" "gcc" "src/hdc/CMakeFiles/lehdc_hdc.dir/classifier.cpp.o.d"
+  "/root/repo/src/hdc/dataset_io.cpp" "src/hdc/CMakeFiles/lehdc_hdc.dir/dataset_io.cpp.o" "gcc" "src/hdc/CMakeFiles/lehdc_hdc.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/hdc/encoded_dataset.cpp" "src/hdc/CMakeFiles/lehdc_hdc.dir/encoded_dataset.cpp.o" "gcc" "src/hdc/CMakeFiles/lehdc_hdc.dir/encoded_dataset.cpp.o.d"
+  "/root/repo/src/hdc/encoder.cpp" "src/hdc/CMakeFiles/lehdc_hdc.dir/encoder.cpp.o" "gcc" "src/hdc/CMakeFiles/lehdc_hdc.dir/encoder.cpp.o.d"
+  "/root/repo/src/hdc/item_memory.cpp" "src/hdc/CMakeFiles/lehdc_hdc.dir/item_memory.cpp.o" "gcc" "src/hdc/CMakeFiles/lehdc_hdc.dir/item_memory.cpp.o.d"
+  "/root/repo/src/hdc/model_io.cpp" "src/hdc/CMakeFiles/lehdc_hdc.dir/model_io.cpp.o" "gcc" "src/hdc/CMakeFiles/lehdc_hdc.dir/model_io.cpp.o.d"
+  "/root/repo/src/hdc/nonbinary_encoding.cpp" "src/hdc/CMakeFiles/lehdc_hdc.dir/nonbinary_encoding.cpp.o" "gcc" "src/hdc/CMakeFiles/lehdc_hdc.dir/nonbinary_encoding.cpp.o.d"
+  "/root/repo/src/hdc/projection_encoder.cpp" "src/hdc/CMakeFiles/lehdc_hdc.dir/projection_encoder.cpp.o" "gcc" "src/hdc/CMakeFiles/lehdc_hdc.dir/projection_encoder.cpp.o.d"
+  "/root/repo/src/hdc/search.cpp" "src/hdc/CMakeFiles/lehdc_hdc.dir/search.cpp.o" "gcc" "src/hdc/CMakeFiles/lehdc_hdc.dir/search.cpp.o.d"
+  "/root/repo/src/hdc/ternary.cpp" "src/hdc/CMakeFiles/lehdc_hdc.dir/ternary.cpp.o" "gcc" "src/hdc/CMakeFiles/lehdc_hdc.dir/ternary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/lehdc_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/lehdc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lehdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lehdc_hdc.dir/classifier.cpp.o"
+  "CMakeFiles/lehdc_hdc.dir/classifier.cpp.o.d"
+  "CMakeFiles/lehdc_hdc.dir/dataset_io.cpp.o"
+  "CMakeFiles/lehdc_hdc.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/lehdc_hdc.dir/encoded_dataset.cpp.o"
+  "CMakeFiles/lehdc_hdc.dir/encoded_dataset.cpp.o.d"
+  "CMakeFiles/lehdc_hdc.dir/encoder.cpp.o"
+  "CMakeFiles/lehdc_hdc.dir/encoder.cpp.o.d"
+  "CMakeFiles/lehdc_hdc.dir/item_memory.cpp.o"
+  "CMakeFiles/lehdc_hdc.dir/item_memory.cpp.o.d"
+  "CMakeFiles/lehdc_hdc.dir/model_io.cpp.o"
+  "CMakeFiles/lehdc_hdc.dir/model_io.cpp.o.d"
+  "CMakeFiles/lehdc_hdc.dir/nonbinary_encoding.cpp.o"
+  "CMakeFiles/lehdc_hdc.dir/nonbinary_encoding.cpp.o.d"
+  "CMakeFiles/lehdc_hdc.dir/projection_encoder.cpp.o"
+  "CMakeFiles/lehdc_hdc.dir/projection_encoder.cpp.o.d"
+  "CMakeFiles/lehdc_hdc.dir/search.cpp.o"
+  "CMakeFiles/lehdc_hdc.dir/search.cpp.o.d"
+  "CMakeFiles/lehdc_hdc.dir/ternary.cpp.o"
+  "CMakeFiles/lehdc_hdc.dir/ternary.cpp.o.d"
+  "liblehdc_hdc.a"
+  "liblehdc_hdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lehdc_hdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/bitslice.cpp" "src/hv/CMakeFiles/lehdc_hv.dir/bitslice.cpp.o" "gcc" "src/hv/CMakeFiles/lehdc_hv.dir/bitslice.cpp.o.d"
+  "/root/repo/src/hv/bitvector.cpp" "src/hv/CMakeFiles/lehdc_hv.dir/bitvector.cpp.o" "gcc" "src/hv/CMakeFiles/lehdc_hv.dir/bitvector.cpp.o.d"
+  "/root/repo/src/hv/generate.cpp" "src/hv/CMakeFiles/lehdc_hv.dir/generate.cpp.o" "gcc" "src/hv/CMakeFiles/lehdc_hv.dir/generate.cpp.o.d"
+  "/root/repo/src/hv/intvector.cpp" "src/hv/CMakeFiles/lehdc_hv.dir/intvector.cpp.o" "gcc" "src/hv/CMakeFiles/lehdc_hv.dir/intvector.cpp.o.d"
+  "/root/repo/src/hv/similarity.cpp" "src/hv/CMakeFiles/lehdc_hv.dir/similarity.cpp.o" "gcc" "src/hv/CMakeFiles/lehdc_hv.dir/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lehdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lehdc_hv.dir/bitslice.cpp.o"
+  "CMakeFiles/lehdc_hv.dir/bitslice.cpp.o.d"
+  "CMakeFiles/lehdc_hv.dir/bitvector.cpp.o"
+  "CMakeFiles/lehdc_hv.dir/bitvector.cpp.o.d"
+  "CMakeFiles/lehdc_hv.dir/generate.cpp.o"
+  "CMakeFiles/lehdc_hv.dir/generate.cpp.o.d"
+  "CMakeFiles/lehdc_hv.dir/intvector.cpp.o"
+  "CMakeFiles/lehdc_hv.dir/intvector.cpp.o.d"
+  "CMakeFiles/lehdc_hv.dir/similarity.cpp.o"
+  "CMakeFiles/lehdc_hv.dir/similarity.cpp.o.d"
+  "liblehdc_hv.a"
+  "liblehdc_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lehdc_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

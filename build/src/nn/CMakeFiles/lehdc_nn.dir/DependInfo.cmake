@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/binarize.cpp" "src/nn/CMakeFiles/lehdc_nn.dir/binarize.cpp.o" "gcc" "src/nn/CMakeFiles/lehdc_nn.dir/binarize.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/lehdc_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/lehdc_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/gradcheck.cpp" "src/nn/CMakeFiles/lehdc_nn.dir/gradcheck.cpp.o" "gcc" "src/nn/CMakeFiles/lehdc_nn.dir/gradcheck.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/lehdc_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/lehdc_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/nn/CMakeFiles/lehdc_nn.dir/matrix.cpp.o" "gcc" "src/nn/CMakeFiles/lehdc_nn.dir/matrix.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/lehdc_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/lehdc_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/schedule.cpp" "src/nn/CMakeFiles/lehdc_nn.dir/schedule.cpp.o" "gcc" "src/nn/CMakeFiles/lehdc_nn.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/lehdc_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lehdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lehdc_nn.dir/binarize.cpp.o"
+  "CMakeFiles/lehdc_nn.dir/binarize.cpp.o.d"
+  "CMakeFiles/lehdc_nn.dir/dropout.cpp.o"
+  "CMakeFiles/lehdc_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/lehdc_nn.dir/gradcheck.cpp.o"
+  "CMakeFiles/lehdc_nn.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/lehdc_nn.dir/loss.cpp.o"
+  "CMakeFiles/lehdc_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/lehdc_nn.dir/matrix.cpp.o"
+  "CMakeFiles/lehdc_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/lehdc_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/lehdc_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/lehdc_nn.dir/schedule.cpp.o"
+  "CMakeFiles/lehdc_nn.dir/schedule.cpp.o.d"
+  "liblehdc_nn.a"
+  "liblehdc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lehdc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

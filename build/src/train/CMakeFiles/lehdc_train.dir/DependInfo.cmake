@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/adapt.cpp" "src/train/CMakeFiles/lehdc_train.dir/adapt.cpp.o" "gcc" "src/train/CMakeFiles/lehdc_train.dir/adapt.cpp.o.d"
+  "/root/repo/src/train/baseline.cpp" "src/train/CMakeFiles/lehdc_train.dir/baseline.cpp.o" "gcc" "src/train/CMakeFiles/lehdc_train.dir/baseline.cpp.o.d"
+  "/root/repo/src/train/class_matrix.cpp" "src/train/CMakeFiles/lehdc_train.dir/class_matrix.cpp.o" "gcc" "src/train/CMakeFiles/lehdc_train.dir/class_matrix.cpp.o.d"
+  "/root/repo/src/train/multimodel.cpp" "src/train/CMakeFiles/lehdc_train.dir/multimodel.cpp.o" "gcc" "src/train/CMakeFiles/lehdc_train.dir/multimodel.cpp.o.d"
+  "/root/repo/src/train/nonbinary.cpp" "src/train/CMakeFiles/lehdc_train.dir/nonbinary.cpp.o" "gcc" "src/train/CMakeFiles/lehdc_train.dir/nonbinary.cpp.o.d"
+  "/root/repo/src/train/retrain.cpp" "src/train/CMakeFiles/lehdc_train.dir/retrain.cpp.o" "gcc" "src/train/CMakeFiles/lehdc_train.dir/retrain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdc/CMakeFiles/lehdc_hdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lehdc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/lehdc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/lehdc_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lehdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lehdc_train.dir/adapt.cpp.o"
+  "CMakeFiles/lehdc_train.dir/adapt.cpp.o.d"
+  "CMakeFiles/lehdc_train.dir/baseline.cpp.o"
+  "CMakeFiles/lehdc_train.dir/baseline.cpp.o.d"
+  "CMakeFiles/lehdc_train.dir/class_matrix.cpp.o"
+  "CMakeFiles/lehdc_train.dir/class_matrix.cpp.o.d"
+  "CMakeFiles/lehdc_train.dir/multimodel.cpp.o"
+  "CMakeFiles/lehdc_train.dir/multimodel.cpp.o.d"
+  "CMakeFiles/lehdc_train.dir/nonbinary.cpp.o"
+  "CMakeFiles/lehdc_train.dir/nonbinary.cpp.o.d"
+  "CMakeFiles/lehdc_train.dir/retrain.cpp.o"
+  "CMakeFiles/lehdc_train.dir/retrain.cpp.o.d"
+  "liblehdc_train.a"
+  "liblehdc_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lehdc_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lehdc_util.dir/check.cpp.o"
+  "CMakeFiles/lehdc_util.dir/check.cpp.o.d"
+  "CMakeFiles/lehdc_util.dir/flags.cpp.o"
+  "CMakeFiles/lehdc_util.dir/flags.cpp.o.d"
+  "CMakeFiles/lehdc_util.dir/log.cpp.o"
+  "CMakeFiles/lehdc_util.dir/log.cpp.o.d"
+  "CMakeFiles/lehdc_util.dir/rng.cpp.o"
+  "CMakeFiles/lehdc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lehdc_util.dir/stats.cpp.o"
+  "CMakeFiles/lehdc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/lehdc_util.dir/table.cpp.o"
+  "CMakeFiles/lehdc_util.dir/table.cpp.o.d"
+  "CMakeFiles/lehdc_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/lehdc_util.dir/thread_pool.cpp.o.d"
+  "liblehdc_util.a"
+  "liblehdc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lehdc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitslice.dir/test_bitslice.cpp.o"
+  "CMakeFiles/test_bitslice.dir/test_bitslice.cpp.o.d"
+  "test_bitslice"
+  "test_bitslice.pdb"
+  "test_bitslice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

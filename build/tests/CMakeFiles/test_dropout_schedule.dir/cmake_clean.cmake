@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dropout_schedule.dir/test_dropout_schedule.cpp.o"
+  "CMakeFiles/test_dropout_schedule.dir/test_dropout_schedule.cpp.o.d"
+  "test_dropout_schedule"
+  "test_dropout_schedule.pdb"
+  "test_dropout_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dropout_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flags_table.dir/test_flags_table.cpp.o"
+  "CMakeFiles/test_flags_table.dir/test_flags_table.cpp.o.d"
+  "test_flags_table"
+  "test_flags_table.pdb"
+  "test_flags_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flags_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intvector.dir/test_intvector.cpp.o"
+  "CMakeFiles/test_intvector.dir/test_intvector.cpp.o.d"
+  "test_intvector"
+  "test_intvector.pdb"
+  "test_intvector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intvector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

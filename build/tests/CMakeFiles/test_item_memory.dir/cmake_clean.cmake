@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_item_memory.dir/test_item_memory.cpp.o"
+  "CMakeFiles/test_item_memory.dir/test_item_memory.cpp.o.d"
+  "test_item_memory"
+  "test_item_memory.pdb"
+  "test_item_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_item_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lehdc.dir/test_lehdc.cpp.o"
+  "CMakeFiles/test_lehdc.dir/test_lehdc.cpp.o.d"
+  "test_lehdc"
+  "test_lehdc.pdb"
+  "test_lehdc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lehdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loaders.dir/test_loaders.cpp.o"
+  "CMakeFiles/test_loaders.dir/test_loaders.cpp.o.d"
+  "test_loaders"
+  "test_loaders.pdb"
+  "test_loaders[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loaders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

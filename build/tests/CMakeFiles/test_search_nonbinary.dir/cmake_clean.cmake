@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_search_nonbinary.dir/test_search_nonbinary.cpp.o"
+  "CMakeFiles/test_search_nonbinary.dir/test_search_nonbinary.cpp.o.d"
+  "test_search_nonbinary"
+  "test_search_nonbinary.pdb"
+  "test_search_nonbinary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_search_nonbinary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ternary_deep.dir/test_ternary_deep.cpp.o"
+  "CMakeFiles/test_ternary_deep.dir/test_ternary_deep.cpp.o.d"
+  "test_ternary_deep"
+  "test_ternary_deep.pdb"
+  "test_ternary_deep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ternary_deep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_flags_table[1]_include.cmake")
+include("/root/repo/build/tests/test_bitvector[1]_include.cmake")
+include("/root/repo/build/tests/test_intvector[1]_include.cmake")
+include("/root/repo/build/tests/test_bitslice[1]_include.cmake")
+include("/root/repo/build/tests/test_generate[1]_include.cmake")
+include("/root/repo/build/tests/test_item_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_encoder[1]_include.cmake")
+include("/root/repo/build/tests/test_classifier[1]_include.cmake")
+include("/root/repo/build/tests/test_model_io[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_loss[1]_include.cmake")
+include("/root/repo/build/tests/test_optimizer[1]_include.cmake")
+include("/root/repo/build/tests/test_dropout_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_dataset[1]_include.cmake")
+include("/root/repo/build/tests/test_synthetic_profiles[1]_include.cmake")
+include("/root/repo/build/tests/test_loaders[1]_include.cmake")
+include("/root/repo/build/tests/test_trainers[1]_include.cmake")
+include("/root/repo/build/tests/test_lehdc[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_eval[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_search_nonbinary[1]_include.cmake")
+include("/root/repo/build/tests/test_ternary_deep[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lehdc_cli.dir/lehdc_cli.cpp.o"
+  "CMakeFiles/lehdc_cli.dir/lehdc_cli.cpp.o.d"
+  "lehdc_cli"
+  "lehdc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lehdc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[cli_train]=] "/root/repo/build/tools/lehdc_cli" "train" "--data" "synth:pamap" "--dim" "500" "--epochs" "5" "--scale" "0.02" "--seed" "3" "--model" "cli_smoke.lhdp")
+set_tests_properties([=[cli_train]=] PROPERTIES  FIXTURES_SETUP "cli_model" WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_info]=] "/root/repo/build/tools/lehdc_cli" "info" "--model" "cli_smoke.lhdp")
+set_tests_properties([=[cli_info]=] PROPERTIES  FIXTURES_REQUIRED "cli_model" PASS_REGULAR_EXPRESSION "strategy:  LeHDC" WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_evaluate]=] "/root/repo/build/tools/lehdc_cli" "evaluate" "--model" "cli_smoke.lhdp" "--data" "synth:pamap" "--scale" "0.02" "--seed" "4")
+set_tests_properties([=[cli_evaluate]=] PROPERTIES  FIXTURES_REQUIRED "cli_model" WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_rejects_unknown_command]=] "/root/repo/build/tools/lehdc_cli" "frobnicate")
+set_tests_properties([=[cli_rejects_unknown_command]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_rejects_bad_data_spec]=] "/root/repo/build/tools/lehdc_cli" "train" "--data" "nonsense")
+set_tests_properties([=[cli_rejects_bad_data_spec]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
