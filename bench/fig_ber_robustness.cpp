@@ -1,0 +1,178 @@
+// BER robustness harness: accuracy vs memory bit-error rate for Baseline
+// bundling, Retraining and LeHDC on one benchmark profile.
+//
+// The claim under test (motivated by the paper's zero-overhead deployment
+// story plus the in-memory HDC hardware literature): LeHDC's accuracy
+// gain is carried by ordinary binary class hypervectors, so it should
+// degrade as gracefully under stored-bit faults as baseline HDC does —
+// the gain is not a brittle fit that evaporates at realistic fault rates.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/lehdc_trainer.hpp"
+#include "data/profiles.hpp"
+#include "hdc/encoded_dataset.hpp"
+#include "hdc/encoder.hpp"
+#include "robustness/ber_sweep.hpp"
+#include "train/baseline.hpp"
+#include "train/retrain.hpp"
+#include "util/flags.hpp"
+#include "util/log.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lehdc;
+
+  util::FlagParser flags(
+      "fig_ber_robustness",
+      "Accuracy-vs-bit-error-rate sweep comparing training strategies "
+      "under stored-model (and optionally query) bit faults.");
+  flags.add_int("dim", 2000, "hypervector dimension D");
+  flags.add_double("scale", 0.05, "fraction of paper-scale sample counts");
+  flags.add_int("epochs", 30, "LeHDC epochs / retraining iterations");
+  flags.add_int("trials", 5, "independent corruption trials per BER");
+  flags.add_int("seed", 7, "master seed");
+  flags.add_string("dataset", "fashion-mnist", "benchmark profile");
+  flags.add_string("bers", "0,1e-4,1e-3,1e-2,5e-2",
+                   "comma-separated bit-error rates");
+  flags.add_flag("queries", "also corrupt the encoded queries");
+  flags.add_string("csv", "fig_ber_robustness.csv",
+                   "output CSV ('' disables)");
+  flags.add_flag("full", "paper scale (D=10000, all samples)");
+  flags.parse(argc, argv);
+
+  const bool full = flags.get_flag("full");
+  const std::size_t dim =
+      full ? 10000 : static_cast<std::size_t>(flags.get_int("dim"));
+  const double sample_scale = full ? 1.0 : flags.get_double("scale");
+
+  const auto profile =
+      data::scaled(data::profile_by_name(flags.get_string("dataset")),
+                   sample_scale);
+  util::log_info("generating " + profile.name + ": " +
+                 std::to_string(profile.config.train_count) + " train / " +
+                 std::to_string(profile.config.test_count) + " test");
+  const data::TrainTestSplit split = generate_synthetic(profile.config);
+
+  hdc::RecordEncoderConfig encoder_cfg;
+  encoder_cfg.dim = dim;
+  encoder_cfg.feature_count = split.train.feature_count();
+  encoder_cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const hdc::RecordEncoder encoder(encoder_cfg);
+  const auto encoded_train = hdc::encode_dataset(encoder, split.train);
+  const auto encoded_test = hdc::encode_dataset(encoder, split.test);
+
+  // Parse the sweep configuration up front so a bad flag fails before any
+  // training time is spent.
+  robustness::BerSweepConfig sweep_cfg;
+  sweep_cfg.bers.clear();
+  {
+    const std::string& text = flags.get_string("bers");
+    std::size_t start = 0;
+    while (start < text.size()) {
+      const std::size_t comma = text.find(',', start);
+      const std::string token = text.substr(
+          start,
+          comma == std::string::npos ? std::string::npos : comma - start);
+      if (!token.empty()) {
+        double ber = 0.0;
+        try {
+          std::size_t consumed = 0;
+          ber = std::stod(token, &consumed);
+          if (consumed != token.size()) {
+            throw std::invalid_argument(token);
+          }
+        } catch (const std::exception&) {
+          std::fprintf(stderr, "error: --bers entry '%s' is not a number\n",
+                       token.c_str());
+          return 1;
+        }
+        if (ber < 0.0) {
+          std::fprintf(stderr, "error: --bers entry %s is negative\n",
+                       token.c_str());
+          return 1;
+        }
+        sweep_cfg.bers.push_back(ber);
+      }
+      if (comma == std::string::npos) {
+        break;
+      }
+      start = comma + 1;
+    }
+  }
+  if (sweep_cfg.bers.empty()) {
+    std::fprintf(stderr, "error: --bers lists no bit-error rates\n");
+    return 1;
+  }
+  sweep_cfg.trials = static_cast<std::size_t>(flags.get_int("trials"));
+  sweep_cfg.corrupt_queries = flags.get_flag("queries");
+  sweep_cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  train::TrainOptions options;
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  train::RetrainConfig retrain_cfg;
+  retrain_cfg.iterations = static_cast<std::size_t>(flags.get_int("epochs"));
+  core::LeHdcConfig lehdc_cfg;
+  lehdc_cfg.epochs = static_cast<std::size_t>(flags.get_int("epochs"));
+
+  struct Entry {
+    std::string name;
+    hdc::BinaryClassifier classifier;
+  };
+  std::vector<Entry> entries;
+  const auto add_entry = [&](const std::string& name,
+                             const train::Trainer& trainer) {
+    util::log_info("training " + name + "...");
+    const auto result = trainer.train(encoded_train, options);
+    const auto* binary = result.model->as_binary();
+    if (binary == nullptr) {
+      util::log_info("skipping " + name + " (no binary classifier)");
+      return;
+    }
+    entries.push_back(Entry{name, *binary});
+  };
+  add_entry("Baseline", train::BaselineTrainer());
+  add_entry("Retraining", train::RetrainingTrainer(retrain_cfg));
+  add_entry("LeHDC", core::LeHdcTrainer(lehdc_cfg));
+
+  std::vector<robustness::SweepSeries> series;
+  for (const auto& entry : entries) {
+    series.push_back(robustness::SweepSeries{
+        entry.name, robustness::ber_sweep(entry.classifier, encoded_test,
+                                          sweep_cfg)});
+  }
+
+  std::printf("\naccuracy vs stored-bit error rate on %s (D=%zu, %zu "
+              "trials%s)\n",
+              profile.name.c_str(), dim, sweep_cfg.trials,
+              sweep_cfg.corrupt_queries ? ", queries also corrupted" : "");
+  std::printf("%10s", "BER");
+  for (const auto& s : series) {
+    std::printf("  %18s", s.name.c_str());
+  }
+  std::printf("\n");
+  for (std::size_t r = 0; r < sweep_cfg.bers.size(); ++r) {
+    std::printf("%10.0e", sweep_cfg.bers[r]);
+    for (const auto& s : series) {
+      std::printf("  %11.2f%% ± %4.2f", s.points[r].mean_accuracy * 100.0,
+                  s.points[r].stddev * 100.0);
+    }
+    std::printf("\n");
+  }
+  for (const auto& s : series) {
+    const double clean = s.points.front().mean_accuracy;
+    const double worst = s.points.back().mean_accuracy;
+    std::printf("%s: clean %.2f%%, at BER %.0e retains %.2f%% "
+                "(drop %.2f points)\n",
+                s.name.c_str(), clean * 100.0, sweep_cfg.bers.back(),
+                worst * 100.0, (clean - worst) * 100.0);
+  }
+
+  if (const auto& csv = flags.get_string("csv"); !csv.empty()) {
+    robustness::write_sweep_csv(csv, series);
+    std::printf("sweep written to %s\n", csv.c_str());
+  }
+  return 0;
+}

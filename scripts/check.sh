@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full verification sweep: build + ctest on the normal Release build,
+# then again with AddressSanitizer + UndefinedBehaviorSanitizer
+# (-DLEHDC_SANITIZE=address,undefined).
+#
+# Usage: scripts/check.sh [--skip-sanitize] [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+skip_sanitize=0
+if [[ "${1:-}" == "--skip-sanitize" ]]; then
+  skip_sanitize=1
+  shift
+fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S . "$@" >/dev/null
+  cmake --build "$build_dir" -j "$jobs"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+echo "== normal build =="
+run_suite build
+
+if [[ "$skip_sanitize" -eq 0 ]]; then
+  echo "== address,undefined sanitizer build =="
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+  run_suite build-asan -DLEHDC_SANITIZE=address,undefined
+fi
+
+echo "all checks passed"

@@ -1,0 +1,160 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/fileio.hpp"
+#include "util/serial.hpp"
+
+namespace lehdc::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'H', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+// A checkpoint holds three float matrices plus the order permutation;
+// paper scale (10 classes x D=10,000, 60k samples) is ~2 MiB. 4 GiB
+// bounds a corrupt length field without constraining real runs.
+constexpr std::size_t kMaxPayload = std::size_t{1} << 32;
+
+void append_matrix(util::PayloadWriter& payload, const nn::Matrix& matrix) {
+  payload.pod(static_cast<std::uint64_t>(matrix.rows()));
+  payload.pod(static_cast<std::uint64_t>(matrix.cols()));
+  const auto data = matrix.data();
+  payload.bytes(data.data(), data.size() * sizeof(float));
+}
+
+nn::Matrix read_matrix(util::PayloadReader& reader,
+                       const std::string& path) {
+  const auto rows = reader.pod<std::uint64_t>();
+  const auto cols = reader.pod<std::uint64_t>();
+  const std::uint64_t remaining = reader.remaining();
+  if (rows > remaining || cols > remaining ||
+      (cols != 0 && rows > (remaining / sizeof(float)) / cols)) {
+    throw std::runtime_error(
+        "checkpoint matrix header disagrees with payload size in " + path);
+  }
+  nn::Matrix matrix(rows, cols);
+  const auto data = matrix.data();
+  reader.bytes(data.data(), data.size() * sizeof(float));
+  return matrix;
+}
+
+}  // namespace
+
+void save_checkpoint(const LeHdcCheckpoint& checkpoint,
+                     const std::string& path) {
+  util::PayloadWriter payload;
+  payload.pod(checkpoint.dim);
+  payload.pod(checkpoint.class_count);
+  payload.pod(checkpoint.sample_count);
+  payload.pod(checkpoint.batch);
+  payload.pod(checkpoint.seed);
+  payload.pod(static_cast<std::uint8_t>(checkpoint.use_adam ? 1 : 0));
+  payload.pod(checkpoint.next_epoch);
+  payload.pod(checkpoint.learning_rate);
+
+  payload.pod(checkpoint.schedule.lr);
+  payload.pod(checkpoint.schedule.best_loss);
+  payload.pod(static_cast<std::uint64_t>(checkpoint.schedule.bad_epochs));
+  payload.pod(static_cast<std::uint64_t>(checkpoint.schedule.decays));
+  payload.pod(static_cast<std::uint8_t>(checkpoint.schedule.seen_any ? 1 : 0));
+
+  for (const std::uint64_t word : checkpoint.rng.words) {
+    payload.pod(word);
+  }
+  payload.pod(checkpoint.rng.cached_gaussian);
+  payload.pod(
+      static_cast<std::uint8_t>(checkpoint.rng.has_cached_gaussian ? 1 : 0));
+
+  append_matrix(payload, checkpoint.latent);
+  if (checkpoint.use_adam) {
+    append_matrix(payload, checkpoint.adam_m);
+    append_matrix(payload, checkpoint.adam_v);
+    payload.pod(checkpoint.adam_steps);
+  } else {
+    append_matrix(payload, checkpoint.sgd_velocity);
+  }
+
+  payload.pod(static_cast<std::uint64_t>(checkpoint.order.size()));
+  payload.bytes(checkpoint.order.data(),
+                checkpoint.order.size() * sizeof(std::uint64_t));
+
+  std::ostringstream buffer(std::ios::binary);
+  buffer.write(kMagic, sizeof(kMagic));
+  buffer.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  util::write_framed_payload(buffer, payload.str());
+  util::atomic_write_file(path, buffer.view());
+}
+
+LeHdcCheckpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open checkpoint: " + path);
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not a LHCK checkpoint file: " + path);
+  }
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in) {
+    throw std::runtime_error("truncated checkpoint header in " + path);
+  }
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported checkpoint version in " + path);
+  }
+
+  const std::string payload = util::read_framed_payload(in, kMaxPayload, path);
+  util::PayloadReader reader(payload, path);
+
+  LeHdcCheckpoint checkpoint;
+  checkpoint.dim = reader.pod<std::uint64_t>();
+  checkpoint.class_count = reader.pod<std::uint64_t>();
+  checkpoint.sample_count = reader.pod<std::uint64_t>();
+  checkpoint.batch = reader.pod<std::uint64_t>();
+  checkpoint.seed = reader.pod<std::uint64_t>();
+  checkpoint.use_adam = reader.pod<std::uint8_t>() != 0;
+  checkpoint.next_epoch = reader.pod<std::uint64_t>();
+  checkpoint.learning_rate = reader.pod<float>();
+
+  checkpoint.schedule.lr = reader.pod<float>();
+  checkpoint.schedule.best_loss = reader.pod<double>();
+  checkpoint.schedule.bad_epochs =
+      static_cast<std::size_t>(reader.pod<std::uint64_t>());
+  checkpoint.schedule.decays =
+      static_cast<std::size_t>(reader.pod<std::uint64_t>());
+  checkpoint.schedule.seen_any = reader.pod<std::uint8_t>() != 0;
+
+  for (std::uint64_t& word : checkpoint.rng.words) {
+    word = reader.pod<std::uint64_t>();
+  }
+  checkpoint.rng.cached_gaussian = reader.pod<double>();
+  checkpoint.rng.has_cached_gaussian = reader.pod<std::uint8_t>() != 0;
+
+  checkpoint.latent = read_matrix(reader, path);
+  if (checkpoint.use_adam) {
+    checkpoint.adam_m = read_matrix(reader, path);
+    checkpoint.adam_v = read_matrix(reader, path);
+    checkpoint.adam_steps = reader.pod<std::uint64_t>();
+  } else {
+    checkpoint.sgd_velocity = read_matrix(reader, path);
+  }
+
+  const auto order_size = reader.pod<std::uint64_t>();
+  if (order_size > reader.remaining() / sizeof(std::uint64_t)) {
+    throw std::runtime_error(
+        "checkpoint order length disagrees with payload size in " + path);
+  }
+  checkpoint.order.resize(order_size);
+  reader.bytes(checkpoint.order.data(),
+               checkpoint.order.size() * sizeof(std::uint64_t));
+  reader.expect_done();
+  return checkpoint;
+}
+
+}  // namespace lehdc::core

@@ -1,0 +1,73 @@
+// Crash-safe LeHDC training checkpoints.
+//
+// A checkpoint captures the complete mid-training state of the LeHDC
+// trainer at an epoch boundary: the float latent weights C_nb, the
+// optimizer moments (Adam m/v + step count, or the SGD momentum buffer),
+// the LR-plateau scheduler state, the RNG state and the in-place shuffle
+// permutation. Restoring it and running the remaining epochs produces a
+// final classifier bit-identical to an uninterrupted run — shuffling,
+// dropout masks and LR decays all resume mid-stream.
+//
+// File format "LHCK" v1 (little-endian, checksummed — util/fileio.hpp):
+//   magic "LHCK" | u32 version | u64 payload_size | payload | u32 crc32
+//   payload := fingerprint (dim, classes, samples, batch, seed, optimizer)
+//            | next_epoch | learning rate | plateau state | RNG state
+//            | latent matrix | optimizer buffers | shuffle order
+// Saves are atomic (write-to-temp-then-rename), so a crash mid-save
+// leaves the previous checkpoint intact rather than a torn file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "nn/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace lehdc::core {
+
+struct LeHdcCheckpoint {
+  // Fingerprint of the run that wrote the checkpoint; resume refuses a
+  // checkpoint whose fingerprint disagrees with the live configuration.
+  std::uint64_t dim = 0;
+  std::uint64_t class_count = 0;
+  std::uint64_t sample_count = 0;
+  std::uint64_t batch = 0;
+  std::uint64_t seed = 0;
+  bool use_adam = true;
+
+  /// First epoch the resumed run still has to execute.
+  std::uint64_t next_epoch = 0;
+
+  /// Learning rate currently applied by the optimizer.
+  float learning_rate = 0.0f;
+
+  nn::PlateauDecay::State schedule;
+  util::Rng::State rng;
+
+  /// The latent weights C_nb (class_count x dim).
+  nn::Matrix latent;
+
+  // Optimizer state: Adam moments + step count when use_adam, otherwise
+  // the SGD momentum buffer (the unused matrices stay empty).
+  nn::Matrix adam_m;
+  nn::Matrix adam_v;
+  std::uint64_t adam_steps = 0;
+  nn::Matrix sgd_velocity;
+
+  /// The sample permutation, which rng.shuffle mutates in place across
+  /// epochs — it is part of the stream state.
+  std::vector<std::uint64_t> order;
+};
+
+/// Atomically persists the checkpoint; throws std::runtime_error on IO
+/// failure (the previous checkpoint at `path`, if any, survives intact).
+void save_checkpoint(const LeHdcCheckpoint& checkpoint,
+                     const std::string& path);
+
+/// Loads and CRC-verifies a checkpoint; throws std::runtime_error on a
+/// missing, truncated, corrupt or wrong-format file.
+[[nodiscard]] LeHdcCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace lehdc::core

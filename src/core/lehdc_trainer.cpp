@@ -4,7 +4,10 @@
 #include <cmath>
 #include <numeric>
 #include <optional>
+#include <stdexcept>
+#include <utility>
 
+#include "core/checkpoint.hpp"
 #include "nn/binarize.hpp"
 #include "nn/dropout.hpp"
 #include "nn/loss.hpp"
@@ -121,7 +124,66 @@ train::TrainResult LeHdcTrainer::train(
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
 
+  util::expects(options.checkpoint_every == 0 ||
+                    !options.checkpoint_path.empty(),
+                "checkpoint_every requires a checkpoint_path");
+
+  // Resume: restore every piece of mutable training state, so the epochs
+  // that follow replay exactly as they would have in the original run.
+  std::size_t start_epoch = 0;
+  if (!options.resume_path.empty()) {
+    LeHdcCheckpoint ckpt = load_checkpoint(options.resume_path);
+    if (ckpt.dim != d || ckpt.class_count != k_classes ||
+        ckpt.sample_count != n || ckpt.batch != batch ||
+        ckpt.seed != options.seed || ckpt.use_adam != config_.use_adam) {
+      throw std::runtime_error(
+          "checkpoint fingerprint does not match this run (" +
+          options.resume_path + ")");
+    }
+    util::ensures(ckpt.latent.rows() == k_classes && ckpt.latent.cols() == d &&
+                      ckpt.order.size() == n,
+                  "checkpoint state shape mismatch");
+    latent = std::move(ckpt.latent);
+    if (adam) {
+      adam->restore(std::move(ckpt.adam_m), std::move(ckpt.adam_v),
+                    ckpt.adam_steps);
+      adam->set_learning_rate(ckpt.learning_rate);
+    } else {
+      sgd->restore(std::move(ckpt.sgd_velocity));
+      sgd->set_learning_rate(ckpt.learning_rate);
+    }
+    schedule.set_state(ckpt.schedule);
+    rng.set_state(ckpt.rng);
+    std::copy(ckpt.order.begin(), ckpt.order.end(), order.begin());
+    start_epoch = ckpt.next_epoch;
+  }
+
+  const auto write_checkpoint = [&](std::size_t completed_epochs) {
+    LeHdcCheckpoint ckpt;
+    ckpt.dim = d;
+    ckpt.class_count = k_classes;
+    ckpt.sample_count = n;
+    ckpt.batch = batch;
+    ckpt.seed = options.seed;
+    ckpt.use_adam = config_.use_adam;
+    ckpt.next_epoch = completed_epochs;
+    ckpt.learning_rate = adam ? adam->learning_rate() : sgd->learning_rate();
+    ckpt.schedule = schedule.state();
+    ckpt.rng = rng.state();
+    ckpt.latent = latent;
+    if (adam) {
+      ckpt.adam_m = adam->first_moment();
+      ckpt.adam_v = adam->second_moment();
+      ckpt.adam_steps = adam->step_count();
+    } else {
+      ckpt.sgd_velocity = sgd->velocity();
+    }
+    ckpt.order.assign(order.begin(), order.end());
+    save_checkpoint(ckpt, options.checkpoint_path);
+  };
+
   train::TrainResult result;
+  result.epochs_run = start_epoch;
 
   const auto evaluate_point = [&](std::size_t epoch, double loss) {
     train::EpochPoint point;
@@ -135,7 +197,7 @@ train::TrainResult LeHdcTrainer::train(
     result.trajectory.push_back(point);
   };
 
-  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+  for (std::size_t epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     rng.shuffle(order.begin(), order.end());
     double epoch_loss = 0.0;
     std::size_t batches = 0;
@@ -200,6 +262,10 @@ train::TrainResult LeHdcTrainer::train(
     result.epochs_run = epoch + 1;
     if (options.record_trajectory) {
       evaluate_point(epoch, mean_loss);
+    }
+    if (options.checkpoint_every > 0 &&
+        (epoch + 1) % options.checkpoint_every == 0) {
+      write_checkpoint(epoch + 1);
     }
   }
 

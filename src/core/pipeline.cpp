@@ -130,6 +130,9 @@ FitReport Pipeline::fit(const data::Dataset& train, const data::Dataset* test,
   train::TrainOptions options;
   options.seed = config_.seed;
   options.record_trajectory = record_trajectory;
+  options.checkpoint_every = config_.checkpoint_every;
+  options.checkpoint_path = config_.checkpoint_path;
+  options.resume_path = config_.resume_path;
   options.test = (test != nullptr && !encoded_test.empty()) ? &encoded_test
                                                             : nullptr;
   train::TrainResult result = trainer->train(encoded_train, options);

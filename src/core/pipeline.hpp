@@ -48,6 +48,13 @@ struct PipelineConfig {
 
   Strategy strategy = Strategy::kLeHdc;
 
+  // Fault tolerance (epoch-based strategies, i.e. LeHDC): write a
+  // crash-safe checkpoint every `checkpoint_every` epochs (0 disables),
+  // and/or resume a killed run from `resume_path`. See core/checkpoint.hpp.
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path;
+  std::string resume_path;
+
   // Per-strategy knobs; only the block matching `strategy` is read.
   LeHdcConfig lehdc;
   train::RetrainConfig retrain;

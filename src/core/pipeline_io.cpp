@@ -3,17 +3,24 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "hdc/model_io.hpp"
 #include "util/check.hpp"
+#include "util/fileio.hpp"
+#include "util/serial.hpp"
 
 namespace lehdc::core {
 
 namespace {
 
 constexpr char kMagic[4] = {'L', 'H', 'D', 'P'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+
+// Bundles embed one classifier plus a fixed-size config block; 2 GiB is
+// far beyond any legitimate bundle (see hdc/model_io.cpp).
+constexpr std::size_t kMaxPayload = std::size_t{1} << 31;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -40,49 +47,62 @@ void save_pipeline(const Pipeline& pipeline, const std::string& path) {
   const hdc::RecordEncoderConfig& encoder_cfg = encoder.config();
   const PipelineConfig& cfg = pipeline.config();
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("cannot open pipeline bundle for writing: " +
-                             path);
-  }
-  out.write(kMagic, sizeof(kMagic));
-  write_pod(out, kVersion);
+  util::PayloadWriter payload;
+  payload.pod(static_cast<std::uint64_t>(cfg.dim));
+  payload.pod(static_cast<std::uint64_t>(cfg.levels));
+  payload.pod(static_cast<std::uint64_t>(cfg.seed));
+  payload.pod(static_cast<std::uint32_t>(cfg.strategy));
 
-  write_pod(out, static_cast<std::uint64_t>(cfg.dim));
-  write_pod(out, static_cast<std::uint64_t>(cfg.levels));
-  write_pod(out, static_cast<std::uint64_t>(cfg.seed));
-  write_pod(out, static_cast<std::uint32_t>(cfg.strategy));
+  payload.pod(static_cast<std::uint64_t>(encoder_cfg.dim));
+  payload.pod(static_cast<std::uint64_t>(encoder_cfg.feature_count));
+  payload.pod(static_cast<std::uint64_t>(encoder_cfg.levels));
+  payload.pod(encoder_cfg.range_lo);
+  payload.pod(encoder_cfg.range_hi);
+  payload.pod(static_cast<std::uint64_t>(encoder_cfg.seed));
 
-  write_pod(out, static_cast<std::uint64_t>(encoder_cfg.dim));
-  write_pod(out, static_cast<std::uint64_t>(encoder_cfg.feature_count));
-  write_pod(out, static_cast<std::uint64_t>(encoder_cfg.levels));
-  write_pod(out, encoder_cfg.range_lo);
-  write_pod(out, encoder_cfg.range_hi);
-  write_pod(out, static_cast<std::uint64_t>(encoder_cfg.seed));
+  std::ostringstream classifier_bytes(std::ios::binary);
+  hdc::write_classifier(classifier_bytes, *binary);
+  const std::string classifier_blob = classifier_bytes.str();
+  payload.bytes(classifier_blob.data(), classifier_blob.size());
 
-  hdc::write_classifier(out, *binary);
-  if (!out) {
-    throw std::runtime_error("failed writing pipeline bundle: " + path);
-  }
+  std::ostringstream buffer(std::ios::binary);
+  buffer.write(kMagic, sizeof(kMagic));
+  write_pod(buffer, kVersion);
+  util::write_framed_payload(buffer, payload.str());
+  util::atomic_write_file(path, buffer.view());
 }
 
-Pipeline load_pipeline(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("cannot open pipeline bundle: " + path);
-  }
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("not a LHDP pipeline bundle: " + path);
-  }
-  std::uint32_t version = 0;
-  read_pod(in, version, path);
-  if (version != kVersion) {
-    throw std::runtime_error("unsupported pipeline bundle version in " +
+namespace {
+
+Pipeline restore_from_reader(util::PayloadReader& reader,
+                             const std::string& path) {
+  PipelineConfig cfg;
+  cfg.dim = reader.pod<std::uint64_t>();
+  cfg.levels = reader.pod<std::uint64_t>();
+  cfg.seed = reader.pod<std::uint64_t>();
+  const auto strategy = reader.pod<std::uint32_t>();
+  if (strategy > static_cast<std::uint32_t>(Strategy::kLeHdc)) {
+    throw std::runtime_error("unknown strategy id in pipeline bundle: " +
                              path);
   }
+  cfg.strategy = static_cast<Strategy>(strategy);
 
+  hdc::RecordEncoderConfig encoder_cfg;
+  encoder_cfg.dim = reader.pod<std::uint64_t>();
+  encoder_cfg.feature_count = reader.pod<std::uint64_t>();
+  encoder_cfg.levels = reader.pod<std::uint64_t>();
+  encoder_cfg.range_lo = reader.pod<float>();
+  encoder_cfg.range_hi = reader.pod<float>();
+  encoder_cfg.seed = reader.pod<std::uint64_t>();
+
+  const std::string_view blob = reader.rest();
+  std::istringstream classifier_stream{std::string(blob), std::ios::binary};
+  hdc::BinaryClassifier classifier =
+      hdc::read_classifier(classifier_stream, path);
+  return Pipeline::restore(cfg, encoder_cfg, std::move(classifier));
+}
+
+Pipeline load_pipeline_v1(std::istream& in, const std::string& path) {
   PipelineConfig cfg;
   std::uint64_t dim = 0;
   std::uint64_t levels = 0;
@@ -119,6 +139,32 @@ Pipeline load_pipeline(const std::string& path) {
 
   hdc::BinaryClassifier classifier = hdc::read_classifier(in, path);
   return Pipeline::restore(cfg, encoder_cfg, std::move(classifier));
+}
+
+}  // namespace
+
+Pipeline load_pipeline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open pipeline bundle: " + path);
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not a LHDP pipeline bundle: " + path);
+  }
+  std::uint32_t version = 0;
+  read_pod(in, version, path);
+  if (version == 1) {
+    return load_pipeline_v1(in, path);
+  }
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported pipeline bundle version in " +
+                             path);
+  }
+  const std::string payload = util::read_framed_payload(in, kMaxPayload, path);
+  util::PayloadReader reader(payload, path);
+  return restore_from_reader(reader, path);
 }
 
 }  // namespace lehdc::core

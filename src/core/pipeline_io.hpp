@@ -3,12 +3,15 @@
 // configuration (item memories regenerate deterministically from it), and
 // the trained binary class hypervectors.
 //
-// Format (little-endian):
-//   magic "LHDP" | u32 version
-//   | pipeline: u64 dim, u64 levels, u64 seed, u32 strategy
+// Format v2 (little-endian, checksummed — see util/fileio.hpp):
+//   magic "LHDP" | u32 version | u64 payload_size | payload | u32 crc32
+//   payload :=
+//     pipeline: u64 dim, u64 levels, u64 seed, u32 strategy
 //   | encoder:  u64 dim, u64 feature_count, u64 levels, f32 lo, f32 hi,
 //               u64 seed
-//   | embedded LHDC classifier payload (hdc/model_io.hpp)
+//   | embedded LHDC classifier blob (hdc/model_io.hpp, itself checksummed)
+// Legacy v1 bundles (no framing) still load. Saves are atomic
+// (write-to-temp-then-rename) and always emit v2.
 #pragma once
 
 #include <string>

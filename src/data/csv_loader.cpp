@@ -1,9 +1,10 @@
 #include "data/csv_loader.hpp"
 
-#include <charconv>
+#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/check.hpp"
@@ -11,6 +12,12 @@
 namespace lehdc::data {
 
 namespace {
+
+// Labels are indices into a dense class array; a parsed label above this
+// bound is virtually always a corrupt or mis-configured file (e.g. a
+// feature column parsed as the label), and would otherwise make the
+// loader allocate per-class state for millions of phantom classes.
+constexpr int kMaxLabel = 1 << 20;
 
 std::vector<std::string> split_line(const std::string& line, char delimiter) {
   std::vector<std::string> cells;
@@ -22,7 +29,8 @@ std::vector<std::string> split_line(const std::string& line, char delimiter) {
   return cells;
 }
 
-float parse_float(const std::string& cell, std::size_t line_no) {
+float parse_float(const std::string& cell, const std::string& path,
+                  std::size_t line_no, std::size_t column) {
   try {
     std::size_t consumed = 0;
     const float value = std::stof(cell, &consumed);
@@ -34,8 +42,9 @@ float parse_float(const std::string& cell, std::size_t line_no) {
     }
     return value;
   } catch (const std::exception&) {
-    throw std::invalid_argument("non-numeric CSV cell '" + cell +
-                                "' on line " + std::to_string(line_no));
+    throw std::invalid_argument("non-numeric CSV cell '" + cell + "' in " +
+                                path + " at line " + std::to_string(line_no) +
+                                ", column " + std::to_string(column + 1));
   }
 }
 
@@ -67,22 +76,36 @@ Dataset load_csv(const std::string& path, const CsvOptions& options) {
         options.label_column < 0
             ? cells.size() - 1
             : static_cast<std::size_t>(options.label_column);
-    util::expects(label_index < cells.size(),
-                  "label column beyond CSV row width");
+    if (label_index >= cells.size()) {
+      throw std::invalid_argument(
+          "label column " + std::to_string(label_index) +
+          " beyond row width " + std::to_string(cells.size()) + " in " +
+          path + " at line " + std::to_string(line_no));
+    }
 
     if (width == 0) {
       width = cells.size();
     } else if (cells.size() != width) {
-      throw std::invalid_argument("inconsistent CSV row width on line " +
-                                  std::to_string(line_no));
+      throw std::invalid_argument(
+          "inconsistent CSV row width in " + path + " at line " +
+          std::to_string(line_no) + ": expected " + std::to_string(width) +
+          " cells, found " + std::to_string(cells.size()));
     }
 
     const int raw_label = static_cast<int>(
-        parse_float(cells[label_index], line_no));
+        parse_float(cells[label_index], path, line_no, label_index));
     const int label = raw_label - options.label_base;
     if (label < 0) {
-      throw std::invalid_argument("label below label_base on line " +
-                                  std::to_string(line_no));
+      throw std::invalid_argument(
+          "label " + std::to_string(raw_label) + " below label_base " +
+          std::to_string(options.label_base) + " in " + path + " at line " +
+          std::to_string(line_no));
+    }
+    if (label > kMaxLabel) {
+      throw std::invalid_argument(
+          "implausible label " + std::to_string(raw_label) + " in " + path +
+          " at line " + std::to_string(line_no) +
+          " (is the label column configured correctly?)");
     }
     max_label = std::max(max_label, label);
 
@@ -92,7 +115,7 @@ Dataset load_csv(const std::string& path, const CsvOptions& options) {
       if (i == label_index) {
         continue;
       }
-      features.push_back(parse_float(cells[i], line_no));
+      features.push_back(parse_float(cells[i], path, line_no, i));
     }
     rows.push_back(std::move(features));
     labels.push_back(label);

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/check.hpp"
@@ -31,12 +32,51 @@ std::ifstream open_binary(const std::string& path) {
   return in;
 }
 
+/// Total byte size of the stream; leaves the read position untouched.
+std::uint64_t stream_size(std::ifstream& in, const std::string& path) {
+  const auto pos = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(pos);
+  if (end < 0 || !in) {
+    throw std::runtime_error("cannot determine size of IDX file: " + path);
+  }
+  return static_cast<std::uint64_t>(end);
+}
+
+/// Validates that the header-declared payload (count * item_bytes after a
+/// header_bytes-byte header) matches the actual file size exactly — before
+/// any count-sized allocation happens, so a corrupt header can neither
+/// trigger a huge allocation nor a silent short read. The division-based
+/// comparison cannot overflow, unlike count * item_bytes.
+void check_declared_size(std::uint64_t actual, std::uint64_t header_bytes,
+                         std::uint64_t count, std::uint64_t item_bytes,
+                         const std::string& what, const std::string& path) {
+  if (actual < header_bytes) {
+    throw std::runtime_error("truncated IDX header in " + path);
+  }
+  const std::uint64_t payload = actual - header_bytes;
+  const bool consistent =
+      count == 0 ? payload == 0
+                 : payload % count == 0 && payload / count == item_bytes;
+  if (!consistent) {
+    throw std::runtime_error(
+        "IDX header disagrees with file size in " + path + ": declares " +
+        std::to_string(count) + " " + what + " of " +
+        std::to_string(item_bytes) + " bytes after a " +
+        std::to_string(header_bytes) + "-byte header, but " +
+        std::to_string(payload) + " payload bytes are present");
+  }
+}
+
 }  // namespace
 
 Dataset load_idx(const std::string& image_path, const std::string& label_path,
                  std::size_t class_count) {
   constexpr std::uint32_t kImageMagic = 0x00000803;
   constexpr std::uint32_t kLabelMagic = 0x00000801;
+  constexpr std::uint64_t kImageHeaderBytes = 16;
+  constexpr std::uint64_t kLabelHeaderBytes = 8;
 
   std::ifstream images = open_binary(image_path);
   if (read_be32(images, image_path) != kImageMagic) {
@@ -45,21 +85,30 @@ Dataset load_idx(const std::string& image_path, const std::string& label_path,
   const std::uint32_t image_count = read_be32(images, image_path);
   const std::uint32_t rows = read_be32(images, image_path);
   const std::uint32_t cols = read_be32(images, image_path);
-  const std::size_t pixels = static_cast<std::size_t>(rows) * cols;
+  // u32 * u32 cannot overflow a u64.
+  const std::uint64_t pixels = static_cast<std::uint64_t>(rows) * cols;
   if (pixels == 0) {
     throw std::runtime_error("IDX image file has zero-sized images: " +
                              image_path);
   }
+  check_declared_size(stream_size(images, image_path), kImageHeaderBytes,
+                      image_count, pixels, "images", image_path);
 
   std::ifstream labels = open_binary(label_path);
   if (read_be32(labels, label_path) != kLabelMagic) {
     throw std::runtime_error("bad IDX label magic in " + label_path);
   }
   const std::uint32_t label_count = read_be32(labels, label_path);
-  util::expects(label_count == image_count,
-                "IDX image/label sample counts disagree");
+  if (label_count != image_count) {
+    throw std::runtime_error(
+        "IDX image/label sample counts disagree: " + image_path +
+        " declares " + std::to_string(image_count) + ", " + label_path +
+        " declares " + std::to_string(label_count));
+  }
+  check_declared_size(stream_size(labels, label_path), kLabelHeaderBytes,
+                      label_count, 1, "labels", label_path);
 
-  Dataset out(pixels, class_count);
+  Dataset out(static_cast<std::size_t>(pixels), class_count);
   std::vector<unsigned char> pixel_buffer(pixels);
   std::vector<float> row(pixels);
   for (std::uint32_t s = 0; s < image_count; ++s) {
@@ -68,14 +117,23 @@ Dataset load_idx(const std::string& image_path, const std::string& label_path,
     char label_byte = 0;
     labels.read(&label_byte, 1);
     if (!images || !labels) {
-      throw std::runtime_error("truncated IDX payload");
+      throw std::runtime_error(
+          "truncated IDX payload in " + (!images ? image_path : label_path) +
+          " at sample " + std::to_string(s) + " (byte offset " +
+          std::to_string(!images ? kImageHeaderBytes + s * pixels
+                                 : kLabelHeaderBytes + s) +
+          ")");
     }
     for (std::size_t i = 0; i < pixels; ++i) {
       row[i] = static_cast<float>(pixel_buffer[i]) / 255.0f;
     }
     const int label = static_cast<int>(static_cast<unsigned char>(label_byte));
-    util::expects(static_cast<std::size_t>(label) < class_count,
-                  "IDX label exceeds class_count");
+    if (static_cast<std::size_t>(label) >= class_count) {
+      throw std::runtime_error(
+          "IDX label " + std::to_string(label) + " exceeds class_count " +
+          std::to_string(class_count) + " in " + label_path +
+          " at sample " + std::to_string(s));
+    }
     out.add_sample(row, label);
   }
   return out;

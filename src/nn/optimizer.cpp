@@ -1,6 +1,7 @@
 #include "nn/optimizer.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -55,6 +56,18 @@ void AdamOptimizer::step(Matrix& params, const Matrix& grad) {
   });
 }
 
+void AdamOptimizer::restore(Matrix first_moment, Matrix second_moment,
+                            std::size_t steps) {
+  util::expects(first_moment.rows() == m_.rows() &&
+                    first_moment.cols() == m_.cols() &&
+                    second_moment.rows() == v_.rows() &&
+                    second_moment.cols() == v_.cols(),
+                "checkpointed Adam moment shape mismatch");
+  m_ = std::move(first_moment);
+  v_ = std::move(second_moment);
+  steps_ = steps;
+}
+
 SgdOptimizer::SgdOptimizer(std::size_t rows, std::size_t cols,
                            const SgdConfig& config)
     : config_(config), velocity_(rows, cols) {
@@ -88,6 +101,13 @@ void SgdOptimizer::step(Matrix& params, const Matrix& grad) {
       p[i] -= lr * lambda * p[i];
     }
   }
+}
+
+void SgdOptimizer::restore(Matrix velocity) {
+  util::expects(velocity.rows() == velocity_.rows() &&
+                    velocity.cols() == velocity_.cols(),
+                "checkpointed SGD velocity shape mismatch");
+  velocity_ = std::move(velocity);
 }
 
 }  // namespace lehdc::nn

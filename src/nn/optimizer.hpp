@@ -46,6 +46,15 @@ class AdamOptimizer {
 
   [[nodiscard]] std::size_t step_count() const noexcept { return steps_; }
 
+  /// Moment buffers, exposed for checkpointing. first_moment is m,
+  /// second_moment is v (both shaped like the parameter matrix).
+  [[nodiscard]] const Matrix& first_moment() const noexcept { return m_; }
+  [[nodiscard]] const Matrix& second_moment() const noexcept { return v_; }
+
+  /// Restores a checkpointed optimizer state. Preconditions: both moment
+  /// matrices match the shape this optimizer was constructed with.
+  void restore(Matrix first_moment, Matrix second_moment, std::size_t steps);
+
  private:
   AdamConfig config_;
   Matrix m_;
@@ -70,6 +79,12 @@ class SgdOptimizer {
     return config_.learning_rate;
   }
   void set_learning_rate(float lr) noexcept { config_.learning_rate = lr; }
+
+  /// Momentum buffer, exposed for checkpointing.
+  [[nodiscard]] const Matrix& velocity() const noexcept { return velocity_; }
+
+  /// Restores a checkpointed velocity. Precondition: shape matches.
+  void restore(Matrix velocity);
 
  private:
   SgdConfig config_;

@@ -23,6 +23,30 @@ class PlateauDecay {
   [[nodiscard]] float learning_rate() const noexcept { return lr_; }
   [[nodiscard]] std::size_t decay_count() const noexcept { return decays_; }
 
+  /// The mutable observation state (factor/patience/min_lr come from the
+  /// constructor) — persisted by training checkpoints so a resumed run
+  /// decays at exactly the epochs the uninterrupted run would.
+  struct State {
+    float lr = 0.0f;
+    double best_loss = 0.0;
+    std::size_t bad_epochs = 0;
+    std::size_t decays = 0;
+    bool seen_any = false;
+
+    bool operator==(const State&) const noexcept = default;
+  };
+
+  [[nodiscard]] State state() const noexcept {
+    return State{lr_, best_loss_, bad_epochs_, decays_, seen_any_};
+  }
+  void set_state(const State& state) noexcept {
+    lr_ = state.lr;
+    best_loss_ = state.best_loss;
+    bad_epochs_ = state.bad_epochs;
+    decays_ = state.decays;
+    seen_any_ = state.seen_any;
+  }
+
  private:
   float lr_;
   float factor_;

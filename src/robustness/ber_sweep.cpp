@@ -1,0 +1,82 @@
+#include "robustness/ber_sweep.hpp"
+
+#include <sstream>
+
+#include "robustness/fault_injection.hpp"
+#include "util/check.hpp"
+#include "util/fileio.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace lehdc::robustness {
+
+std::vector<BerPoint> ber_sweep(const hdc::BinaryClassifier& classifier,
+                                const hdc::EncodedDataset& test,
+                                const BerSweepConfig& config) {
+  util::expects(classifier.class_count() > 0, "classifier is empty");
+  util::expects(!test.empty(), "test set is empty");
+  util::expects(classifier.dim() == test.dim(),
+                "classifier/test dimension mismatch");
+  util::expects(config.trials >= 1, "need at least one trial");
+  util::expects(!config.bers.empty(), "need at least one BER point");
+  util::expects(config.corrupt_model || config.corrupt_queries,
+                "the fault model must corrupt the model, queries, or both");
+
+  std::vector<BerPoint> points;
+  points.reserve(config.bers.size());
+  for (std::size_t b = 0; b < config.bers.size(); ++b) {
+    const double ber = config.bers[b];
+    std::vector<double> accuracies;
+    accuracies.reserve(config.trials);
+    for (std::size_t t = 0; t < config.trials; ++t) {
+      // One decorrelated stream per (BER, trial) cell, independent of
+      // evaluation order.
+      util::Rng master(config.seed);
+      util::Rng rng(master.derive_seed(b * 8191 + t));
+      const double accuracy = [&] {
+        if (ber == 0.0) {
+          return classifier.accuracy(test);
+        }
+        const hdc::BinaryClassifier faulty =
+            config.corrupt_model ? corrupt_classifier(classifier, ber, rng)
+                                 : classifier;
+        if (config.corrupt_queries) {
+          return faulty.accuracy(corrupt_queries(test, ber, rng));
+        }
+        return faulty.accuracy(test);
+      }();
+      accuracies.push_back(accuracy);
+    }
+    const util::Summary summary = util::summarize(accuracies);
+    points.push_back(BerPoint{ber, summary.mean, summary.stddev, summary.min,
+                              summary.max});
+  }
+  return points;
+}
+
+void write_sweep_csv(const std::string& path,
+                     const std::vector<SweepSeries>& series) {
+  util::expects(!series.empty(), "no sweep series to write");
+  const std::size_t rows = series.front().points.size();
+  for (const auto& s : series) {
+    util::expects(s.points.size() == rows,
+                  "sweep series disagree on BER points");
+  }
+
+  std::ostringstream out;
+  out << "ber";
+  for (const auto& s : series) {
+    out << ',' << s.name << " mean accuracy," << s.name << " std";
+  }
+  out << '\n';
+  for (std::size_t r = 0; r < rows; ++r) {
+    out << series.front().points[r].ber;
+    for (const auto& s : series) {
+      out << ',' << s.points[r].mean_accuracy << ',' << s.points[r].stddev;
+    }
+    out << '\n';
+  }
+  util::atomic_write_file(path, out.view());
+}
+
+}  // namespace lehdc::robustness

@@ -1,0 +1,67 @@
+// Accuracy-vs-BER sweeps: the noise-tolerance envelope of a trained model.
+//
+// For each bit-error rate, the sweep corrupts fresh copies of the model
+// and/or the query set over several independent trials (decorrelated RNG
+// streams derived from one master seed) and summarizes the surviving
+// accuracy. This is the measurement behind bench/fig_ber_robustness:
+// LeHDC's accuracy gain over baseline bundling must survive memory faults
+// for the paper's "zero-overhead deployment" story to hold on real
+// (faulty) associative-memory hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdc/classifier.hpp"
+#include "hdc/encoded_dataset.hpp"
+
+namespace lehdc::robustness {
+
+struct BerSweepConfig {
+  /// Bit-error rates to evaluate (typical memory-fault envelope).
+  std::vector<double> bers = {0.0, 1e-4, 1e-3, 1e-2, 5e-2};
+
+  /// Independent corruption trials per BER point.
+  std::size_t trials = 5;
+
+  /// Inject faults into the stored class hypervectors (memory faults).
+  bool corrupt_model = true;
+
+  /// Inject faults into the encoded queries (transmission/encoder faults).
+  bool corrupt_queries = false;
+
+  /// Master seed; trial t at BER index b draws from a decorrelated child
+  /// stream, so every point is reproducible in isolation.
+  std::uint64_t seed = 1;
+};
+
+/// One row of the sweep: accuracy statistics across trials at a fixed BER.
+struct BerPoint {
+  double ber = 0.0;
+  double mean_accuracy = 0.0;
+  double stddev = 0.0;
+  double min_accuracy = 0.0;
+  double max_accuracy = 0.0;
+};
+
+/// Evaluates `classifier` on `test` under the configured fault model.
+/// Preconditions: classifier and test are non-empty with matching dims;
+/// config.trials >= 1 and config.bers non-empty.
+[[nodiscard]] std::vector<BerPoint> ber_sweep(
+    const hdc::BinaryClassifier& classifier, const hdc::EncodedDataset& test,
+    const BerSweepConfig& config);
+
+/// One named sweep (e.g. per training strategy) for CSV reporting.
+struct SweepSeries {
+  std::string name;
+  std::vector<BerPoint> points;
+};
+
+/// Writes `series` as a CSV: ber, <name> mean, <name> std, ... — one row
+/// per BER (the union across series must agree, which ber_sweep with a
+/// shared config guarantees). Throws std::runtime_error on IO failure.
+void write_sweep_csv(const std::string& path,
+                     const std::vector<SweepSeries>& series);
+
+}  // namespace lehdc::robustness

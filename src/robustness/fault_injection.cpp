@@ -1,0 +1,50 @@
+#include "robustness/fault_injection.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace lehdc::robustness {
+
+std::size_t inject_bit_errors(hv::BitVector& hv, double ber,
+                              util::Rng& rng) {
+  util::expects(ber >= 0.0 && ber == ber, "bit-error rate must be >= 0");
+  const double p = std::min(ber, 1.0);
+  if (p == 0.0 || hv.dim() == 0) {
+    return 0;
+  }
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < hv.dim(); ++i) {
+    if (rng.next_double() < p) {
+      hv.flip(i);
+      ++flipped;
+    }
+  }
+  return flipped;
+}
+
+hdc::BinaryClassifier corrupt_classifier(
+    const hdc::BinaryClassifier& classifier, double ber, util::Rng& rng) {
+  std::vector<hv::BitVector> classes;
+  classes.reserve(classifier.class_count());
+  for (std::size_t k = 0; k < classifier.class_count(); ++k) {
+    hv::BitVector hv = classifier.class_hypervector(k);
+    inject_bit_errors(hv, ber, rng);
+    classes.push_back(std::move(hv));
+  }
+  return hdc::BinaryClassifier(std::move(classes));
+}
+
+hdc::EncodedDataset corrupt_queries(const hdc::EncodedDataset& dataset,
+                                    double ber, util::Rng& rng) {
+  hdc::EncodedDataset corrupted(dataset.dim(), dataset.class_count());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    hv::BitVector hv = dataset.hypervector(i);
+    inject_bit_errors(hv, ber, rng);
+    corrupted.add(std::move(hv), dataset.label(i));
+  }
+  return corrupted;
+}
+
+}  // namespace lehdc::robustness

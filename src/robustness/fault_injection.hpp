@@ -1,0 +1,41 @@
+// Bit-error fault injection for HDC models and queries.
+//
+// LeHDC's central deployment claim is that its trained model is *just* a
+// binary HDC classifier, so it inherits HDC's tolerance to memory bit
+// errors (the associative-memory hardware setting of Karunaratne et al.,
+// "In-memory hyperdimensional computing", and Schmuck et al.'s dense
+// binary HDC hardware work). This module quantifies that claim: it flips
+// stored class-hypervector bits and/or encoded-query bits at a
+// configurable bit-error rate (BER) and measures the surviving accuracy.
+//
+// All injection is deterministic given a util::Rng, so sweeps are exactly
+// reproducible (and a regression in the noise envelope is a test failure,
+// not a flake).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hdc/classifier.hpp"
+#include "hdc/encoded_dataset.hpp"
+#include "hv/bitvector.hpp"
+#include "util/rng.hpp"
+
+namespace lehdc::robustness {
+
+/// Flips each of the D components of `hv` independently with probability
+/// `ber` (clamped to [0, 1]). Returns the number of flipped bits.
+/// Precondition: ber is finite and >= 0.
+std::size_t inject_bit_errors(hv::BitVector& hv, double ber, util::Rng& rng);
+
+/// A copy of `classifier` whose stored class hypervectors went through a
+/// memory with the given bit-error rate.
+[[nodiscard]] hdc::BinaryClassifier corrupt_classifier(
+    const hdc::BinaryClassifier& classifier, double ber, util::Rng& rng);
+
+/// A copy of `dataset` whose encoded query hypervectors went through a
+/// noisy channel with the given bit-error rate (labels are untouched).
+[[nodiscard]] hdc::EncodedDataset corrupt_queries(
+    const hdc::EncodedDataset& dataset, double ber, util::Rng& rng);
+
+}  // namespace lehdc::robustness

@@ -58,6 +58,19 @@ struct TrainOptions {
   /// Record per-epoch train/test accuracy (costs one extra inference pass
   /// over each set per epoch).
   bool record_trajectory = false;
+
+  // --- Fault tolerance (honored by epoch-based trainers, i.e. LeHDC;
+  // single-pass strategies ignore these). ---
+
+  /// Write a crash-safe checkpoint to `checkpoint_path` every
+  /// `checkpoint_every` epochs (0 disables checkpointing).
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path;
+
+  /// Resume a previous run from this checkpoint file. The resumed run
+  /// executes the remaining epochs and yields a final model bit-identical
+  /// to the uninterrupted run. Empty disables.
+  std::string resume_path;
 };
 
 struct TrainResult {

@@ -1,0 +1,140 @@
+#include "util/fileio.hpp"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace lehdc::util {
+
+namespace {
+
+/// CRC-32 lookup table for the reflected polynomial 0xEDB88320, built once.
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  return table;
+}
+
+/// Temp-file sibling of `path`. Deterministic per-path (a crashed writer's
+/// stale temp is simply overwritten by the next save attempt).
+std::string temp_sibling(const std::string& path) {
+  return path + ".tmp.lehdc";
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed) noexcept {
+  const auto& table = crc_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(std::string_view bytes, std::uint32_t seed) noexcept {
+  return crc32(bytes.data(), bytes.size(), seed);
+}
+
+void atomic_write_file(const std::string& path, std::string_view payload) {
+  atomic_write_file(path, [&](std::ostream& out) {
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  });
+}
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  const std::string temp = temp_sibling(path);
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("cannot open temporary file for writing: " +
+                               temp);
+    }
+    try {
+      writer(out);
+    } catch (...) {
+      out.close();
+      std::remove(temp.c_str());
+      throw;
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(temp.c_str());
+      throw std::runtime_error("failed writing temporary file: " + temp);
+    }
+  }
+  // Publish: POSIX rename atomically replaces `path`, so a reader (or a
+  // crash) sees either the complete old file or the complete new one.
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    throw std::runtime_error("cannot rename " + temp + " over " + path);
+  }
+}
+
+void write_framed_payload(std::ostream& out, std::string_view payload) {
+  const auto size = static_cast<std::uint64_t>(payload.size());
+  out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  const std::uint32_t checksum = crc32(payload);
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+}
+
+std::string read_framed_payload(std::istream& in, std::size_t max_size,
+                                const std::string& context) {
+  std::uint64_t size = 0;
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  if (!in) {
+    throw std::runtime_error("truncated payload header in " + context);
+  }
+  if (size > max_size) {
+    throw std::runtime_error("implausible payload size (" +
+                             std::to_string(size) + " bytes) in " + context);
+  }
+  std::string payload(size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(size));
+  if (!in) {
+    throw std::runtime_error("truncated payload in " + context);
+  }
+  std::uint32_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!in) {
+    throw std::runtime_error("missing checksum in " + context);
+  }
+  if (crc32(payload) != stored) {
+    throw std::runtime_error("checksum mismatch in " + context +
+                             " — the payload is corrupt");
+  }
+  return payload;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open file: " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw std::runtime_error("failed reading file: " + path);
+  }
+  return bytes;
+}
+
+}  // namespace lehdc::util

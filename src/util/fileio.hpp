@@ -1,0 +1,65 @@
+// Durable file IO primitives for model artifacts and checkpoints.
+//
+// Two building blocks every persisted format in this library relies on:
+//
+//  * crc32 — the CRC-32/ISO-HDLC checksum (the zlib polynomial), used to
+//    detect bit rot and partial writes in LHDC/LHDE/LHDP payloads and in
+//    training checkpoints.
+//  * atomic_write_file — write-to-temp-then-rename. A crash (or an
+//    exception) at any point before the final rename leaves the target
+//    path untouched: either the old file survives intact or no file
+//    exists; a torn half-written artifact is never observable at `path`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace lehdc::util {
+
+/// CRC-32 (reflected, polynomial 0xEDB88320) of `size` bytes at `data`.
+/// Pass the previous return value as `seed` to checksum incrementally.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0) noexcept;
+
+/// Convenience overload over a byte string.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes,
+                                  std::uint32_t seed = 0) noexcept;
+
+/// Writes `payload` to `path` atomically: the bytes go to a sibling
+/// temporary file (`path` + ".tmp.<suffix>"), are flushed, and the temp
+/// file is renamed over `path` only after every byte landed. Throws
+/// std::runtime_error on any failure, in which case the temporary file is
+/// removed and the previous content of `path` (if any) is left untouched.
+void atomic_write_file(const std::string& path, std::string_view payload);
+
+/// Callback form: `writer` streams the payload into the temporary file.
+/// If `writer` throws or leaves the stream in a failed state, the temp
+/// file is removed, `path` is untouched, and the error propagates
+/// (std::runtime_error for stream failures). Used by formats too large to
+/// buffer and by tests simulating a crash mid-save.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+/// Reads the whole file into a byte string; throws std::runtime_error if
+/// the file cannot be opened or read.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+/// Writes the checksum framing shared by all version >= 2 artifact
+/// formats: `u64 payload_size | payload | u32 crc32(payload)`. The caller
+/// writes magic and version first.
+void write_framed_payload(std::ostream& out, std::string_view payload);
+
+/// Reads back the framing of write_framed_payload and verifies the CRC.
+/// Throws std::runtime_error (naming `context`) on truncation, on a
+/// declared size above `max_size` (guards corrupt headers from triggering
+/// absurd allocations), or on a checksum mismatch — i.e. any bit error in
+/// the payload is detected here.
+[[nodiscard]] std::string read_framed_payload(std::istream& in,
+                                              std::size_t max_size,
+                                              const std::string& context);
+
+}  // namespace lehdc::util

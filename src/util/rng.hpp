@@ -80,6 +80,29 @@ class Rng {
   /// Derives a decorrelated child seed; stream_id distinguishes children.
   std::uint64_t derive_seed(std::uint64_t stream_id) noexcept;
 
+  /// The full generator state — everything needed to resume the stream
+  /// bit-identically (training checkpoints persist this).
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    double cached_gaussian = 0.0;
+    bool has_cached_gaussian = false;
+
+    bool operator==(const State&) const noexcept = default;
+  };
+
+  [[nodiscard]] State state() const noexcept {
+    return State{state_, cached_gaussian_, has_cached_gaussian_};
+  }
+
+  /// Restores a previously captured state; the next draws continue the
+  /// captured stream exactly. Precondition: state.words is not all-zero
+  /// (never produced by state()).
+  void set_state(const State& state) noexcept {
+    state_ = state.words;
+    cached_gaussian_ = state.cached_gaussian;
+    has_cached_gaussian_ = state.has_cached_gaussian;
+  }
+
   /// Fisher–Yates shuffle of a random-access range.
   template <typename RandomIt>
   void shuffle(RandomIt first, RandomIt last) noexcept {

@@ -1,0 +1,257 @@
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/lehdc_trainer.hpp"
+#include "hdc/classifier.hpp"
+#include "train/trainer.hpp"
+#include "train_test_util.hpp"
+
+namespace lehdc::core {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+LeHdcConfig small_config(std::size_t epochs, bool use_adam = true) {
+  LeHdcConfig config;
+  config.epochs = epochs;
+  config.batch_size = 16;
+  config.use_adam = use_adam;
+  return config;
+}
+
+const hdc::BinaryClassifier& binary_of(const train::TrainResult& result) {
+  const auto* binary = result.model->as_binary();
+  EXPECT_NE(binary, nullptr);
+  return *binary;
+}
+
+void expect_same_matrix(const nn::Matrix& a, const nn::Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  const auto lhs = a.data();
+  const auto rhs = b.data();
+  EXPECT_TRUE(std::equal(lhs.begin(), lhs.end(), rhs.begin(), rhs.end()));
+}
+
+void expect_same_model(const hdc::BinaryClassifier& a,
+                       const hdc::BinaryClassifier& b) {
+  ASSERT_EQ(a.class_count(), b.class_count());
+  ASSERT_EQ(a.dim(), b.dim());
+  for (std::size_t k = 0; k < a.class_count(); ++k) {
+    EXPECT_EQ(a.class_hypervector(k), b.class_hypervector(k))
+        << "class " << k << " diverged";
+  }
+}
+
+TEST(Checkpoint, RoundTripPreservesEveryField) {
+  const auto path = temp_path("roundtrip.lhck");
+  LeHdcCheckpoint original;
+  original.dim = 320;
+  original.class_count = 4;
+  original.sample_count = 100;
+  original.batch = 16;
+  original.seed = 42;
+  original.use_adam = true;
+  original.next_epoch = 7;
+  original.learning_rate = 0.005f;
+  original.schedule.lr = 0.005f;
+  original.schedule.best_loss = 0.123;
+  original.schedule.bad_epochs = 2;
+  original.schedule.decays = 1;
+  original.schedule.seen_any = true;
+  util::Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    (void)rng.next_gaussian();
+  }
+  original.rng = rng.state();
+  original.latent = nn::Matrix(4, 320);
+  original.latent.fill_gaussian(rng, 0.3f);
+  original.adam_m = nn::Matrix(4, 320);
+  original.adam_m.fill_gaussian(rng, 0.1f);
+  original.adam_v = nn::Matrix(4, 320);
+  original.adam_v.fill_gaussian(rng, 0.01f);
+  original.adam_steps = 63;
+  original.order = {4, 2, 0, 1, 3};
+
+  save_checkpoint(original, path);
+  const LeHdcCheckpoint loaded = load_checkpoint(path);
+
+  EXPECT_EQ(loaded.dim, original.dim);
+  EXPECT_EQ(loaded.class_count, original.class_count);
+  EXPECT_EQ(loaded.sample_count, original.sample_count);
+  EXPECT_EQ(loaded.batch, original.batch);
+  EXPECT_EQ(loaded.seed, original.seed);
+  EXPECT_EQ(loaded.use_adam, original.use_adam);
+  EXPECT_EQ(loaded.next_epoch, original.next_epoch);
+  EXPECT_EQ(loaded.learning_rate, original.learning_rate);
+  EXPECT_EQ(loaded.schedule, original.schedule);
+  EXPECT_EQ(loaded.rng, original.rng);
+  expect_same_matrix(loaded.latent, original.latent);
+  expect_same_matrix(loaded.adam_m, original.adam_m);
+  expect_same_matrix(loaded.adam_v, original.adam_v);
+  EXPECT_EQ(loaded.adam_steps, original.adam_steps);
+  expect_same_matrix(loaded.sgd_velocity, original.sgd_velocity);
+  EXPECT_EQ(loaded.order, original.order);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, KillAndResumeIsBitIdentical) {
+  // The tentpole guarantee: a run killed after epoch 4 and resumed from
+  // its checkpoint must export the same model, bit for bit, as a run that
+  // was never interrupted.
+  const auto ckpt = temp_path("kill_resume.lhck");
+  const auto fixture = test::make_encoded_fixture(4, 320, 24, 8, 40, 21);
+
+  train::TrainOptions plain;
+  plain.seed = 5;
+  const auto uninterrupted =
+      LeHdcTrainer(small_config(10)).train(fixture.train, plain);
+
+  // "Killed" run: only reaches epoch 4, checkpointing every 2 epochs.
+  train::TrainOptions first_leg;
+  first_leg.seed = 5;
+  first_leg.checkpoint_every = 2;
+  first_leg.checkpoint_path = ckpt;
+  (void)LeHdcTrainer(small_config(4)).train(fixture.train, first_leg);
+
+  train::TrainOptions resumed;
+  resumed.seed = 5;
+  resumed.resume_path = ckpt;
+  const auto second_leg =
+      LeHdcTrainer(small_config(10)).train(fixture.train, resumed);
+
+  EXPECT_EQ(second_leg.epochs_run, 10u);
+  expect_same_model(binary_of(uninterrupted), binary_of(second_leg));
+  std::remove(ckpt.c_str());
+}
+
+TEST(Checkpoint, KillAndResumeIsBitIdenticalWithSgd) {
+  const auto ckpt = temp_path("kill_resume_sgd.lhck");
+  const auto fixture = test::make_encoded_fixture(3, 256, 20, 5, 30, 22);
+
+  train::TrainOptions plain;
+  plain.seed = 6;
+  const auto uninterrupted =
+      LeHdcTrainer(small_config(8, /*use_adam=*/false))
+          .train(fixture.train, plain);
+
+  train::TrainOptions first_leg;
+  first_leg.seed = 6;
+  first_leg.checkpoint_every = 3;
+  first_leg.checkpoint_path = ckpt;
+  (void)LeHdcTrainer(small_config(3, /*use_adam=*/false))
+      .train(fixture.train, first_leg);
+
+  train::TrainOptions resumed;
+  resumed.seed = 6;
+  resumed.resume_path = ckpt;
+  const auto second_leg = LeHdcTrainer(small_config(8, /*use_adam=*/false))
+                              .train(fixture.train, resumed);
+
+  expect_same_model(binary_of(uninterrupted), binary_of(second_leg));
+  std::remove(ckpt.c_str());
+}
+
+TEST(Checkpoint, ResumeFromFinalCheckpointRunsZeroEpochs) {
+  const auto ckpt = temp_path("final.lhck");
+  const auto fixture = test::make_encoded_fixture(3, 256, 16, 4, 30, 23);
+
+  train::TrainOptions options;
+  options.seed = 3;
+  options.checkpoint_every = 2;
+  options.checkpoint_path = ckpt;
+  const auto full = LeHdcTrainer(small_config(6)).train(fixture.train,
+                                                        options);
+
+  train::TrainOptions resumed;
+  resumed.seed = 3;
+  resumed.resume_path = ckpt;
+  const auto noop = LeHdcTrainer(small_config(6)).train(fixture.train,
+                                                        resumed);
+  EXPECT_EQ(noop.epochs_run, 6u);
+  expect_same_model(binary_of(full), binary_of(noop));
+  std::remove(ckpt.c_str());
+}
+
+TEST(Checkpoint, FingerprintMismatchThrows) {
+  const auto ckpt = temp_path("fingerprint.lhck");
+  const auto fixture = test::make_encoded_fixture(3, 256, 16, 4, 30, 24);
+
+  train::TrainOptions options;
+  options.seed = 3;
+  options.checkpoint_every = 2;
+  options.checkpoint_path = ckpt;
+  (void)LeHdcTrainer(small_config(2)).train(fixture.train, options);
+
+  // Different seed: the replayed stream would diverge silently, so resume
+  // must refuse.
+  train::TrainOptions wrong_seed;
+  wrong_seed.seed = 4;
+  wrong_seed.resume_path = ckpt;
+  EXPECT_THROW(
+      (void)LeHdcTrainer(small_config(4)).train(fixture.train, wrong_seed),
+      std::runtime_error);
+
+  // Different optimizer family.
+  train::TrainOptions wrong_optimizer;
+  wrong_optimizer.seed = 3;
+  wrong_optimizer.resume_path = ckpt;
+  EXPECT_THROW((void)LeHdcTrainer(small_config(4, /*use_adam=*/false))
+                   .train(fixture.train, wrong_optimizer),
+               std::runtime_error);
+  std::remove(ckpt.c_str());
+}
+
+TEST(Checkpoint, CorruptedCheckpointThrows) {
+  const auto path = temp_path("corrupt.lhck");
+  LeHdcCheckpoint checkpoint;
+  checkpoint.dim = 64;
+  checkpoint.class_count = 2;
+  checkpoint.sample_count = 10;
+  checkpoint.batch = 5;
+  checkpoint.latent = nn::Matrix(2, 64);
+  checkpoint.order = {0, 1};
+  save_checkpoint(checkpoint, path);
+
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  contents[contents.size() / 2] =
+      static_cast<char>(contents[contents.size() / 2] ^ 0x20);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+  }
+  EXPECT_THROW((void)load_checkpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  EXPECT_THROW((void)load_checkpoint(temp_path("missing.lhck")),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, CheckpointEveryWithoutPathIsRejected) {
+  const auto fixture = test::make_encoded_fixture(2, 128, 8, 2, 20, 25);
+  train::TrainOptions options;
+  options.seed = 1;
+  options.checkpoint_every = 1;
+  EXPECT_THROW(
+      (void)LeHdcTrainer(small_config(1)).train(fixture.train, options),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lehdc::core

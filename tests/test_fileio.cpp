@@ -1,0 +1,217 @@
+#include "util/fileio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/serial.hpp"
+
+namespace lehdc::util {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+bool file_exists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good();
+}
+
+// ---------------------------------------------------------------- crc32
+
+TEST(Crc32, MatchesKnownVectors) {
+  // Reference values of CRC-32/ISO-HDLC (the zlib polynomial).
+  EXPECT_EQ(crc32("", 0), 0u);
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string text = "incremental checksum across chunks";
+  const std::uint32_t whole = crc32(text);
+  std::uint32_t running = 0;
+  for (std::size_t i = 0; i < text.size(); i += 7) {
+    const std::size_t n = std::min<std::size_t>(7, text.size() - i);
+    running = crc32(text.data() + i, n, running);
+  }
+  EXPECT_EQ(running, whole);
+}
+
+TEST(Crc32, DetectsEverySingleBitFlip) {
+  const std::string original = "payload under test";
+  const std::uint32_t reference = crc32(original);
+  for (std::size_t byte = 0; byte < original.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = original;
+      corrupted[byte] = static_cast<char>(corrupted[byte] ^ (1 << bit));
+      EXPECT_NE(crc32(corrupted), reference)
+          << "flip at byte " << byte << " bit " << bit << " undetected";
+    }
+  }
+}
+
+// ------------------------------------------------------ atomic_write_file
+
+TEST(AtomicWrite, WritesAndReadsBack) {
+  const auto path = temp_path("atomic_basic.bin");
+  const std::string payload("binary\0payload", 14);
+  atomic_write_file(path, payload);
+  EXPECT_EQ(read_file(path), payload);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, ReplacesExistingFile) {
+  const auto path = temp_path("atomic_replace.bin");
+  atomic_write_file(path, "old content");
+  atomic_write_file(path, "new");
+  EXPECT_EQ(read_file(path), "new");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, LeavesNoTemporaryBehind) {
+  const auto path = temp_path("atomic_clean.bin");
+  atomic_write_file(path, "content");
+  EXPECT_FALSE(file_exists(path + ".tmp.lehdc"));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, UnwritableDirectoryThrowsAndTargetAbsent) {
+  const std::string path = "/nonexistent-dir/file.bin";
+  EXPECT_THROW(atomic_write_file(path, "x"), std::runtime_error);
+  EXPECT_FALSE(file_exists(path));
+}
+
+TEST(AtomicWrite, CrashMidSaveLeavesOldFileIntact) {
+  // Simulate a crash during serialization: the writer callback throws
+  // after emitting half the payload. The previously published file must
+  // survive byte-for-byte and no temp file may linger.
+  const auto path = temp_path("atomic_crash.bin");
+  atomic_write_file(path, "the last good model");
+  EXPECT_THROW(atomic_write_file(path,
+                                 [](std::ostream& out) {
+                                   out << "half-writ";
+                                   throw std::runtime_error("killed");
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(read_file(path), "the last good model");
+  EXPECT_FALSE(file_exists(path + ".tmp.lehdc"));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, WriterStreamFailureThrows) {
+  const auto path = temp_path("atomic_badstream.bin");
+  EXPECT_THROW(atomic_write_file(
+                   path, [](std::ostream& out) { out.setstate(
+                                                     std::ios::failbit); }),
+               std::runtime_error);
+  EXPECT_FALSE(file_exists(path));
+}
+
+// -------------------------------------------------------- framed payload
+
+std::string frame(std::string_view payload) {
+  std::ostringstream out;
+  write_framed_payload(out, payload);
+  return out.str();
+}
+
+TEST(FramedPayload, RoundTrips) {
+  const std::string payload = "framed bytes \x01\x02\x03";
+  std::istringstream in(frame(payload));
+  EXPECT_EQ(read_framed_payload(in, 1 << 20, "test"), payload);
+}
+
+TEST(FramedPayload, EmptyPayloadRoundTrips) {
+  std::istringstream in(frame(""));
+  EXPECT_EQ(read_framed_payload(in, 1 << 20, "test"), "");
+}
+
+TEST(FramedPayload, SingleFlippedBitDetected) {
+  const std::string framed = frame("all twenty-six letters of data");
+  // Flip one bit inside the payload region (after the u64 size field).
+  for (std::size_t byte : {sizeof(std::uint64_t), framed.size() - 5}) {
+    std::string corrupted = framed;
+    corrupted[byte] = static_cast<char>(corrupted[byte] ^ 0x10);
+    std::istringstream in(corrupted);
+    try {
+      (void)read_framed_payload(in, 1 << 20, "unit-test artifact");
+      FAIL() << "bit flip at byte " << byte << " went undetected";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("unit-test artifact"),
+                std::string::npos)
+          << "error should name the context: " << e.what();
+    }
+  }
+}
+
+TEST(FramedPayload, TruncationDetected) {
+  const std::string framed = frame("some payload that will be cut short");
+  for (std::size_t keep : {std::size_t{0}, std::size_t{4}, std::size_t{12},
+                           framed.size() - 1}) {
+    std::istringstream in(framed.substr(0, keep));
+    EXPECT_THROW((void)read_framed_payload(in, 1 << 20, "test"),
+                 std::runtime_error)
+        << "truncation to " << keep << " bytes went undetected";
+  }
+}
+
+TEST(FramedPayload, ImplausibleSizeRejectedWithoutAllocation) {
+  // A corrupt size field claiming an exabyte payload must be rejected by
+  // the max_size guard, not by attempting the allocation.
+  std::string framed = frame("tiny");
+  const std::uint64_t absurd = 1ULL << 60;
+  std::memcpy(framed.data(), &absurd, sizeof(absurd));
+  std::istringstream in(framed);
+  EXPECT_THROW((void)read_framed_payload(in, 1 << 20, "test"),
+               std::runtime_error);
+}
+
+// ------------------------------------------------ PayloadWriter / Reader
+
+TEST(PayloadSerial, PodRoundTrip) {
+  PayloadWriter writer;
+  writer.pod<std::uint64_t>(0x1122334455667788ULL);
+  writer.pod<float>(2.5F);
+  writer.pod<std::uint8_t>(7);
+  PayloadReader reader(writer.str(), "buffer");
+  EXPECT_EQ(reader.pod<std::uint64_t>(), 0x1122334455667788ULL);
+  EXPECT_EQ(reader.pod<float>(), 2.5F);
+  EXPECT_EQ(reader.pod<std::uint8_t>(), 7);
+  reader.expect_done();
+}
+
+TEST(PayloadSerial, ShortReadThrowsWithOffset) {
+  PayloadWriter writer;
+  writer.pod<std::uint32_t>(1);
+  PayloadReader reader(writer.str(), "short.bin");
+  (void)reader.pod<std::uint32_t>();
+  try {
+    (void)reader.pod<std::uint64_t>();
+    FAIL() << "read past end did not throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("short.bin"), std::string::npos) << what;
+    EXPECT_NE(what.find("offset 4"), std::string::npos) << what;
+  }
+}
+
+TEST(PayloadSerial, TrailingBytesRejected) {
+  PayloadWriter writer;
+  writer.pod<std::uint32_t>(1);
+  writer.pod<std::uint32_t>(2);
+  PayloadReader reader(writer.str(), "buffer");
+  (void)reader.pod<std::uint32_t>();
+  EXPECT_THROW(reader.expect_done(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lehdc::util

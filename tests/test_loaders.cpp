@@ -18,7 +18,7 @@ std::string temp_path(const char* name) {
   return ::testing::TempDir() + "/" + name;
 }
 
-void write_be32(std::ofstream& out, std::uint32_t value) {
+void write_be32(std::ostream& out, std::uint32_t value) {
   const unsigned char bytes[4] = {
       static_cast<unsigned char>(value >> 24),
       static_cast<unsigned char>(value >> 16),
@@ -103,10 +103,85 @@ TEST(IdxLoader, CountMismatchThrows) {
       out.write(&z, 1);
     }
   }
-  EXPECT_THROW((void)load_idx(images, other_labels), std::invalid_argument);
+  EXPECT_THROW((void)load_idx(images, other_labels), std::runtime_error);
   std::remove(images.c_str());
   std::remove(labels.c_str());
   std::remove(other_labels.c_str());
+}
+
+TEST(IdxLoader, HeaderFileSizeMismatchIsReportedWithPath) {
+  // Image header claims more samples than the payload holds — must be
+  // rejected up front (declared vs actual size), naming the file.
+  const auto images = temp_path("oversold.idx3");
+  const auto labels = temp_path("oversold.idx1");
+  write_idx_pair(images, labels, 4, 3, 3);
+  {
+    std::fstream patch(images,
+                       std::ios::binary | std::ios::in | std::ios::out);
+    patch.seekp(4);
+    write_be32(patch, 10);
+  }
+  try {
+    (void)load_idx(images, labels);
+    FAIL() << "oversold header accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(images), std::string::npos)
+        << e.what();
+  }
+  std::remove(images.c_str());
+  std::remove(labels.c_str());
+}
+
+TEST(IdxLoader, AbsurdDimensionsRejectedBeforeAllocation) {
+  // A crafted header declaring ~2^63 pixels per image must fail the size
+  // cross-check instead of attempting the allocation.
+  const auto images = temp_path("absurd.idx3");
+  const auto labels = temp_path("absurd.idx1");
+  write_idx_pair(images, labels, 2, 2, 2);
+  {
+    std::ofstream out(images, std::ios::binary | std::ios::trunc);
+    write_be32(out, 0x00000803);
+    write_be32(out, 2);
+    write_be32(out, 0xFFFFFFFF);  // rows
+    write_be32(out, 0xFFFFFFFF);  // cols
+    const char byte = 0;
+    out.write(&byte, 1);
+  }
+  EXPECT_THROW((void)load_idx(images, labels), std::runtime_error);
+  std::remove(images.c_str());
+  std::remove(labels.c_str());
+}
+
+TEST(IdxLoader, LabelPayloadSizeMismatchThrows) {
+  const auto images = temp_path("labelshort.idx3");
+  const auto labels = temp_path("labelshort.idx1");
+  write_idx_pair(images, labels, 4, 2, 2);
+  {
+    // Label file declares 4 labels but carries only 2 payload bytes.
+    std::ofstream out(labels, std::ios::binary | std::ios::trunc);
+    write_be32(out, 0x00000801);
+    write_be32(out, 4);
+    const char bytes[2] = {0, 1};
+    out.write(bytes, 2);
+  }
+  EXPECT_THROW((void)load_idx(images, labels), std::runtime_error);
+  std::remove(images.c_str());
+  std::remove(labels.c_str());
+}
+
+TEST(IdxLoader, LabelAboveClassCountIsReportedWithSample) {
+  const auto images = temp_path("bigclass.idx3");
+  const auto labels = temp_path("bigclass.idx1");
+  write_idx_pair(images, labels, 6, 2, 2);  // labels are i % 3
+  try {
+    (void)load_idx(images, labels, /*class_count=*/2);
+    FAIL() << "out-of-range label accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("sample 2"), std::string::npos)
+        << e.what();
+  }
+  std::remove(images.c_str());
+  std::remove(labels.c_str());
 }
 
 TEST(IdxLoader, TruncatedPayloadThrows) {
@@ -231,6 +306,32 @@ TEST(CsvLoader, RejectsLabelBelowBase) {
 TEST(CsvLoader, MissingFileThrows) {
   EXPECT_THROW((void)load_csv(temp_path("missing.csv")),
                std::runtime_error);
+}
+
+TEST(CsvLoader, ErrorsNamePathLineAndColumn) {
+  const auto path = temp_path("located.csv");
+  write_text(path,
+             "1.0,2.0,0\n"
+             "3.0,oops,1\n");
+  try {
+    (void)load_csv(path);
+    FAIL() << "non-numeric cell accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("column 2"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoader, RejectsImplausiblyLargeLabel) {
+  // A mis-configured label column reading a feature value as the label
+  // must not make the loader build millions of phantom classes.
+  const auto path = temp_path("hugelabel.csv");
+  write_text(path, "1.0,2000000000\n");
+  EXPECT_THROW((void)load_csv(path), std::invalid_argument);
+  std::remove(path.c_str());
 }
 
 TEST(CsvLoader, EmptyFileThrows) {

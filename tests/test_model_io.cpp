@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
+#include "util/fileio.hpp"
 #include "util/rng.hpp"
+#include "util/serial.hpp"
 
 namespace lehdc::hdc {
 namespace {
@@ -95,6 +98,177 @@ TEST(ModelIo, UnwritableDirectoryThrows) {
   EXPECT_THROW(
       save_classifier(make_classifier(1, 64, 6), "/nonexistent/m.lhdc"),
       std::runtime_error);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+}
+
+TEST(ModelIo, UnsupportedVersionThrows) {
+  const auto path = temp_path("future_version.lhdc");
+  save_classifier(make_classifier(2, 128, 7), path);
+  std::string contents = slurp(path);
+  const std::uint32_t future = 99;
+  std::memcpy(contents.data() + 4, &future, sizeof(future));
+  spit(path, contents);
+  try {
+    (void)load_classifier(path);
+    FAIL() << "version 99 file loaded";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, SingleFlippedPayloadBitThrowsChecksumError) {
+  const auto path = temp_path("bitflip.lhdc");
+  const BinaryClassifier original = make_classifier(3, 500, 8);
+  save_classifier(original, path);
+  const std::string pristine = slurp(path);
+  // Flip one bit at several positions inside the framed payload (past
+  // magic + version + size field) and in the trailing CRC itself.
+  const std::size_t payload_start = 4 + 4 + 8;
+  for (const std::size_t byte :
+       {payload_start, payload_start + 17, pristine.size() / 2,
+        pristine.size() - 1}) {
+    std::string corrupted = pristine;
+    corrupted[byte] = static_cast<char>(corrupted[byte] ^ 0x04);
+    spit(path, corrupted);
+    EXPECT_THROW((void)load_classifier(path), std::runtime_error)
+        << "bit flip at byte " << byte << " went undetected";
+  }
+  // The pristine bytes still load, so the corruption (not the harness)
+  // caused the failures above.
+  spit(path, pristine);
+  const BinaryClassifier loaded = load_classifier(path);
+  EXPECT_EQ(loaded.class_hypervector(0), original.class_hypervector(0));
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, CrcValidButInconsistentHeaderThrows) {
+  // A v2 file whose checksum is valid but whose header declares an absurd
+  // dimension must be rejected before any allocation is attempted.
+  const auto path = temp_path("absurd_dim.lhdc");
+  util::PayloadWriter payload;
+  payload.pod<std::uint64_t>(std::uint64_t{1} << 62);  // dim
+  payload.pod<std::uint64_t>(3);                       // class_count
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "LHDC";
+    const std::uint32_t version = 2;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    util::write_framed_payload(out, payload.str());
+  }
+  EXPECT_THROW((void)load_classifier(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, LegacyV1FileStillLoads) {
+  // Hand-write the pre-checksum v1 layout: magic | u32 1 | u64 dim |
+  // u64 classes | packed words. Old artifacts must keep loading.
+  const auto path = temp_path("legacy.lhdc");
+  const BinaryClassifier original = make_classifier(3, 200, 9);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "LHDC";
+    const std::uint32_t version = 1;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    const std::uint64_t dim = original.dim();
+    const std::uint64_t classes = original.class_count();
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    out.write(reinterpret_cast<const char*>(&classes), sizeof(classes));
+    for (std::size_t k = 0; k < original.class_count(); ++k) {
+      const auto words = original.class_hypervector(k).words();
+      out.write(reinterpret_cast<const char*>(words.data()),
+                static_cast<std::streamsize>(words.size() *
+                                             sizeof(words[0])));
+    }
+  }
+  const BinaryClassifier loaded = load_classifier(path);
+  ASSERT_EQ(loaded.class_count(), original.class_count());
+  ASSERT_EQ(loaded.dim(), original.dim());
+  for (std::size_t k = 0; k < original.class_count(); ++k) {
+    EXPECT_EQ(loaded.class_hypervector(k), original.class_hypervector(k));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, SaveLeavesNoTemporaryFile) {
+  const auto path = temp_path("no_temp.lhdc");
+  save_classifier(make_classifier(2, 256, 10), path);
+  std::ifstream temp(path + ".tmp.lehdc", std::ios::binary);
+  EXPECT_FALSE(temp.good());
+  std::remove(path.c_str());
+}
+
+EnsembleClassifier make_ensemble(std::size_t classes, std::size_t per_class,
+                                 std::size_t dim, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<hv::BitVector>> models(classes);
+  for (auto& class_models : models) {
+    for (std::size_t m = 0; m < per_class; ++m) {
+      class_models.push_back(hv::BitVector::random(dim, rng));
+    }
+  }
+  return EnsembleClassifier(std::move(models));
+}
+
+TEST(EnsembleIo, RoundTripPreservesModels) {
+  const auto path = temp_path("roundtrip.lhde");
+  const EnsembleClassifier original = make_ensemble(3, 4, 300, 11);
+  save_ensemble(original, path);
+  const EnsembleClassifier loaded = load_ensemble(path);
+  ASSERT_EQ(loaded.class_count(), 3u);
+  ASSERT_EQ(loaded.models_per_class(), 4u);
+  EXPECT_EQ(loaded.models(), original.models());
+  std::remove(path.c_str());
+}
+
+TEST(EnsembleIo, SingleFlippedPayloadBitThrows) {
+  const auto path = temp_path("bitflip.lhde");
+  save_ensemble(make_ensemble(2, 2, 256, 12), path);
+  std::string contents = slurp(path);
+  contents[contents.size() / 2] =
+      static_cast<char>(contents[contents.size() / 2] ^ 0x01);
+  spit(path, contents);
+  EXPECT_THROW((void)load_ensemble(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(EnsembleIo, LegacyV1FileStillLoads) {
+  const auto path = temp_path("legacy.lhde");
+  const EnsembleClassifier original = make_ensemble(2, 3, 128, 13);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "LHDE";
+    const std::uint32_t version = 1;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    const std::uint64_t dim = 128;
+    const std::uint64_t classes = 2;
+    const std::uint64_t per_class = 3;
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    out.write(reinterpret_cast<const char*>(&classes), sizeof(classes));
+    out.write(reinterpret_cast<const char*>(&per_class), sizeof(per_class));
+    for (const auto& class_models : original.models()) {
+      for (const auto& model : class_models) {
+        const auto words = model.words();
+        out.write(reinterpret_cast<const char*>(words.data()),
+                  static_cast<std::streamsize>(words.size() *
+                                               sizeof(words[0])));
+      }
+    }
+  }
+  const EnsembleClassifier loaded = load_ensemble(path);
+  EXPECT_EQ(loaded.models(), original.models());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,228 @@
+#include "robustness/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "robustness/ber_sweep.hpp"
+#include "train/baseline.hpp"
+#include "train_test_util.hpp"
+
+namespace lehdc::robustness {
+namespace {
+
+// ---------------------------------------------------- inject_bit_errors
+
+TEST(FaultInjection, ZeroBerFlipsNothing) {
+  util::Rng rng(1);
+  hv::BitVector hv = hv::BitVector::random(1000, rng);
+  const hv::BitVector before = hv;
+  EXPECT_EQ(inject_bit_errors(hv, 0.0, rng), 0u);
+  EXPECT_EQ(hv, before);
+}
+
+TEST(FaultInjection, BerOneFlipsEveryBit) {
+  util::Rng rng(2);
+  hv::BitVector hv = hv::BitVector::random(300, rng);
+  const hv::BitVector before = hv;
+  EXPECT_EQ(inject_bit_errors(hv, 1.0, rng), 300u);
+  for (std::size_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(hv.get(i), -before.get(i));
+  }
+}
+
+TEST(FaultInjection, BerAboveOneIsClamped) {
+  util::Rng rng(3);
+  hv::BitVector hv = hv::BitVector::random(64, rng);
+  EXPECT_EQ(inject_bit_errors(hv, 7.5, rng), 64u);
+}
+
+TEST(FaultInjection, FlipCountTracksBer) {
+  // With D=20000 and BER=0.1 the expected flip count is 2000 with stddev
+  // ~42; a ±5 sigma band keeps this deterministic-in-practice.
+  util::Rng rng(4);
+  hv::BitVector hv(20000);
+  const std::size_t flips = inject_bit_errors(hv, 0.1, rng);
+  EXPECT_GT(flips, 1780u);
+  EXPECT_LT(flips, 2220u);
+}
+
+TEST(FaultInjection, DeterministicGivenRngState) {
+  util::Rng seed_rng(5);
+  const hv::BitVector original = hv::BitVector::random(2048, seed_rng);
+  hv::BitVector a = original;
+  hv::BitVector b = original;
+  util::Rng rng_a(99);
+  util::Rng rng_b(99);
+  inject_bit_errors(a, 0.01, rng_a);
+  inject_bit_errors(b, 0.01, rng_b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultInjection, NegativeBerRejected) {
+  util::Rng rng(6);
+  hv::BitVector hv(64);
+  EXPECT_THROW((void)inject_bit_errors(hv, -0.1, rng),
+               std::invalid_argument);
+}
+
+// ------------------------------------------- corrupt_classifier/queries
+
+hdc::BinaryClassifier make_classifier(std::size_t classes, std::size_t dim,
+                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<hv::BitVector> hvs;
+  for (std::size_t k = 0; k < classes; ++k) {
+    hvs.push_back(hv::BitVector::random(dim, rng));
+  }
+  return hdc::BinaryClassifier(std::move(hvs));
+}
+
+TEST(FaultInjection, CorruptClassifierLeavesOriginalUntouched) {
+  const hdc::BinaryClassifier original = make_classifier(4, 512, 7);
+  const hdc::BinaryClassifier reference = make_classifier(4, 512, 7);
+  util::Rng rng(8);
+  const hdc::BinaryClassifier faulty = corrupt_classifier(original, 0.05,
+                                                          rng);
+  ASSERT_EQ(faulty.class_count(), original.class_count());
+  ASSERT_EQ(faulty.dim(), original.dim());
+  bool any_changed = false;
+  for (std::size_t k = 0; k < original.class_count(); ++k) {
+    EXPECT_EQ(original.class_hypervector(k),
+              reference.class_hypervector(k));
+    any_changed |=
+        !(faulty.class_hypervector(k) == original.class_hypervector(k));
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST(FaultInjection, CorruptQueriesPreservesLabelsAndShape) {
+  const auto fixture = test::make_encoded_fixture(3, 256, 4, 6, 20, 9);
+  util::Rng rng(10);
+  const hdc::EncodedDataset noisy = corrupt_queries(fixture.test, 0.02,
+                                                    rng);
+  ASSERT_EQ(noisy.size(), fixture.test.size());
+  ASSERT_EQ(noisy.dim(), fixture.test.dim());
+  ASSERT_EQ(noisy.class_count(), fixture.test.class_count());
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    EXPECT_EQ(noisy.label(i), fixture.test.label(i));
+  }
+}
+
+// -------------------------------------------------------------- ber_sweep
+
+struct SweepFixture {
+  hdc::BinaryClassifier classifier;
+  hdc::EncodedDataset test;
+};
+
+SweepFixture make_sweep_fixture() {
+  // Cleanly separable data (40 of 1024 bits of noise): the baseline model
+  // starts near 100% accuracy, leaving the full degradation range visible.
+  const auto fixture = test::make_encoded_fixture(4, 1024, 20, 15, 40, 11);
+  train::TrainOptions options;
+  options.seed = 12;
+  const auto result =
+      train::BaselineTrainer().train(fixture.train, options);
+  return SweepFixture{*result.model->as_binary(), fixture.test};
+}
+
+TEST(BerSweep, DegradesGracefullyAcrossTheEnvelope) {
+  const SweepFixture fixture = make_sweep_fixture();
+  BerSweepConfig config;  // default envelope {0, 1e-4, 1e-3, 1e-2, 5e-2}
+  config.trials = 4;
+  config.seed = 2;
+  const std::vector<BerPoint> points =
+      ber_sweep(fixture.classifier, fixture.test, config);
+  ASSERT_EQ(points.size(), 5u);
+
+  const double clean = points.front().mean_accuracy;
+  EXPECT_EQ(clean, fixture.classifier.accuracy(fixture.test));
+  EXPECT_GT(clean, 0.9);
+  for (const BerPoint& point : points) {
+    // Graceful: no point collapses below chance and none beats clean by
+    // more than trial noise (monotone-ish degradation).
+    EXPECT_GT(point.mean_accuracy, 1.0 / 4.0 - 0.1)
+        << "collapse at BER " << point.ber;
+    EXPECT_LT(point.mean_accuracy, clean + 0.05)
+        << "implausible gain at BER " << point.ber;
+    EXPECT_LE(point.min_accuracy, point.mean_accuracy);
+    EXPECT_LE(point.mean_accuracy, point.max_accuracy);
+  }
+  // The envelope's extremes must order correctly: heavy corruption cannot
+  // beat the clean model.
+  EXPECT_LE(points.back().mean_accuracy, clean + 1e-9);
+}
+
+TEST(BerSweep, TotalCorruptionFallsToChance) {
+  const SweepFixture fixture = make_sweep_fixture();
+  BerSweepConfig config;
+  config.bers = {0.0, 0.5};
+  config.trials = 6;
+  config.seed = 3;
+  const auto points = ber_sweep(fixture.classifier, fixture.test, config);
+  // BER 0.5 randomizes every stored bit: accuracy must sit near 1/classes.
+  EXPECT_LT(points.back().mean_accuracy, 0.55);
+  EXPECT_LT(points.back().mean_accuracy,
+            points.front().mean_accuracy - 0.2);
+}
+
+TEST(BerSweep, ReproducibleForSameSeed) {
+  const SweepFixture fixture = make_sweep_fixture();
+  BerSweepConfig config;
+  config.bers = {1e-2};
+  config.trials = 3;
+  config.seed = 17;
+  const auto a = ber_sweep(fixture.classifier, fixture.test, config);
+  const auto b = ber_sweep(fixture.classifier, fixture.test, config);
+  EXPECT_EQ(a.front().mean_accuracy, b.front().mean_accuracy);
+  EXPECT_EQ(a.front().stddev, b.front().stddev);
+}
+
+TEST(BerSweep, QueryCorruptionModeRuns) {
+  const SweepFixture fixture = make_sweep_fixture();
+  BerSweepConfig config;
+  config.bers = {1e-3};
+  config.trials = 2;
+  config.corrupt_model = false;
+  config.corrupt_queries = true;
+  const auto points = ber_sweep(fixture.classifier, fixture.test, config);
+  EXPECT_GT(points.front().mean_accuracy, 0.5);
+}
+
+TEST(BerSweep, RejectsEmptyFaultModel) {
+  const SweepFixture fixture = make_sweep_fixture();
+  BerSweepConfig config;
+  config.corrupt_model = false;
+  config.corrupt_queries = false;
+  EXPECT_THROW(
+      (void)ber_sweep(fixture.classifier, fixture.test, config),
+      std::invalid_argument);
+}
+
+TEST(BerSweep, CsvHasHeaderAndOneRowPerBer) {
+  const SweepFixture fixture = make_sweep_fixture();
+  BerSweepConfig config;
+  config.bers = {0.0, 1e-2};
+  config.trials = 2;
+  const auto points = ber_sweep(fixture.classifier, fixture.test, config);
+  const std::string path = ::testing::TempDir() + "/sweep.csv";
+  write_sweep_csv(path, {SweepSeries{"Baseline", points}});
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "ber,Baseline mean accuracy,Baseline std");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lehdc::robustness

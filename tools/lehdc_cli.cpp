@@ -100,6 +100,16 @@ int cmd_train(util::FlagParser& flags) {
   config.levels = static_cast<std::size_t>(flags.get_int("levels"));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.strategy = core::strategy_from_name(flags.get_string("strategy"));
+  config.checkpoint_every =
+      static_cast<std::size_t>(flags.get_int("checkpoint-every"));
+  config.checkpoint_path = flags.get_string("checkpoint");
+  config.resume_path = flags.get_string("resume");
+  if (config.checkpoint_every > 0 && config.checkpoint_path.empty()) {
+    // `--checkpoint-every N` without an explicit path checkpoints next to
+    // the model output (or to a default name for model-less runs).
+    const auto& model = flags.get_string("model");
+    config.checkpoint_path = model.empty() ? "train.lhck" : model + ".lhck";
+  }
   config.lehdc.epochs = static_cast<std::size_t>(flags.get_int("epochs"));
   config.retrain.iterations =
       static_cast<std::size_t>(flags.get_int("epochs"));
@@ -174,6 +184,7 @@ void print_usage() {
       "usage: lehdc_cli <train|evaluate|predict|info> [flags]\n"
       "  train    --data <spec> [--strategy lehdc] [--dim 10000]\n"
       "           [--epochs 100] [--model out.lhdp] [--holdout 0.2]\n"
+      "           [--checkpoint-every N] [--resume ckpt.lhck]\n"
       "  evaluate --model out.lhdp --data <spec>\n"
       "  predict  --model out.lhdp --features \"0.1,0.9,...\"\n"
       "  info     --model out.lhdp\n"
@@ -199,6 +210,13 @@ int main(int argc, char** argv) {
                    "baseline|retraining|enhanced|adapthd|multimodel|"
                    "nonbinary|lehdc");
   flags.add_string("features", "", "comma-separated feature vector");
+  flags.add_int("checkpoint-every", 0,
+                "write a crash-safe training checkpoint every N epochs "
+                "(0 disables; LeHDC only)");
+  flags.add_string("checkpoint", "",
+                   "checkpoint path (default: <model>.lhck)");
+  flags.add_string("resume", "",
+                   "resume a killed LeHDC run from this checkpoint");
   flags.add_int("dim", 10000, "hypervector dimension D");
   flags.add_int("levels", 32, "value quantization levels");
   flags.add_int("epochs", 100, "training epochs / iterations");
