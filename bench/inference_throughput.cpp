@@ -1,0 +1,182 @@
+// Batched-inference throughput baseline (PR 2).
+//
+// Measures queries/sec for the associative-memory lookup at batch sizes
+// 1 / 64 / 1024 (D = 10,000, K = 10 by default) in three modes:
+//   per_sample        — the seed path: per-query argmin over scalar
+//                       BitVector::hamming (classifier.predict now routes
+//                       through the batched kernels, so the seed loop is
+//                       reconstructed explicitly to keep the baseline honest)
+//   batch_1_thread    — BatchScorer on a single-thread pool (kernel win)
+//   batch_all_threads — BatchScorer on the global pool (kernel + threads)
+// and writes the machine-readable trajectory point BENCH_inference.json so
+// future PRs can track serving throughput against this baseline.
+#include <cstdio>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hdc/batch_scorer.hpp"
+#include "hdc/classifier.hpp"
+#include "hv/batch_score.hpp"
+#include "hv/bitvector.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace lehdc;
+
+struct Measurement {
+  std::string mode;
+  std::size_t batch = 0;
+  double queries_per_second = 0.0;
+};
+
+/// Runs fn (which scores `batch` queries) until min_seconds of wall time
+/// accumulate and returns the aggregate queries/sec.
+template <typename Fn>
+double measure_qps(std::size_t batch, double min_seconds, Fn&& fn) {
+  // Warm-up pass so lazily created pools/scratch don't bill the first run.
+  fn();
+  const util::Stopwatch timer;
+  std::size_t runs = 0;
+  do {
+    fn();
+    ++runs;
+  } while (timer.elapsed_seconds() < min_seconds);
+  return static_cast<double>(runs * batch) / timer.elapsed_seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagParser flags("inference_throughput",
+                         "Batched vs per-sample inference throughput; emits "
+                         "BENCH_inference.json.");
+  flags.add_int("dim", 10000, "hypervector dimension D");
+  flags.add_int("classes", 10, "number of classes K");
+  flags.add_int("threads", 0,
+                "global pool workers (0 = LEHDC_THREADS, then hardware)");
+  flags.add_int("seed", 1, "rng seed");
+  flags.add_double("min-seconds", 0.3, "minimum wall time per measurement");
+  flags.add_string("out", "BENCH_inference.json", "JSON output path");
+  flags.parse(argc, argv);
+
+  if (const auto threads = flags.get_int("threads"); threads > 0) {
+    util::ThreadPool::configure_global(static_cast<std::size_t>(threads));
+  }
+  const auto dim = static_cast<std::size_t>(flags.get_int("dim"));
+  const auto classes = static_cast<std::size_t>(flags.get_int("classes"));
+  const double min_seconds = flags.get_double("min-seconds");
+
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  std::vector<hv::BitVector> class_hvs;
+  for (std::size_t k = 0; k < classes; ++k) {
+    class_hvs.push_back(hv::BitVector::random(dim, rng));
+  }
+  const hdc::BinaryClassifier classifier(std::move(class_hvs));
+
+  // The seed per-sample predict: scan classes with the scalar word-wise
+  // popcount distance, keep the argmin (ties to the lowest class id).
+  const auto seed_predict = [&](const hv::BitVector& query) {
+    int best = 0;
+    std::size_t best_distance =
+        hv::BitVector::hamming(query, classifier.class_hypervector(0));
+    for (std::size_t k = 1; k < classifier.class_count(); ++k) {
+      const std::size_t distance =
+          hv::BitVector::hamming(query, classifier.class_hypervector(k));
+      if (distance < best_distance) {
+        best_distance = distance;
+        best = static_cast<int>(k);
+      }
+    }
+    return best;
+  };
+
+  const std::vector<std::size_t> batches = {1, 64, 1024};
+  std::vector<hv::BitVector> queries;
+  for (std::size_t q = 0; q < batches.back(); ++q) {
+    queries.push_back(hv::BitVector::random(dim, rng));
+  }
+
+  util::ThreadPool single(1);
+  const hdc::BatchScorer scorer_1t(classifier, &single);
+  const hdc::BatchScorer scorer_nt(classifier);
+  std::vector<int> out(batches.back());
+
+  std::vector<Measurement> results;
+  for (const std::size_t batch : batches) {
+    const auto query_span =
+        std::span<const hv::BitVector>(queries).first(batch);
+    const auto out_span = std::span<int>(out).first(batch);
+    results.push_back(
+        {"per_sample", batch, measure_qps(batch, min_seconds, [&] {
+           for (std::size_t q = 0; q < batch; ++q) {
+             out[q] = seed_predict(queries[q]);
+           }
+         })});
+    results.push_back(
+        {"batch_1_thread", batch, measure_qps(batch, min_seconds, [&] {
+           scorer_1t.predict_batch(query_span, out_span);
+         })});
+    results.push_back(
+        {"batch_all_threads", batch, measure_qps(batch, min_seconds, [&] {
+           scorer_nt.predict_batch(query_span, out_span);
+         })});
+  }
+
+  double per_sample_1024 = 0.0;
+  double batch_1t_1024 = 0.0;
+  util::TextTable table({"Mode", "Batch", "Queries/sec"});
+  for (const auto& m : results) {
+    char qps[32];
+    std::snprintf(qps, sizeof qps, "%.0f", m.queries_per_second);
+    table.add_row({m.mode, std::to_string(m.batch), qps});
+    if (m.batch == 1024 && m.mode == "per_sample") {
+      per_sample_1024 = m.queries_per_second;
+    }
+    if (m.batch == 1024 && m.mode == "batch_1_thread") {
+      batch_1t_1024 = m.queries_per_second;
+    }
+  }
+  table.print(std::cout);
+  const double speedup =
+      per_sample_1024 > 0.0 ? batch_1t_1024 / per_sample_1024 : 0.0;
+  std::printf("\nkernel: %s\n", hv::score_kernel_name());
+  std::printf("single-thread batch-1024 speedup vs per-sample: %.2fx\n",
+              speedup);
+
+  const std::string& out_path = flags.get_string("out");
+  std::FILE* file = std::fopen(out_path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(file,
+               "{\n"
+               "  \"bench\": \"inference_throughput\",\n"
+               "  \"dim\": %zu,\n"
+               "  \"classes\": %zu,\n"
+               "  \"kernel\": \"%s\",\n"
+               "  \"pool_workers\": %zu,\n"
+               "  \"speedup_batch1024_single_thread\": %.3f,\n"
+               "  \"results\": [\n",
+               dim, classes, hv::score_kernel_name(),
+               util::ThreadPool::global().worker_count(), speedup);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::fprintf(file,
+                 "    {\"mode\": \"%s\", \"batch\": %zu, "
+                 "\"queries_per_second\": %.1f}%s\n",
+                 results[i].mode.c_str(), results[i].batch,
+                 results[i].queries_per_second,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/lehdc_trainer.hpp"
+#include "hdc/batch_scorer.hpp"
 #include "hdc/classifier.hpp"
 #include "hdc/encoded_dataset.hpp"
 #include "hdc/encoder.hpp"
@@ -105,6 +106,73 @@ void BM_RecordEncode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RecordEncode)->Arg(2000)->Arg(10000);
+
+void BM_InferencePerSampleLoop(benchmark::State& state) {
+  // The seed inference path: per-query argmin over scalar hamming
+  // (classifier.predict now routes through the batched kernels, so the old
+  // loop is spelled out). The batch-1024 contrast with BM_InferenceBatch
+  // below is the PR 2 speedup.
+  const std::size_t dim = 10000;
+  const std::size_t classes = 10;
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<hv::BitVector> class_hvs;
+  for (std::size_t k = 0; k < classes; ++k) {
+    class_hvs.push_back(hv::BitVector::random(dim, rng));
+  }
+  const hdc::BinaryClassifier classifier(std::move(class_hvs));
+  std::vector<hv::BitVector> queries;
+  for (std::size_t q = 0; q < batch; ++q) {
+    queries.push_back(hv::BitVector::random(dim, rng));
+  }
+  std::vector<int> out(batch);
+  for (auto _ : state) {
+    for (std::size_t q = 0; q < batch; ++q) {
+      int best = 0;
+      std::size_t best_distance =
+          hv::BitVector::hamming(queries[q], classifier.class_hypervector(0));
+      for (std::size_t k = 1; k < classes; ++k) {
+        const std::size_t distance = hv::BitVector::hamming(
+            queries[q], classifier.class_hypervector(k));
+        if (distance < best_distance) {
+          best_distance = distance;
+          best = static_cast<int>(k);
+        }
+      }
+      out[q] = best;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(batch));
+}
+BENCHMARK(BM_InferencePerSampleLoop)->Arg(1)->Arg(64)->Arg(1024);
+
+void BM_InferenceBatch(benchmark::State& state) {
+  // Batched scoring through BatchScorer on a single-thread pool: the
+  // speedup over BM_InferencePerSampleLoop is pure kernel + scratch reuse.
+  const std::size_t dim = 10000;
+  const std::size_t classes = 10;
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<hv::BitVector> class_hvs;
+  for (std::size_t k = 0; k < classes; ++k) {
+    class_hvs.push_back(hv::BitVector::random(dim, rng));
+  }
+  const hdc::BinaryClassifier classifier(std::move(class_hvs));
+  std::vector<hv::BitVector> queries;
+  for (std::size_t q = 0; q < batch; ++q) {
+    queries.push_back(hv::BitVector::random(dim, rng));
+  }
+  util::ThreadPool single(1);
+  const hdc::BatchScorer scorer(classifier, &single);
+  std::vector<int> out(batch);
+  for (auto _ : state) {
+    scorer.predict_batch(queries, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(batch));
+}
+BENCHMARK(BM_InferenceBatch)->Arg(1)->Arg(64)->Arg(1024);
 
 void BM_InferenceQuery(benchmark::State& state) {
   const auto dim = static_cast<std::size_t>(state.range(0));

@@ -4,6 +4,7 @@
 //
 //   $ ./examples/quickstart [--dim 2000] [--train 2000] [--epochs 20]
 #include <cstdio>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "data/synthetic.hpp"
@@ -65,6 +66,19 @@ int main(int argc, char** argv) {
   const int predicted = lehdc.predict(split.test.sample(0));
   std::printf("\nsample 0: predicted class %d, true class %d\n", predicted,
               split.test.label(0));
+
+  // 6. Or classify the whole dataset in one batched call — encoding and
+  //    scoring run fused across the thread pool, bit-identical to the
+  //    per-sample loop above.
+  const std::vector<int> labels = lehdc.predict_batch(split.test);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    agree += labels[i] == split.test.label(i) ? 1 : 0;
+  }
+  std::printf("batched pass over %zu test samples: %.2f%% correct\n",
+              labels.size(),
+              100.0 * static_cast<double>(agree) /
+                  static_cast<double>(labels.size()));
 
   std::printf("accuracy improvement: %+.2f points\n",
               (le_report.test_accuracy - base_report.test_accuracy) * 100.0);

@@ -1,8 +1,10 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
 #include <cctype>
 
 #include "hdc/encoded_dataset.hpp"
+#include "util/thread_pool.hpp"
 #include "train/baseline.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
@@ -153,10 +155,57 @@ int Pipeline::predict(std::span<const float> features) const {
   return model_->predict(encoder_->encode(features));
 }
 
+std::vector<int> Pipeline::predict_batch(
+    const data::Dataset& dataset) const {
+  util::expects(fitted(), "predict_batch before fit");
+  util::expects(dataset.feature_count() == encoder_->feature_count(),
+                "dataset/encoder feature count mismatch");
+  std::vector<int> out(dataset.size());
+  if (dataset.empty()) {
+    return out;
+  }
+  // Fused encode+predict: each worker encodes one block of samples into a
+  // local buffer and scores it immediately through the model's batch path
+  // (whose own parallel_for runs inline inside a pool worker), so at most
+  // one block of hypervectors exists per worker at any time.
+  constexpr std::size_t kBlock = 64;
+  const std::size_t blocks = (dataset.size() + kBlock - 1) / kBlock;
+  util::parallel_for(0, blocks, [&](std::size_t lo, std::size_t hi) {
+    std::vector<hv::BitVector> encoded;
+    encoded.reserve(kBlock);
+    for (std::size_t b = lo; b < hi; ++b) {
+      const std::size_t begin = b * kBlock;
+      const std::size_t end = std::min(dataset.size(), begin + kBlock);
+      encoded.clear();
+      for (std::size_t i = begin; i < end; ++i) {
+        encoded.push_back(encoder_->encode(dataset.sample(i)));
+      }
+      model_->predict_batch(
+          encoded, std::span<int>(out).subspan(begin, end - begin));
+    }
+  });
+  return out;
+}
+
+void Pipeline::predict_batch(std::span<const hv::BitVector> queries,
+                             std::span<int> out) const {
+  util::expects(fitted(), "predict_batch before fit");
+  model_->predict_batch(queries, out);
+}
+
 double Pipeline::evaluate(const data::Dataset& dataset) const {
   util::expects(fitted(), "evaluate before fit");
-  const hdc::EncodedDataset encoded = hdc::encode_dataset(*encoder_, dataset);
-  return model_->accuracy(encoded);
+  if (dataset.empty()) {
+    return 0.0;
+  }
+  const std::vector<int> predicted = predict_batch(dataset);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == dataset.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
 }
 
 const train::Model& Pipeline::model() const {

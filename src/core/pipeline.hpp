@@ -98,7 +98,20 @@ class Pipeline {
   /// Predicts the class of one raw feature vector. Precondition: fitted.
   [[nodiscard]] int predict(std::span<const float> features) const;
 
-  /// Accuracy over a raw dataset (encodes on the fly).
+  /// Classifies a whole raw dataset in one batched pass. Encoding and
+  /// scoring are fused per block of samples across the thread pool, so the
+  /// encoded hypervectors never materialize beyond one block per worker.
+  /// Results are bit-identical to per-sample predict. Precondition: fitted;
+  /// the dataset must match the encoder's feature count.
+  [[nodiscard]] std::vector<int> predict_batch(
+      const data::Dataset& dataset) const;
+
+  /// Classifies a batch of already-encoded hypervectors through the model's
+  /// batch path. Precondition: fitted; out.size() == queries.size().
+  void predict_batch(std::span<const hv::BitVector> queries,
+                     std::span<int> out) const;
+
+  /// Accuracy over a raw dataset (fused batched encode+predict).
   [[nodiscard]] double evaluate(const data::Dataset& dataset) const;
 
   [[nodiscard]] bool fitted() const noexcept { return model_ != nullptr; }

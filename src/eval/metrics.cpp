@@ -81,8 +81,12 @@ double ConfusionMatrix::macro_recall() const {
 ConfusionMatrix evaluate_confusion(const train::Model& model,
                                    const hdc::EncodedDataset& dataset) {
   ConfusionMatrix matrix(dataset.class_count());
+  // One batched pass over the dataset; the cells are filled serially in
+  // sample order, so the matrix is identical for every worker count.
+  std::vector<int> predicted(dataset.size());
+  model.predict_batch(dataset.hypervectors(), predicted);
   for (std::size_t i = 0; i < dataset.size(); ++i) {
-    matrix.add(dataset.label(i), model.predict(dataset.hypervector(i)));
+    matrix.add(dataset.label(i), predicted[i]);
   }
   return matrix;
 }

@@ -1,35 +1,10 @@
 #include "hdc/classifier.hpp"
 
-#include <atomic>
-
+#include "hdc/batch_scorer.hpp"
+#include "hv/batch_score.hpp"
 #include "util/check.hpp"
-#include "util/thread_pool.hpp"
 
 namespace lehdc::hdc {
-
-namespace {
-
-template <typename PredictFn>
-double accuracy_over(const EncodedDataset& dataset, PredictFn&& predict) {
-  if (dataset.empty()) {
-    return 0.0;
-  }
-  std::atomic<std::size_t> correct{0};
-  util::parallel_for(0, dataset.size(), [&](std::size_t begin,
-                                            std::size_t end) {
-    std::size_t local = 0;
-    for (std::size_t i = begin; i < end; ++i) {
-      if (predict(dataset.hypervector(i)) == dataset.label(i)) {
-        ++local;
-      }
-    }
-    correct.fetch_add(local, std::memory_order_relaxed);
-  });
-  return static_cast<double>(correct.load()) /
-         static_cast<double>(dataset.size());
-}
-
-}  // namespace
 
 BinaryClassifier::BinaryClassifier(
     std::vector<hv::BitVector> class_hypervectors)
@@ -50,29 +25,25 @@ const hv::BitVector& BinaryClassifier::class_hypervector(
 std::vector<std::int64_t> BinaryClassifier::scores(
     const hv::BitVector& query) const {
   std::vector<std::int64_t> out(classes_.size());
-  for (std::size_t k = 0; k < classes_.size(); ++k) {
-    out[k] = hv::BitVector::dot(query, classes_[k]);
+  if (classes_.empty()) {
+    return out;
   }
+  std::vector<const std::uint64_t*> rows;
+  rows.reserve(classes_.size());
+  for (const auto& c : classes_) {
+    rows.push_back(c.words().data());
+  }
+  hv::dot_rows(query.words().data(), rows, classes_.front().dim(), out);
   return out;
 }
 
 int BinaryClassifier::predict(const hv::BitVector& query) const {
   util::expects(!classes_.empty(), "predict on an empty classifier");
-  int best = 0;
-  std::int64_t best_score = hv::BitVector::dot(query, classes_[0]);
-  for (std::size_t k = 1; k < classes_.size(); ++k) {
-    const std::int64_t score = hv::BitVector::dot(query, classes_[k]);
-    if (score > best_score) {
-      best_score = score;
-      best = static_cast<int>(k);
-    }
-  }
-  return best;
+  return hv::argmax_dot(query, classes_);
 }
 
 double BinaryClassifier::accuracy(const EncodedDataset& dataset) const {
-  return accuracy_over(dataset,
-                       [this](const hv::BitVector& q) { return predict(q); });
+  return BatchScorer(*this).accuracy(dataset);
 }
 
 EnsembleClassifier::EnsembleClassifier(
@@ -113,8 +84,7 @@ int EnsembleClassifier::predict(const hv::BitVector& query,
 }
 
 double EnsembleClassifier::accuracy(const EncodedDataset& dataset) const {
-  return accuracy_over(dataset,
-                       [this](const hv::BitVector& q) { return predict(q); });
+  return BatchScorer(*this).accuracy(dataset);
 }
 
 std::size_t EnsembleClassifier::storage_bits() const noexcept {
@@ -153,8 +123,7 @@ int NonBinaryClassifier::predict(const hv::BitVector& query) const {
 }
 
 double NonBinaryClassifier::accuracy(const EncodedDataset& dataset) const {
-  return accuracy_over(dataset,
-                       [this](const hv::BitVector& q) { return predict(q); });
+  return BatchScorer(*this).accuracy(dataset);
 }
 
 }  // namespace lehdc::hdc

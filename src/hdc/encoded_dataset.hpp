@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -31,6 +32,9 @@ class EncodedDataset {
   void add(hv::BitVector hv, int label);
 
   [[nodiscard]] const hv::BitVector& hypervector(std::size_t i) const;
+  [[nodiscard]] std::span<const hv::BitVector> hypervectors() const noexcept {
+    return hypervectors_;
+  }
   [[nodiscard]] int label(std::size_t i) const;
   [[nodiscard]] std::span<const int> labels() const noexcept {
     return labels_;

@@ -10,23 +10,54 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "hdc/batch_scorer.hpp"
 #include "hdc/classifier.hpp"
 #include "hdc/encoded_dataset.hpp"
 
 namespace lehdc::train {
 
 /// A trained model: the minimal inference surface shared by single-vector,
-/// ensemble and non-binary classifiers.
+/// ensemble and non-binary classifiers. The batch entry points are the
+/// primary inference path; predict(query) is batch-of-1.
 class Model {
  public:
   virtual ~Model() = default;
 
   [[nodiscard]] virtual int predict(const hv::BitVector& query) const = 0;
+
+  /// Classifies a whole batch; out must match queries in size. Results are
+  /// bit-identical to calling predict per query. The default loops; the
+  /// classifier-backed models override it with the thread-pooled
+  /// hdc::BatchScorer path.
+  virtual void predict_batch(std::span<const hv::BitVector> queries,
+                             std::span<int> out) const {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      out[i] = predict(queries[i]);
+    }
+  }
+
+  /// Fraction of correctly classified samples in [0, 1]; 0 on empty input.
+  /// Built on predict_batch, so worker count never changes the result.
   [[nodiscard]] virtual double accuracy(
-      const hdc::EncodedDataset& dataset) const = 0;
+      const hdc::EncodedDataset& dataset) const {
+    if (dataset.empty()) {
+      return 0.0;
+    }
+    std::vector<int> predicted(dataset.size());
+    predict_batch(dataset.hypervectors(), predicted);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+      if (predicted[i] == dataset.label(i)) {
+        ++correct;
+      }
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(dataset.size());
+  }
 
   /// Model storage in bits (Sec. 5.1 resource comparison).
   [[nodiscard]] virtual std::size_t storage_bits() const noexcept = 0;
@@ -102,6 +133,10 @@ class BinaryModel final : public Model {
   [[nodiscard]] int predict(const hv::BitVector& query) const override {
     return classifier_.predict(query);
   }
+  void predict_batch(std::span<const hv::BitVector> queries,
+                     std::span<int> out) const override {
+    hdc::BatchScorer(classifier_).predict_batch(queries, out);
+  }
   [[nodiscard]] double accuracy(
       const hdc::EncodedDataset& dataset) const override {
     return classifier_.accuracy(dataset);
@@ -127,6 +162,10 @@ class EnsembleModel final : public Model {
   [[nodiscard]] int predict(const hv::BitVector& query) const override {
     return classifier_.predict(query);
   }
+  void predict_batch(std::span<const hv::BitVector> queries,
+                     std::span<int> out) const override {
+    hdc::BatchScorer(classifier_).predict_batch(queries, out);
+  }
   [[nodiscard]] double accuracy(
       const hdc::EncodedDataset& dataset) const override {
     return classifier_.accuracy(dataset);
@@ -147,6 +186,10 @@ class NonBinaryModel final : public Model {
 
   [[nodiscard]] int predict(const hv::BitVector& query) const override {
     return classifier_.predict(query);
+  }
+  void predict_batch(std::span<const hv::BitVector> queries,
+                     std::span<int> out) const override {
+    hdc::BatchScorer(classifier_).predict_batch(queries, out);
   }
   [[nodiscard]] double accuracy(
       const hdc::EncodedDataset& dataset) const override {

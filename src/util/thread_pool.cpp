@@ -1,11 +1,26 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 
 #include "util/check.hpp"
 
 namespace lehdc::util {
+
+namespace {
+
+// The pool whose worker_loop is running on this thread, if any. Used to
+// detect nested parallel_for calls: a worker that blocks waiting for chunks
+// it enqueued on its own pool can deadlock once every worker does the same,
+// so nested calls run inline instead.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+// Global-pool sizing request; read once when the global pool is built.
+std::atomic<std::size_t> global_workers_request{0};
+std::atomic<bool> global_pool_built{false};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
@@ -34,6 +49,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  current_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -58,7 +74,10 @@ void ThreadPool::parallel_for(
   }
   const std::size_t n = end - begin;
   const std::size_t workers = worker_count();
-  if (workers == 1 || n == 1) {
+  // Nested use: a worker enqueueing onto its own pool and then blocking
+  // would occupy a worker slot while waiting — with every slot doing the
+  // same the pool stalls. Run the nested range inline instead.
+  if (workers == 1 || n == 1 || current_worker_pool == this) {
     fn(begin, end);
     return;
   }
@@ -104,8 +123,35 @@ void ThreadPool::parallel_for(
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool = [] {
+    global_pool_built.store(true, std::memory_order_release);
+    std::size_t workers = global_workers_request.load();
+    if (workers == 0) {
+      workers = parse_worker_count(std::getenv("LEHDC_THREADS"));
+    }
+    return ThreadPool(workers);
+  }();
   return pool;
+}
+
+bool ThreadPool::configure_global(std::size_t workers) {
+  if (global_pool_built.load(std::memory_order_acquire)) {
+    return false;
+  }
+  global_workers_request.store(workers);
+  return true;
+}
+
+std::size_t parse_worker_count(const char* text) noexcept {
+  if (text == nullptr || *text == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value <= 0) {
+    return 0;
+  }
+  return static_cast<std::size_t>(value);
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

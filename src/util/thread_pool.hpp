@@ -3,7 +3,10 @@
 // Training at paper scale (D = 10,000, tens of thousands of samples) is
 // embarrassingly parallel over hypervector dimensions and over samples.
 // The pool degrades gracefully to inline execution when constructed with a
-// single worker (e.g. on one-core CI machines).
+// single worker (e.g. on one-core CI machines), and a parallel_for issued
+// from inside one of the pool's own workers runs inline instead of
+// enqueueing — nested parallelism (e.g. a batched predict inside an already
+// parallel evaluation loop) therefore cannot stall the pool.
 #pragma once
 
 #include <condition_variable>
@@ -32,11 +35,20 @@ class ThreadPool {
   /// Runs fn(begin..end) split into contiguous chunks across the pool and
   /// blocks until all chunks complete. fn receives [chunk_begin, chunk_end).
   /// Exceptions thrown by fn propagate to the caller (first one wins).
+  /// Reentrancy-safe: when called from inside one of this pool's workers,
+  /// the whole range runs inline on the calling thread.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
-  /// Process-wide pool sized to the hardware; created on first use.
+  /// Process-wide pool; created on first use. Sized by, in order of
+  /// precedence: configure_global(), the LEHDC_THREADS environment
+  /// variable, std::thread::hardware_concurrency().
   static ThreadPool& global();
+
+  /// Requests `workers` threads (0 = hardware) for the global pool. Must be
+  /// called before the first global() use; returns false (and changes
+  /// nothing) once the global pool exists.
+  static bool configure_global(std::size_t workers);
 
  private:
   void worker_loop();
@@ -47,6 +59,11 @@ class ThreadPool {
   std::condition_variable task_ready_;
   bool stopping_ = false;
 };
+
+/// Parses a worker-count override such as the LEHDC_THREADS value: returns
+/// the parsed positive count, or 0 (meaning "hardware") for null, empty,
+/// non-numeric or non-positive input.
+[[nodiscard]] std::size_t parse_worker_count(const char* text) noexcept;
 
 /// Convenience wrapper over ThreadPool::global().parallel_for.
 void parallel_for(std::size_t begin, std::size_t end,

@@ -1,0 +1,416 @@
+// Batch-first inference: the batched paths must be bit-identical to the
+// per-sample predict of every classifier kind, for every batch size and
+// every worker count, and accuracy must be invariant to the worker count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "hdc/batch_scorer.hpp"
+#include "hdc/classifier.hpp"
+#include "hdc/encoded_dataset.hpp"
+#include "hv/batch_score.hpp"
+#include "hv/bitvector.hpp"
+#include "hv/intvector.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lehdc {
+namespace {
+
+std::vector<hv::BitVector> random_hvs(std::size_t count, std::size_t dim,
+                                      util::Rng& rng) {
+  std::vector<hv::BitVector> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(hv::BitVector::random(dim, rng));
+  }
+  return out;
+}
+
+// Worker counts every parity property is checked under: serial, small
+// fixed, and whatever the hardware offers (0 = hardware sizing).
+const std::size_t kWorkerCounts[] = {1, 4, 0};
+
+// ------------------------------------------------------------- kernels ---
+
+TEST(BatchScoreKernel, HammingMatchesBitVectorAcrossDims) {
+  util::Rng rng(7);
+  // Dims straddling the 64-bit word and 512/256-bit vector boundaries so
+  // both the blocked body and the ragged tail paths are exercised.
+  for (const std::size_t dim :
+       {std::size_t{1}, std::size_t{5}, std::size_t{63}, std::size_t{64},
+        std::size_t{65}, std::size_t{129}, std::size_t{512},
+        std::size_t{1000}, std::size_t{2049}}) {
+    const hv::BitVector a = hv::BitVector::random(dim, rng);
+    const hv::BitVector b = hv::BitVector::random(dim, rng);
+    EXPECT_EQ(hv::hamming_words(a.words().data(), b.words().data(),
+                                a.word_count()),
+              hv::BitVector::hamming(a, b))
+        << "dim=" << dim;
+  }
+}
+
+TEST(BatchScoreKernel, DotRowsMatchesBitVectorDot) {
+  util::Rng rng(11);
+  const std::size_t dim = 777;  // ragged tail in every kernel tier
+  const hv::BitVector query = hv::BitVector::random(dim, rng);
+  // 1..9 rows: covers the 4-row blocked path plus every remainder count.
+  for (std::size_t count = 1; count <= 9; ++count) {
+    const auto classes = random_hvs(count, dim, rng);
+    std::vector<const std::uint64_t*> rows;
+    for (const auto& c : classes) {
+      rows.push_back(c.words().data());
+    }
+    std::vector<std::int64_t> out(count);
+    hv::dot_rows(query.words().data(), rows, dim, out);
+    for (std::size_t k = 0; k < count; ++k) {
+      EXPECT_EQ(out[k], hv::BitVector::dot(query, classes[k]))
+          << "rows=" << count << " k=" << k;
+    }
+  }
+}
+
+TEST(BatchScoreKernel, DotScoresBatchMatchesPairwise) {
+  util::Rng rng(13);
+  const std::size_t dim = 320;
+  const auto queries = random_hvs(17, dim, rng);
+  const auto classes = random_hvs(6, dim, rng);
+  std::vector<std::int64_t> out(queries.size() * classes.size());
+  hv::dot_scores_batch(queries, classes, out);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (std::size_t k = 0; k < classes.size(); ++k) {
+      EXPECT_EQ(out[q * classes.size() + k],
+                hv::BitVector::dot(queries[q], classes[k]));
+    }
+  }
+}
+
+TEST(BatchScoreKernel, ReportsAKernelName) {
+  EXPECT_NE(hv::score_kernel_name(), nullptr);
+  EXPECT_GT(std::string(hv::score_kernel_name()).size(), 0u);
+}
+
+// ----------------------------------------------- classifier kind parity ---
+
+TEST(BatchScorer, BinaryPredictBatchMatchesPerSample) {
+  util::Rng rng(3);
+  const std::size_t dim = 503;
+  const hdc::BinaryClassifier classifier(random_hvs(7, dim, rng));
+  for (const std::size_t batch :
+       {std::size_t{1}, std::size_t{7}, std::size_t{64}, std::size_t{1000}}) {
+    const auto queries = random_hvs(batch, dim, rng);
+    for (const std::size_t workers : kWorkerCounts) {
+      util::ThreadPool pool(workers);
+      const hdc::BatchScorer scorer(classifier, &pool);
+      std::vector<int> out(batch, -1);
+      scorer.predict_batch(queries, out);
+      for (std::size_t i = 0; i < batch; ++i) {
+        ASSERT_EQ(out[i], classifier.predict(queries[i]))
+            << "batch=" << batch << " workers=" << workers << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BatchScorer, EnsemblePredictBatchMatchesPerSample) {
+  util::Rng rng(5);
+  const std::size_t dim = 503;
+  std::vector<std::vector<hv::BitVector>> models;
+  for (std::size_t k = 0; k < 5; ++k) {
+    models.push_back(random_hvs(3, dim, rng));
+  }
+  const hdc::EnsembleClassifier classifier(std::move(models));
+  for (const std::size_t batch :
+       {std::size_t{1}, std::size_t{7}, std::size_t{64}, std::size_t{1000}}) {
+    const auto queries = random_hvs(batch, dim, rng);
+    for (const std::size_t workers : kWorkerCounts) {
+      util::ThreadPool pool(workers);
+      const hdc::BatchScorer scorer(classifier, &pool);
+      std::vector<int> out(batch, -1);
+      scorer.predict_batch(queries, out);
+      for (std::size_t i = 0; i < batch; ++i) {
+        ASSERT_EQ(out[i], classifier.predict(queries[i]))
+            << "batch=" << batch << " workers=" << workers << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BatchScorer, NonBinaryPredictBatchMatchesPerSample) {
+  util::Rng rng(9);
+  const std::size_t dim = 503;
+  std::vector<hv::IntVector> classes;
+  for (std::size_t k = 0; k < 6; ++k) {
+    hv::IntVector accumulator(dim);
+    for (std::size_t s = 0; s < 5; ++s) {
+      accumulator.add(hv::BitVector::random(dim, rng));
+    }
+    classes.push_back(std::move(accumulator));
+  }
+  const hdc::NonBinaryClassifier classifier(std::move(classes));
+  for (const std::size_t batch :
+       {std::size_t{1}, std::size_t{7}, std::size_t{64}, std::size_t{1000}}) {
+    const auto queries = random_hvs(batch, dim, rng);
+    for (const std::size_t workers : kWorkerCounts) {
+      util::ThreadPool pool(workers);
+      const hdc::BatchScorer scorer(classifier, &pool);
+      std::vector<int> out(batch, -1);
+      scorer.predict_batch(queries, out);
+      for (std::size_t i = 0; i < batch; ++i) {
+        ASSERT_EQ(out[i], classifier.predict(queries[i]))
+            << "batch=" << batch << " workers=" << workers << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BatchScorer, TieBreaksMatchPerSamplePredict) {
+  // Tiny dimension forces frequent score ties; the batched argmax must
+  // resolve them exactly like the per-sample scan (lowest class id wins).
+  util::Rng rng(21);
+  const std::size_t dim = 8;
+  const hdc::BinaryClassifier classifier(random_hvs(6, dim, rng));
+  const auto queries = random_hvs(500, dim, rng);
+  const hdc::BatchScorer scorer(classifier);
+  std::vector<int> out(queries.size());
+  scorer.predict_batch(queries, out);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(out[i], classifier.predict(queries[i])) << "i=" << i;
+  }
+}
+
+TEST(BatchScorer, ScoresBatchMatchesScores) {
+  util::Rng rng(17);
+  const std::size_t dim = 640;
+  const hdc::BinaryClassifier classifier(random_hvs(9, dim, rng));
+  const auto queries = random_hvs(33, dim, rng);
+  const hdc::BatchScorer scorer(classifier);
+  std::vector<std::int64_t> out(queries.size() * classifier.class_count());
+  scorer.scores_batch(queries, out);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto expected = classifier.scores(queries[q]);
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      EXPECT_EQ(out[q * expected.size() + k], expected[k]);
+    }
+  }
+}
+
+TEST(BatchScorer, EnsembleScoresBatchIsPerClassBest) {
+  util::Rng rng(19);
+  const std::size_t dim = 256;
+  std::vector<std::vector<hv::BitVector>> models;
+  for (std::size_t k = 0; k < 4; ++k) {
+    models.push_back(random_hvs(3, dim, rng));
+  }
+  const hdc::EnsembleClassifier classifier(models);
+  const auto queries = random_hvs(11, dim, rng);
+  const hdc::BatchScorer scorer(classifier);
+  std::vector<std::int64_t> out(queries.size() * classifier.class_count());
+  scorer.scores_batch(queries, out);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (std::size_t k = 0; k < models.size(); ++k) {
+      std::int64_t best = hv::BitVector::dot(queries[q], models[k][0]);
+      for (std::size_t m = 1; m < models[k].size(); ++m) {
+        best = std::max(best, hv::BitVector::dot(queries[q], models[k][m]));
+      }
+      EXPECT_EQ(out[q * models.size() + k], best);
+    }
+  }
+}
+
+TEST(BatchScorer, CosineScoresBatchMatchesPerSampleCosine) {
+  util::Rng rng(23);
+  const std::size_t dim = 300;
+  std::vector<hv::IntVector> classes;
+  for (std::size_t k = 0; k < 5; ++k) {
+    hv::IntVector accumulator(dim);
+    accumulator.add(hv::BitVector::random(dim, rng));
+    accumulator.add(hv::BitVector::random(dim, rng));
+    classes.push_back(std::move(accumulator));
+  }
+  const hdc::NonBinaryClassifier classifier(classes);
+  const auto queries = random_hvs(13, dim, rng);
+  const hdc::BatchScorer scorer(classifier);
+  std::vector<double> out(queries.size() * classes.size());
+  scorer.cosine_scores_batch(queries, out);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (std::size_t k = 0; k < classes.size(); ++k) {
+      // Bit-identical, not approximately equal: same dot, same denominator.
+      EXPECT_EQ(out[q * classes.size() + k],
+                classes[k].cosine(queries[q]));
+    }
+  }
+}
+
+TEST(BatchScorer, AccuracyInvariantToWorkerCount) {
+  util::Rng rng(29);
+  const std::size_t dim = 503;
+  const hdc::BinaryClassifier classifier(random_hvs(4, dim, rng));
+  hdc::EncodedDataset dataset(dim, 4);
+  for (std::size_t i = 0; i < 700; ++i) {
+    dataset.add(hv::BitVector::random(dim, rng), static_cast<int>(i % 4));
+  }
+  util::ThreadPool serial(1);
+  const double reference =
+      hdc::BatchScorer(classifier, &serial).accuracy(dataset);
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}, std::size_t{0}}) {
+    util::ThreadPool pool(workers);
+    EXPECT_EQ(hdc::BatchScorer(classifier, &pool).accuracy(dataset),
+              reference)
+        << "workers=" << workers;
+  }
+}
+
+// ------------------------------------------------------- Model surface ---
+
+TEST(ModelBatch, WrappersMatchPerSamplePredict) {
+  util::Rng rng(31);
+  const std::size_t dim = 257;
+  const auto queries = random_hvs(50, dim, rng);
+
+  std::vector<std::shared_ptr<const train::Model>> models;
+  models.push_back(std::make_shared<train::BinaryModel>(
+      hdc::BinaryClassifier(random_hvs(5, dim, rng))));
+  std::vector<std::vector<hv::BitVector>> ensemble;
+  for (std::size_t k = 0; k < 3; ++k) {
+    ensemble.push_back(random_hvs(2, dim, rng));
+  }
+  models.push_back(std::make_shared<train::EnsembleModel>(
+      hdc::EnsembleClassifier(std::move(ensemble))));
+  std::vector<hv::IntVector> nonbinary;
+  for (std::size_t k = 0; k < 4; ++k) {
+    hv::IntVector accumulator(dim);
+    accumulator.add(hv::BitVector::random(dim, rng));
+    nonbinary.push_back(std::move(accumulator));
+  }
+  models.push_back(std::make_shared<train::NonBinaryModel>(
+      hdc::NonBinaryClassifier(std::move(nonbinary))));
+
+  for (const auto& model : models) {
+    std::vector<int> batched(queries.size(), -1);
+    model->predict_batch(queries, batched);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(batched[i], model->predict(queries[i]));
+    }
+  }
+}
+
+TEST(ModelBatch, DefaultPredictBatchLoopsOverPredict) {
+  // A Model subclass that only implements predict still gets a working
+  // batch API through the base default.
+  class ParityModel final : public train::Model {
+   public:
+    [[nodiscard]] int predict(const hv::BitVector& query) const override {
+      return static_cast<int>(query.count_negatives() % 2);
+    }
+    [[nodiscard]] std::size_t storage_bits() const noexcept override {
+      return 0;
+    }
+  };
+  util::Rng rng(37);
+  const auto queries = random_hvs(9, 100, rng);
+  const ParityModel model;
+  std::vector<int> out(queries.size(), -1);
+  model.predict_batch(queries, out);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(out[i], model.predict(queries[i]));
+  }
+
+  hdc::EncodedDataset dataset(100, 2);
+  for (const auto& q : queries) {
+    dataset.add(q, 0);
+  }
+  std::size_t zeros = 0;
+  for (const auto& q : queries) {
+    zeros += model.predict(q) == 0 ? 1 : 0;
+  }
+  EXPECT_DOUBLE_EQ(model.accuracy(dataset),
+                   static_cast<double>(zeros) /
+                       static_cast<double>(queries.size()));
+}
+
+// ---------------------------------------------------------- Pipeline ----
+
+TEST(PipelineBatch, PredictBatchMatchesPerSamplePredict) {
+  const auto split = data::generate_synthetic([] {
+    data::SyntheticConfig config;
+    config.feature_count = 12;
+    config.class_count = 3;
+    config.train_count = 120;
+    config.test_count = 60;
+    config.seed = 5;
+    return config;
+  }());
+  core::PipelineConfig config;
+  config.dim = 512;
+  config.strategy = core::Strategy::kBaseline;
+  core::Pipeline pipeline(config);
+  pipeline.fit(split.train);
+
+  const std::vector<int> batched = pipeline.predict_batch(split.test);
+  ASSERT_EQ(batched.size(), split.test.size());
+  for (std::size_t i = 0; i < split.test.size(); ++i) {
+    ASSERT_EQ(batched[i], pipeline.predict(split.test.sample(i)))
+        << "i=" << i;
+  }
+}
+
+TEST(PipelineBatch, EvaluateMatchesPerSampleAccuracy) {
+  const auto split = data::generate_synthetic([] {
+    data::SyntheticConfig config;
+    config.feature_count = 10;
+    config.class_count = 4;
+    config.train_count = 100;
+    config.test_count = 80;
+    config.seed = 6;
+    return config;
+  }());
+  core::PipelineConfig config;
+  config.dim = 512;
+  config.strategy = core::Strategy::kBaseline;
+  core::Pipeline pipeline(config);
+  pipeline.fit(split.train);
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < split.test.size(); ++i) {
+    if (pipeline.predict(split.test.sample(i)) == split.test.label(i)) {
+      ++correct;
+    }
+  }
+  EXPECT_DOUBLE_EQ(pipeline.evaluate(split.test),
+                   static_cast<double>(correct) /
+                       static_cast<double>(split.test.size()));
+}
+
+TEST(PipelineBatch, EncodedSpanOverloadMatchesModel) {
+  const auto split = data::generate_synthetic([] {
+    data::SyntheticConfig config;
+    config.feature_count = 8;
+    config.class_count = 2;
+    config.train_count = 60;
+    config.test_count = 20;
+    config.seed = 8;
+    return config;
+  }());
+  core::PipelineConfig config;
+  config.dim = 256;
+  config.strategy = core::Strategy::kBaseline;
+  core::Pipeline pipeline(config);
+  pipeline.fit(split.train);
+
+  const hdc::EncodedDataset encoded =
+      hdc::encode_dataset(pipeline.encoder(), split.test);
+  std::vector<int> out(encoded.size(), -1);
+  pipeline.predict_batch(encoded.hypervectors(), out);
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    ASSERT_EQ(out[i], pipeline.model().predict(encoded.hypervector(i)));
+  }
+}
+
+}  // namespace
+}  // namespace lehdc

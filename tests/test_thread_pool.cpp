@@ -85,6 +85,83 @@ TEST(ThreadPool, ReusableAcrossCalls) {
   }
 }
 
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // A parallel_for issued from inside a worker must execute inline on that
+  // worker instead of enqueueing (enqueue-and-wait can stall the pool once
+  // every worker blocks on chunks nobody is free to run).
+  ThreadPool pool(4);
+  std::atomic<int> outer_count{0};
+  std::atomic<int> inner_count{0};
+  std::atomic<int> inner_off_thread{0};
+  pool.parallel_for(0, 8, [&](std::size_t lo, std::size_t hi) {
+    outer_count.fetch_add(static_cast<int>(hi - lo));
+    const auto worker = std::this_thread::get_id();
+    pool.parallel_for(0, 16, [&](std::size_t ilo, std::size_t ihi) {
+      inner_count.fetch_add(static_cast<int>(ihi - ilo));
+      if (std::this_thread::get_id() != worker) {
+        inner_off_thread.fetch_add(1);
+      }
+    });
+  });
+  EXPECT_EQ(outer_count.load(), 8);
+  // One inner sweep of 16 per outer chunk; chunks = min(8, 4) = 4.
+  EXPECT_EQ(inner_count.load(), 16 * 4);
+  EXPECT_EQ(inner_off_thread.load(), 0);
+}
+
+TEST(ThreadPool, DeeplyNestedParallelForCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  pool.parallel_for(0, 4, [&](std::size_t, std::size_t) {
+    pool.parallel_for(0, 4, [&](std::size_t, std::size_t) {
+      pool.parallel_for(0, 4, [&](std::size_t lo, std::size_t hi) {
+        leaves.fetch_add(static_cast<int>(hi - lo));
+      });
+    });
+  });
+  EXPECT_GT(leaves.load(), 0);
+}
+
+TEST(ThreadPool, NestedOnDifferentPoolStillWorks) {
+  // Nesting across two distinct pools is not reentrant and must still
+  // fan out on the inner pool.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> count{0};
+  outer.parallel_for(0, 4, [&](std::size_t, std::size_t) {
+    inner.parallel_for(0, 32, [&](std::size_t lo, std::size_t hi) {
+      count.fetch_add(static_cast<int>(hi - lo));
+    });
+  });
+  EXPECT_EQ(count.load(), 32 * 2);
+}
+
+TEST(ThreadPool, NestedExceptionPropagates) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(0, 6,
+                        [&](std::size_t, std::size_t) {
+                          pool.parallel_for(0, 6, [](std::size_t lo,
+                                                     std::size_t) {
+                            if (lo == 0) {
+                              throw std::runtime_error("nested failure");
+                            }
+                          });
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParseWorkerCount) {
+  EXPECT_EQ(parse_worker_count(nullptr), 0u);
+  EXPECT_EQ(parse_worker_count(""), 0u);
+  EXPECT_EQ(parse_worker_count("8"), 8u);
+  EXPECT_EQ(parse_worker_count("1"), 1u);
+  EXPECT_EQ(parse_worker_count("0"), 0u);
+  EXPECT_EQ(parse_worker_count("-3"), 0u);
+  EXPECT_EQ(parse_worker_count("abc"), 0u);
+  EXPECT_EQ(parse_worker_count("4x"), 0u);
+}
+
 TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
 }

@@ -4,7 +4,11 @@
 //   lehdc_cli train    --data <spec> --strategy lehdc --model out.lhdp ...
 //   lehdc_cli evaluate --data <spec> --model out.lhdp
 //   lehdc_cli predict  --model out.lhdp --features "0.1,0.9,..."
+//   lehdc_cli predict  --model out.lhdp --data csv:file.csv   (batched)
 //   lehdc_cli info     --model out.lhdp
+//
+// Worker threads: --threads N > the LEHDC_THREADS environment variable >
+// all hardware threads.
 //
 // Data specs:
 //   csv:<path>             numeric CSV, label in the last column
@@ -24,15 +28,19 @@
 #include "data/profiles.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace lehdc;
 
 /// Parses a data spec into a train/test pair. For csv:/idx: sources, the
-/// file is shuffled (seeded) and split by --holdout.
+/// file is shuffled (seeded) and split by --holdout; `shuffle = false`
+/// preserves file order (batch prediction must emit labels in input order).
 data::TrainTestSplit load_data(const std::string& spec, double scale,
-                               double holdout, std::uint64_t seed) {
+                               double holdout, std::uint64_t seed,
+                               bool shuffle = true) {
   const auto colon = spec.find(':');
   if (colon == std::string::npos) {
     throw std::invalid_argument(
@@ -60,8 +68,10 @@ data::TrainTestSplit load_data(const std::string& spec, double scale,
     throw std::invalid_argument("unknown data spec kind: " + kind);
   }
 
-  util::Rng rng(seed);
-  all.shuffle(rng);
+  if (shuffle) {
+    util::Rng rng(seed);
+    all.shuffle(rng);
+  }
   const auto train_size = static_cast<std::size_t>(
       static_cast<double>(all.size()) * (1.0 - holdout));
   auto [train, test] = all.split(train_size);
@@ -153,9 +163,32 @@ int cmd_evaluate(util::FlagParser& flags) {
 
 int cmd_predict(util::FlagParser& flags) {
   core::Pipeline pipeline = core::load_pipeline(flags.get_string("model"));
-  const auto features = parse_features(flags.get_string("features"));
-  const int label = pipeline.predict(features);
-  std::printf("%d\n", label);
+
+  // Single query: --features "0.1,0.9,...".
+  if (const auto& features_text = flags.get_string("features");
+      !features_text.empty()) {
+    const auto features = parse_features(features_text);
+    std::printf("%d\n", pipeline.predict(features));
+    return 0;
+  }
+
+  // Batch mode: classify every sample of --data in one batched pass,
+  // emitting one label per line in input order (no shuffle, no holdout).
+  const auto split =
+      load_data(flags.get_string("data"), flags.get_double("scale"), 0.0,
+                static_cast<std::uint64_t>(flags.get_int("seed")),
+                /*shuffle=*/false);
+  const data::Dataset& dataset = split.train;
+  const util::Stopwatch timer;
+  const std::vector<int> labels = pipeline.predict_batch(dataset);
+  const double seconds = timer.elapsed_seconds();
+  for (const int label : labels) {
+    std::printf("%d\n", label);
+  }
+  std::fprintf(stderr, "classified %zu samples in %.3fs (%.0f queries/sec)\n",
+               labels.size(), seconds,
+               seconds > 0.0 ? static_cast<double>(labels.size()) / seconds
+                             : 0.0);
   return 0;
 }
 
@@ -187,8 +220,10 @@ void print_usage() {
       "           [--checkpoint-every N] [--resume ckpt.lhck]\n"
       "  evaluate --model out.lhdp --data <spec>\n"
       "  predict  --model out.lhdp --features \"0.1,0.9,...\"\n"
+      "  predict  --model out.lhdp --data <spec>   (batched, one label/line)\n"
       "  info     --model out.lhdp\n"
       "data specs: csv:<path> | idx:<images>:<labels> | synth:<profile>\n"
+      "threads: --threads N > LEHDC_THREADS env var > hardware\n"
       "run `lehdc_cli <command> --help` for the full flag list");
 }
 
@@ -217,6 +252,9 @@ int main(int argc, char** argv) {
                    "checkpoint path (default: <model>.lhck)");
   flags.add_string("resume", "",
                    "resume a killed LeHDC run from this checkpoint");
+  flags.add_int("threads", 0,
+                "worker threads (0 = LEHDC_THREADS env var, then all "
+                "hardware threads)");
   flags.add_int("dim", 10000, "hypervector dimension D");
   flags.add_int("levels", 32, "value quantization levels");
   flags.add_int("epochs", 100, "training epochs / iterations");
@@ -226,6 +264,11 @@ int main(int argc, char** argv) {
 
   try {
     flags.parse(argc - 1, argv + 1);
+    // Must run before anything touches the global pool. --threads beats the
+    // LEHDC_THREADS environment variable, which beats hardware sizing.
+    if (const auto threads = flags.get_int("threads"); threads > 0) {
+      util::ThreadPool::configure_global(static_cast<std::size_t>(threads));
+    }
     if (command == "train") {
       return cmd_train(flags);
     }
