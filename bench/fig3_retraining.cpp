@@ -12,6 +12,9 @@
 #include "data/profiles.hpp"
 #include "eval/report.hpp"
 #include "hdc/encoded_dataset.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "train/retrain.hpp"
 #include "util/flags.hpp"
 #include "util/log.hpp"
@@ -30,6 +33,8 @@ int main(int argc, char** argv) {
   flags.add_int("seed", 7, "master seed");
   flags.add_string("dataset", "fashion-mnist", "benchmark profile");
   flags.add_string("csv", "fig3_retraining.csv", "output CSV ('' disables)");
+  flags.add_string("metrics-out", "",
+                   "also write a lehdc.metrics.v1 snapshot here");
   flags.add_int("stride", 2, "print every n-th iteration");
   flags.add_flag("full", "paper scale (D=10000, all samples)");
   flags.parse(argc, argv);
@@ -63,7 +68,7 @@ int main(int argc, char** argv) {
   train::TrainOptions options;
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   options.test = &encoded_test;
-  options.record_trajectory = true;
+  options.epoch_observer = train::record_trajectory();
 
   util::log_info("running basic retraining...");
   const train::RetrainingTrainer basic(retrain_cfg);
@@ -107,6 +112,33 @@ int main(int argc, char** argv) {
   if (const auto& csv = flags.get_string("csv"); !csv.empty()) {
     eval::write_series_csv(csv, series);
     std::printf("series written to %s\n", csv.c_str());
+  }
+
+  if (const auto& metrics_out = flags.get_string("metrics-out");
+      !metrics_out.empty()) {
+    obs::set_enabled(true);
+    auto& registry = obs::Registry::global();
+    const auto emit = [&](const std::string& variant,
+                          const util::Summary& tail,
+                          const train::TrainResult& result) {
+      registry.gauge("bench.fig3." + variant + ".tail_mean").set(tail.mean);
+      registry.gauge("bench.fig3." + variant + ".tail_stddev")
+          .set(tail.stddev);
+      registry.gauge("bench.fig3." + variant + ".first_test_accuracy")
+          .set(result.trajectory.front().test_accuracy);
+      registry.gauge("bench.fig3." + variant + ".final_test_accuracy")
+          .set(result.trajectory.back().test_accuracy);
+    };
+    emit("basic", basic_tail, basic_result);
+    emit("enhanced", enhanced_tail, enhanced_result);
+
+    obs::Json context = obs::Json::object();
+    context.set("bench", "fig3_retraining");
+    context.set("dataset", profile.name);
+    context.set("dim", dim);
+    context.set("iterations", retrain_cfg.iterations);
+    obs::write_metrics_json(metrics_out, registry, std::move(context));
+    std::printf("metrics written to %s\n", metrics_out.c_str());
   }
   return 0;
 }

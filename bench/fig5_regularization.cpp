@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
     train::TrainOptions options;
     options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
     options.test = &encoded_test;
-    options.record_trajectory = true;
+    options.epoch_observer = train::record_trajectory();
     auto result = trainer.train(encoded_train, options);
     series.push_back({variant.name, std::move(result.trajectory)});
   }

@@ -13,6 +13,9 @@
 #include "data/profiles.hpp"
 #include "eval/experiment.hpp"
 #include "eval/presets.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "util/flags.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
@@ -21,6 +24,23 @@
 namespace {
 
 using namespace lehdc;
+
+/// Lowercases and maps anything outside [a-z0-9] to '_' so dataset and
+/// strategy labels fit the metric-name charset.
+std::string metric_slug(std::string_view label) {
+  std::string slug;
+  slug.reserve(label.size());
+  for (const char c : label) {
+    if (c >= 'A' && c <= 'Z') {
+      slug.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      slug.push_back(c);
+    } else {
+      slug.push_back('_');
+    }
+  }
+  return slug;
+}
 
 struct Scale {
   std::size_t dim;
@@ -102,6 +122,8 @@ int main(int argc, char** argv) {
   flags.add_int("seed", 7, "master seed");
   flags.add_string("only", "", "run a single benchmark (by name)");
   flags.add_string("csv", "", "also write rows to this CSV file");
+  flags.add_string("metrics-out", "",
+                   "also write a lehdc.metrics.v1 snapshot here");
   flags.add_flag("full", "paper scale: D=10000, all samples, all epochs, "
                          "64 models/class (very slow)");
   flags.parse(argc, argv);
@@ -200,6 +222,30 @@ int main(int argc, char** argv) {
       csv.write_row(row);
     }
     std::printf("rows written to %s\n", csv_path.c_str());
+  }
+
+  if (const auto& metrics_out = flags.get_string("metrics-out");
+      !metrics_out.empty()) {
+    obs::set_enabled(true);
+    auto& registry = obs::Registry::global();
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
+      const std::string strategy_slug =
+          metric_slug(core::strategy_name(strategies[s]));
+      for (std::size_t d = 0; d < profiles.size(); ++d) {
+        const std::string stem = "bench.table1." +
+                                 metric_slug(profiles[d].name) + "." +
+                                 strategy_slug;
+        registry.gauge(stem + "_mean").set(accuracy[s][d].mean);
+        registry.gauge(stem + "_stddev").set(accuracy[s][d].stddev);
+      }
+    }
+    obs::Json context = obs::Json::object();
+    context.set("bench", "table1_accuracy");
+    context.set("dim", scale.dim);
+    context.set("sample_scale", scale.sample_scale);
+    context.set("trials", scale.trials);
+    obs::write_metrics_json(metrics_out, registry, std::move(context));
+    std::printf("metrics written to %s\n", metrics_out.c_str());
   }
   return 0;
 }

@@ -52,7 +52,8 @@ int main(int argc, char** argv) {
   const core::FitReport base_report = baseline.fit(split.train, &split.test);
   std::printf("\nBaseline HDC : train %.2f%%  test %.2f%%  (%.2fs)\n",
               base_report.train_accuracy * 100.0,
-              base_report.test_accuracy * 100.0, base_report.train_seconds);
+              base_report.test_accuracy * 100.0,
+              base_report.timings.train_seconds);
 
   // 4. LeHDC: same encoder, BNN-trained class hypervectors.
   config.strategy = core::Strategy::kLeHdc;
@@ -60,7 +61,8 @@ int main(int argc, char** argv) {
   const core::FitReport le_report = lehdc.fit(split.train, &split.test);
   std::printf("LeHDC        : train %.2f%%  test %.2f%%  (%.2fs)\n",
               le_report.train_accuracy * 100.0,
-              le_report.test_accuracy * 100.0, le_report.train_seconds);
+              le_report.test_accuracy * 100.0,
+              le_report.timings.train_seconds);
 
   // 5. Classify a single raw sample through the trained pipeline.
   const int predicted = lehdc.predict(split.test.sample(0));

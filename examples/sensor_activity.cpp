@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   std::printf("LeHDC: train %.2f%%  test %.2f%%  (encode %.2fs, "
               "train %.2fs)\n\n",
               report.train_accuracy * 100.0, report.test_accuracy * 100.0,
-              report.encode_seconds, report.train_seconds);
+              report.timings.encode_seconds, report.timings.train_seconds);
 
   // 3. Per-activity diagnostics.
   const auto& encoder = pipeline.encoder();

@@ -86,12 +86,13 @@ DeepLeHdcTrainer::DeepLeHdcTrainer(const DeepLeHdcConfig& config)
   util::expects(config.epochs >= 1, "need at least one epoch");
 }
 
-train::TrainResult DeepLeHdcTrainer::train(
+train::TrainResult DeepLeHdcTrainer::run(
     const hdc::EncodedDataset& train_set,
     const train::TrainOptions& options) const {
   util::expects(!train_set.empty(), "cannot train on an empty dataset");
   const util::Stopwatch timer;
   util::Rng rng(options.seed);
+  double consumed_seconds = 0.0;
 
   const std::size_t n = train_set.size();
   const std::size_t d = train_set.dim();
@@ -253,16 +254,20 @@ train::TrainResult DeepLeHdcTrainer::train(
     }
 
     result.epochs_run = epoch + 1;
-    if (options.record_trajectory) {
+    if (options.epoch_observer) {
+      const double work_mark = timer.elapsed_seconds();
       const auto model = snapshot_model();
-      train::EpochPoint point;
-      point.epoch = epoch;
-      point.train_loss = mean_loss;
-      point.train_accuracy = model->accuracy(train_set);
+      train::EpochEvent event;
+      event.point.epoch = epoch;
+      event.point.train_loss = mean_loss;
+      event.point.train_accuracy = model->accuracy(train_set);
       if (options.test != nullptr) {
-        point.test_accuracy = model->accuracy(*options.test);
+        event.point.test_accuracy = model->accuracy(*options.test);
       }
-      result.trajectory.push_back(point);
+      event.epoch_seconds = work_mark - consumed_seconds;
+      event.eval_seconds = timer.elapsed_seconds() - work_mark;
+      options.epoch_observer(event);
+      consumed_seconds = timer.elapsed_seconds();
     }
   }
 

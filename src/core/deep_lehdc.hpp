@@ -83,7 +83,8 @@ class DeepLeHdcTrainer final : public train::Trainer {
 
   [[nodiscard]] std::string name() const override { return "DeepLeHDC"; }
 
-  [[nodiscard]] train::TrainResult train(
+ protected:
+  [[nodiscard]] train::TrainResult run(
       const hdc::EncodedDataset& train_set,
       const train::TrainOptions& options) const override;
 

@@ -9,6 +9,9 @@
 
 #include "core/checkpoint.hpp"
 #include "nn/binarize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "nn/dropout.hpp"
 #include "nn/loss.hpp"
 #include "nn/schedule.hpp"
@@ -77,12 +80,27 @@ LeHdcTrainer::LeHdcTrainer(const LeHdcConfig& config) : config_(config) {
   util::expects(config.latent_clip >= 0.0f, "clip bound must be >= 0");
 }
 
-train::TrainResult LeHdcTrainer::train(
+train::TrainResult LeHdcTrainer::run(
     const hdc::EncodedDataset& train_set,
     const train::TrainOptions& options) const {
   util::expects(!train_set.empty(), "cannot train on an empty dataset");
   const util::Stopwatch timer;
   util::Rng rng(options.seed);
+
+  static obs::Counter& epoch_counter =
+      obs::Registry::global().counter("train.lehdc.epochs");
+  static obs::Counter& checkpoint_counter =
+      obs::Registry::global().counter("train.lehdc.checkpoints");
+  static obs::Gauge& loss_gauge =
+      obs::Registry::global().gauge("train.lehdc.loss");
+  static obs::Gauge& train_acc_gauge =
+      obs::Registry::global().gauge("train.lehdc.train_accuracy");
+  static obs::Gauge& test_acc_gauge =
+      obs::Registry::global().gauge("train.lehdc.test_accuracy");
+  static obs::Histogram& epoch_hist =
+      obs::Registry::global().histogram("train.lehdc.epoch_seconds");
+  static obs::Histogram& checkpoint_hist =
+      obs::Registry::global().histogram("train.lehdc.checkpoint_seconds");
 
   const std::size_t n = train_set.size();
   const std::size_t d = train_set.dim();
@@ -179,25 +197,37 @@ train::TrainResult LeHdcTrainer::train(
       ckpt.sgd_velocity = sgd->velocity();
     }
     ckpt.order.assign(order.begin(), order.end());
+    obs::ScopedTimer ckpt_timer(checkpoint_hist);
     save_checkpoint(ckpt, options.checkpoint_path);
+    ckpt_timer.stop();
+    checkpoint_counter.add();
   };
 
   train::TrainResult result;
   result.epochs_run = start_epoch;
 
-  const auto evaluate_point = [&](std::size_t epoch, double loss) {
-    train::EpochPoint point;
-    point.epoch = epoch;
-    point.train_loss = loss;
+  double consumed_seconds = 0.0;
+  const auto emit_event = [&](std::size_t epoch, double loss) {
+    const double work_mark = timer.elapsed_seconds();
+    train::EpochEvent event;
+    event.point.epoch = epoch;
+    event.point.train_loss = loss;
     const hdc::BinaryClassifier snapshot(nn::binarize_rows(latent));
-    point.train_accuracy = snapshot.accuracy(train_set);
+    event.point.train_accuracy = snapshot.accuracy(train_set);
     if (options.test != nullptr) {
-      point.test_accuracy = snapshot.accuracy(*options.test);
+      event.point.test_accuracy = snapshot.accuracy(*options.test);
     }
-    result.trajectory.push_back(point);
+    train_acc_gauge.set(event.point.train_accuracy);
+    test_acc_gauge.set(event.point.test_accuracy);
+    event.epoch_seconds = work_mark - consumed_seconds;
+    event.eval_seconds = timer.elapsed_seconds() - work_mark;
+    options.epoch_observer(event);
+    consumed_seconds = timer.elapsed_seconds();
   };
 
   for (std::size_t epoch = start_epoch; epoch < config_.epochs; ++epoch) {
+    const obs::TraceSpan epoch_span("lehdc.epoch");
+    obs::ScopedTimer epoch_timer(epoch_hist);
     rng.shuffle(order.begin(), order.end());
     double epoch_loss = 0.0;
     std::size_t batches = 0;
@@ -260,8 +290,11 @@ train::TrainResult LeHdcTrainer::train(
     }
 
     result.epochs_run = epoch + 1;
-    if (options.record_trajectory) {
-      evaluate_point(epoch, mean_loss);
+    epoch_timer.stop();
+    epoch_counter.add();
+    loss_gauge.set(mean_loss);
+    if (options.epoch_observer) {
+      emit_event(epoch, mean_loss);
     }
     if (options.checkpoint_every > 0 &&
         (epoch + 1) % options.checkpoint_every == 0) {

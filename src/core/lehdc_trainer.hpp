@@ -75,11 +75,12 @@ class LeHdcTrainer final : public train::Trainer {
 
   [[nodiscard]] std::string name() const override { return "LeHDC"; }
 
-  [[nodiscard]] train::TrainResult train(
+  [[nodiscard]] const LeHdcConfig& config() const noexcept { return config_; }
+
+ protected:
+  [[nodiscard]] train::TrainResult run(
       const hdc::EncodedDataset& train_set,
       const train::TrainOptions& options) const override;
-
-  [[nodiscard]] const LeHdcConfig& config() const noexcept { return config_; }
 
  private:
   LeHdcConfig config_;

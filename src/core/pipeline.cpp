@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <mutex>
 
 #include "hdc/encoded_dataset.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 #include "train/baseline.hpp"
 #include "util/check.hpp"
@@ -109,7 +113,7 @@ void Pipeline::ensure_encoder(const data::Dataset& train) {
 }
 
 FitReport Pipeline::fit(const data::Dataset& train, const data::Dataset* test,
-                        bool record_trajectory) {
+                        const train::EpochObserver& observer) {
   util::expects(!train.empty(), "cannot fit on an empty dataset");
   if (test != nullptr) {
     util::expects(test->feature_count() == train.feature_count() &&
@@ -120,39 +124,114 @@ FitReport Pipeline::fit(const data::Dataset& train, const data::Dataset* test,
 
   FitReport report;
   const util::Stopwatch encode_timer;
-  const hdc::EncodedDataset encoded_train =
-      hdc::encode_dataset(*encoder_, train);
+  hdc::EncodedDataset encoded_train;
   hdc::EncodedDataset encoded_test;
-  if (test != nullptr) {
-    encoded_test = hdc::encode_dataset(*encoder_, *test);
+  {
+    const obs::TraceSpan span("pipeline.fit.encode");
+    encoded_train = hdc::encode_dataset(*encoder_, train);
+    if (test != nullptr) {
+      encoded_test = hdc::encode_dataset(*encoder_, *test);
+    }
   }
-  report.encode_seconds = encode_timer.elapsed_seconds();
+  report.timings.encode_seconds = encode_timer.elapsed_seconds();
 
   const auto trainer = make_trainer(config_);
   train::TrainOptions options;
   options.seed = config_.seed;
-  options.record_trajectory = record_trajectory;
+  options.epoch_observer = observer;
   options.checkpoint_every = config_.checkpoint_every;
   options.checkpoint_path = config_.checkpoint_path;
   options.resume_path = config_.resume_path;
   options.test = (test != nullptr && !encoded_test.empty()) ? &encoded_test
                                                             : nullptr;
-  train::TrainResult result = trainer->train(encoded_train, options);
+  train::TrainResult result;
+  {
+    const obs::TraceSpan span("pipeline.fit.train");
+    result = trainer->train(encoded_train, options);
+  }
   model_ = result.model;
 
-  report.train_seconds = result.train_seconds;
+  report.timings.train_seconds = result.train_seconds;
   report.epochs_run = result.epochs_run;
   report.trajectory = std::move(result.trajectory);
-  report.train_accuracy = model_->accuracy(encoded_train);
-  if (options.test != nullptr) {
-    report.test_accuracy = model_->accuracy(encoded_test);
+  const util::Stopwatch eval_timer;
+  {
+    const obs::TraceSpan span("pipeline.fit.eval");
+    report.train_accuracy = model_->accuracy(encoded_train);
+    if (options.test != nullptr) {
+      report.test_accuracy = model_->accuracy(encoded_test);
+    }
   }
+  report.timings.eval_seconds = eval_timer.elapsed_seconds();
   return report;
 }
 
 int Pipeline::predict(std::span<const float> features) const {
   util::expects(fitted(), "predict before fit");
   return model_->predict(encoder_->encode(features));
+}
+
+void Pipeline::predict_batch_timed(const data::Dataset& dataset,
+                                   std::span<int> out,
+                                   double* encode_seconds,
+                                   double* score_seconds) const {
+  static obs::Counter& query_counter =
+      obs::Registry::global().counter("pipeline.batch_queries");
+  static obs::Histogram& encode_hist =
+      obs::Registry::global().histogram("pipeline.encode_block_seconds");
+  static obs::Histogram& score_hist =
+      obs::Registry::global().histogram("pipeline.score_block_seconds");
+
+  const obs::TraceSpan span("pipeline.predict_batch");
+  query_counter.add(dataset.size());
+
+  // Fused encode+predict: each worker encodes one block of samples into a
+  // local buffer and scores it immediately through the model's batch path
+  // (whose own parallel_for runs inline inside a pool worker), so at most
+  // one block of hypervectors exists per worker at any time.
+  const bool timed = encode_seconds != nullptr || score_seconds != nullptr;
+  std::mutex timing_mutex;
+  constexpr std::size_t kBlock = 64;
+  const std::size_t blocks = (dataset.size() + kBlock - 1) / kBlock;
+  util::parallel_for(0, blocks, [&](std::size_t lo, std::size_t hi) {
+    std::vector<hv::BitVector> encoded;
+    encoded.reserve(kBlock);
+    double local_encode = 0.0;
+    double local_score = 0.0;
+    for (std::size_t b = lo; b < hi; ++b) {
+      const std::size_t begin = b * kBlock;
+      const std::size_t end = std::min(dataset.size(), begin + kBlock);
+      encoded.clear();
+      {
+        obs::ScopedTimer block_timer(encode_hist);
+        const util::Stopwatch watch;
+        for (std::size_t i = begin; i < end; ++i) {
+          encoded.push_back(encoder_->encode(dataset.sample(i)));
+        }
+        if (timed) {
+          local_encode += watch.elapsed_seconds();
+        }
+      }
+      {
+        obs::ScopedTimer block_timer(score_hist);
+        const util::Stopwatch watch;
+        model_->predict_batch(
+            encoded, out.subspan(begin, end - begin));
+        if (timed) {
+          local_score += watch.elapsed_seconds();
+        }
+      }
+    }
+    if (timed) {
+      const std::scoped_lock lock(timing_mutex);
+      if (encode_seconds != nullptr) {
+        *encode_seconds += local_encode;
+      }
+      if (score_seconds != nullptr) {
+        *score_seconds += local_score;
+      }
+    }
+  });
 }
 
 std::vector<int> Pipeline::predict_batch(
@@ -164,26 +243,7 @@ std::vector<int> Pipeline::predict_batch(
   if (dataset.empty()) {
     return out;
   }
-  // Fused encode+predict: each worker encodes one block of samples into a
-  // local buffer and scores it immediately through the model's batch path
-  // (whose own parallel_for runs inline inside a pool worker), so at most
-  // one block of hypervectors exists per worker at any time.
-  constexpr std::size_t kBlock = 64;
-  const std::size_t blocks = (dataset.size() + kBlock - 1) / kBlock;
-  util::parallel_for(0, blocks, [&](std::size_t lo, std::size_t hi) {
-    std::vector<hv::BitVector> encoded;
-    encoded.reserve(kBlock);
-    for (std::size_t b = lo; b < hi; ++b) {
-      const std::size_t begin = b * kBlock;
-      const std::size_t end = std::min(dataset.size(), begin + kBlock);
-      encoded.clear();
-      for (std::size_t i = begin; i < end; ++i) {
-        encoded.push_back(encoder_->encode(dataset.sample(i)));
-      }
-      model_->predict_batch(
-          encoded, std::span<int>(out).subspan(begin, end - begin));
-    }
-  });
+  predict_batch_timed(dataset, out, nullptr, nullptr);
   return out;
 }
 
@@ -193,19 +253,32 @@ void Pipeline::predict_batch(std::span<const hv::BitVector> queries,
   model_->predict_batch(queries, out);
 }
 
-double Pipeline::evaluate(const data::Dataset& dataset) const {
+EvalResult Pipeline::evaluate(const data::Dataset& dataset) const {
   util::expects(fitted(), "evaluate before fit");
+  EvalResult result;
+  result.samples = dataset.size();
   if (dataset.empty()) {
-    return 0.0;
+    return result;
   }
-  const std::vector<int> predicted = predict_batch(dataset);
-  std::size_t correct = 0;
+  util::expects(dataset.feature_count() == encoder_->feature_count(),
+                "dataset/encoder feature count mismatch");
+  std::vector<int> predicted(dataset.size());
+  predict_batch_timed(dataset, predicted, &result.encode_seconds,
+                      &result.score_seconds);
+
+  // The matrix must admit every label either side produced (a model can
+  // predict a class the evaluation split happens to lack).
+  std::size_t classes = dataset.class_count();
+  for (const int p : predicted) {
+    classes = std::max(classes, static_cast<std::size_t>(p) + 1);
+  }
+  auto confusion = std::make_shared<train::ConfusionMatrix>(classes);
   for (std::size_t i = 0; i < predicted.size(); ++i) {
-    if (predicted[i] == dataset.label(i)) {
-      ++correct;
-    }
+    confusion->add(dataset.label(i), predicted[i]);
   }
-  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+  result.accuracy = confusion->accuracy();
+  result.confusion = std::move(confusion);
+  return result;
 }
 
 const train::Model& Pipeline::model() const {

@@ -15,6 +15,7 @@
 #include "data/dataset.hpp"
 #include "hdc/encoder.hpp"
 #include "train/adapt.hpp"
+#include "train/confusion.hpp"
 #include "train/multimodel.hpp"
 #include "train/nonbinary.hpp"
 #include "train/retrain.hpp"
@@ -67,13 +68,40 @@ struct PipelineConfig {
 [[nodiscard]] std::unique_ptr<train::Trainer> make_trainer(
     const PipelineConfig& config);
 
+/// Wall-clock cost of one fit() run, split by stage.
+struct StageTimings {
+  double encode_seconds = 0.0;  // dataset encoding (train + test)
+  double train_seconds = 0.0;   // the strategy's own training loop
+  double eval_seconds = 0.0;    // the final train/test accuracy passes
+};
+
 struct FitReport {
   double train_accuracy = 0.0;
   double test_accuracy = 0.0;  // 0 when no test set given
-  double encode_seconds = 0.0;
-  double train_seconds = 0.0;
+  StageTimings timings;
   std::size_t epochs_run = 0;
+  /// Per-epoch points; non-empty only when fit() ran with an observer.
   std::vector<train::EpochPoint> trajectory;
+};
+
+/// Structured result of Pipeline::evaluate — accuracy plus everything a
+/// caller previously had to recompute or obtain through side channels.
+struct EvalResult {
+  double accuracy = 0.0;
+  std::size_t samples = 0;
+  /// Full confusion matrix of the pass; null when the dataset was empty.
+  std::shared_ptr<const train::ConfusionMatrix> confusion;
+  /// Wall time spent encoding raw samples, summed over workers (exceeds
+  /// elapsed time when the fused pass runs on several threads).
+  double encode_seconds = 0.0;
+  /// Wall time spent scoring encoded blocks, summed over workers.
+  double score_seconds = 0.0;
+
+  /// Transitional shim for the old `double evaluate(...)` signature; one
+  /// release only.
+  [[deprecated("use EvalResult::accuracy")]] operator double() const noexcept {
+    return accuracy;
+  }
 };
 
 class Pipeline {
@@ -90,10 +118,12 @@ class Pipeline {
 
   /// Encodes and trains. The value range for quantization is taken from
   /// the training set. Preconditions: !train.empty(); if test is given it
-  /// must share the training schema.
+  /// must share the training schema. Attaching an observer reports every
+  /// epoch (see train::EpochObserver) and fills FitReport::trajectory;
+  /// pass train::record_trajectory() for collection alone.
   FitReport fit(const data::Dataset& train,
                 const data::Dataset* test = nullptr,
-                bool record_trajectory = false);
+                const train::EpochObserver& observer = {});
 
   /// Predicts the class of one raw feature vector. Precondition: fitted.
   [[nodiscard]] int predict(std::span<const float> features) const;
@@ -111,8 +141,11 @@ class Pipeline {
   void predict_batch(std::span<const hv::BitVector> queries,
                      std::span<int> out) const;
 
-  /// Accuracy over a raw dataset (fused batched encode+predict).
-  [[nodiscard]] double evaluate(const data::Dataset& dataset) const;
+  /// Evaluates a raw dataset (fused batched encode+predict): accuracy,
+  /// confusion matrix and per-stage wall times in one pass. Predictions —
+  /// and therefore accuracy and the confusion matrix — are bit-identical
+  /// for every worker count; the timings are measurements and are not.
+  [[nodiscard]] EvalResult evaluate(const data::Dataset& dataset) const;
 
   [[nodiscard]] bool fitted() const noexcept { return model_ != nullptr; }
   [[nodiscard]] const train::Model& model() const;
@@ -123,6 +156,12 @@ class Pipeline {
 
  private:
   void ensure_encoder(const data::Dataset& train);
+
+  /// Fused encode+score pass that also accumulates per-stage wall times
+  /// (summed across workers) for EvalResult.
+  void predict_batch_timed(const data::Dataset& dataset, std::span<int> out,
+                           double* encode_seconds,
+                           double* score_seconds) const;
 
   PipelineConfig config_;
   std::unique_ptr<hdc::RecordEncoder> encoder_;

@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "hdc/model_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "util/check.hpp"
 #include "util/fileio.hpp"
 #include "util/serial.hpp"
@@ -38,6 +40,9 @@ void read_pod(std::istream& in, T& value, const std::string& path) {
 }  // namespace
 
 void save_pipeline(const Pipeline& pipeline, const std::string& path) {
+  static obs::Histogram& save_hist =
+      obs::Registry::global().histogram("io.pipeline_save_seconds");
+  const obs::ScopedTimer io_timer(save_hist);
   util::expects(pipeline.fitted(), "cannot save an unfitted pipeline");
   const auto* binary = pipeline.model().as_binary();
   util::expects(binary != nullptr,
@@ -144,6 +149,9 @@ Pipeline load_pipeline_v1(std::istream& in, const std::string& path) {
 }  // namespace
 
 Pipeline load_pipeline(const std::string& path) {
+  static obs::Histogram& load_hist =
+      obs::Registry::global().histogram("io.pipeline_load_seconds");
+  const obs::ScopedTimer io_timer(load_hist);
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("cannot open pipeline bundle: " + path);

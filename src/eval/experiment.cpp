@@ -27,8 +27,8 @@ StrategyOutcome run_trials(const data::TrainTestSplit& split,
     const core::FitReport report = pipeline.fit(split.train, &split.test);
     test_acc.push_back(report.test_accuracy * 100.0);
     train_acc.push_back(report.train_accuracy * 100.0);
-    train_seconds += report.train_seconds;
-    encode_seconds += report.encode_seconds;
+    train_seconds += report.timings.train_seconds;
+    encode_seconds += report.timings.encode_seconds;
   }
 
   StrategyOutcome outcome;

@@ -1,43 +1,14 @@
-// Evaluation metrics beyond plain accuracy: confusion matrices and
-// per-class accuracy, used by tests and the examples' diagnostics.
+// Compatibility header: the confusion-matrix metrics moved to
+// train/confusion.hpp so core::Pipeline::evaluate could return one without
+// an eval→core→eval dependency cycle. Existing eval::ConfusionMatrix users
+// keep compiling through these aliases.
 #pragma once
 
-#include <cstddef>
-#include <vector>
-
-#include "hdc/encoded_dataset.hpp"
-#include "train/trainer.hpp"
+#include "train/confusion.hpp"
 
 namespace lehdc::eval {
 
-class ConfusionMatrix {
- public:
-  explicit ConfusionMatrix(std::size_t class_count);
-
-  void add(int true_label, int predicted_label);
-
-  [[nodiscard]] std::size_t class_count() const noexcept {
-    return class_count_;
-  }
-  [[nodiscard]] std::size_t count(int true_label, int predicted_label) const;
-  [[nodiscard]] std::size_t total() const noexcept { return total_; }
-
-  [[nodiscard]] double accuracy() const noexcept;
-  /// Recall of one class; 0 when the class has no samples.
-  [[nodiscard]] double recall(int label) const;
-  /// Precision of one class; 0 when nothing was predicted as it.
-  [[nodiscard]] double precision(int label) const;
-  /// Unweighted mean of per-class recalls (balanced accuracy).
-  [[nodiscard]] double macro_recall() const;
-
- private:
-  std::size_t class_count_;
-  std::size_t total_ = 0;
-  std::vector<std::size_t> cells_;  // row = true, col = predicted
-};
-
-/// Evaluates a model over a dataset into a confusion matrix.
-[[nodiscard]] ConfusionMatrix evaluate_confusion(
-    const train::Model& model, const hdc::EncodedDataset& dataset);
+using ConfusionMatrix = train::ConfusionMatrix;
+using train::evaluate_confusion;
 
 }  // namespace lehdc::eval

@@ -7,6 +7,8 @@
 #include <mutex>
 
 #include "hv/batch_score.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "util/check.hpp"
 
 namespace lehdc::hdc {
@@ -17,6 +19,18 @@ namespace {
 // chunks outnumber workers for typical evaluation sets, large enough to
 // amortize the scratch acquisition.
 constexpr std::size_t kReductionChunk = 256;
+
+obs::Counter& query_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("score.queries");
+  return counter;
+}
+
+obs::Histogram& chunk_histogram() {
+  static obs::Histogram& histogram =
+      obs::Registry::global().histogram("score.chunk_seconds");
+  return histogram;
+}
 
 }  // namespace
 
@@ -150,8 +164,10 @@ void BatchScorer::predict_batch(std::span<const hv::BitVector> queries,
   if (queries.empty()) {
     return;
   }
+  query_counter().add(queries.size());
   pool().parallel_for(0, queries.size(),
                       [&](std::size_t lo, std::size_t hi) {
+                        obs::ScopedTimer chunk_timer(chunk_histogram());
                         auto scratch = acquire_scratch();
                         predict_range(queries, lo, hi, out, *scratch);
                         release_scratch(std::move(scratch));
@@ -227,8 +243,10 @@ std::size_t BatchScorer::correct_count(const EncodedDataset& dataset) const {
   // the reduction is identical for every worker count.
   const std::size_t chunks =
       (dataset.size() + kReductionChunk - 1) / kReductionChunk;
+  query_counter().add(dataset.size());
   std::vector<std::size_t> partial(chunks, 0);
   pool().parallel_for(0, chunks, [&](std::size_t lo, std::size_t hi) {
+    obs::ScopedTimer chunk_timer(chunk_histogram());
     auto scratch = acquire_scratch();
     for (std::size_t c = lo; c < hi; ++c) {
       const std::size_t begin = c * kReductionChunk;

@@ -1,5 +1,8 @@
 #include "hdc/encoded_dataset.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -27,13 +30,21 @@ EncodedDataset encode_dataset(const Encoder& encoder,
                               const data::Dataset& dataset) {
   util::expects(encoder.feature_count() == dataset.feature_count(),
                 "encoder/dataset feature width mismatch");
+  static obs::Counter& sample_counter =
+      obs::Registry::global().counter("encode.samples");
+  static obs::Histogram& block_hist =
+      obs::Registry::global().histogram("encode.block_seconds");
+
+  const obs::TraceSpan span("encode.dataset");
   const std::size_t n = dataset.size();
   std::vector<hv::BitVector> encoded(n);
   util::parallel_for(0, n, [&](std::size_t begin, std::size_t end) {
+    obs::ScopedTimer block_timer(block_hist);
     for (std::size_t i = begin; i < end; ++i) {
       encoded[i] = encoder.encode(dataset.sample(i));
     }
   });
+  sample_counter.add(n);
   EncodedDataset out(encoder.dim(), dataset.class_count());
   for (std::size_t i = 0; i < n; ++i) {
     out.add(std::move(encoded[i]), dataset.label(i));

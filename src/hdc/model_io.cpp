@@ -7,10 +7,28 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "util/fileio.hpp"
 #include "util/serial.hpp"
 
 namespace lehdc::hdc {
+
+namespace {
+
+obs::Histogram& io_save_histogram() {
+  static obs::Histogram& histogram =
+      obs::Registry::global().histogram("io.model_save_seconds");
+  return histogram;
+}
+
+obs::Histogram& io_load_histogram() {
+  static obs::Histogram& histogram =
+      obs::Registry::global().histogram("io.model_load_seconds");
+  return histogram;
+}
+
+}  // namespace
 
 namespace {
 
@@ -132,12 +150,14 @@ BinaryClassifier read_classifier(std::istream& in,
 
 void save_classifier(const BinaryClassifier& classifier,
                      const std::string& path) {
+  const obs::ScopedTimer io_timer(io_save_histogram());
   std::ostringstream buffer(std::ios::binary);
   write_classifier(buffer, classifier);
   util::atomic_write_file(path, buffer.view());
 }
 
 BinaryClassifier load_classifier(const std::string& path) {
+  const obs::ScopedTimer io_timer(io_load_histogram());
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("cannot open model file: " + path);
@@ -147,6 +167,7 @@ BinaryClassifier load_classifier(const std::string& path) {
 
 void save_ensemble(const EnsembleClassifier& classifier,
                    const std::string& path) {
+  const obs::ScopedTimer io_timer(io_save_histogram());
   const auto& models = classifier.models();
   util::PayloadWriter payload;
   payload.pod(static_cast<std::uint64_t>(models.front().front().dim()));
@@ -200,6 +221,7 @@ EnsembleClassifier read_ensemble_v1(std::istream& in,
 }  // namespace
 
 EnsembleClassifier load_ensemble(const std::string& path) {
+  const obs::ScopedTimer io_timer(io_load_histogram());
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("cannot open ensemble file: " + path);

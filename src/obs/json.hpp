@@ -1,0 +1,97 @@
+// A minimal JSON document model with a strict parser and a deterministic
+// writer — just enough for metrics snapshots, Chrome traces and their
+// schema validation (no external dependency allowed in this repo).
+//
+// Objects preserve insertion order so dumps are deterministic and diffs of
+// two snapshots line up. Numbers are doubles; integral values round-trip
+// losslessly up to 2^53 (metric counters far beyond that are not a
+// realistic concern for run reports).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace lehdc::obs {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Member = std::pair<std::string, Json>;
+  using Object = std::vector<Member>;
+
+  Json() : kind_(Kind::kNull) {}
+  Json(std::nullptr_t) : kind_(Kind::kNull) {}
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+  Json(double value) : kind_(Kind::kNumber), number_(value) {}
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  Json(T value) : Json(static_cast<double>(value)) {}
+  Json(const char* value) : kind_(Kind::kString), string_(value) {}
+  Json(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}
+  Json(std::string_view value) : kind_(Kind::kString), string_(value) {}
+
+  [[nodiscard]] static Json array(Array items = {});
+  [[nodiscard]] static Json object(Object members = {});
+
+  /// Strict parse of a complete document; throws std::runtime_error with
+  /// a byte offset on malformed input.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  /// Typed accessors; throw std::runtime_error on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  /// Object member lookup; returns nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  /// Like find, but throws std::runtime_error when the key is missing.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+
+  /// Appends/overwrites an object member (keeps first-set order).
+  void set(std::string key, Json value);
+  /// Appends an array element.
+  void push_back(Json value);
+
+  /// Serializes the document. indent == 0 emits one compact line;
+  /// indent > 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  [[nodiscard]] bool operator==(const Json& other) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace lehdc::obs

@@ -1,0 +1,265 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace lehdc::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Atomic double accumulation via CAS on the bit pattern (std::atomic
+/// fetch_add on doubles is C++20 but this keeps us independent of the
+/// library's lowering and of -ffast-math surprises).
+void atomic_add(std::atomic<std::uint64_t>& bits, double delta) noexcept {
+  std::uint64_t expected = bits.load(std::memory_order_relaxed);
+  while (true) {
+    const double updated = std::bit_cast<double>(expected) + delta;
+    if (bits.compare_exchange_weak(expected, std::bit_cast<std::uint64_t>(updated),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void atomic_min(std::atomic<std::uint64_t>& bits, double v) noexcept {
+  std::uint64_t expected = bits.load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(expected) > v) {
+    if (bits.compare_exchange_weak(expected, std::bit_cast<std::uint64_t>(v),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& bits, double v) noexcept {
+  std::uint64_t expected = bits.load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(expected) < v) {
+    if (bits.compare_exchange_weak(expected, std::bit_cast<std::uint64_t>(v),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+// ~2.5 steps per decade from 1 µs to 60 s; wall times outside that land in
+// the first bucket / overflow bucket but keep exact count/sum/min/max.
+constexpr std::array<double, 25> kTimeBuckets = {
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,  0.25,   0.5,
+    1.0,  2.5,    5.0,  10.0, 20.0,   40.0, 60.0};
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t Gauge::to_bits(double v) noexcept {
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+double Gauge::from_bits(std::uint64_t bits) noexcept {
+  return std::bit_cast<double>(bits);
+}
+
+std::span<const double> default_time_buckets() noexcept {
+  return {kTimeBuckets.data(), kTimeBuckets.size()};
+}
+
+Histogram::Histogram(std::string name, std::span<const double> bounds)
+    : name_(std::move(name)),
+      bounds_(bounds.begin(), bounds.end()),
+      min_bits_(std::bit_cast<std::uint64_t>(kInf)),
+      max_bits_(std::bit_cast<std::uint64_t>(-kInf)) {
+  if (bounds_.empty()) {
+    const auto defaults = default_time_buckets();
+    bounds_.assign(defaults.begin(), defaults.end());
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("histogram bounds must be strictly ascending");
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  if (!enabled()) {
+    return;
+  }
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_bits_, v);
+  atomic_min(min_bits_, v);
+  atomic_max(max_bits_, v);
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+  min_bits_.store(std::bit_cast<std::uint64_t>(kInf),
+                  std::memory_order_relaxed);
+  max_bits_.store(std::bit_cast<std::uint64_t>(-kInf),
+                  std::memory_order_relaxed);
+}
+
+double Histogram::quantile(const std::vector<std::uint64_t>& counts,
+                           std::uint64_t total, double q,
+                           double observed_min, double observed_max) const {
+  if (total == 0) {
+    return 0.0;
+  }
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (static_cast<double>(cumulative + counts[i]) < target) {
+      cumulative += counts[i];
+      continue;
+    }
+    // Interpolate within bucket i. Edges are clamped to the observed
+    // min/max so estimates never leave the data's range (and the overflow
+    // bucket has a finite upper edge).
+    const double lo =
+        std::max(observed_min, i == 0 ? observed_min : bounds_[i - 1]);
+    const double hi =
+        std::min(observed_max, i < bounds_.size() ? bounds_[i] : observed_max);
+    if (counts[i] == 0 || hi <= lo) {
+      return std::clamp(lo, observed_min, observed_max);
+    }
+    const double within =
+        (target - static_cast<double>(cumulative)) /
+        static_cast<double>(counts[i]);
+    return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+  }
+  return observed_max;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += counts[i];
+  }
+  snap.sum = std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  const double raw_min =
+      std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+  const double raw_max =
+      std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+  snap.min = snap.count > 0 ? raw_min : 0.0;
+  snap.max = snap.count > 0 ? raw_max : 0.0;
+  snap.p50 = quantile(counts, snap.count, 0.50, snap.min, snap.max);
+  snap.p95 = quantile(counts, snap.count, 0.95, snap.min, snap.max);
+  snap.p99 = quantile(counts, snap.count, 0.99, snap.min, snap.max);
+  snap.buckets.reserve(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    snap.buckets.push_back(
+        {i < bounds_.size() ? bounds_[i] : kInf, counts[i]});
+  }
+  return snap;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  if (const auto it = by_name_.find(name); it != by_name_.end()) {
+    if (it->second.kind != Kind::kCounter) {
+      throw std::invalid_argument("metric '" + std::string(name) +
+                                  "' already registered with another kind");
+    }
+    return *counters_[it->second.index];
+  }
+  counters_.push_back(std::unique_ptr<Counter>(new Counter(std::string(name))));
+  by_name_.emplace(std::string(name),
+                   Entry{Kind::kCounter, counters_.size() - 1});
+  return *counters_.back();
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  if (const auto it = by_name_.find(name); it != by_name_.end()) {
+    if (it->second.kind != Kind::kGauge) {
+      throw std::invalid_argument("metric '" + std::string(name) +
+                                  "' already registered with another kind");
+    }
+    return *gauges_[it->second.index];
+  }
+  gauges_.push_back(std::unique_ptr<Gauge>(new Gauge(std::string(name))));
+  by_name_.emplace(std::string(name), Entry{Kind::kGauge, gauges_.size() - 1});
+  return *gauges_.back();
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> bounds) {
+  const std::scoped_lock lock(mutex_);
+  if (const auto it = by_name_.find(name); it != by_name_.end()) {
+    if (it->second.kind != Kind::kHistogram) {
+      throw std::invalid_argument("metric '" + std::string(name) +
+                                  "' already registered with another kind");
+    }
+    return *histograms_[it->second.index];
+  }
+  histograms_.push_back(
+      std::unique_ptr<Histogram>(new Histogram(std::string(name), bounds)));
+  by_name_.emplace(std::string(name),
+                   Entry{Kind::kHistogram, histograms_.size() - 1});
+  return *histograms_.back();
+}
+
+void Registry::visit_counters(
+    const std::function<void(const Counter&)>& fn) const {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& counter : counters_) {
+    fn(*counter);
+  }
+}
+
+void Registry::visit_gauges(const std::function<void(const Gauge&)>& fn) const {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& gauge : gauges_) {
+    fn(*gauge);
+  }
+}
+
+void Registry::visit_histograms(
+    const std::function<void(const Histogram&)>& fn) const {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& histogram : histograms_) {
+    fn(*histogram);
+  }
+}
+
+void Registry::reset() {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& counter : counters_) {
+    counter->reset();
+  }
+  for (const auto& gauge : gauges_) {
+    gauge->reset();
+  }
+  for (const auto& histogram : histograms_) {
+    histogram->reset();
+  }
+}
+
+}  // namespace lehdc::obs

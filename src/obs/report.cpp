@@ -1,0 +1,284 @@
+#include "obs/report.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace lehdc::obs {
+
+namespace {
+
+constexpr const char* kSchemaVersion = "lehdc.metrics.v1";
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '.';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_document(const std::string& path, const Json& document) {
+  const std::string text = document.dump(2) + "\n";
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fflush(stdout);
+    return;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool close_ok = std::fclose(file) == 0;
+  if (written != text.size() || !close_ok) {
+    throw std::runtime_error("short write to '" + path + "'");
+  }
+}
+
+Json bucket_bound(double upper) {
+  if (std::isinf(upper)) {
+    return Json("+Inf");
+  }
+  return Json(upper);
+}
+
+}  // namespace
+
+const char* metrics_schema_version() noexcept { return kSchemaVersion; }
+
+Json metrics_snapshot(const Registry& registry, Json context) {
+  Json root = Json::object();
+  root.set("schema", Json(kSchemaVersion));
+  if (!context.is_object()) {
+    context = Json::object();
+  }
+  root.set("context", std::move(context));
+
+  Json counters = Json::array();
+  registry.visit_counters([&](const Counter& counter) {
+    Json item = Json::object();
+    item.set("name", Json(counter.name()));
+    item.set("value", Json(counter.value()));
+    counters.push_back(std::move(item));
+  });
+  root.set("counters", std::move(counters));
+
+  Json gauges = Json::array();
+  registry.visit_gauges([&](const Gauge& gauge) {
+    Json item = Json::object();
+    item.set("name", Json(gauge.name()));
+    item.set("value", Json(gauge.value()));
+    gauges.push_back(std::move(item));
+  });
+  root.set("gauges", std::move(gauges));
+
+  Json histograms = Json::array();
+  registry.visit_histograms([&](const Histogram& histogram) {
+    const Histogram::Snapshot snap = histogram.snapshot();
+    Json item = Json::object();
+    item.set("name", Json(histogram.name()));
+    item.set("count", Json(snap.count));
+    item.set("sum", Json(snap.sum));
+    item.set("min", Json(snap.min));
+    item.set("max", Json(snap.max));
+    item.set("p50", Json(snap.p50));
+    item.set("p95", Json(snap.p95));
+    item.set("p99", Json(snap.p99));
+    Json buckets = Json::array();
+    for (const Histogram::Bucket& bucket : snap.buckets) {
+      Json cell = Json::object();
+      cell.set("le", bucket_bound(bucket.upper_bound));
+      cell.set("count", Json(bucket.count));
+      buckets.push_back(std::move(cell));
+    }
+    item.set("buckets", std::move(buckets));
+    histograms.push_back(std::move(item));
+  });
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
+void write_metrics_json(const std::string& path, const Registry& registry,
+                        Json context) {
+  write_document(path, metrics_snapshot(registry, std::move(context)));
+}
+
+std::string validate_metrics_json(const Json& root) {
+  if (!root.is_object()) {
+    return "document root is not an object";
+  }
+  const Json* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    return "missing string member 'schema'";
+  }
+  if (schema->as_string() != kSchemaVersion) {
+    return "unknown schema '" + schema->as_string() + "' (expected " +
+           kSchemaVersion + ")";
+  }
+  const Json* context = root.find("context");
+  if (context != nullptr && !context->is_object()) {
+    return "'context' is present but not an object";
+  }
+
+  std::set<std::string> seen;
+  const auto check_name = [&seen](const Json& item,
+                                  const char* section) -> std::string {
+    const Json* name = item.find("name");
+    if (name == nullptr || !name->is_string()) {
+      return std::string(section) + " entry missing string 'name'";
+    }
+    if (!valid_metric_name(name->as_string())) {
+      return std::string(section) + " name '" + name->as_string() +
+             "' violates [a-z0-9_.]+";
+    }
+    if (!seen.insert(name->as_string()).second) {
+      return "duplicate metric name '" + name->as_string() + "'";
+    }
+    return {};
+  };
+
+  for (const char* section : {"counters", "gauges"}) {
+    const Json* list = root.find(section);
+    if (list == nullptr || !list->is_array()) {
+      return std::string("missing array member '") + section + "'";
+    }
+    for (const Json& item : list->as_array()) {
+      if (!item.is_object()) {
+        return std::string(section) + " entry is not an object";
+      }
+      if (std::string err = check_name(item, section); !err.empty()) {
+        return err;
+      }
+      const Json* value = item.find("value");
+      if (value == nullptr || !value->is_number()) {
+        return std::string(section) + " entry '" +
+               item.at("name").as_string() + "' missing numeric 'value'";
+      }
+    }
+  }
+
+  const Json* histograms = root.find("histograms");
+  if (histograms == nullptr || !histograms->is_array()) {
+    return "missing array member 'histograms'";
+  }
+  for (const Json& item : histograms->as_array()) {
+    if (!item.is_object()) {
+      return "histograms entry is not an object";
+    }
+    if (std::string err = check_name(item, "histograms"); !err.empty()) {
+      return err;
+    }
+    const std::string& name = item.at("name").as_string();
+    for (const char* field : {"count", "sum", "min", "max", "p50", "p95",
+                              "p99"}) {
+      const Json* value = item.find(field);
+      if (value == nullptr || !value->is_number()) {
+        return "histogram '" + name + "' missing numeric '" + field + "'";
+      }
+    }
+    const Json* buckets = item.find("buckets");
+    if (buckets == nullptr || !buckets->is_array() ||
+        buckets->as_array().empty()) {
+      return "histogram '" + name + "' missing non-empty 'buckets'";
+    }
+    double previous_bound = -std::numeric_limits<double>::infinity();
+    double bucket_total = 0.0;
+    const auto& cells = buckets->as_array();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Json& cell = cells[i];
+      if (!cell.is_object()) {
+        return "histogram '" + name + "' bucket is not an object";
+      }
+      const Json* le = cell.find("le");
+      const Json* count = cell.find("count");
+      if (le == nullptr || count == nullptr || !count->is_number()) {
+        return "histogram '" + name + "' bucket missing 'le'/'count'";
+      }
+      const bool last = i + 1 == cells.size();
+      if (last) {
+        if (!le->is_string() || le->as_string() != "+Inf") {
+          return "histogram '" + name + "' last bucket 'le' must be \"+Inf\"";
+        }
+      } else {
+        if (!le->is_number()) {
+          return "histogram '" + name + "' non-final bucket 'le' must be a number";
+        }
+        if (le->as_number() <= previous_bound) {
+          return "histogram '" + name + "' bucket bounds not ascending";
+        }
+        previous_bound = le->as_number();
+      }
+      if (count->as_number() < 0.0) {
+        return "histogram '" + name + "' bucket count is negative";
+      }
+      bucket_total += count->as_number();
+    }
+    if (bucket_total != item.at("count").as_number()) {
+      return "histogram '" + name + "' bucket counts do not sum to 'count'";
+    }
+    const double p50 = item.at("p50").as_number();
+    const double p95 = item.at("p95").as_number();
+    const double p99 = item.at("p99").as_number();
+    if (!(p50 <= p95 && p95 <= p99)) {
+      return "histogram '" + name + "' quantiles not ordered (p50<=p95<=p99)";
+    }
+  }
+  return {};
+}
+
+Json trace_snapshot(const TraceBuffer& buffer) {
+  Json events = Json::array();
+  for (const TraceEvent& event : buffer.events()) {
+    Json item = Json::object();
+    item.set("name", Json(event.name != nullptr ? event.name : ""));
+    item.set("cat", Json(event.category != nullptr ? event.category : ""));
+    item.set("ph", Json("X"));
+    item.set("ts", Json(event.ts_us));
+    item.set("dur", Json(event.dur_us));
+    item.set("pid", Json(1));
+    item.set("tid", Json(static_cast<std::uint64_t>(event.tid)));
+    events.push_back(std::move(item));
+  }
+  Json root = Json::object();
+  root.set("traceEvents", std::move(events));
+  root.set("displayTimeUnit", Json("ms"));
+  if (buffer.dropped() != 0) {
+    Json meta = Json::object();
+    meta.set("droppedEvents", Json(buffer.dropped()));
+    root.set("metadata", std::move(meta));
+  }
+  return root;
+}
+
+void write_trace_json(const std::string& path, const TraceBuffer& buffer) {
+  write_document(path, trace_snapshot(buffer));
+}
+
+std::string init_from_env() {
+  const char* raw = std::getenv("LEHDC_METRICS");
+  if (raw == nullptr || raw[0] == '\0') {
+    return {};
+  }
+  const std::string value(raw);
+  if (value == "0") {
+    return {};
+  }
+  set_enabled(true);
+  if (value == "1") {
+    return {};
+  }
+  return value;
+}
+
+}  // namespace lehdc::obs

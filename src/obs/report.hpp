@@ -1,0 +1,53 @@
+// Structured run reports: the flat metrics JSON snapshot (one schema shared
+// by the CLI, the benches and CI artifact checks), the Chrome trace export,
+// schema validation, and LEHDC_METRICS environment wiring.
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lehdc::obs {
+
+/// Version tag stamped into (and required from) every metrics snapshot.
+[[nodiscard]] const char* metrics_schema_version() noexcept;
+
+/// Serializes the registry: `{"schema": "lehdc.metrics.v1", "context": {…},
+/// "counters": […], "gauges": […], "histograms": […]}`. `context` carries
+/// caller-supplied run identification (bench name, dim, kernel, …) and may
+/// be an empty object. Histogram min/max/sum/quantiles are numbers; the
+/// overflow bucket's upper bound serializes as the string "+Inf".
+[[nodiscard]] Json metrics_snapshot(
+    const Registry& registry = Registry::global(), Json context = Json::object());
+
+/// Writes the snapshot to `path` ("-" streams to stdout, which then carries
+/// nothing but the JSON document). Throws std::runtime_error on IO failure.
+void write_metrics_json(const std::string& path,
+                        const Registry& registry = Registry::global(),
+                        Json context = Json::object());
+
+/// Validates a parsed metrics snapshot against the v1 schema. Returns an
+/// empty string when valid, else a human-readable description of the first
+/// violation. Checked: schema tag, section shapes, metric name charset,
+/// name uniqueness, histogram bucket-count consistency and quantile
+/// ordering.
+[[nodiscard]] std::string validate_metrics_json(const Json& root);
+
+/// Serializes the trace buffer as a Chrome trace_event document
+/// (`{"traceEvents": [...]}`, "ph":"X" complete events).
+[[nodiscard]] Json trace_snapshot(
+    const TraceBuffer& buffer = TraceBuffer::global());
+
+/// Writes the trace to `path` ("-" streams to stdout).
+void write_trace_json(const std::string& path,
+                      const TraceBuffer& buffer = TraceBuffer::global());
+
+/// Reads LEHDC_METRICS: unset/empty/"0" leaves metrics alone; any other
+/// value enables collection. A value that is not "1" is additionally
+/// treated as a snapshot output path and returned so the caller can write
+/// it on exit ("" when no path was requested).
+std::string init_from_env();
+
+}  // namespace lehdc::obs

@@ -1,0 +1,56 @@
+// RAII scoped timers feeding wall-time observations into histograms.
+//
+// A ScopedTimer is allocation-free and, when metrics are disabled, costs a
+// single relaxed load — the clock is never read. This is the only sanctioned
+// way to time hot-path blocks (scoring chunks, encode blocks): it guarantees
+// the disabled path is branch-plus-nothing.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace lehdc::obs {
+
+/// Monotonic seconds since an arbitrary fixed process epoch (shared with
+/// the trace clock, so timer observations and trace spans line up).
+[[nodiscard]] double monotonic_seconds() noexcept;
+
+/// Records the scope's wall time into a histogram on destruction. When
+/// metrics are disabled at construction, the timer is inert (no clock
+/// reads, nothing recorded at destruction even if metrics get enabled
+/// mid-scope).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram) noexcept
+      : histogram_(enabled() ? &histogram : nullptr),
+        start_(histogram_ != nullptr ? Clock::now() : Clock::time_point{}) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Records now instead of at scope exit; further stops are no-ops.
+  /// Returns the elapsed seconds (0 when inert).
+  double stop() noexcept {
+    if (histogram_ == nullptr) {
+      return 0.0;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    histogram_->observe(elapsed);
+    histogram_ = nullptr;
+    return elapsed;
+  }
+
+  [[nodiscard]] bool active() const noexcept { return histogram_ != nullptr; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Histogram* histogram_;
+  Clock::time_point start_;
+};
+
+}  // namespace lehdc::obs

@@ -1,0 +1,106 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+namespace lehdc::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+using Clock = std::chrono::steady_clock;
+
+/// One fixed origin for all trace timestamps (and timer.hpp's
+/// monotonic_seconds), captured at first use.
+Clock::time_point process_epoch() noexcept {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+double now_us() noexcept {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   process_epoch())
+      .count();
+}
+
+std::atomic<std::uint32_t> g_next_thread_id{1};
+
+}  // namespace
+
+double monotonic_seconds() noexcept { return now_us() * 1e-6; }
+
+std::uint32_t trace_thread_id() noexcept {
+  thread_local const std::uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+bool trace_enabled() noexcept {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) {
+  if (on) {
+    TraceBuffer& buffer = TraceBuffer::global();
+    if (buffer.capacity() == 0) {
+      buffer.reserve(TraceBuffer::kDefaultCapacity);
+    }
+    (void)process_epoch();
+  }
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer buffer;
+  return buffer;
+}
+
+void TraceBuffer::reserve(std::size_t capacity) {
+  storage_.assign(capacity, TraceEvent{});
+  cursor_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void TraceBuffer::append(const TraceEvent& event) noexcept {
+  const std::size_t slot = cursor_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= storage_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  storage_[slot] = event;
+}
+
+std::size_t TraceBuffer::size() const noexcept {
+  const std::size_t cursor = cursor_.load(std::memory_order_relaxed);
+  return cursor < storage_.size() ? cursor : storage_.size();
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  return {storage_.begin(),
+          storage_.begin() + static_cast<std::ptrdiff_t>(size())};
+}
+
+void TraceBuffer::reset() noexcept {
+  cursor_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category) noexcept
+    : name_(trace_enabled() ? name : nullptr),
+      category_(category),
+      start_us_(name_ != nullptr ? now_us() : 0.0) {}
+
+TraceSpan::~TraceSpan() {
+  if (name_ == nullptr) {
+    return;
+  }
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.ts_us = start_us_;
+  event.dur_us = now_us() - start_us_;
+  event.tid = trace_thread_id();
+  TraceBuffer::global().append(event);
+}
+
+}  // namespace lehdc::obs

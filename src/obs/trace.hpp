@@ -1,0 +1,89 @@
+// Lightweight trace spans exportable as Chrome trace_event JSON
+// (chrome://tracing, Perfetto, speedscope all load it).
+//
+// The buffer is a fixed-capacity array filled through an atomic cursor:
+// recording a span is two clock reads plus one fetch_add and a handful of
+// stores — no locks, no allocation. When the buffer fills, further spans
+// are counted as dropped rather than blocking the hot path. Span names
+// must be string literals (or otherwise outlive the buffer); only the
+// pointer is stored.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace lehdc::obs {
+
+/// Tracing switch, independent of the metrics switch (tracing costs more
+/// per event, so it is opt-in separately). Off by default.
+[[nodiscard]] bool trace_enabled() noexcept;
+/// Enabling allocates the buffer on first use. Do not resize mid-trace.
+void set_trace_enabled(bool on);
+
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  double ts_us = 0.0;   // start, microseconds since process trace epoch
+  double dur_us = 0.0;  // duration, microseconds
+  std::uint32_t tid = 0;
+};
+
+class TraceBuffer {
+ public:
+  TraceBuffer() = default;
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  [[nodiscard]] static TraceBuffer& global();
+
+  /// Preallocates space for `capacity` events, discarding any recorded
+  /// ones. Must not race with recording.
+  void reserve(std::size_t capacity);
+
+  /// Lock-free append; drops (and counts) the event when full.
+  void append(const TraceEvent& event) noexcept;
+
+  /// Recorded events in record order. Not safe against concurrent appends.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return storage_.size();
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Empties the buffer (keeps capacity). Must not race with recording.
+  void reset() noexcept;
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+ private:
+  std::vector<TraceEvent> storage_;
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Small dense id for the calling thread (assigned on first use),
+/// used as the Chrome trace "tid".
+[[nodiscard]] std::uint32_t trace_thread_id() noexcept;
+
+/// RAII complete-event span ("ph":"X"). Inert when tracing is disabled at
+/// construction. `name` and `category` must be string literals.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name,
+                     const char* category = "lehdc") noexcept;
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+ private:
+  const char* name_;  // nullptr when inert
+  const char* category_;
+  double start_us_;
+};
+
+}  // namespace lehdc::obs

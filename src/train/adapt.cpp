@@ -18,11 +18,28 @@ AdaptHdTrainer::AdaptHdTrainer(const AdaptConfig& config) : config_(config) {
   util::expects(config.iterations >= 1, "need at least one iteration");
 }
 
-TrainResult AdaptHdTrainer::train(const hdc::EncodedDataset& train_set,
-                                  const TrainOptions& options) const {
+TrainResult AdaptHdTrainer::run(const hdc::EncodedDataset& train_set,
+                                const TrainOptions& options) const {
   util::expects(!train_set.empty(), "cannot train on an empty dataset");
   const util::Stopwatch timer;
   util::Rng rng(options.seed);
+
+  double consumed_seconds = 0.0;
+  const auto emit = [&](std::size_t epoch,
+                        const hdc::BinaryClassifier& snapshot) {
+    const double work_mark = timer.elapsed_seconds();
+    EpochEvent event;
+    event.point.epoch = epoch;
+    event.point.train_accuracy = snapshot.accuracy(train_set);
+    event.point.train_loss = 1.0 - event.point.train_accuracy;
+    if (options.test != nullptr) {
+      event.point.test_accuracy = snapshot.accuracy(*options.test);
+    }
+    event.epoch_seconds = work_mark - consumed_seconds;
+    event.eval_seconds = timer.elapsed_seconds() - work_mark;
+    options.epoch_observer(event);
+    consumed_seconds = timer.elapsed_seconds();
+  };
 
   nn::Matrix c_nb = to_class_matrix(accumulate_classes(train_set));
   const std::size_t k_classes = c_nb.rows();
@@ -42,16 +59,8 @@ TrainResult AdaptHdTrainer::train(const hdc::EncodedDataset& train_set,
        ++iteration) {
     binary = binarize_class_matrix(c_nb);
 
-    if (options.record_trajectory) {
-      const hdc::BinaryClassifier snapshot(binary);
-      EpochPoint point;
-      point.epoch = iteration;
-      point.train_accuracy = snapshot.accuracy(train_set);
-      point.train_loss = 1.0 - point.train_accuracy;
-      if (options.test != nullptr) {
-        point.test_accuracy = snapshot.accuracy(*options.test);
-      }
-      result.trajectory.push_back(point);
+    if (options.epoch_observer) {
+      emit(iteration, hdc::BinaryClassifier(binary));
     }
 
     if (config_.shuffle) {
@@ -109,15 +118,8 @@ TrainResult AdaptHdTrainer::train(const hdc::EncodedDataset& train_set,
   }
 
   hdc::BinaryClassifier classifier(binarize_class_matrix(c_nb));
-  if (options.record_trajectory) {
-    EpochPoint point;
-    point.epoch = result.epochs_run;
-    point.train_accuracy = classifier.accuracy(train_set);
-    point.train_loss = 1.0 - point.train_accuracy;
-    if (options.test != nullptr) {
-      point.test_accuracy = classifier.accuracy(*options.test);
-    }
-    result.trajectory.push_back(point);
+  if (options.epoch_observer) {
+    emit(result.epochs_run, classifier);
   }
   result.model = std::make_shared<BinaryModel>(std::move(classifier));
   result.train_seconds = timer.elapsed_seconds();

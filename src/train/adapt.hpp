@@ -33,8 +33,9 @@ class AdaptHdTrainer final : public Trainer {
 
   [[nodiscard]] std::string name() const override { return "AdaptHD"; }
 
-  [[nodiscard]] TrainResult train(const hdc::EncodedDataset& train_set,
-                                  const TrainOptions& options) const override;
+ protected:
+  [[nodiscard]] TrainResult run(const hdc::EncodedDataset& train_set,
+                                const TrainOptions& options) const override;
 
  private:
   AdaptConfig config_;

@@ -42,21 +42,24 @@ std::vector<hv::IntVector> accumulate_classes(
   return classes;
 }
 
-TrainResult BaselineTrainer::train(const hdc::EncodedDataset& train_set,
-                                   const TrainOptions& options) const {
+TrainResult BaselineTrainer::run(const hdc::EncodedDataset& train_set,
+                                 const TrainOptions& options) const {
   const util::Stopwatch timer;
   hdc::BinaryClassifier classifier(bundle_classes(train_set, options.seed));
 
   TrainResult result;
   result.epochs_run = 1;
-  if (options.record_trajectory) {
-    EpochPoint point;
-    point.epoch = 0;
-    point.train_accuracy = classifier.accuracy(train_set);
+  if (options.epoch_observer) {
+    const double work_seconds = timer.elapsed_seconds();
+    EpochEvent event;
+    event.point.epoch = 0;
+    event.point.train_accuracy = classifier.accuracy(train_set);
     if (options.test != nullptr) {
-      point.test_accuracy = classifier.accuracy(*options.test);
+      event.point.test_accuracy = classifier.accuracy(*options.test);
     }
-    result.trajectory.push_back(point);
+    event.epoch_seconds = work_seconds;
+    event.eval_seconds = timer.elapsed_seconds() - work_seconds;
+    options.epoch_observer(event);
   }
   result.model = std::make_shared<BinaryModel>(std::move(classifier));
   result.train_seconds = timer.elapsed_seconds();

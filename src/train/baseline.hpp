@@ -13,8 +13,9 @@ class BaselineTrainer final : public Trainer {
 
   [[nodiscard]] std::string name() const override { return "Baseline"; }
 
-  [[nodiscard]] TrainResult train(const hdc::EncodedDataset& train_set,
-                                  const TrainOptions& options) const override;
+ protected:
+  [[nodiscard]] TrainResult run(const hdc::EncodedDataset& train_set,
+                                const TrainOptions& options) const override;
 };
 
 /// Shared helper: per-class majority bundling (Eq. 2) returning binary

@@ -1,8 +1,8 @@
-#include "eval/metrics.hpp"
+#include "train/confusion.hpp"
 
 #include "util/check.hpp"
 
-namespace lehdc::eval {
+namespace lehdc::train {
 
 ConfusionMatrix::ConfusionMatrix(std::size_t class_count)
     : class_count_(class_count), cells_(class_count * class_count, 0) {
@@ -78,7 +78,7 @@ double ConfusionMatrix::macro_recall() const {
   return sum / static_cast<double>(class_count_);
 }
 
-ConfusionMatrix evaluate_confusion(const train::Model& model,
+ConfusionMatrix evaluate_confusion(const Model& model,
                                    const hdc::EncodedDataset& dataset) {
   ConfusionMatrix matrix(dataset.class_count());
   // One batched pass over the dataset; the cells are filled serially in
@@ -91,4 +91,4 @@ ConfusionMatrix evaluate_confusion(const train::Model& model,
   return matrix;
 }
 
-}  // namespace lehdc::eval
+}  // namespace lehdc::train

@@ -44,11 +44,13 @@ MultiModelTrainer::MultiModelTrainer(const MultiModelConfig& config)
   util::expects(config.epochs >= 1, "need at least one epoch");
 }
 
-TrainResult MultiModelTrainer::train(const hdc::EncodedDataset& train_set,
-                                     const TrainOptions& options) const {
+TrainResult MultiModelTrainer::run(const hdc::EncodedDataset& train_set,
+                                   const TrainOptions& options) const {
   util::expects(!train_set.empty(), "cannot train on an empty dataset");
   const util::Stopwatch timer;
   util::Rng rng(options.seed);
+
+  double consumed_seconds = 0.0;
 
   const std::size_t k_classes = train_set.class_count();
   const std::size_t m = config_.models_per_class;
@@ -90,23 +92,27 @@ TrainResult MultiModelTrainer::train(const hdc::EncodedDataset& train_set,
   double best_train_accuracy = -1.0;
 
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
-    if (options.record_trajectory || config_.keep_best) {
+    if (options.epoch_observer || config_.keep_best) {
+      const double work_mark = timer.elapsed_seconds();
       const hdc::EnsembleClassifier snapshot(models);
       const double train_accuracy = snapshot.accuracy(train_set);
       if (config_.keep_best && train_accuracy > best_train_accuracy) {
         best_train_accuracy = train_accuracy;
         best_models = models;
       }
-      if (options.record_trajectory) {
-        EpochPoint point;
-        point.epoch = epoch;
-        point.train_accuracy = train_accuracy;
-        point.train_loss = 1.0 - train_accuracy;
+      if (options.epoch_observer) {
+        EpochEvent event;
+        event.point.epoch = epoch;
+        event.point.train_accuracy = train_accuracy;
+        event.point.train_loss = 1.0 - train_accuracy;
         if (options.test != nullptr) {
-          point.test_accuracy = snapshot.accuracy(*options.test);
+          event.point.test_accuracy = snapshot.accuracy(*options.test);
         }
-        result.trajectory.push_back(point);
+        event.epoch_seconds = work_mark - consumed_seconds;
+        event.eval_seconds = timer.elapsed_seconds() - work_mark;
+        options.epoch_observer(event);
       }
+      consumed_seconds = timer.elapsed_seconds();
     }
 
     if (config_.shuffle) {
@@ -186,15 +192,18 @@ TrainResult MultiModelTrainer::train(const hdc::EncodedDataset& train_set,
   }
 
   hdc::EnsembleClassifier classifier(std::move(models));
-  if (options.record_trajectory) {
-    EpochPoint point;
-    point.epoch = result.epochs_run;
-    point.train_accuracy = classifier.accuracy(train_set);
-    point.train_loss = 1.0 - point.train_accuracy;
+  if (options.epoch_observer) {
+    const double work_mark = timer.elapsed_seconds();
+    EpochEvent event;
+    event.point.epoch = result.epochs_run;
+    event.point.train_accuracy = classifier.accuracy(train_set);
+    event.point.train_loss = 1.0 - event.point.train_accuracy;
     if (options.test != nullptr) {
-      point.test_accuracy = classifier.accuracy(*options.test);
+      event.point.test_accuracy = classifier.accuracy(*options.test);
     }
-    result.trajectory.push_back(point);
+    event.epoch_seconds = work_mark - consumed_seconds;
+    event.eval_seconds = timer.elapsed_seconds() - work_mark;
+    options.epoch_observer(event);
   }
   result.model = std::make_shared<EnsembleModel>(std::move(classifier));
   result.train_seconds = timer.elapsed_seconds();

@@ -39,12 +39,13 @@ class MultiModelTrainer final : public Trainer {
 
   [[nodiscard]] std::string name() const override { return "Multi-Model"; }
 
-  [[nodiscard]] TrainResult train(const hdc::EncodedDataset& train_set,
-                                  const TrainOptions& options) const override;
-
   [[nodiscard]] const MultiModelConfig& config() const noexcept {
     return config_;
   }
+
+ protected:
+  [[nodiscard]] TrainResult run(const hdc::EncodedDataset& train_set,
+                                const TrainOptions& options) const override;
 
  private:
   MultiModelConfig config_;

@@ -14,11 +14,28 @@ NonBinaryTrainer::NonBinaryTrainer(const NonBinaryConfig& config)
   util::expects(config.alpha >= 1, "alpha must be a positive integer");
 }
 
-TrainResult NonBinaryTrainer::train(const hdc::EncodedDataset& train_set,
-                                    const TrainOptions& options) const {
+TrainResult NonBinaryTrainer::run(const hdc::EncodedDataset& train_set,
+                                  const TrainOptions& options) const {
   util::expects(!train_set.empty(), "cannot train on an empty dataset");
   const util::Stopwatch timer;
   util::Rng rng(options.seed);
+
+  double consumed_seconds = 0.0;
+  const auto emit = [&](std::size_t epoch,
+                        const hdc::NonBinaryClassifier& snapshot) {
+    const double work_mark = timer.elapsed_seconds();
+    EpochEvent event;
+    event.point.epoch = epoch;
+    event.point.train_accuracy = snapshot.accuracy(train_set);
+    event.point.train_loss = 1.0 - event.point.train_accuracy;
+    if (options.test != nullptr) {
+      event.point.test_accuracy = snapshot.accuracy(*options.test);
+    }
+    event.epoch_seconds = work_mark - consumed_seconds;
+    event.eval_seconds = timer.elapsed_seconds() - work_mark;
+    options.epoch_observer(event);
+    consumed_seconds = timer.elapsed_seconds();
+  };
 
   std::vector<hv::IntVector> classes = accumulate_classes(train_set);
   const std::size_t k_classes = classes.size();
@@ -28,16 +45,8 @@ TrainResult NonBinaryTrainer::train(const hdc::EncodedDataset& train_set,
 
   TrainResult result;
   for (std::size_t epoch = 0; epoch < config_.retrain_epochs; ++epoch) {
-    if (options.record_trajectory) {
-      const hdc::NonBinaryClassifier snapshot(classes);
-      EpochPoint point;
-      point.epoch = epoch;
-      point.train_accuracy = snapshot.accuracy(train_set);
-      point.train_loss = 1.0 - point.train_accuracy;
-      if (options.test != nullptr) {
-        point.test_accuracy = snapshot.accuracy(*options.test);
-      }
-      result.trajectory.push_back(point);
+    if (options.epoch_observer) {
+      emit(epoch, hdc::NonBinaryClassifier(classes));
     }
     if (config_.shuffle) {
       rng.shuffle(order.begin(), order.end());
@@ -72,15 +81,8 @@ TrainResult NonBinaryTrainer::train(const hdc::EncodedDataset& train_set,
   }
 
   hdc::NonBinaryClassifier classifier(std::move(classes));
-  if (options.record_trajectory) {
-    EpochPoint point;
-    point.epoch = result.epochs_run;
-    point.train_accuracy = classifier.accuracy(train_set);
-    point.train_loss = 1.0 - point.train_accuracy;
-    if (options.test != nullptr) {
-      point.test_accuracy = classifier.accuracy(*options.test);
-    }
-    result.trajectory.push_back(point);
+  if (options.epoch_observer) {
+    emit(result.epochs_run, classifier);
   }
   result.model = std::make_shared<NonBinaryModel>(std::move(classifier));
   result.train_seconds = timer.elapsed_seconds();

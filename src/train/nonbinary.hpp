@@ -21,8 +21,9 @@ class NonBinaryTrainer final : public Trainer {
 
   [[nodiscard]] std::string name() const override { return "NonBinaryHDC"; }
 
-  [[nodiscard]] TrainResult train(const hdc::EncodedDataset& train_set,
-                                  const TrainOptions& options) const override;
+ protected:
+  [[nodiscard]] TrainResult run(const hdc::EncodedDataset& train_set,
+                                const TrainOptions& options) const override;
 
  private:
   NonBinaryConfig config_;

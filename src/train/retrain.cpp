@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "train/baseline.hpp"
 #include "train/class_matrix.hpp"
 #include "util/check.hpp"
@@ -28,6 +30,30 @@ TrainResult run_retraining(const hdc::EncodedDataset& train_set,
   const util::Stopwatch timer;
   util::Rng rng(options.seed);
 
+  static obs::Counter& iteration_counter =
+      obs::Registry::global().counter("train.retrain.iterations");
+  static obs::Counter& update_counter =
+      obs::Registry::global().counter("train.retrain.updates");
+
+  // Work time (update passes, shuffling) since the last observer event,
+  // excluding snapshot-evaluation time, for EpochEvent::epoch_seconds.
+  double consumed_seconds = 0.0;
+  const auto emit = [&](std::size_t epoch,
+                        const hdc::BinaryClassifier& snapshot) {
+    const double work_mark = timer.elapsed_seconds();
+    EpochEvent event;
+    event.point.epoch = epoch;
+    event.point.train_accuracy = snapshot.accuracy(train_set);
+    event.point.train_loss = 1.0 - event.point.train_accuracy;
+    if (options.test != nullptr) {
+      event.point.test_accuracy = snapshot.accuracy(*options.test);
+    }
+    event.epoch_seconds = work_mark - consumed_seconds;
+    event.eval_seconds = timer.elapsed_seconds() - work_mark;
+    options.epoch_observer(event);
+    consumed_seconds = timer.elapsed_seconds();
+  };
+
   // Initial training (Eq. 2): C_nb accumulates the raw sums, C = sgn(C_nb).
   nn::Matrix c_nb = to_class_matrix(accumulate_classes(train_set));
   const std::size_t k_classes = c_nb.rows();
@@ -44,18 +70,12 @@ TrainResult run_retraining(const hdc::EncodedDataset& train_set,
        ++iteration) {
     binary = binarize_class_matrix(c_nb);
 
-    if (options.record_trajectory) {
-      const hdc::BinaryClassifier snapshot(binary);
-      EpochPoint point;
-      point.epoch = iteration;
-      point.train_accuracy = snapshot.accuracy(train_set);
-      point.train_loss = 1.0 - point.train_accuracy;
-      if (options.test != nullptr) {
-        point.test_accuracy = snapshot.accuracy(*options.test);
-      }
-      result.trajectory.push_back(point);
+    if (options.epoch_observer) {
+      emit(iteration, hdc::BinaryClassifier(binary));
     }
 
+    const obs::TraceSpan span(enhanced ? "retrain.enhanced_iteration"
+                                       : "retrain.iteration");
     if (config.shuffle) {
       rng.shuffle(order.begin(), order.end());
     }
@@ -108,21 +128,16 @@ TrainResult run_retraining(const hdc::EncodedDataset& train_set,
     }
 
     result.epochs_run = iteration + 1;
+    iteration_counter.add();
+    update_counter.add(updates);
     if (updates == 0 && config.stop_when_converged) {
       break;
     }
   }
 
   hdc::BinaryClassifier classifier(binarize_class_matrix(c_nb));
-  if (options.record_trajectory) {
-    EpochPoint point;
-    point.epoch = result.epochs_run;
-    point.train_accuracy = classifier.accuracy(train_set);
-    point.train_loss = 1.0 - point.train_accuracy;
-    if (options.test != nullptr) {
-      point.test_accuracy = classifier.accuracy(*options.test);
-    }
-    result.trajectory.push_back(point);
+  if (options.epoch_observer) {
+    emit(result.epochs_run, classifier);
   }
   result.model = std::make_shared<BinaryModel>(std::move(classifier));
   result.train_seconds = timer.elapsed_seconds();
@@ -134,8 +149,8 @@ TrainResult run_retraining(const hdc::EncodedDataset& train_set,
 RetrainingTrainer::RetrainingTrainer(const RetrainConfig& config)
     : config_(validated(config)) {}
 
-TrainResult RetrainingTrainer::train(const hdc::EncodedDataset& train_set,
-                                     const TrainOptions& options) const {
+TrainResult RetrainingTrainer::run(const hdc::EncodedDataset& train_set,
+                                   const TrainOptions& options) const {
   return run_retraining(train_set, options, config_, /*enhanced=*/false);
 }
 
@@ -143,7 +158,7 @@ EnhancedRetrainingTrainer::EnhancedRetrainingTrainer(
     const RetrainConfig& config)
     : config_(validated(config)) {}
 
-TrainResult EnhancedRetrainingTrainer::train(
+TrainResult EnhancedRetrainingTrainer::run(
     const hdc::EncodedDataset& train_set, const TrainOptions& options) const {
   return run_retraining(train_set, options, config_, /*enhanced=*/true);
 }

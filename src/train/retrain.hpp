@@ -36,12 +36,13 @@ class RetrainingTrainer final : public Trainer {
 
   [[nodiscard]] std::string name() const override { return "Retraining"; }
 
-  [[nodiscard]] TrainResult train(const hdc::EncodedDataset& train_set,
-                                  const TrainOptions& options) const override;
-
   [[nodiscard]] const RetrainConfig& config() const noexcept {
     return config_;
   }
+
+ protected:
+  [[nodiscard]] TrainResult run(const hdc::EncodedDataset& train_set,
+                                const TrainOptions& options) const override;
 
  private:
   RetrainConfig config_;
@@ -55,8 +56,9 @@ class EnhancedRetrainingTrainer final : public Trainer {
     return "EnhancedRetraining";
   }
 
-  [[nodiscard]] TrainResult train(const hdc::EncodedDataset& train_set,
-                                  const TrainOptions& options) const override;
+ protected:
+  [[nodiscard]] TrainResult run(const hdc::EncodedDataset& train_set,
+                                const TrainOptions& options) const override;
 
  private:
   RetrainConfig config_;

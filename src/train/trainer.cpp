@@ -1,0 +1,26 @@
+#include "train/trainer.hpp"
+
+namespace lehdc::train {
+
+EpochObserver record_trajectory() {
+  return [](const EpochEvent&) {};
+}
+
+TrainResult Trainer::train(const hdc::EncodedDataset& train_set,
+                           const TrainOptions& options) const {
+  if (!options.epoch_observer) {
+    return run(train_set, options);
+  }
+  std::vector<EpochPoint> trajectory;
+  const EpochObserver& user = options.epoch_observer;
+  TrainOptions inner = options;
+  inner.epoch_observer = [&trajectory, &user](const EpochEvent& event) {
+    trajectory.push_back(event.point);
+    user(event);
+  };
+  TrainResult result = run(train_set, inner);
+  result.trajectory = std::move(trajectory);
+  return result;
+}
+
+}  // namespace lehdc::train

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -78,17 +79,43 @@ struct EpochPoint {
   double train_loss = 0.0;     // strategy-specific (0 if undefined)
 };
 
+/// What an epoch observer sees after each training epoch: the trajectory
+/// point plus wall-clock timings. `epoch_seconds` is the work time since
+/// the previous event (update passes, shuffling, checkpointing);
+/// `eval_seconds` is the extra cost of the snapshot evaluation that
+/// produced `point` — only incurred because an observer is attached.
+struct EpochEvent {
+  EpochPoint point;
+  double epoch_seconds = 0.0;
+  double eval_seconds = 0.0;
+};
+
+/// Per-epoch callback invoked by every epoch-based strategy (single-pass
+/// strategies emit one event for their only pass). Attaching an observer
+/// is what turns on per-epoch snapshot evaluation; without one, trainers
+/// skip that cost entirely. Observers run on the training thread and must
+/// not retain references past the call.
+using EpochObserver = std::function<void(const EpochEvent&)>;
+
+/// The canonical "just collect the trajectory" observer: a no-op whose
+/// presence makes train() record TrainResult::trajectory. Replaces the
+/// removed TrainOptions::record_trajectory flag.
+[[nodiscard]] EpochObserver record_trajectory();
+
 struct TrainOptions {
   /// Seed for any stochasticity inside the strategy (shuffling, dropout,
   /// stochastic flips, tie-breaks).
   std::uint64_t seed = 1;
 
-  /// Optional held-out set evaluated per epoch when recording a trajectory.
+  /// Optional held-out set evaluated per epoch when an observer is set.
   const hdc::EncodedDataset* test = nullptr;
 
-  /// Record per-epoch train/test accuracy (costs one extra inference pass
-  /// over each set per epoch).
-  bool record_trajectory = false;
+  /// Per-epoch observer. When set, each epoch is snapshot-evaluated (one
+  /// extra inference pass over train and, if given, test) and reported;
+  /// train() additionally collects the points into
+  /// TrainResult::trajectory. Use record_trajectory() for collection
+  /// without a custom callback.
+  EpochObserver epoch_observer;
 
   // --- Fault tolerance (honored by epoch-based trainers, i.e. LeHDC;
   // single-pass strategies ignore these). ---
@@ -106,6 +133,7 @@ struct TrainOptions {
 
 struct TrainResult {
   std::shared_ptr<const Model> model;
+  /// One point per observed epoch; empty when no observer was attached.
   std::vector<EpochPoint> trajectory;
   std::size_t epochs_run = 0;
   double train_seconds = 0.0;
@@ -119,7 +147,17 @@ class Trainer {
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Trains on the encoded dataset. Precondition: !train_set.empty().
-  [[nodiscard]] virtual TrainResult train(
+  /// Template method: when an observer is attached it is wrapped so every
+  /// reported EpochPoint also lands in TrainResult::trajectory, then the
+  /// strategy's run() does the actual work.
+  [[nodiscard]] TrainResult train(const hdc::EncodedDataset& train_set,
+                                  const TrainOptions& options) const;
+
+ protected:
+  /// Strategy implementation. Must invoke options.epoch_observer (when
+  /// set) once per epoch with a snapshot-evaluated EpochPoint, and skip
+  /// snapshot evaluation entirely when it is not set.
+  [[nodiscard]] virtual TrainResult run(
       const hdc::EncodedDataset& train_set,
       const TrainOptions& options) const = 0;
 };

@@ -2,11 +2,23 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace lehdc::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+std::mutex& sink_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+LogSink& sink_slot() {
+  static LogSink sink;  // empty = stderr default
+  return sink;
+}
 
 constexpr const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -27,9 +39,23 @@ void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 
 LogLevel log_level() noexcept { return g_level.load(); }
 
+LogSink set_log_sink(LogSink sink) {
+  const std::scoped_lock lock(sink_mutex());
+  LogSink previous = std::move(sink_slot());
+  sink_slot() = std::move(sink);
+  return previous;
+}
+
 void log(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) {
     return;
+  }
+  {
+    const std::scoped_lock lock(sink_mutex());
+    if (const LogSink& sink = sink_slot(); sink) {
+      sink(level, message);
+      return;
+    }
   }
   std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
                static_cast<int>(message.size()), message.data());

@@ -1,9 +1,13 @@
-// Minimal leveled logging to stderr.
+// Minimal leveled logging with an injectable sink (default: stderr).
 //
 // The harnesses print their primary results on stdout; diagnostic progress
-// (epoch counters, timing) goes through this logger so it can be silenced.
+// (epoch counters, timing) goes through this logger so it can be silenced
+// or captured. Tests install a capturing sink via set_log_sink; the CLI
+// keeps the default so stdout stays machine-parseable even when
+// `--metrics-out -` claims it for the metrics JSON.
 #pragma once
 
+#include <functional>
 #include <string_view>
 
 namespace lehdc::util {
@@ -14,7 +18,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Emits "[level] message\n" to stderr when level >= threshold.
+/// Receives every message that clears the threshold. The level is passed
+/// through so a sink can route or tag; `message` is the raw text without
+/// the "[level] " prefix or trailing newline.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Replaces the global sink; an empty function restores the stderr
+/// default. Returns the previously installed sink ({} when the default
+/// was active) so callers can restore it. Thread-safe.
+LogSink set_log_sink(LogSink sink);
+
+/// Emits "[level] message\n" through the installed sink (stderr by
+/// default) when level >= threshold.
 void log(LogLevel level, std::string_view message);
 
 void log_debug(std::string_view message);

@@ -382,7 +382,7 @@ TEST(PipelineBatch, EvaluateMatchesPerSampleAccuracy) {
       ++correct;
     }
   }
-  EXPECT_DOUBLE_EQ(pipeline.evaluate(split.test),
+  EXPECT_DOUBLE_EQ(pipeline.evaluate(split.test).accuracy,
                    static_cast<double>(correct) /
                        static_cast<double>(split.test.size()));
 }

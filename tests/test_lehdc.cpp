@@ -86,7 +86,7 @@ TEST(LeHdc, TrajectoryHasOnePointPerEpoch) {
   train::TrainOptions options;
   options.seed = 1;
   options.test = &fixture.test;
-  options.record_trajectory = true;
+  options.epoch_observer = train::record_trajectory();
   const auto result = trainer.train(fixture.train, options);
   ASSERT_EQ(result.trajectory.size(), 7u);
   EXPECT_EQ(result.epochs_run, 7u);
@@ -108,7 +108,7 @@ TEST(LeHdc, LossDecreasesOverTraining) {
   const LeHdcTrainer trainer(cfg);
   train::TrainOptions options;
   options.seed = 1;
-  options.record_trajectory = true;
+  options.epoch_observer = train::record_trajectory();
   const auto result = trainer.train(fixture.train, options);
   EXPECT_LT(result.trajectory.back().train_loss,
             result.trajectory.front().train_loss);

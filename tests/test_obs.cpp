@@ -1,0 +1,365 @@
+// Tests for the observability subsystem: registry correctness under
+// concurrency, timer monotonicity, JSON schema round-trips, trace export,
+// environment wiring, the injectable log sink, and the parity guarantee
+// (instrumentation must never change results).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lehdc::obs {
+namespace {
+
+/// Turns metrics collection on for the scope and restores the previous
+/// switch state on exit, so tests never leak the global toggle.
+class MetricsOn {
+ public:
+  MetricsOn() : previous_(enabled()) { set_enabled(true); }
+  ~MetricsOn() { set_enabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+TEST(MetricsSwitch, DisabledMetricsRecordNothing) {
+  Registry registry;
+  set_enabled(false);
+  Counter& counter = registry.counter("test.disabled_counter");
+  Gauge& gauge = registry.gauge("test.disabled_gauge");
+  Histogram& histogram = registry.histogram("test.disabled_hist");
+  counter.add(5);
+  gauge.set(3.5);
+  histogram.observe(0.25);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST(MetricsSwitch, ScopedTimerIsInertWhenDisabled) {
+  Registry registry;
+  set_enabled(false);
+  Histogram& histogram = registry.histogram("test.inert_timer");
+  ScopedTimer timer(histogram);
+  EXPECT_FALSE(timer.active());
+  EXPECT_EQ(timer.stop(), 0.0);
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST(Registry, SameNameReturnsSameMetric) {
+  const MetricsOn on;
+  Registry registry;
+  Counter& a = registry.counter("test.shared");
+  Counter& b = registry.counter("test.shared");
+  EXPECT_EQ(&a, &b);
+  a.add(2);
+  EXPECT_EQ(b.value(), 2u);
+}
+
+TEST(Registry, NameKindMismatchThrows) {
+  Registry registry;
+  (void)registry.counter("test.kind");
+  EXPECT_THROW((void)registry.gauge("test.kind"), std::invalid_argument);
+  EXPECT_THROW((void)registry.histogram("test.kind"), std::invalid_argument);
+}
+
+TEST(Registry, VisitsInRegistrationOrderAndResets) {
+  const MetricsOn on;
+  Registry registry;
+  registry.counter("test.first").add(1);
+  registry.counter("test.second").add(2);
+  std::vector<std::string> names;
+  registry.visit_counters(
+      [&](const Counter& c) { names.push_back(c.name()); });
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "test.first");
+  EXPECT_EQ(names[1], "test.second");
+
+  registry.reset();
+  registry.visit_counters(
+      [&](const Counter& c) { EXPECT_EQ(c.value(), 0u); });
+}
+
+TEST(Registry, ConcurrentCountersAreExact) {
+  const MetricsOn on;
+  Registry registry;
+  Counter& counter = registry.counter("test.concurrent_counter");
+  util::ThreadPool pool(8);
+  constexpr std::size_t kIncrements = 200000;
+  pool.parallel_for(0, kIncrements, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      counter.add();
+    }
+  });
+  EXPECT_EQ(counter.value(), kIncrements);
+}
+
+TEST(Registry, ConcurrentHistogramObservationsAreExact) {
+  const MetricsOn on;
+  Registry registry;
+  Histogram& histogram = registry.histogram("test.concurrent_hist");
+  util::ThreadPool pool(8);
+  constexpr std::size_t kObservations = 50000;
+  pool.parallel_for(0, kObservations, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // Values span several buckets; exact per-value placement is still
+      // deterministic.
+      histogram.observe(1e-6 * static_cast<double>(1 + i % 1000));
+    }
+  });
+  const Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, kObservations);
+  std::uint64_t bucket_total = 0;
+  for (const auto& bucket : snap.buckets) {
+    bucket_total += bucket.count;
+  }
+  EXPECT_EQ(bucket_total, kObservations);
+  EXPECT_GT(snap.sum, 0.0);
+  EXPECT_GE(snap.min, 1e-6);
+  EXPECT_LE(snap.max, 1e-3);
+  EXPECT_LE(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+}
+
+TEST(Histogram, QuantilesBracketObservedRange) {
+  const MetricsOn on;
+  Registry registry;
+  Histogram& histogram = registry.histogram("test.quantiles");
+  for (int i = 1; i <= 100; ++i) {
+    histogram.observe(1e-4 * i);  // 0.1 ms .. 10 ms
+  }
+  const Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.min, 1e-4);
+  EXPECT_DOUBLE_EQ(snap.max, 1e-2);
+  EXPECT_GE(snap.p50, snap.min);
+  EXPECT_LE(snap.p99, snap.max);
+  EXPECT_LE(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+}
+
+TEST(Timer, MonotonicClockNeverGoesBackwards) {
+  double previous = monotonic_seconds();
+  for (int i = 0; i < 1000; ++i) {
+    const double now = monotonic_seconds();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+}
+
+TEST(Timer, StopReturnsElapsedOnceAndRecords) {
+  const MetricsOn on;
+  Registry registry;
+  Histogram& histogram = registry.histogram("test.timer");
+  ScopedTimer timer(histogram);
+  EXPECT_TRUE(timer.active());
+  volatile double sink = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    sink = sink + 1.0;
+  }
+  const double elapsed = timer.stop();
+  EXPECT_GE(elapsed, 0.0);
+  EXPECT_FALSE(timer.active());
+  EXPECT_EQ(timer.stop(), 0.0);  // second stop is a no-op
+  EXPECT_EQ(histogram.count(), 1u);
+}
+
+TEST(Json, ParseDumpRoundTrip) {
+  const char* text =
+      R"({"a": 1.5, "b": [true, null, "x\"y"], "c": {"nested": -3}})";
+  const Json parsed = Json::parse(text);
+  const Json reparsed = Json::parse(parsed.dump());
+  EXPECT_EQ(parsed, reparsed);
+  EXPECT_DOUBLE_EQ(parsed.at("a").as_number(), 1.5);
+  EXPECT_EQ(parsed.at("b").as_array().size(), 3u);
+  EXPECT_EQ(parsed.at("c").at("nested").as_number(), -3.0);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{\"a\":1} junk"), std::runtime_error);
+}
+
+TEST(Report, SnapshotRoundTripsThroughValidator) {
+  const MetricsOn on;
+  Registry registry;
+  registry.counter("test.events").add(7);
+  registry.gauge("test.accuracy").set(0.93);
+  Histogram& histogram = registry.histogram("test.latency_seconds");
+  histogram.observe(1e-5);
+  histogram.observe(2e-3);
+  histogram.observe(0.5);
+
+  Json context = Json::object();
+  context.set("suite", "test_obs");
+  const Json snapshot = metrics_snapshot(registry, std::move(context));
+  EXPECT_EQ(validate_metrics_json(snapshot), "");
+
+  // The serialized form parses back to an equal, still-valid document.
+  const Json reparsed = Json::parse(snapshot.dump(2));
+  EXPECT_EQ(reparsed, snapshot);
+  EXPECT_EQ(validate_metrics_json(reparsed), "");
+  EXPECT_EQ(reparsed.at("schema").as_string(), metrics_schema_version());
+  EXPECT_EQ(reparsed.at("context").at("suite").as_string(), "test_obs");
+}
+
+TEST(Report, ValidatorRejectsBrokenDocuments) {
+  const MetricsOn on;
+  Registry registry;
+  registry.counter("test.ok").add(1);
+  Json snapshot = metrics_snapshot(registry);
+
+  Json wrong_schema = snapshot;
+  wrong_schema.set("schema", "lehdc.metrics.v999");
+  EXPECT_NE(validate_metrics_json(wrong_schema), "");
+
+  Json bad_name = snapshot;
+  for (auto& [key, value] : bad_name.as_object()) {
+    if (key == "counters") {
+      value.as_array()[0].set("name", "Bad Name!");
+    }
+  }
+  EXPECT_NE(validate_metrics_json(bad_name), "");
+
+  EXPECT_NE(validate_metrics_json(Json::parse("{}")), "");
+  EXPECT_NE(validate_metrics_json(Json::parse("[]")), "");
+}
+
+TEST(Trace, SpansExportAsChromeCompleteEvents) {
+  const MetricsOn on;
+  const bool was_tracing = trace_enabled();
+  set_trace_enabled(true);
+  {
+    const TraceSpan outer("test.outer");
+    const TraceSpan inner("test.inner", "testing");
+  }
+  set_trace_enabled(was_tracing);
+  // Spans above went to the global buffer; exercise the export path on it.
+  const Json doc = trace_snapshot();
+  const Json& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  bool saw_outer = false;
+  for (const Json& event : events.as_array()) {
+    EXPECT_EQ(event.at("ph").as_string(), "X");
+    EXPECT_GE(event.at("dur").as_number(), 0.0);
+    if (event.at("name").as_string() == "test.outer") {
+      saw_outer = true;
+    }
+  }
+  EXPECT_TRUE(saw_outer);
+}
+
+TEST(Trace, FullBufferCountsDropsInsteadOfBlocking) {
+  TraceBuffer buffer;
+  buffer.reserve(2);
+  for (int i = 0; i < 5; ++i) {
+    buffer.append({"test.drop", "testing", 0.0, 1.0, 0});
+  }
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.dropped(), 3u);
+  buffer.reset();
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(Env, InitFromEnvHonorsTheContract) {
+  const bool was_enabled = enabled();
+  ::unsetenv("LEHDC_METRICS");
+  set_enabled(false);
+  EXPECT_EQ(init_from_env(), "");
+  EXPECT_FALSE(enabled());
+
+  ::setenv("LEHDC_METRICS", "0", 1);
+  EXPECT_EQ(init_from_env(), "");
+  EXPECT_FALSE(enabled());
+
+  ::setenv("LEHDC_METRICS", "1", 1);
+  EXPECT_EQ(init_from_env(), "");
+  EXPECT_TRUE(enabled());
+
+  set_enabled(false);
+  ::setenv("LEHDC_METRICS", "run_metrics.json", 1);
+  EXPECT_EQ(init_from_env(), "run_metrics.json");
+  EXPECT_TRUE(enabled());
+
+  ::unsetenv("LEHDC_METRICS");
+  set_enabled(was_enabled);
+}
+
+TEST(LogSink, CapturesAndRestores) {
+  std::vector<std::string> captured;
+  util::LogSink previous = util::set_log_sink(
+      [&](util::LogLevel level, std::string_view message) {
+        captured.push_back(std::string(message) + "/" +
+                           std::to_string(static_cast<int>(level)));
+      });
+  util::log_info("hello sink");
+  util::log_debug("below threshold");  // default level is info
+  util::LogSink mine = util::set_log_sink(std::move(previous));
+  util::log_info("back to stderr");  // must not reach `captured`
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "hello sink/1");
+  EXPECT_TRUE(static_cast<bool>(mine));
+}
+
+TEST(Parity, InstrumentationNeverChangesResults) {
+  data::SyntheticConfig cfg;
+  cfg.feature_count = 16;
+  cfg.class_count = 3;
+  cfg.train_count = 90;
+  cfg.test_count = 30;
+  cfg.seed = 11;
+  const data::TrainTestSplit split = data::generate_synthetic(cfg);
+
+  core::PipelineConfig pipeline_cfg;
+  pipeline_cfg.dim = 256;
+  pipeline_cfg.seed = 5;
+  pipeline_cfg.strategy = core::Strategy::kLeHdc;
+  pipeline_cfg.lehdc.epochs = 6;
+  pipeline_cfg.lehdc.batch_size = 16;
+
+  const auto run = [&] {
+    core::Pipeline pipeline(pipeline_cfg);
+    const core::FitReport report = pipeline.fit(
+        split.train, &split.test, train::record_trajectory());
+    return std::make_pair(report, pipeline.predict_batch(split.test));
+  };
+
+  set_enabled(false);
+  set_trace_enabled(false);
+  const auto [plain_report, plain_predictions] = run();
+
+  set_enabled(true);
+  set_trace_enabled(true);
+  const auto [instrumented_report, instrumented_predictions] = run();
+  set_trace_enabled(false);
+  set_enabled(false);
+
+  EXPECT_EQ(plain_predictions, instrumented_predictions);
+  EXPECT_EQ(plain_report.train_accuracy, instrumented_report.train_accuracy);
+  EXPECT_EQ(plain_report.test_accuracy, instrumented_report.test_accuracy);
+  ASSERT_EQ(plain_report.trajectory.size(),
+            instrumented_report.trajectory.size());
+  for (std::size_t i = 0; i < plain_report.trajectory.size(); ++i) {
+    const train::EpochPoint& a = plain_report.trajectory[i];
+    const train::EpochPoint& b = instrumented_report.trajectory[i];
+    EXPECT_EQ(a.epoch, b.epoch);
+    EXPECT_EQ(a.train_accuracy, b.train_accuracy);
+    EXPECT_EQ(a.test_accuracy, b.test_accuracy);
+    EXPECT_EQ(a.train_loss, b.train_loss);
+  }
+}
+
+}  // namespace
+}  // namespace lehdc::obs

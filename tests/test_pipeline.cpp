@@ -73,7 +73,7 @@ TEST(Pipeline, FitPredictEvaluate) {
   EXPECT_TRUE(pipeline.fitted());
   EXPECT_GT(report.train_accuracy, 0.9);
   EXPECT_GT(report.test_accuracy, 0.9);
-  EXPECT_GT(report.encode_seconds, 0.0);
+  EXPECT_GT(report.timings.encode_seconds, 0.0);
   EXPECT_GT(report.epochs_run, 0u);
 
   // predict() agrees with evaluate() on the same data.
@@ -85,7 +85,11 @@ TEST(Pipeline, FitPredictEvaluate) {
   }
   const double manual =
       static_cast<double>(correct) / static_cast<double>(split.test.size());
-  EXPECT_NEAR(pipeline.evaluate(split.test), manual, 1e-12);
+  const EvalResult eval = pipeline.evaluate(split.test);
+  EXPECT_NEAR(eval.accuracy, manual, 1e-12);
+  EXPECT_EQ(eval.samples, split.test.size());
+  ASSERT_NE(eval.confusion, nullptr);
+  EXPECT_NEAR(eval.confusion->accuracy(), manual, 1e-12);
   EXPECT_NEAR(manual, report.test_accuracy, 1e-12);
 }
 
@@ -107,7 +111,8 @@ TEST(Pipeline, TrajectoryRecordingFlowsThrough) {
   auto cfg = fast_pipeline(Strategy::kLeHdc);
   cfg.lehdc.epochs = 5;
   Pipeline pipeline(cfg);
-  const FitReport report = pipeline.fit(split.train, &split.test, true);
+  const FitReport report =
+      pipeline.fit(split.train, &split.test, train::record_trajectory());
   EXPECT_EQ(report.trajectory.size(), 5u);
   EXPECT_GT(report.trajectory.back().test_accuracy, 0.0);
 }

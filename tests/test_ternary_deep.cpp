@@ -150,7 +150,7 @@ TEST(DeepLeHdc, TrajectoryAndDeterminism) {
   train::TrainOptions options;
   options.seed = 9;
   options.test = &fixture.test;
-  options.record_trajectory = true;
+  options.epoch_observer = train::record_trajectory();
   const auto a = trainer.train(fixture.train, options);
   EXPECT_EQ(a.trajectory.size(), 5u);
   const auto b = trainer.train(fixture.train, options);

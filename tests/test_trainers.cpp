@@ -71,7 +71,7 @@ TEST(BaselineTrainer, RecordsSingleTrajectoryPoint) {
   TrainOptions options;
   options.seed = 1;
   options.test = &fixture.test;
-  options.record_trajectory = true;
+  options.epoch_observer = record_trajectory();
   const auto result = trainer.train(fixture.train, options);
   ASSERT_EQ(result.trajectory.size(), 1u);
   EXPECT_GT(result.trajectory[0].train_accuracy, 0.9);
@@ -135,7 +135,7 @@ TEST(RetrainingTrainer, TrajectoryCoversIterations) {
   TrainOptions options;
   options.seed = 1;
   options.test = &fixture.test;
-  options.record_trajectory = true;
+  options.epoch_observer = record_trajectory();
   const auto result = trainer.train(fixture.train, options);
   // One point per iteration plus the final model.
   EXPECT_EQ(result.trajectory.size(), 11u);

@@ -26,6 +26,10 @@
 #include "data/csv_loader.hpp"
 #include "data/idx_loader.hpp"
 #include "data/profiles.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -34,6 +38,11 @@
 namespace {
 
 using namespace lehdc;
+
+/// Destination for human-readable summary lines. Normally stdout; switched
+/// to stderr when `--metrics-out -` claims stdout for the JSON document,
+/// so stdout stays machine-parseable.
+std::FILE* g_text = stdout;
 
 /// Parses a data spec into a train/test pair. For csv:/idx: sources, the
 /// file is shuffled (seeded) and split by --holdout; `shuffle = false`
@@ -102,8 +111,8 @@ int cmd_train(util::FlagParser& flags) {
       load_data(flags.get_string("data"), flags.get_double("scale"),
                 flags.get_double("holdout"),
                 static_cast<std::uint64_t>(flags.get_int("seed")));
-  std::printf("train %s\ntest  %s\n", split.train.summary().c_str(),
-              split.test.summary().c_str());
+  std::fprintf(g_text, "train %s\ntest  %s\n", split.train.summary().c_str(),
+               split.test.summary().c_str());
 
   core::PipelineConfig config;
   config.dim = static_cast<std::size_t>(flags.get_int("dim"));
@@ -129,12 +138,13 @@ int cmd_train(util::FlagParser& flags) {
   core::Pipeline pipeline(config);
   const core::FitReport report =
       pipeline.fit(split.train, split.test.empty() ? nullptr : &split.test);
-  std::printf("%s: train %.2f%%  test %.2f%%  (encode %.2fs, train %.2fs, "
-              "%zu epochs)\n",
-              core::strategy_name(config.strategy).c_str(),
-              report.train_accuracy * 100.0, report.test_accuracy * 100.0,
-              report.encode_seconds, report.train_seconds,
-              report.epochs_run);
+  std::fprintf(g_text,
+               "%s: train %.2f%%  test %.2f%%  (encode %.2fs, train %.2fs, "
+               "%zu epochs)\n",
+               core::strategy_name(config.strategy).c_str(),
+               report.train_accuracy * 100.0, report.test_accuracy * 100.0,
+               report.timings.encode_seconds, report.timings.train_seconds,
+               report.epochs_run);
 
   if (const auto& model = flags.get_string("model"); !model.empty()) {
     if (pipeline.model().as_binary() == nullptr) {
@@ -144,7 +154,7 @@ int cmd_train(util::FlagParser& flags) {
                    core::strategy_name(config.strategy).c_str());
     } else {
       core::save_pipeline(pipeline, model);
-      std::printf("pipeline bundle written to %s\n", model.c_str());
+      std::fprintf(g_text, "pipeline bundle written to %s\n", model.c_str());
     }
   }
   return 0;
@@ -155,9 +165,12 @@ int cmd_evaluate(util::FlagParser& flags) {
   const auto split =
       load_data(flags.get_string("data"), flags.get_double("scale"), 0.0,
                 static_cast<std::uint64_t>(flags.get_int("seed")));
-  const double accuracy = pipeline.evaluate(split.train);
-  std::printf("accuracy over %zu samples: %.2f%%\n", split.train.size(),
-              accuracy * 100.0);
+  const core::EvalResult result = pipeline.evaluate(split.train);
+  std::fprintf(g_text,
+               "accuracy over %zu samples: %.2f%%  (encode %.3fs, "
+               "score %.3fs)\n",
+               result.samples, result.accuracy * 100.0,
+               result.encode_seconds, result.score_seconds);
   return 0;
 }
 
@@ -168,7 +181,7 @@ int cmd_predict(util::FlagParser& flags) {
   if (const auto& features_text = flags.get_string("features");
       !features_text.empty()) {
     const auto features = parse_features(features_text);
-    std::printf("%d\n", pipeline.predict(features));
+    std::fprintf(g_text, "%d\n", pipeline.predict(features));
     return 0;
   }
 
@@ -183,7 +196,7 @@ int cmd_predict(util::FlagParser& flags) {
   const std::vector<int> labels = pipeline.predict_batch(dataset);
   const double seconds = timer.elapsed_seconds();
   for (const int label : labels) {
-    std::printf("%d\n", label);
+    std::fprintf(g_text, "%d\n", label);
   }
   std::fprintf(stderr, "classified %zu samples in %.3fs (%.0f queries/sec)\n",
                labels.size(), seconds,
@@ -198,17 +211,17 @@ int cmd_info(util::FlagParser& flags) {
   const auto* binary = pipeline.model().as_binary();
   const auto& encoder =
       dynamic_cast<const hdc::RecordEncoder&>(pipeline.encoder());
-  std::printf("strategy:  %s\n",
-              core::strategy_name(pipeline.config().strategy).c_str());
-  std::printf("dimension: %zu\n", binary->dim());
-  std::printf("classes:   %zu\n", binary->class_count());
-  std::printf("features:  %zu\n", encoder.feature_count());
-  std::printf("levels:    %zu (value range [%g, %g])\n",
-              encoder.levels().levels(), encoder.levels().range_lo(),
-              encoder.levels().range_hi());
-  std::printf("model:     %.1f KiB packed\n",
-              static_cast<double>(binary->class_count() * binary->dim()) /
-                  8192.0);
+  std::fprintf(g_text, "strategy:  %s\n",
+               core::strategy_name(pipeline.config().strategy).c_str());
+  std::fprintf(g_text, "dimension: %zu\n", binary->dim());
+  std::fprintf(g_text, "classes:   %zu\n", binary->class_count());
+  std::fprintf(g_text, "features:  %zu\n", encoder.feature_count());
+  std::fprintf(g_text, "levels:    %zu (value range [%g, %g])\n",
+               encoder.levels().levels(), encoder.levels().range_lo(),
+               encoder.levels().range_hi());
+  std::fprintf(g_text, "model:     %.1f KiB packed\n",
+               static_cast<double>(binary->class_count() * binary->dim()) /
+                   8192.0);
   return 0;
 }
 
@@ -224,7 +237,27 @@ void print_usage() {
       "  info     --model out.lhdp\n"
       "data specs: csv:<path> | idx:<images>:<labels> | synth:<profile>\n"
       "threads: --threads N > LEHDC_THREADS env var > hardware\n"
+      "telemetry: --metrics-out <path|-> --trace-out <path>, or set\n"
+      "           LEHDC_METRICS=1 (collect) / LEHDC_METRICS=<path> (write)\n"
       "run `lehdc_cli <command> --help` for the full flag list");
+}
+
+int run_command(const std::string& command, util::FlagParser& flags) {
+  if (command == "train") {
+    return cmd_train(flags);
+  }
+  if (command == "evaluate") {
+    return cmd_evaluate(flags);
+  }
+  if (command == "predict") {
+    return cmd_predict(flags);
+  }
+  if (command == "info") {
+    return cmd_info(flags);
+  }
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  print_usage();
+  return 1;
 }
 
 }  // namespace
@@ -255,6 +288,12 @@ int main(int argc, char** argv) {
   flags.add_int("threads", 0,
                 "worker threads (0 = LEHDC_THREADS env var, then all "
                 "hardware threads)");
+  flags.add_string("metrics-out", "",
+                   "write a metrics JSON snapshot here on exit ('-' streams "
+                   "to stdout; summary lines then move to stderr)");
+  flags.add_string("trace-out", "",
+                   "write a Chrome trace_event JSON here on exit "
+                   "(load via chrome://tracing or Perfetto)");
   flags.add_int("dim", 10000, "hypervector dimension D");
   flags.add_int("levels", 32, "value quantization levels");
   flags.add_int("epochs", 100, "training epochs / iterations");
@@ -269,21 +308,41 @@ int main(int argc, char** argv) {
     if (const auto threads = flags.get_int("threads"); threads > 0) {
       util::ThreadPool::configure_global(static_cast<std::size_t>(threads));
     }
-    if (command == "train") {
-      return cmd_train(flags);
+
+    // Telemetry: the flags beat LEHDC_METRICS, which can still enable
+    // collection (and request a snapshot path) without touching the
+    // command line.
+    std::string metrics_path = flags.get_string("metrics-out");
+    const std::string trace_path = flags.get_string("trace-out");
+    if (const std::string env_path = obs::init_from_env();
+        metrics_path.empty()) {
+      metrics_path = env_path;
     }
-    if (command == "evaluate") {
-      return cmd_evaluate(flags);
+    if (!metrics_path.empty() || !trace_path.empty()) {
+      obs::set_enabled(true);
     }
-    if (command == "predict") {
-      return cmd_predict(flags);
+    if (!trace_path.empty()) {
+      obs::set_trace_enabled(true);
     }
-    if (command == "info") {
-      return cmd_info(flags);
+    if (metrics_path == "-") {
+      g_text = stderr;  // keep stdout pure JSON
     }
-    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
-    print_usage();
-    return 1;
+
+    const int status = run_command(command, flags);
+
+    if (!metrics_path.empty()) {
+      obs::Json context = obs::Json::object();
+      context.set("tool", "lehdc_cli");
+      context.set("command", command);
+      context.set("data", flags.get_string("data"));
+      context.set("strategy", flags.get_string("strategy"));
+      obs::write_metrics_json(metrics_path, obs::Registry::global(),
+                              std::move(context));
+    }
+    if (!trace_path.empty()) {
+      obs::write_trace_json(trace_path);
+    }
+    return status;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

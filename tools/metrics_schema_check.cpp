@@ -1,0 +1,69 @@
+// metrics_schema_check — validates lehdc.metrics.v1 JSON documents.
+//
+//   metrics_schema_check <file.json> [more.json ...]
+//   metrics_schema_check -            (read one document from stdin)
+//
+// Exits 0 when every document is schema-valid, 1 otherwise (printing the
+// first violation per file). CI runs this over the CLI's --metrics-out and
+// the benches' BENCH_*.json artifacts so a schema drift fails the job
+// instead of silently breaking downstream tooling.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "util/fileio.hpp"
+
+namespace {
+
+std::string read_stdin() {
+  std::string text;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, stdin)) > 0) {
+    text.append(buffer, n);
+  }
+  return text;
+}
+
+int check_document(const std::string& label, const std::string& text) {
+  try {
+    const lehdc::obs::Json doc = lehdc::obs::Json::parse(text);
+    if (const std::string error = lehdc::obs::validate_metrics_json(doc);
+        !error.empty()) {
+      std::fprintf(stderr, "%s: INVALID: %s\n", label.c_str(),
+                   error.c_str());
+      return 1;
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: PARSE ERROR: %s\n", label.c_str(),
+                 error.what());
+    return 1;
+  }
+  std::printf("%s: ok\n", label.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: metrics_schema_check <file.json|-> [more ...]\n");
+    return 2;
+  }
+  int status = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      const std::string text =
+          arg == "-" ? read_stdin() : lehdc::util::read_file(arg);
+      status |= check_document(arg == "-" ? "<stdin>" : arg, text);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "%s: %s\n", arg.c_str(), error.what());
+      status = 1;
+    }
+  }
+  return status;
+}
