@@ -1,0 +1,206 @@
+// Serving throughput vs the direct batch path (PR 4).
+//
+// Three measurements on one fitted pipeline:
+//   direct       — Pipeline::predict_batch over a full query dataset, no
+//                  server in the way: the upper bound the server is judged
+//                  against (the DESIGN.md budget is ≥85% of this at
+//                  saturation).
+//   saturated    — closed-loop load through InferenceServer: a window of
+//                  in-flight futures keeps the bounded queue full so the
+//                  micro-batcher flushes on size, not time.
+//   overload     — the same load against a deliberately tiny queue
+//                  (2x oversubmission): demonstrates bounded-queue
+//                  shedding — peak depth must stay ≤ capacity, the excess
+//                  must come back as typed queue_full rejections, and
+//                  every accepted request must still be answered.
+// Emits BENCH_serving.json (a lehdc.metrics.v1 snapshot) for trajectory
+// tracking; exits nonzero if an overload invariant breaks.
+#include <cstdio>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "data/spec.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "serve/server.hpp"
+#include "util/flags.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace lehdc;
+
+/// Runs fn (which answers `batch` queries) until min_seconds of wall time
+/// accumulate and returns the aggregate queries/sec.
+template <typename Fn>
+double measure_qps(std::size_t batch, double min_seconds, Fn&& fn) {
+  fn();  // warm-up: pools, scratch, first-touch pages
+  const util::Stopwatch timer;
+  std::size_t runs = 0;
+  do {
+    fn();
+    ++runs;
+  } while (timer.elapsed_seconds() < min_seconds);
+  return static_cast<double>(runs * batch) / timer.elapsed_seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagParser flags("serving_throughput",
+                         "Micro-batching server throughput vs the direct "
+                         "batch path; emits BENCH_serving.json.");
+  flags.add_string("data", "synth:pamap", "training data spec");
+  flags.add_double("scale", 0.05, "synthetic profile sample scale");
+  flags.add_int("dim", 10000, "hypervector dimension D");
+  flags.add_int("epochs", 5, "LeHDC training epochs (accuracy is not the "
+                "point here)");
+  flags.add_int("batch", 1024, "queries per closed-loop window");
+  flags.add_int("threads", 0,
+                "global pool workers (0 = LEHDC_THREADS, then hardware)");
+  flags.add_int("seed", 1, "pipeline + data seed");
+  flags.add_double("min-seconds", 0.3, "minimum wall time per measurement");
+  flags.add_string("out", "BENCH_serving.json", "JSON output path");
+  flags.parse(argc, argv);
+
+  if (const auto threads = flags.get_int("threads"); threads > 0) {
+    util::ThreadPool::configure_global(static_cast<std::size_t>(threads));
+  }
+  const auto batch = static_cast<std::size_t>(flags.get_int("batch"));
+  const double min_seconds = flags.get_double("min-seconds");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  const auto split = data::load_spec(flags.get_string("data"),
+                                     flags.get_double("scale"), 0.2, seed);
+  core::PipelineConfig config;
+  config.dim = static_cast<std::size_t>(flags.get_int("dim"));
+  config.seed = seed;
+  config.lehdc.epochs = static_cast<std::size_t>(flags.get_int("epochs"));
+  core::Pipeline pipeline(config);
+  pipeline.fit(split.train, &split.test);
+
+  // The query stream: test samples tiled up to one full window.
+  data::Dataset queries(split.test.feature_count(), split.test.class_count());
+  for (std::size_t q = 0; q < batch; ++q) {
+    queries.add_sample(split.test.sample(q % split.test.size()), 0);
+  }
+
+  // 1. Direct upper bound: the fused encode+score batch path, no queueing.
+  const double direct_qps = measure_qps(batch, min_seconds, [&] {
+    (void)pipeline.predict_batch(queries);
+  });
+
+  // 2. Saturated closed loop through the server. max_batch matches the
+  // window so a full window can flush as one batch; the wait deadline is
+  // irrelevant once the queue is deep.
+  serve::ModelRegistry registry;
+  registry.add("default", std::move(pipeline));
+  serve::ServerConfig server_config;
+  server_config.batcher.max_batch = batch;
+  server_config.batcher.max_wait_us = 200;
+  server_config.batcher.queue_capacity = 4 * batch;
+  double server_qps = 0.0;
+  {
+    serve::InferenceServer server(registry, server_config);
+    server_qps = measure_qps(batch, min_seconds, [&] {
+      std::vector<std::future<serve::Response>> inflight;
+      inflight.reserve(batch);
+      for (std::size_t q = 0; q < batch; ++q) {
+        const auto features = queries.sample(q);
+        inflight.push_back(
+            server.submit({features.begin(), features.end()}));
+      }
+      for (auto& future : inflight) {
+        if (!future.get().ok()) {
+          throw std::runtime_error("saturation run rejected a request");
+        }
+      }
+    });
+    server.shutdown();
+  }
+  const double ratio = direct_qps > 0.0 ? server_qps / direct_qps : 0.0;
+
+  // 3. Overload: 2x oversubmission against a queue sized for half the
+  // burst. The bounded queue must shed the excess as typed rejections and
+  // never grow past its capacity.
+  serve::ServerConfig overload_config = server_config;
+  overload_config.batcher.queue_capacity = batch;
+  overload_config.batcher.max_batch = 64;
+  std::size_t overload_ok = 0;
+  std::size_t overload_shed = 0;
+  std::size_t peak_depth = 0;
+  {
+    serve::InferenceServer server(registry, overload_config);
+    std::vector<std::future<serve::Response>> inflight;
+    inflight.reserve(2 * batch);
+    for (std::size_t q = 0; q < 2 * batch; ++q) {
+      const auto features = queries.sample(q % batch);
+      inflight.push_back(server.submit({features.begin(), features.end()}));
+    }
+    for (auto& future : inflight) {
+      const serve::Response response = future.get();
+      if (response.ok()) {
+        ++overload_ok;
+      } else if (response.error == serve::Reject::kQueueFull) {
+        ++overload_shed;
+      } else {
+        std::fprintf(stderr, "unexpected rejection: %s\n",
+                     serve::reject_name(response.error));
+        return 1;
+      }
+    }
+    peak_depth = server.peak_queue_depth();
+    server.shutdown();
+  }
+
+  std::printf("direct batch-%zu:      %.0f qps\n", batch, direct_qps);
+  std::printf("server saturated:     %.0f qps (%.1f%% of direct)\n",
+              server_qps, ratio * 100.0);
+  std::printf("overload 2x burst:    ok=%zu shed=%zu peak_depth=%zu "
+              "(capacity %zu)\n",
+              overload_ok, overload_shed, peak_depth,
+              overload_config.batcher.queue_capacity);
+
+  bool failed = false;
+  if (peak_depth > overload_config.batcher.queue_capacity) {
+    std::fprintf(stderr, "FAIL: queue grew past its capacity\n");
+    failed = true;
+  }
+  if (overload_shed == 0) {
+    std::fprintf(stderr, "FAIL: 2x overload shed nothing\n");
+    failed = true;
+  }
+  if (overload_ok + overload_shed != 2 * batch) {
+    std::fprintf(stderr, "FAIL: responses lost under overload\n");
+    failed = true;
+  }
+
+  obs::set_enabled(true);
+  auto& registry_obs = obs::Registry::global();
+  registry_obs.gauge("bench.serving.direct_qps").set(direct_qps);
+  registry_obs.gauge("bench.serving.server_qps").set(server_qps);
+  registry_obs.gauge("bench.serving.saturation_ratio").set(ratio);
+  registry_obs.gauge("bench.serving.overload_ok")
+      .set(static_cast<double>(overload_ok));
+  registry_obs.gauge("bench.serving.overload_shed")
+      .set(static_cast<double>(overload_shed));
+  registry_obs.gauge("bench.serving.overload_peak_depth")
+      .set(static_cast<double>(peak_depth));
+
+  obs::Json context = obs::Json::object();
+  context.set("bench", "serving_throughput");
+  context.set("batch", batch);
+  context.set("dim", config.dim);
+  context.set("queue_capacity", overload_config.batcher.queue_capacity);
+  context.set("pool_workers", util::ThreadPool::global().worker_count());
+
+  const std::string& out_path = flags.get_string("out");
+  obs::write_metrics_json(out_path, registry_obs, std::move(context));
+  std::printf("wrote %s\n", out_path.c_str());
+  return failed ? 1 : 0;
+}

@@ -1,0 +1,52 @@
+#include "data/spec.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "data/csv_loader.hpp"
+#include "data/idx_loader.hpp"
+#include "data/profiles.hpp"
+#include "util/rng.hpp"
+
+namespace lehdc::data {
+
+TrainTestSplit load_spec(const std::string& spec, double scale,
+                         double holdout, std::uint64_t seed, bool shuffle) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument(
+        "data spec must look like csv:<path>, idx:<imgs>:<labels> or "
+        "synth:<profile>");
+  }
+  const std::string kind = spec.substr(0, colon);
+  const std::string rest = spec.substr(colon + 1);
+
+  if (kind == "synth") {
+    const auto profile = scaled(profile_by_name(rest), scale);
+    return generate_synthetic(profile.config);
+  }
+
+  Dataset all(1, 2);
+  if (kind == "csv") {
+    all = load_csv(rest);
+  } else if (kind == "idx") {
+    const auto second = rest.find(':');
+    if (second == std::string::npos) {
+      throw std::invalid_argument("idx spec needs idx:<images>:<labels>");
+    }
+    all = load_idx(rest.substr(0, second), rest.substr(second + 1));
+  } else {
+    throw std::invalid_argument("unknown data spec kind: " + kind);
+  }
+
+  if (shuffle) {
+    util::Rng rng(seed);
+    all.shuffle(rng);
+  }
+  const auto train_size = static_cast<std::size_t>(
+      static_cast<double>(all.size()) * (1.0 - holdout));
+  auto [train, test] = all.split(train_size);
+  return TrainTestSplit{std::move(train), std::move(test)};
+}
+
+}  // namespace lehdc::data

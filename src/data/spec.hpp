@@ -1,0 +1,31 @@
+// Data-spec strings: one textual syntax for every dataset source the
+// command-line tools accept.
+//
+//   csv:<path>             numeric CSV, label in the last column
+//   idx:<images>:<labels>  MNIST-format IDX pair
+//   synth:<profile>        built-in synthetic benchmark profile
+//                          (mnist, fashion-mnist, cifar-10, ucihar,
+//                           isolet, pamap), scaled by `scale`
+//
+// Shared by lehdc_cli and lehdc_serve so the two tools can never drift on
+// what a spec means.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/synthetic.hpp"
+
+namespace lehdc::data {
+
+/// Parses `spec` and loads it into a train/test pair. For csv:/idx:
+/// sources the file is shuffled (seeded) and split by `holdout`;
+/// `shuffle = false` preserves file order (batch prediction must emit
+/// labels in input order) — synth: sources generate their own split and
+/// ignore `holdout`/`shuffle`. Throws std::invalid_argument on a
+/// malformed spec and std::runtime_error on a load failure.
+[[nodiscard]] TrainTestSplit load_spec(const std::string& spec, double scale,
+                                       double holdout, std::uint64_t seed,
+                                       bool shuffle = true);
+
+}  // namespace lehdc::data

@@ -55,6 +55,12 @@ constexpr std::array<double, 25> kTimeBuckets = {
     1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,  0.25,   0.5,
     1.0,  2.5,    5.0,  10.0, 20.0,   40.0, 60.0};
 
+// Powers of two 1..4096: batch sizes, queue depths and similar small
+// discrete counts fall on exact bucket edges.
+constexpr std::array<double, 13> kCountBuckets = {
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+    256.0, 512.0, 1024.0, 2048.0, 4096.0};
+
 }  // namespace
 
 bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
@@ -73,6 +79,10 @@ double Gauge::from_bits(std::uint64_t bits) noexcept {
 
 std::span<const double> default_time_buckets() noexcept {
   return {kTimeBuckets.data(), kTimeBuckets.size()};
+}
+
+std::span<const double> default_count_buckets() noexcept {
+  return {kCountBuckets.data(), kCountBuckets.size()};
 }
 
 Histogram::Histogram(std::string name, std::span<const double> bounds)

@@ -156,6 +156,10 @@ class Histogram {
 /// roughly logarithmic from 1 µs to 60 s (26 buckets incl. overflow).
 [[nodiscard]] std::span<const double> default_time_buckets() noexcept;
 
+/// Histogram bounds for small discrete counts (batch sizes, queue depths):
+/// powers of two from 1 to 4096 (14 buckets incl. overflow).
+[[nodiscard]] std::span<const double> default_count_buckets() noexcept;
+
 /// Owns every metric. Lookup-or-create takes a mutex (cold path, done once
 /// per instrumentation site); returned references stay valid until
 /// process exit. Re-requesting a name returns the same object, so

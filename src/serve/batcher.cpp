@@ -1,0 +1,72 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lehdc::serve {
+
+MicroBatcher::MicroBatcher(const BatcherConfig& config) : config_(config) {
+  util::expects(config.max_batch > 0, "max_batch must be positive");
+  util::expects(config.queue_capacity > 0, "queue_capacity must be positive");
+}
+
+Reject MicroBatcher::offer(PendingRequest&& request, std::uint64_t now_us) {
+  if (closed_) {
+    return Reject::kShuttingDown;
+  }
+  if (pending_.size() >= config_.queue_capacity) {
+    return Reject::kQueueFull;
+  }
+  request.enqueue_us = now_us;
+  pending_.push_back(std::move(request));
+  return Reject::kNone;
+}
+
+MicroBatcher::Flush MicroBatcher::poll(std::uint64_t now_us, bool force) {
+  Flush flush;
+
+  // Cull expired requests first: a request past its deadline must never be
+  // dispatched, even when a flush is due this very poll.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->deadline_us != 0 && it->deadline_us <= now_us) {
+      flush.expired.push_back(std::move(*it));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (pending_.empty()) {
+    return flush;
+  }
+  const bool size_due = pending_.size() >= config_.max_batch;
+  const bool time_due =
+      now_us - pending_.front().enqueue_us >= config_.max_wait_us;
+  if (!size_due && !time_due && !force) {
+    return flush;
+  }
+
+  const std::size_t take = std::min(pending_.size(), config_.max_batch);
+  flush.batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    flush.batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  return flush;
+}
+
+std::uint64_t MicroBatcher::next_event_us() const {
+  if (pending_.empty()) {
+    return kNever;
+  }
+  std::uint64_t next = pending_.front().enqueue_us + config_.max_wait_us;
+  for (const PendingRequest& request : pending_) {
+    if (request.deadline_us != 0) {
+      next = std::min(next, request.deadline_us);
+    }
+  }
+  return next;
+}
+
+}  // namespace lehdc::serve

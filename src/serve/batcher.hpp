@@ -1,0 +1,99 @@
+// Micro-batching request queue: the deterministic core of the server.
+//
+// MicroBatcher is a bounded FIFO of pending requests plus the flush policy:
+// a batch is released when `max_batch` requests are pending (size flush) or
+// when the oldest pending request has waited `max_wait_us` (time flush),
+// whichever comes first. Admission control rejects offers beyond
+// `queue_capacity` with a typed Reject — the queue can never grow without
+// bound, so overload degrades to shedding, not to memory exhaustion.
+//
+// The class is deliberately thread-free and time-free: every method takes
+// `now_us` from the caller's Clock, and callers provide their own
+// synchronization (InferenceServer wraps it in a mutex + condition
+// variable; unit tests drive it directly with a FakeClock and assert each
+// decision deterministically).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "serve/error.hpp"
+
+namespace lehdc::serve {
+
+struct BatcherConfig {
+  /// Flush as soon as this many requests are pending (and cap every
+  /// released batch at this size).
+  std::size_t max_batch = 64;
+  /// Flush when the oldest pending request has waited this long.
+  std::uint64_t max_wait_us = 1000;
+  /// Admission bound: offers beyond this depth are rejected kQueueFull.
+  std::size_t queue_capacity = 1024;
+};
+
+/// One queued inference request. The promise is fulfilled by whoever
+/// dispatches (or sheds) the request.
+struct PendingRequest {
+  std::uint64_t id = 0;
+  /// Registry key of the target model ("" = the server's default model).
+  std::string model;
+  std::vector<float> features;
+  std::uint64_t enqueue_us = 0;
+  /// Absolute Clock deadline; 0 means no deadline. A request whose
+  /// deadline passes before dispatch is shed with kDeadlineExceeded.
+  std::uint64_t deadline_us = 0;
+  std::promise<Response> promise;
+};
+
+class MicroBatcher {
+ public:
+  /// Sentinel returned by next_event_us() when nothing is pending.
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+  explicit MicroBatcher(const BatcherConfig& config);
+
+  /// Admits the request or rejects it (kQueueFull / kShuttingDown). The
+  /// request is consumed only on success.
+  [[nodiscard]] Reject offer(PendingRequest&& request, std::uint64_t now_us);
+
+  struct Flush {
+    /// Requests to dispatch as one batch, in arrival order. At most
+    /// max_batch; empty when no flush condition holds.
+    std::vector<PendingRequest> batch;
+    /// Requests whose deadline passed; shed them with kDeadlineExceeded.
+    std::vector<PendingRequest> expired;
+  };
+
+  /// Culls expired requests, then releases a batch if a flush is due
+  /// (size reached, oldest waited max_wait_us, or `force`). Callers loop
+  /// until both vectors come back empty: a backlog larger than max_batch
+  /// drains in max_batch-sized chunks.
+  [[nodiscard]] Flush poll(std::uint64_t now_us, bool force = false);
+
+  /// Earliest future time at which poll() could have new work: the oldest
+  /// request's flush deadline or the nearest per-request deadline,
+  /// whichever is sooner. kNever when the queue is empty. (A size flush
+  /// needs no timer: offer() makes it visible immediately.)
+  [[nodiscard]] std::uint64_t next_event_us() const;
+
+  [[nodiscard]] std::size_t depth() const noexcept { return pending_.size(); }
+
+  /// Stops admission (offers now return kShuttingDown). Already queued
+  /// requests remain and are drained by poll(now, /*force=*/true).
+  void close() noexcept { closed_ = true; }
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+
+  [[nodiscard]] const BatcherConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  BatcherConfig config_;
+  std::deque<PendingRequest> pending_;
+  bool closed_ = false;
+};
+
+}  // namespace lehdc::serve

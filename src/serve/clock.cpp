@@ -1,0 +1,26 @@
+#include "serve/clock.hpp"
+
+#include <chrono>
+
+namespace lehdc::serve {
+
+namespace {
+
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] std::uint64_t now_us() override {
+    const auto since_epoch = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(since_epoch)
+            .count());
+  }
+};
+
+}  // namespace
+
+Clock& system_clock() {
+  static SystemClock clock;
+  return clock;
+}
+
+}  // namespace lehdc::serve

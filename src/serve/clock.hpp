@@ -1,0 +1,50 @@
+// Injectable time source for the serving stack.
+//
+// Every piece of serving time arithmetic — micro-batch flush deadlines,
+// per-request deadlines, end-to-end latency — reads time through this
+// interface instead of a clock syscall, so the batching logic is testable
+// with a manually advanced FakeClock: tests assert flush decisions
+// deterministically, with no sleeps and no real-time races.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lehdc::serve {
+
+/// Monotonic microsecond clock. Implementations must be callable from
+/// several threads concurrently.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Microseconds since an arbitrary fixed epoch; never decreases.
+  [[nodiscard]] virtual std::uint64_t now_us() = 0;
+};
+
+/// The process steady clock (same epoch family as obs::monotonic_seconds).
+[[nodiscard]] Clock& system_clock();
+
+/// Manually advanced clock for deterministic tests. Thread-safe: the time
+/// is one atomic, so a test may advance it while a server worker reads it.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::uint64_t start_us = 0) : now_(start_us) {}
+
+  [[nodiscard]] std::uint64_t now_us() override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  void advance_us(std::uint64_t delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  void set_us(std::uint64_t now) {
+    now_.store(now, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_;
+};
+
+}  // namespace lehdc::serve

@@ -1,0 +1,23 @@
+#include "serve/error.hpp"
+
+namespace lehdc::serve {
+
+const char* reject_name(Reject reason) noexcept {
+  switch (reason) {
+    case Reject::kNone:
+      return "ok";
+    case Reject::kQueueFull:
+      return "queue_full";
+    case Reject::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Reject::kShuttingDown:
+      return "shutting_down";
+    case Reject::kModelNotFound:
+      return "model_not_found";
+    case Reject::kBadRequest:
+      return "bad_request";
+  }
+  return "unknown";
+}
+
+}  // namespace lehdc::serve

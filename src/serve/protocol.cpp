@@ -1,0 +1,154 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/serial.hpp"
+
+namespace lehdc::serve {
+
+namespace {
+
+std::string frame(const char magic[4], const util::PayloadWriter& payload) {
+  std::string out;
+  out.reserve(8 + payload.size());
+  out.append(magic, 4);
+  const auto size = static_cast<std::uint32_t>(payload.size());
+  out.append(reinterpret_cast<const char*>(&size), sizeof(size));
+  out.append(payload.str());
+  return out;
+}
+
+/// Reads one frame body into `payload`. Returns false on clean EOF before
+/// any header byte; throws on everything else that is not a whole frame.
+bool read_frame(std::istream& in, const char expected_magic[4],
+                std::string* payload, const std::string& context) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() == 0 && in.eof()) {
+    return false;
+  }
+  if (in.gcount() != sizeof(magic)) {
+    throw std::runtime_error("truncated frame header in " + context);
+  }
+  if (std::memcmp(magic, expected_magic, sizeof(magic)) != 0) {
+    throw std::runtime_error("bad frame magic in " + context);
+  }
+  std::uint32_t size = 0;
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  if (in.gcount() != sizeof(size)) {
+    throw std::runtime_error("truncated frame length in " + context);
+  }
+  if (size > kMaxPayloadBytes) {
+    throw std::runtime_error("oversized frame (" + std::to_string(size) +
+                             " bytes) in " + context);
+  }
+  payload->resize(size);
+  in.read(payload->data(), static_cast<std::streamsize>(size));
+  if (in.gcount() != static_cast<std::streamsize>(size)) {
+    throw std::runtime_error("truncated frame payload in " + context);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string encode_request(const WireRequest& request) {
+  util::PayloadWriter payload;
+  payload.pod<std::uint64_t>(request.id);
+  payload.pod<std::uint64_t>(request.deadline_budget_us);
+  payload.pod<std::uint16_t>(static_cast<std::uint16_t>(request.model.size()));
+  payload.bytes(request.model.data(), request.model.size());
+  payload.pod<std::uint32_t>(
+      static_cast<std::uint32_t>(request.features.size()));
+  payload.bytes(request.features.data(),
+                request.features.size() * sizeof(float));
+  return frame(kRequestMagic, payload);
+}
+
+std::string encode_response(const Response& response) {
+  util::PayloadWriter payload;
+  payload.pod<std::uint64_t>(response.id);
+  payload.pod<std::uint8_t>(static_cast<std::uint8_t>(response.error));
+  payload.pod<std::int32_t>(response.label);
+  payload.pod<std::uint32_t>(response.batch_size);
+  payload.pod<double>(response.latency_seconds);
+  return frame(kResponseMagic, payload);
+}
+
+WireRequest decode_request_payload(std::string_view payload,
+                                   const std::string& context) {
+  util::PayloadReader reader(payload, context);
+  WireRequest request;
+  request.id = reader.pod<std::uint64_t>();
+  request.deadline_budget_us = reader.pod<std::uint64_t>();
+  const auto model_length = reader.pod<std::uint16_t>();
+  request.model.resize(model_length);
+  reader.bytes(request.model.data(), model_length);
+  const auto feature_count = reader.pod<std::uint32_t>();
+  // The reader bounds-checks the bulk read, so a lying feature_count can
+  // never trigger an allocation beyond the (already bounded) payload.
+  if (static_cast<std::size_t>(feature_count) * sizeof(float) >
+      reader.remaining()) {
+    throw std::runtime_error("feature count overruns payload in " + context);
+  }
+  request.features.resize(feature_count);
+  reader.bytes(request.features.data(), feature_count * sizeof(float));
+  reader.expect_done();
+  return request;
+}
+
+Response decode_response_payload(std::string_view payload,
+                                 const std::string& context) {
+  util::PayloadReader reader(payload, context);
+  Response response;
+  response.id = reader.pod<std::uint64_t>();
+  const auto status = reader.pod<std::uint8_t>();
+  if (status > static_cast<std::uint8_t>(Reject::kBadRequest)) {
+    throw std::runtime_error("unknown response status in " + context);
+  }
+  response.error = static_cast<Reject>(status);
+  response.label = reader.pod<std::int32_t>();
+  response.batch_size = reader.pod<std::uint32_t>();
+  response.latency_seconds = reader.pod<double>();
+  reader.expect_done();
+  return response;
+}
+
+bool read_request(std::istream& in, WireRequest* out,
+                  const std::string& context) {
+  std::string payload;
+  if (!read_frame(in, kRequestMagic, &payload, context)) {
+    return false;
+  }
+  *out = decode_request_payload(payload, context);
+  return true;
+}
+
+bool read_response(std::istream& in, Response* out,
+                   const std::string& context) {
+  std::string payload;
+  if (!read_frame(in, kResponseMagic, &payload, context)) {
+    return false;
+  }
+  *out = decode_response_payload(payload, context);
+  return true;
+}
+
+void write_request(std::ostream& out, const WireRequest& request) {
+  const std::string bytes = encode_request(request);
+  if (!out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
+    throw std::runtime_error("failed to write request frame");
+  }
+}
+
+void write_response(std::ostream& out, const Response& response) {
+  const std::string bytes = encode_response(response);
+  if (!out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
+    throw std::runtime_error("failed to write response frame");
+  }
+}
+
+}  // namespace lehdc::serve

@@ -1,0 +1,73 @@
+// Length-prefixed binary wire protocol for lehdc_serve.
+//
+// One frame per message, same shape in both directions:
+//
+//   magic (4 bytes) | u32 payload_size | payload
+//
+//   "LSRQ" request payload :=
+//     u64 id | u64 deadline_budget_us | u16 model_name_length
+//     | model_name bytes | u32 feature_count | f32[feature_count]
+//   "LSRS" response payload :=
+//     u64 id | u8 status (serve::Reject) | i32 label | u32 batch_size
+//     | f64 latency_seconds
+//
+// Integers are little-endian (the library's serial.hpp convention). The
+// deadline travels as a *budget* relative to server receipt — absolute
+// monotonic timestamps are meaningless across processes; 0 means no
+// deadline. Frames are bounded (kMaxPayloadBytes) and every field is
+// parsed through the bounds-checked util::PayloadReader, so a malformed
+// or truncated frame raises a typed error before any oversized allocation
+// — the same hardening discipline as the dataset loaders.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/error.hpp"
+
+namespace lehdc::serve {
+
+inline constexpr char kRequestMagic[4] = {'L', 'S', 'R', 'Q'};
+inline constexpr char kResponseMagic[4] = {'L', 'S', 'R', 'S'};
+
+/// Upper bound on a frame payload (16 MiB ≈ 4M float features) — an
+/// admission check against hostile length prefixes.
+inline constexpr std::uint32_t kMaxPayloadBytes = 16u * 1024u * 1024u;
+
+struct WireRequest {
+  std::uint64_t id = 0;
+  /// Microseconds the client grants from server receipt; 0 = no deadline.
+  std::uint64_t deadline_budget_us = 0;
+  /// Target model name; empty selects the server default.
+  std::string model;
+  std::vector<float> features;
+};
+
+/// Serializes one complete frame (header + payload).
+[[nodiscard]] std::string encode_request(const WireRequest& request);
+[[nodiscard]] std::string encode_response(const Response& response);
+
+/// Parses a frame payload (the bytes after the length prefix). `context`
+/// names the source for error messages. Throws std::runtime_error on a
+/// malformed payload.
+[[nodiscard]] WireRequest decode_request_payload(std::string_view payload,
+                                                 const std::string& context);
+[[nodiscard]] Response decode_response_payload(std::string_view payload,
+                                               const std::string& context);
+
+/// Reads one frame from a stream. Returns false on clean EOF at a frame
+/// boundary; throws std::runtime_error on a bad magic, an oversized
+/// length, or EOF mid-frame.
+bool read_request(std::istream& in, WireRequest* out,
+                  const std::string& context);
+bool read_response(std::istream& in, Response* out,
+                   const std::string& context);
+
+/// Writes one frame; throws std::runtime_error when the stream fails.
+void write_request(std::ostream& out, const WireRequest& request);
+void write_response(std::ostream& out, const Response& response);
+
+}  // namespace lehdc::serve

@@ -1,0 +1,63 @@
+#include "serve/registry.hpp"
+
+#include "core/pipeline_io.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace lehdc::serve {
+
+std::shared_ptr<const core::Pipeline> ModelRegistry::load(
+    const std::string& name, const std::string& path) {
+  // Load (and therefore validate the checksum) before touching the map: a
+  // failed load must leave the currently bound model serving.
+  auto model =
+      std::make_shared<const core::Pipeline>(core::load_pipeline(path));
+  static obs::Counter& loads =
+      obs::Registry::global().counter("serve.model_loads");
+  loads.add();
+  return bind(name, std::move(model));
+}
+
+std::shared_ptr<const core::Pipeline> ModelRegistry::add(
+    const std::string& name, core::Pipeline pipeline) {
+  util::expects(pipeline.fitted(),
+                "only fitted pipelines can be registered for serving");
+  return bind(name,
+              std::make_shared<const core::Pipeline>(std::move(pipeline)));
+}
+
+std::shared_ptr<const core::Pipeline> ModelRegistry::bind(
+    const std::string& name, std::shared_ptr<const core::Pipeline> model) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  models_[name] = model;
+  return model;
+}
+
+std::shared_ptr<const core::Pipeline> ModelRegistry::get(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+bool ModelRegistry::remove(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return models_.erase(name) > 0;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [name, model] : models_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return models_.size();
+}
+
+}  // namespace lehdc::serve

@@ -1,0 +1,58 @@
+// Named model registry with atomic hot reload.
+//
+// The server looks models up by name per batch; operators (re)load
+// checksummed v2 pipeline bundles (core/pipeline_io.hpp) under the same
+// name without stopping traffic. A reload is an atomic shared_ptr swap:
+// batches already holding the old pipeline finish on it, new batches see
+// the new one, and a failed load (missing file, CRC mismatch) throws
+// *before* the swap — the previous model keeps serving.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace lehdc::serve {
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Loads the bundle at `path` and binds (or re-binds) `name` to it.
+  /// Throws std::runtime_error on I/O failure or a corrupt file; the
+  /// registry is unchanged in that case. Returns the loaded pipeline.
+  std::shared_ptr<const core::Pipeline> load(const std::string& name,
+                                             const std::string& path);
+
+  /// Registers an already-fitted in-process pipeline (tests, benches).
+  /// Precondition: pipeline.fitted().
+  std::shared_ptr<const core::Pipeline> add(const std::string& name,
+                                            core::Pipeline pipeline);
+
+  /// The pipeline currently bound to `name`; nullptr when absent. The
+  /// returned pointer stays valid across reloads (the old model lives
+  /// until its last in-flight batch releases it).
+  [[nodiscard]] std::shared_ptr<const core::Pipeline> get(
+      const std::string& name) const;
+
+  /// Unbinds `name`; returns false when it was not registered.
+  bool remove(const std::string& name);
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  std::shared_ptr<const core::Pipeline> bind(
+      const std::string& name, std::shared_ptr<const core::Pipeline> model);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const core::Pipeline>> models_;
+};
+
+}  // namespace lehdc::serve

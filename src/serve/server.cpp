@@ -1,0 +1,252 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "data/dataset.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
+namespace lehdc::serve {
+
+namespace {
+
+obs::Counter& reject_counter(Reject reason) {
+  auto& registry = obs::Registry::global();
+  switch (reason) {
+    case Reject::kQueueFull: {
+      static obs::Counter& c = registry.counter("serve.rejected_queue_full");
+      return c;
+    }
+    case Reject::kDeadlineExceeded: {
+      static obs::Counter& c = registry.counter("serve.rejected_deadline");
+      return c;
+    }
+    case Reject::kShuttingDown: {
+      static obs::Counter& c = registry.counter("serve.rejected_shutdown");
+      return c;
+    }
+    case Reject::kModelNotFound: {
+      static obs::Counter& c =
+          registry.counter("serve.rejected_model_not_found");
+      return c;
+    }
+    case Reject::kNone:
+    case Reject::kBadRequest:
+      break;
+  }
+  static obs::Counter& c = registry.counter("serve.rejected_bad_request");
+  return c;
+}
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& gauge =
+      obs::Registry::global().gauge("serve.queue_depth");
+  return gauge;
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(ModelRegistry& registry,
+                                 const ServerConfig& config, Clock* clock)
+    : registry_(registry),
+      config_(config),
+      clock_(clock != nullptr ? clock : &system_clock()),
+      batcher_(config.batcher) {
+  worker_ = std::thread(&InferenceServer::worker_loop, this);
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+void InferenceServer::reject(PendingRequest&& request, Reject reason) {
+  reject_counter(reason).add();
+  Response response;
+  response.id = request.id;
+  response.error = reason;
+  request.promise.set_value(response);
+}
+
+std::future<Response> InferenceServer::submit(std::vector<float> features,
+                                              std::uint64_t deadline_us,
+                                              const std::string& model,
+                                              std::uint64_t id) {
+  static obs::Counter& requests =
+      obs::Registry::global().counter("serve.requests");
+  requests.add();
+
+  PendingRequest request;
+  request.id = id;
+  request.model = model.empty() ? config_.default_model : model;
+  request.features = std::move(features);
+  request.deadline_us = deadline_us;
+  std::future<Response> future = request.promise.get_future();
+
+  // Admission-time validation: the model binding and the feature arity are
+  // knowable now, so malformed requests never occupy queue capacity. (The
+  // dispatch path re-validates — a hot reload may change either.)
+  const auto pipeline = registry_.get(request.model);
+  if (pipeline == nullptr) {
+    reject(std::move(request), Reject::kModelNotFound);
+    return future;
+  }
+  if (request.features.size() != pipeline->encoder().feature_count()) {
+    reject(std::move(request), Reject::kBadRequest);
+    return future;
+  }
+
+  const std::uint64_t now = clock_->now_us();
+  Reject verdict = Reject::kNone;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // offer() consumes the request only on success, so a rejected request
+    // can still carry its promise to reject() below.
+    verdict = batcher_.offer(std::move(request), now);
+    if (verdict == Reject::kNone) {
+      peak_depth_ = std::max(peak_depth_, batcher_.depth());
+      queue_depth_gauge().set(static_cast<double>(batcher_.depth()));
+    }
+  }
+  if (verdict != Reject::kNone) {
+    reject(std::move(request), verdict);
+    return future;
+  }
+  work_ready_.notify_one();
+  return future;
+}
+
+Response InferenceServer::predict(std::vector<float> features,
+                                  std::uint64_t deadline_us,
+                                  const std::string& model) {
+  return submit(std::move(features), deadline_us, model).get();
+}
+
+void InferenceServer::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    MicroBatcher::Flush flush = batcher_.poll(clock_->now_us(), stop_);
+    if (flush.batch.empty() && flush.expired.empty()) {
+      if (stop_) {
+        break;  // admission closed and the backlog is drained
+      }
+      const std::uint64_t next = batcher_.next_event_us();
+      if (next == MicroBatcher::kNever) {
+        work_ready_.wait(lock);
+      } else {
+        // Sleep until the oldest request's flush deadline (or the nearest
+        // per-request deadline); a size-triggered flush is signalled by
+        // submit() instead.
+        const std::uint64_t now = clock_->now_us();
+        const std::uint64_t wait_us = next > now ? next - now : 0;
+        work_ready_.wait_for(lock, std::chrono::microseconds(wait_us + 1));
+      }
+      continue;
+    }
+    queue_depth_gauge().set(static_cast<double>(batcher_.depth()));
+    lock.unlock();
+    for (PendingRequest& expired : flush.expired) {
+      reject(std::move(expired), Reject::kDeadlineExceeded);
+    }
+    if (!flush.batch.empty()) {
+      dispatch(std::move(flush.batch));
+    }
+    lock.lock();
+  }
+}
+
+void InferenceServer::dispatch(std::vector<PendingRequest> batch) {
+  auto& metrics = obs::Registry::global();
+  static obs::Counter& batches = metrics.counter("serve.batches");
+  static obs::Counter& responses = metrics.counter("serve.responses");
+  static obs::Histogram& batch_size_hist =
+      metrics.histogram("serve.batch_size", obs::default_count_buckets());
+  static obs::Histogram& dispatch_seconds =
+      metrics.histogram("serve.dispatch_seconds");
+  static obs::Histogram& latency_seconds =
+      metrics.histogram("serve.e2e_latency_seconds");
+
+  batches.add();
+  batch_size_hist.observe(static_cast<double>(batch.size()));
+  obs::ScopedTimer dispatch_timer(dispatch_seconds);
+  const auto batch_size = static_cast<std::uint32_t>(batch.size());
+
+  // Group by target model, preserving arrival order within each group
+  // (requests in one flush usually share one model, but nothing forbids a
+  // mixed batch).
+  std::vector<char> grouped(batch.size(), 0);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (grouped[i]) {
+      continue;
+    }
+    std::vector<std::size_t> group;
+    for (std::size_t j = i; j < batch.size(); ++j) {
+      if (!grouped[j] && batch[j].model == batch[i].model) {
+        grouped[j] = 1;
+        group.push_back(j);
+      }
+    }
+
+    // Re-resolve the model per batch: this is what pins a hot-reloaded
+    // pipeline for exactly one dispatch and no longer.
+    const auto pipeline = registry_.get(batch[i].model);
+    if (pipeline == nullptr) {
+      for (const std::size_t j : group) {
+        reject(std::move(batch[j]), Reject::kModelNotFound);
+      }
+      continue;
+    }
+    const std::size_t feature_count = pipeline->encoder().feature_count();
+    std::vector<std::size_t> valid;
+    valid.reserve(group.size());
+    data::Dataset queries(feature_count, 2);
+    for (const std::size_t j : group) {
+      if (batch[j].features.size() != feature_count) {
+        reject(std::move(batch[j]), Reject::kBadRequest);
+        continue;
+      }
+      queries.add_sample(batch[j].features, 0);
+      valid.push_back(j);
+    }
+    if (valid.empty()) {
+      continue;
+    }
+
+    const std::vector<int> labels = pipeline->predict_batch(queries);
+    const std::uint64_t now = clock_->now_us();
+    for (std::size_t v = 0; v < valid.size(); ++v) {
+      PendingRequest& request = batch[valid[v]];
+      Response response;
+      response.id = request.id;
+      response.label = labels[v];
+      response.batch_size = batch_size;
+      response.latency_seconds =
+          static_cast<double>(now - request.enqueue_us) * 1e-6;
+      latency_seconds.observe(response.latency_seconds);
+      responses.add();
+      request.promise.set_value(response);
+    }
+  }
+}
+
+void InferenceServer::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    batcher_.close();
+  }
+  work_ready_.notify_all();
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+}
+
+std::size_t InferenceServer::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return batcher_.depth();
+}
+
+std::size_t InferenceServer::peak_queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return peak_depth_;
+}
+
+}  // namespace lehdc::serve

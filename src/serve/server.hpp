@@ -1,0 +1,102 @@
+// Asynchronous micro-batching inference front-end over core::Pipeline.
+//
+// Producers (socket handlers, the pipe loop, bench client threads) submit
+// raw feature vectors and receive a std::future<Response>; one worker
+// thread amortizes queued requests into micro-batches (MicroBatcher flush
+// policy) and dispatches each batch through Pipeline::predict_batch — the
+// fused encode+score path — so served predictions are bit-identical to a
+// direct batched call on the same inputs. Admission control, per-request
+// deadlines and typed shedding are the batcher's; this class adds the
+// thread, the model registry indirection (hot reload safe: a batch pins
+// its pipeline via shared_ptr) and the obs instrumentation:
+//
+//   serve.requests / serve.responses / serve.batches        counters
+//   serve.rejected_{queue_full,deadline,shutdown,
+//                   model_not_found,bad_request}            counters
+//   serve.queue_depth                                       gauge
+//   serve.batch_size                                        histogram
+//   serve.e2e_latency_seconds / serve.dispatch_seconds      histograms
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/clock.hpp"
+#include "serve/registry.hpp"
+
+namespace lehdc::serve {
+
+struct ServerConfig {
+  BatcherConfig batcher;
+  /// Registry key used when a request names no model.
+  std::string default_model = "default";
+};
+
+class InferenceServer {
+ public:
+  /// Starts the worker immediately. `registry` must outlive the server;
+  /// `clock` == nullptr selects the system steady clock.
+  InferenceServer(ModelRegistry& registry, const ServerConfig& config,
+                  Clock* clock = nullptr);
+
+  /// Drains and joins (equivalent to shutdown()).
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues one request. The future always becomes ready: with a
+  /// prediction, or with a typed Reject (admission failure resolves it
+  /// immediately; queued requests resolve at dispatch, deadline expiry or
+  /// shutdown drain). `deadline_us` is an absolute Clock time (0 = none).
+  std::future<Response> submit(std::vector<float> features,
+                               std::uint64_t deadline_us = 0,
+                               const std::string& model = {},
+                               std::uint64_t id = 0);
+
+  /// Blocking convenience wrapper around submit().
+  [[nodiscard]] Response predict(std::vector<float> features,
+                                 std::uint64_t deadline_us = 0,
+                                 const std::string& model = {});
+
+  /// Stops admission, force-flushes the backlog through the scorer (queued
+  /// requests are *served*, not dropped — only ones past their deadline
+  /// are shed) and joins the worker. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// High-water mark of the queue depth since construction; the overload
+  /// bench asserts this never exceeds queue_capacity.
+  [[nodiscard]] std::size_t peak_queue_depth() const;
+
+  [[nodiscard]] const ServerConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] Clock& clock() noexcept { return *clock_; }
+  [[nodiscard]] ModelRegistry& registry() noexcept { return registry_; }
+
+ private:
+  void worker_loop();
+  /// Scores one flushed batch (grouped by model) and fulfils its promises.
+  void dispatch(std::vector<PendingRequest> batch);
+  void reject(PendingRequest&& request, Reject reason);
+
+  ModelRegistry& registry_;
+  ServerConfig config_;
+  Clock* clock_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  MicroBatcher batcher_;
+  bool stop_ = false;
+  std::size_t peak_depth_ = 0;
+  std::thread worker_;
+};
+
+}  // namespace lehdc::serve

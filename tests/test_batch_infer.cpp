@@ -168,6 +168,58 @@ TEST(BatchScorer, NonBinaryPredictBatchMatchesPerSample) {
   }
 }
 
+TEST(BatchScorer, EmptyBatchIsANoOp) {
+  util::Rng rng(41);
+  const hdc::BinaryClassifier classifier(random_hvs(3, 256, rng));
+  const hdc::BatchScorer scorer(classifier);
+  std::vector<hv::BitVector> queries;
+  std::vector<int> labels;
+  scorer.predict_batch(queries, labels);  // must not touch the pool or crash
+  std::vector<std::int64_t> scores;
+  scorer.scores_batch(queries, scores);
+  EXPECT_TRUE(labels.empty());
+  EXPECT_TRUE(scores.empty());
+}
+
+TEST(BatchScorer, BatchesBelowKernelTileMatchPerSample) {
+  // The dot kernel blocks class rows four at a time; batches of 1..3
+  // queries against 1..3 classes keep every shape strictly inside one
+  // tile, where remainder handling is easiest to get wrong.
+  util::Rng rng(43);
+  const std::size_t dim = 129;  // ragged word tail too
+  for (std::size_t classes = 1; classes <= 3; ++classes) {
+    const hdc::BinaryClassifier classifier(random_hvs(classes, dim, rng));
+    const hdc::BatchScorer scorer(classifier);
+    for (std::size_t batch = 1; batch <= 3; ++batch) {
+      const auto queries = random_hvs(batch, dim, rng);
+      std::vector<int> out(batch, -1);
+      scorer.predict_batch(queries, out);
+      for (std::size_t i = 0; i < batch; ++i) {
+        ASSERT_EQ(out[i], classifier.predict(queries[i]))
+            << "classes=" << classes << " batch=" << batch << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BatchScorer, PredictionsIdenticalAcrossPoolSizes) {
+  // Not just accuracy: the full prediction vector must be bit-identical
+  // whether the batch is split across 1, 2, or hardware-many workers.
+  util::Rng rng(47);
+  const std::size_t dim = 503;
+  const hdc::BinaryClassifier classifier(random_hvs(5, dim, rng));
+  const auto queries = random_hvs(333, dim, rng);
+  util::ThreadPool serial(1);
+  std::vector<int> reference(queries.size(), -1);
+  hdc::BatchScorer(classifier, &serial).predict_batch(queries, reference);
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{0}}) {
+    util::ThreadPool pool(workers);
+    std::vector<int> out(queries.size(), -2);
+    hdc::BatchScorer(classifier, &pool).predict_batch(queries, out);
+    EXPECT_EQ(out, reference) << "workers=" << workers;
+  }
+}
+
 TEST(BatchScorer, TieBreaksMatchPerSamplePredict) {
   // Tiny dimension forces frequent score ties; the batched argmax must
   // resolve them exactly like the per-sample scan (lowest class id wins).
@@ -358,6 +410,33 @@ TEST(PipelineBatch, PredictBatchMatchesPerSamplePredict) {
     ASSERT_EQ(batched[i], pipeline.predict(split.test.sample(i)))
         << "i=" << i;
   }
+}
+
+TEST(PipelineBatch, EmptyAndSingleSampleBatches) {
+  const auto split = data::generate_synthetic([] {
+    data::SyntheticConfig config;
+    config.feature_count = 9;
+    config.class_count = 3;
+    config.train_count = 90;
+    config.test_count = 30;
+    config.seed = 7;
+    return config;
+  }());
+  core::PipelineConfig config;
+  config.dim = 256;
+  config.strategy = core::Strategy::kBaseline;
+  core::Pipeline pipeline(config);
+  pipeline.fit(split.train);
+
+  const data::Dataset empty(split.test.feature_count(),
+                            split.test.class_count());
+  EXPECT_TRUE(pipeline.predict_batch(empty).empty());
+
+  data::Dataset single(split.test.feature_count(), split.test.class_count());
+  single.add_sample(split.test.sample(0), split.test.label(0));
+  const std::vector<int> batched = pipeline.predict_batch(single);
+  ASSERT_EQ(batched.size(), 1u);
+  EXPECT_EQ(batched[0], pipeline.predict(split.test.sample(0)));
 }
 
 TEST(PipelineBatch, EvaluateMatchesPerSampleAccuracy) {

@@ -6,12 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.hpp"
 #include "data/synthetic.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
 #include "obs/timer.hpp"
@@ -235,6 +238,71 @@ TEST(Report, ValidatorRejectsBrokenDocuments) {
 
   EXPECT_NE(validate_metrics_json(Json::parse("{}")), "");
   EXPECT_NE(validate_metrics_json(Json::parse("[]")), "");
+}
+
+TEST(Report, ServingMetricsValidateAgainstSchema) {
+  // A small workload through the inference server must leave the global
+  // registry with the serving gauges/histograms announced in
+  // serve/server.hpp, and the resulting snapshot must still be a valid
+  // lehdc.metrics.v1 document (CI gates serve_metrics.json on this).
+  const MetricsOn on;
+  data::SyntheticConfig cfg;
+  cfg.feature_count = 8;
+  cfg.class_count = 2;
+  cfg.train_count = 60;
+  cfg.test_count = 16;
+  cfg.seed = 13;
+  const data::TrainTestSplit split = data::generate_synthetic(cfg);
+  core::PipelineConfig pipeline_cfg;
+  pipeline_cfg.dim = 256;
+  pipeline_cfg.strategy = core::Strategy::kBaseline;
+  core::Pipeline pipeline(pipeline_cfg);
+  pipeline.fit(split.train);
+
+  serve::ModelRegistry models;
+  models.add("default", std::move(pipeline));
+  serve::InferenceServer server(models, serve::ServerConfig{});
+  for (std::size_t i = 0; i < split.test.size(); ++i) {
+    const auto row = split.test.sample(i);
+    ASSERT_TRUE(server.predict({row.begin(), row.end()}).ok());
+  }
+  (void)server.predict({1.0f});  // one bad-arity rejection for the counter
+  server.shutdown();
+
+  const Json snapshot = metrics_snapshot(Registry::global());
+  EXPECT_EQ(validate_metrics_json(snapshot), "");
+
+  const auto names_of = [&](const char* section) {
+    std::vector<std::string> names;
+    for (const Json& metric : snapshot.at(section).as_array()) {
+      names.push_back(metric.at("name").as_string());
+    }
+    return names;
+  };
+  const auto has = [](const std::vector<std::string>& names,
+                      const char* name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+  const auto counters = names_of("counters");
+  EXPECT_TRUE(has(counters, "serve.requests"));
+  EXPECT_TRUE(has(counters, "serve.responses"));
+  EXPECT_TRUE(has(counters, "serve.batches"));
+  EXPECT_TRUE(has(counters, "serve.rejected_bad_request"));
+  EXPECT_TRUE(has(names_of("gauges"), "serve.queue_depth"));
+  const auto histograms = names_of("histograms");
+  EXPECT_TRUE(has(histograms, "serve.batch_size"));
+  EXPECT_TRUE(has(histograms, "serve.e2e_latency_seconds"));
+  EXPECT_TRUE(has(histograms, "serve.dispatch_seconds"));
+
+  // The latency histogram must expose the serving-SLO quantiles, ordered.
+  for (const Json& metric : snapshot.at("histograms").as_array()) {
+    if (metric.at("name").as_string() != "serve.e2e_latency_seconds") {
+      continue;
+    }
+    EXPECT_GT(metric.at("count").as_number(), 0.0);
+    EXPECT_LE(metric.at("p50").as_number(), metric.at("p95").as_number());
+    EXPECT_LE(metric.at("p95").as_number(), metric.at("p99").as_number());
+  }
 }
 
 TEST(Trace, SpansExportAsChromeCompleteEvents) {

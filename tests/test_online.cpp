@@ -1,0 +1,164 @@
+// OnlineHdcLearner: streaming centroid / perceptron updates over encoded
+// samples. Covers counting semantics, snapshot parity, the perceptron
+// warm-up and mistake-driven rules, and precondition checks.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/online.hpp"
+#include "hdc/classifier.hpp"
+#include "hdc/encoded_dataset.hpp"
+#include "hv/bitvector.hpp"
+#include "hv/intvector.hpp"
+#include "util/rng.hpp"
+
+namespace lehdc {
+namespace {
+
+constexpr std::size_t kDim = 512;
+
+core::OnlineConfig config_for(core::OnlineMode mode) {
+  core::OnlineConfig config;
+  config.dim = kDim;
+  config.class_count = 3;
+  config.mode = mode;
+  config.seed = 11;
+  return config;
+}
+
+/// A stream where each class clusters around its own prototype: the
+/// prototype with a few bits flipped per sample.
+hdc::EncodedDataset clustered_stream(std::size_t per_class,
+                                     std::size_t class_count,
+                                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<hv::BitVector> prototypes;
+  for (std::size_t k = 0; k < class_count; ++k) {
+    prototypes.push_back(hv::BitVector::random(kDim, rng));
+  }
+  hdc::EncodedDataset stream(kDim, class_count);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    for (std::size_t k = 0; k < class_count; ++k) {
+      hv::BitVector sample = prototypes[k];
+      sample.flip_random(kDim / 16, rng);
+      stream.add(std::move(sample), static_cast<int>(k));
+    }
+  }
+  return stream;
+}
+
+TEST(OnlineLearner, CtorValidatesConfig) {
+  auto bad_dim = config_for(core::OnlineMode::kCentroid);
+  bad_dim.dim = 0;
+  EXPECT_THROW(core::OnlineHdcLearner{bad_dim}, std::invalid_argument);
+
+  auto one_class = config_for(core::OnlineMode::kCentroid);
+  one_class.class_count = 1;
+  EXPECT_THROW(core::OnlineHdcLearner{one_class}, std::invalid_argument);
+
+  auto bad_alpha = config_for(core::OnlineMode::kPerceptron);
+  bad_alpha.alpha = 0;
+  EXPECT_THROW(core::OnlineHdcLearner{bad_alpha}, std::invalid_argument);
+}
+
+TEST(OnlineLearner, ObservePreconditions) {
+  core::OnlineHdcLearner learner(config_for(core::OnlineMode::kCentroid));
+  util::Rng rng(3);
+  const auto wrong_dim = hv::BitVector::random(kDim / 2, rng);
+  const auto sample = hv::BitVector::random(kDim, rng);
+  EXPECT_THROW(learner.observe(wrong_dim, 0), std::invalid_argument);
+  EXPECT_THROW(learner.observe(sample, -1), std::invalid_argument);
+  EXPECT_THROW(learner.observe(sample, 3), std::invalid_argument);
+  EXPECT_THROW((void)learner.predict(wrong_dim), std::invalid_argument);
+  EXPECT_EQ(learner.observed(), 0u);  // rejected samples are not consumed
+}
+
+TEST(OnlineLearner, CentroidCountsEverySampleAsAnUpdate) {
+  core::OnlineHdcLearner learner(config_for(core::OnlineMode::kCentroid));
+  const auto stream = clustered_stream(10, 3, 5);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    learner.observe(stream.hypervector(i), stream.label(i));
+  }
+  EXPECT_EQ(learner.observed(), stream.size());
+  EXPECT_EQ(learner.updates(), stream.size());
+}
+
+TEST(OnlineLearner, CentroidLearnsClusteredStream) {
+  core::OnlineHdcLearner learner(config_for(core::OnlineMode::kCentroid));
+  const auto stream = clustered_stream(20, 3, 7);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    learner.observe(stream.hypervector(i), stream.label(i));
+  }
+  // Tight clusters around distinct random prototypes: the centroid model
+  // must separate them essentially perfectly.
+  EXPECT_GE(learner.accuracy(stream), 0.95);
+}
+
+TEST(OnlineLearner, SnapshotMatchesLivePredictions) {
+  core::OnlineHdcLearner learner(config_for(core::OnlineMode::kPerceptron));
+  const auto stream = clustered_stream(15, 3, 9);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    learner.observe(stream.hypervector(i), stream.label(i));
+  }
+  const hdc::BinaryClassifier deployed = learner.snapshot();
+  ASSERT_EQ(deployed.class_count(), learner.class_count());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_EQ(deployed.predict(stream.hypervector(i)),
+              learner.predict(stream.hypervector(i)))
+        << "i=" << i;
+  }
+}
+
+TEST(OnlineLearner, PerceptronWarmupAlwaysUpdates) {
+  auto config = config_for(core::OnlineMode::kPerceptron);
+  config.warmup_per_class = 3;
+  core::OnlineHdcLearner learner(config);
+  const auto stream = clustered_stream(3, 3, 13);  // exactly the warm-up
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    learner.observe(stream.hypervector(i), stream.label(i));
+  }
+  // Every sample is inside some class's warm-up window, so every one
+  // bundles in regardless of what the half-built model would predict.
+  EXPECT_EQ(learner.updates(), stream.size());
+}
+
+TEST(OnlineLearner, PerceptronSkipsCorrectlyClassifiedSamples) {
+  auto config = config_for(core::OnlineMode::kPerceptron);
+  config.warmup_per_class = 1;
+  core::OnlineHdcLearner learner(config);
+  const auto stream = clustered_stream(25, 3, 17);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    learner.observe(stream.hypervector(i), stream.label(i));
+  }
+  EXPECT_EQ(learner.observed(), stream.size());
+  // Clusters are nearly separable: after warm-up the model predicts most
+  // samples correctly, so mistake-driven updates must be a strict subset.
+  EXPECT_LT(learner.updates(), learner.observed());
+  EXPECT_GE(learner.updates(), 3u);  // at least the warm-up happened
+
+  // Re-observing a sample the model already gets right is a no-op.
+  const std::size_t before = learner.updates();
+  const std::size_t i = 0;
+  ASSERT_EQ(learner.predict(stream.hypervector(i)), stream.label(i));
+  learner.observe(stream.hypervector(i), stream.label(i));
+  EXPECT_EQ(learner.updates(), before);
+}
+
+TEST(OnlineLearner, UnseenClassesActAsAllPositive) {
+  // Before any observation every accumulator is zero, so sgn(0) resolves
+  // every coordinate via the tie-break and all classes score identically:
+  // argmax must fall back to class 0.
+  core::OnlineHdcLearner learner(config_for(core::OnlineMode::kCentroid));
+  util::Rng rng(19);
+  EXPECT_EQ(learner.predict(hv::BitVector::random(kDim, rng)), 0);
+}
+
+TEST(OnlineLearner, AccuracyOfEmptyDatasetIsZero) {
+  core::OnlineHdcLearner learner(config_for(core::OnlineMode::kCentroid));
+  const hdc::EncodedDataset empty(kDim, 3);
+  EXPECT_EQ(learner.accuracy(empty), 0.0);
+}
+
+}  // namespace
+}  // namespace lehdc

@@ -1,0 +1,434 @@
+// Micro-batching inference server (src/serve/). The MicroBatcher tests
+// drive the flush policy with a FakeClock — no sleeps, no wall time: every
+// decision is asserted at an exact microsecond. The server tests cover the
+// end-to-end contract (bit parity with Pipeline::predict_batch, drain on
+// shutdown, typed rejections, hot reload) and stay timing-independent by
+// construction: they assert on futures, never on when batches flushed.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <future>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/pipeline_io.hpp"
+#include "data/synthetic.hpp"
+#include "serve/batcher.hpp"
+#include "serve/clock.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+
+namespace lehdc {
+namespace {
+
+serve::PendingRequest make_request(std::uint64_t id,
+                                   std::uint64_t deadline_us = 0) {
+  serve::PendingRequest request;
+  request.id = id;
+  request.deadline_us = deadline_us;
+  return request;
+}
+
+std::vector<std::uint64_t> ids_of(
+    const std::vector<serve::PendingRequest>& requests) {
+  std::vector<std::uint64_t> ids;
+  for (const auto& request : requests) {
+    ids.push_back(request.id);
+  }
+  return ids;
+}
+
+serve::BatcherConfig small_config() {
+  serve::BatcherConfig config;
+  config.max_batch = 4;
+  config.max_wait_us = 1000;
+  config.queue_capacity = 8;
+  return config;
+}
+
+// ----------------------------------------------------------- MicroBatcher --
+
+TEST(MicroBatcher, ValidatesConfig) {
+  serve::BatcherConfig no_batch = small_config();
+  no_batch.max_batch = 0;
+  EXPECT_THROW(serve::MicroBatcher{no_batch}, std::invalid_argument);
+  serve::BatcherConfig no_queue = small_config();
+  no_queue.queue_capacity = 0;
+  EXPECT_THROW(serve::MicroBatcher{no_queue}, std::invalid_argument);
+}
+
+TEST(MicroBatcher, FlushesOnSize) {
+  serve::FakeClock clock;
+  serve::MicroBatcher batcher(small_config());
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    ASSERT_EQ(batcher.offer(make_request(id), clock.now_us()),
+              serve::Reject::kNone);
+    // Three pending, no time elapsed: no flush condition holds yet.
+    EXPECT_TRUE(batcher.poll(clock.now_us()).batch.empty());
+  }
+  ASSERT_EQ(batcher.offer(make_request(3), clock.now_us()),
+            serve::Reject::kNone);
+  const auto flush = batcher.poll(clock.now_us());
+  EXPECT_EQ(ids_of(flush.batch), (std::vector<std::uint64_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(flush.expired.empty());
+  EXPECT_EQ(batcher.depth(), 0u);
+}
+
+TEST(MicroBatcher, FlushesWhenOldestWaitsMaxWait) {
+  serve::FakeClock clock;
+  serve::MicroBatcher batcher(small_config());
+  ASSERT_EQ(batcher.offer(make_request(0), clock.now_us()),
+            serve::Reject::kNone);
+  clock.advance_us(999);
+  EXPECT_TRUE(batcher.poll(clock.now_us()).batch.empty());  // 1us early
+  clock.advance_us(1);
+  const auto flush = batcher.poll(clock.now_us());
+  EXPECT_EQ(ids_of(flush.batch), (std::vector<std::uint64_t>{0}));
+}
+
+TEST(MicroBatcher, TimeFlushIsKeyedToTheOldestRequest) {
+  serve::FakeClock clock;
+  serve::MicroBatcher batcher(small_config());
+  ASSERT_EQ(batcher.offer(make_request(0), clock.now_us()),
+            serve::Reject::kNone);
+  clock.advance_us(600);
+  ASSERT_EQ(batcher.offer(make_request(1), clock.now_us()),
+            serve::Reject::kNone);
+  // The late arrival must not reset the wait window of the first request.
+  clock.advance_us(400);
+  const auto flush = batcher.poll(clock.now_us());
+  EXPECT_EQ(ids_of(flush.batch), (std::vector<std::uint64_t>{0, 1}));
+}
+
+TEST(MicroBatcher, BacklogDrainsInMaxBatchChunks) {
+  serve::FakeClock clock;
+  serve::MicroBatcher batcher(small_config());  // max_batch = 4
+  for (std::uint64_t id = 0; id < 7; ++id) {
+    ASSERT_EQ(batcher.offer(make_request(id), clock.now_us()),
+              serve::Reject::kNone);
+  }
+  const auto first = batcher.poll(clock.now_us());
+  EXPECT_EQ(ids_of(first.batch), (std::vector<std::uint64_t>{0, 1, 2, 3}));
+  // Three remain: below max_batch and not yet aged, so the next chunk only
+  // releases under force (shutdown) or once the wait elapses.
+  EXPECT_TRUE(batcher.poll(clock.now_us()).batch.empty());
+  const auto rest = batcher.poll(clock.now_us(), /*force=*/true);
+  EXPECT_EQ(ids_of(rest.batch), (std::vector<std::uint64_t>{4, 5, 6}));
+  EXPECT_EQ(batcher.depth(), 0u);
+}
+
+TEST(MicroBatcher, RejectsWhenFull) {
+  serve::FakeClock clock;
+  serve::MicroBatcher batcher(small_config());  // capacity 8
+  for (std::uint64_t id = 0; id < 8; ++id) {
+    ASSERT_EQ(batcher.offer(make_request(id), clock.now_us()),
+              serve::Reject::kNone);
+  }
+  serve::PendingRequest overflow = make_request(8);
+  EXPECT_EQ(batcher.offer(std::move(overflow), clock.now_us()),
+            serve::Reject::kQueueFull);
+  // Rejected offers are not consumed: the caller still owns the promise.
+  overflow.promise.set_value(serve::Response{});
+  EXPECT_EQ(batcher.depth(), 8u);
+}
+
+TEST(MicroBatcher, ExpiredRequestsAreCulledNotBatched) {
+  serve::FakeClock clock;
+  clock.set_us(100);
+  serve::MicroBatcher batcher(small_config());
+  ASSERT_EQ(batcher.offer(make_request(0, /*deadline_us=*/150),
+                          clock.now_us()),
+            serve::Reject::kNone);
+  ASSERT_EQ(batcher.offer(make_request(1), clock.now_us()),
+            serve::Reject::kNone);
+  clock.advance_us(50);  // request 0's deadline is now due
+  auto flush = batcher.poll(clock.now_us());
+  EXPECT_EQ(ids_of(flush.expired), (std::vector<std::uint64_t>{0}));
+  EXPECT_TRUE(flush.batch.empty());  // request 1 still has 950us of wait
+  clock.advance_us(1000);
+  flush = batcher.poll(clock.now_us());
+  EXPECT_EQ(ids_of(flush.batch), (std::vector<std::uint64_t>{1}));
+}
+
+TEST(MicroBatcher, CloseStopsAdmissionAndForceDrains) {
+  serve::FakeClock clock;
+  serve::MicroBatcher batcher(small_config());
+  ASSERT_EQ(batcher.offer(make_request(0), clock.now_us()),
+            serve::Reject::kNone);
+  batcher.close();
+  EXPECT_TRUE(batcher.closed());
+  serve::PendingRequest late = make_request(1);
+  EXPECT_EQ(batcher.offer(std::move(late), clock.now_us()),
+            serve::Reject::kShuttingDown);
+  late.promise.set_value(serve::Response{});
+  // The queued request survives close() and drains under force.
+  const auto flush = batcher.poll(clock.now_us(), /*force=*/true);
+  EXPECT_EQ(ids_of(flush.batch), (std::vector<std::uint64_t>{0}));
+}
+
+TEST(MicroBatcher, NextEventTracksFlushAndDeadline) {
+  serve::FakeClock clock;
+  clock.set_us(500);
+  serve::MicroBatcher batcher(small_config());  // max_wait 1000
+  EXPECT_EQ(batcher.next_event_us(), serve::MicroBatcher::kNever);
+  ASSERT_EQ(batcher.offer(make_request(0), clock.now_us()),
+            serve::Reject::kNone);
+  EXPECT_EQ(batcher.next_event_us(), 1500u);  // oldest + max_wait
+  ASSERT_EQ(batcher.offer(make_request(1, /*deadline_us=*/900),
+                          clock.now_us()),
+            serve::Reject::kNone);
+  EXPECT_EQ(batcher.next_event_us(), 900u);  // the deadline is sooner
+}
+
+// -------------------------------------------------------- InferenceServer --
+
+core::Pipeline make_pipeline(std::uint64_t seed) {
+  data::SyntheticConfig synth;
+  synth.feature_count = 10;
+  synth.class_count = 3;
+  synth.train_count = 90;
+  synth.test_count = 0;
+  synth.seed = seed;
+  const auto split = data::generate_synthetic(synth);
+  core::PipelineConfig config;
+  config.dim = 256;
+  config.strategy = core::Strategy::kBaseline;
+  config.seed = seed;
+  core::Pipeline pipeline(config);
+  pipeline.fit(split.train);
+  return pipeline;
+}
+
+data::Dataset make_queries(std::size_t count, std::uint64_t seed) {
+  data::SyntheticConfig synth;
+  synth.feature_count = 10;
+  synth.class_count = 3;
+  synth.train_count = count;
+  synth.test_count = 0;
+  synth.seed = seed;
+  return data::generate_synthetic(synth).train;
+}
+
+std::vector<float> features_of(const data::Dataset& dataset, std::size_t i) {
+  const auto row = dataset.sample(i);
+  return {row.begin(), row.end()};
+}
+
+TEST(InferenceServer, ResponsesMatchDirectPredictBatchBitForBit) {
+  serve::ModelRegistry registry;
+  registry.add("default", make_pipeline(21));
+  const data::Dataset queries = make_queries(64, 22);
+  const std::vector<int> direct =
+      registry.get("default")->predict_batch(queries);
+
+  serve::ServerConfig config;
+  config.batcher.max_batch = 16;
+  serve::InferenceServer server(registry, config);
+  std::vector<std::future<serve::Response>> inflight;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    inflight.push_back(server.submit(features_of(queries, i), 0, "",
+                                     /*id=*/i));
+  }
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const serve::Response response = inflight[i].get();
+    ASSERT_TRUE(response.ok()) << serve::reject_name(response.error);
+    EXPECT_EQ(response.id, i);
+    ASSERT_EQ(response.label, direct[i]) << "i=" << i;
+  }
+}
+
+TEST(InferenceServer, ShutdownServesTheBacklog) {
+  serve::ModelRegistry registry;
+  registry.add("default", make_pipeline(23));
+  const data::Dataset queries = make_queries(10, 24);
+  const std::vector<int> direct =
+      registry.get("default")->predict_batch(queries);
+
+  // A flush horizon the test will never reach: nothing dispatches until
+  // shutdown force-drains, so the drain path itself is what's exercised.
+  serve::ServerConfig config;
+  config.batcher.max_batch = 1000;
+  config.batcher.max_wait_us = 3600u * 1000u * 1000u;
+  serve::InferenceServer server(registry, config);
+  std::vector<std::future<serve::Response>> inflight;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    inflight.push_back(server.submit(features_of(queries, i)));
+  }
+  server.shutdown();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const serve::Response response = inflight[i].get();
+    ASSERT_TRUE(response.ok()) << serve::reject_name(response.error);
+    EXPECT_EQ(response.label, direct[i]) << "i=" << i;
+  }
+  // After shutdown, admission fails with the typed reject, not a hang.
+  EXPECT_EQ(server.predict(features_of(queries, 0)).error,
+            serve::Reject::kShuttingDown);
+}
+
+TEST(InferenceServer, ExpiredDeadlineIsShedWithTypedReject) {
+  serve::ModelRegistry registry;
+  registry.add("default", make_pipeline(25));
+  const data::Dataset queries = make_queries(2, 26);
+
+  serve::FakeClock clock;
+  clock.set_us(1000);
+  serve::ServerConfig config;
+  config.batcher.max_batch = 1000;  // only the deadline can act here
+  serve::InferenceServer server(registry, config, &clock);
+  // Deadline already in the past at submission: whenever the worker gets
+  // to it, the only legal outcome is kDeadlineExceeded.
+  const serve::Response expired =
+      server.predict(features_of(queries, 0), /*deadline_us=*/500);
+  EXPECT_EQ(expired.error, serve::Reject::kDeadlineExceeded);
+  // A generous deadline must survive; advancing the fake clock past the
+  // batcher's wait window (but far short of the deadline) lets the worker
+  // time-flush the request.
+  auto alive_future =
+      server.submit(features_of(queries, 1), /*deadline_us=*/1000000);
+  clock.advance_us(5000);
+  const serve::Response alive = alive_future.get();
+  EXPECT_TRUE(alive.ok()) << serve::reject_name(alive.error);
+}
+
+TEST(InferenceServer, UnknownModelAndBadArityRejectImmediately) {
+  serve::ModelRegistry registry;
+  registry.add("default", make_pipeline(27));
+  serve::InferenceServer server(registry, serve::ServerConfig{});
+  const data::Dataset queries = make_queries(1, 28);
+
+  const serve::Response no_model =
+      server.predict(features_of(queries, 0), 0, "missing");
+  EXPECT_EQ(no_model.error, serve::Reject::kModelNotFound);
+
+  const serve::Response bad_arity = server.predict({1.0f, 2.0f});
+  EXPECT_EQ(bad_arity.error, serve::Reject::kBadRequest);
+}
+
+TEST(InferenceServer, HotReloadSwapsModelsWithoutRestart) {
+  const std::string path_a = ::testing::TempDir() + "/serve_reload_a.lhdp";
+  const std::string path_b = ::testing::TempDir() + "/serve_reload_b.lhdp";
+  core::save_pipeline(make_pipeline(31), path_a);
+  core::save_pipeline(make_pipeline(32), path_b);
+
+  serve::ModelRegistry registry;
+  registry.load("default", path_a);
+  const auto first = registry.get("default");
+  serve::InferenceServer server(registry, serve::ServerConfig{});
+  const data::Dataset queries = make_queries(8, 33);
+
+  registry.load("default", path_b);  // hot swap while the server runs
+  const auto second = registry.get("default");
+  EXPECT_NE(first.get(), second.get());
+  const std::vector<int> direct = second->predict_batch(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const serve::Response response = server.predict(features_of(queries, i));
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.label, direct[i]) << "i=" << i;
+  }
+
+  // A failed reload must leave the registry serving the current model.
+  EXPECT_THROW(registry.load("default", path_a + ".missing"),
+               std::exception);
+  EXPECT_EQ(registry.get("default").get(), second.get());
+
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(ModelRegistry, AddRequiresFittedPipelineAndGetMisses) {
+  serve::ModelRegistry registry;
+  core::PipelineConfig config;
+  config.dim = 128;
+  EXPECT_THROW(registry.add("unfit", core::Pipeline(config)),
+               std::invalid_argument);
+  EXPECT_EQ(registry.get("absent"), nullptr);
+  registry.add("m", make_pipeline(35));
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_NE(registry.get("m"), nullptr);
+  registry.remove("m");
+  EXPECT_EQ(registry.get("m"), nullptr);
+}
+
+// --------------------------------------------------------------- protocol --
+
+TEST(Protocol, RequestRoundTripsThroughAStream) {
+  serve::WireRequest request;
+  request.id = 42;
+  request.deadline_budget_us = 2500;
+  request.model = "default";
+  request.features = {0.5f, -1.25f, 3.0f};
+
+  std::stringstream stream;
+  serve::write_request(stream, request);
+  serve::WireRequest decoded;
+  ASSERT_TRUE(serve::read_request(stream, &decoded, "test"));
+  EXPECT_EQ(decoded.id, request.id);
+  EXPECT_EQ(decoded.deadline_budget_us, request.deadline_budget_us);
+  EXPECT_EQ(decoded.model, request.model);
+  EXPECT_EQ(decoded.features, request.features);
+  // Clean EOF at the frame boundary reads as "no more requests".
+  EXPECT_FALSE(serve::read_request(stream, &decoded, "test"));
+}
+
+TEST(Protocol, ResponseRoundTripsThroughAStream) {
+  serve::Response response;
+  response.id = 7;
+  response.error = serve::Reject::kQueueFull;
+  response.label = -1;
+  response.batch_size = 16;
+  response.latency_seconds = 0.0025;
+
+  std::stringstream stream;
+  serve::write_response(stream, response);
+  serve::Response decoded;
+  ASSERT_TRUE(serve::read_response(stream, &decoded, "test"));
+  EXPECT_EQ(decoded.id, response.id);
+  EXPECT_EQ(decoded.error, response.error);
+  EXPECT_EQ(decoded.label, response.label);
+  EXPECT_EQ(decoded.batch_size, response.batch_size);
+  EXPECT_EQ(decoded.latency_seconds, response.latency_seconds);
+}
+
+TEST(Protocol, RejectsBadMagicTruncationAndGarbage) {
+  serve::WireRequest request;
+  request.features = {1.0f};
+  const std::string frame = serve::encode_request(request);
+
+  std::string bad_magic = frame;
+  bad_magic[0] = 'X';
+  std::stringstream wrong(bad_magic);
+  serve::WireRequest out;
+  EXPECT_THROW((void)serve::read_request(wrong, &out, "test"),
+               std::runtime_error);
+
+  // EOF in the middle of a frame is an error, not a silent stop.
+  std::stringstream cut(frame.substr(0, frame.size() - 2));
+  EXPECT_THROW((void)serve::read_request(cut, &out, "test"),
+               std::runtime_error);
+
+  // A feature count pointing past the payload must be caught by the
+  // bounds-checked reader before any allocation.
+  std::string lying = frame;
+  lying[frame.size() - sizeof(float) - 1] = '\x7f';
+  std::stringstream hostile(lying);
+  EXPECT_THROW((void)serve::read_request(hostile, &out, "test"),
+               std::runtime_error);
+}
+
+TEST(Protocol, RejectsOutOfRangeStatusByte) {
+  serve::Response response;
+  std::string frame = serve::encode_response(response);
+  // The status byte sits right after the 8-byte header + 8-byte id.
+  frame[8 + 8] = '\x77';
+  std::stringstream stream(frame);
+  serve::Response out;
+  EXPECT_THROW((void)serve::read_response(stream, &out, "test"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lehdc

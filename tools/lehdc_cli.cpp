@@ -23,9 +23,7 @@
 
 #include "core/pipeline.hpp"
 #include "core/pipeline_io.hpp"
-#include "data/csv_loader.hpp"
-#include "data/idx_loader.hpp"
-#include "data/profiles.hpp"
+#include "data/spec.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -44,47 +42,12 @@ using namespace lehdc;
 /// so stdout stays machine-parseable.
 std::FILE* g_text = stdout;
 
-/// Parses a data spec into a train/test pair. For csv:/idx: sources, the
-/// file is shuffled (seeded) and split by --holdout; `shuffle = false`
-/// preserves file order (batch prediction must emit labels in input order).
+/// Parses a data spec into a train/test pair; see data/spec.hpp for the
+/// spec grammar and the shuffle/holdout semantics.
 data::TrainTestSplit load_data(const std::string& spec, double scale,
                                double holdout, std::uint64_t seed,
                                bool shuffle = true) {
-  const auto colon = spec.find(':');
-  if (colon == std::string::npos) {
-    throw std::invalid_argument(
-        "data spec must look like csv:<path>, idx:<imgs>:<labels> or "
-        "synth:<profile>");
-  }
-  const std::string kind = spec.substr(0, colon);
-  const std::string rest = spec.substr(colon + 1);
-
-  if (kind == "synth") {
-    const auto profile = data::scaled(data::profile_by_name(rest), scale);
-    return generate_synthetic(profile.config);
-  }
-
-  data::Dataset all(1, 2);
-  if (kind == "csv") {
-    all = data::load_csv(rest);
-  } else if (kind == "idx") {
-    const auto second = rest.find(':');
-    if (second == std::string::npos) {
-      throw std::invalid_argument("idx spec needs idx:<images>:<labels>");
-    }
-    all = data::load_idx(rest.substr(0, second), rest.substr(second + 1));
-  } else {
-    throw std::invalid_argument("unknown data spec kind: " + kind);
-  }
-
-  if (shuffle) {
-    util::Rng rng(seed);
-    all.shuffle(rng);
-  }
-  const auto train_size = static_cast<std::size_t>(
-      static_cast<double>(all.size()) * (1.0 - holdout));
-  auto [train, test] = all.split(train_size);
-  return data::TrainTestSplit{std::move(train), std::move(test)};
+  return data::load_spec(spec, scale, holdout, seed, shuffle);
 }
 
 std::vector<float> parse_features(const std::string& text) {

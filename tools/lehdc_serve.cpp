@@ -1,0 +1,495 @@
+// lehdc_serve — micro-batching inference server over pipeline bundles.
+//
+//   lehdc_serve serve     --model out.lhdp --socket /tmp/lehdc.sock
+//   lehdc_serve pipe      --model out.lhdp --in requests.bin --out responses.bin
+//   lehdc_serve genframes --data <spec> --count 64 --out requests.bin
+//   lehdc_serve decode    --in responses.bin [--expect-ok 64]
+//   lehdc_serve client    --socket /tmp/lehdc.sock --data <spec> --count 16
+//
+// `serve` listens on a local (AF_UNIX) stream socket and speaks the
+// length-prefixed binary protocol of serve/protocol.hpp, one handler
+// thread per connection; SIGHUP hot-reloads the model bundle from its
+// original path without dropping traffic. `pipe` speaks the same protocol
+// over files/stdio for scripted testing (CI drives it with frames built by
+// `genframes` and checks the output with `decode`). Requests queue into a
+// bounded micro-batcher (--max-batch / --max-wait-us / --queue-capacity);
+// overload sheds with typed rejections instead of growing memory.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifdef __unix__
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "data/spec.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/flags.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace lehdc;
+
+volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_reload = 0;
+
+void handle_signal(int signum) {
+  if (signum == SIGHUP) {
+    g_reload = 1;
+  } else {
+    g_stop = 1;
+  }
+}
+
+serve::BatcherConfig batcher_config(const util::FlagParser& flags) {
+  serve::BatcherConfig config;
+  config.max_batch = static_cast<std::size_t>(flags.get_int("max-batch"));
+  config.max_wait_us =
+      static_cast<std::uint64_t>(flags.get_int("max-wait-us"));
+  config.queue_capacity =
+      static_cast<std::size_t>(flags.get_int("queue-capacity"));
+  return config;
+}
+
+/// Submits one wire request (translating the relative deadline budget into
+/// an absolute clock deadline) and returns its future.
+std::future<serve::Response> submit_wire(serve::InferenceServer& server,
+                                         serve::WireRequest request) {
+  const std::uint64_t deadline =
+      request.deadline_budget_us == 0
+          ? 0
+          : server.clock().now_us() + request.deadline_budget_us;
+  return server.submit(std::move(request.features), deadline, request.model,
+                       request.id);
+}
+
+void write_metrics(const util::FlagParser& flags, const std::string& mode) {
+  const std::string& path = flags.get_string("metrics-out");
+  if (path.empty()) {
+    return;
+  }
+  obs::Json context = obs::Json::object();
+  context.set("tool", "lehdc_serve");
+  context.set("mode", mode);
+  context.set("model", flags.get_string("model"));
+  obs::write_metrics_json(path, obs::Registry::global(), std::move(context));
+}
+
+// ------------------------------------------------------------- pipe mode --
+
+int cmd_pipe(util::FlagParser& flags) {
+  serve::ModelRegistry registry;
+  registry.load("default", flags.get_string("model"));
+  serve::ServerConfig config;
+  config.batcher = batcher_config(flags);
+  serve::InferenceServer server(registry, config);
+
+  const std::string& in_path = flags.get_string("in");
+  const std::string& out_path = flags.get_string("out");
+  std::ifstream in_file;
+  std::ofstream out_file;
+  std::istream* in = &std::cin;
+  std::ostream* out = &std::cout;
+  if (in_path != "-") {
+    in_file.open(in_path, std::ios::binary);
+    if (!in_file) {
+      throw std::runtime_error("cannot open " + in_path);
+    }
+    in = &in_file;
+  }
+  if (out_path != "-") {
+    out_file.open(out_path, std::ios::binary | std::ios::trunc);
+    if (!out_file) {
+      throw std::runtime_error("cannot open " + out_path);
+    }
+    out = &out_file;
+  }
+
+  // Submit up to `window` requests before awaiting any response: the read
+  // side runs ahead of the scorer, so the micro-batcher sees real queue
+  // depth and forms real batches even from a sequential file.
+  const auto window = static_cast<std::size_t>(flags.get_int("window"));
+  std::size_t served = 0;
+  bool eof = false;
+  while (!eof) {
+    std::vector<std::future<serve::Response>> inflight;
+    serve::WireRequest request;
+    while (inflight.size() < window &&
+           serve::read_request(*in, &request, in_path)) {
+      inflight.push_back(submit_wire(server, std::move(request)));
+    }
+    eof = inflight.size() < window;
+    for (auto& future : inflight) {
+      serve::write_response(*out, future.get());
+      ++served;
+    }
+  }
+  out->flush();
+  server.shutdown();
+  std::fprintf(stderr, "served %zu requests from %s\n", served,
+               in_path.c_str());
+  write_metrics(flags, "pipe");
+  return 0;
+}
+
+// ---------------------------------------------------------- socket mode --
+
+#ifdef __unix__
+
+bool read_exact(int fd, void* buffer, std::size_t size) {
+  auto* bytes = static_cast<char*>(buffer);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, bytes + done, size - done);
+    if (n == 0) {
+      if (done == 0) {
+        return false;  // clean EOF at a frame boundary
+      }
+      throw std::runtime_error("connection closed mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw std::runtime_error(std::string("read failed: ") +
+                               std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void write_all(int fd, const std::string& bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw std::runtime_error(std::string("write failed: ") +
+                               std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads one request frame straight off the socket (header, bounded
+/// length, payload) or returns false on clean EOF.
+bool read_request_fd(int fd, serve::WireRequest* out) {
+  char header[8];
+  if (!read_exact(fd, header, sizeof(header))) {
+    return false;
+  }
+  if (std::memcmp(header, serve::kRequestMagic, 4) != 0) {
+    throw std::runtime_error("bad frame magic on socket");
+  }
+  std::uint32_t size = 0;
+  std::memcpy(&size, header + 4, sizeof(size));
+  if (size > serve::kMaxPayloadBytes) {
+    throw std::runtime_error("oversized frame on socket");
+  }
+  std::string payload(size, '\0');
+  if (size > 0 && !read_exact(fd, payload.data(), size)) {
+    return false;
+  }
+  *out = serve::decode_request_payload(payload, "socket");
+  return true;
+}
+
+void handle_connection(int fd, serve::InferenceServer* server) {
+  try {
+    serve::WireRequest request;
+    while (read_request_fd(fd, &request)) {
+      auto future = submit_wire(*server, std::move(request));
+      write_all(fd, serve::encode_response(future.get()));
+    }
+  } catch (const std::exception& error) {
+    util::log_warn(std::string("connection dropped: ") + error.what());
+  }
+  ::close(fd);
+}
+
+int cmd_serve(util::FlagParser& flags) {
+  const std::string& model_path = flags.get_string("model");
+  const std::string& socket_path = flags.get_string("socket");
+  serve::ModelRegistry registry;
+  registry.load("default", model_path);
+  serve::ServerConfig config;
+  config.batcher = batcher_config(flags);
+  serve::InferenceServer server(registry, config);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGHUP, handle_signal);
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    throw std::runtime_error("socket() failed");
+  }
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(address.sun_path)) {
+    throw std::runtime_error("socket path too long: " + socket_path);
+  }
+  std::strncpy(address.sun_path, socket_path.c_str(),
+               sizeof(address.sun_path) - 1);
+  ::unlink(socket_path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listen_fd, 64) != 0) {
+    ::close(listen_fd);
+    throw std::runtime_error("cannot listen on " + socket_path);
+  }
+  util::log_info("serving " + model_path + " on " + socket_path);
+
+  std::vector<std::thread> handlers;
+  while (g_stop == 0) {
+    if (g_reload != 0) {
+      g_reload = 0;
+      try {
+        registry.load("default", model_path);
+        util::log_info("reloaded model from " + model_path);
+      } catch (const std::exception& error) {
+        // Keep serving the previous model; the registry is untouched.
+        util::log_warn(std::string("reload failed: ") + error.what());
+      }
+    }
+    pollfd poll_fd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&poll_fd, 1, 200);
+    if (ready <= 0) {
+      continue;
+    }
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) {
+      continue;
+    }
+    handlers.emplace_back(handle_connection, conn_fd, &server);
+  }
+  ::close(listen_fd);
+  ::unlink(socket_path.c_str());
+  for (std::thread& handler : handlers) {
+    handler.join();
+  }
+  server.shutdown();
+  write_metrics(flags, "serve");
+  return 0;
+}
+
+int cmd_client(util::FlagParser& flags) {
+  const auto split = data::load_spec(
+      flags.get_string("data"), flags.get_double("scale"), 0.0,
+      static_cast<std::uint64_t>(flags.get_int("seed")), /*shuffle=*/false);
+  const data::Dataset& dataset = split.train;
+  auto count = static_cast<std::size_t>(flags.get_int("count"));
+  count = count == 0 ? dataset.size() : std::min(count, dataset.size());
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("socket() failed");
+  }
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  const std::string& socket_path = flags.get_string("socket");
+  std::strncpy(address.sun_path, socket_path.c_str(),
+               sizeof(address.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("cannot connect to " + socket_path);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    serve::WireRequest request;
+    request.id = i;
+    request.deadline_budget_us =
+        static_cast<std::uint64_t>(flags.get_int("deadline-us"));
+    const auto features = dataset.sample(i);
+    request.features.assign(features.begin(), features.end());
+    write_all(fd, serve::encode_request(request));
+
+    char header[8];
+    if (!read_exact(fd, header, sizeof(header))) {
+      throw std::runtime_error("server closed connection");
+    }
+    std::uint32_t size = 0;
+    std::memcpy(&size, header + 4, sizeof(size));
+    std::string payload(size, '\0');
+    read_exact(fd, payload.data(), size);
+    const serve::Response response =
+        serve::decode_response_payload(payload, "socket");
+    std::printf("%llu %d %s\n",
+                static_cast<unsigned long long>(response.id), response.label,
+                serve::reject_name(response.error));
+  }
+  ::close(fd);
+  return 0;
+}
+
+#else  // !__unix__
+
+int cmd_serve(util::FlagParser&) {
+  std::fprintf(stderr, "socket mode requires a unix platform\n");
+  return 1;
+}
+int cmd_client(util::FlagParser&) {
+  std::fprintf(stderr, "socket mode requires a unix platform\n");
+  return 1;
+}
+
+#endif  // __unix__
+
+// -------------------------------------------------------- scripted tools --
+
+int cmd_genframes(util::FlagParser& flags) {
+  const auto split = data::load_spec(
+      flags.get_string("data"), flags.get_double("scale"), 0.0,
+      static_cast<std::uint64_t>(flags.get_int("seed")), /*shuffle=*/false);
+  const data::Dataset& dataset = split.train;
+  auto count = static_cast<std::size_t>(flags.get_int("count"));
+  count = count == 0 ? dataset.size() : std::min(count, dataset.size());
+
+  const std::string& out_path = flags.get_string("out");
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open " + out_path);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    serve::WireRequest request;
+    request.id = i;
+    request.deadline_budget_us =
+        static_cast<std::uint64_t>(flags.get_int("deadline-us"));
+    const auto features = dataset.sample(i);
+    request.features.assign(features.begin(), features.end());
+    serve::write_request(out, request);
+  }
+  std::fprintf(stderr, "wrote %zu request frames to %s\n", count,
+               out_path.c_str());
+  return 0;
+}
+
+int cmd_decode(util::FlagParser& flags) {
+  const std::string& in_path = flags.get_string("in");
+  std::ifstream in(in_path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + in_path);
+  }
+  std::size_t ok = 0;
+  std::size_t rejected = 0;
+  serve::Response response;
+  while (serve::read_response(in, &response, in_path)) {
+    std::printf("%llu %d %s %u\n",
+                static_cast<unsigned long long>(response.id), response.label,
+                serve::reject_name(response.error), response.batch_size);
+    response.ok() ? ++ok : ++rejected;
+  }
+  std::fprintf(stderr, "ok=%zu rejected=%zu\n", ok, rejected);
+  if (const auto expect = flags.get_int("expect-ok");
+      expect >= 0 && static_cast<std::size_t>(expect) != ok) {
+    std::fprintf(stderr, "expected %lld ok responses, decoded %zu\n",
+                 static_cast<long long>(expect), ok);
+    return 1;
+  }
+  return 0;
+}
+
+void print_usage() {
+  std::puts(
+      "usage: lehdc_serve <serve|pipe|genframes|decode|client> [flags]\n"
+      "  serve     --model out.lhdp --socket /tmp/lehdc.sock\n"
+      "            (SIGHUP hot-reloads the bundle; SIGINT/SIGTERM stop)\n"
+      "  pipe      --model out.lhdp --in requests.bin --out responses.bin\n"
+      "            ('-' = stdin/stdout; same binary frame protocol)\n"
+      "  genframes --data <spec> --count N --out requests.bin\n"
+      "  decode    --in responses.bin [--expect-ok N]\n"
+      "  client    --socket /tmp/lehdc.sock --data <spec> --count N\n"
+      "batching: --max-batch 64 --max-wait-us 1000 --queue-capacity 1024\n"
+      "data specs: csv:<path> | idx:<images>:<labels> | synth:<profile>\n"
+      "run `lehdc_serve <command> --help` for the full flag list");
+}
+
+int run_command(const std::string& command, util::FlagParser& flags) {
+  if (command == "serve") {
+    return cmd_serve(flags);
+  }
+  if (command == "pipe") {
+    return cmd_pipe(flags);
+  }
+  if (command == "genframes") {
+    return cmd_genframes(flags);
+  }
+  if (command == "decode") {
+    return cmd_decode(flags);
+  }
+  if (command == "client") {
+    return cmd_client(flags);
+  }
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  print_usage();
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0) {
+    print_usage();
+    return argc < 2 ? 1 : 0;
+  }
+  const std::string command = argv[1];
+
+  util::FlagParser flags("lehdc_serve " + command,
+                         "Micro-batching HDC inference server");
+  flags.add_string("model", "", "pipeline bundle path (.lhdp)");
+  flags.add_string("socket", "/tmp/lehdc.sock", "unix socket path");
+  flags.add_string("in", "-", "request/response frame input ('-' = stdin)");
+  flags.add_string("out", "-", "frame output path ('-' = stdout)");
+  flags.add_string("data", "synth:mnist", "data spec (see --help)");
+  flags.add_int("count", 0, "samples to encode as requests (0 = all)");
+  flags.add_int("deadline-us", 0,
+                "per-request deadline budget in microseconds (0 = none)");
+  flags.add_int("max-batch", 64, "micro-batch flush size");
+  flags.add_int("max-wait-us", 1000, "micro-batch flush deadline");
+  flags.add_int("queue-capacity", 1024,
+                "bounded queue admission limit (overload sheds)");
+  flags.add_int("window", 256, "pipe mode: requests submitted ahead of "
+                "responses (drives batch formation)");
+  flags.add_int("expect-ok", -1,
+                "decode: fail unless exactly N ok responses (-1 disables)");
+  flags.add_int("threads", 0,
+                "worker threads (0 = LEHDC_THREADS env var, then hardware)");
+  flags.add_int("seed", 1, "data spec seed");
+  flags.add_double("scale", 0.05, "synthetic profile sample scale");
+  flags.add_string("metrics-out", "",
+                   "write a metrics JSON snapshot here on exit");
+
+  try {
+    flags.parse(argc - 1, argv + 1);
+    if (const auto threads = flags.get_int("threads"); threads > 0) {
+      util::ThreadPool::configure_global(static_cast<std::size_t>(threads));
+    }
+    if (const std::string env_path = obs::init_from_env();
+        !env_path.empty() || !flags.get_string("metrics-out").empty()) {
+      obs::set_enabled(true);
+    }
+    return run_command(command, flags);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
