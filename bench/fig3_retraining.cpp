@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
   };
   std::printf("Fig. 3: retraining trajectories on %s (D=%zu)\n",
               profile.name.c_str(), dim);
-  eval::print_series(series,
+  eval::print_series(std::cout, series,
                      static_cast<std::size_t>(flags.get_int("stride")));
 
   // Quantify the paper's two claims.

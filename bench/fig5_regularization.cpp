@@ -114,7 +114,7 @@ int main(int argc, char** argv) {
     series.push_back({variant.name, std::move(result.trajectory)});
   }
 
-  eval::print_series(series,
+  eval::print_series(std::cout, series,
                      static_cast<std::size_t>(flags.get_int("stride")));
 
   std::printf("\nfinal epoch summary:\n");

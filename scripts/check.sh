@@ -1,37 +1,106 @@
 #!/usr/bin/env bash
-# Full verification sweep: build + ctest on the normal Release build,
-# then again with AddressSanitizer + UndefinedBehaviorSanitizer
-# (-DLEHDC_SANITIZE=address,undefined).
+# Verification sweep: build + ctest under one or more sanitizer modes.
 #
-# Usage: scripts/check.sh [--skip-sanitize] [extra ctest args...]
+# Usage: scripts/check.sh [mode ...] [-- extra ctest args...]
+#
+# Modes:
+#   release   plain Release build (no sanitizer)
+#   asan      AddressSanitizer + UndefinedBehaviorSanitizer
+#   tsan      ThreadSanitizer (data races, lock-order inversions)
+#   msan      MemorySanitizer — requires clang; reports and skips on gcc
+#   all       release asan tsan msan
+#
+# With no modes the historical default runs: release then asan.
+# `--skip-sanitize` (legacy flag) runs release only.
+#
+# Each mode builds into its own directory (build/, build-asan/, build-tsan/,
+# build-msan/) so sanitizer runtimes never mix. The script prints which
+# sanitizer mode is running and propagates the real ctest exit code: a
+# failing suite fails the script with that code, never masked by a pipeline
+# or a later command's status.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-skip_sanitize=0
-if [[ "${1:-}" == "--skip-sanitize" ]]; then
-  skip_sanitize=1
+modes=()
+ctest_extra=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --skip-sanitize) modes=(release) ;;
+    --) shift; ctest_extra=("$@"); break ;;
+    release|asan|tsan|msan) modes+=("$1") ;;
+    all) modes+=(release asan tsan msan) ;;
+    *) echo "check.sh: unknown mode '$1' (release|asan|tsan|msan|all)" >&2
+       exit 2 ;;
+  esac
   shift
+done
+if [[ ${#modes[@]} -eq 0 ]]; then
+  modes=(release asan)
 fi
 
 jobs="$(nproc 2>/dev/null || echo 4)"
+ran=()
 
+# run_suite <mode> <build_dir> [cmake args...]
+# Builds and tests one configuration. ctest's exit code is captured
+# explicitly (no `cmd | tee`-style pipelines, no trailing commands that
+# could overwrite $?) so a sanitizer-detected failure fails the script.
 run_suite() {
-  local build_dir="$1"
-  shift
+  local mode="$1" build_dir="$2"
+  shift 2
+  echo "== mode: ${mode} (build dir: ${build_dir}) =="
   cmake -B "$build_dir" -S . "$@" >/dev/null
   cmake --build "$build_dir" -j "$jobs"
-  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+  local status=0
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
+      "${ctest_extra[@]}" || status=$?
+  if [[ $status -ne 0 ]]; then
+    echo "check.sh: FAILED in mode '${mode}' (ctest exit code ${status})" >&2
+    exit "$status"
+  fi
+  ran+=("$mode")
+  echo "== mode ${mode}: OK =="
 }
 
-echo "== normal build =="
-run_suite build
+for mode in "${modes[@]}"; do
+  case "$mode" in
+    release)
+      run_suite release build
+      ;;
+    asan)
+      export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+      export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+      run_suite "asan (address,undefined)" build-asan \
+          -DLEHDC_SANITIZE=address,undefined
+      ;;
+    tsan)
+      # halt_on_error makes any report fail its test; the explicit exit
+      # status propagation above turns that into a script failure.
+      export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+      run_suite "tsan (thread)" build-tsan -DLEHDC_SANITIZE=thread
+      ;;
+    msan)
+      # -fsanitize=memory exists only in clang. Probe the compiler that
+      # CMake would use rather than failing mid-configure.
+      cxx="${CXX:-c++}"
+      if command -v clang++ >/dev/null 2>&1; then
+        cxx=clang++
+      fi
+      if echo 'int main(){}' | "$cxx" -x c++ -fsanitize=memory -o /dev/null - \
+          >/dev/null 2>&1; then
+        export MSAN_OPTIONS="${MSAN_OPTIONS:-halt_on_error=1}"
+        run_suite "msan (memory)" build-msan -DLEHDC_SANITIZE=memory \
+            -DCMAKE_CXX_COMPILER="$cxx"
+      else
+        echo "== mode msan: SKIPPED ($cxx does not support -fsanitize=memory; install clang) =="
+        if [[ "${LEHDC_REQUIRE_MSAN:-0}" == "1" ]]; then
+          echo "check.sh: msan required via LEHDC_REQUIRE_MSAN=1 but unavailable" >&2
+          exit 3
+        fi
+      fi
+      ;;
+  esac
+done
 
-if [[ "$skip_sanitize" -eq 0 ]]; then
-  echo "== address,undefined sanitizer build =="
-  export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
-  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
-  run_suite build-asan -DLEHDC_SANITIZE=address,undefined
-fi
-
-echo "all checks passed"
+echo "all checks passed (modes run: ${ran[*]:-none})"

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# clang-tidy gate with a checked-in suppression baseline.
+#
+# Usage: scripts/tidy.sh [--update-baseline] [--build-dir DIR] [--report FILE]
+#
+# Runs clang-tidy (config: .clang-tidy) over every translation unit in
+# src/ and tools/, normalizes the findings to `file<TAB>check<TAB>count`
+# triples, and compares them against scripts/tidy_baseline.txt:
+#
+#   - a (file, check) pair absent from the baseline, or with a higher
+#     count than the baseline records, is a NEW finding -> exit 1;
+#   - equal-or-lower counts pass (and the script suggests re-baselining
+#     when counts dropped, so the ratchet only ever tightens).
+#
+# Bootstrap: while the baseline file still carries the `# status:
+# bootstrap` marker (no clang-tidy-capable toolchain has regenerated it
+# yet), the run records findings to the report, prints them, and exits 0
+# with a loud request to commit a real baseline via --update-baseline.
+# This keeps the gate honest on machines without clang while making the
+# first clang-equipped run (CI) produce the artifact to check in.
+#
+# Exit codes: 0 clean/bootstrap/skip-no-tool, 1 new findings, 2 usage.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+baseline=scripts/tidy_baseline.txt
+build_dir=build-tidy
+report=tidy_report.txt
+update=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --update-baseline) update=1 ;;
+    --build-dir) build_dir="$2"; shift ;;
+    --report) report="$2"; shift ;;
+    *) echo "tidy.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+# Locate clang-tidy (plain or versioned). Absent toolchain is a skip, not
+# a failure: the container's baked toolchain is gcc-only; CI installs it.
+tidy_bin=""
+for candidate in clang-tidy clang-tidy-{20,19,18,17,16,15,14}; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    tidy_bin="$candidate"
+    break
+  fi
+done
+if [[ -z "$tidy_bin" ]]; then
+  echo "tidy.sh: clang-tidy not found — SKIPPED (install clang-tidy to run this gate)"
+  exit 0
+fi
+echo "tidy.sh: using $("$tidy_bin" --version | head -1)"
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t sources < <(find src tools -name '*.cpp' | sort)
+
+# Raw run. clang-tidy exits non-zero on warnings; capture output regardless
+# and gate on the baseline diff below, not on its exit code.
+: > "$report"
+status=0
+"$tidy_bin" -p "$build_dir" --quiet "${sources[@]}" >> "$report" 2>/dev/null \
+  || status=$?
+if [[ $status -ne 0 ]] && ! grep -q "warning:" "$report"; then
+  echo "tidy.sh: clang-tidy failed without findings (exit $status); report:" >&2
+  cat "$report" >&2
+  exit "$status"
+fi
+
+# Normalize to sorted "relpath<TAB>check<TAB>count" lines.
+current="$(mktemp)"
+grep -oE '^[^ ]+:[0-9]+:[0-9]+: warning: .* \[[a-z0-9.,-]+\]$' "$report" \
+  | sed -E "s#^$(pwd)/##" \
+  | sed -E 's#^([^:]+):[0-9]+:[0-9]+: warning: .* \[([a-z0-9.,-]+)\]$#\1\t\2#' \
+  | sort | uniq -c | awk '{print $2 "\t" $3 "\t" $1}' > "$current"
+
+if [[ $update -eq 1 ]]; then
+  {
+    echo "# clang-tidy suppression baseline — regenerate with scripts/tidy.sh --update-baseline"
+    echo "# format: file<TAB>check<TAB>count; new pairs or higher counts fail the gate"
+    echo "# generated-by: $("$tidy_bin" --version | head -1 | tr -s ' ')"
+    cat "$current"
+  } > "$baseline"
+  echo "tidy.sh: baseline updated ($(wc -l < "$current") entries) -> $baseline"
+  rm -f "$current"
+  exit 0
+fi
+
+if grep -q '^# status: bootstrap' "$baseline" 2>/dev/null; then
+  count=$(wc -l < "$current")
+  echo "tidy.sh: baseline is in bootstrap state; current findings ($count):"
+  cat "$current"
+  echo "tidy.sh: BOOTSTRAP PASS — commit a real baseline with: scripts/tidy.sh --update-baseline"
+  rm -f "$current"
+  exit 0
+fi
+
+# Compare: fail on pairs exceeding the baseline.
+new_findings="$(mktemp)"
+awk -F'\t' 'NR==FNR { if ($0 !~ /^#/) base[$1 FS $2] = $3; next }
+            { allowed = ($1 FS $2) in base ? base[$1 FS $2] : 0
+              if ($3 > allowed)
+                printf "%s\t%s\t%d (baseline %d)\n", $1, $2, $3, allowed }' \
+    "$baseline" "$current" > "$new_findings"
+
+if [[ -s "$new_findings" ]]; then
+  echo "tidy.sh: NEW clang-tidy findings versus $baseline:" >&2
+  cat "$new_findings" >&2
+  echo "tidy.sh: fix them or (deliberately) re-baseline with --update-baseline" >&2
+  rm -f "$current" "$new_findings"
+  exit 1
+fi
+
+improved=$(awk -F'\t' 'NR==FNR { if ($0 !~ /^#/) base[$1 FS $2] = $3; next }
+                       { cur[$1 FS $2] = $3 }
+                       END { for (k in base) if (base[k] > cur[k] + 0) n++
+                             print n + 0 }' "$baseline" "$current")
+echo "tidy.sh: OK — no new findings ($(wc -l < "$current") current entries)"
+if [[ "$improved" -gt 0 ]]; then
+  echo "tidy.sh: $improved baseline entr(ies) improved; tighten with --update-baseline"
+fi
+rm -f "$current" "$new_findings"

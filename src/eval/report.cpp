@@ -1,8 +1,8 @@
 #include "eval/report.hpp"
 
 #include <algorithm>
-#include <iostream>
 #include <map>
+#include <ostream>
 
 #include "util/table.hpp"
 
@@ -34,7 +34,8 @@ const train::EpochPoint* find_point(const Series& s, std::size_t epoch) {
 
 }  // namespace
 
-void print_series(const std::vector<Series>& series, std::size_t stride) {
+void print_series(std::ostream& out, const std::vector<Series>& series,
+                  std::size_t stride) {
   if (series.empty()) {
     return;
   }
@@ -64,7 +65,7 @@ void print_series(const std::vector<Series>& series, std::size_t stride) {
     }
     table.add_row(std::move(row));
   }
-  table.print(std::cout);
+  table.print(out);
 }
 
 void write_series_csv(const std::string& path,

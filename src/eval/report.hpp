@@ -2,6 +2,7 @@
 // CSV so they can be re-plotted against the paper's figures.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -15,10 +16,12 @@ struct Series {
   std::vector<train::EpochPoint> points;
 };
 
-/// Prints a compact multi-series table to stdout: one row per epoch with
+/// Prints a compact multi-series table to `out`: one row per epoch with
 /// train/test accuracy columns per series. Epochs are the union across
 /// series; missing points print blank. `stride` prints every n-th epoch.
-void print_series(const std::vector<Series>& series, std::size_t stride = 1);
+/// Callers own the stream choice — library code never assumes stdout.
+void print_series(std::ostream& out, const std::vector<Series>& series,
+                  std::size_t stride = 1);
 
 /// Writes all series to a CSV: epoch, <name> train acc, <name> test acc...
 void write_series_csv(const std::string& path,

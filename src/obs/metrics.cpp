@@ -168,10 +168,28 @@ Histogram::Snapshot Histogram::snapshot() const {
     snap.count += counts[i];
   }
   snap.sum = std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
-  const double raw_min =
+  double raw_min =
       std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
-  const double raw_max =
+  double raw_max =
       std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+  // A record is four independent relaxed updates (bucket, count, sum,
+  // min/max); a snapshot straddling one can see the bucket increment
+  // before the min/max publication and read the ±infinity sentinels. Fall
+  // back to the edges of the populated buckets so the exported min/max —
+  // and the quantiles clamped to them — stay finite.
+  if (snap.count > 0 && !(raw_min <= raw_max)) {
+    std::size_t first = 0;
+    while (first < counts.size() && counts[first] == 0) {
+      ++first;
+    }
+    std::size_t last = counts.size();
+    while (last > 0 && counts[last - 1] == 0) {
+      --last;
+    }
+    raw_min = first == 0 ? 0.0 : bounds_[first - 1];
+    raw_max = last <= bounds_.size() && last > 0 ? bounds_[last - 1]
+                                                 : bounds_.back();
+  }
   snap.min = snap.count > 0 ? raw_min : 0.0;
   snap.max = snap.count > 0 ? raw_max : 0.0;
   snap.p50 = quantile(counts, snap.count, 0.50, snap.min, snap.max);

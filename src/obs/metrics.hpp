@@ -18,6 +18,35 @@
 // Naming scheme: `<subsystem>.<operation>[_<unit>]`, lowercase
 // [a-z0-9_.] only — e.g. `score.chunk_seconds`, `train.epochs`,
 // `io.pipeline_save_seconds`, `bench.inference.batch_all_threads.b1024_qps`.
+// Every name recorded from src/ must be registered in the
+// lehdc.metrics.v1 schema (src/obs/schema.cpp); tools/lehdc_lint.py
+// enforces this at ctest time.
+//
+// Memory ordering — the intended contract, exercised by
+// tests/test_concurrency_stress.cpp under `scripts/check.sh tsan`:
+//
+//  - Hot-path loads and stores are all std::memory_order_relaxed. Metrics
+//    are monotonic event counts and last-write-wins samples; no reader
+//    derives control flow from one metric having observed another
+//    metric's write, so record sites and snapshot readers need no
+//    acquire/release pairing — only per-word atomicity.
+//  - Registration synchronizes through the registry mutex: a thread that
+//    obtains a handle from Registry::counter()/gauge()/histogram() is
+//    ordered after the metric's construction (including a histogram's
+//    bucket array), so handles may be cached once and then used lock-free
+//    from any thread for the life of the process.
+//  - Snapshots are racy-by-design but torn-free. Every word is read with
+//    a single atomic load, so a snapshot taken during a storm of records
+//    observes some interleaving of whole updates, never a torn value. A
+//    histogram record is four independent relaxed updates (bucket, count,
+//    sum, min/max); a snapshot straddling one may see the bucket
+//    increment before the min/max publication — Histogram::snapshot()
+//    detects that window and substitutes bucket edges so exported
+//    min/max/quantiles stay finite.
+//  - Registry::reset() zeroes each word independently while holding the
+//    registry mutex; records running concurrently land before or after
+//    each individual zero. Callers that need an exact zero (tests,
+//    benches between phases) quiesce their recording threads first.
 #pragma once
 
 #include <atomic>
@@ -126,7 +155,10 @@ class Histogram {
   };
 
   /// Consistent-enough snapshot: counts are read once each; concurrent
-  /// observes may straddle the read but never corrupt it.
+  /// observes may straddle the read but never corrupt it. When a
+  /// straddling record has bumped a bucket but not yet published min/max,
+  /// the snapshot falls back to the populated buckets' edges, so min, max
+  /// and the quantiles are always finite whenever count > 0.
   [[nodiscard]] Snapshot snapshot() const;
 
   [[nodiscard]] std::uint64_t count() const noexcept {

@@ -1,0 +1,42 @@
+// Canonical metric-name schema for lehdc.metrics.v1.
+//
+// Every metric an instrumentation site registers in src/ must be declared
+// here (exact name) or fall under a registered dynamic prefix (bench.*
+// for benchmark-composed names, test.* for test registries). Two consumers
+// enforce this:
+//   - tools/metrics_schema_check rejects snapshot documents containing
+//     names outside the schema (exit non-zero, not a warning), and
+//   - tools/lehdc_lint.py cross-checks every metric-name string literal in
+//     src/ against the table in schema.cpp (it parses the block between
+//     the LINT-METRICS markers), so an unregistered name fails the build's
+//     lint gate before it can ever reach a snapshot.
+// Adding a metric therefore means adding one line to schema.cpp — which is
+// exactly the property the pair of checkers exists to force.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace lehdc::obs {
+
+/// Exact metric names in the lehdc.metrics.v1 schema, sorted.
+[[nodiscard]] std::span<const std::string_view> known_metric_names() noexcept;
+
+/// Dynamic-name prefixes the schema reserves (e.g. "bench.", "test.").
+[[nodiscard]] std::span<const std::string_view>
+known_metric_prefixes() noexcept;
+
+/// True when `name` is an exact schema name or carries a reserved prefix.
+[[nodiscard]] bool is_known_metric(std::string_view name) noexcept;
+
+/// Names present in a parsed metrics snapshot (any section) that the
+/// schema does not know. Empty for a fully registered document. The
+/// document is expected to already be shape-valid (validate_metrics_json);
+/// non-conforming nodes are ignored here rather than reported twice.
+[[nodiscard]] std::vector<std::string> unknown_metric_names(const Json& root);
+
+}  // namespace lehdc::obs

@@ -28,6 +28,7 @@ std::shared_ptr<const core::Pipeline> ModelRegistry::add(
 
 std::shared_ptr<const core::Pipeline> ModelRegistry::bind(
     const std::string& name, std::shared_ptr<const core::Pipeline> model) {
+  util::expects(model != nullptr, "cannot bind a null pipeline generation");
   const std::lock_guard<std::mutex> lock(mutex_);
   models_[name] = model;
   return model;

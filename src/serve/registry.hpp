@@ -35,6 +35,12 @@ class ModelRegistry {
   std::shared_ptr<const core::Pipeline> add(const std::string& name,
                                             core::Pipeline pipeline);
 
+  /// Binds (or re-binds) `name` to an existing generation: the atomic
+  /// swap behind load()/add(), exposed for rollbacks and blue-green flips
+  /// between generations already in memory. Returns `model`.
+  std::shared_ptr<const core::Pipeline> bind(
+      const std::string& name, std::shared_ptr<const core::Pipeline> model);
+
   /// The pipeline currently bound to `name`; nullptr when absent. The
   /// returned pointer stays valid across reloads (the old model lives
   /// until its last in-flight batch releases it).
@@ -48,9 +54,6 @@ class ModelRegistry {
   [[nodiscard]] std::size_t size() const;
 
  private:
-  std::shared_ptr<const core::Pipeline> bind(
-      const std::string& name, std::shared_ptr<const core::Pipeline> model);
-
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<const core::Pipeline>> models_;
 };

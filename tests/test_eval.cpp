@@ -264,12 +264,16 @@ TEST(Report, CsvHandlesMissingEpochs) {
   std::remove(path.c_str());
 }
 
-TEST(Report, PrintSeriesDoesNotCrash) {
+TEST(Report, PrintSeriesWritesCallerStream) {
   std::vector<Series> series(1);
   series[0].name = "only";
   series[0].points.push_back({0, 0.5, 0.4, 0.1});
   series[0].points.push_back({1, 0.6, 0.5, 0.1});
-  print_series(series, 1);  // writes to stdout; just exercise the path
+  std::ostringstream out;
+  print_series(out, series, 1);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("only"), std::string::npos);
+  EXPECT_NE(text.find("epoch"), std::string::npos);
 }
 
 }  // namespace

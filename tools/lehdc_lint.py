@@ -1,0 +1,309 @@
+#!/usr/bin/env python3
+"""lehdc_lint — project-invariant linter for the LeHDC repository.
+
+Enforces repo-specific rules no off-the-shelf tool knows about (run from
+ctest as the `lehdc_lint` test and from the CI lint job):
+
+  raw-file-write    src/ may not open files for writing directly
+                    (std::ofstream / fopen "w"). Model and pipeline bytes
+                    must flow through util::fileio's atomic write-then-
+                    rename + CRC-32 path so a crash can never leave a
+                    torn, checksumless artifact. The allowlist names the
+                    audited non-model writers (fileio itself, the CSV
+                    table writer, the metrics/trace exporter, the encoded-
+                    dataset cache).
+  unseeded-rng      No std::rand / srand / std::random_device in src/.
+                    Reproduction claims (bit-identical --resume, batch ==
+                    single predict) require every random stream to come
+                    from util::rng's explicitly seeded generators.
+  stdout-in-library No std::cout / std::cerr / printf-to-stdio in src/.
+                    Library code reports through util::log (injectable
+                    sink); only the log sink itself and the JSON exporter
+                    (whose "-" contract *is* stdout) may touch stdio.
+  metric-schema     Every metric-name string literal registered in src/
+                    must appear in the lehdc.metrics.v1 name table
+                    (src/obs/schema.cpp, LINT-METRICS block), keeping this
+                    linter and tools/metrics_schema_check in agreement.
+  sleep-in-tests    No sleep_for/usleep/... in tests/. Timing-dependent
+                    tests flake and hide races; drive time with
+                    serve::FakeClock instead.
+  layering          #include edges between src/ subdirectories must follow
+                    the layer DAG (hv -> hdc -> train -> core, with util/
+                    obs/data as leaves and eval/serve/robustness on top).
+  pragma-once       Every header in src/ carries #pragma once.
+
+Usage:
+  tools/lehdc_lint.py [--root DIR] [--report FILE] [--list-rules]
+
+Exit status: 0 = clean, 1 = violations, 2 = usage/config error.
+Suppress a single line with a trailing `// lehdc-lint: allow(<rule>)`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# --------------------------------------------------------------- layering --
+
+# Allowed include targets per src/ subdirectory. A file in src/<layer>/ may
+# only include headers from the listed directories. This is the layer DAG:
+# util and obs are freestanding leaves, hv/data sit above util, nn above hv,
+# then hdc -> train -> core, with robustness/eval/serve as top consumers.
+LAYERS = {
+    "util": {"util"},
+    "obs": {"obs", "util"},
+    "hv": {"hv", "util"},
+    "data": {"data", "util"},
+    "nn": {"nn", "hv", "util"},
+    "hdc": {"hdc", "hv", "nn", "data", "obs", "util"},
+    "train": {"train", "hdc", "hv", "nn", "data", "obs", "util"},
+    "robustness": {"robustness", "hdc", "hv", "data", "util"},
+    "core": {"core", "train", "hdc", "hv", "nn", "data", "obs", "util"},
+    "eval": {"eval", "core", "train", "hdc", "hv", "nn", "data", "obs",
+             "util"},
+    "serve": {"serve", "core", "train", "hdc", "hv", "nn", "data", "obs",
+              "util"},
+}
+
+# ------------------------------------------------------- rule allowlists --
+
+# Audited direct file writers (see rule description above).
+RAW_WRITE_ALLOW = {
+    "src/util/fileio.cpp",    # the atomic+checksummed write path itself
+    "src/util/table.cpp",     # CsvWriter: figure/table artifacts, not models
+    "src/obs/report.cpp",     # metrics/trace JSON exporter
+    "src/hdc/dataset_io.cpp", # encoded-dataset cache (rebuildable, not a model)
+}
+
+STDIO_ALLOW = {
+    "src/util/log.cpp",   # the default stderr sink behind util::log
+    "src/obs/report.cpp", # write_document("-") streams JSON to stdout by contract
+}
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc"}
+
+FINDINGS = []
+
+
+def relpath(path: Path, root: Path) -> str:
+    return path.relative_to(root).as_posix()
+
+
+def strip_comments(text: str) -> str:
+    """Blanks // and /* */ comments, preserving newlines and string
+    literals, so token rules neither fire on prose nor miss code."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | dquote | squote
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "dquote"
+            elif c == "'":
+                state = "squote"
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("dquote", "squote"):
+            quote = '"' if state == "dquote" else "'"
+            if c == "\\":
+                out.append(c + nxt)
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def suppressed_lines(text: str) -> dict[int, set[str]]:
+    """Maps 1-based line numbers to rule names allowed on that line."""
+    allowed: dict[int, set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for match in re.finditer(r"lehdc-lint:\s*allow\(([a-z-]+)\)", line):
+            allowed.setdefault(lineno, set()).add(match.group(1))
+    return allowed
+
+
+def report(rule: str, rel: str, lineno: int, message: str,
+           allowed: dict[int, set[str]]) -> None:
+    if rule in allowed.get(lineno, ()):
+        return
+    FINDINGS.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+# ------------------------------------------------------------ token rules --
+
+RAW_WRITE_RE = re.compile(
+    r"std::ofstream|std::fstream"
+    r"|fopen\s*\(\s*[^;]*?,\s*\"[wa][^\"]*\"")
+RNG_RE = re.compile(r"\bstd::rand\b|\bsrand\s*\(|\brandom_device\b")
+STDIO_RE = re.compile(
+    r"std::cout|std::cerr|std::clog"
+    r"|\bprintf\s*\("                      # printf / std::printf, not *nprintf
+    r"|\bputs\s*\("
+    r"|fprintf\s*\(\s*std(?:out|err)\b"
+    r"|fputs\s*\([^;]*?,\s*std(?:out|err)\s*\)"
+    r"|fwrite\s*\([^;]*?,\s*std(?:out|err)\s*\)")
+SLEEP_RE = re.compile(
+    r"\bsleep_for\b|\bsleep_until\b|\busleep\s*\(|\bnanosleep\s*\(")
+METRIC_REG_RE = re.compile(
+    r"\.\s*(counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
+INCLUDE_RE = re.compile(r"^\s*#\s*include\s+\"([^\"]+)\"", re.M)
+
+
+def load_schema_names(root: Path) -> tuple[set[str], list[str]]:
+    schema = root / "src" / "obs" / "schema.cpp"
+    if not schema.is_file():
+        print(f"lehdc_lint: missing {schema} (metric-name schema)",
+              file=sys.stderr)
+        sys.exit(2)
+    text = schema.read_text(encoding="utf-8")
+    begin = text.find("LINT-METRICS-BEGIN")
+    end = text.find("LINT-METRICS-END")
+    if begin < 0 or end < 0 or end <= begin:
+        print("lehdc_lint: LINT-METRICS markers not found in schema.cpp",
+              file=sys.stderr)
+        sys.exit(2)
+    names = set(re.findall(r'"([a-z0-9_.]+)"', text[begin:end]))
+    prefixes = re.findall(r'std::string_view\{"([a-z0-9_.]+\.)"\}',
+                          text[end:])
+    if not names:
+        print("lehdc_lint: schema name table parsed empty", file=sys.stderr)
+        sys.exit(2)
+    return names, prefixes
+
+
+def lint_file(path: Path, root: Path, schema_names: set[str],
+              schema_prefixes: list[str]) -> None:
+    rel = relpath(path, root)
+    raw = path.read_text(encoding="utf-8")
+    allowed = suppressed_lines(raw)
+    text = strip_comments(raw)
+    in_src = rel.startswith("src/")
+    in_tests = rel.startswith("tests/")
+
+    if in_src:
+        if rel not in RAW_WRITE_ALLOW:
+            for m in RAW_WRITE_RE.finditer(text):
+                report("raw-file-write", rel, line_of(text, m.start()),
+                       f"direct file write ({m.group(0).split('(')[0].strip()}) — "
+                       "route artifact bytes through util::fileio's atomic "
+                       "checksummed writer (see DESIGN.md §5f)", allowed)
+        for m in RNG_RE.finditer(text):
+            report("unseeded-rng", rel, line_of(text, m.start()),
+                   f"{m.group(0).strip()} breaks run reproducibility — use "
+                   "util::rng's seeded generators", allowed)
+        if rel not in STDIO_ALLOW:
+            for m in STDIO_RE.finditer(text):
+                report("stdout-in-library", rel, line_of(text, m.start()),
+                       f"library code writes to stdio ({m.group(0).strip()}) — "
+                       "use util::log or take a std::ostream&", allowed)
+        if rel != "src/obs/schema.cpp":
+            for m in METRIC_REG_RE.finditer(text):
+                name = m.group(2)
+                known = name in schema_names or any(
+                    name.startswith(p) for p in schema_prefixes)
+                if not known:
+                    report("metric-schema", rel, line_of(text, m.start()),
+                           f"metric '{name}' is not in the lehdc.metrics.v1 "
+                           "name table (src/obs/schema.cpp)", allowed)
+        # Layering + header hygiene.
+        parts = rel.split("/")
+        layer = parts[1] if len(parts) > 2 else None
+        if layer in LAYERS:
+            for m in INCLUDE_RE.finditer(text):
+                target = m.group(1).split("/")[0]
+                if "/" in m.group(1) and target in LAYERS and \
+                        target not in LAYERS[layer]:
+                    report("layering", rel, line_of(text, m.start()),
+                           f"src/{layer} may not include \"{m.group(1)}\" "
+                           f"(allowed: {', '.join(sorted(LAYERS[layer]))})",
+                           allowed)
+        if path.suffix in (".hpp", ".h") and "#pragma once" not in text:
+            report("pragma-once", rel, 1,
+                   "header is missing #pragma once", allowed)
+
+    if in_tests:
+        for m in SLEEP_RE.finditer(text):
+            report("sleep-in-tests", rel, line_of(text, m.start()),
+                   f"{m.group(0).strip()} in a test — drive time with "
+                   "serve::FakeClock, never wall-clock sleeps", allowed)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: this script's repo)")
+    parser.add_argument("--report", default=None,
+                        help="also write findings to this file")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        print(__doc__)
+        return 0
+
+    root = Path(args.root).resolve() if args.root else \
+        Path(__file__).resolve().parent.parent
+    if not (root / "src").is_dir():
+        print(f"lehdc_lint: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    schema_names, schema_prefixes = load_schema_names(root)
+
+    files = []
+    for top in ("src", "tests"):
+        files.extend(sorted((root / top).rglob("*")))
+    for path in files:
+        if path.suffix in SOURCE_SUFFIXES and path.is_file():
+            lint_file(path, root, schema_names, schema_prefixes)
+
+    text = "\n".join(FINDINGS)
+    if args.report:
+        Path(args.report).write_text(
+            (text + "\n") if text else "clean\n", encoding="utf-8")
+    if FINDINGS:
+        print(text)
+        print(f"lehdc_lint: {len(FINDINGS)} violation(s)", file=sys.stderr)
+        return 1
+    print("lehdc_lint: clean "
+          f"({sum(1 for f in files if f.suffix in SOURCE_SUFFIXES)} files, "
+          f"{len(schema_names)} schema metric names)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

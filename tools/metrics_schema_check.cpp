@@ -1,18 +1,30 @@
 // metrics_schema_check — validates lehdc.metrics.v1 JSON documents.
 //
-//   metrics_schema_check <file.json> [more.json ...]
-//   metrics_schema_check -            (read one document from stdin)
+//   metrics_schema_check [--allow-unknown] <file.json> [more.json ...]
+//   metrics_schema_check -                 (read one document from stdin)
 //
-// Exits 0 when every document is schema-valid, 1 otherwise (printing the
-// first violation per file). CI runs this over the CLI's --metrics-out and
-// the benches' BENCH_*.json artifacts so a schema drift fails the job
-// instead of silently breaking downstream tooling.
+// Two gates per document:
+//   1. Shape: schema tag, section layout, name charset/uniqueness,
+//      histogram bucket consistency (obs::validate_metrics_json).
+//   2. Names: every metric must be registered in the lehdc.metrics.v1
+//      name schema (src/obs/schema.cpp) or fall under a reserved prefix.
+//      Unknown names are an error — exit non-zero — so this checker and
+//      the lehdc_lint.py metric-name rule agree on what may ship.
+//      --allow-unknown downgrades gate 2 to a warning (exploratory runs).
+//
+// Exits 0 when every document passes, 1 otherwise (printing the first
+// shape violation and all unknown names per file). CI runs this over the
+// CLI's --metrics-out and the benches' BENCH_*.json artifacts so schema
+// drift fails the job instead of silently breaking downstream tooling.
 #include <cstdio>
+#include <cstring>
 #include <exception>
 #include <string>
+#include <vector>
 
 #include "obs/json.hpp"
 #include "obs/report.hpp"
+#include "obs/schema.hpp"
 #include "util/fileio.hpp"
 
 namespace {
@@ -27,7 +39,8 @@ std::string read_stdin() {
   return text;
 }
 
-int check_document(const std::string& label, const std::string& text) {
+int check_document(const std::string& label, const std::string& text,
+                   bool allow_unknown) {
   try {
     const lehdc::obs::Json doc = lehdc::obs::Json::parse(text);
     if (const std::string error = lehdc::obs::validate_metrics_json(doc);
@@ -35,6 +48,20 @@ int check_document(const std::string& label, const std::string& text) {
       std::fprintf(stderr, "%s: INVALID: %s\n", label.c_str(),
                    error.c_str());
       return 1;
+    }
+    const std::vector<std::string> unknown =
+        lehdc::obs::unknown_metric_names(doc);
+    if (!unknown.empty()) {
+      for (const std::string& name : unknown) {
+        std::fprintf(stderr,
+                     "%s: %s: metric '%s' is not registered in the "
+                     "lehdc.metrics.v1 schema (src/obs/schema.cpp)\n",
+                     label.c_str(), allow_unknown ? "WARNING" : "UNKNOWN",
+                     name.c_str());
+      }
+      if (!allow_unknown) {
+        return 1;
+      }
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "%s: PARSE ERROR: %s\n", label.c_str(),
@@ -48,18 +75,28 @@ int check_document(const std::string& label, const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: metrics_schema_check <file.json|-> [more ...]\n");
+  bool allow_unknown = false;
+  int first_file = 1;
+  if (first_file < argc &&
+      std::strcmp(argv[first_file], "--allow-unknown") == 0) {
+    allow_unknown = true;
+    ++first_file;
+  }
+  if (first_file >= argc) {
+    std::fprintf(
+        stderr,
+        "usage: metrics_schema_check [--allow-unknown] <file.json|-> "
+        "[more ...]\n");
     return 2;
   }
   int status = 0;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first_file; i < argc; ++i) {
     const std::string arg = argv[i];
     try {
       const std::string text =
           arg == "-" ? read_stdin() : lehdc::util::read_file(arg);
-      status |= check_document(arg == "-" ? "<stdin>" : arg, text);
+      status |= check_document(arg == "-" ? "<stdin>" : arg, text,
+                               allow_unknown);
     } catch (const std::exception& error) {
       std::fprintf(stderr, "%s: %s\n", arg.c_str(), error.what());
       status = 1;
