@@ -1,0 +1,221 @@
+// Chaos-scenario matrix for the multi-tenant serving stack (PR 6).
+//
+// Runs every named scenario from src/chaos/scenarios.hpp through a real
+// InferenceServer in virtual time and publishes one BENCH_chaos.json:
+//
+//   1. the full scenario matrix — every invariant must hold (nonzero exit
+//      on any violation);
+//   2. a determinism check — each scenario is run twice and the two
+//      structured reports must be byte-identical (FakeClock-driven runs
+//      have no legitimate source of divergence);
+//   3. a served accuracy-vs-BER sweep *through the server*: for each BER
+//      the ber_live_injection scenario serves traffic against live
+//      corrupted models, and the served accuracy must track that same
+//      corrupted model's offline predict_batch accuracy within tolerance —
+//      the serving infrastructure may not add an accuracy cliff on top of
+//      the fault model measured by bench/fig_ber_robustness.
+//
+// --reports-dir additionally writes each scenario's lehdc.metrics.v1
+// report as its own JSON file (CI uploads these as artifacts).
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "chaos/scenarios.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace lehdc;
+
+/// The reduced matrix CI's chaos-smoke job runs under TSan.
+const std::vector<std::string> kSmokeScenarios = {
+    "steady_multi_tenant",
+    "bursty_overload",
+    "ber_live_injection",
+    "hot_reload_under_fire",
+};
+
+std::vector<double> parse_bers(const std::string& spec) {
+  std::vector<double> bers;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t comma = spec.find(',', begin);
+    const std::string token =
+        spec.substr(begin, comma == std::string::npos ? std::string::npos
+                                                      : comma - begin);
+    if (!token.empty()) {
+      bers.push_back(std::stod(token));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    begin = comma + 1;
+  }
+  if (bers.empty()) {
+    throw std::runtime_error("--bers parsed to an empty list");
+  }
+  return bers;
+}
+
+void write_json_file(const std::string& path, const obs::Json& document) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  out << document.dump(2) << '\n';
+  if (!out) {
+    throw std::runtime_error("write failed: " + path);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagParser flags("chaos_matrix",
+                         "Deterministic chaos scenarios against the "
+                         "multi-tenant server; emits BENCH_chaos.json.");
+  flags.add_double("scale", 1.0, "traffic horizon multiplier");
+  flags.add_flag("smoke", "run the reduced CI matrix only");
+  flags.add_flag("skip-determinism",
+                 "skip the second (determinism-check) run of each scenario");
+  flags.add_string("bers", "0.0,0.05,0.2,0.4,0.45",
+                   "bit-error rates for the served accuracy sweep");
+  flags.add_double("ber-tolerance", 0.0,
+                   "served-vs-offline accuracy tolerance per BER point "
+                   "(0 = the scenario's default cliff tolerance)");
+  flags.add_string("out", "BENCH_chaos.json", "JSON output path");
+  flags.add_string("reports-dir", "",
+                   "write each scenario's metrics report here too");
+  flags.parse(argc, argv);
+
+  const double scale = flags.get_double("scale");
+  const std::string& reports_dir = flags.get_string("reports-dir");
+  const bool check_determinism = !flags.get_flag("skip-determinism");
+  bool failed = false;
+
+  obs::Json scenarios_json = obs::Json::array();
+  std::size_t total_violations = 0;
+
+  // ---------------------------------------------------- scenario matrix --
+  for (const chaos::NamedScenario& named : chaos::scenario_matrix()) {
+    if (flags.get_flag("smoke")) {
+      bool in_smoke = false;
+      for (const std::string& name : kSmokeScenarios) {
+        in_smoke = in_smoke || name == named.name;
+      }
+      if (!in_smoke) {
+        continue;
+      }
+    }
+    const chaos::ScenarioConfig config = named.configure(scale);
+    const chaos::ScenarioResult result =
+        chaos::run_scenario(config, named.invariants);
+
+    bool deterministic = true;
+    if (check_determinism) {
+      const chaos::ScenarioResult rerun =
+          chaos::run_scenario(config, named.invariants);
+      deterministic = result.report.dump(2) == rerun.report.dump(2);
+    }
+
+    std::printf(
+        "%-24s submitted=%-6zu served=%-6zu rejected=%-6zu peak=%-4zu "
+        "acc=%.3f/%.3f %s%s\n",
+        named.name.c_str(), result.submitted, result.served, result.rejected,
+        result.peak_queue_depth, result.served_accuracy,
+        result.offline_accuracy,
+        result.violations.empty() ? "ok" : "VIOLATIONS",
+        deterministic ? "" : " NONDETERMINISTIC");
+    for (const std::string& violation : result.violations) {
+      std::fprintf(stderr, "  %s: %s\n", named.name.c_str(),
+                   violation.c_str());
+    }
+    if (const std::string error =
+            obs::validate_metrics_json(result.report);
+        !error.empty()) {
+      std::fprintf(stderr, "  %s: report failed schema validation: %s\n",
+                   named.name.c_str(), error.c_str());
+      failed = true;
+    }
+    total_violations += result.violations.size();
+    failed = failed || !result.violations.empty() || !deterministic;
+
+    obs::Json entry = obs::Json::object();
+    entry.set("name", named.name);
+    entry.set("submitted", result.submitted);
+    entry.set("served", result.served);
+    entry.set("rejected", result.rejected);
+    entry.set("peak_queue_depth", result.peak_queue_depth);
+    entry.set("served_accuracy", result.served_accuracy);
+    entry.set("offline_accuracy", result.offline_accuracy);
+    entry.set("deterministic", deterministic);
+    entry.set("violations", result.violations.size());
+    obs::Json reasons = obs::Json::object();
+    for (const auto& [reason, count] : result.reject_reasons) {
+      reasons.set(reason, count);
+    }
+    entry.set("reject_reasons", std::move(reasons));
+    scenarios_json.push_back(std::move(entry));
+
+    if (!reports_dir.empty()) {
+      write_json_file(reports_dir + "/chaos_" + named.name + ".json",
+                      result.report);
+    }
+  }
+
+  // ------------------------------------------- served accuracy-vs-BER --
+  // The ber_live_injection scenario at each swept BER: accuracy through
+  // the live server vs the same corrupted generation's offline accuracy.
+  obs::Json ber_json = obs::Json::array();
+  const chaos::NamedScenario& ber_scenario =
+      chaos::scenario_by_name("ber_live_injection");
+  for (const double ber : parse_bers(flags.get_string("bers"))) {
+    chaos::ScenarioConfig config = ber_scenario.configure(scale);
+    config.name = "ber_live_injection";
+    config.model_ber = ber;
+    if (const double tolerance = flags.get_double("ber-tolerance");
+        tolerance > 0.0) {
+      config.accuracy_cliff_tolerance = tolerance;
+    }
+    const chaos::ScenarioResult result =
+        chaos::run_scenario(config, ber_scenario.invariants);
+    const double gap = result.offline_accuracy - result.served_accuracy;
+    std::printf("ber=%-8.4f served=%.3f offline=%.3f gap=%+.3f %s\n", ber,
+                result.served_accuracy, result.offline_accuracy, gap,
+                result.violations.empty() ? "ok" : "VIOLATIONS");
+    for (const std::string& violation : result.violations) {
+      std::fprintf(stderr, "  ber=%.4f: %s\n", ber, violation.c_str());
+    }
+    total_violations += result.violations.size();
+    failed = failed || !result.violations.empty();
+
+    obs::Json point = obs::Json::object();
+    point.set("ber", ber);
+    point.set("served_accuracy", result.served_accuracy);
+    point.set("offline_accuracy", result.offline_accuracy);
+    point.set("served", result.served);
+    ber_json.push_back(std::move(point));
+  }
+
+  obs::Json root = obs::Json::object();
+  root.set("schema", "lehdc.chaos.v1");
+  root.set("scale", scale);
+  root.set("smoke", flags.get_flag("smoke"));
+  root.set("total_violations", total_violations);
+  root.set("scenarios", std::move(scenarios_json));
+  root.set("ber_sweep", std::move(ber_json));
+  const std::string& out_path = flags.get_string("out");
+  write_json_file(out_path, root);
+  std::printf("wrote %s\n", out_path.c_str());
+  if (failed) {
+    std::fprintf(stderr, "chaos matrix FAILED (%zu violations)\n",
+                 total_violations);
+  }
+  return failed ? 1 : 0;
+}

@@ -1,0 +1,97 @@
+#include "chaos/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lehdc::chaos {
+
+const char* arrival_process_name(ArrivalProcess p) noexcept {
+  switch (p) {
+    case ArrivalProcess::kUniform:
+      return "uniform";
+    case ArrivalProcess::kBursty:
+      return "bursty";
+    case ArrivalProcess::kDiurnal:
+      return "diurnal";
+    case ArrivalProcess::kOverload:
+      return "overload";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Instantaneous rate at virtual time `t_us`, in requests/second.
+double rate_at(const ArrivalConfig& config, std::uint64_t t_us) {
+  switch (config.process) {
+    case ArrivalProcess::kUniform:
+      return config.rate_per_sec;
+    case ArrivalProcess::kOverload:
+      return config.rate_per_sec * config.burst_factor;
+    case ArrivalProcess::kBursty: {
+      const std::uint64_t phase = t_us % config.period_us;
+      return phase < config.period_us / 2
+                 ? config.rate_per_sec * config.burst_factor
+                 : config.rate_per_sec * 0.1;
+    }
+    case ArrivalProcess::kDiurnal: {
+      const double phase =
+          static_cast<double>(t_us % config.period_us) /
+          static_cast<double>(config.period_us);
+      // Raised cosine: 0 at phase 0, rate_per_sec at phase 0.5, back to 0.
+      const double tide = 0.5 * (1.0 - std::cos(2.0 * 3.141592653589793 *
+                                                phase));
+      return config.rate_per_sec * tide;
+    }
+  }
+  return config.rate_per_sec;
+}
+
+double peak_rate(const ArrivalConfig& config) {
+  switch (config.process) {
+    case ArrivalProcess::kBursty:
+    case ArrivalProcess::kOverload:
+      return config.rate_per_sec * std::max(config.burst_factor, 1.0);
+    case ArrivalProcess::kUniform:
+    case ArrivalProcess::kDiurnal:
+      return config.rate_per_sec;
+  }
+  return config.rate_per_sec;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> arrival_times(const ArrivalConfig& config) {
+  util::expects(config.rate_per_sec > 0.0, "rate_per_sec must be positive");
+  util::expects(config.horizon_us > 0, "horizon_us must be positive");
+  util::expects(config.period_us > 0, "period_us must be positive");
+  util::expects(config.burst_factor >= 1.0, "burst_factor must be >= 1");
+
+  util::Rng rng(config.seed);
+  const double peak = peak_rate(config);
+  std::vector<std::uint64_t> times;
+  times.reserve(static_cast<std::size_t>(
+      peak * static_cast<double>(config.horizon_us) * 1e-6) + 16);
+
+  // Poisson thinning against the constant peak envelope: exponential gaps
+  // at the peak rate, each candidate kept with probability rate(t)/peak.
+  double t_us = 0.0;
+  while (true) {
+    // next_double() < 1, so the log argument stays strictly positive.
+    const double gap_s = -std::log(1.0 - rng.next_double()) / peak;
+    t_us += gap_s * 1e6;
+    if (t_us >= static_cast<double>(config.horizon_us)) {
+      break;
+    }
+    const auto instant = static_cast<std::uint64_t>(t_us);
+    if (rng.next_double() * peak <= rate_at(config, instant)) {
+      times.push_back(instant);
+    }
+  }
+  return times;  // construction order is already sorted
+}
+
+}  // namespace lehdc::chaos

@@ -1,0 +1,52 @@
+// Deterministic arrival-process generators for chaos scenarios.
+//
+// A scenario's load shape is a sorted list of virtual-time arrival
+// instants, generated up front from a seeded util::Rng — never sampled
+// on the fly — so two runs of the same scenario submit the same requests
+// at the same FakeClock microseconds. Four processes cover the failure
+// envelope the serving stack must survive:
+//
+//   kUniform   Poisson arrivals at `rate_per_sec` (the calm baseline).
+//   kBursty    on/off square wave: `burst_factor` × rate for the first
+//              half of every `period_us`, near-silence for the second —
+//              the queue must absorb each burst and drain between them.
+//   kDiurnal   raised-cosine tide over `period_us`: load sweeps smoothly
+//              from ~0 to `rate_per_sec` and back (the daily traffic
+//              curve compressed into virtual time).
+//   kOverload  sustained `burst_factor` × rate for the whole horizon —
+//              more work than the server can admit; the point is typed
+//              shedding, not survival.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lehdc::chaos {
+
+enum class ArrivalProcess { kUniform, kBursty, kDiurnal, kOverload };
+
+/// Stable lowercase identifier ("uniform", "bursty", ...).
+[[nodiscard]] const char* arrival_process_name(ArrivalProcess p) noexcept;
+
+struct ArrivalConfig {
+  ArrivalProcess process = ArrivalProcess::kUniform;
+  /// Mean arrival rate of the base (non-burst) load, in requests/second
+  /// of virtual time.
+  double rate_per_sec = 1000.0;
+  /// Length of the generated schedule in virtual microseconds.
+  std::uint64_t horizon_us = 1'000'000;
+  /// Peak multiplier for kBursty / kOverload.
+  double burst_factor = 8.0;
+  /// Square-wave / tide period for kBursty / kDiurnal.
+  std::uint64_t period_us = 200'000;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the sorted arrival instants (microseconds in
+/// [0, horizon_us)) for `config` by Poisson thinning: candidates are
+/// drawn at the envelope's peak rate and accepted with probability
+/// rate(t)/peak. Deterministic in `config` alone.
+[[nodiscard]] std::vector<std::uint64_t> arrival_times(
+    const ArrivalConfig& config);
+
+}  // namespace lehdc::chaos

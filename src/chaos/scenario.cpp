@@ -1,0 +1,483 @@
+#include "chaos/scenario.hpp"
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <utility>
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "hdc/encoder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "robustness/fault_injection.hpp"
+#include "serve/clock.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/tenant.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lehdc::chaos {
+
+const char* invariant_name(Invariant invariant) noexcept {
+  switch (invariant) {
+    case Invariant::kBoundedQueueDepth:
+      return "bounded_queue_depth";
+    case Invariant::kTypedRejectsOnly:
+      return "typed_rejects_only";
+    case Invariant::kNoCrossTenantLeakage:
+      return "no_cross_tenant_leakage";
+    case Invariant::kNoAccuracyCliff:
+      return "no_accuracy_cliff";
+    case Invariant::kAllTenantsServed:
+      return "all_tenants_served";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Restores obs::enabled() on scope exit; the runner needs recording on
+/// for its local registry without leaking the flag into the caller.
+class ScopedMetricsEnabled {
+ public:
+  ScopedMetricsEnabled() : was_(obs::enabled()) { obs::set_enabled(true); }
+  ~ScopedMetricsEnabled() { obs::set_enabled(was_); }
+  ScopedMetricsEnabled(const ScopedMetricsEnabled&) = delete;
+  ScopedMetricsEnabled& operator=(const ScopedMetricsEnabled&) = delete;
+
+ private:
+  bool was_;
+};
+
+/// Trains this tenant's model and returns it together with a held-out
+/// query pool. Train and queries come from ONE generate_synthetic call so
+/// they share the same class prototypes — a query pool drawn under a
+/// different seed would be a different classification problem entirely.
+std::pair<core::Pipeline, data::Dataset> build_tenant_model(
+    const ScenarioConfig& config, std::uint64_t seed) {
+  data::SyntheticConfig synth;
+  synth.feature_count = config.feature_count;
+  synth.class_count = config.class_count;
+  synth.train_count = config.train_count;
+  synth.test_count = config.query_pool;
+  synth.class_separation = 1.2;
+  synth.noise_stddev = 0.25;
+  synth.seed = seed;
+  auto split = data::generate_synthetic(synth);
+  core::PipelineConfig pipeline_config;
+  pipeline_config.dim = config.dim;
+  pipeline_config.strategy = core::Strategy::kBaseline;
+  pipeline_config.seed = seed;
+  core::Pipeline pipeline(pipeline_config);
+  pipeline.fit(split.train);
+  return {std::move(pipeline), std::move(split.test)};
+}
+
+/// A new pipeline object serving the same stored bits as `base` after a
+/// pass through a memory with the given bit-error rate (ber == 0 gives a
+/// bit-identical clean twin — the blue-green flip target).
+core::Pipeline rebuild_generation(const core::Pipeline& base, double ber,
+                                  std::uint64_t seed) {
+  const hdc::BinaryClassifier* binary = base.model().as_binary();
+  util::ensures(binary != nullptr,
+                "chaos scenarios require binary-classifier strategies");
+  const auto& encoder =
+      dynamic_cast<const hdc::RecordEncoder&>(base.encoder());
+  util::Rng rng(seed);
+  hdc::BinaryClassifier stored =
+      ber > 0.0 ? robustness::corrupt_classifier(*binary, ber, rng)
+                : *binary;
+  return core::Pipeline::restore(base.config(), encoder.config(),
+                                 std::move(stored));
+}
+
+struct TenantState {
+  TenantSpec spec;
+  data::Dataset queries;
+  std::vector<int> truth;
+  /// Model generations the scenario flips between; all generations of one
+  /// tenant serve the same stored bits, so their predictions agree.
+  std::vector<std::shared_ptr<const core::Pipeline>> generations;
+  /// generations[0]'s predictions over the query pool (identical for all
+  /// generations by construction).
+  std::vector<int> predictions;
+  std::size_t next_query = 0;
+};
+
+struct Submission {
+  std::future<serve::Response> future;
+  std::size_t tenant_index = 0;
+  std::size_t query_index = 0;
+};
+
+std::vector<float> features_of(const data::Dataset& dataset,
+                               std::size_t i) {
+  const auto row = dataset.sample(i);
+  return {row.begin(), row.end()};
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioConfig& config,
+                            std::span<const Invariant> invariants) {
+  util::expects(!config.tenants.empty(),
+                "a scenario needs at least one tenant");
+  util::expects(config.query_pool > 0, "query_pool must be positive");
+  util::expects(!invariants.empty(),
+                "a scenario must assert at least one invariant");
+
+  const ScopedMetricsEnabled metrics_on;
+  ScenarioResult result;
+  result.name = config.name;
+
+  // ------------------------------------------------ tenants and models --
+  const bool flips = config.rebind_every_us > 0;
+  std::vector<TenantState> tenants;
+  tenants.reserve(config.tenants.size());
+  util::Rng master(config.seed);
+  for (const TenantSpec& spec : config.tenants) {
+    util::expects(serve::valid_tenant_id(spec.id),
+                  "scenario tenant ids must be valid tenant ids");
+    util::expects(spec.arrival_weight > 0.0,
+                  "tenant arrival_weight must be positive");
+    TenantState state;
+    state.spec = spec;
+
+    auto [base, queries] = build_tenant_model(config, spec.seed);
+    state.queries = std::move(queries);
+    state.truth.reserve(state.queries.size());
+    for (std::size_t i = 0; i < state.queries.size(); ++i) {
+      state.truth.push_back(state.queries.label(i));
+    }
+
+    // One corruption seed per tenant, drawn in tenant order from the
+    // master stream — deterministic, decorrelated across tenants.
+    const std::uint64_t fault_seed = master.derive_seed(tenants.size());
+    state.generations.push_back(std::make_shared<const core::Pipeline>(
+        rebuild_generation(base, config.model_ber, fault_seed)));
+    if (flips) {
+      // The flip target serves the *same* stored bits from a distinct
+      // object, so a mid-flight rebind swaps real pointers without
+      // changing the expected labels.
+      state.generations.push_back(std::make_shared<const core::Pipeline>(
+          rebuild_generation(base, config.model_ber, fault_seed)));
+    }
+    state.predictions = state.generations[0]->predict_batch(state.queries);
+    tenants.push_back(std::move(state));
+  }
+
+  // -------------------------------------------------- server (manual) --
+  serve::FakeClock clock(0);
+  serve::ModelRegistry registry;
+  serve::ServerConfig server_config;
+  server_config.batcher = config.batcher;
+  server_config.default_tenant = tenants.front().spec.id;
+  server_config.manual_dispatch = true;
+  // Bind clean bases first, then inject the scenario generations through
+  // the same public bind the hot-reload path uses — serving-time fault
+  // injection, not construction-time.
+  for (TenantState& tenant : tenants) {
+    registry.bind(tenant.spec.id, tenant.generations[0]);
+  }
+  serve::InferenceServer server(registry, server_config, &clock);
+
+  // ------------------------------------------------------- event loop --
+  const std::vector<std::uint64_t> arrivals =
+      arrival_times(config.arrivals);
+  util::Rng route_rng(master.derive_seed(0xc4a05));
+  double total_weight = 0.0;
+  for (const TenantState& tenant : tenants) {
+    total_weight += tenant.spec.arrival_weight;
+  }
+
+  std::vector<Submission> submissions;
+  submissions.reserve(arrivals.size());
+  std::size_t next_arrival = 0;
+  std::uint64_t next_rebind =
+      flips ? config.rebind_every_us : serve::MicroBatcher::kNever;
+  int generation_parity = 0;
+
+  // Safety valve: every iteration consumes an arrival, a rebind or a due
+  // batcher event, so this bound is never reached in a correct run.
+  std::size_t iterations = 0;
+  const std::size_t max_iterations = arrivals.size() * 4 + 1024;
+
+  while (next_arrival < arrivals.size() || server.queue_depth() > 0) {
+    if (++iterations > max_iterations) {
+      result.violations.push_back(result.name +
+                                  ": event loop stalled (runner bug)");
+      break;
+    }
+    std::uint64_t t = serve::MicroBatcher::kNever;
+    if (next_arrival < arrivals.size()) {
+      t = std::min(t, arrivals[next_arrival]);
+    }
+    t = std::min(t, server.next_event_us());
+    if (flips && next_rebind <= config.arrivals.horizon_us) {
+      t = std::min(t, next_rebind);
+    }
+    if (t == serve::MicroBatcher::kNever) {
+      break;
+    }
+    t = std::max(t, clock.now_us());
+    clock.set_us(t);
+
+    // Rebinds land before same-instant submits: bind-then-serve, the
+    // blue-green order operators use.
+    while (flips && next_rebind <= t) {
+      generation_parity ^= 1;
+      for (TenantState& tenant : tenants) {
+        registry.bind(
+            tenant.spec.id,
+            tenant.generations[generation_parity %
+                               tenant.generations.size()]);
+      }
+      next_rebind += config.rebind_every_us;
+    }
+
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival] <= t) {
+      // Weighted tenant routing from the dedicated route stream.
+      double pick = route_rng.next_double() * total_weight;
+      std::size_t tenant_index = 0;
+      for (; tenant_index + 1 < tenants.size(); ++tenant_index) {
+        pick -= tenants[tenant_index].spec.arrival_weight;
+        if (pick < 0.0) {
+          break;
+        }
+      }
+      TenantState& tenant = tenants[tenant_index];
+      const std::size_t query_index = tenant.next_query;
+      tenant.next_query = (tenant.next_query + 1) % tenant.queries.size();
+
+      const std::uint64_t deadline =
+          config.deadline_budget_us == 0
+              ? 0
+              : t + config.deadline_budget_us;
+      Submission submission;
+      submission.tenant_index = tenant_index;
+      submission.query_index = query_index;
+      submission.future =
+          server.submit(features_of(tenant.queries, query_index), deadline,
+                        tenant.spec.id, submissions.size());
+      submissions.push_back(std::move(submission));
+      ++next_arrival;
+    }
+
+    server.run_until_idle();
+  }
+  // Let any remaining wait window elapse, then drain through the same
+  // dispatch path (shutdown force-flushes; expired requests are shed).
+  clock.advance_us(config.batcher.max_wait_us + 1);
+  server.run_until_idle();
+  server.shutdown();
+
+  // ------------------------------------------------------- accounting --
+  result.tenants.reserve(tenants.size());
+  for (const TenantState& tenant : tenants) {
+    TenantOutcome outcome;
+    outcome.id = tenant.spec.id;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < tenant.predictions.size(); ++i) {
+      correct += tenant.predictions[i] == tenant.truth[i] ? 1 : 0;
+    }
+    outcome.offline_accuracy =
+        static_cast<double>(correct) /
+        static_cast<double>(tenant.predictions.size());
+    result.tenants.push_back(std::move(outcome));
+  }
+
+  // Register every typed reason up front so the report's metric set (and
+  // therefore its bytes) does not depend on which sheds occurred.
+  for (const serve::Reject reason :
+       {serve::Reject::kQueueFull, serve::Reject::kDeadlineExceeded,
+        serve::Reject::kShuttingDown, serve::Reject::kModelNotFound,
+        serve::Reject::kBadRequest}) {
+    result.reject_reasons[serve::reject_name(reason)] = 0;
+  }
+
+  obs::Registry local;
+  obs::Counter& submitted_counter = local.counter("chaos.submitted");
+  obs::Counter& served_counter = local.counter("chaos.served");
+  obs::Counter& rejected_counter = local.counter("chaos.rejected");
+  std::map<std::string, obs::Counter*> reason_counters;
+  for (const auto& [reason, count] : result.reject_reasons) {
+    reason_counters[reason] =
+        &local.counter(std::string("chaos.rejected.") + reason);
+  }
+  obs::Histogram& latency_hist =
+      local.histogram("chaos.latency_virtual_seconds");
+
+  std::size_t served_correct = 0;
+  std::size_t expected_correct = 0;
+  std::size_t untyped = 0;
+  std::vector<std::size_t> tenant_correct(tenants.size(), 0);
+  for (Submission& submission : submissions) {
+    TenantOutcome& outcome = result.tenants[submission.tenant_index];
+    const TenantState& tenant = tenants[submission.tenant_index];
+    ++result.submitted;
+    ++outcome.submitted;
+    submitted_counter.add();
+    const serve::Response response = submission.future.get();
+    if (response.ok()) {
+      ++result.served;
+      ++outcome.served;
+      served_counter.add();
+      latency_hist.observe(response.latency_seconds);
+      const int expected = tenant.predictions[submission.query_index];
+      if (response.label != expected) {
+        ++outcome.label_mismatches;
+      }
+      const int truth = tenant.truth[submission.query_index];
+      if (response.label == truth) {
+        ++served_correct;
+        ++tenant_correct[submission.tenant_index];
+      }
+      expected_correct += expected == truth ? 1 : 0;
+    } else {
+      ++result.rejected;
+      ++outcome.rejected;
+      rejected_counter.add();
+      const auto status = static_cast<std::uint8_t>(response.error);
+      if (status == 0 ||
+          status > static_cast<std::uint8_t>(serve::Reject::kBadRequest) ||
+          response.label != -1) {
+        ++untyped;
+      } else {
+        const char* reason = serve::reject_name(response.error);
+        ++result.reject_reasons[reason];
+        reason_counters[reason]->add();
+      }
+    }
+  }
+  for (std::size_t i = 0; i < result.tenants.size(); ++i) {
+    TenantOutcome& outcome = result.tenants[i];
+    outcome.served_accuracy =
+        outcome.served == 0
+            ? 0.0
+            : static_cast<double>(tenant_correct[i]) /
+                  static_cast<double>(outcome.served);
+  }
+
+  result.peak_queue_depth = server.peak_queue_depth();
+  result.served_accuracy =
+      result.served == 0
+          ? 0.0
+          : static_cast<double>(served_correct) /
+                static_cast<double>(result.served);
+  result.offline_accuracy =
+      result.served == 0
+          ? 0.0
+          : static_cast<double>(expected_correct) /
+                static_cast<double>(result.served);
+
+  // ------------------------------------------------- invariant checks --
+  const auto violate = [&](Invariant invariant, const std::string& detail) {
+    result.violations.push_back(std::string(invariant_name(invariant)) +
+                                ": " + detail);
+  };
+  for (const Invariant invariant : invariants) {
+    switch (invariant) {
+      case Invariant::kBoundedQueueDepth:
+        if (result.peak_queue_depth > config.batcher.queue_capacity) {
+          violate(invariant,
+                  "peak depth " + std::to_string(result.peak_queue_depth) +
+                      " exceeds capacity " +
+                      std::to_string(config.batcher.queue_capacity));
+        }
+        break;
+      case Invariant::kTypedRejectsOnly:
+        if (untyped > 0) {
+          violate(invariant, std::to_string(untyped) +
+                                 " responses with untyped/inconsistent "
+                                 "reject state");
+        }
+        if (result.served + result.rejected != result.submitted) {
+          violate(invariant, "submitted " +
+                                 std::to_string(result.submitted) +
+                                 " != served+rejected " +
+                                 std::to_string(result.served +
+                                                result.rejected));
+        }
+        break;
+      case Invariant::kNoCrossTenantLeakage: {
+        std::size_t mismatches = 0;
+        for (const TenantOutcome& outcome : result.tenants) {
+          mismatches += outcome.label_mismatches;
+        }
+        if (mismatches > 0) {
+          violate(invariant,
+                  std::to_string(mismatches) +
+                      " served labels outside the tenant's own model");
+        }
+        break;
+      }
+      case Invariant::kNoAccuracyCliff:
+        if (result.served == 0) {
+          violate(invariant, "no requests served — accuracy unmeasurable");
+        } else if (result.served_accuracy <
+                   result.offline_accuracy -
+                       config.accuracy_cliff_tolerance) {
+          violate(invariant,
+                  "served accuracy " +
+                      std::to_string(result.served_accuracy) +
+                      " fell below offline " +
+                      std::to_string(result.offline_accuracy) +
+                      " - tolerance " +
+                      std::to_string(config.accuracy_cliff_tolerance));
+        }
+        break;
+      case Invariant::kAllTenantsServed:
+        for (const TenantOutcome& outcome : result.tenants) {
+          if (outcome.submitted > 0 && outcome.served == 0) {
+            violate(invariant,
+                    "tenant " + outcome.id + " submitted " +
+                        std::to_string(outcome.submitted) +
+                        " requests and none were served");
+          }
+        }
+        break;
+    }
+  }
+
+  // ------------------------------------------------------------ report --
+  obs::Gauge& peak_gauge = local.gauge("chaos.peak_queue_depth");
+  peak_gauge.set(static_cast<double>(result.peak_queue_depth));
+  obs::Gauge& served_acc_gauge = local.gauge("chaos.served_accuracy");
+  served_acc_gauge.set(result.served_accuracy);
+  obs::Gauge& offline_acc_gauge = local.gauge("chaos.offline_accuracy");
+  offline_acc_gauge.set(result.offline_accuracy);
+  obs::Gauge& violations_gauge = local.gauge("chaos.invariant_violations");
+  violations_gauge.set(static_cast<double>(result.violations.size()));
+  for (std::size_t i = 0; i < result.tenants.size(); ++i) {
+    const TenantOutcome& outcome = result.tenants[i];
+    local
+        .counter(serve::tenant_metric_name("serve.tenant.requests",
+                                           outcome.id))
+        .add(outcome.submitted);
+    local
+        .counter(serve::tenant_metric_name("serve.tenant.responses",
+                                           outcome.id))
+        .add(outcome.served);
+    local
+        .counter(serve::tenant_metric_name("serve.tenant.rejected",
+                                           outcome.id))
+        .add(outcome.rejected);
+  }
+
+  obs::Json context = obs::Json::object();
+  context.set("scenario", result.name);
+  context.set("process",
+              arrival_process_name(config.arrivals.process));
+  context.set("seed", config.seed);
+  context.set("tenant_count", config.tenants.size());
+  context.set("horizon_us", config.arrivals.horizon_us);
+  context.set("model_ber", config.model_ber);
+  context.set("invariants_checked", invariants.size());
+  result.report = obs::metrics_snapshot(local, std::move(context));
+  return result;
+}
+
+}  // namespace lehdc::chaos

@@ -1,0 +1,137 @@
+// Deterministic chaos-scenario runner for the multi-tenant serving stack.
+//
+// A scenario is one controlled failure experiment: several tenants with
+// their own models, an adversarial arrival process, and zero or more fault
+// injections (stored-bit errors on live models, hot rebinds under fire,
+// deadline storms, one tenant flooding the queue). The runner drives a
+// *real* InferenceServer — the production admission, batching, shedding
+// and dispatch code — in manual-dispatch mode over a FakeClock: a
+// virtual-time event loop steps straight from one arrival or batcher
+// event to the next, so every run of a scenario is bit-identical,
+// sleep-free and wall-clock independent.
+//
+// Each scenario declares the invariants it must uphold; the runner checks
+// them after the drain and returns human-readable violations (an empty
+// vector is the pass condition — tests assert on it, and the
+// bench/chaos_matrix driver turns any violation into a nonzero exit).
+// Every run also emits a structured lehdc.metrics.v1 report (obs::Json)
+// built from a scenario-local obs::Registry, recording only virtual-time
+// quantities so the report itself is byte-stable across runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "chaos/arrival.hpp"
+#include "obs/json.hpp"
+#include "serve/batcher.hpp"
+
+namespace lehdc::chaos {
+
+/// The invariants a scenario can assert. Every scenario in the matrix
+/// registers a non-empty subset (tools/lehdc_lint.py refuses
+/// assertion-free scenarios).
+enum class Invariant {
+  /// The queue's high-water mark never exceeded queue_capacity.
+  kBoundedQueueDepth,
+  /// Every unserved request carries a typed Reject, and submitted ==
+  /// served + rejected — nothing vanished, nothing crashed.
+  kTypedRejectsOnly,
+  /// Every served label is one this tenant's own model generations could
+  /// have produced for that exact query — a response computed by another
+  /// tenant's model would mismatch.
+  kNoCrossTenantLeakage,
+  /// Served accuracy tracks the same (possibly corrupted) model's offline
+  /// accuracy within `accuracy_cliff_tolerance` — serving infrastructure
+  /// must not add an unexplained accuracy cliff on top of the fault model.
+  kNoAccuracyCliff,
+  /// Every tenant that submitted at least one request had at least one
+  /// served — no tenant was starved outright.
+  kAllTenantsServed,
+};
+
+/// Stable lowercase identifier ("bounded_queue_depth", ...).
+[[nodiscard]] const char* invariant_name(Invariant invariant) noexcept;
+
+struct TenantSpec {
+  /// Tenant id (must satisfy serve::valid_tenant_id).
+  std::string id;
+  /// Seed for this tenant's model, data and query stream. Distinct seeds
+  /// give tenants distinct models, which is what makes the cross-tenant
+  /// leakage check meaningful.
+  std::uint64_t seed = 1;
+  /// Relative share of the arrival stream routed to this tenant.
+  double arrival_weight = 1.0;
+};
+
+struct ScenarioConfig {
+  std::string name = "scenario";
+  std::vector<TenantSpec> tenants;
+  ArrivalConfig arrivals;
+  serve::BatcherConfig batcher;
+  /// Deadline budget granted to every request (absolute deadline =
+  /// arrival + budget); 0 = no deadlines.
+  std::uint64_t deadline_budget_us = 0;
+  /// Stored-bit error rate injected into every tenant's live model via
+  /// robustness::corrupt_classifier before traffic starts (bound through
+  /// the public ModelRegistry::bind on the running server); 0 = clean.
+  double model_ber = 0.0;
+  /// Hot-rebind cadence: every `rebind_every_us` of virtual time each
+  /// tenant is re-bound to its alternate generation (blue-green flip
+  /// under fire); 0 = never.
+  std::uint64_t rebind_every_us = 0;
+  /// Master seed for arrival→tenant assignment and fault injection.
+  std::uint64_t seed = 1;
+  /// Tolerance for kNoAccuracyCliff (absolute accuracy difference).
+  double accuracy_cliff_tolerance = 0.1;
+
+  // Model shape (small by default so tests stay fast; the bench scales).
+  std::size_t dim = 256;
+  std::size_t feature_count = 10;
+  std::size_t class_count = 3;
+  std::size_t train_count = 90;
+  /// Distinct queries per tenant; the arrival stream cycles through them.
+  std::size_t query_pool = 32;
+};
+
+struct TenantOutcome {
+  std::string id;
+  std::size_t submitted = 0;
+  std::size_t served = 0;
+  std::size_t rejected = 0;
+  /// Served labels outside the tenant's own generations' predictions.
+  std::size_t label_mismatches = 0;
+  /// Fraction of served responses matching ground truth (0 if none served).
+  double served_accuracy = 0.0;
+  /// The active generation's accuracy on the full query pool, measured
+  /// directly (predict_batch, no server).
+  double offline_accuracy = 0.0;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::size_t submitted = 0;
+  std::size_t served = 0;
+  std::size_t rejected = 0;
+  /// Typed shed counts keyed by serve::reject_name.
+  std::map<std::string, std::size_t> reject_reasons;
+  std::size_t peak_queue_depth = 0;
+  double served_accuracy = 0.0;
+  double offline_accuracy = 0.0;
+  std::vector<TenantOutcome> tenants;
+  /// Human-readable invariant violations; empty == scenario passed.
+  std::vector<std::string> violations;
+  /// lehdc.metrics.v1 snapshot of the scenario-local registry. Built from
+  /// virtual-time quantities only: two runs of the same config dump
+  /// byte-identical reports.
+  obs::Json report;
+};
+
+/// Runs one scenario and checks `invariants`. Deterministic in `config`.
+[[nodiscard]] ScenarioResult run_scenario(
+    const ScenarioConfig& config, std::span<const Invariant> invariants);
+
+}  // namespace lehdc::chaos

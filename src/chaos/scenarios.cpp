@@ -1,0 +1,154 @@
+#include "chaos/scenarios.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace lehdc::chaos {
+
+namespace {
+
+/// Shared small-model baseline; scenarios override traffic and faults.
+ScenarioConfig base_config(const std::string& name, double scale) {
+  util::expects(scale > 0.0, "scenario scale must be positive");
+  ScenarioConfig config;
+  config.name = name;
+  config.tenants = {{"acme", 11, 1.0}, {"globex", 23, 1.0}};
+  config.arrivals.rate_per_sec = 2000.0;
+  config.arrivals.horizon_us =
+      static_cast<std::uint64_t>(100'000.0 * scale);
+  config.batcher.max_batch = 8;
+  config.batcher.max_wait_us = 500;
+  config.batcher.queue_capacity = 64;
+  config.dim = 2048;
+  config.feature_count = 16;
+  config.train_count = 150;
+  return config;
+}
+
+ScenarioConfig steady_multi_tenant(double scale) {
+  ScenarioConfig config = base_config("steady_multi_tenant", scale);
+  config.arrivals.process = ArrivalProcess::kUniform;
+  return config;
+}
+
+ScenarioConfig bursty_overload(double scale) {
+  ScenarioConfig config = base_config("bursty_overload", scale);
+  config.arrivals.process = ArrivalProcess::kBursty;
+  config.arrivals.burst_factor = 64.0;
+  config.arrivals.period_us = 20'000;
+  // More burst arrivals per wait window (128k/s * 500us = 64) than the
+  // queue admits: bursts must overflow into typed kQueueFull sheds while
+  // the troughs drain the backlog. max_batch > capacity keeps flushes on
+  // the wait timer, so the queue genuinely fills between drains.
+  config.batcher.queue_capacity = 16;
+  config.batcher.max_batch = 32;
+  return config;
+}
+
+ScenarioConfig diurnal_tide(double scale) {
+  ScenarioConfig config = base_config("diurnal_tide", scale);
+  config.arrivals.process = ArrivalProcess::kDiurnal;
+  config.arrivals.period_us = 50'000;
+  return config;
+}
+
+ScenarioConfig deadline_storm(double scale) {
+  ScenarioConfig config = base_config("deadline_storm", scale);
+  config.arrivals.process = ArrivalProcess::kBursty;
+  config.arrivals.burst_factor = 12.0;
+  config.arrivals.period_us = 20'000;
+  // Budget shorter than the batcher's wait window: requests stuck behind
+  // a burst expire and must be shed as kDeadlineExceeded, never served
+  // late or dropped silently.
+  config.deadline_budget_us = 400;
+  return config;
+}
+
+ScenarioConfig ber_live_injection(double scale) {
+  ScenarioConfig config = base_config("ber_live_injection", scale);
+  config.arrivals.process = ArrivalProcess::kUniform;
+  // Bit errors on the live in-memory models; served accuracy must track
+  // the corrupted models' own offline accuracy — the infrastructure adds
+  // no cliff of its own.
+  config.model_ber = 0.05;
+  return config;
+}
+
+ScenarioConfig hot_reload_under_fire(double scale) {
+  ScenarioConfig config = base_config("hot_reload_under_fire", scale);
+  config.arrivals.process = ArrivalProcess::kBursty;
+  config.arrivals.burst_factor = 8.0;
+  config.arrivals.period_us = 20'000;
+  // Rebind every tenant to its alternate generation many times per burst
+  // period; in-flight batches must finish on their pinned generation.
+  config.rebind_every_us = 3'000;
+  return config;
+}
+
+ScenarioConfig tenant_starvation(double scale) {
+  ScenarioConfig config = base_config("tenant_starvation", scale);
+  config.arrivals.process = ArrivalProcess::kOverload;
+  config.arrivals.burst_factor = 12.0;
+  // "acme" floods with 20x the traffic of "mouse" (~11 acme arrivals per
+  // wait window against a per-tenant cap of 4): the cap sheds acme's
+  // excess as kQueueFull instead of letting the flood monopolize the
+  // queue, and the round-robin scheduler still serves the small tenant.
+  config.tenants = {{"acme", 11, 20.0}, {"mouse", 31, 1.0}};
+  config.batcher.queue_capacity = 32;
+  config.batcher.tenant_capacity = 4;
+  return config;
+}
+
+}  // namespace
+
+const std::vector<NamedScenario>& scenario_matrix() {
+  // LINT-SCENARIOS-BEGIN (every entry must register >= 1 Invariant)
+  static const std::vector<NamedScenario> matrix = {
+      {"steady_multi_tenant",
+       {Invariant::kBoundedQueueDepth, Invariant::kTypedRejectsOnly,
+        Invariant::kNoCrossTenantLeakage, Invariant::kNoAccuracyCliff,
+        Invariant::kAllTenantsServed},
+       &steady_multi_tenant},
+      {"bursty_overload",
+       {Invariant::kBoundedQueueDepth, Invariant::kTypedRejectsOnly,
+        Invariant::kNoCrossTenantLeakage, Invariant::kNoAccuracyCliff},
+       &bursty_overload},
+      {"diurnal_tide",
+       {Invariant::kBoundedQueueDepth, Invariant::kTypedRejectsOnly,
+        Invariant::kNoCrossTenantLeakage, Invariant::kNoAccuracyCliff,
+        Invariant::kAllTenantsServed},
+       &diurnal_tide},
+      {"deadline_storm",
+       {Invariant::kBoundedQueueDepth, Invariant::kTypedRejectsOnly,
+        Invariant::kNoCrossTenantLeakage, Invariant::kNoAccuracyCliff},
+       &deadline_storm},
+      {"ber_live_injection",
+       {Invariant::kBoundedQueueDepth, Invariant::kTypedRejectsOnly,
+        Invariant::kNoCrossTenantLeakage, Invariant::kNoAccuracyCliff,
+        Invariant::kAllTenantsServed},
+       &ber_live_injection},
+      {"hot_reload_under_fire",
+       {Invariant::kBoundedQueueDepth, Invariant::kTypedRejectsOnly,
+        Invariant::kNoCrossTenantLeakage, Invariant::kNoAccuracyCliff,
+        Invariant::kAllTenantsServed},
+       &hot_reload_under_fire},
+      {"tenant_starvation",
+       {Invariant::kBoundedQueueDepth, Invariant::kTypedRejectsOnly,
+        Invariant::kNoCrossTenantLeakage, Invariant::kAllTenantsServed},
+       &tenant_starvation},
+  };
+  // LINT-SCENARIOS-END
+  return matrix;
+}
+
+const NamedScenario& scenario_by_name(const std::string& name) {
+  for (const NamedScenario& scenario : scenario_matrix()) {
+    if (scenario.name == name) {
+      return scenario;
+    }
+  }
+  throw std::invalid_argument("unknown chaos scenario: " + name);
+}
+
+}  // namespace lehdc::chaos

@@ -1,0 +1,32 @@
+// The named chaos-scenario matrix.
+//
+// Each entry pairs a ScenarioConfig factory with the invariants that
+// scenario must uphold. tests/test_chaos.cpp runs every entry and asserts
+// zero violations; bench/chaos_matrix sweeps the same matrix at larger
+// scale and publishes the reports. tools/lehdc_lint.py checks (via the
+// LINT-SCENARIOS markers in scenarios.cpp) that no entry ships without
+// invariants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chaos/scenario.hpp"
+
+namespace lehdc::chaos {
+
+struct NamedScenario {
+  std::string name;
+  std::vector<Invariant> invariants;
+  /// Builds the scenario config at the given load scale (1 = test-sized;
+  /// the bench passes larger scales to stretch horizons and rates).
+  ScenarioConfig (*configure)(double scale);
+};
+
+/// The full matrix, in fixed order (reports and bench output follow it).
+[[nodiscard]] const std::vector<NamedScenario>& scenario_matrix();
+
+/// Lookup by name; throws std::invalid_argument for unknown names.
+[[nodiscard]] const NamedScenario& scenario_by_name(const std::string& name);
+
+}  // namespace lehdc::chaos

@@ -36,6 +36,10 @@ constexpr std::array kKnownNames = {
     std::string_view{"serve.rejected_shutdown"},
     std::string_view{"serve.requests"},
     std::string_view{"serve.responses"},
+    std::string_view{"serve.tenant.queue_depth"},
+    std::string_view{"serve.tenant.rejected"},
+    std::string_view{"serve.tenant.requests"},
+    std::string_view{"serve.tenant.responses"},
     std::string_view{"train.lehdc.checkpoint_seconds"},
     std::string_view{"train.lehdc.checkpoints"},
     std::string_view{"train.lehdc.epoch_seconds"},
@@ -50,10 +54,14 @@ constexpr std::array kKnownNames = {
 
 // Benchmarks compose names from profile/strategy/batch parameters
 // (bench.inference.batch_all_threads.b1024_qps, bench.table1.mnist.lehdc_mean,
-// ...); tests register throwaway names under test.*. Both namespaces are
-// reserved wholesale rather than enumerated.
+// ...); tests register throwaway names under test.*; the chaos harness
+// (src/chaos) composes per-scenario names under chaos.*; the server
+// appends a validated tenant id to the serve.tenant.* base names listed
+// above. These namespaces are reserved wholesale rather than enumerated.
 constexpr std::array kKnownPrefixes = {
     std::string_view{"bench."},
+    std::string_view{"chaos."},
+    std::string_view{"serve.tenant."},
     std::string_view{"test."},
 };
 

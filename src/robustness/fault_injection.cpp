@@ -26,13 +26,33 @@ std::size_t inject_bit_errors(hv::BitVector& hv, double ber,
 
 hdc::BinaryClassifier corrupt_classifier(
     const hdc::BinaryClassifier& classifier, double ber, util::Rng& rng) {
-  std::vector<hv::BitVector> classes;
-  classes.reserve(classifier.class_count());
-  for (std::size_t k = 0; k < classifier.class_count(); ++k) {
-    hv::BitVector hv = classifier.class_hypervector(k);
-    inject_bit_errors(hv, ber, rng);
-    classes.push_back(std::move(hv));
+  return corrupt_classifier(classifier, ber, rng,
+                            util::ThreadPool::global());
+}
+
+hdc::BinaryClassifier corrupt_classifier(
+    const hdc::BinaryClassifier& classifier, double ber, util::Rng& rng,
+    util::ThreadPool& pool) {
+  const std::size_t n = classifier.class_count();
+  // Draw one child seed per class *sequentially* from the caller's rng,
+  // then corrupt each class from its own generator. The rng consumption
+  // and every flip pattern are thereby fixed by (rng state, ber, n) alone
+  // — chunking and thread count cannot change a single bit.
+  std::vector<std::uint64_t> seeds(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    seeds[k] = rng.derive_seed(k);
   }
+  std::vector<hv::BitVector> classes;
+  classes.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    classes.push_back(classifier.class_hypervector(k));
+  }
+  pool.parallel_for(0, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      util::Rng class_rng(seeds[k]);
+      inject_bit_errors(classes[k], ber, class_rng);
+    }
+  });
   return hdc::BinaryClassifier(std::move(classes));
 }
 

@@ -20,6 +20,7 @@
 #include "hdc/encoded_dataset.hpp"
 #include "hv/bitvector.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lehdc::robustness {
 
@@ -29,9 +30,17 @@ namespace lehdc::robustness {
 std::size_t inject_bit_errors(hv::BitVector& hv, double ber, util::Rng& rng);
 
 /// A copy of `classifier` whose stored class hypervectors went through a
-/// memory with the given bit-error rate.
+/// memory with the given bit-error rate. Classes are corrupted in
+/// parallel, each from a child seed drawn from `rng` up front in class
+/// order — the result is bit-identical for a given rng state regardless
+/// of the pool's thread count (the chaos determinism contract).
 [[nodiscard]] hdc::BinaryClassifier corrupt_classifier(
     const hdc::BinaryClassifier& classifier, double ber, util::Rng& rng);
+
+/// As above but on an explicit pool (tests pin worker counts with this).
+[[nodiscard]] hdc::BinaryClassifier corrupt_classifier(
+    const hdc::BinaryClassifier& classifier, double ber, util::Rng& rng,
+    util::ThreadPool& pool);
 
 /// A copy of `dataset` whose encoded query hypervectors went through a
 /// noisy channel with the given bit-error rate (labels are untouched).

@@ -9,64 +9,112 @@ namespace lehdc::serve {
 MicroBatcher::MicroBatcher(const BatcherConfig& config) : config_(config) {
   util::expects(config.max_batch > 0, "max_batch must be positive");
   util::expects(config.queue_capacity > 0, "queue_capacity must be positive");
+  util::expects(config.tenant_capacity <= config.queue_capacity,
+                "tenant_capacity cannot exceed queue_capacity");
 }
 
 Reject MicroBatcher::offer(PendingRequest&& request, std::uint64_t now_us) {
   if (closed_) {
     return Reject::kShuttingDown;
   }
-  if (pending_.size() >= config_.queue_capacity) {
+  if (depth_ >= config_.queue_capacity) {
     return Reject::kQueueFull;
   }
+  if (config_.tenant_capacity != 0) {
+    const auto it = queues_.find(request.tenant);
+    if (it != queues_.end() && it->second.size() >= config_.tenant_capacity) {
+      return Reject::kQueueFull;
+    }
+  }
   request.enqueue_us = now_us;
-  pending_.push_back(std::move(request));
+  queues_[request.tenant].push_back(std::move(request));
+  ++depth_;
   return Reject::kNone;
 }
 
 MicroBatcher::Flush MicroBatcher::poll(std::uint64_t now_us, bool force) {
   Flush flush;
 
-  // Cull expired requests first: a request past its deadline must never be
-  // dispatched, even when a flush is due this very poll.
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    if (it->deadline_us != 0 && it->deadline_us <= now_us) {
-      flush.expired.push_back(std::move(*it));
-      it = pending_.erase(it);
-    } else {
-      ++it;
+  // Cull expired requests first, across every tenant: a request past its
+  // deadline must never be dispatched, even when a flush is due this very
+  // poll.
+  for (auto it = queues_.begin(); it != queues_.end();) {
+    std::deque<PendingRequest>& queue = it->second;
+    for (auto rit = queue.begin(); rit != queue.end();) {
+      if (rit->deadline_us != 0 && rit->deadline_us <= now_us) {
+        flush.expired.push_back(std::move(*rit));
+        rit = queue.erase(rit);
+        --depth_;
+      } else {
+        ++rit;
+      }
+    }
+    it = queue.empty() ? queues_.erase(it) : std::next(it);
+  }
+
+  if (queues_.empty()) {
+    return flush;
+  }
+
+  // Pick the next due tenant round-robin: scan map order starting strictly
+  // after the cursor, wrapping once. Map order is deterministic, so so is
+  // the rotation.
+  const auto due = [&](const std::deque<PendingRequest>& queue) {
+    return force || queue.size() >= config_.max_batch ||
+           now_us - queue.front().enqueue_us >= config_.max_wait_us;
+  };
+  auto chosen = queues_.end();
+  for (auto it = queues_.upper_bound(cursor_); it != queues_.end(); ++it) {
+    if (due(it->second)) {
+      chosen = it;
+      break;
     }
   }
-
-  if (pending_.empty()) {
+  if (chosen == queues_.end()) {
+    for (auto it = queues_.begin();
+         it != queues_.end() && it->first <= cursor_; ++it) {
+      if (due(it->second)) {
+        chosen = it;
+        break;
+      }
+    }
+  }
+  if (chosen == queues_.end()) {
     return flush;
   }
-  const bool size_due = pending_.size() >= config_.max_batch;
-  const bool time_due =
-      now_us - pending_.front().enqueue_us >= config_.max_wait_us;
-  if (!size_due && !time_due && !force) {
-    return flush;
-  }
 
-  const std::size_t take = std::min(pending_.size(), config_.max_batch);
+  cursor_ = chosen->first;
+  flush.tenant = chosen->first;
+  std::deque<PendingRequest>& queue = chosen->second;
+  const std::size_t take = std::min(queue.size(), config_.max_batch);
   flush.batch.reserve(take);
   for (std::size_t i = 0; i < take; ++i) {
-    flush.batch.push_back(std::move(pending_.front()));
-    pending_.pop_front();
+    flush.batch.push_back(std::move(queue.front()));
+    queue.pop_front();
+    --depth_;
+  }
+  if (queue.empty()) {
+    queues_.erase(chosen);
   }
   return flush;
 }
 
 std::uint64_t MicroBatcher::next_event_us() const {
-  if (pending_.empty()) {
-    return kNever;
-  }
-  std::uint64_t next = pending_.front().enqueue_us + config_.max_wait_us;
-  for (const PendingRequest& request : pending_) {
-    if (request.deadline_us != 0) {
-      next = std::min(next, request.deadline_us);
+  std::uint64_t next = kNever;
+  for (const auto& [tenant, queue] : queues_) {
+    next = std::min(next, queue.front().enqueue_us + config_.max_wait_us);
+    for (const PendingRequest& request : queue) {
+      if (request.deadline_us != 0) {
+        next = std::min(next, request.deadline_us);
+      }
     }
   }
   return next;
+}
+
+std::size_t MicroBatcher::tenant_depth(const std::string& tenant) const {
+  const auto it = queues_.find(tenant);
+  return it == queues_.end() ? 0 : it->second.size();
 }
 
 }  // namespace lehdc::serve

@@ -1,22 +1,27 @@
 // Micro-batching request queue: the deterministic core of the server.
 //
-// MicroBatcher is a bounded FIFO of pending requests plus the flush policy:
-// a batch is released when `max_batch` requests are pending (size flush) or
-// when the oldest pending request has waited `max_wait_us` (time flush),
-// whichever comes first. Admission control rejects offers beyond
-// `queue_capacity` with a typed Reject — the queue can never grow without
-// bound, so overload degrades to shedding, not to memory exhaustion.
+// MicroBatcher keeps one bounded FIFO per tenant plus the flush policy: a
+// tenant's batch is released when `max_batch` of its requests are pending
+// (size flush) or when its oldest pending request has waited `max_wait_us`
+// (time flush), whichever comes first. Batches are single-tenant — tenants
+// never share a dispatch — and when several tenants are due at once they
+// are drained round-robin, so one flooding tenant cannot monopolize the
+// dispatch loop. Admission control rejects offers beyond `queue_capacity`
+// total (and beyond `tenant_capacity` for any one tenant) with a typed
+// Reject — the queue can never grow without bound, so overload degrades
+// to shedding, not to memory exhaustion.
 //
 // The class is deliberately thread-free and time-free: every method takes
 // `now_us` from the caller's Clock, and callers provide their own
 // synchronization (InferenceServer wraps it in a mutex + condition
-// variable; unit tests drive it directly with a FakeClock and assert each
-// decision deterministically).
+// variable; unit tests and the chaos harness drive it directly with a
+// FakeClock and assert each decision deterministically).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -25,21 +30,28 @@
 namespace lehdc::serve {
 
 struct BatcherConfig {
-  /// Flush as soon as this many requests are pending (and cap every
-  /// released batch at this size).
+  /// Flush as soon as this many requests of one tenant are pending (and
+  /// cap every released batch at this size).
   std::size_t max_batch = 64;
-  /// Flush when the oldest pending request has waited this long.
+  /// Flush when a tenant's oldest pending request has waited this long.
   std::uint64_t max_wait_us = 1000;
-  /// Admission bound: offers beyond this depth are rejected kQueueFull.
+  /// Admission bound across all tenants: offers beyond this total depth
+  /// are rejected kQueueFull.
   std::size_t queue_capacity = 1024;
+  /// Per-tenant admission bound; 0 means "no separate per-tenant cap"
+  /// (only the shared queue_capacity applies). A flooding tenant hits its
+  /// own cap and is shed while other tenants keep admitting — the
+  /// starvation firewall the chaos harness exercises.
+  std::size_t tenant_capacity = 0;
 };
 
 /// One queued inference request. The promise is fulfilled by whoever
 /// dispatches (or sheds) the request.
 struct PendingRequest {
   std::uint64_t id = 0;
-  /// Registry key of the target model ("" = the server's default model).
-  std::string model;
+  /// Tenant id the request routes to ("" = the server's default tenant;
+  /// the server resolves it before the request reaches the batcher).
+  std::string tenant;
   std::vector<float> features;
   std::uint64_t enqueue_us = 0;
   /// Absolute Clock deadline; 0 means no deadline. A request whose
@@ -60,26 +72,33 @@ class MicroBatcher {
   [[nodiscard]] Reject offer(PendingRequest&& request, std::uint64_t now_us);
 
   struct Flush {
+    /// Tenant whose requests fill `batch` (single-tenant batches).
+    std::string tenant;
     /// Requests to dispatch as one batch, in arrival order. At most
     /// max_batch; empty when no flush condition holds.
     std::vector<PendingRequest> batch;
-    /// Requests whose deadline passed; shed them with kDeadlineExceeded.
+    /// Requests whose deadline passed, across all tenants; shed them with
+    /// kDeadlineExceeded.
     std::vector<PendingRequest> expired;
   };
 
-  /// Culls expired requests, then releases a batch if a flush is due
-  /// (size reached, oldest waited max_wait_us, or `force`). Callers loop
-  /// until both vectors come back empty: a backlog larger than max_batch
-  /// drains in max_batch-sized chunks.
+  /// Culls expired requests from every tenant, then releases one tenant's
+  /// batch if a flush is due (size reached, oldest waited max_wait_us, or
+  /// `force`), picking among due tenants round-robin. Callers loop until
+  /// both vectors come back empty: a backlog larger than max_batch drains
+  /// in max_batch-sized chunks, rotating tenants between chunks.
   [[nodiscard]] Flush poll(std::uint64_t now_us, bool force = false);
 
   /// Earliest future time at which poll() could have new work: the oldest
-  /// request's flush deadline or the nearest per-request deadline,
-  /// whichever is sooner. kNever when the queue is empty. (A size flush
-  /// needs no timer: offer() makes it visible immediately.)
+  /// request's flush deadline or the nearest per-request deadline across
+  /// all tenants, whichever is sooner. kNever when all queues are empty.
+  /// (A size flush needs no timer: offer() makes it visible immediately.)
   [[nodiscard]] std::uint64_t next_event_us() const;
 
-  [[nodiscard]] std::size_t depth() const noexcept { return pending_.size(); }
+  /// Total pending requests across all tenants.
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  /// Pending requests for one tenant (0 when it has no queue).
+  [[nodiscard]] std::size_t tenant_depth(const std::string& tenant) const;
 
   /// Stops admission (offers now return kShuttingDown). Already queued
   /// requests remain and are drained by poll(now, /*force=*/true).
@@ -92,7 +111,13 @@ class MicroBatcher {
 
  private:
   BatcherConfig config_;
-  std::deque<PendingRequest> pending_;
+  /// Per-tenant FIFOs. A tenant's entry is erased when its queue drains,
+  /// so the map is bounded by the number of tenants with pending work.
+  std::map<std::string, std::deque<PendingRequest>> queues_;
+  std::size_t depth_ = 0;
+  /// Round-robin cursor: the tenant served by the previous poll(). The
+  /// next due tenant strictly after it (wrapping) is served next.
+  std::string cursor_;
   bool closed_ = false;
 };
 

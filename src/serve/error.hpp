@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace lehdc::serve {
 
@@ -41,6 +42,10 @@ struct Response {
   std::uint32_t batch_size = 0;
   /// Server-side end-to-end latency (enqueue to fulfilment) in seconds.
   double latency_seconds = 0.0;
+  /// Tenant the request was routed to (the resolved id, never empty on a
+  /// served response). v2 response frames echo it on the wire so clients
+  /// can detect cross-tenant mixups; v1 frames drop it.
+  std::string tenant;
 
   [[nodiscard]] bool ok() const noexcept { return error == Reject::kNone; }
 };

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "serve/tenant.hpp"
 #include "util/serial.hpp"
 
 namespace lehdc::serve {
@@ -21,10 +22,13 @@ std::string frame(const char magic[4], const util::PayloadWriter& payload) {
   return out;
 }
 
-/// Reads one frame body into `payload`. Returns false on clean EOF before
-/// any header byte; throws on everything else that is not a whole frame.
-bool read_frame(std::istream& in, const char expected_magic[4],
-                std::string* payload, const std::string& context) {
+/// Reads one frame body into `payload`, accepting either of the two
+/// magics and reporting which matched via `*version` (1 or 2). Returns
+/// false on clean EOF before any header byte; throws on everything else
+/// that is not a whole frame.
+bool read_frame(std::istream& in, const char magic_v1[4],
+                const char magic_v2[4], int* version, std::string* payload,
+                const std::string& context) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (in.gcount() == 0 && in.eof()) {
@@ -33,7 +37,11 @@ bool read_frame(std::istream& in, const char expected_magic[4],
   if (in.gcount() != sizeof(magic)) {
     throw std::runtime_error("truncated frame header in " + context);
   }
-  if (std::memcmp(magic, expected_magic, sizeof(magic)) != 0) {
+  if (std::memcmp(magic, magic_v1, sizeof(magic)) == 0) {
+    *version = 1;
+  } else if (std::memcmp(magic, magic_v2, sizeof(magic)) == 0) {
+    *version = 2;
+  } else {
     throw std::runtime_error("bad frame magic in " + context);
   }
   std::uint32_t size = 0;
@@ -53,40 +61,83 @@ bool read_frame(std::istream& in, const char expected_magic[4],
   return true;
 }
 
+void check_version(int version, const std::string& context) {
+  if (version != 1 && version != 2) {
+    throw std::runtime_error("unknown frame version " +
+                             std::to_string(version) + " in " + context);
+  }
+}
+
+void check_tenant(const std::string& tenant, const std::string& context) {
+  // An empty tenant routes to the server default; anything else must be a
+  // well-formed id so it can never smuggle bytes into logs or metric names.
+  if (!tenant.empty() && !valid_tenant_id(tenant)) {
+    throw std::runtime_error("invalid tenant id in " + context);
+  }
+}
+
 }  // namespace
 
+int request_frame_version(const char magic[4]) noexcept {
+  if (std::memcmp(magic, kRequestMagic, 4) == 0) {
+    return 1;
+  }
+  if (std::memcmp(magic, kRequestMagicV2, 4) == 0) {
+    return 2;
+  }
+  return 0;
+}
+
 std::string encode_request(const WireRequest& request) {
+  check_version(request.version, "encode_request");
+  check_tenant(request.tenant, "encode_request");
   util::PayloadWriter payload;
   payload.pod<std::uint64_t>(request.id);
   payload.pod<std::uint64_t>(request.deadline_budget_us);
-  payload.pod<std::uint16_t>(static_cast<std::uint16_t>(request.model.size()));
-  payload.bytes(request.model.data(), request.model.size());
+  payload.pod<std::uint16_t>(
+      static_cast<std::uint16_t>(request.tenant.size()));
+  payload.bytes(request.tenant.data(), request.tenant.size());
   payload.pod<std::uint32_t>(
       static_cast<std::uint32_t>(request.features.size()));
   payload.bytes(request.features.data(),
                 request.features.size() * sizeof(float));
-  return frame(kRequestMagic, payload);
+  return frame(request.version == 1 ? kRequestMagic : kRequestMagicV2,
+               payload);
 }
 
-std::string encode_response(const Response& response) {
+std::string encode_response(const Response& response, int version) {
+  check_version(version, "encode_response");
   util::PayloadWriter payload;
   payload.pod<std::uint64_t>(response.id);
   payload.pod<std::uint8_t>(static_cast<std::uint8_t>(response.error));
   payload.pod<std::int32_t>(response.label);
   payload.pod<std::uint32_t>(response.batch_size);
   payload.pod<double>(response.latency_seconds);
-  return frame(kResponseMagic, payload);
+  if (version == 1) {
+    return frame(kResponseMagic, payload);
+  }
+  check_tenant(response.tenant, "encode_response");
+  payload.pod<std::uint16_t>(
+      static_cast<std::uint16_t>(response.tenant.size()));
+  payload.bytes(response.tenant.data(), response.tenant.size());
+  return frame(kResponseMagicV2, payload);
 }
 
-WireRequest decode_request_payload(std::string_view payload,
+WireRequest decode_request_payload(std::string_view payload, int version,
                                    const std::string& context) {
+  check_version(version, context);
   util::PayloadReader reader(payload, context);
   WireRequest request;
+  request.version = version;
   request.id = reader.pod<std::uint64_t>();
   request.deadline_budget_us = reader.pod<std::uint64_t>();
-  const auto model_length = reader.pod<std::uint16_t>();
-  request.model.resize(model_length);
-  reader.bytes(request.model.data(), model_length);
+  const auto tenant_length = reader.pod<std::uint16_t>();
+  if (tenant_length > kMaxTenantIdBytes) {
+    throw std::runtime_error("oversized tenant id in " + context);
+  }
+  request.tenant.resize(tenant_length);
+  reader.bytes(request.tenant.data(), tenant_length);
+  check_tenant(request.tenant, context);
   const auto feature_count = reader.pod<std::uint32_t>();
   // The reader bounds-checks the bulk read, so a lying feature_count can
   // never trigger an allocation beyond the (already bounded) payload.
@@ -100,8 +151,9 @@ WireRequest decode_request_payload(std::string_view payload,
   return request;
 }
 
-Response decode_response_payload(std::string_view payload,
+Response decode_response_payload(std::string_view payload, int version,
                                  const std::string& context) {
+  check_version(version, context);
   util::PayloadReader reader(payload, context);
   Response response;
   response.id = reader.pod<std::uint64_t>();
@@ -113,6 +165,15 @@ Response decode_response_payload(std::string_view payload,
   response.label = reader.pod<std::int32_t>();
   response.batch_size = reader.pod<std::uint32_t>();
   response.latency_seconds = reader.pod<double>();
+  if (version == 2) {
+    const auto tenant_length = reader.pod<std::uint16_t>();
+    if (tenant_length > kMaxTenantIdBytes) {
+      throw std::runtime_error("oversized tenant id in " + context);
+    }
+    response.tenant.resize(tenant_length);
+    reader.bytes(response.tenant.data(), tenant_length);
+    check_tenant(response.tenant, context);
+  }
   reader.expect_done();
   return response;
 }
@@ -120,20 +181,24 @@ Response decode_response_payload(std::string_view payload,
 bool read_request(std::istream& in, WireRequest* out,
                   const std::string& context) {
   std::string payload;
-  if (!read_frame(in, kRequestMagic, &payload, context)) {
+  int version = 0;
+  if (!read_frame(in, kRequestMagic, kRequestMagicV2, &version, &payload,
+                  context)) {
     return false;
   }
-  *out = decode_request_payload(payload, context);
+  *out = decode_request_payload(payload, version, context);
   return true;
 }
 
 bool read_response(std::istream& in, Response* out,
                    const std::string& context) {
   std::string payload;
-  if (!read_frame(in, kResponseMagic, &payload, context)) {
+  int version = 0;
+  if (!read_frame(in, kResponseMagic, kResponseMagicV2, &version, &payload,
+                  context)) {
     return false;
   }
-  *out = decode_response_payload(payload, context);
+  *out = decode_response_payload(payload, version, context);
   return true;
 }
 
@@ -144,8 +209,9 @@ void write_request(std::ostream& out, const WireRequest& request) {
   }
 }
 
-void write_response(std::ostream& out, const Response& response) {
-  const std::string bytes = encode_response(response);
+void write_response(std::ostream& out, const Response& response,
+                    int version) {
+  const std::string bytes = encode_response(response, version);
   if (!out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
     throw std::runtime_error("failed to write response frame");
   }

@@ -4,12 +4,25 @@
 //
 //   magic (4 bytes) | u32 payload_size | payload
 //
-//   "LSRQ" request payload :=
-//     u64 id | u64 deadline_budget_us | u16 model_name_length
-//     | model_name bytes | u32 feature_count | f32[feature_count]
-//   "LSRS" response payload :=
+// The magic doubles as the frame version. Two generations are live:
+//
+//   v1 "LSRQ" request payload :=
+//     u64 id | u64 deadline_budget_us | u16 tenant_length
+//     | tenant bytes | u32 feature_count | f32[feature_count]
+//   v1 "LSRS" response payload :=
 //     u64 id | u8 status (serve::Reject) | i32 label | u32 batch_size
 //     | f64 latency_seconds
+//   v2 "LSR2" request payload := identical to v1 (the tenant field *is*
+//     the v1 model-name slot, formalized)
+//   v2 "LSS2" response payload := the v1 layout followed by
+//     u16 tenant_length | tenant bytes — the server echoes the tenant it
+//     routed to, so clients can detect cross-tenant mixups on the wire.
+//
+// Decoders accept both generations and record which one arrived in
+// WireRequest::version / Response (responses are echoed at the request's
+// version, so a v1 client never sees bytes it cannot parse). An empty
+// tenant routes to the server's default tenant; a non-empty tenant must
+// satisfy valid_tenant_id() or the frame is rejected as malformed.
 //
 // Integers are little-endian (the library's serial.hpp convention). The
 // deadline travels as a *budget* relative to server receipt — absolute
@@ -32,42 +45,58 @@ namespace lehdc::serve {
 
 inline constexpr char kRequestMagic[4] = {'L', 'S', 'R', 'Q'};
 inline constexpr char kResponseMagic[4] = {'L', 'S', 'R', 'S'};
+inline constexpr char kRequestMagicV2[4] = {'L', 'S', 'R', '2'};
+inline constexpr char kResponseMagicV2[4] = {'L', 'S', 'S', '2'};
 
 /// Upper bound on a frame payload (16 MiB ≈ 4M float features) — an
 /// admission check against hostile length prefixes.
 inline constexpr std::uint32_t kMaxPayloadBytes = 16u * 1024u * 1024u;
 
+/// Frame version carried by a request magic: 1 for "LSRQ", 2 for "LSR2",
+/// 0 when the magic matches neither.
+[[nodiscard]] int request_frame_version(const char magic[4]) noexcept;
+
 struct WireRequest {
   std::uint64_t id = 0;
   /// Microseconds the client grants from server receipt; 0 = no deadline.
   std::uint64_t deadline_budget_us = 0;
-  /// Target model name; empty selects the server default.
-  std::string model;
+  /// Target tenant id; empty selects the server's default tenant. (In v1
+  /// frames this is the model-name slot — same bytes, same routing.)
+  std::string tenant;
   std::vector<float> features;
+  /// Frame generation this request arrived as (or should be emitted as).
+  int version = 2;
 };
 
-/// Serializes one complete frame (header + payload).
+/// Serializes one complete frame (header + payload) at the message's
+/// recorded version.
 [[nodiscard]] std::string encode_request(const WireRequest& request);
-[[nodiscard]] std::string encode_response(const Response& response);
+[[nodiscard]] std::string encode_response(const Response& response,
+                                          int version = 2);
 
 /// Parses a frame payload (the bytes after the length prefix). `context`
 /// names the source for error messages. Throws std::runtime_error on a
 /// malformed payload.
 [[nodiscard]] WireRequest decode_request_payload(std::string_view payload,
+                                                 int version,
                                                  const std::string& context);
 [[nodiscard]] Response decode_response_payload(std::string_view payload,
+                                               int version,
                                                const std::string& context);
 
-/// Reads one frame from a stream. Returns false on clean EOF at a frame
-/// boundary; throws std::runtime_error on a bad magic, an oversized
-/// length, or EOF mid-frame.
+/// Reads one frame from a stream, accepting either protocol generation.
+/// Returns false on clean EOF at a frame boundary; throws
+/// std::runtime_error on a bad magic, an oversized length, or EOF
+/// mid-frame.
 bool read_request(std::istream& in, WireRequest* out,
                   const std::string& context);
 bool read_response(std::istream& in, Response* out,
                    const std::string& context);
 
 /// Writes one frame; throws std::runtime_error when the stream fails.
+/// Responses are written at `version` (echo the request's version).
 void write_request(std::ostream& out, const WireRequest& request);
-void write_response(std::ostream& out, const Response& response);
+void write_response(std::ostream& out, const Response& response,
+                    int version = 2);
 
 }  // namespace lehdc::serve

@@ -2,6 +2,7 @@
 
 #include "core/pipeline_io.hpp"
 #include "obs/metrics.hpp"
+#include "serve/tenant.hpp"
 #include "util/check.hpp"
 
 namespace lehdc::serve {
@@ -29,6 +30,8 @@ std::shared_ptr<const core::Pipeline> ModelRegistry::add(
 std::shared_ptr<const core::Pipeline> ModelRegistry::bind(
     const std::string& name, std::shared_ptr<const core::Pipeline> model) {
   util::expects(model != nullptr, "cannot bind a null pipeline generation");
+  util::expects(valid_tenant_id(name),
+                "tenant id must be 1-64 chars of [a-z0-9_]");
   const std::lock_guard<std::mutex> lock(mutex_);
   models_[name] = model;
   return model;
@@ -41,7 +44,7 @@ std::shared_ptr<const core::Pipeline> ModelRegistry::get(
   return it == models_.end() ? nullptr : it->second;
 }
 
-bool ModelRegistry::remove(const std::string& name) {
+bool ModelRegistry::evict(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   return models_.erase(name) > 0;
 }

@@ -1,11 +1,14 @@
-// Named model registry with atomic hot reload.
+// Multi-tenant model registry with atomic hot reload.
 //
-// The server looks models up by name per batch; operators (re)load
-// checksummed v2 pipeline bundles (core/pipeline_io.hpp) under the same
-// name without stopping traffic. A reload is an atomic shared_ptr swap:
-// batches already holding the old pipeline finish on it, new batches see
-// the new one, and a failed load (missing file, CRC mismatch) throws
-// *before* the swap — the previous model keeps serving.
+// Each tenant id maps to one model generation; the server looks tenants up
+// per batch, and operators (re)load checksummed v2 pipeline bundles
+// (core/pipeline_io.hpp) under the same tenant without stopping traffic.
+// A reload is an atomic shared_ptr swap: batches already holding the old
+// pipeline finish on it (in-flight batches pin their generation via the
+// shared_ptr), new batches see the new one, and a failed load (missing
+// file, CRC mismatch) throws *before* the swap — the previous model keeps
+// serving. Tenant ids are validated at bind time (serve/tenant.hpp), so
+// every key in the map is also a legal per-tenant metric-name suffix.
 #pragma once
 
 #include <map>
@@ -24,31 +27,35 @@ class ModelRegistry {
   ModelRegistry(const ModelRegistry&) = delete;
   ModelRegistry& operator=(const ModelRegistry&) = delete;
 
-  /// Loads the bundle at `path` and binds (or re-binds) `name` to it.
+  /// Loads the bundle at `path` and binds (or re-binds) `tenant` to it.
   /// Throws std::runtime_error on I/O failure or a corrupt file; the
   /// registry is unchanged in that case. Returns the loaded pipeline.
-  std::shared_ptr<const core::Pipeline> load(const std::string& name,
+  std::shared_ptr<const core::Pipeline> load(const std::string& tenant,
                                              const std::string& path);
 
   /// Registers an already-fitted in-process pipeline (tests, benches).
   /// Precondition: pipeline.fitted().
-  std::shared_ptr<const core::Pipeline> add(const std::string& name,
+  std::shared_ptr<const core::Pipeline> add(const std::string& tenant,
                                             core::Pipeline pipeline);
 
-  /// Binds (or re-binds) `name` to an existing generation: the atomic
+  /// Binds (or re-binds) `tenant` to an existing generation: the atomic
   /// swap behind load()/add(), exposed for rollbacks and blue-green flips
-  /// between generations already in memory. Returns `model`.
+  /// between generations already in memory. Precondition:
+  /// valid_tenant_id(tenant) and model != nullptr. Returns `model`.
   std::shared_ptr<const core::Pipeline> bind(
-      const std::string& name, std::shared_ptr<const core::Pipeline> model);
+      const std::string& tenant,
+      std::shared_ptr<const core::Pipeline> model);
 
-  /// The pipeline currently bound to `name`; nullptr when absent. The
+  /// The pipeline currently bound to `tenant`; nullptr when absent. The
   /// returned pointer stays valid across reloads (the old model lives
   /// until its last in-flight batch releases it).
   [[nodiscard]] std::shared_ptr<const core::Pipeline> get(
-      const std::string& name) const;
+      const std::string& tenant) const;
 
-  /// Unbinds `name`; returns false when it was not registered.
-  bool remove(const std::string& name);
+  /// Unbinds `tenant`; returns false when it was not registered.
+  /// In-flight batches keep their pinned generation; new lookups see
+  /// nullptr and the server sheds with kModelNotFound.
+  bool evict(const std::string& tenant);
 
   [[nodiscard]] std::vector<std::string> names() const;
   [[nodiscard]] std::size_t size() const;

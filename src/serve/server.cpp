@@ -6,6 +6,8 @@
 #include "data/dataset.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "serve/tenant.hpp"
+#include "util/check.hpp"
 
 namespace lehdc::serve {
 
@@ -53,22 +55,30 @@ InferenceServer::InferenceServer(ModelRegistry& registry,
       config_(config),
       clock_(clock != nullptr ? clock : &system_clock()),
       batcher_(config.batcher) {
-  worker_ = std::thread(&InferenceServer::worker_loop, this);
+  util::expects(valid_tenant_id(config.default_tenant),
+                "default_tenant must be a valid tenant id");
+  if (!config_.manual_dispatch) {
+    worker_ = std::thread(&InferenceServer::worker_loop, this);
+  }
 }
 
 InferenceServer::~InferenceServer() { shutdown(); }
 
 void InferenceServer::reject(PendingRequest&& request, Reject reason) {
   reject_counter(reason).add();
+  if (obs::enabled() && !request.tenant.empty()) {
+    tenant_metrics(request.tenant).rejected.add();
+  }
   Response response;
   response.id = request.id;
   response.error = reason;
+  response.tenant = request.tenant;
   request.promise.set_value(response);
 }
 
 std::future<Response> InferenceServer::submit(std::vector<float> features,
                                               std::uint64_t deadline_us,
-                                              const std::string& model,
+                                              const std::string& tenant,
                                               std::uint64_t id) {
   static obs::Counter& requests =
       obs::Registry::global().counter("serve.requests");
@@ -76,15 +86,18 @@ std::future<Response> InferenceServer::submit(std::vector<float> features,
 
   PendingRequest request;
   request.id = id;
-  request.model = model.empty() ? config_.default_model : model;
+  request.tenant = tenant.empty() ? config_.default_tenant : tenant;
   request.features = std::move(features);
   request.deadline_us = deadline_us;
   std::future<Response> future = request.promise.get_future();
+  if (obs::enabled()) {
+    tenant_metrics(request.tenant).requests.add();
+  }
 
-  // Admission-time validation: the model binding and the feature arity are
-  // knowable now, so malformed requests never occupy queue capacity. (The
-  // dispatch path re-validates — a hot reload may change either.)
-  const auto pipeline = registry_.get(request.model);
+  // Admission-time validation: the tenant binding and the feature arity
+  // are knowable now, so malformed requests never occupy queue capacity.
+  // (The dispatch path re-validates — a hot reload may change either.)
+  const auto pipeline = registry_.get(request.tenant);
   if (pipeline == nullptr) {
     reject(std::move(request), Reject::kModelNotFound);
     return future;
@@ -100,10 +113,16 @@ std::future<Response> InferenceServer::submit(std::vector<float> features,
     const std::lock_guard<std::mutex> lock(mutex_);
     // offer() consumes the request only on success, so a rejected request
     // can still carry its promise to reject() below.
+    const std::string queue_tenant = request.tenant;
     verdict = batcher_.offer(std::move(request), now);
     if (verdict == Reject::kNone) {
       peak_depth_ = std::max(peak_depth_, batcher_.depth());
       queue_depth_gauge().set(static_cast<double>(batcher_.depth()));
+      if (obs::enabled()) {
+        tenant_metrics(queue_tenant)
+            .queue_depth.set(
+                static_cast<double>(batcher_.tenant_depth(queue_tenant)));
+      }
     }
   }
   if (verdict != Reject::kNone) {
@@ -116,8 +135,46 @@ std::future<Response> InferenceServer::submit(std::vector<float> features,
 
 Response InferenceServer::predict(std::vector<float> features,
                                   std::uint64_t deadline_us,
-                                  const std::string& model) {
-  return submit(std::move(features), deadline_us, model).get();
+                                  const std::string& tenant) {
+  return submit(std::move(features), deadline_us, tenant).get();
+}
+
+std::size_t InferenceServer::pump(bool force) {
+  std::size_t resolved = 0;
+  while (true) {
+    MicroBatcher::Flush flush;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      flush = batcher_.poll(clock_->now_us(), force || stop_);
+      queue_depth_gauge().set(static_cast<double>(batcher_.depth()));
+      if (obs::enabled() && !flush.tenant.empty()) {
+        tenant_metrics(flush.tenant)
+            .queue_depth.set(
+                static_cast<double>(batcher_.tenant_depth(flush.tenant)));
+      }
+    }
+    if (flush.batch.empty() && flush.expired.empty()) {
+      return resolved;
+    }
+    resolved += flush.batch.size() + flush.expired.size();
+    for (PendingRequest& expired : flush.expired) {
+      reject(std::move(expired), Reject::kDeadlineExceeded);
+    }
+    if (!flush.batch.empty()) {
+      dispatch(flush.tenant, std::move(flush.batch));
+    }
+  }
+}
+
+std::size_t InferenceServer::run_until_idle() {
+  util::expects(config_.manual_dispatch,
+                "run_until_idle requires manual_dispatch mode");
+  return pump(/*force=*/false);
+}
+
+std::uint64_t InferenceServer::next_event_us() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return batcher_.next_event_us();
 }
 
 void InferenceServer::worker_loop() {
@@ -132,9 +189,8 @@ void InferenceServer::worker_loop() {
       if (next == MicroBatcher::kNever) {
         work_ready_.wait(lock);
       } else {
-        // Sleep until the oldest request's flush deadline (or the nearest
-        // per-request deadline); a size-triggered flush is signalled by
-        // submit() instead.
+        // Sleep until the nearest flush or per-request deadline; a
+        // size-triggered flush is signalled by submit() instead.
         const std::uint64_t now = clock_->now_us();
         const std::uint64_t wait_us = next > now ? next - now : 0;
         work_ready_.wait_for(lock, std::chrono::microseconds(wait_us + 1));
@@ -142,18 +198,24 @@ void InferenceServer::worker_loop() {
       continue;
     }
     queue_depth_gauge().set(static_cast<double>(batcher_.depth()));
+    if (obs::enabled() && !flush.tenant.empty()) {
+      tenant_metrics(flush.tenant)
+          .queue_depth.set(
+              static_cast<double>(batcher_.tenant_depth(flush.tenant)));
+    }
     lock.unlock();
     for (PendingRequest& expired : flush.expired) {
       reject(std::move(expired), Reject::kDeadlineExceeded);
     }
     if (!flush.batch.empty()) {
-      dispatch(std::move(flush.batch));
+      dispatch(flush.tenant, std::move(flush.batch));
     }
     lock.lock();
   }
 }
 
-void InferenceServer::dispatch(std::vector<PendingRequest> batch) {
+void InferenceServer::dispatch(const std::string& tenant,
+                               std::vector<PendingRequest> batch) {
   auto& metrics = obs::Registry::global();
   static obs::Counter& batches = metrics.counter("serve.batches");
   static obs::Counter& responses = metrics.counter("serve.responses");
@@ -169,73 +231,71 @@ void InferenceServer::dispatch(std::vector<PendingRequest> batch) {
   obs::ScopedTimer dispatch_timer(dispatch_seconds);
   const auto batch_size = static_cast<std::uint32_t>(batch.size());
 
-  // Group by target model, preserving arrival order within each group
-  // (requests in one flush usually share one model, but nothing forbids a
-  // mixed batch).
-  std::vector<char> grouped(batch.size(), 0);
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (grouped[i]) {
+  // Re-resolve the tenant's model per batch: this is what pins a
+  // hot-reloaded pipeline for exactly one dispatch and no longer. Batches
+  // are single-tenant by construction (the batcher queues per tenant).
+  const auto pipeline = registry_.get(tenant);
+  if (pipeline == nullptr) {
+    for (PendingRequest& request : batch) {
+      reject(std::move(request), Reject::kModelNotFound);
+    }
+    return;
+  }
+  const std::size_t feature_count = pipeline->encoder().feature_count();
+  std::vector<std::size_t> valid;
+  valid.reserve(batch.size());
+  data::Dataset queries(feature_count, 2);
+  for (std::size_t j = 0; j < batch.size(); ++j) {
+    if (batch[j].features.size() != feature_count) {
+      reject(std::move(batch[j]), Reject::kBadRequest);
       continue;
     }
-    std::vector<std::size_t> group;
-    for (std::size_t j = i; j < batch.size(); ++j) {
-      if (!grouped[j] && batch[j].model == batch[i].model) {
-        grouped[j] = 1;
-        group.push_back(j);
-      }
-    }
+    queries.add_sample(batch[j].features, 0);
+    valid.push_back(j);
+  }
+  if (valid.empty()) {
+    return;
+  }
 
-    // Re-resolve the model per batch: this is what pins a hot-reloaded
-    // pipeline for exactly one dispatch and no longer.
-    const auto pipeline = registry_.get(batch[i].model);
-    if (pipeline == nullptr) {
-      for (const std::size_t j : group) {
-        reject(std::move(batch[j]), Reject::kModelNotFound);
-      }
-      continue;
+  const std::vector<int> labels = pipeline->predict_batch(queries);
+  const std::uint64_t now = clock_->now_us();
+  for (std::size_t v = 0; v < valid.size(); ++v) {
+    PendingRequest& request = batch[valid[v]];
+    Response response;
+    response.id = request.id;
+    response.label = labels[v];
+    response.batch_size = batch_size;
+    response.latency_seconds =
+        static_cast<double>(now - request.enqueue_us) * 1e-6;
+    response.tenant = request.tenant;
+    latency_seconds.observe(response.latency_seconds);
+    responses.add();
+    if (obs::enabled()) {
+      tenant_metrics(request.tenant).responses.add();
     }
-    const std::size_t feature_count = pipeline->encoder().feature_count();
-    std::vector<std::size_t> valid;
-    valid.reserve(group.size());
-    data::Dataset queries(feature_count, 2);
-    for (const std::size_t j : group) {
-      if (batch[j].features.size() != feature_count) {
-        reject(std::move(batch[j]), Reject::kBadRequest);
-        continue;
-      }
-      queries.add_sample(batch[j].features, 0);
-      valid.push_back(j);
-    }
-    if (valid.empty()) {
-      continue;
-    }
-
-    const std::vector<int> labels = pipeline->predict_batch(queries);
-    const std::uint64_t now = clock_->now_us();
-    for (std::size_t v = 0; v < valid.size(); ++v) {
-      PendingRequest& request = batch[valid[v]];
-      Response response;
-      response.id = request.id;
-      response.label = labels[v];
-      response.batch_size = batch_size;
-      response.latency_seconds =
-          static_cast<double>(now - request.enqueue_us) * 1e-6;
-      latency_seconds.observe(response.latency_seconds);
-      responses.add();
-      request.promise.set_value(response);
-    }
+    request.promise.set_value(response);
   }
 }
 
 void InferenceServer::shutdown() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ && !worker_.joinable()) {
+      // Manual mode: already drained by a previous shutdown().
+      if (config_.manual_dispatch) {
+        return;
+      }
+    }
     stop_ = true;
     batcher_.close();
   }
   work_ready_.notify_all();
   if (worker_.joinable()) {
     worker_.join();
+  } else if (config_.manual_dispatch) {
+    // Deterministic drain: serve the backlog through the same dispatch
+    // path the worker thread would use.
+    pump(/*force=*/true);
   }
 }
 

@@ -2,12 +2,13 @@
 //
 // Producers (socket handlers, the pipe loop, bench client threads) submit
 // raw feature vectors and receive a std::future<Response>; one worker
-// thread amortizes queued requests into micro-batches (MicroBatcher flush
-// policy) and dispatches each batch through Pipeline::predict_batch — the
-// fused encode+score path — so served predictions are bit-identical to a
-// direct batched call on the same inputs. Admission control, per-request
-// deadlines and typed shedding are the batcher's; this class adds the
-// thread, the model registry indirection (hot reload safe: a batch pins
+// thread amortizes queued requests into single-tenant micro-batches
+// (MicroBatcher flush policy, round-robin across tenants) and dispatches
+// each batch through Pipeline::predict_batch — the fused encode+score
+// path — so served predictions are bit-identical to a direct batched call
+// on the same inputs. Admission control, per-request deadlines, typed
+// shedding and tenant fairness are the batcher's; this class adds the
+// thread, the tenant registry indirection (hot reload safe: a batch pins
 // its pipeline via shared_ptr) and the obs instrumentation:
 //
 //   serve.requests / serve.responses / serve.batches        counters
@@ -16,6 +17,16 @@
 //   serve.queue_depth                                       gauge
 //   serve.batch_size                                        histogram
 //   serve.e2e_latency_seconds / serve.dispatch_seconds      histograms
+//   serve.tenant.{requests,responses,rejected,queue_depth}.<tenant>
+//                                                           per tenant
+//
+// Two drive modes. The default starts a worker thread that sleeps on a
+// condition variable until the next flush is due — production shape. With
+// `manual_dispatch` no thread is started and the owner pumps batches
+// through run_until_idle(); combined with a FakeClock this makes batch
+// composition, shedding and hot-reload interleaving fully deterministic —
+// the chaos harness (src/chaos) runs every scenario this way over virtual
+// time while still exercising the real admission/dispatch code.
 #pragma once
 
 #include <condition_variable>
@@ -34,14 +45,18 @@ namespace lehdc::serve {
 
 struct ServerConfig {
   BatcherConfig batcher;
-  /// Registry key used when a request names no model.
-  std::string default_model = "default";
+  /// Tenant id used when a request names no tenant.
+  std::string default_tenant = "default";
+  /// When true the server starts no worker thread; the owner pumps due
+  /// batches explicitly with run_until_idle() (deterministic mode).
+  bool manual_dispatch = false;
 };
 
 class InferenceServer {
  public:
-  /// Starts the worker immediately. `registry` must outlive the server;
-  /// `clock` == nullptr selects the system steady clock.
+  /// Starts the worker immediately (unless config.manual_dispatch).
+  /// `registry` must outlive the server; `clock` == nullptr selects the
+  /// system steady clock.
   InferenceServer(ModelRegistry& registry, const ServerConfig& config,
                   Clock* clock = nullptr);
 
@@ -57,13 +72,25 @@ class InferenceServer {
   /// shutdown drain). `deadline_us` is an absolute Clock time (0 = none).
   std::future<Response> submit(std::vector<float> features,
                                std::uint64_t deadline_us = 0,
-                               const std::string& model = {},
+                               const std::string& tenant = {},
                                std::uint64_t id = 0);
 
   /// Blocking convenience wrapper around submit().
   [[nodiscard]] Response predict(std::vector<float> features,
                                  std::uint64_t deadline_us = 0,
-                                 const std::string& model = {});
+                                 const std::string& tenant = {});
+
+  /// Manual-dispatch pump: repeatedly polls the batcher at the current
+  /// Clock time and dispatches/sheds everything due, returning the number
+  /// of requests resolved. Returns 0 when nothing was due (requests may
+  /// still be pending until more time passes or more requests arrive).
+  /// Precondition: config.manual_dispatch.
+  std::size_t run_until_idle();
+
+  /// Earliest Clock time at which run_until_idle() could have new work
+  /// (MicroBatcher::kNever when the queue is empty). Lets a virtual-time
+  /// event loop step straight to the next flush or deadline.
+  [[nodiscard]] std::uint64_t next_event_us() const;
 
   /// Stops admission, force-flushes the backlog through the scorer (queued
   /// requests are *served*, not dropped — only ones past their deadline
@@ -83,9 +110,12 @@ class InferenceServer {
 
  private:
   void worker_loop();
-  /// Scores one flushed batch (grouped by model) and fulfils its promises.
-  void dispatch(std::vector<PendingRequest> batch);
+  /// Scores one single-tenant flushed batch and fulfils its promises.
+  void dispatch(const std::string& tenant,
+                std::vector<PendingRequest> batch);
   void reject(PendingRequest&& request, Reject reason);
+  /// Polls + dispatches everything currently due. Caller holds no lock.
+  std::size_t pump(bool force);
 
   ModelRegistry& registry_;
   ServerConfig config_;

@@ -1,0 +1,58 @@
+#include "serve/tenant.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/check.hpp"
+
+namespace lehdc::serve {
+
+bool valid_tenant_id(std::string_view tenant) noexcept {
+  if (tenant.empty() || tenant.size() > kMaxTenantIdBytes) {
+    return false;
+  }
+  for (const char c : tenant) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string tenant_metric_name(std::string_view base,
+                               std::string_view tenant) {
+  util::expects(valid_tenant_id(tenant),
+                "tenant metric names require a valid tenant id");
+  std::string name;
+  name.reserve(base.size() + 1 + tenant.size());
+  name.append(base);
+  name.push_back('.');
+  name.append(tenant);
+  return name;
+}
+
+TenantMetrics& tenant_metrics(const std::string& tenant) {
+  // Handles reference registry-owned instruments, so caching them is safe
+  // for the process lifetime; the map only ever grows (tenants are few).
+  static std::mutex mutex;
+  static std::map<std::string, std::unique_ptr<TenantMetrics>> cache;
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(tenant);
+  if (it == cache.end()) {
+    auto& registry = obs::Registry::global();
+    auto metrics = std::make_unique<TenantMetrics>(TenantMetrics{
+        registry.counter(tenant_metric_name("serve.tenant.requests", tenant)),
+        registry.counter(
+            tenant_metric_name("serve.tenant.responses", tenant)),
+        registry.counter(tenant_metric_name("serve.tenant.rejected", tenant)),
+        registry.gauge(
+            tenant_metric_name("serve.tenant.queue_depth", tenant))});
+    it = cache.emplace(tenant, std::move(metrics)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace lehdc::serve

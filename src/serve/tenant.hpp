@@ -1,0 +1,54 @@
+// Tenant identity and per-tenant observability for the serving stack.
+//
+// A tenant id is the routing key across the whole stack: the wire frame
+// carries it, the registry binds a model generation to it, the batcher
+// queues by it and the server dispatches single-tenant batches. Ids share
+// the metric-name charset ([a-z0-9_], bounded length) so a tenant id can
+// be spliced into a per-tenant metric name without escaping:
+//
+//   serve.tenant.requests.<tenant>     counter  admitted submissions
+//   serve.tenant.responses.<tenant>    counter  served predictions
+//   serve.tenant.rejected.<tenant>     counter  typed sheds, any reason
+//   serve.tenant.queue_depth.<tenant>  gauge    per-tenant queue depth
+//
+// The composed names fall under the schema's reserved "serve.tenant."
+// prefix (src/obs/schema.cpp); the base names are also listed verbatim in
+// the LINT-METRICS table so tools/lehdc_lint.py can cross-check them.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace lehdc::serve {
+
+/// Upper bound on a tenant id, matching the u16 length field on the wire
+/// with lots of headroom and keeping composed metric names short.
+inline constexpr std::size_t kMaxTenantIdBytes = 64;
+
+/// True when `tenant` is a legal tenant id: non-empty, at most
+/// kMaxTenantIdBytes bytes, characters from [a-z0-9_] only. The charset
+/// is deliberately the metric-name charset minus '.', so ids never forge
+/// metric-name structure.
+[[nodiscard]] bool valid_tenant_id(std::string_view tenant) noexcept;
+
+/// Composes the per-tenant metric name `<base>.<tenant>`. Precondition:
+/// valid_tenant_id(tenant).
+[[nodiscard]] std::string tenant_metric_name(std::string_view base,
+                                             std::string_view tenant);
+
+/// Cached per-tenant metric handles in the global obs registry. The first
+/// lookup for a tenant registers its four instruments; later lookups are
+/// one map find under a local mutex. Call only when obs::enabled() — the
+/// server gates on that so the disabled hot path stays allocation-free.
+struct TenantMetrics {
+  obs::Counter& requests;
+  obs::Counter& responses;
+  obs::Counter& rejected;
+  obs::Gauge& queue_depth;
+};
+
+[[nodiscard]] TenantMetrics& tenant_metrics(const std::string& tenant);
+
+}  // namespace lehdc::serve

@@ -1,0 +1,179 @@
+// Chaos-scenario harness (src/chaos/). Every scenario in the matrix runs
+// against a real InferenceServer in virtual time (FakeClock + manual
+// dispatch — no sleeps, no wall-clock), so each test asserts exact,
+// reproducible outcomes: zero invariant violations, byte-identical
+// reports across runs, and the scenario-specific failure signatures
+// (deadline sheds in the storm, queue-full sheds in the burst, both
+// tenants alive through the flood).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "chaos/arrival.hpp"
+#include "chaos/scenario.hpp"
+#include "chaos/scenarios.hpp"
+#include "obs/report.hpp"
+
+namespace lehdc {
+namespace {
+
+chaos::ScenarioResult run_named(const chaos::NamedScenario& named,
+                                double scale = 0.25) {
+  return chaos::run_scenario(named.configure(scale), named.invariants);
+}
+
+// ---------------------------------------------------------------- arrivals --
+
+TEST(Arrival, SortedWithinHorizonAndDeterministic) {
+  chaos::ArrivalConfig config;
+  config.process = chaos::ArrivalProcess::kBursty;
+  config.rate_per_sec = 5000;
+  config.horizon_us = 100'000;
+  const auto times = chaos::arrival_times(config);
+  ASSERT_FALSE(times.empty());
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]);
+  }
+  EXPECT_LT(times.back(), config.horizon_us);
+  EXPECT_EQ(times, chaos::arrival_times(config));
+}
+
+TEST(Arrival, BurstyConcentratesLoadInTheBurstHalf) {
+  chaos::ArrivalConfig config;
+  config.process = chaos::ArrivalProcess::kBursty;
+  config.rate_per_sec = 10'000;
+  config.burst_factor = 10;
+  config.period_us = 20'000;
+  config.horizon_us = 200'000;
+  std::size_t in_burst = 0;
+  const auto times = chaos::arrival_times(config);
+  for (const std::uint64_t t : times) {
+    in_burst += (t % config.period_us) < config.period_us / 2 ? 1 : 0;
+  }
+  // Burst half runs at 10x the trough's rate; the split cannot be close.
+  EXPECT_GT(in_burst * 10, times.size() * 8);
+}
+
+TEST(Arrival, OverloadOutpacesUniformAtTheSameBaseRate) {
+  chaos::ArrivalConfig config;
+  config.rate_per_sec = 5000;
+  config.horizon_us = 100'000;
+  config.process = chaos::ArrivalProcess::kUniform;
+  const auto uniform = chaos::arrival_times(config);
+  config.process = chaos::ArrivalProcess::kOverload;
+  const auto overload = chaos::arrival_times(config);
+  EXPECT_GT(overload.size(), 4 * uniform.size());
+}
+
+TEST(Arrival, ValidatesConfig) {
+  chaos::ArrivalConfig config;
+  config.rate_per_sec = 0;
+  EXPECT_THROW((void)chaos::arrival_times(config), std::invalid_argument);
+  config = {};
+  config.burst_factor = 0.5;
+  EXPECT_THROW((void)chaos::arrival_times(config), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ full matrix --
+
+TEST(ChaosMatrix, EveryScenarioUpholdsItsInvariants) {
+  for (const chaos::NamedScenario& named : chaos::scenario_matrix()) {
+    ASSERT_FALSE(named.invariants.empty()) << named.name;
+    const chaos::ScenarioResult result = run_named(named);
+    EXPECT_TRUE(result.violations.empty())
+        << named.name << ": " << result.violations.front();
+    EXPECT_GT(result.submitted, 0u) << named.name;
+    EXPECT_EQ(result.submitted, result.served + result.rejected)
+        << named.name;
+  }
+}
+
+TEST(ChaosMatrix, ReportsAreByteIdenticalAcrossRuns) {
+  for (const chaos::NamedScenario& named : chaos::scenario_matrix()) {
+    const chaos::ScenarioResult first = run_named(named);
+    const chaos::ScenarioResult second = run_named(named);
+    EXPECT_EQ(first.report.dump(2), second.report.dump(2)) << named.name;
+  }
+}
+
+TEST(ChaosMatrix, ReportsValidateAgainstTheMetricsSchema) {
+  for (const chaos::NamedScenario& named : chaos::scenario_matrix()) {
+    const chaos::ScenarioResult result = run_named(named);
+    EXPECT_EQ(obs::validate_metrics_json(result.report), "") << named.name;
+  }
+}
+
+// ------------------------------------------------- scenario-specific bite --
+
+TEST(ChaosScenario, DeadlineStormShedsWithTypedDeadlineRejects) {
+  const chaos::ScenarioResult result =
+      run_named(chaos::scenario_by_name("deadline_storm"));
+  EXPECT_GT(result.rejected, 0u);
+  EXPECT_GT(result.reject_reasons.at("deadline_exceeded"), 0u);
+  EXPECT_GT(result.served, 0u);  // a storm sheds; it must not blackout
+}
+
+TEST(ChaosScenario, BurstyOverloadShedsQueueFullAndStaysBounded) {
+  const chaos::NamedScenario& named =
+      chaos::scenario_by_name("bursty_overload");
+  const chaos::ScenarioResult result = run_named(named);
+  EXPECT_GT(result.reject_reasons.at("queue_full"), 0u);
+  EXPECT_LE(result.peak_queue_depth,
+            named.configure(0.25).batcher.queue_capacity);
+}
+
+TEST(ChaosScenario, StarvedTenantStillGetsServedUnderTheFlood) {
+  const chaos::ScenarioResult result =
+      run_named(chaos::scenario_by_name("tenant_starvation"));
+  ASSERT_EQ(result.tenants.size(), 2u);
+  for (const chaos::TenantOutcome& outcome : result.tenants) {
+    EXPECT_GT(outcome.submitted, 0u) << outcome.id;
+    EXPECT_GT(outcome.served, 0u) << outcome.id;
+  }
+  // The flood itself must be the one shedding.
+  EXPECT_GT(result.reject_reasons.at("queue_full"), 0u);
+}
+
+TEST(ChaosScenario, HotReloadUnderFireNeverLeaksAcrossGenerations) {
+  const chaos::ScenarioResult result =
+      run_named(chaos::scenario_by_name("hot_reload_under_fire"));
+  for (const chaos::TenantOutcome& outcome : result.tenants) {
+    EXPECT_EQ(outcome.label_mismatches, 0u) << outcome.id;
+  }
+}
+
+TEST(ChaosScenario, ServedAccuracyTracksOfflineThroughLiveBitErrors) {
+  // Sweep BER through the live server: at every point the served labels
+  // must match the corrupted generation's own predictions exactly, so
+  // served accuracy equals offline accuracy — the serving stack adds no
+  // cliff on top of the fault model.
+  const chaos::NamedScenario& named =
+      chaos::scenario_by_name("ber_live_injection");
+  for (const double ber : {0.0, 0.05, 0.4}) {
+    chaos::ScenarioConfig config = named.configure(0.25);
+    config.model_ber = ber;
+    const chaos::ScenarioResult result =
+        chaos::run_scenario(config, named.invariants);
+    EXPECT_TRUE(result.violations.empty())
+        << "ber=" << ber << ": " << result.violations.front();
+    EXPECT_DOUBLE_EQ(result.served_accuracy, result.offline_accuracy)
+        << "ber=" << ber;
+  }
+}
+
+TEST(ChaosScenario, RunScenarioRefusesAssertionFreeRuns) {
+  const chaos::NamedScenario& named =
+      chaos::scenario_by_name("steady_multi_tenant");
+  EXPECT_THROW((void)chaos::run_scenario(named.configure(0.25), {}),
+               std::invalid_argument);
+}
+
+TEST(ChaosScenario, UnknownScenarioNameThrows) {
+  EXPECT_THROW((void)chaos::scenario_by_name("no_such_scenario"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lehdc

@@ -28,6 +28,8 @@
 
 #include "core/pipeline.hpp"
 #include "data/synthetic.hpp"
+#include "hdc/encoder.hpp"
+#include "robustness/fault_injection.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -404,6 +406,113 @@ TEST(ServerStress, HotReloadDuringInFlightBatches) {
   EXPECT_EQ(served.load() + rejected.load(),
             kProducers * kRequestsPerProducer);
   EXPECT_GT(served.load(), 0);
+}
+
+TEST(ServerStress, ChaosInjectionRacesInferenceWithoutLeaks) {
+  // The chaos harness's fault model under real threads: while producers
+  // hammer two tenants, a chaos thread keeps rebinding freshly corrupted
+  // generations of each tenant's model (serving-time bit errors via
+  // robustness::corrupt_classifier). Every generation of one tenant is
+  // rebuilt from the same seed, so its stored bits — and therefore its
+  // predictions — are identical: any served label that deviates from the
+  // tenant's precomputed answers is a cross-generation or cross-tenant
+  // leak, not noise. TSan mode instruments exactly this interleaving.
+  const auto corrupted_generation = [](const core::Pipeline& base,
+                                       std::uint64_t fault_seed) {
+    const hdc::BinaryClassifier* binary = base.model().as_binary();
+    EXPECT_NE(binary, nullptr);
+    const auto& encoder =
+        dynamic_cast<const hdc::RecordEncoder&>(base.encoder());
+    util::Rng rng(fault_seed);
+    return std::make_shared<const core::Pipeline>(core::Pipeline::restore(
+        base.config(), encoder.config(),
+        robustness::corrupt_classifier(*binary, 0.02, rng)));
+  };
+
+  serve::ModelRegistry registry;
+  const std::vector<std::string> tenants{"acme", "globex"};
+  std::vector<std::shared_ptr<const core::Pipeline>> bases;
+  std::vector<std::vector<int>> answers;
+  const data::Dataset queries = make_stress_queries(32, 7);
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    bases.push_back(
+        registry.add(tenants[t], make_stress_pipeline(101 + 100 * t)));
+    // All rebinds for tenant t reuse fault seed 900+t, so the corrupted
+    // generation's predictions are the single source of truth.
+    answers.push_back(
+        corrupted_generation(*bases[t], 900 + t)->predict_batch(queries));
+  }
+
+  serve::ServerConfig config;
+  config.batcher.max_batch = 8;
+  config.batcher.max_wait_us = 200;
+  config.batcher.queue_capacity = 1024;
+  config.default_tenant = tenants.front();
+  serve::InferenceServer server(registry, config);
+
+  constexpr int kProducers = 4;
+  constexpr int kRequestsPerProducer = 150;
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop_chaos{false};
+  std::atomic<int> served{0};
+  std::atomic<int> leaked{0};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      const std::size_t t = static_cast<std::size_t>(p) % tenants.size();
+      for (int i = 0; i < kRequestsPerProducer; ++i) {
+        const std::size_t q = static_cast<std::size_t>(p * 31 + i) %
+                              queries.size();
+        const auto row = queries.sample(q);
+        const serve::Response response =
+            server.predict({row.begin(), row.end()}, 0, tenants[t]);
+        if (response.error == serve::Reject::kNone) {
+          served.fetch_add(1, std::memory_order_relaxed);
+          // Base and corrupted generations share stored bits per tenant;
+          // a foreign label means the batch crossed tenants/generations.
+          if (response.label != answers[t][q]) {
+            leaked.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          EXPECT_EQ(response.error, serve::Reject::kQueueFull);
+        }
+      }
+    });
+  }
+
+  // Chaos thread: keep flipping both tenants to freshly built corrupted
+  // generations while batches are in flight. bind() publishes a new
+  // shared_ptr; in-flight dispatches pin whichever generation they caught.
+  std::thread chaos([&] {
+    while (!start.load(std::memory_order_acquire)) {
+    }
+    int r = 0;
+    while (!stop_chaos.load(std::memory_order_acquire)) {
+      const std::size_t t = static_cast<std::size_t>(r++) % tenants.size();
+      registry.bind(tenants[t], corrupted_generation(*bases[t], 900 + t));
+    }
+  });
+
+  // Bind the corrupted generations up front so producers never observe the
+  // clean base model (whose labels could differ from the corrupted ones).
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    registry.bind(tenants[t], corrupted_generation(*bases[t], 900 + t));
+  }
+  start.store(true, std::memory_order_release);
+  for (auto& thread : producers) {
+    thread.join();
+  }
+  stop_chaos.store(true, std::memory_order_release);
+  chaos.join();
+  server.shutdown();
+
+  EXPECT_GT(served.load(), 0);
+  EXPECT_EQ(leaked.load(), 0);
+  EXPECT_EQ(registry.size(), tenants.size());
 }
 
 TEST(ServerStress, SubmitVersusShutdownAlwaysResolvesFutures) {

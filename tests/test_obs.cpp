@@ -17,6 +17,8 @@
 #include "serve/server.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
+#include "obs/schema.hpp"
+#include "serve/tenant.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -92,6 +94,61 @@ TEST(Registry, VisitsInRegistrationOrderAndResets) {
   registry.reset();
   registry.visit_counters(
       [&](const Counter& c) { EXPECT_EQ(c.value(), 0u); });
+}
+
+TEST(Registry, ResetCoversGaugesSoScenarioRunsNeverSeeStaleDepth) {
+  // Regression guard for the chaos harness: scenario runs share a
+  // registry shape and rely on Registry::reset() zeroing *every* metric
+  // kind. A gauge that survives reset (e.g. serve.queue_depth left at the
+  // previous run's peak) would leak one scenario's state into the next
+  // report and break byte-identical reruns.
+  const MetricsOn on;
+  Registry registry;
+  registry.counter("test.reset_counter").add(7);
+  Gauge& depth = registry.gauge("serve.queue_depth");
+  Gauge& tenant_depth =
+      registry.gauge(serve::tenant_metric_name("serve.tenant.queue_depth",
+                                               "acme"));
+  const std::vector<double> bounds{1.0, 2.0};
+  registry.histogram("test.reset_histogram", bounds).observe(1.5);
+  depth.set(42.0);
+  tenant_depth.set(9.0);
+  ASSERT_EQ(depth.value(), 42.0);
+
+  registry.reset();
+
+  std::size_t gauges_seen = 0;
+  registry.visit_gauges([&](const Gauge& g) {
+    ++gauges_seen;
+    EXPECT_EQ(g.value(), 0.0) << g.name();
+  });
+  EXPECT_EQ(gauges_seen, 2u);
+  registry.visit_counters(
+      [&](const Counter& c) { EXPECT_EQ(c.value(), 0u) << c.name(); });
+  registry.visit_histograms(
+      [&](const Histogram& h) { EXPECT_EQ(h.count(), 0u) << h.name(); });
+
+  // A fresh snapshot after reset must still validate — reset clears
+  // values, never the registered shape.
+  const Json snapshot = metrics_snapshot(registry);
+  EXPECT_EQ(validate_metrics_json(snapshot), "");
+}
+
+TEST(Schema, TenantMetricNamesAreKnownToTheSchema) {
+  // The per-tenant serving names are dynamic (base + tenant id), so the
+  // schema admits them by reserved prefix. Both the documented base names
+  // and concrete per-tenant expansions must validate; lookalikes outside
+  // the reserved prefix must not.
+  for (const char* base : {"serve.tenant.requests", "serve.tenant.responses",
+                           "serve.tenant.rejected",
+                           "serve.tenant.queue_depth"}) {
+    EXPECT_TRUE(is_known_metric(base)) << base;
+    EXPECT_TRUE(is_known_metric(serve::tenant_metric_name(base, "acme")))
+        << base;
+  }
+  EXPECT_TRUE(is_known_metric("chaos.submitted"));
+  EXPECT_FALSE(is_known_metric("serve.tenants.requests"));
+  EXPECT_FALSE(is_known_metric("tenant.requests"));
 }
 
 TEST(Registry, ConcurrentCountersAreExact) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "robustness/ber_sweep.hpp"
+#include "util/thread_pool.hpp"
 #include "train/baseline.hpp"
 #include "train_test_util.hpp"
 
@@ -98,6 +99,31 @@ TEST(FaultInjection, CorruptClassifierLeavesOriginalUntouched) {
         !(faulty.class_hypervector(k) == original.class_hypervector(k));
   }
   EXPECT_TRUE(any_changed);
+}
+
+TEST(FaultInjection, CorruptClassifierIsThreadCountInvariant) {
+  // Same seed + BER must give bit-identical corruption regardless of how
+  // many workers execute it: per-class seeds are drawn sequentially from
+  // the caller's rng and each class corrupts under its own derived stream,
+  // so the chaos harness (and any BER sweep) reproduces exactly on any
+  // machine shape.
+  const hdc::BinaryClassifier original = make_classifier(6, 2048, 11);
+  util::ThreadPool solo(1);
+  util::ThreadPool wide(8);
+  util::Rng rng_a(12);
+  util::Rng rng_b(12);
+  const hdc::BinaryClassifier with_solo =
+      corrupt_classifier(original, 0.03, rng_a, solo);
+  const hdc::BinaryClassifier with_wide =
+      corrupt_classifier(original, 0.03, rng_b, wide);
+  ASSERT_EQ(with_solo.class_count(), with_wide.class_count());
+  for (std::size_t k = 0; k < with_solo.class_count(); ++k) {
+    EXPECT_EQ(with_solo.class_hypervector(k),
+              with_wide.class_hypervector(k))
+        << "class " << k;
+  }
+  // The caller-visible rng must also advance identically.
+  EXPECT_EQ(rng_a.next(), rng_b.next());
 }
 
 TEST(FaultInjection, CorruptQueriesPreservesLabelsAndShape) {

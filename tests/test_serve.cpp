@@ -6,6 +6,7 @@
 // construction: they assert on futures, never on when batches flushed.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <future>
 #include <sstream>
@@ -349,7 +350,7 @@ TEST(ModelRegistry, AddRequiresFittedPipelineAndGetMisses) {
   registry.add("m", make_pipeline(35));
   EXPECT_EQ(registry.size(), 1u);
   EXPECT_NE(registry.get("m"), nullptr);
-  registry.remove("m");
+  registry.evict("m");
   EXPECT_EQ(registry.get("m"), nullptr);
 }
 
@@ -359,7 +360,7 @@ TEST(Protocol, RequestRoundTripsThroughAStream) {
   serve::WireRequest request;
   request.id = 42;
   request.deadline_budget_us = 2500;
-  request.model = "default";
+  request.tenant = "default";
   request.features = {0.5f, -1.25f, 3.0f};
 
   std::stringstream stream;
@@ -368,7 +369,7 @@ TEST(Protocol, RequestRoundTripsThroughAStream) {
   ASSERT_TRUE(serve::read_request(stream, &decoded, "test"));
   EXPECT_EQ(decoded.id, request.id);
   EXPECT_EQ(decoded.deadline_budget_us, request.deadline_budget_us);
-  EXPECT_EQ(decoded.model, request.model);
+  EXPECT_EQ(decoded.tenant, request.tenant);
   EXPECT_EQ(decoded.features, request.features);
   // Clean EOF at the frame boundary reads as "no more requests".
   EXPECT_FALSE(serve::read_request(stream, &decoded, "test"));
@@ -428,6 +429,255 @@ TEST(Protocol, RejectsOutOfRangeStatusByte) {
   serve::Response out;
   EXPECT_THROW((void)serve::read_response(stream, &out, "test"),
                std::runtime_error);
+}
+
+// ------------------------------------------------------ tenancy: protocol --
+
+TEST(Protocol, V1FramesStillDecodeAndRouteToTheirTenantSlot) {
+  serve::WireRequest request;
+  request.id = 9;
+  request.tenant = "acme";
+  request.features = {1.0f, 2.0f};
+  request.version = 1;
+
+  std::stringstream stream;
+  serve::write_request(stream, request);
+  EXPECT_EQ(stream.str().substr(0, 4), "LSRQ");  // v1 magic on the wire
+  serve::WireRequest decoded;
+  ASSERT_TRUE(serve::read_request(stream, &decoded, "test"));
+  EXPECT_EQ(decoded.version, 1);
+  EXPECT_EQ(decoded.tenant, "acme");
+  EXPECT_EQ(decoded.features, request.features);
+}
+
+TEST(Protocol, V2ResponseEchoesTenantAndV1ResponseDropsIt) {
+  serve::Response response;
+  response.id = 3;
+  response.label = 2;
+  response.tenant = "globex";
+
+  std::stringstream v2;
+  serve::write_response(v2, response, 2);
+  EXPECT_EQ(v2.str().substr(0, 4), "LSS2");
+  serve::Response from_v2;
+  ASSERT_TRUE(serve::read_response(v2, &from_v2, "test"));
+  EXPECT_EQ(from_v2.tenant, "globex");
+
+  std::stringstream v1;
+  serve::write_response(v1, response, 1);
+  EXPECT_EQ(v1.str().substr(0, 4), "LSRS");
+  serve::Response from_v1;
+  ASSERT_TRUE(serve::read_response(v1, &from_v1, "test"));
+  EXPECT_EQ(from_v1.label, 2);
+  EXPECT_TRUE(from_v1.tenant.empty());  // v1 clients never see the field
+}
+
+TEST(Protocol, RejectsInvalidTenantIdsAndLyingTenantLengths) {
+  serve::WireRequest request;
+  request.tenant = "Not.Valid";  // uppercase + '.' outside the charset
+  EXPECT_THROW((void)serve::encode_request(request), std::runtime_error);
+
+  request.tenant = "ok_tenant";
+  std::string frame = serve::encode_request(request);
+  // tenant_length lives after header(8) + id(8) + deadline(8); point it
+  // past the payload end.
+  frame[8 + 8 + 8] = '\xff';
+  frame[8 + 8 + 8 + 1] = '\xff';
+  std::stringstream stream(frame);
+  serve::WireRequest out;
+  EXPECT_THROW((void)serve::read_request(stream, &out, "test"),
+               std::runtime_error);
+}
+
+TEST(Protocol, DecodeFuzzTypedErrorsNeverCrashOrHang) {
+  serve::WireRequest request;
+  request.id = 77;
+  request.deadline_budget_us = 10;
+  request.tenant = "acme";
+  request.features = {0.25f, -1.0f, 8.5f};
+  for (const int version : {1, 2}) {
+    request.version = version;
+    const std::string frame = serve::encode_request(request);
+    // Every truncation point: either clean EOF (cut at a frame boundary,
+    // i.e. empty input) or a typed error — never a crash or silent junk.
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      std::stringstream stream(frame.substr(0, cut));
+      serve::WireRequest out;
+      if (cut == 0) {
+        EXPECT_FALSE(serve::read_request(stream, &out, "fuzz"));
+      } else {
+        EXPECT_THROW((void)serve::read_request(stream, &out, "fuzz"),
+                     std::runtime_error);
+      }
+    }
+    // Every single-byte corruption: decoding either succeeds (the flip
+    // landed in a don't-care bit like a feature value) or raises a typed
+    // std::runtime_error. Anything else — a crash, an std::bad_alloc from
+    // trusting a hostile length — fails the test.
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      for (const char flip : {'\x01', '\x7f', '\xff'}) {
+        std::string mutated = frame;
+        mutated[i] = static_cast<char>(mutated[i] ^ flip);
+        std::stringstream stream(mutated);
+        serve::WireRequest out;
+        try {
+          (void)serve::read_request(stream, &out, "fuzz");
+        } catch (const std::runtime_error&) {
+          // typed rejection: exactly what the contract promises
+        }
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------- tenancy: batching --
+
+serve::PendingRequest make_tenant_request(std::uint64_t id,
+                                          const std::string& tenant) {
+  serve::PendingRequest request;
+  request.id = id;
+  request.tenant = tenant;
+  return request;
+}
+
+TEST(MicroBatcher, RoundRobinAlternatesAcrossTenants) {
+  serve::FakeClock clock;
+  serve::BatcherConfig config = small_config();
+  config.max_batch = 2;
+  config.queue_capacity = 16;
+  serve::MicroBatcher batcher(config);
+  for (std::uint64_t id = 0; id < 6; ++id) {
+    ASSERT_EQ(batcher.offer(make_tenant_request(id, "hog"), clock.now_us()),
+              serve::Reject::kNone);
+  }
+  ASSERT_EQ(batcher.offer(make_tenant_request(100, "mouse"), clock.now_us()),
+            serve::Reject::kNone);
+  // Each flush serves a single tenant; consecutive force-polls must not
+  // let the deep queue starve the shallow one.
+  const auto first = batcher.poll(clock.now_us(), /*force=*/true);
+  const auto second = batcher.poll(clock.now_us(), /*force=*/true);
+  ASSERT_FALSE(first.batch.empty());
+  ASSERT_FALSE(second.batch.empty());
+  EXPECT_NE(first.tenant, second.tenant);
+  std::vector<std::string> served = {first.tenant, second.tenant};
+  EXPECT_NE(std::find(served.begin(), served.end(), "mouse"), served.end());
+}
+
+TEST(MicroBatcher, PerTenantCapacityShedsTheFloodNotTheNeighbor) {
+  serve::FakeClock clock;
+  serve::BatcherConfig config = small_config();
+  config.queue_capacity = 8;
+  config.tenant_capacity = 2;
+  serve::MicroBatcher batcher(config);
+  ASSERT_EQ(batcher.offer(make_tenant_request(0, "hog"), clock.now_us()),
+            serve::Reject::kNone);
+  ASSERT_EQ(batcher.offer(make_tenant_request(1, "hog"), clock.now_us()),
+            serve::Reject::kNone);
+  serve::PendingRequest overflow = make_tenant_request(2, "hog");
+  EXPECT_EQ(batcher.offer(std::move(overflow), clock.now_us()),
+            serve::Reject::kQueueFull);
+  overflow.promise.set_value(serve::Response{});
+  // The flood's shed leaves the total queue open for everyone else.
+  EXPECT_EQ(batcher.offer(make_tenant_request(3, "mouse"), clock.now_us()),
+            serve::Reject::kNone);
+  EXPECT_EQ(batcher.tenant_depth("hog"), 2u);
+  EXPECT_EQ(batcher.tenant_depth("mouse"), 1u);
+  EXPECT_EQ(batcher.depth(), 3u);
+}
+
+TEST(MicroBatcher, TenantCapacityMustNotExceedQueueCapacity) {
+  serve::BatcherConfig config = small_config();
+  config.tenant_capacity = config.queue_capacity + 1;
+  EXPECT_THROW(serve::MicroBatcher{config}, std::invalid_argument);
+}
+
+// ------------------------------------------------------- tenancy: server --
+
+TEST(InferenceServer, RoutesEachTenantToItsOwnModel) {
+  serve::ModelRegistry registry;
+  registry.add("acme", make_pipeline(41));
+  registry.add("globex", make_pipeline(47));
+  const data::Dataset queries = make_queries(12, 43);
+  const std::vector<int> acme_direct =
+      registry.get("acme")->predict_batch(queries);
+  const std::vector<int> globex_direct =
+      registry.get("globex")->predict_batch(queries);
+  // Distinct seeds must give distinct models for routing to be observable.
+  ASSERT_NE(acme_direct, globex_direct);
+
+  serve::ServerConfig config;
+  config.default_tenant = "acme";
+  serve::InferenceServer server(registry, config);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const serve::Response from_acme =
+        server.predict(features_of(queries, i), 0, "acme");
+    ASSERT_TRUE(from_acme.ok());
+    EXPECT_EQ(from_acme.label, acme_direct[i]);
+    EXPECT_EQ(from_acme.tenant, "acme");
+    const serve::Response from_globex =
+        server.predict(features_of(queries, i), 0, "globex");
+    ASSERT_TRUE(from_globex.ok());
+    EXPECT_EQ(from_globex.label, globex_direct[i]);
+    EXPECT_EQ(from_globex.tenant, "globex");
+    // An empty tenant resolves to the configured default.
+    const serve::Response defaulted =
+        server.predict(features_of(queries, i));
+    ASSERT_TRUE(defaulted.ok());
+    EXPECT_EQ(defaulted.label, acme_direct[i]);
+    EXPECT_EQ(defaulted.tenant, "acme");
+  }
+}
+
+TEST(InferenceServer, EvictedTenantRejectsNewTrafficTyped) {
+  serve::ModelRegistry registry;
+  registry.add("acme", make_pipeline(51));
+  serve::ServerConfig config;
+  config.default_tenant = "acme";
+  serve::InferenceServer server(registry, config);
+  const data::Dataset queries = make_queries(1, 52);
+  ASSERT_TRUE(server.predict(features_of(queries, 0), 0, "acme").ok());
+  registry.evict("acme");
+  EXPECT_EQ(server.predict(features_of(queries, 0), 0, "acme").error,
+            serve::Reject::kModelNotFound);
+}
+
+TEST(InferenceServer, BindRejectsInvalidTenantIds) {
+  serve::ModelRegistry registry;
+  EXPECT_THROW(registry.add("Bad.Tenant", make_pipeline(53)),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add("", make_pipeline(53)), std::invalid_argument);
+}
+
+TEST(InferenceServer, ManualDispatchPumpsOnlyWhenDriven) {
+  serve::ModelRegistry registry;
+  registry.add("default", make_pipeline(55));
+  const data::Dataset queries = make_queries(3, 56);
+  const std::vector<int> direct =
+      registry.get("default")->predict_batch(queries);
+
+  serve::FakeClock clock;
+  serve::ServerConfig config;
+  config.manual_dispatch = true;
+  config.batcher.max_batch = 8;
+  config.batcher.max_wait_us = 1000;
+  serve::InferenceServer server(registry, config, &clock);
+  std::vector<std::future<serve::Response>> inflight;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    inflight.push_back(server.submit(features_of(queries, i)));
+  }
+  // No worker thread: nothing resolves until the harness pumps, and the
+  // young batch is not yet due.
+  EXPECT_EQ(server.run_until_idle(), 0u);
+  EXPECT_EQ(server.queue_depth(), queries.size());
+  EXPECT_EQ(server.next_event_us(), 1000u);  // oldest + max_wait
+  clock.set_us(1000);
+  EXPECT_EQ(server.run_until_idle(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const serve::Response response = inflight[i].get();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.label, direct[i]);
+  }
+  server.shutdown();
 }
 
 }  // namespace

@@ -29,8 +29,17 @@ ctest as the `lehdc_lint` test and from the CI lint job):
                     serve::FakeClock instead.
   layering          #include edges between src/ subdirectories must follow
                     the layer DAG (hv -> hdc -> train -> core, with util/
-                    obs/data as leaves and eval/serve/robustness on top).
+                    obs/data as leaves and eval/serve/robustness on top,
+                    and chaos consuming serve + robustness).
   pragma-once       Every header in src/ carries #pragma once.
+  chaos-invariants  Every scenario in the src/chaos matrix
+                    (LINT-SCENARIOS block in scenarios.cpp) must register
+                    at least one Invariant::k* — an assertion-free chaos
+                    scenario proves nothing and silently rots.
+  tenant-metrics    Every base name passed to serve::tenant_metric_name()
+                    must be an exact lehdc.metrics.v1 schema name, so the
+                    per-tenant expansions stay under the reserved
+                    "serve.tenant." prefix the validator admits.
 
 Usage:
   tools/lehdc_lint.py [--root DIR] [--report FILE] [--list-rules]
@@ -66,6 +75,8 @@ LAYERS = {
              "util"},
     "serve": {"serve", "core", "train", "hdc", "hv", "nn", "data", "obs",
               "util"},
+    "chaos": {"chaos", "serve", "robustness", "core", "train", "hdc", "hv",
+              "nn", "data", "obs", "util"},
 }
 
 # ------------------------------------------------------- rule allowlists --
@@ -180,7 +191,13 @@ SLEEP_RE = re.compile(
     r"\bsleep_for\b|\bsleep_until\b|\busleep\s*\(|\bnanosleep\s*\(")
 METRIC_REG_RE = re.compile(
     r"\.\s*(counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
+TENANT_METRIC_RE = re.compile(r"tenant_metric_name\s*\(\s*\"([^\"]*)\"")
 INCLUDE_RE = re.compile(r"^\s*#\s*include\s+\"([^\"]+)\"", re.M)
+# One matrix entry: {"name", {...invariants...}, &configure_fn}. Applied to
+# the comment-stripped LINT-SCENARIOS block of src/chaos/scenarios.cpp.
+SCENARIO_ENTRY_RE = re.compile(
+    r"\{\s*\"([a-z0-9_]+)\"\s*,(.*?)&[A-Za-z_][A-Za-z0-9_]*\s*\}",
+    re.S)
 
 
 def load_schema_names(root: Path) -> tuple[set[str], list[str]]:
@@ -203,6 +220,49 @@ def load_schema_names(root: Path) -> tuple[set[str], list[str]]:
         print("lehdc_lint: schema name table parsed empty", file=sys.stderr)
         sys.exit(2)
     return names, prefixes
+
+
+def lint_scenario_matrix(root: Path) -> None:
+    """chaos-invariants: every entry in the scenario matrix registers at
+    least one Invariant::k*. The matrix lives between LINT-SCENARIOS
+    markers in src/chaos/scenarios.cpp; a repo without src/chaos yet is
+    clean by definition."""
+    scenarios = root / "src" / "chaos" / "scenarios.cpp"
+    if not scenarios.is_file():
+        return
+    raw = scenarios.read_text(encoding="utf-8")
+    rel = relpath(scenarios, root)
+    allowed = suppressed_lines(raw)
+    text = strip_comments(raw)
+    begin = text.find("LINT-SCENARIOS-BEGIN")
+    end = text.find("LINT-SCENARIOS-END")
+    # The markers live in comments in the real file; look in the raw text
+    # for their positions and slice the stripped text at the same offsets
+    # (strip_comments preserves offsets by design).
+    if begin < 0:
+        begin = raw.find("LINT-SCENARIOS-BEGIN")
+        end = raw.find("LINT-SCENARIOS-END")
+    if begin < 0 or end < 0 or end <= begin:
+        report("chaos-invariants", rel, 1,
+               "LINT-SCENARIOS markers missing — the scenario matrix must "
+               "be delimited so every entry's invariants are lintable",
+               allowed)
+        return
+    block = text[begin:end]
+    entries = SCENARIO_ENTRY_RE.findall(block)
+    if not entries:
+        report("chaos-invariants", rel, line_of(text, begin),
+               "scenario matrix parsed empty — no {\"name\", {...}, &fn} "
+               "entries found between the LINT-SCENARIOS markers", allowed)
+        return
+    for match in SCENARIO_ENTRY_RE.finditer(block):
+        name, body = match.group(1), match.group(2)
+        if "Invariant::k" not in body:
+            report("chaos-invariants", rel,
+                   line_of(text, begin + match.start()),
+                   f"scenario '{name}' registers no Invariant::k* — every "
+                   "chaos scenario must assert explicit invariants",
+                   allowed)
 
 
 def lint_file(path: Path, root: Path, schema_names: set[str],
@@ -239,6 +299,16 @@ def lint_file(path: Path, root: Path, schema_names: set[str],
                     report("metric-schema", rel, line_of(text, m.start()),
                            f"metric '{name}' is not in the lehdc.metrics.v1 "
                            "name table (src/obs/schema.cpp)", allowed)
+        # Per-tenant expansions (base + "." + tenant id) are admitted by
+        # reserved prefix, so the base itself must be an exact schema name
+        # or the expansion silently escapes validation.
+        for m in TENANT_METRIC_RE.finditer(text):
+            base = m.group(1)
+            if base not in schema_names:
+                report("tenant-metrics", rel, line_of(text, m.start()),
+                       f"tenant metric base '{base}' is not an exact "
+                       "lehdc.metrics.v1 schema name "
+                       "(src/obs/schema.cpp)", allowed)
         # Layering + header hygiene.
         parts = rel.split("/")
         layer = parts[1] if len(parts) > 2 else None
@@ -283,6 +353,7 @@ def main() -> int:
         return 2
 
     schema_names, schema_prefixes = load_schema_names(root)
+    lint_scenario_matrix(root)
 
     files = []
     for top in ("src", "tests"):

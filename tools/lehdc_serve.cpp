@@ -14,6 +14,13 @@
 // `genframes` and checks the output with `decode`). Requests queue into a
 // bounded micro-batcher (--max-batch / --max-wait-us / --queue-capacity);
 // overload sheds with typed rejections instead of growing memory.
+//
+// Multi-tenant serving: --models "acme=a.lhdp,globex=b.lhdp" binds one
+// model per tenant (the first listed becomes the default tenant);
+// genframes/client stamp frames with --tenant and --wire-version, and
+// responses echo each request's protocol generation. genframes --corrupt N
+// appends N malformed frames (bad magic, truncation, oversized length,
+// lying feature counts, bad tenant lengths) for decode-hardening tests.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -63,7 +70,40 @@ serve::BatcherConfig batcher_config(const util::FlagParser& flags) {
       static_cast<std::uint64_t>(flags.get_int("max-wait-us"));
   config.queue_capacity =
       static_cast<std::size_t>(flags.get_int("queue-capacity"));
+  config.tenant_capacity =
+      static_cast<std::size_t>(flags.get_int("tenant-capacity"));
   return config;
+}
+
+/// Binds the served models: every `tenant=path` pair from --models, or the
+/// single --model bundle as "default". Returns the default tenant id (the
+/// first listed).
+std::string load_models(serve::ModelRegistry& registry,
+                        const util::FlagParser& flags) {
+  const std::string& spec = flags.get_string("models");
+  if (spec.empty()) {
+    registry.load("default", flags.get_string("model"));
+    return "default";
+  }
+  std::string default_tenant;
+  std::stringstream stream(spec);
+  std::string pair;
+  while (std::getline(stream, pair, ',')) {
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == pair.size()) {
+      throw std::runtime_error("--models expects tenant=path pairs, got '" +
+                               pair + "'");
+    }
+    const std::string tenant = pair.substr(0, eq);
+    registry.load(tenant, pair.substr(eq + 1));
+    if (default_tenant.empty()) {
+      default_tenant = tenant;
+    }
+  }
+  if (default_tenant.empty()) {
+    throw std::runtime_error("--models was empty after parsing");
+  }
+  return default_tenant;
 }
 
 /// Submits one wire request (translating the relative deadline budget into
@@ -74,7 +114,7 @@ std::future<serve::Response> submit_wire(serve::InferenceServer& server,
       request.deadline_budget_us == 0
           ? 0
           : server.clock().now_us() + request.deadline_budget_us;
-  return server.submit(std::move(request.features), deadline, request.model,
+  return server.submit(std::move(request.features), deadline, request.tenant,
                        request.id);
 }
 
@@ -94,8 +134,8 @@ void write_metrics(const util::FlagParser& flags, const std::string& mode) {
 
 int cmd_pipe(util::FlagParser& flags) {
   serve::ModelRegistry registry;
-  registry.load("default", flags.get_string("model"));
   serve::ServerConfig config;
+  config.default_tenant = load_models(registry, flags);
   config.batcher = batcher_config(flags);
   serve::InferenceServer server(registry, config);
 
@@ -126,16 +166,29 @@ int cmd_pipe(util::FlagParser& flags) {
   const auto window = static_cast<std::size_t>(flags.get_int("window"));
   std::size_t served = 0;
   bool eof = false;
+  // A corrupt frame (bad magic, truncation, lying lengths) is a typed
+  // decode error, never a crash: every request admitted before it still
+  // gets its response written, then the stream is abandoned — there is no
+  // way to re-synchronize a length-prefixed stream past a corrupt header.
+  std::string decode_error;
   while (!eof) {
     std::vector<std::future<serve::Response>> inflight;
+    std::vector<int> versions;
     serve::WireRequest request;
-    while (inflight.size() < window &&
-           serve::read_request(*in, &request, in_path)) {
-      inflight.push_back(submit_wire(server, std::move(request)));
+    try {
+      while (inflight.size() < window &&
+             serve::read_request(*in, &request, in_path)) {
+        versions.push_back(request.version);
+        inflight.push_back(submit_wire(server, std::move(request)));
+      }
+    } catch (const std::exception& error) {
+      decode_error = error.what();
     }
-    eof = inflight.size() < window;
-    for (auto& future : inflight) {
-      serve::write_response(*out, future.get());
+    eof = inflight.size() < window || !decode_error.empty();
+    for (std::size_t i = 0; i < inflight.size(); ++i) {
+      // Echo each response at its request's protocol generation: a v1
+      // client never sees v2 bytes.
+      serve::write_response(*out, inflight[i].get(), versions[i]);
       ++served;
     }
   }
@@ -144,6 +197,11 @@ int cmd_pipe(util::FlagParser& flags) {
   std::fprintf(stderr, "served %zu requests from %s\n", served,
                in_path.c_str());
   write_metrics(flags, "pipe");
+  if (!decode_error.empty()) {
+    std::fprintf(stderr, "corrupt request stream: %s\n",
+                 decode_error.c_str());
+    return 1;
+  }
   return 0;
 }
 
@@ -196,7 +254,8 @@ bool read_request_fd(int fd, serve::WireRequest* out) {
   if (!read_exact(fd, header, sizeof(header))) {
     return false;
   }
-  if (std::memcmp(header, serve::kRequestMagic, 4) != 0) {
+  const int version = serve::request_frame_version(header);
+  if (version == 0) {
     throw std::runtime_error("bad frame magic on socket");
   }
   std::uint32_t size = 0;
@@ -208,7 +267,7 @@ bool read_request_fd(int fd, serve::WireRequest* out) {
   if (size > 0 && !read_exact(fd, payload.data(), size)) {
     return false;
   }
-  *out = serve::decode_request_payload(payload, "socket");
+  *out = serve::decode_request_payload(payload, version, "socket");
   return true;
 }
 
@@ -216,8 +275,9 @@ void handle_connection(int fd, serve::InferenceServer* server) {
   try {
     serve::WireRequest request;
     while (read_request_fd(fd, &request)) {
+      const int version = request.version;
       auto future = submit_wire(*server, std::move(request));
-      write_all(fd, serve::encode_response(future.get()));
+      write_all(fd, serve::encode_response(future.get(), version));
     }
   } catch (const std::exception& error) {
     util::log_warn(std::string("connection dropped: ") + error.what());
@@ -229,8 +289,8 @@ int cmd_serve(util::FlagParser& flags) {
   const std::string& model_path = flags.get_string("model");
   const std::string& socket_path = flags.get_string("socket");
   serve::ModelRegistry registry;
-  registry.load("default", model_path);
   serve::ServerConfig config;
+  config.default_tenant = load_models(registry, flags);
   config.batcher = batcher_config(flags);
   serve::InferenceServer server(registry, config);
 
@@ -263,10 +323,14 @@ int cmd_serve(util::FlagParser& flags) {
     if (g_reload != 0) {
       g_reload = 0;
       try {
-        registry.load("default", model_path);
-        util::log_info("reloaded model from " + model_path);
+        // Rebind every tenant from its original bundle path; in-flight
+        // batches finish on their pinned generation.
+        (void)load_models(registry, flags);
+        util::log_info("reloaded model bundles");
       } catch (const std::exception& error) {
-        // Keep serving the previous model; the registry is untouched.
+        // Keep serving the previous models; a tenant whose bundle loaded
+        // before the failure serves the fresh generation, the rest keep
+        // the old one.
         util::log_warn(std::string("reload failed: ") + error.what());
       }
     }
@@ -318,6 +382,8 @@ int cmd_client(util::FlagParser& flags) {
     request.id = i;
     request.deadline_budget_us =
         static_cast<std::uint64_t>(flags.get_int("deadline-us"));
+    request.tenant = flags.get_string("tenant");
+    request.version = flags.get_int("wire-version");
     const auto features = dataset.sample(i);
     request.features.assign(features.begin(), features.end());
     write_all(fd, serve::encode_request(request));
@@ -326,15 +392,22 @@ int cmd_client(util::FlagParser& flags) {
     if (!read_exact(fd, header, sizeof(header))) {
       throw std::runtime_error("server closed connection");
     }
+    const int version =
+        std::memcmp(header, serve::kResponseMagicV2, 4) == 0 ? 2 : 1;
+    if (version == 1 &&
+        std::memcmp(header, serve::kResponseMagic, 4) != 0) {
+      throw std::runtime_error("bad response magic on socket");
+    }
     std::uint32_t size = 0;
     std::memcpy(&size, header + 4, sizeof(size));
     std::string payload(size, '\0');
     read_exact(fd, payload.data(), size);
     const serve::Response response =
-        serve::decode_response_payload(payload, "socket");
-    std::printf("%llu %d %s\n",
+        serve::decode_response_payload(payload, version, "socket");
+    std::printf("%llu %d %s %s\n",
                 static_cast<unsigned long long>(response.id), response.label,
-                serve::reject_name(response.error));
+                serve::reject_name(response.error),
+                response.tenant.empty() ? "-" : response.tenant.c_str());
   }
   ::close(fd);
   return 0;
@@ -355,6 +428,41 @@ int cmd_client(util::FlagParser&) {
 
 // -------------------------------------------------------- scripted tools --
 
+/// One malformed request frame, cycling through the failure kinds the
+/// decoder must reject with a typed error: bad magic, truncation,
+/// oversized length prefix, lying feature count, lying tenant length.
+std::string corrupt_frame(const serve::WireRequest& request,
+                          std::size_t kind) {
+  std::string frame = serve::encode_request(request);
+  switch (kind % 5) {
+    case 0:  // bad magic
+      frame[0] = 'X';
+      break;
+    case 1:  // truncated mid-payload
+      frame.resize(frame.size() - std::min<std::size_t>(frame.size() / 2,
+                                                        frame.size() - 9));
+      break;
+    case 2: {  // hostile length prefix
+      const std::uint32_t size = serve::kMaxPayloadBytes + 1;
+      std::memcpy(frame.data() + 4, &size, sizeof(size));
+      break;
+    }
+    case 3: {  // feature count larger than the payload holds
+      // payload: id(8) deadline(8) tenant_len(2) tenant feature_count(4)
+      const std::size_t offset = 8 + 8 + 8 + 2 + request.tenant.size();
+      const std::uint32_t lying = 0x00ffffff;
+      std::memcpy(frame.data() + offset, &lying, sizeof(lying));
+      break;
+    }
+    case 4: {  // tenant length pointing past the payload end
+      const std::uint16_t lying = 0xffff;
+      std::memcpy(frame.data() + 8 + 8 + 8, &lying, sizeof(lying));
+      break;
+    }
+  }
+  return frame;
+}
+
 int cmd_genframes(util::FlagParser& flags) {
   const auto split = data::load_spec(
       flags.get_string("data"), flags.get_double("scale"), 0.0,
@@ -368,17 +476,28 @@ int cmd_genframes(util::FlagParser& flags) {
   if (!out) {
     throw std::runtime_error("cannot open " + out_path);
   }
+  serve::WireRequest request;
   for (std::size_t i = 0; i < count; ++i) {
-    serve::WireRequest request;
+    request = serve::WireRequest{};
     request.id = i;
     request.deadline_budget_us =
         static_cast<std::uint64_t>(flags.get_int("deadline-us"));
+    request.tenant = flags.get_string("tenant");
+    request.version = flags.get_int("wire-version");
     const auto features = dataset.sample(i);
     request.features.assign(features.begin(), features.end());
     serve::write_request(out, request);
   }
-  std::fprintf(stderr, "wrote %zu request frames to %s\n", count,
-               out_path.c_str());
+  // Malformed frames go after the valid ones: a reader must fail with a
+  // typed error at the first corrupt frame instead of crashing or hanging.
+  const auto corrupt = static_cast<std::size_t>(flags.get_int("corrupt"));
+  for (std::size_t i = 0; i < corrupt; ++i) {
+    const std::string frame = corrupt_frame(request, i);
+    out.write(frame.data(),
+              static_cast<std::streamsize>(frame.size()));
+  }
+  std::fprintf(stderr, "wrote %zu request frames (+%zu corrupt) to %s\n",
+               count, corrupt, out_path.c_str());
   return 0;
 }
 
@@ -415,9 +534,12 @@ void print_usage() {
       "  pipe      --model out.lhdp --in requests.bin --out responses.bin\n"
       "            ('-' = stdin/stdout; same binary frame protocol)\n"
       "  genframes --data <spec> --count N --out requests.bin\n"
+      "            [--tenant id] [--wire-version 1|2] [--corrupt N]\n"
       "  decode    --in responses.bin [--expect-ok N]\n"
       "  client    --socket /tmp/lehdc.sock --data <spec> --count N\n"
+      "tenancy:  --models acme=a.lhdp,globex=b.lhdp --tenant acme\n"
       "batching: --max-batch 64 --max-wait-us 1000 --queue-capacity 1024\n"
+      "          --tenant-capacity 0 (per-tenant admission cap)\n"
       "data specs: csv:<path> | idx:<images>:<labels> | synth:<profile>\n"
       "run `lehdc_serve <command> --help` for the full flag list");
 }
@@ -456,6 +578,18 @@ int main(int argc, char** argv) {
   util::FlagParser flags("lehdc_serve " + command,
                          "Micro-batching HDC inference server");
   flags.add_string("model", "", "pipeline bundle path (.lhdp)");
+  flags.add_string("models", "",
+                   "multi-tenant bundles: tenant=path[,tenant=path...] "
+                   "(first listed is the default tenant; overrides --model)");
+  flags.add_string("tenant", "",
+                   "tenant id stamped into generated frames "
+                   "(empty = server default)");
+  flags.add_int("wire-version", 2,
+                "protocol generation for generated frames (1 or 2)");
+  flags.add_int("corrupt", 0,
+                "genframes: append N malformed frames after the valid ones");
+  flags.add_int("tenant-capacity", 0,
+                "per-tenant queue admission limit (0 = only the total cap)");
   flags.add_string("socket", "/tmp/lehdc.sock", "unix socket path");
   flags.add_string("in", "-", "request/response frame input ('-' = stdin)");
   flags.add_string("out", "-", "frame output path ('-' = stdout)");
