@@ -1,6 +1,7 @@
-// Serving throughput vs the direct batch path (PR 4).
+// Serving throughput vs the direct batch path (PR 4), plus the socket
+// front-end under open-loop load (PR 7).
 //
-// Three measurements on one fitted pipeline:
+// Four measurements on one fitted pipeline:
 //   direct       — Pipeline::predict_batch over a full query dataset, no
 //                  server in the way: the upper bound the server is judged
 //                  against (the DESIGN.md budget is ≥85% of this at
@@ -13,20 +14,40 @@
 //                  shedding — peak depth must stay ≤ capacity, the excess
 //                  must come back as typed queue_full rejections, and
 //                  every accepted request must still be answered.
+//   open-loop TCP — `--conns` concurrent TCP connections against the
+//                  epoll front-end (src/serve/transport/), arrivals on a
+//                  fixed pre-generated schedule (chaos::arrival_times) so
+//                  latency runs from each request's *scheduled* instant —
+//                  no coordinated omission. Reports exact p50/p99/p99.9
+//                  and bytes-per-connection.
 // Emits BENCH_serving.json (a lehdc.metrics.v1 snapshot) for trajectory
-// tracking; exits nonzero if an overload invariant breaks.
+// tracking; exits nonzero if an overload or open-loop invariant breaks.
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "chaos/arrival.hpp"
 #include "core/pipeline.hpp"
 #include "data/spec.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "serve/framing.hpp"
+#include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "serve/transport/event_loop.hpp"
+#include "serve/transport/socket.hpp"
 #include "util/flags.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -49,6 +70,199 @@ double measure_qps(std::size_t batch, double min_seconds, Fn&& fn) {
   return static_cast<double>(runs * batch) / timer.elapsed_seconds();
 }
 
+/// Exact percentile (nearest-rank) over an already-sorted sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+/// Raises RLIMIT_NOFILE far enough for `fds` descriptors (best effort;
+/// the bench fails loudly at connect() if the cap still binds).
+void raise_fd_limit(std::size_t fds) {
+  rlimit limit{};
+  if (getrlimit(RLIMIT_NOFILE, &limit) != 0) {
+    return;
+  }
+  const rlim_t want = fds + 128;
+  if (limit.rlim_cur < want) {
+    limit.rlim_cur = std::min<rlim_t>(want, limit.rlim_max);
+    (void)setrlimit(RLIMIT_NOFILE, &limit);
+  }
+}
+
+/// One open-loop client connection: pending request bytes out, a frame
+/// decoder over response bytes in.
+struct OpenLoopClient {
+  int fd = -1;
+  std::string outbuf;
+  serve::FrameDecoder decoder = serve::make_response_decoder("client");
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+};
+
+struct OpenLoopResult {
+  std::size_t sent = 0;
+  std::size_t ok = 0;
+  std::size_t rejected = 0;
+  double elapsed_seconds = 0.0;
+  std::vector<double> latency_ms;  // sorted ascending
+  double bytes_read_per_conn = 0.0;
+  double bytes_written_per_conn = 0.0;
+  std::uint64_t accepted = 0;
+  std::size_t peak_queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  bool failed = false;
+};
+
+/// Drives `conns` TCP connections against an EventLoop server (running
+/// on its own thread) with a pre-generated open-loop schedule. Requests
+/// are stamped with their scheduled instant, so queueing delay the load
+/// generator itself experiences counts against the server — the honest
+/// open-loop convention.
+OpenLoopResult run_open_loop(serve::ModelRegistry& registry,
+                             const data::Dataset& queries, std::size_t conns,
+                             double rate_per_sec, double seconds,
+                             std::uint64_t seed) {
+  OpenLoopResult result;
+  raise_fd_limit(conns);
+
+  serve::ServerConfig server_config;
+  server_config.batcher.max_batch = 256;
+  server_config.batcher.max_wait_us = 200;
+  server_config.batcher.queue_capacity = 4096;
+  result.queue_capacity = server_config.batcher.queue_capacity;
+  serve::InferenceServer server(registry, server_config);
+  serve::transport::EventLoopConfig loop_config;
+  loop_config.max_connections = conns + 16;
+  serve::transport::EventLoop loop(server, loop_config);
+  const int listener = serve::transport::listen_tcp("127.0.0.1", 0, 1024);
+  const std::uint16_t port = serve::transport::local_port(listener);
+  loop.add_listener(listener);
+
+  std::atomic<bool> stop{false};
+  std::thread loop_thread([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      loop.poll_once(2);
+    }
+  });
+
+  chaos::ArrivalConfig arrivals;
+  arrivals.process = chaos::ArrivalProcess::kUniform;
+  arrivals.rate_per_sec = rate_per_sec;
+  arrivals.horizon_us = static_cast<std::uint64_t>(seconds * 1e6);
+  arrivals.seed = seed;
+  const std::vector<std::uint64_t> schedule = chaos::arrival_times(arrivals);
+  result.sent = schedule.size();
+
+  std::vector<OpenLoopClient> clients(conns);
+  for (OpenLoopClient& client : clients) {
+    client.fd = serve::transport::connect_tcp("127.0.0.1", port, true);
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(schedule.size());
+  std::size_t next_arrival = 0;
+  std::size_t completed = 0;
+  char buf[64 * 1024];
+  const util::Stopwatch timer;
+  const double deadline_seconds = seconds + 30.0;
+
+  while (completed < schedule.size()) {
+    const double now_us = timer.elapsed_seconds() * 1e6;
+    if (timer.elapsed_seconds() > deadline_seconds) {
+      std::fprintf(stderr,
+                   "FAIL: open-loop stalled at %zu/%zu responses\n",
+                   completed, schedule.size());
+      result.failed = true;
+      break;
+    }
+    while (next_arrival < schedule.size() &&
+           static_cast<double>(schedule[next_arrival]) <= now_us) {
+      serve::WireRequest request;
+      request.id = next_arrival + 1;
+      request.version = 2;
+      const auto features = queries.sample(next_arrival % queries.size());
+      request.features.assign(features.begin(), features.end());
+      clients[next_arrival % conns].outbuf +=
+          serve::encode_request(request);
+      ++next_arrival;
+    }
+    for (OpenLoopClient& client : clients) {
+      while (!client.outbuf.empty()) {
+        const ssize_t n = ::send(client.fd, client.outbuf.data(),
+                                 client.outbuf.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+          client.bytes_written += static_cast<std::uint64_t>(n);
+          client.outbuf.erase(0, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (errno == EINTR) {
+          continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          break;
+        }
+        std::fprintf(stderr, "FAIL: client send: %s\n", strerror(errno));
+        result.failed = true;
+        break;
+      }
+      while (true) {
+        const ssize_t n = ::recv(client.fd, buf, sizeof(buf), 0);
+        if (n <= 0) {
+          if (n < 0 && errno == EINTR) {
+            continue;
+          }
+          break;
+        }
+        client.bytes_read += static_cast<std::uint64_t>(n);
+        client.decoder.feed({buf, static_cast<std::size_t>(n)});
+        serve::FrameDecoder::Frame frame;
+        while (client.decoder.next(&frame)) {
+          const serve::Response response = serve::decode_response_payload(
+              frame.payload, frame.version, "open-loop client");
+          const double done_us = timer.elapsed_seconds() * 1e6;
+          const double start_us =
+              static_cast<double>(schedule[response.id - 1]);
+          latencies.push_back((done_us - start_us) / 1000.0);
+          if (response.ok()) {
+            ++result.ok;
+          } else {
+            ++result.rejected;
+          }
+          ++completed;
+        }
+      }
+      if (result.failed) {
+        break;
+      }
+    }
+  }
+  result.elapsed_seconds = timer.elapsed_seconds();
+
+  for (OpenLoopClient& client : clients) {
+    ::close(client.fd);
+    result.bytes_read_per_conn += static_cast<double>(client.bytes_read);
+    result.bytes_written_per_conn +=
+        static_cast<double>(client.bytes_written);
+  }
+  result.bytes_read_per_conn /= static_cast<double>(conns);
+  result.bytes_written_per_conn /= static_cast<double>(conns);
+
+  stop.store(true, std::memory_order_relaxed);
+  loop_thread.join();
+  result.accepted = loop.accepted_total();
+  result.peak_queue_depth = server.peak_queue_depth();
+  server.shutdown();
+
+  std::sort(latencies.begin(), latencies.end());
+  result.latency_ms = std::move(latencies);
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,6 +279,11 @@ int main(int argc, char** argv) {
                 "global pool workers (0 = LEHDC_THREADS, then hardware)");
   flags.add_int("seed", 1, "pipeline + data seed");
   flags.add_double("min-seconds", 0.3, "minimum wall time per measurement");
+  flags.add_int("conns", 512,
+                "open-loop TCP connections (0 skips the socket phase)");
+  flags.add_double("open-rate", 5000.0,
+                   "open-loop arrival rate, requests/second");
+  flags.add_double("open-seconds", 1.0, "open-loop schedule horizon");
   flags.add_string("out", "BENCH_serving.json", "JSON output path");
   flags.parse(argc, argv);
 
@@ -158,6 +377,18 @@ int main(int argc, char** argv) {
     server.shutdown();
   }
 
+  // 4. Open-loop TCP through the epoll front-end. Metrics go live here so
+  // the serve.conn.* counters/histograms from the event loop land in the
+  // snapshot alongside the bench gauges.
+  obs::set_enabled(true);
+  const auto conns = static_cast<std::size_t>(flags.get_int("conns"));
+  OpenLoopResult open;
+  if (conns > 0) {
+    open = run_open_loop(registry, queries, conns,
+                         flags.get_double("open-rate"),
+                         flags.get_double("open-seconds"), seed);
+  }
+
   std::printf("direct batch-%zu:      %.0f qps\n", batch, direct_qps);
   std::printf("server saturated:     %.0f qps (%.1f%% of direct)\n",
               server_qps, ratio * 100.0);
@@ -165,6 +396,18 @@ int main(int argc, char** argv) {
               "(capacity %zu)\n",
               overload_ok, overload_shed, peak_depth,
               overload_config.batcher.queue_capacity);
+  if (conns > 0) {
+    std::printf(
+        "open-loop tcp:        %zu conns, %zu reqs in %.2fs "
+        "(ok=%zu rejected=%zu)\n",
+        conns, open.sent, open.elapsed_seconds, open.ok, open.rejected);
+    std::printf(
+        "  latency p50=%.2fms p99=%.2fms p99.9=%.2fms; "
+        "%.0f B read / %.0f B written per conn; peak depth %zu\n",
+        percentile(open.latency_ms, 0.50), percentile(open.latency_ms, 0.99),
+        percentile(open.latency_ms, 0.999), open.bytes_read_per_conn,
+        open.bytes_written_per_conn, open.peak_queue_depth);
+  }
 
   bool failed = false;
   if (peak_depth > overload_config.batcher.queue_capacity) {
@@ -179,8 +422,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: responses lost under overload\n");
     failed = true;
   }
+  if (conns > 0) {
+    if (open.failed || open.ok + open.rejected != open.sent) {
+      std::fprintf(stderr, "FAIL: open-loop responses lost\n");
+      failed = true;
+    }
+    if (open.accepted < conns) {
+      std::fprintf(stderr,
+                   "FAIL: only %llu of %zu connections accepted\n",
+                   static_cast<unsigned long long>(open.accepted), conns);
+      failed = true;
+    }
+    if (open.peak_queue_depth > open.queue_capacity) {
+      std::fprintf(stderr, "FAIL: open-loop queue depth unbounded\n");
+      failed = true;
+    }
+  }
 
-  obs::set_enabled(true);
   auto& registry_obs = obs::Registry::global();
   registry_obs.gauge("bench.serving.direct_qps").set(direct_qps);
   registry_obs.gauge("bench.serving.server_qps").set(server_qps);
@@ -191,12 +449,37 @@ int main(int argc, char** argv) {
       .set(static_cast<double>(overload_shed));
   registry_obs.gauge("bench.serving.overload_peak_depth")
       .set(static_cast<double>(peak_depth));
+  if (conns > 0) {
+    const double elapsed =
+        open.elapsed_seconds > 0.0 ? open.elapsed_seconds : 1.0;
+    registry_obs.gauge("bench.serving.tcp.connections")
+        .set(static_cast<double>(conns));
+    registry_obs.gauge("bench.serving.tcp.requests")
+        .set(static_cast<double>(open.sent));
+    registry_obs.gauge("bench.serving.tcp.qps")
+        .set(static_cast<double>(open.ok + open.rejected) / elapsed);
+    registry_obs.gauge("bench.serving.tcp.rejected")
+        .set(static_cast<double>(open.rejected));
+    registry_obs.gauge("bench.serving.tcp.p50_ms")
+        .set(percentile(open.latency_ms, 0.50));
+    registry_obs.gauge("bench.serving.tcp.p99_ms")
+        .set(percentile(open.latency_ms, 0.99));
+    registry_obs.gauge("bench.serving.tcp.p999_ms")
+        .set(percentile(open.latency_ms, 0.999));
+    registry_obs.gauge("bench.serving.tcp.bytes_read_per_conn")
+        .set(open.bytes_read_per_conn);
+    registry_obs.gauge("bench.serving.tcp.bytes_written_per_conn")
+        .set(open.bytes_written_per_conn);
+    registry_obs.gauge("bench.serving.tcp.peak_queue_depth")
+        .set(static_cast<double>(open.peak_queue_depth));
+  }
 
   obs::Json context = obs::Json::object();
   context.set("bench", "serving_throughput");
   context.set("batch", batch);
   context.set("dim", config.dim);
   context.set("queue_capacity", overload_config.batcher.queue_capacity);
+  context.set("open_loop_conns", conns);
   context.set("pool_workers", util::ThreadPool::global().worker_count());
 
   const std::string& out_path = flags.get_string("out");

@@ -1,0 +1,136 @@
+// Deterministic chaos scenarios over the transport connection layer.
+//
+// The scenario runner in scenario.hpp stresses admission, batching and
+// dispatch by calling InferenceServer::submit directly; this runner sits
+// one layer lower and speaks *bytes*. Each simulated connection owns a
+// real transport::Connection (the exact state machine the epoll loop
+// drives) fed with encoded request frames in deliberately awkward chunks
+// (headers split across feeds, frames straddling reads) over a FakeClock
+// and a manual-dispatch server — no sockets, no threads, no sleeps, so
+// every run is bit-identical. What the sockets would add (EAGAIN, partial
+// reads/writes) is exactly what the chunked feed and the scripted reader
+// simulate.
+//
+// Failure shapes:
+//   connection churn     waves of abrupt connection drops (often
+//                        mid-frame, with requests still in flight) and
+//                        fresh replacements, under sustained load;
+//   slow readers         peers that stop draining responses, so write
+//                        backlogs hit the cap and decoded requests must
+//                        shed with typed kQueueFull rejects.
+//
+// Invariants are transport-level counterparts of the server matrix:
+// bounded per-connection memory (decode buffer and write backlog never
+// exceed their configured caps plus one frame of slack), typed rejects
+// only (every response on a surviving connection is ok or carries a
+// typed Reject, and none vanish), and no cross-connection frame bleed
+// (every response id and tenant matches a request sent on that same
+// connection).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "chaos/arrival.hpp"
+#include "obs/json.hpp"
+#include "serve/batcher.hpp"
+#include "serve/transport/connection.hpp"
+
+namespace lehdc::chaos {
+
+/// Invariants a transport scenario can assert (distinct from the server
+/// matrix's Invariant enum: these are properties of the byte layer).
+enum class TransportInvariant {
+  /// Per-connection decode buffer stays under read_budget_bytes plus one
+  /// max-size frame, and the write backlog under write_backlog_max_bytes
+  /// plus max_inflight response frames, at every step of the run.
+  kBoundedConnectionMemory,
+  /// On every connection alive at the end: responses received == requests
+  /// sent, and each is ok() or carries a typed Reject — nothing vanished,
+  /// nothing was silently dropped.
+  kTypedRejectsOnly,
+  /// Every response decoded from a connection's write stream answers a
+  /// request id sent on that exact connection, with the tenant echo
+  /// matching — a frame routed from another connection cannot pass.
+  kNoCrossConnectionBleed,
+};
+
+/// Stable lowercase identifier ("bounded_connection_memory", ...).
+[[nodiscard]] const char* transport_invariant_name(
+    TransportInvariant invariant) noexcept;
+
+struct TransportScenarioConfig {
+  std::string name = "transport_scenario";
+  /// Connections alive at any moment.
+  std::size_t connections = 8;
+  /// Request frames sent per connection over the horizon.
+  std::size_t requests_per_connection = 24;
+  /// Bytes handed to Connection::on_bytes per feed — a deliberately
+  /// frame-misaligned value (default 7) splits every header.
+  std::size_t chunk_bytes = 7;
+  /// Every Nth connection (1-based; 0 = none) is a slow reader: it drains
+  /// nothing until the horizon ends, forcing write-backlog backpressure.
+  std::size_t slow_reader_every = 0;
+  /// Every `churn_every_us` of virtual time (0 = never), `churn_fraction`
+  /// of live connections are dropped abruptly and replaced.
+  std::uint64_t churn_every_us = 0;
+  double churn_fraction = 0.33;
+  ArrivalConfig arrivals;
+  serve::BatcherConfig batcher;
+  serve::transport::ConnectionConfig connection;
+  std::uint64_t seed = 1;
+  /// Deadline budget stamped into every request (0 = none).
+  std::uint64_t deadline_budget_us = 0;
+
+  // Model shape (mirrors ScenarioConfig's small defaults).
+  std::size_t dim = 256;
+  std::size_t feature_count = 10;
+  std::size_t class_count = 3;
+  std::size_t train_count = 90;
+  std::size_t query_pool = 32;
+};
+
+struct TransportScenarioResult {
+  std::string name;
+  std::size_t connections_opened = 0;
+  std::size_t connections_dropped = 0;
+  /// Requests fully sent on connections that survived to the drain.
+  std::size_t sent_live = 0;
+  /// Requests sent on connections later dropped by churn (their responses
+  /// are legitimately unaccounted).
+  std::size_t sent_dropped = 0;
+  std::size_t responses_ok = 0;
+  std::size_t responses_rejected = 0;
+  /// Responses whose reject state was untyped or inconsistent.
+  std::size_t untyped = 0;
+  /// Responses whose id/tenant did not match a request sent on that
+  /// connection.
+  std::size_t bleed_errors = 0;
+  /// Connection-level kQueueFull sheds (write-backlog backpressure).
+  std::size_t sheds = 0;
+  std::size_t peak_read_buffer_bytes = 0;
+  std::size_t peak_write_backlog_bytes = 0;
+  std::vector<std::string> violations;
+  /// Byte-stable lehdc.metrics.v1 snapshot (virtual-time only).
+  obs::Json report;
+};
+
+/// Runs one transport scenario. Deterministic in `config`.
+[[nodiscard]] TransportScenarioResult run_transport_scenario(
+    const TransportScenarioConfig& config,
+    std::span<const TransportInvariant> invariants);
+
+struct NamedTransportScenario {
+  std::string name;
+  std::vector<TransportInvariant> invariants;
+  TransportScenarioConfig (*configure)(double scale);
+};
+
+/// The transport scenario matrix (connection churn, slow readers); same
+/// contract as scenario_matrix() — fixed order, lint-checked invariants.
+[[nodiscard]] const std::vector<NamedTransportScenario>&
+transport_scenario_matrix();
+
+}  // namespace lehdc::chaos

@@ -25,6 +25,13 @@ constexpr std::array kKnownNames = {
     std::string_view{"score.queries"},
     std::string_view{"serve.batch_size"},
     std::string_view{"serve.batches"},
+    std::string_view{"serve.conn.accepted"},
+    std::string_view{"serve.conn.active"},
+    std::string_view{"serve.conn.bytes_read"},
+    std::string_view{"serve.conn.bytes_written"},
+    std::string_view{"serve.conn.closed"},
+    std::string_view{"serve.conn.read_stalls"},
+    std::string_view{"serve.conn.write_stalls"},
     std::string_view{"serve.dispatch_seconds"},
     std::string_view{"serve.e2e_latency_seconds"},
     std::string_view{"serve.model_loads"},

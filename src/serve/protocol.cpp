@@ -5,6 +5,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "serve/framing.hpp"
 #include "serve/tenant.hpp"
 #include "util/serial.hpp"
 
@@ -25,39 +26,37 @@ std::string frame(const char magic[4], const util::PayloadWriter& payload) {
 /// Reads one frame body into `payload`, accepting either of the two
 /// magics and reporting which matched via `*version` (1 or 2). Returns
 /// false on clean EOF before any header byte; throws on everything else
-/// that is not a whole frame.
+/// that is not a whole frame. Runs the incremental FrameDecoder with
+/// exact-sized reads (bytes_needed()), so the blocking readers and the
+/// event loop share one framing state machine — and the stream is left at
+/// the following frame boundary, never over-read.
 bool read_frame(std::istream& in, const char magic_v1[4],
                 const char magic_v2[4], int* version, std::string* payload,
                 const std::string& context) {
-  char magic[4];
-  in.read(magic, sizeof(magic));
+  FrameDecoder decoder(magic_v1, magic_v2, context);
+  char header[8];
+  in.read(header, sizeof(header));
   if (in.gcount() == 0 && in.eof()) {
     return false;
   }
-  if (in.gcount() != sizeof(magic)) {
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(header))) {
     throw std::runtime_error("truncated frame header in " + context);
   }
-  if (std::memcmp(magic, magic_v1, sizeof(magic)) == 0) {
-    *version = 1;
-  } else if (std::memcmp(magic, magic_v2, sizeof(magic)) == 0) {
-    *version = 2;
-  } else {
-    throw std::runtime_error("bad frame magic in " + context);
+  decoder.feed({header, sizeof(header)});
+  FrameDecoder::Frame frame;
+  // next() validates magic + length from the header (typed errors), then
+  // reports how many payload bytes remain; one exact read completes it.
+  while (!decoder.next(&frame)) {
+    const std::size_t need = decoder.bytes_needed();
+    std::string chunk(need, '\0');
+    in.read(chunk.data(), static_cast<std::streamsize>(need));
+    if (in.gcount() != static_cast<std::streamsize>(need)) {
+      throw std::runtime_error("truncated frame payload in " + context);
+    }
+    decoder.feed(chunk);
   }
-  std::uint32_t size = 0;
-  in.read(reinterpret_cast<char*>(&size), sizeof(size));
-  if (in.gcount() != sizeof(size)) {
-    throw std::runtime_error("truncated frame length in " + context);
-  }
-  if (size > kMaxPayloadBytes) {
-    throw std::runtime_error("oversized frame (" + std::to_string(size) +
-                             " bytes) in " + context);
-  }
-  payload->resize(size);
-  in.read(payload->data(), static_cast<std::streamsize>(size));
-  if (in.gcount() != static_cast<std::streamsize>(size)) {
-    throw std::runtime_error("truncated frame payload in " + context);
-  }
+  *version = frame.version;
+  payload->assign(frame.payload);
   return true;
 }
 

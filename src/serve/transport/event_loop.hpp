@@ -1,0 +1,118 @@
+// Single-threaded epoll front-end over transport::Connection.
+//
+// One EventLoop multiplexes any number of listeners (AF_UNIX and TCP mix
+// freely) and their accepted connections over a level-triggered epoll
+// set, entirely non-blocking: accept loops until EAGAIN, reads stop at
+// the per-connection budget (level-triggered epoll re-reports leftover
+// bytes next turn, which is the fairness mechanism), writes take what the
+// kernel accepts and resume on EPOLLOUT. The loop owns no protocol or
+// shedding logic — that all lives in Connection — it only moves bytes,
+// tracks epoll interest, and reaps connections that are done, failed or
+// idle-expired.
+//
+// Interest tracking is the backpressure wiring: a connection whose
+// inflight or write-backlog cap is hit reports wants_read() == false and
+// its EPOLLIN interest is dropped (counted in serve.conn.read_stalls), so
+// the kernel buffer — then the peer — absorbs the pressure; EPOLLOUT is
+// registered only while the encoder holds unwritten bytes, with a short
+// write (EAGAIN) counted in serve.conn.write_stalls.
+//
+// Drive it by calling poll_once() in a loop. Timing comes from the
+// server's Clock, so a FakeClock makes idle-timeout behaviour
+// deterministic in tests; with a manual-dispatch server the loop also
+// pumps run_until_idle() each turn, letting a single thread be client,
+// server and event loop in a test. epoll_wait blocking is clamped to
+// stay responsive: zero while responses are in flight under manual
+// dispatch, one millisecond under a worker thread, and never past the
+// nearest idle deadline.
+//
+// Metrics (lehdc.metrics.v1): serve.conn.accepted / serve.conn.closed
+// counters, serve.conn.active gauge, serve.conn.read_stalls /
+// serve.conn.write_stalls counters, and per-connection lifetime byte
+// histograms serve.conn.bytes_read / serve.conn.bytes_written observed
+// at close.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "serve/transport/connection.hpp"
+
+namespace lehdc::serve::transport {
+
+struct EventLoopConfig {
+  ConnectionConfig connection;
+  /// Accepts beyond this are closed immediately (counted accepted and
+  /// closed) — the listener stays drained so the backlog never wedges.
+  std::size_t max_connections = 4096;
+};
+
+class EventLoop {
+ public:
+  /// `server` must outlive the loop. Its clock is the loop's clock.
+  EventLoop(InferenceServer& server, const EventLoopConfig& config);
+
+  /// Closes every connection and listener still registered.
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers a non-blocking listening socket (see socket.hpp) and takes
+  /// ownership of the fd.
+  void add_listener(int fd);
+
+  /// One turn: pump ready responses, wait at most `max_wait_ms` for fd
+  /// events (clamped as described above), service accepts/reads/writes,
+  /// and reap finished or idle connections. Returns the number of
+  /// responses written plus fd events handled — zero means the turn was
+  /// pure waiting.
+  std::size_t poll_once(int max_wait_ms);
+
+  [[nodiscard]] std::size_t active_connections() const noexcept {
+    return connections_.size();
+  }
+  /// Submitted-but-unanswered requests across every connection.
+  [[nodiscard]] std::size_t inflight_total() const noexcept;
+  [[nodiscard]] std::uint64_t accepted_total() const noexcept {
+    return accepted_total_;
+  }
+  [[nodiscard]] std::uint64_t closed_total() const noexcept {
+    return closed_total_;
+  }
+
+ private:
+  struct ConnState {
+    int fd = -1;
+    std::uint32_t interest = 0;
+    Connection conn;
+    ConnState(int fd_in, std::uint64_t id, InferenceServer& server,
+              const ConnectionConfig& config, std::uint64_t now_us)
+        : fd(fd_in), conn(id, server, config, now_us) {}
+  };
+
+  [[nodiscard]] std::uint64_t now_us();
+  void accept_ready(int listener_fd);
+  void read_ready(ConnState& state);
+  /// Writes until drained or EAGAIN; returns false when the connection
+  /// died mid-write.
+  bool write_ready(ConnState& state);
+  /// Re-derives the epoll interest mask from the connection's state.
+  void update_interest(ConnState& state);
+  void close_connection(int fd, const char* reason);
+  /// Computes the epoll timeout honouring inflight work + idle deadlines.
+  [[nodiscard]] int clamp_wait(int max_wait_ms);
+
+  InferenceServer& server_;
+  EventLoopConfig config_;
+  int epoll_fd_ = -1;
+  std::set<int> listeners_;
+  std::unordered_map<int, std::unique_ptr<ConnState>> connections_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t accepted_total_ = 0;
+  std::uint64_t closed_total_ = 0;
+};
+
+}  // namespace lehdc::serve::transport

@@ -223,13 +223,19 @@ def load_schema_names(root: Path) -> tuple[set[str], list[str]]:
 
 
 def lint_scenario_matrix(root: Path) -> None:
-    """chaos-invariants: every entry in the scenario matrix registers at
-    least one Invariant::k*. The matrix lives between LINT-SCENARIOS
-    markers in src/chaos/scenarios.cpp; a repo without src/chaos yet is
+    """chaos-invariants: every entry in a scenario matrix registers at
+    least one Invariant::k* (the transport matrix's TransportInvariant::k*
+    satisfies the same pattern). Matrices live between LINT-SCENARIOS
+    markers in src/chaos/scenarios.cpp (server-level) and
+    src/chaos/transport.cpp (byte-level); a repo without src/chaos yet is
     clean by definition."""
-    scenarios = root / "src" / "chaos" / "scenarios.cpp"
-    if not scenarios.is_file():
-        return
+    for filename in ("scenarios.cpp", "transport.cpp"):
+        path = root / "src" / "chaos" / filename
+        if path.is_file():
+            lint_one_scenario_matrix(path, root)
+
+
+def lint_one_scenario_matrix(scenarios: Path, root: Path) -> None:
     raw = scenarios.read_text(encoding="utf-8")
     rel = relpath(scenarios, root)
     allowed = suppressed_lines(raw)

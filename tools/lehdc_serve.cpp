@@ -1,18 +1,22 @@
 // lehdc_serve — micro-batching inference server over pipeline bundles.
 //
-//   lehdc_serve serve     --model out.lhdp --socket /tmp/lehdc.sock
+//   lehdc_serve serve     --model out.lhdp --uds /tmp/lehdc.sock
+//   lehdc_serve serve     --model out.lhdp --tcp 127.0.0.1:7700
 //   lehdc_serve pipe      --model out.lhdp --in requests.bin --out responses.bin
 //   lehdc_serve genframes --data <spec> --count 64 --out requests.bin
 //   lehdc_serve decode    --in responses.bin [--expect-ok 64]
 //   lehdc_serve client    --socket /tmp/lehdc.sock --data <spec> --count 16
 //
-// `serve` listens on a local (AF_UNIX) stream socket and speaks the
-// length-prefixed binary protocol of serve/protocol.hpp, one handler
-// thread per connection; SIGHUP hot-reloads the model bundle from its
-// original path without dropping traffic. `pipe` speaks the same protocol
-// over files/stdio for scripted testing (CI drives it with frames built by
-// `genframes` and checks the output with `decode`). Requests queue into a
-// bounded micro-batcher (--max-batch / --max-wait-us / --queue-capacity);
+// `serve` runs a single-threaded epoll event loop (serve/transport/) over
+// any mix of AF_UNIX (--uds, with --socket as the legacy alias) and TCP
+// (--tcp HOST:PORT) listeners, speaking the length-prefixed binary
+// protocol of serve/protocol.hpp with per-connection backpressure
+// (--read-budget / --write-backlog / --max-inflight / --idle-timeout-us);
+// SIGHUP hot-reloads the model bundles from their original paths without
+// dropping traffic. `pipe` speaks the same protocol over files/stdio for
+// scripted testing (CI drives it with frames built by `genframes` and
+// checks the output with `decode`). Requests queue into a bounded
+// micro-batcher (--max-batch / --max-wait-us / --queue-capacity);
 // overload sheds with typed rejections instead of growing memory.
 //
 // Multi-tenant serving: --models "acme=a.lhdp,globex=b.lhdp" binds one
@@ -20,7 +24,8 @@
 // genframes/client stamp frames with --tenant and --wire-version, and
 // responses echo each request's protocol generation. genframes --corrupt N
 // appends N malformed frames (bad magic, truncation, oversized length,
-// lying feature counts, bad tenant lengths) for decode-hardening tests.
+// lying feature counts, bad tenant lengths, mid-header cuts, interleaved
+// garbage) for decode-hardening tests.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -32,9 +37,6 @@
 #include <vector>
 
 #ifdef __unix__
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 #endif
 
@@ -44,6 +46,8 @@
 #include "obs/report.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "serve/transport/event_loop.hpp"
+#include "serve/transport/socket.hpp"
 #include "util/flags.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -247,47 +251,20 @@ void write_all(int fd, const std::string& bytes) {
   }
 }
 
-/// Reads one request frame straight off the socket (header, bounded
-/// length, payload) or returns false on clean EOF.
-bool read_request_fd(int fd, serve::WireRequest* out) {
-  char header[8];
-  if (!read_exact(fd, header, sizeof(header))) {
-    return false;
+/// AF_UNIX serve path: --uds, falling back to the legacy --socket alias
+/// when neither --uds nor --tcp was given. Empty means "no UDS listener".
+std::string effective_uds_path(const util::FlagParser& flags) {
+  const std::string& uds = flags.get_string("uds");
+  if (!uds.empty()) {
+    return uds;
   }
-  const int version = serve::request_frame_version(header);
-  if (version == 0) {
-    throw std::runtime_error("bad frame magic on socket");
+  if (flags.get_string("tcp").empty()) {
+    return flags.get_string("socket");
   }
-  std::uint32_t size = 0;
-  std::memcpy(&size, header + 4, sizeof(size));
-  if (size > serve::kMaxPayloadBytes) {
-    throw std::runtime_error("oversized frame on socket");
-  }
-  std::string payload(size, '\0');
-  if (size > 0 && !read_exact(fd, payload.data(), size)) {
-    return false;
-  }
-  *out = serve::decode_request_payload(payload, version, "socket");
-  return true;
-}
-
-void handle_connection(int fd, serve::InferenceServer* server) {
-  try {
-    serve::WireRequest request;
-    while (read_request_fd(fd, &request)) {
-      const int version = request.version;
-      auto future = submit_wire(*server, std::move(request));
-      write_all(fd, serve::encode_response(future.get(), version));
-    }
-  } catch (const std::exception& error) {
-    util::log_warn(std::string("connection dropped: ") + error.what());
-  }
-  ::close(fd);
+  return {};
 }
 
 int cmd_serve(util::FlagParser& flags) {
-  const std::string& model_path = flags.get_string("model");
-  const std::string& socket_path = flags.get_string("socket");
   serve::ModelRegistry registry;
   serve::ServerConfig config;
   config.default_tenant = load_models(registry, flags);
@@ -298,27 +275,36 @@ int cmd_serve(util::FlagParser& flags) {
   std::signal(SIGTERM, handle_signal);
   std::signal(SIGHUP, handle_signal);
 
-  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    throw std::runtime_error("socket() failed");
-  }
-  sockaddr_un address{};
-  address.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(address.sun_path)) {
-    throw std::runtime_error("socket path too long: " + socket_path);
-  }
-  std::strncpy(address.sun_path, socket_path.c_str(),
-               sizeof(address.sun_path) - 1);
-  ::unlink(socket_path.c_str());
-  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&address),
-             sizeof(address)) != 0 ||
-      ::listen(listen_fd, 64) != 0) {
-    ::close(listen_fd);
-    throw std::runtime_error("cannot listen on " + socket_path);
-  }
-  util::log_info("serving " + model_path + " on " + socket_path);
+  serve::transport::EventLoopConfig loop_config;
+  loop_config.connection.read_budget_bytes =
+      static_cast<std::size_t>(flags.get_int("read-budget"));
+  loop_config.connection.write_backlog_max_bytes =
+      static_cast<std::size_t>(flags.get_int("write-backlog"));
+  loop_config.connection.max_inflight =
+      static_cast<std::size_t>(flags.get_int("max-inflight"));
+  loop_config.connection.idle_timeout_us =
+      static_cast<std::uint64_t>(flags.get_int("idle-timeout-us"));
+  loop_config.max_connections =
+      static_cast<std::size_t>(flags.get_int("max-connections"));
+  serve::transport::EventLoop loop(server, loop_config);
 
-  std::vector<std::thread> handlers;
+  const int backlog = static_cast<int>(flags.get_int("backlog"));
+  const std::string uds_path = effective_uds_path(flags);
+  const std::string& tcp_spec = flags.get_string("tcp");
+  if (uds_path.empty() && tcp_spec.empty()) {
+    throw std::runtime_error("serve needs --uds PATH and/or --tcp HOST:PORT");
+  }
+  if (!uds_path.empty()) {
+    loop.add_listener(serve::transport::listen_unix(uds_path, backlog));
+    util::log_info("listening on unix:" + uds_path);
+  }
+  if (!tcp_spec.empty()) {
+    const auto hp = serve::transport::parse_host_port(tcp_spec);
+    loop.add_listener(
+        serve::transport::listen_tcp(hp.host, hp.port, backlog));
+    util::log_info("listening on tcp:" + tcp_spec);
+  }
+
   while (g_stop == 0) {
     if (g_reload != 0) {
       g_reload = 0;
@@ -334,21 +320,10 @@ int cmd_serve(util::FlagParser& flags) {
         util::log_warn(std::string("reload failed: ") + error.what());
       }
     }
-    pollfd poll_fd{listen_fd, POLLIN, 0};
-    const int ready = ::poll(&poll_fd, 1, 200);
-    if (ready <= 0) {
-      continue;
-    }
-    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
-    if (conn_fd < 0) {
-      continue;
-    }
-    handlers.emplace_back(handle_connection, conn_fd, &server);
+    loop.poll_once(200);
   }
-  ::close(listen_fd);
-  ::unlink(socket_path.c_str());
-  for (std::thread& handler : handlers) {
-    handler.join();
+  if (!uds_path.empty()) {
+    ::unlink(uds_path.c_str());
   }
   server.shutdown();
   write_metrics(flags, "serve");
@@ -363,19 +338,13 @@ int cmd_client(util::FlagParser& flags) {
   auto count = static_cast<std::size_t>(flags.get_int("count"));
   count = count == 0 ? dataset.size() : std::min(count, dataset.size());
 
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    throw std::runtime_error("socket() failed");
-  }
-  sockaddr_un address{};
-  address.sun_family = AF_UNIX;
-  const std::string& socket_path = flags.get_string("socket");
-  std::strncpy(address.sun_path, socket_path.c_str(),
-               sizeof(address.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
-                sizeof(address)) != 0) {
-    ::close(fd);
-    throw std::runtime_error("cannot connect to " + socket_path);
+  const std::string& tcp_spec = flags.get_string("tcp");
+  int fd = -1;
+  if (!tcp_spec.empty()) {
+    const auto hp = serve::transport::parse_host_port(tcp_spec);
+    fd = serve::transport::connect_tcp(hp.host, hp.port);
+  } else {
+    fd = serve::transport::connect_unix(effective_uds_path(flags));
   }
   for (std::size_t i = 0; i < count; ++i) {
     serve::WireRequest request;
@@ -429,12 +398,17 @@ int cmd_client(util::FlagParser&) {
 // -------------------------------------------------------- scripted tools --
 
 /// One malformed request frame, cycling through the failure kinds the
-/// decoder must reject with a typed error: bad magic, truncation,
-/// oversized length prefix, lying feature count, lying tenant length.
+/// decoder must reject with a typed error (or report as a truncated
+/// stream): bad magic, truncation mid-payload, oversized length prefix,
+/// lying feature count, lying tenant length, then the slowloris shapes —
+/// a frame cut inside its 8-byte header, a bare header whose declared
+/// payload never arrives, and garbage interleaved before a valid frame.
+/// The last three also seed the incremental-decoder fuzz corpus, where
+/// they are additionally re-fed at every split point.
 std::string corrupt_frame(const serve::WireRequest& request,
                           std::size_t kind) {
   std::string frame = serve::encode_request(request);
-  switch (kind % 5) {
+  switch (kind % 8) {
     case 0:  // bad magic
       frame[0] = 'X';
       break;
@@ -459,6 +433,15 @@ std::string corrupt_frame(const serve::WireRequest& request,
       std::memcpy(frame.data() + 8 + 8 + 8, &lying, sizeof(lying));
       break;
     }
+    case 5:  // slowloris: cut inside the 8-byte frame header
+      frame.resize(3);
+      break;
+    case 6:  // slowloris: full header, payload never arrives
+      frame.resize(8);
+      break;
+    case 7:  // garbage interleaved ahead of an otherwise valid frame
+      frame.insert(0, "\x00\xffnoise", 7);
+      break;
   }
   return frame;
 }
@@ -529,8 +512,11 @@ int cmd_decode(util::FlagParser& flags) {
 void print_usage() {
   std::puts(
       "usage: lehdc_serve <serve|pipe|genframes|decode|client> [flags]\n"
-      "  serve     --model out.lhdp --socket /tmp/lehdc.sock\n"
-      "            (SIGHUP hot-reloads the bundle; SIGINT/SIGTERM stop)\n"
+      "  serve     --model out.lhdp --uds /tmp/lehdc.sock\n"
+      "            [--tcp HOST:PORT] (both listeners share one epoll loop;\n"
+      "            SIGHUP hot-reloads the bundles; SIGINT/SIGTERM stop)\n"
+      "            [--backlog N --max-connections N --idle-timeout-us N]\n"
+      "            [--read-budget B --write-backlog B --max-inflight N]\n"
       "  pipe      --model out.lhdp --in requests.bin --out responses.bin\n"
       "            ('-' = stdin/stdout; same binary frame protocol)\n"
       "  genframes --data <spec> --count N --out requests.bin\n"
@@ -590,7 +576,24 @@ int main(int argc, char** argv) {
                 "genframes: append N malformed frames after the valid ones");
   flags.add_int("tenant-capacity", 0,
                 "per-tenant queue admission limit (0 = only the total cap)");
-  flags.add_string("socket", "/tmp/lehdc.sock", "unix socket path");
+  flags.add_string("socket", "/tmp/lehdc.sock",
+                   "unix socket path (legacy alias for --uds)");
+  flags.add_string("uds", "", "AF_UNIX listener path (empty = --socket "
+                   "unless --tcp was given)");
+  flags.add_string("tcp", "", "TCP listener/target as HOST:PORT");
+  flags.add_int("backlog", 128, "listen(2) backlog per listener");
+  flags.add_int("max-connections", 4096,
+                "accepted-connection cap (beyond: accept and close)");
+  flags.add_int("idle-timeout-us", 60000000,
+                "close a connection after this long without read/write "
+                "progress (0 = never)");
+  flags.add_int("read-budget", 65536,
+                "bytes read per connection per event-loop turn");
+  flags.add_int("write-backlog", 1048576,
+                "per-connection response backlog bytes before typed "
+                "kQueueFull shedding");
+  flags.add_int("max-inflight", 256,
+                "per-connection submitted-but-unanswered request cap");
   flags.add_string("in", "-", "request/response frame input ('-' = stdin)");
   flags.add_string("out", "-", "frame output path ('-' = stdout)");
   flags.add_string("data", "synth:mnist", "data spec (see --help)");
