@@ -13,14 +13,24 @@
 // against this baseline. Also measures the observability overhead: the
 // batch_all_threads/1024 workload re-runs with metrics collection enabled,
 // and the slowdown must stay within the ≤2% budget (DESIGN.md §5d).
+//
+// The encode-path phase (PR 8) measures raw-sample prediction end to end —
+// encode + score — on both item-memory paths (materialized streaming vs
+// rematerialized regeneration, DESIGN.md §5i), reports samples/sec and
+// item-memory bytes/sample for each, and asserts the two paths predict
+// bit-identically ("encode parity: ok"; a mismatch exits non-zero, and CI
+// greps for the parity line).
 #include <cstdio>
 #include <iostream>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "data/dataset.hpp"
 #include "hdc/batch_scorer.hpp"
 #include "hdc/classifier.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/query_batch.hpp"
 #include "hv/batch_score.hpp"
 #include "hv/bitvector.hpp"
 #include "obs/json.hpp"
@@ -65,6 +75,7 @@ int main(int argc, char** argv) {
                          "BENCH_inference.json.");
   flags.add_int("dim", 10000, "hypervector dimension D");
   flags.add_int("classes", 10, "number of classes K");
+  flags.add_int("features", 784, "raw feature count N for the encode phase");
   flags.add_int("threads", 0,
                 "global pool workers (0 = LEHDC_THREADS, then hardware)");
   flags.add_int("seed", 1, "rng seed");
@@ -178,9 +189,79 @@ int main(int argc, char** argv) {
               "(%.0f -> %.0f qps)\n",
               overhead_percent, qps_metrics_off, qps_metrics_on);
 
+  // Encode-path phase: raw samples through the unified predict_queries
+  // surface, once per item-memory path. Same samples, same classifier —
+  // only the item-memory traffic differs, so the predictions must match
+  // bit for bit (the parity gate CI enforces).
+  const auto features = static_cast<std::size_t>(flags.get_int("features"));
+  hdc::RecordEncoderConfig encoder_config;
+  encoder_config.dim = dim;
+  encoder_config.feature_count = features;
+  encoder_config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const hdc::RecordEncoder encoder(encoder_config);
+  data::Dataset raw(features, classes);
+  {
+    std::vector<float> row(features);
+    for (std::size_t i = 0; i < batches.back(); ++i) {
+      for (float& v : row) {
+        v = rng.next_float();
+      }
+      raw.add_sample(row, static_cast<int>(i % classes));
+    }
+  }
+  struct EncodePathResult {
+    const char* mode;
+    hdc::EncodePath path;
+    double samples_per_second = 0.0;
+    double bytes_per_sample = 0.0;
+    std::vector<int> predictions;
+  };
+  EncodePathResult encode_results[] = {
+      {"materialized", hdc::EncodePath::kMaterialized},
+      {"rematerialized", hdc::EncodePath::kRematerialized},
+  };
+  for (auto& r : encode_results) {
+    const hdc::QueryBatch batch(raw, encoder, r.path);
+    r.predictions.assign(raw.size(), -1);
+    hdc::PredictStats stats;
+    scorer_nt.predict_queries(batch, r.predictions, &stats);
+    r.bytes_per_sample = static_cast<double>(stats.encode_bytes) /
+                         static_cast<double>(stats.samples);
+    r.samples_per_second = measure_qps(raw.size(), min_seconds, [&] {
+      scorer_nt.predict_queries(batch, r.predictions);
+    });
+  }
+  util::TextTable encode_table({"Encode path", "Samples/sec", "Bytes/sample"});
+  for (const auto& r : encode_results) {
+    char sps[32];
+    char bps[32];
+    std::snprintf(sps, sizeof sps, "%.0f", r.samples_per_second);
+    std::snprintf(bps, sizeof bps, "%.0f", r.bytes_per_sample);
+    encode_table.add_row({r.mode, sps, bps});
+  }
+  std::printf("\n");
+  encode_table.print(std::cout);
+  if (encode_results[0].predictions != encode_results[1].predictions) {
+    std::fprintf(stderr,
+                 "encode parity: MISMATCH (materialized and rematerialized "
+                 "paths disagree)\n");
+    return 1;
+  }
+  std::printf("encode parity: ok\n");
+
   // Re-emit every number through the registry so the snapshot is the one
   // schema CI validates (collection is already enabled at this point).
   auto& registry = obs::Registry::global();
+  for (const auto& r : encode_results) {
+    registry
+        .gauge(std::string("bench.inference.encode.") + r.mode +
+               "_samples_per_sec")
+        .set(r.samples_per_second);
+    registry
+        .gauge(std::string("bench.inference.encode.") + r.mode +
+               "_bytes_per_sample")
+        .set(r.bytes_per_sample);
+  }
   for (const auto& m : results) {
     registry
         .gauge("bench.inference." + m.mode + ".b" + std::to_string(m.batch) +

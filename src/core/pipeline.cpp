@@ -2,18 +2,24 @@
 
 #include <algorithm>
 #include <cctype>
-#include <mutex>
 
 #include "hdc/encoded_dataset.hpp"
+#include "hdc/query_batch.hpp"
 #include "obs/metrics.hpp"
-#include "obs/timer.hpp"
 #include "obs/trace.hpp"
-#include "util/thread_pool.hpp"
 #include "train/baseline.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
 namespace lehdc::core {
+
+namespace {
+obs::Counter& batch_query_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("pipeline.batch_queries");
+  return counter;
+}
+}  // namespace
 
 std::string strategy_name(Strategy strategy) {
   switch (strategy) {
@@ -171,69 +177,6 @@ int Pipeline::predict(std::span<const float> features) const {
   return model_->predict(encoder_->encode(features));
 }
 
-void Pipeline::predict_batch_timed(const data::Dataset& dataset,
-                                   std::span<int> out,
-                                   double* encode_seconds,
-                                   double* score_seconds) const {
-  static obs::Counter& query_counter =
-      obs::Registry::global().counter("pipeline.batch_queries");
-  static obs::Histogram& encode_hist =
-      obs::Registry::global().histogram("pipeline.encode_block_seconds");
-  static obs::Histogram& score_hist =
-      obs::Registry::global().histogram("pipeline.score_block_seconds");
-
-  const obs::TraceSpan span("pipeline.predict_batch");
-  query_counter.add(dataset.size());
-
-  // Fused encode+predict: each worker encodes one block of samples into a
-  // local buffer and scores it immediately through the model's batch path
-  // (whose own parallel_for runs inline inside a pool worker), so at most
-  // one block of hypervectors exists per worker at any time.
-  const bool timed = encode_seconds != nullptr || score_seconds != nullptr;
-  std::mutex timing_mutex;
-  constexpr std::size_t kBlock = 64;
-  const std::size_t blocks = (dataset.size() + kBlock - 1) / kBlock;
-  util::parallel_for(0, blocks, [&](std::size_t lo, std::size_t hi) {
-    std::vector<hv::BitVector> encoded;
-    encoded.reserve(kBlock);
-    double local_encode = 0.0;
-    double local_score = 0.0;
-    for (std::size_t b = lo; b < hi; ++b) {
-      const std::size_t begin = b * kBlock;
-      const std::size_t end = std::min(dataset.size(), begin + kBlock);
-      encoded.clear();
-      {
-        obs::ScopedTimer block_timer(encode_hist);
-        const util::Stopwatch watch;
-        for (std::size_t i = begin; i < end; ++i) {
-          encoded.push_back(encoder_->encode(dataset.sample(i)));
-        }
-        if (timed) {
-          local_encode += watch.elapsed_seconds();
-        }
-      }
-      {
-        obs::ScopedTimer block_timer(score_hist);
-        const util::Stopwatch watch;
-        model_->predict_batch(
-            encoded, out.subspan(begin, end - begin));
-        if (timed) {
-          local_score += watch.elapsed_seconds();
-        }
-      }
-    }
-    if (timed) {
-      const std::scoped_lock lock(timing_mutex);
-      if (encode_seconds != nullptr) {
-        *encode_seconds += local_encode;
-      }
-      if (score_seconds != nullptr) {
-        *score_seconds += local_score;
-      }
-    }
-  });
-}
-
 std::vector<int> Pipeline::predict_batch(
     const data::Dataset& dataset) const {
   util::expects(fitted(), "predict_batch before fit");
@@ -243,14 +186,17 @@ std::vector<int> Pipeline::predict_batch(
   if (dataset.empty()) {
     return out;
   }
-  predict_batch_timed(dataset, out, nullptr, nullptr);
+  const obs::TraceSpan span("pipeline.predict_batch");
+  batch_query_counter().add(dataset.size());
+  model_->predict_queries(
+      hdc::QueryBatch(dataset, *encoder_, config_.encode_path), out);
   return out;
 }
 
 void Pipeline::predict_batch(std::span<const hv::BitVector> queries,
                              std::span<int> out) const {
   util::expects(fitted(), "predict_batch before fit");
-  model_->predict_batch(queries, out);
+  model_->predict_queries(hdc::QueryBatch(queries), out);
 }
 
 EvalResult Pipeline::evaluate(const data::Dataset& dataset) const {
@@ -262,9 +208,17 @@ EvalResult Pipeline::evaluate(const data::Dataset& dataset) const {
   }
   util::expects(dataset.feature_count() == encoder_->feature_count(),
                 "dataset/encoder feature count mismatch");
+  const obs::TraceSpan span("pipeline.predict_batch");
+  batch_query_counter().add(dataset.size());
   std::vector<int> predicted(dataset.size());
-  predict_batch_timed(dataset, predicted, &result.encode_seconds,
-                      &result.score_seconds);
+  hdc::PredictStats stats;
+  model_->predict_queries(
+      hdc::QueryBatch(dataset, *encoder_, config_.encode_path), predicted,
+      &stats);
+  result.encode_seconds = stats.encode_seconds;
+  result.score_seconds = stats.score_seconds;
+  result.encode_bytes = stats.encode_bytes;
+  result.rematerialized = stats.rematerialized;
 
   // The matrix must admit every label either side produced (a model can
   // predict a class the evaluation split happens to lack).

@@ -49,6 +49,11 @@ struct PipelineConfig {
 
   Strategy strategy = Strategy::kLeHdc;
 
+  /// Item-memory strategy for batched raw-sample prediction: kAuto picks
+  /// rematerialized for batches (overridable process-wide via the
+  /// LEHDC_ENCODE_PATH environment variable); both paths are bit-identical.
+  hdc::EncodePath encode_path = hdc::EncodePath::kAuto;
+
   // Fault tolerance (epoch-based strategies, i.e. LeHDC): write a
   // crash-safe checkpoint every `checkpoint_every` epochs (0 disables),
   // and/or resume a killed run from `resume_path`. See core/checkpoint.hpp.
@@ -96,12 +101,10 @@ struct EvalResult {
   double encode_seconds = 0.0;
   /// Wall time spent scoring encoded blocks, summed over workers.
   double score_seconds = 0.0;
-
-  /// Transitional shim for the old `double evaluate(...)` signature; one
-  /// release only.
-  [[deprecated("use EvalResult::accuracy")]] operator double() const noexcept {
-    return accuracy;
-  }
+  /// Item-memory bytes the encode stage streamed over the whole pass, and
+  /// whether it ran on the rematerialized path (see hdc::PredictStats).
+  std::uint64_t encode_bytes = 0;
+  bool rematerialized = false;
 };
 
 class Pipeline {
@@ -128,16 +131,18 @@ class Pipeline {
   /// Predicts the class of one raw feature vector. Precondition: fitted.
   [[nodiscard]] int predict(std::span<const float> features) const;
 
-  /// Classifies a whole raw dataset in one batched pass. Encoding and
-  /// scoring are fused per block of samples across the thread pool, so the
-  /// encoded hypervectors never materialize beyond one block per worker.
-  /// Results are bit-identical to per-sample predict. Precondition: fitted;
-  /// the dataset must match the encoder's feature count.
+  /// Classifies a whole raw dataset in one batched pass over the model's
+  /// unified predict_queries surface: on the (default for batches)
+  /// rematerialized path, encode and score fuse per word range and the
+  /// encoded hypervectors never materialize at all; config().encode_path /
+  /// LEHDC_ENCODE_PATH select the path. Results are bit-identical to
+  /// per-sample predict on every path and worker count. Precondition:
+  /// fitted; the dataset must match the encoder's feature count.
   [[nodiscard]] std::vector<int> predict_batch(
       const data::Dataset& dataset) const;
 
-  /// Classifies a batch of already-encoded hypervectors through the model's
-  /// batch path. Precondition: fitted; out.size() == queries.size().
+  /// Classifies a batch of already-encoded hypervectors through the same
+  /// surface. Precondition: fitted; out.size() == queries.size().
   void predict_batch(std::span<const hv::BitVector> queries,
                      std::span<int> out) const;
 
@@ -156,12 +161,6 @@ class Pipeline {
 
  private:
   void ensure_encoder(const data::Dataset& train);
-
-  /// Fused encode+score pass that also accumulates per-stage wall times
-  /// (summed across workers) for EvalResult.
-  void predict_batch_timed(const data::Dataset& dataset, std::span<int> out,
-                           double* encode_seconds,
-                           double* score_seconds) const;
 
   PipelineConfig config_;
   std::unique_ptr<hdc::RecordEncoder> encoder_;

@@ -33,6 +33,12 @@ std::span<float> Dataset::mutable_sample(std::size_t i) {
   return {features_.data() + i * feature_count_, feature_count_};
 }
 
+std::span<const float> Dataset::rows(std::size_t begin,
+                                     std::size_t count) const {
+  util::expects(begin + count <= size(), "sample range out of bounds");
+  return {features_.data() + begin * feature_count_, count * feature_count_};
+}
+
 int Dataset::label(std::size_t i) const {
   util::expects(i < size(), "sample index out of range");
   return labels_[i];

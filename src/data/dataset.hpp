@@ -39,6 +39,11 @@ class Dataset {
   [[nodiscard]] std::span<const float> sample(std::size_t i) const;
   [[nodiscard]] std::span<float> mutable_sample(std::size_t i);
 
+  /// Contiguous row-major feature rows of samples [begin, begin + count) —
+  /// the layout block encoders consume. Precondition: begin + count <= size().
+  [[nodiscard]] std::span<const float> rows(std::size_t begin,
+                                            std::size_t count) const;
+
   [[nodiscard]] int label(std::size_t i) const;
 
   [[nodiscard]] std::span<const int> labels() const noexcept {

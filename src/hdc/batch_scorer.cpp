@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "util/check.hpp"
+#include "util/stopwatch.hpp"
 
 namespace lehdc::hdc {
 
@@ -19,6 +21,12 @@ namespace {
 // chunks outnumber workers for typical evaluation sets, large enough to
 // amortize the scratch acquisition.
 constexpr std::size_t kReductionChunk = 256;
+
+// Samples per encode block on the raw-batch paths. One block is the unit of
+// work a worker claims, the population a cursor amortizes regenerated
+// position words over, and (blocked path) the most hypervectors a worker
+// ever holds.
+constexpr std::size_t kSampleBlock = 64;
 
 obs::Counter& query_counter() {
   static obs::Counter& counter =
@@ -30,6 +38,24 @@ obs::Histogram& chunk_histogram() {
   static obs::Histogram& histogram =
       obs::Registry::global().histogram("score.chunk_seconds");
   return histogram;
+}
+
+obs::Histogram& encode_bytes_histogram() {
+  static obs::Histogram& histogram =
+      obs::Registry::global().histogram("encode.bytes_per_sample");
+  return histogram;
+}
+
+obs::Counter& materialized_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("encode.materialized_samples");
+  return counter;
+}
+
+obs::Counter& rematerialized_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("encode.rematerialized_samples");
+  return counter;
 }
 
 }  // namespace
@@ -157,26 +183,226 @@ void BatchScorer::predict_range(std::span<const hv::BitVector> queries,
   }
 }
 
-void BatchScorer::predict_batch(std::span<const hv::BitVector> queries,
-                                std::span<int> out) const {
-  util::expects(out.size() == queries.size(),
-                "predict_batch output span must match the batch size");
-  if (queries.empty()) {
-    return;
-  }
-  query_counter().add(queries.size());
+void BatchScorer::predict_encoded(std::span<const hv::BitVector> queries,
+                                  std::span<int> out,
+                                  PredictStats* stats) const {
+  std::mutex stats_mutex;
   pool().parallel_for(0, queries.size(),
                       [&](std::size_t lo, std::size_t hi) {
                         obs::ScopedTimer chunk_timer(chunk_histogram());
+                        const util::Stopwatch watch;
                         auto scratch = acquire_scratch();
                         predict_range(queries, lo, hi, out, *scratch);
                         release_scratch(std::move(scratch));
+                        if (stats != nullptr) {
+                          const std::scoped_lock lock(stats_mutex);
+                          stats->score_seconds += watch.elapsed_seconds();
+                        }
                       });
+}
+
+void BatchScorer::predict_fused(const data::Dataset& dataset,
+                                const BlockEncoder& encoder,
+                                std::span<int> out,
+                                PredictStats* stats) const {
+  const std::size_t n = dataset.size();
+  const std::size_t range_words =
+      block_range_words(dataset.feature_count(), encoder.word_count());
+  const std::size_t blocks = (n + kSampleBlock - 1) / kSampleBlock;
+  std::mutex stats_mutex;
+  pool().parallel_for(0, blocks, [&](std::size_t lo, std::size_t hi) {
+    obs::ScopedTimer chunk_timer(chunk_histogram());
+    auto cursor = encoder.make_cursor(EncodePath::kRematerialized);
+    std::vector<std::uint64_t> encoded(kSampleBlock * range_words);
+    std::vector<std::size_t> distances;
+    std::vector<const std::uint64_t*> range_rows(rows_.size());
+    double local_encode = 0.0;
+    double local_score = 0.0;
+    for (std::size_t b = lo; b < hi; ++b) {
+      const std::size_t begin = b * kSampleBlock;
+      const std::size_t end = std::min(n, begin + kSampleBlock);
+      const std::size_t count = end - begin;
+      {
+        const util::Stopwatch watch;
+        cursor->begin(dataset.rows(begin, count), count);
+        local_encode += watch.elapsed_seconds();
+      }
+      distances.assign(count * rows_.size(), 0);
+      std::size_t word_pos = 0;
+      for (;;) {
+        std::size_t produced = 0;
+        {
+          const util::Stopwatch watch;
+          produced = cursor->encode_words(
+              range_words, {encoded.data(), count * range_words});
+          local_encode += watch.elapsed_seconds();
+        }
+        if (produced == 0) {
+          break;
+        }
+        const util::Stopwatch watch;
+        // Score this word range of every sample against the class rows,
+        // offset into the same range, before the encoded words leave cache.
+        for (std::size_t r = 0; r < rows_.size(); ++r) {
+          range_rows[r] = rows_[r] + word_pos;
+        }
+        for (std::size_t s = 0; s < count; ++s) {
+          hv::hamming_rows_accumulate(
+              encoded.data() + s * produced, range_rows, produced,
+              {distances.data() + s * rows_.size(), rows_.size()});
+        }
+        local_score += watch.elapsed_seconds();
+        word_pos += produced;
+      }
+      const util::Stopwatch watch;
+      for (std::size_t s = 0; s < count; ++s) {
+        // First-wins argmin over full-dimension distances in row order —
+        // identical to predict_range's first-wins argmax over dots, since
+        // dot = dim − 2·distance is strictly decreasing in distance.
+        const std::size_t* d = distances.data() + s * rows_.size();
+        std::size_t best_row = 0;
+        std::size_t best = d[0];
+        for (std::size_t r = 1; r < rows_.size(); ++r) {
+          if (d[r] < best) {
+            best = d[r];
+            best_row = r;
+          }
+        }
+        out[begin + s] = kind_ == Kind::kBinary ? static_cast<int>(best_row)
+                                                : row_class_[best_row];
+      }
+      local_score += watch.elapsed_seconds();
+    }
+    if (stats != nullptr) {
+      const std::scoped_lock lock(stats_mutex);
+      stats->encode_seconds += local_encode;
+      stats->score_seconds += local_score;
+    }
+  });
+}
+
+void BatchScorer::predict_blocked(const data::Dataset& dataset,
+                                  const Encoder& encoder, EncodePath path,
+                                  std::span<int> out,
+                                  PredictStats* stats) const {
+  const std::size_t n = dataset.size();
+  const auto* block = dynamic_cast<const BlockEncoder*>(&encoder);
+  const std::size_t blocks = (n + kSampleBlock - 1) / kSampleBlock;
+  std::mutex stats_mutex;
+  pool().parallel_for(0, blocks, [&](std::size_t lo, std::size_t hi) {
+    obs::ScopedTimer chunk_timer(chunk_histogram());
+    auto cursor = block != nullptr ? block->make_cursor(path) : nullptr;
+    std::vector<hv::BitVector> encoded(std::min(kSampleBlock, n),
+                                       hv::BitVector(encoder.dim()));
+    std::vector<std::uint64_t> range_buf;
+    auto scratch = acquire_scratch();
+    double local_encode = 0.0;
+    double local_score = 0.0;
+    for (std::size_t b = lo; b < hi; ++b) {
+      const std::size_t begin = b * kSampleBlock;
+      const std::size_t end = std::min(n, begin + kSampleBlock);
+      const std::size_t count = end - begin;
+      {
+        const util::Stopwatch watch;
+        if (cursor != nullptr) {
+          // Stream cursor ranges into per-sample hypervectors; the range
+          // size keeps the cursor's item-memory working set cache-sized.
+          const std::size_t range_words =
+              block_range_words(dataset.feature_count(), block->word_count());
+          cursor->begin(dataset.rows(begin, count), count);
+          range_buf.resize(count * range_words);
+          std::size_t word_pos = 0;
+          while (const std::size_t produced =
+                     cursor->encode_words(range_words, range_buf)) {
+            for (std::size_t s = 0; s < count; ++s) {
+              std::memcpy(encoded[s].words().data() + word_pos,
+                          range_buf.data() + s * produced,
+                          produced * sizeof(std::uint64_t));
+            }
+            word_pos += produced;
+          }
+        } else {
+          for (std::size_t i = begin; i < end; ++i) {
+            encoded[i - begin] = encoder.encode(dataset.sample(i));
+          }
+        }
+        local_encode += watch.elapsed_seconds();
+      }
+      const util::Stopwatch watch;
+      predict_range({encoded.data(), count}, 0, count,
+                    out.subspan(begin, count), *scratch);
+      local_score += watch.elapsed_seconds();
+    }
+    release_scratch(std::move(scratch));
+    if (stats != nullptr) {
+      const std::scoped_lock lock(stats_mutex);
+      stats->encode_seconds += local_encode;
+      stats->score_seconds += local_score;
+    }
+  });
+}
+
+void BatchScorer::predict_queries(const QueryBatch& queries,
+                                  std::span<int> out,
+                                  PredictStats* stats) const {
+  util::expects(out.size() == queries.size(),
+                "predict_queries output span must match the batch size");
+  if (stats != nullptr) {
+    *stats = PredictStats{};
+    stats->samples = queries.size();
+  }
+  if (queries.size() == 0) {
+    return;
+  }
+  query_counter().add(queries.size());
+  if (!queries.raw()) {
+    predict_encoded(queries.encoded(), out, stats);
+    return;
+  }
+  const data::Dataset& dataset = queries.samples();
+  const Encoder& encoder = queries.encoder();
+  util::expects(encoder.dim() == dim_,
+                "query batch/classifier dimension mismatch");
+  const auto* block = dynamic_cast<const BlockEncoder*>(&encoder);
+  const EncodePath path =
+      block != nullptr ? resolve_encode_path(queries.path(), dataset.size())
+                       : EncodePath::kMaterialized;
+  const bool rematerialized = path == EncodePath::kRematerialized;
+  (rematerialized ? rematerialized_counter() : materialized_counter())
+      .add(dataset.size());
+  if (block != nullptr) {
+    // Exact traffic accounting for the block grid below: rematerialization
+    // regenerates the position words once per block, the materialized path
+    // streams them once per sample.
+    const std::uint64_t position_bytes =
+        block->encode_bytes_per_sample(EncodePath::kMaterialized, 1);
+    const std::uint64_t block_count =
+        (dataset.size() + kSampleBlock - 1) / kSampleBlock;
+    const std::uint64_t bytes = rematerialized
+                                    ? block_count * position_bytes
+                                    : dataset.size() * position_bytes;
+    encode_bytes_histogram().observe(static_cast<double>(bytes) /
+                                     static_cast<double>(dataset.size()));
+    if (stats != nullptr) {
+      stats->encode_bytes = bytes;
+      stats->rematerialized = rematerialized;
+    }
+  }
+  if (block != nullptr && rematerialized && kind_ != Kind::kNonBinary) {
+    predict_fused(dataset, *block, out, stats);
+  } else {
+    predict_blocked(dataset, encoder, path, out, stats);
+  }
+}
+
+void BatchScorer::predict_batch(std::span<const hv::BitVector> queries,
+                                std::span<int> out) const {
+  predict_queries(QueryBatch(queries), out);
 }
 
 void BatchScorer::predict_batch(const EncodedDataset& dataset,
                                 std::span<int> out) const {
-  predict_batch(dataset.hypervectors(), out);
+  predict_queries(QueryBatch(dataset), out);
 }
 
 void BatchScorer::scores_batch(std::span<const hv::BitVector> queries,

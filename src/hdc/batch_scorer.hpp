@@ -19,6 +19,7 @@
 
 #include "hdc/classifier.hpp"
 #include "hdc/encoded_dataset.hpp"
+#include "hdc/query_batch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lehdc::hdc {
@@ -46,12 +47,24 @@ class BatchScorer {
     return class_count_;
   }
 
-  /// Predicted label per query, bit-identical to the bound classifier's
-  /// per-sample predict. Precondition: out.size() == queries.size().
+  /// THE batched prediction entry point: classifies any QueryBatch view —
+  /// already-encoded hypervectors, an EncodedDataset, or raw samples plus
+  /// their encoder — bit-identically to the bound classifier's per-sample
+  /// predict over per-sample encode, for every worker count and either
+  /// encode path. Raw batches whose encoder is a BlockEncoder run blocked;
+  /// on the rematerialized path against a binary/ensemble classifier the
+  /// encode and score fuse per word range, so no hypervector ever
+  /// materializes and the class rows stay cache-resident. `stats` (optional)
+  /// receives per-stage seconds and encode bytes. Precondition:
+  /// out.size() == queries.size().
+  void predict_queries(const QueryBatch& queries, std::span<int> out,
+                       PredictStats* stats = nullptr) const;
+
+  /// Adapter: predict_queries over already-encoded hypervectors.
   void predict_batch(std::span<const hv::BitVector> queries,
                      std::span<int> out) const;
 
-  /// Predicts every hypervector of an encoded dataset.
+  /// Adapter: predict_queries over an encoded dataset.
   void predict_batch(const EncodedDataset& dataset, std::span<int> out) const;
 
   /// Row-major Q × class_count() bipolar dot scores (the BNN output vector
@@ -82,6 +95,24 @@ class BatchScorer {
   void predict_range(std::span<const hv::BitVector> queries,
                      std::size_t begin, std::size_t end, std::span<int> out,
                      Scratch& scratch) const;
+
+  // Pre-encoded batches: the chunked predict_range parallel loop.
+  void predict_encoded(std::span<const hv::BitVector> queries,
+                       std::span<int> out, PredictStats* stats) const;
+
+  // Raw batches, fused: per sample block, each rematerialized word range is
+  // scored into per-row distance accumulators immediately (binary/ensemble
+  // only — cosine scoring needs the full query vector).
+  void predict_fused(const data::Dataset& dataset,
+                     const BlockEncoder& encoder, std::span<int> out,
+                     PredictStats* stats) const;
+
+  // Raw batches, blocked: encode one block of hypervectors per worker
+  // (through a cursor on `path` when the encoder supports it, else
+  // per-sample encode()), score it, discard it.
+  void predict_blocked(const data::Dataset& dataset, const Encoder& encoder,
+                       EncodePath path, std::span<int> out,
+                       PredictStats* stats) const;
 
   [[nodiscard]] double cosine_score(const hv::BitVector& query,
                                     std::size_t k) const;

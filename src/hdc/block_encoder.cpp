@@ -1,0 +1,56 @@
+#include "hdc/block_encoder.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace lehdc::hdc {
+
+namespace {
+
+// Below this many samples per block the regenerated position words are not
+// amortized over enough samples to beat streaming the stored rows.
+constexpr std::size_t kAutoRematerializeMinSamples = 8;
+
+EncodePath env_encode_path() {
+  const char* raw = std::getenv("LEHDC_ENCODE_PATH");
+  if (raw == nullptr) {
+    return EncodePath::kAuto;
+  }
+  const std::string_view value(raw);
+  if (value == "materialized") {
+    return EncodePath::kMaterialized;
+  }
+  if (value == "rematerialized") {
+    return EncodePath::kRematerialized;
+  }
+  // "auto" and anything unrecognized fall through to the heuristic.
+  return EncodePath::kAuto;
+}
+
+}  // namespace
+
+std::size_t block_range_words(std::size_t feature_count,
+                              std::size_t word_count) noexcept {
+  constexpr std::size_t kPositionScratchWords =
+      256 * 1024 / sizeof(std::uint64_t);
+  std::size_t words =
+      kPositionScratchWords / (feature_count == 0 ? 1 : feature_count);
+  if (words < 8) {
+    words = 8;
+  }
+  return words < word_count ? words : word_count;
+}
+
+EncodePath resolve_encode_path(EncodePath requested, std::size_t samples) {
+  if (requested != EncodePath::kAuto) {
+    return requested;
+  }
+  static const EncodePath pinned = env_encode_path();
+  if (pinned != EncodePath::kAuto) {
+    return pinned;
+  }
+  return samples >= kAutoRematerializeMinSamples ? EncodePath::kRematerialized
+                                                 : EncodePath::kMaterialized;
+}
+
+}  // namespace lehdc::hdc

@@ -1,0 +1,98 @@
+// Block-encode surface: whole sample blocks, one word range at a time.
+//
+// Encoder::encode() is sample-at-a-time and materializes a full D-bit
+// hypervector per call, which makes encoding memory-bandwidth bound: every
+// sample streams the entire position item memory (N·D bits) through the
+// cache. BlockEncoder turns the loop inside out. A cursor binds to a block
+// of S samples and emits their packed hypervector words a word range at a
+// time, so (a) the item-memory words for a range are loaded — or
+// *rematerialized* from the stored RNG seeds, costing no memory traffic at
+// all — once per block instead of once per sample, and (b) a consumer can
+// score each word range against the class memory immediately and never hold
+// more than an L2-sized slice of any hypervector (the fused encode→score
+// kernel in BatchScorer). Both item-memory paths are bit-identical; the
+// parity suite in tests/test_block_encode.cpp gates that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+namespace lehdc::hdc {
+
+/// Which item-memory strategy a block encode uses.
+enum class EncodePath {
+  /// Pick per call: rematerialize for batches (resolve_encode_path), unless
+  /// the LEHDC_ENCODE_PATH environment variable pins a path process-wide.
+  kAuto,
+  /// Stream the stored item-memory rows from RAM (the classic path; cheapest
+  /// for single samples and tiny batches).
+  kMaterialized,
+  /// Regenerate item-memory words on the fly from the stored seeds —
+  /// bit-identical to the stored rows, zero item-memory traffic.
+  kRematerialized,
+};
+
+/// Streaming cursor over the packed hypervector words of a sample block.
+/// Obtained from BlockEncoder::make_cursor and reusable across blocks:
+/// begin() rebinds without allocation after the first block. Not thread
+/// safe; use one cursor per worker.
+class BlockEncodeCursor {
+ public:
+  virtual ~BlockEncodeCursor() = default;
+
+  /// Binds to `count` samples stored row-major in `features` (the layout
+  /// data::Dataset::rows returns) and rewinds to word 0. Precondition:
+  /// features.size() == count * feature_count, count >= 1.
+  virtual void begin(std::span<const float> features, std::size_t count) = 0;
+
+  /// Encodes the next up-to-`words` packed words of every bound sample into
+  /// `out`, tightly row-major: sample s's words land at out[s * produced].
+  /// Returns `produced` — less than `words` only at the end of the
+  /// hypervector, 0 once it is exhausted. Tail bits past the logical
+  /// dimension are zero, matching BitVector's invariant. Precondition:
+  /// out.size() >= count * min(words, words remaining).
+  virtual std::size_t encode_words(std::size_t words,
+                                   std::span<std::uint64_t> out) = 0;
+};
+
+/// Implemented by encoders that can emit word ranges of whole sample blocks
+/// without materializing per-sample hypervectors (RecordEncoder today).
+/// Consumers discover the capability with dynamic_cast from Encoder and
+/// fall back to per-sample encode() otherwise.
+class BlockEncoder {
+ public:
+  virtual ~BlockEncoder() = default;
+
+  /// Packed words per encoded hypervector, ceil(dim / 64).
+  [[nodiscard]] virtual std::size_t word_count() const noexcept = 0;
+
+  /// Item-memory bytes one sample's encode streams from RAM on `path` when
+  /// cursors process `block_samples` samples per begin(). The bytes/sample
+  /// figure behind the encode.bytes_per_sample metric and the bench report.
+  [[nodiscard]] virtual std::size_t encode_bytes_per_sample(
+      EncodePath path, std::size_t block_samples) const noexcept = 0;
+
+  /// A fresh cursor over this encoder. kAuto resolves per begin() via
+  /// resolve_encode_path with the bound block's sample count.
+  [[nodiscard]] virtual std::unique_ptr<BlockEncodeCursor> make_cursor(
+      EncodePath path = EncodePath::kAuto) const = 0;
+};
+
+/// Words per encode_words() step that keep a cursor's item-memory working
+/// set cache-resident: the per-range position scratch (feature_count rows ×
+/// range words) is capped at 256 KiB, floored at 8 words, capped at the full
+/// hypervector. At paper scale (N=784, D=10k) this yields 41-word ranges.
+[[nodiscard]] std::size_t block_range_words(std::size_t feature_count,
+                                            std::size_t word_count) noexcept;
+
+/// Resolves kAuto against the LEHDC_ENCODE_PATH environment variable
+/// ("materialized" | "rematerialized" | "auto", read once per process) and,
+/// failing that, the batch size: rematerialization amortizes the regenerated
+/// words over the samples of a block, so it wins for batches and loses for
+/// near-single samples. Non-auto requests pass through unchanged.
+[[nodiscard]] EncodePath resolve_encode_path(EncodePath requested,
+                                             std::size_t samples);
+
+}  // namespace lehdc::hdc

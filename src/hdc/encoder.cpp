@@ -1,5 +1,9 @@
 #include "hdc/encoder.hpp"
 
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -16,6 +20,113 @@ std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) {
   util::SplitMix64 mixer(seed ^ (stream * 0x9e3779b97f4a7c15ULL));
   return mixer();
 }
+
+// The RecordEncoder block cursor. Per word range it gathers the position
+// words for every feature once — shared by all bound samples, which is what
+// makes rematerialization pay: the RNG replay cost is amortized over the
+// block — then per sample binds them against the level words and majority-
+// votes the range. All scratch is retained across begin() calls.
+class RecordBlockCursor final : public BlockEncodeCursor {
+ public:
+  RecordBlockCursor(const RecordEncoder& owner, EncodePath path)
+      : owner_(owner), requested_(path) {}
+
+  void begin(std::span<const float> features, std::size_t count) override {
+    const std::size_t n = owner_.feature_count();
+    util::expects(count >= 1, "block encode of zero samples");
+    util::expects(features.size() == count * n,
+                  "block encode: feature width mismatch");
+    count_ = count;
+    word_pos_ = 0;
+    level_index_.resize(count * n);
+    for (std::size_t idx = 0; idx < features.size(); ++idx) {
+      level_index_[idx] =
+          static_cast<std::uint32_t>(owner_.levels().quantize(features[idx]));
+    }
+    rematerialize_ =
+        resolve_encode_path(requested_, count) == EncodePath::kRematerialized;
+    if (rematerialize_) {
+      row_rngs_.clear();
+      row_rngs_.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        util::Rng rng;
+        rng.set_state(owner_.positions().row_state(i));
+        row_rngs_.push_back(rng);
+      }
+    }
+  }
+
+  std::size_t encode_words(std::size_t words,
+                           std::span<std::uint64_t> out) override {
+    const std::size_t total = owner_.word_count();
+    if (word_pos_ >= total || words == 0) {
+      return 0;
+    }
+    const std::size_t produced = std::min(words, total - word_pos_);
+    util::expects(out.size() >= count_ * produced,
+                  "block encode: output span too small");
+    const std::size_t n = owner_.feature_count();
+    position_words_.resize(n * produced);
+    if (rematerialize_) {
+      // Replay each row's stream in storage-word order; the draws continue
+      // exactly where the previous range left off. The tail word must be
+      // masked like BitVector::clear_tail does — the stored rows have zero
+      // bits past the dimension, the raw stream does not.
+      const std::size_t tail_bits = owner_.dim() % 64;
+      const bool mask_tail = word_pos_ + produced == total && tail_bits != 0;
+      const std::uint64_t tail_mask =
+          (std::uint64_t{1} << (tail_bits == 0 ? 1 : tail_bits)) - 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        util::Rng& rng = row_rngs_[i];
+        std::uint64_t* dst = position_words_.data() + i * produced;
+        for (std::size_t w = 0; w < produced; ++w) {
+          dst[w] = rng.next();
+        }
+        if (mask_tail) {
+          dst[produced - 1] &= tail_mask;
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t* src =
+            owner_.positions().at(i).words().data() + word_pos_;
+        std::memcpy(position_words_.data() + i * produced, src,
+                    produced * sizeof(std::uint64_t));
+      }
+    }
+    bound_.resize(produced);
+    const std::uint64_t* tie =
+        owner_.tie_break().words().data() + word_pos_;
+    for (std::size_t s = 0; s < count_; ++s) {
+      accumulator_.reset(produced);
+      const std::uint32_t* levels = level_index_.data() + s * n;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t* pos = position_words_.data() + i * produced;
+        const std::uint64_t* level =
+            owner_.levels().at(levels[i]).words().data() + word_pos_;
+        for (std::size_t w = 0; w < produced; ++w) {
+          bound_[w] = pos[w] ^ level[w];
+        }
+        accumulator_.add(bound_.data());
+      }
+      accumulator_.majority(tie, out.data() + s * produced);
+    }
+    word_pos_ += produced;
+    return produced;
+  }
+
+ private:
+  const RecordEncoder& owner_;
+  EncodePath requested_;
+  bool rematerialize_ = false;
+  std::size_t count_ = 0;
+  std::size_t word_pos_ = 0;
+  std::vector<std::uint32_t> level_index_;      // count × N quantized values
+  std::vector<util::Rng> row_rngs_;             // N replay streams (remat)
+  std::vector<std::uint64_t> position_words_;   // N × range scratch
+  std::vector<std::uint64_t> bound_;            // one bound range
+  hv::WordBlockAccumulator accumulator_;
+};
 }  // namespace
 
 RecordEncoder::RecordEncoder(const RecordEncoderConfig& config)
@@ -38,21 +149,37 @@ std::size_t RecordEncoder::feature_count() const noexcept {
 hv::BitVector RecordEncoder::encode(std::span<const float> features) const {
   util::expects(features.size() == feature_count(),
                 "encode: feature width mismatch");
-  hv::BitSliceAccumulator accumulator(dim());
-  hv::BitVector bound(dim());
-  for (std::size_t i = 0; i < features.size(); ++i) {
-    // bound = 𝓕_i ∘ 𝓥_{f_i}; XOR of the packed words.
-    const auto& position = positions_.at(i);
-    const auto& level = levels_.for_value(features[i]);
-    const auto pos_words = position.words();
-    const auto lvl_words = level.words();
-    const auto out_words = bound.words();
-    for (std::size_t w = 0; w < out_words.size(); ++w) {
-      out_words[w] = pos_words[w] ^ lvl_words[w];
-    }
-    accumulator.add(bound);
+  // Thin adapter over the block surface: a one-sample block, whole word
+  // range, streaming the stored rows (rematerialization only pays for
+  // blocks). Model IO and per-sample predict stay on this.
+  hv::BitVector out(dim());
+  RecordBlockCursor cursor(*this, EncodePath::kMaterialized);
+  cursor.begin(features, 1);
+  cursor.encode_words(word_count(), out.words());
+  return out;
+}
+
+std::size_t RecordEncoder::word_count() const noexcept {
+  return tie_break_.word_count();
+}
+
+std::size_t RecordEncoder::encode_bytes_per_sample(
+    EncodePath path, std::size_t block_samples) const noexcept {
+  // The position memory is what each sample streams (the level memory is
+  // Q·D bits, cache-resident, identical on both paths). Rematerialization
+  // replaces the stream with scratch words shared by the whole block.
+  const std::size_t samples = block_samples == 0 ? 1 : block_samples;
+  const std::size_t position_bytes =
+      feature_count() * word_count() * sizeof(std::uint64_t);
+  if (resolve_encode_path(path, samples) == EncodePath::kMaterialized) {
+    return position_bytes;
   }
-  return accumulator.majority(tie_break_);
+  return position_bytes / samples;
+}
+
+std::unique_ptr<BlockEncodeCursor> RecordEncoder::make_cursor(
+    EncodePath path) const {
+  return std::make_unique<RecordBlockCursor>(*this, path);
 }
 
 NgramEncoder::NgramEncoder(const NgramEncoderConfig& config)

@@ -13,6 +13,7 @@
 #include <memory>
 #include <span>
 
+#include "hdc/block_encoder.hpp"
 #include "hdc/item_memory.hpp"
 #include "hv/bitslice.hpp"
 #include "hv/bitvector.hpp"
@@ -46,7 +47,12 @@ struct RecordEncoderConfig {
 };
 
 /// Record-based encoder (Eq. 1): H = sgn(Σ_i 𝓕_i ∘ 𝓥_{f_i}).
-class RecordEncoder final : public Encoder {
+///
+/// Also a BlockEncoder: its cursors encode sample blocks a word range at a
+/// time, binding either the stored position rows (materialized) or words
+/// replayed from PositionMemory::row_state (rematerialized) — both produce
+/// the exact bits of encode(), which is itself a one-sample cursor pass.
+class RecordEncoder final : public Encoder, public BlockEncoder {
  public:
   explicit RecordEncoder(const RecordEncoderConfig& config);
 
@@ -54,6 +60,12 @@ class RecordEncoder final : public Encoder {
   [[nodiscard]] std::size_t feature_count() const noexcept override;
   [[nodiscard]] hv::BitVector encode(
       std::span<const float> features) const override;
+
+  [[nodiscard]] std::size_t word_count() const noexcept override;
+  [[nodiscard]] std::size_t encode_bytes_per_sample(
+      EncodePath path, std::size_t block_samples) const noexcept override;
+  [[nodiscard]] std::unique_ptr<BlockEncodeCursor> make_cursor(
+      EncodePath path) const override;
 
   [[nodiscard]] const PositionMemory& positions() const noexcept {
     return positions_;

@@ -1,5 +1,8 @@
 #include "hv/bitslice.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "util/check.hpp"
 
 namespace lehdc::hv {
@@ -8,7 +11,89 @@ namespace {
 constexpr std::size_t words_for(std::size_t dim) noexcept {
   return (dim + 63) / 64;
 }
+
+// Resolves all 64 lanes of one word at once: given the gathered per-plane
+// bits of the lane counters, compute count > threshold per lane (gt) and
+// count == threshold per lane (eq) by walking the planes from the most
+// significant bit of max(plane_count, bit_width(threshold)) downwards —
+// the bit-sliced analogue of integer comparison. Ties only matter for an
+// even vote count, where the caller supplies the tie word.
+inline std::uint64_t majority_word(const std::uint64_t* lane_planes,
+                                   std::size_t plane_count,
+                                   std::size_t threshold, bool can_tie,
+                                   std::uint64_t tie_word) noexcept {
+  std::size_t bits = std::bit_width(threshold);
+  if (bits < plane_count) {
+    bits = plane_count;
+  }
+  std::uint64_t gt = 0;
+  std::uint64_t eq = ~std::uint64_t{0};
+  for (std::size_t p = bits; p-- > 0;) {
+    const std::uint64_t plane = p < plane_count ? lane_planes[p] : 0;
+    if ((threshold >> p) & 1u) {
+      eq &= plane;
+    } else {
+      gt |= eq & plane;
+      eq &= ~plane;
+    }
+  }
+  return can_tie ? gt | (eq & tie_word) : gt;
+}
 }  // namespace
+
+void majority_words(const std::uint64_t* planes, std::size_t plane_count,
+                    std::size_t words, std::size_t added,
+                    const std::uint64_t* tie_break, std::uint64_t* out) {
+  util::expects(added > 0, "majority over zero votes");
+  const bool can_tie = (added % 2 == 0);
+  const std::size_t threshold = added / 2;
+  std::uint64_t lanes[64];
+  for (std::size_t w = 0; w < words; ++w) {
+    for (std::size_t p = 0; p < plane_count; ++p) {
+      lanes[p] = planes[p * words + w];
+    }
+    out[w] = majority_word(lanes, plane_count, threshold, can_tie,
+                           can_tie ? tie_break[w] : 0);
+  }
+}
+
+void WordBlockAccumulator::reset(std::size_t words) {
+  words_ = words;
+  added_ = 0;
+  plane_count_ = 0;
+  carry_.resize(words);
+}
+
+void WordBlockAccumulator::add(const std::uint64_t* block) {
+  // Same ripple carry-save addition as BitSliceAccumulator::add, but over
+  // the contiguous plane buffer and the reusable carry scratch.
+  std::copy(block, block + words_, carry_.begin());
+  for (std::size_t p = 0; p < plane_count_; ++p) {
+    std::uint64_t* plane = planes_.data() + p * words_;
+    std::uint64_t any_carry = 0;
+    for (std::size_t w = 0; w < words_; ++w) {
+      const std::uint64_t sum = plane[w] ^ carry_[w];
+      const std::uint64_t out = plane[w] & carry_[w];
+      plane[w] = sum;
+      carry_[w] = out;
+      any_carry |= out;
+    }
+    if (any_carry == 0) {
+      ++added_;
+      return;
+    }
+  }
+  planes_.resize((plane_count_ + 1) * words_);
+  std::copy(carry_.begin(), carry_.end(),
+            planes_.begin() + static_cast<std::ptrdiff_t>(plane_count_ * words_));
+  ++plane_count_;
+  ++added_;
+}
+
+void WordBlockAccumulator::majority(const std::uint64_t* tie_break,
+                                    std::uint64_t* out) const {
+  majority_words(planes_.data(), plane_count_, words_, added_, tie_break, out);
+}
 
 BitSliceAccumulator::BitSliceAccumulator(std::size_t dim)
     : dim_(dim), words_(words_for(dim)) {}
@@ -62,17 +147,20 @@ BitVector BitSliceAccumulator::majority(const BitVector& tie_break) const {
   util::expects(added_ > 0, "majority of an empty accumulator");
   util::expects(tie_break.dim() == dim_, "tie-break dimension mismatch");
   BitVector out(dim_);
+  // Word-parallel threshold compare: all 64 counters of a word resolve in
+  // O(plane_count) ops. Lanes past dim_ hold count 0 and tie_break's tail
+  // bits are zero, so the output tail stays zero without masking.
   const bool can_tie = (added_ % 2 == 0);
-  const std::size_t half = added_ / 2;
-  for (std::size_t i = 0; i < dim_; ++i) {
-    const std::size_t negatives = count(i);
-    bool bit = false;
-    if (negatives * 2 > added_) {
-      bit = true;
-    } else if (can_tie && negatives == half) {
-      bit = tie_break.get_bit(i);
+  const std::size_t threshold = added_ / 2;
+  const auto out_words = out.words();
+  const auto tie_words = tie_break.words();
+  std::uint64_t lanes[64];
+  for (std::size_t w = 0; w < words_; ++w) {
+    for (std::size_t p = 0; p < planes_.size(); ++p) {
+      lanes[p] = planes_[p][w];
     }
-    out.set_bit(i, bit);
+    out_words[w] = majority_word(lanes, planes_.size(), threshold, can_tie,
+                                 can_tie ? tie_words[w] : 0);
   }
   return out;
 }

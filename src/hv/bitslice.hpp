@@ -19,6 +19,53 @@
 
 namespace lehdc::hv {
 
+/// Word-parallel majority threshold over bit-sliced counters.
+///
+/// `planes` holds `plane_count` bit-planes of `words` packed words each,
+/// plane-major (plane p starts at planes[p * words]): bit b of plane p is
+/// bit p of the counter for lane b of that word. For every lane the output
+/// bit is 1 iff its counter is strictly greater than added/2; exact ties
+/// (possible only for even `added`) take the corresponding `tie_break` bit.
+/// All 64 lanes of a word are resolved together with the classic bit-sliced
+/// greater/equal comparison walked from the most significant plane down, so
+/// the cost is O(plane_count) word ops per word instead of O(64·plane_count)
+/// single-bit probes. Lanes whose counter is 0 come out 0 whenever added > 0.
+/// Preconditions: added > 0, out has `words` slots, tie_break has `words`
+/// words (it is only read when `added` is even).
+void majority_words(const std::uint64_t* planes, std::size_t plane_count,
+                    std::size_t words, std::size_t added,
+                    const std::uint64_t* tie_break, std::uint64_t* out);
+
+/// Carry-save majority accumulator over a fixed block of packed words — the
+/// compute core of block encoding (hdc::BlockEncoder). Unlike
+/// BitSliceAccumulator it is dimension-agnostic: it sees only raw word
+/// spans, keeps its counter planes in one contiguous plane-major buffer, and
+/// reset() reuses that capacity, so a cursor sweeping thousands of word
+/// blocks allocates only on the first block.
+class WordBlockAccumulator {
+ public:
+  /// Prepares for a block of `words` packed words, clearing all counters.
+  void reset(std::size_t words);
+
+  [[nodiscard]] std::size_t words() const noexcept { return words_; }
+  [[nodiscard]] std::size_t added() const noexcept { return added_; }
+
+  /// Adds one hypervector block of words() packed words (1-bits vote −1).
+  void add(const std::uint64_t* block);
+
+  /// Majority vote into `out` (words() slots) with the same threshold and
+  /// tie rule as BitSliceAccumulator::majority; `tie_break` supplies the
+  /// words() tie words. Precondition: added() > 0.
+  void majority(const std::uint64_t* tie_break, std::uint64_t* out) const;
+
+ private:
+  std::size_t words_ = 0;
+  std::size_t added_ = 0;
+  std::size_t plane_count_ = 0;
+  std::vector<std::uint64_t> planes_;  // plane-major, plane_count_ × words_
+  std::vector<std::uint64_t> carry_;   // ripple scratch, words_ entries
+};
+
 class BitSliceAccumulator {
  public:
   explicit BitSliceAccumulator(std::size_t dim = 0);

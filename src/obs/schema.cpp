@@ -13,14 +13,15 @@ namespace {
 constexpr std::array kKnownNames = {
     // LINT-METRICS-BEGIN
     std::string_view{"encode.block_seconds"},
+    std::string_view{"encode.bytes_per_sample"},
+    std::string_view{"encode.materialized_samples"},
+    std::string_view{"encode.rematerialized_samples"},
     std::string_view{"encode.samples"},
     std::string_view{"io.model_load_seconds"},
     std::string_view{"io.model_save_seconds"},
     std::string_view{"io.pipeline_load_seconds"},
     std::string_view{"io.pipeline_save_seconds"},
     std::string_view{"pipeline.batch_queries"},
-    std::string_view{"pipeline.encode_block_seconds"},
-    std::string_view{"pipeline.score_block_seconds"},
     std::string_view{"score.chunk_seconds"},
     std::string_view{"score.queries"},
     std::string_view{"serve.batch_size"},

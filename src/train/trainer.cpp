@@ -1,9 +1,47 @@
 #include "train/trainer.hpp"
 
+#include "util/stopwatch.hpp"
+
 namespace lehdc::train {
 
 EpochObserver record_trajectory() {
   return [](const EpochEvent&) {};
+}
+
+void Model::predict_queries(const hdc::QueryBatch& queries,
+                            std::span<int> out,
+                            hdc::PredictStats* stats) const {
+  if (stats != nullptr) {
+    *stats = hdc::PredictStats{};
+    stats->samples = queries.size();
+  }
+  if (!queries.raw()) {
+    const util::Stopwatch watch;
+    predict_batch(queries.encoded(), out);
+    if (stats != nullptr) {
+      stats->score_seconds = watch.elapsed_seconds();
+    }
+    return;
+  }
+  // Reference fallback for custom Model subclasses: per-sample encode, then
+  // the model's batch path. Classifier-backed models override with
+  // BatchScorer's blocked/fused raw paths.
+  const data::Dataset& dataset = queries.samples();
+  const hdc::Encoder& encoder = queries.encoder();
+  std::vector<hv::BitVector> encoded;
+  encoded.reserve(dataset.size());
+  const util::Stopwatch encode_watch;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    encoded.push_back(encoder.encode(dataset.sample(i)));
+  }
+  if (stats != nullptr) {
+    stats->encode_seconds = encode_watch.elapsed_seconds();
+  }
+  const util::Stopwatch score_watch;
+  predict_batch(encoded, out);
+  if (stats != nullptr) {
+    stats->score_seconds = score_watch.elapsed_seconds();
+  }
 }
 
 TrainResult Trainer::train(const hdc::EncodedDataset& train_set,

@@ -30,10 +30,21 @@ class Model {
 
   [[nodiscard]] virtual int predict(const hv::BitVector& query) const = 0;
 
-  /// Classifies a whole batch; out must match queries in size. Results are
-  /// bit-identical to calling predict per query. The default loops; the
-  /// classifier-backed models override it with the thread-pooled
-  /// hdc::BatchScorer path.
+  /// THE batched prediction surface: classifies any hdc::QueryBatch view
+  /// (already-encoded hypervectors, an EncodedDataset, or raw samples plus
+  /// their encoder), bit-identically to per-sample encode + predict. The
+  /// classifier-backed models override it with hdc::BatchScorer's fused /
+  /// blocked paths; the default (for custom Model subclasses) encodes per
+  /// sample and routes through predict_batch. `stats` (optional) receives
+  /// per-stage seconds and encode bytes. Precondition:
+  /// out.size() == queries.size().
+  virtual void predict_queries(const hdc::QueryBatch& queries,
+                               std::span<int> out,
+                               hdc::PredictStats* stats = nullptr) const;
+
+  /// Adapter: predict_queries over already-encoded hypervectors. Results
+  /// are bit-identical to calling predict per query. The default loops;
+  /// the classifier-backed models override predict_queries instead.
   virtual void predict_batch(std::span<const hv::BitVector> queries,
                              std::span<int> out) const {
     for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -171,6 +182,10 @@ class BinaryModel final : public Model {
   [[nodiscard]] int predict(const hv::BitVector& query) const override {
     return classifier_.predict(query);
   }
+  void predict_queries(const hdc::QueryBatch& queries, std::span<int> out,
+                       hdc::PredictStats* stats) const override {
+    hdc::BatchScorer(classifier_).predict_queries(queries, out, stats);
+  }
   void predict_batch(std::span<const hv::BitVector> queries,
                      std::span<int> out) const override {
     hdc::BatchScorer(classifier_).predict_batch(queries, out);
@@ -200,6 +215,10 @@ class EnsembleModel final : public Model {
   [[nodiscard]] int predict(const hv::BitVector& query) const override {
     return classifier_.predict(query);
   }
+  void predict_queries(const hdc::QueryBatch& queries, std::span<int> out,
+                       hdc::PredictStats* stats) const override {
+    hdc::BatchScorer(classifier_).predict_queries(queries, out, stats);
+  }
   void predict_batch(std::span<const hv::BitVector> queries,
                      std::span<int> out) const override {
     hdc::BatchScorer(classifier_).predict_batch(queries, out);
@@ -224,6 +243,10 @@ class NonBinaryModel final : public Model {
 
   [[nodiscard]] int predict(const hv::BitVector& query) const override {
     return classifier_.predict(query);
+  }
+  void predict_queries(const hdc::QueryBatch& queries, std::span<int> out,
+                       hdc::PredictStats* stats) const override {
+    hdc::BatchScorer(classifier_).predict_queries(queries, out, stats);
   }
   void predict_batch(std::span<const hv::BitVector> queries,
                      std::span<int> out) const override {

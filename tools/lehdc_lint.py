@@ -30,7 +30,16 @@ ctest as the `lehdc_lint` test and from the CI lint job):
   layering          #include edges between src/ subdirectories must follow
                     the layer DAG (hv -> hdc -> train -> core, with util/
                     obs/data as leaves and eval/serve/robustness on top,
-                    and chaos consuming serve + robustness).
+                    and chaos consuming serve + robustness). The block-
+                    kernel boundary rides this edge: hv owns the word-level
+                    primitives (bit-sliced majority, hamming row
+                    accumulation), hdc composes them into the block
+                    encoder and the fused encode->score kernel.
+  simd-in-hv        SIMD intrinsics (<immintrin.h>, _mm*_ calls) may only
+                    appear in src/hv/ — the single kernel-dispatch layer.
+                    Higher layers (the hdc block kernels included) must
+                    compose hv's word-level primitives so new instruction
+                    sets are wired up exactly once.
   pragma-once       Every header in src/ carries #pragma once.
   chaos-invariants  Every scenario in the src/chaos matrix
                     (LINT-SCENARIOS block in scenarios.cpp) must register
@@ -189,6 +198,8 @@ STDIO_RE = re.compile(
     r"|fwrite\s*\([^;]*?,\s*std(?:out|err)\s*\)")
 SLEEP_RE = re.compile(
     r"\bsleep_for\b|\bsleep_until\b|\busleep\s*\(|\bnanosleep\s*\(")
+SIMD_RE = re.compile(
+    r"#\s*include\s*<immintrin\.h>|\b_mm(?:256|512)?_[a-z0-9_]+\s*\(")
 METRIC_REG_RE = re.compile(
     r"\.\s*(counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
 TENANT_METRIC_RE = re.compile(r"tenant_metric_name\s*\(\s*\"([^\"]*)\"")
@@ -291,6 +302,13 @@ def lint_file(path: Path, root: Path, schema_names: set[str],
             report("unseeded-rng", rel, line_of(text, m.start()),
                    f"{m.group(0).strip()} breaks run reproducibility — use "
                    "util::rng's seeded generators", allowed)
+        if not rel.startswith("src/hv/"):
+            for m in SIMD_RE.finditer(text):
+                report("simd-in-hv", rel, line_of(text, m.start()),
+                       f"SIMD intrinsic ({m.group(0).strip()}) outside "
+                       "src/hv — compose hv's word-level kernels "
+                       "(hv/batch_score.hpp, hv/bitslice.hpp) instead",
+                       allowed)
         if rel not in STDIO_ALLOW:
             for m in STDIO_RE.finditer(text):
                 report("stdout-in-library", rel, line_of(text, m.start()),
