@@ -18,6 +18,7 @@
 // --reports-dir additionally writes each scenario's lehdc.metrics.v1
 // report as its own JSON file (CI uploads these as artifacts).
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <string>
@@ -39,6 +40,7 @@ const std::vector<std::string> kSmokeScenarios = {
     "bursty_overload",
     "ber_live_injection",
     "hot_reload_under_fire",
+    "online_drift_recovery",
 };
 
 std::vector<double> parse_bers(const std::string& spec) {
@@ -96,6 +98,9 @@ int main(int argc, char** argv) {
 
   const double scale = flags.get_double("scale");
   const std::string& reports_dir = flags.get_string("reports-dir");
+  if (!reports_dir.empty()) {
+    std::filesystem::create_directories(reports_dir);
+  }
   const bool check_determinism = !flags.get_flag("skip-determinism");
   bool failed = false;
 
@@ -161,6 +166,28 @@ int main(int argc, char** argv) {
       reasons.set(reason, count);
     }
     entry.set("reject_reasons", std::move(reasons));
+    if (config.drift_at_us > 0) {
+      // The drift-recovery curve: per-tenant served accuracy over time
+      // buckets, plus the pre/post summary the kDriftRecovery invariant
+      // judges — the online tenant recovers while the frozen one decays.
+      obs::Json drift = obs::Json::array();
+      for (const chaos::TenantOutcome& outcome : result.tenants) {
+        obs::Json tenant = obs::Json::object();
+        tenant.set("tenant", outcome.id);
+        tenant.set("pre_drift_accuracy", outcome.pre_drift_accuracy);
+        tenant.set("post_drift_accuracy", outcome.post_drift_accuracy);
+        tenant.set("flips", outcome.flips);
+        tenant.set("feedback_accepted", outcome.feedback_accepted);
+        obs::Json curve = obs::Json::array();
+        for (const double point : outcome.accuracy_curve) {
+          curve.push_back(obs::Json(point));
+        }
+        tenant.set("accuracy_curve", std::move(curve));
+        drift.push_back(std::move(tenant));
+      }
+      entry.set("drift_at_us", config.drift_at_us);
+      entry.set("drift", std::move(drift));
+    }
     scenarios_json.push_back(std::move(entry));
 
     if (!reports_dir.empty()) {

@@ -1,6 +1,8 @@
 #include "chaos/scenario.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <deque>
 #include <future>
 #include <memory>
 #include <utility>
@@ -32,6 +34,8 @@ const char* invariant_name(Invariant invariant) noexcept {
       return "no_accuracy_cliff";
     case Invariant::kAllTenantsServed:
       return "all_tenants_served";
+    case Invariant::kDriftRecovery:
+      return "drift_recovery";
   }
   return "unknown";
 }
@@ -75,6 +79,25 @@ std::pair<core::Pipeline, data::Dataset> build_tenant_model(
   return {std::move(pipeline), std::move(split.test)};
 }
 
+/// Re-draws the synthetic problem under a shifted seed: same shape and
+/// noise, freshly drawn class prototypes — the mid-run concept drift the
+/// online path must chase. Tenants sharing a seed share the shifted
+/// problem too, which is what makes the adaptive-vs-frozen comparison in
+/// kDriftRecovery apples-to-apples.
+data::Dataset drifted_pool(const ScenarioConfig& config,
+                           std::uint64_t seed) {
+  data::SyntheticConfig synth;
+  synth.feature_count = config.feature_count;
+  synth.class_count = config.class_count;
+  synth.train_count = config.train_count;
+  synth.test_count = config.query_pool;
+  synth.class_separation = 1.2;
+  synth.noise_stddev = 0.25;
+  synth.seed = seed ^ 0xd41f7ULL;
+  auto split = data::generate_synthetic(synth);
+  return std::move(split.test);
+}
+
 /// A new pipeline object serving the same stored bits as `base` after a
 /// pass through a memory with the given bit-error rate (ber == 0 gives a
 /// bit-identical clean twin — the blue-green flip target).
@@ -104,12 +127,34 @@ struct TenantState {
   /// generations by construction).
   std::vector<int> predictions;
   std::size_t next_query = 0;
+
+  /// Drift scenarios: the post-drift query pool (shifted prototypes),
+  /// its ground truth and generations[0]'s predictions over it.
+  data::Dataset drifted;
+  std::vector<int> drifted_truth;
+  std::vector<int> drifted_predictions;
+  std::size_t next_drifted = 0;
+
+  /// Online tenants get ground-truth feedback for served responses.
+  bool online = false;
+  std::size_t feedback_counter = 0;
+  std::size_t feedback_offered = 0;
 };
 
 struct Submission {
   std::future<serve::Response> future;
+  /// Filled mid-run by the feedback harvester (online scenarios only);
+  /// accounting falls back to future.get() when not harvested.
+  serve::Response response;
+  bool harvested = false;
   std::size_t tenant_index = 0;
   std::size_t query_index = 0;
+  std::uint64_t arrival_us = 0;
+  /// Ground truth for this query (drift-aware).
+  int truth = 0;
+  /// generations[0]'s prediction, or -1 when not comparable (online
+  /// tenants flip generations mid-run).
+  int expected = -1;
 };
 
 std::vector<float> features_of(const data::Dataset& dataset,
@@ -127,6 +172,17 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   util::expects(config.query_pool > 0, "query_pool must be positive");
   util::expects(!invariants.empty(),
                 "a scenario must assert at least one invariant");
+
+  const bool drift = config.drift_at_us > 0;
+  const bool online_enabled = !config.online_tenants.empty();
+  if (drift) {
+    util::expects(config.drift_at_us < config.arrivals.horizon_us,
+                  "drift_at_us must fall inside the arrival horizon");
+  }
+  if (online_enabled) {
+    util::expects(config.feedback_every > 0,
+                  "feedback_every must be positive");
+  }
 
   const ScopedMetricsEnabled metrics_on;
   ScenarioResult result;
@@ -151,6 +207,13 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
     for (std::size_t i = 0; i < state.queries.size(); ++i) {
       state.truth.push_back(state.queries.label(i));
     }
+    if (drift) {
+      state.drifted = drifted_pool(config, spec.seed);
+      state.drifted_truth.reserve(state.drifted.size());
+      for (std::size_t i = 0; i < state.drifted.size(); ++i) {
+        state.drifted_truth.push_back(state.drifted.label(i));
+      }
+    }
 
     // One corruption seed per tenant, drawn in tenant order from the
     // master stream — deterministic, decorrelated across tenants.
@@ -165,7 +228,21 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
           rebuild_generation(base, config.model_ber, fault_seed)));
     }
     state.predictions = state.generations[0]->predict_batch(state.queries);
+    if (drift) {
+      state.drifted_predictions =
+          state.generations[0]->predict_batch(state.drifted);
+    }
     tenants.push_back(std::move(state));
+  }
+  for (const std::string& id : config.online_tenants) {
+    bool found = false;
+    for (TenantState& tenant : tenants) {
+      if (tenant.spec.id == id) {
+        tenant.online = true;
+        found = true;
+      }
+    }
+    util::expects(found, "online_tenants entries must name scenario tenants");
   }
 
   // -------------------------------------------------- server (manual) --
@@ -183,6 +260,22 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   }
   serve::InferenceServer server(registry, server_config, &clock);
 
+  // Online tenants get the feedback→shadow-learner→flip sidecar, driven
+  // in manual mode so every pump happens at a deterministic virtual time.
+  std::unique_ptr<serve::OnlineSidecar> sidecar;
+  if (online_enabled) {
+    serve::OnlineSidecarConfig online_config = config.online;
+    online_config.manual = true;
+    sidecar = std::make_unique<serve::OnlineSidecar>(registry,
+                                                     online_config, &clock);
+    server.attach_online(sidecar.get());
+    for (const TenantState& tenant : tenants) {
+      if (tenant.online) {
+        sidecar->enable(tenant.spec.id);
+      }
+    }
+  }
+
   // ------------------------------------------------------- event loop --
   const std::vector<std::uint64_t> arrivals =
       arrival_times(config.arrivals);
@@ -194,6 +287,38 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
 
   std::vector<Submission> submissions;
   submissions.reserve(arrivals.size());
+
+  // Online scenarios consume ready futures *during* the run (a real
+  // client reacts to the response it received), offering ground truth
+  // back as feedback and pumping the sidecar in virtual time. Index
+  // order is preserved, so the feedback stream — and therefore the
+  // learner and every flip — is bit-identical across runs.
+  std::deque<std::size_t> unharvested;
+  const auto harvest_feedback = [&] {
+    if (sidecar == nullptr) {
+      return;
+    }
+    for (auto it = unharvested.begin(); it != unharvested.end();) {
+      Submission& submission = submissions[*it];
+      if (submission.future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        ++it;
+        continue;
+      }
+      submission.response = submission.future.get();
+      submission.harvested = true;
+      TenantState& tenant = tenants[submission.tenant_index];
+      if (tenant.online && submission.response.ok() &&
+          ++tenant.feedback_counter % config.feedback_every == 0) {
+        ++tenant.feedback_offered;
+        (void)sidecar->offer_feedback(tenant.spec.id, *it,
+                                      submission.truth);
+      }
+      it = unharvested.erase(it);
+    }
+    (void)sidecar->pump();
+  };
+
   std::size_t next_arrival = 0;
   std::uint64_t next_rebind =
       flips ? config.rebind_every_us : serve::MicroBatcher::kNever;
@@ -249,8 +374,14 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
         }
       }
       TenantState& tenant = tenants[tenant_index];
-      const std::size_t query_index = tenant.next_query;
-      tenant.next_query = (tenant.next_query + 1) % tenant.queries.size();
+      const std::uint64_t when = arrivals[next_arrival];
+      // Past drift_at_us the synthetic generator has shifted: arrivals
+      // draw from the re-drawn pool and carry its ground truth.
+      const bool drifted = drift && when >= config.drift_at_us;
+      const data::Dataset& pool = drifted ? tenant.drifted : tenant.queries;
+      std::size_t& cursor = drifted ? tenant.next_drifted : tenant.next_query;
+      const std::size_t query_index = cursor;
+      cursor = (cursor + 1) % pool.size();
 
       const std::uint64_t deadline =
           config.deadline_budget_us == 0
@@ -259,20 +390,35 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
       Submission submission;
       submission.tenant_index = tenant_index;
       submission.query_index = query_index;
+      submission.arrival_us = when;
+      submission.truth = drifted ? tenant.drifted_truth[query_index]
+                                 : tenant.truth[query_index];
+      // Online tenants flip generations mid-run, so generation-0
+      // expectations stop being comparable for them.
+      submission.expected =
+          tenant.online ? -1
+                        : (drifted ? tenant.drifted_predictions[query_index]
+                                   : tenant.predictions[query_index]);
+      if (sidecar != nullptr) {
+        unharvested.push_back(submissions.size());
+      }
       submission.future =
-          server.submit(features_of(tenant.queries, query_index), deadline,
+          server.submit(features_of(pool, query_index), deadline,
                         tenant.spec.id, submissions.size());
       submissions.push_back(std::move(submission));
       ++next_arrival;
     }
 
     server.run_until_idle();
+    harvest_feedback();
   }
   // Let any remaining wait window elapse, then drain through the same
   // dispatch path (shutdown force-flushes; expired requests are shed).
   clock.advance_us(config.batcher.max_wait_us + 1);
   server.run_until_idle();
+  harvest_feedback();
   server.shutdown();
+  harvest_feedback();
 
   // ------------------------------------------------------- accounting --
   result.tenants.reserve(tenants.size());
@@ -294,7 +440,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   for (const serve::Reject reason :
        {serve::Reject::kQueueFull, serve::Reject::kDeadlineExceeded,
         serve::Reject::kShuttingDown, serve::Reject::kModelNotFound,
-        serve::Reject::kBadRequest}) {
+        serve::Reject::kBadRequest, serve::Reject::kUnknownCorrelation}) {
     result.reject_reasons[serve::reject_name(reason)] = 0;
   }
 
@@ -310,39 +456,75 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   obs::Histogram& latency_hist =
       local.histogram("chaos.latency_virtual_seconds");
 
+  const std::size_t buckets = std::max<std::size_t>(config.curve_buckets, 1);
+  const std::uint64_t horizon =
+      std::max<std::uint64_t>(config.arrivals.horizon_us, 1);
+  // Post-drift tail: the second half of the post-drift window, so the
+  // learner gets the first half to adapt before recovery is judged.
+  const std::uint64_t tail_start =
+      config.drift_at_us + (horizon - config.drift_at_us) / 2;
+
   std::size_t served_correct = 0;
   std::size_t expected_correct = 0;
   std::size_t untyped = 0;
   std::vector<std::size_t> tenant_correct(tenants.size(), 0);
+  std::vector<std::vector<std::size_t>> bucket_served(
+      tenants.size(), std::vector<std::size_t>(buckets, 0));
+  std::vector<std::vector<std::size_t>> bucket_correct(
+      tenants.size(), std::vector<std::size_t>(buckets, 0));
+  std::vector<std::size_t> pre_served(tenants.size(), 0);
+  std::vector<std::size_t> pre_correct(tenants.size(), 0);
+  std::vector<std::size_t> tail_served(tenants.size(), 0);
+  std::vector<std::size_t> tail_correct(tenants.size(), 0);
   for (Submission& submission : submissions) {
-    TenantOutcome& outcome = result.tenants[submission.tenant_index];
-    const TenantState& tenant = tenants[submission.tenant_index];
+    const std::size_t tenant_index = submission.tenant_index;
+    TenantOutcome& outcome = result.tenants[tenant_index];
     ++result.submitted;
     ++outcome.submitted;
     submitted_counter.add();
-    const serve::Response response = submission.future.get();
+    const serve::Response response = submission.harvested
+                                         ? std::move(submission.response)
+                                         : submission.future.get();
     if (response.ok()) {
       ++result.served;
       ++outcome.served;
       served_counter.add();
       latency_hist.observe(response.latency_seconds);
-      const int expected = tenant.predictions[submission.query_index];
-      if (response.label != expected) {
-        ++outcome.label_mismatches;
+      if (submission.expected >= 0) {
+        if (response.label != submission.expected) {
+          ++outcome.label_mismatches;
+        }
+        expected_correct +=
+            submission.expected == submission.truth ? 1 : 0;
       }
-      const int truth = tenant.truth[submission.query_index];
-      if (response.label == truth) {
+      const bool correct = response.label == submission.truth;
+      if (correct) {
         ++served_correct;
-        ++tenant_correct[submission.tenant_index];
+        ++tenant_correct[tenant_index];
       }
-      expected_correct += expected == truth ? 1 : 0;
+      const std::size_t bucket = std::min(
+          buckets - 1,
+          static_cast<std::size_t>(submission.arrival_us * buckets /
+                                   horizon));
+      ++bucket_served[tenant_index][bucket];
+      bucket_correct[tenant_index][bucket] += correct ? 1 : 0;
+      if (drift) {
+        if (submission.arrival_us < config.drift_at_us) {
+          ++pre_served[tenant_index];
+          pre_correct[tenant_index] += correct ? 1 : 0;
+        } else if (submission.arrival_us >= tail_start) {
+          ++tail_served[tenant_index];
+          tail_correct[tenant_index] += correct ? 1 : 0;
+        }
+      }
     } else {
       ++result.rejected;
       ++outcome.rejected;
       rejected_counter.add();
       const auto status = static_cast<std::uint8_t>(response.error);
       if (status == 0 ||
-          status > static_cast<std::uint8_t>(serve::Reject::kBadRequest) ||
+          status > static_cast<std::uint8_t>(
+                       serve::Reject::kUnknownCorrelation) ||
           response.label != -1) {
         ++untyped;
       } else {
@@ -359,6 +541,28 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
             ? 0.0
             : static_cast<double>(tenant_correct[i]) /
                   static_cast<double>(outcome.served);
+    outcome.accuracy_curve.reserve(buckets);
+    for (std::size_t b = 0; b < buckets; ++b) {
+      outcome.accuracy_curve.push_back(
+          bucket_served[i][b] == 0
+              ? 0.0
+              : static_cast<double>(bucket_correct[i][b]) /
+                    static_cast<double>(bucket_served[i][b]));
+    }
+    if (drift) {
+      outcome.pre_drift_accuracy =
+          pre_served[i] == 0 ? 0.0
+                             : static_cast<double>(pre_correct[i]) /
+                                   static_cast<double>(pre_served[i]);
+      outcome.post_drift_accuracy =
+          tail_served[i] == 0 ? 0.0
+                              : static_cast<double>(tail_correct[i]) /
+                                    static_cast<double>(tail_served[i]);
+    }
+    if (tenants[i].online && sidecar != nullptr) {
+      outcome.feedback_accepted = sidecar->feedback_accepted(outcome.id);
+      outcome.flips = sidecar->flips(outcome.id);
+    }
   }
 
   result.peak_queue_depth = server.peak_queue_depth();
@@ -439,6 +643,43 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
           }
         }
         break;
+      case Invariant::kDriftRecovery: {
+        if (!drift || !online_enabled) {
+          violate(invariant,
+                  "asserted without drift_at_us and online tenants");
+          break;
+        }
+        for (std::size_t i = 0; i < result.tenants.size(); ++i) {
+          const TenantOutcome& outcome = result.tenants[i];
+          if (tenants[i].online) {
+            if (outcome.flips == 0) {
+              violate(invariant, "online tenant " + outcome.id +
+                                     " never flipped a generation");
+            }
+            if (outcome.post_drift_accuracy <
+                config.drift_recovery_fraction *
+                    outcome.pre_drift_accuracy) {
+              violate(invariant,
+                      "online tenant " + outcome.id +
+                          " recovered to " +
+                          std::to_string(outcome.post_drift_accuracy) +
+                          ", below " +
+                          std::to_string(config.drift_recovery_fraction) +
+                          " of pre-drift " +
+                          std::to_string(outcome.pre_drift_accuracy));
+            }
+          } else if (outcome.post_drift_accuracy >
+                     outcome.pre_drift_accuracy - config.drift_decay_min) {
+            violate(invariant,
+                    "frozen tenant " + outcome.id + " did not decay: " +
+                        std::to_string(outcome.post_drift_accuracy) +
+                        " post-drift vs " +
+                        std::to_string(outcome.pre_drift_accuracy) +
+                        " pre-drift (the drift did not bite)");
+          }
+        }
+        break;
+      }
     }
   }
 
@@ -465,6 +706,24 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
         .counter(serve::tenant_metric_name("serve.tenant.rejected",
                                            outcome.id))
         .add(outcome.rejected);
+    if (drift) {
+      // The drift-recovery curve and its summary points, per tenant —
+      // virtual-time quantities only, so the report stays byte-stable.
+      local.gauge("chaos.drift.pre_accuracy." + outcome.id)
+          .set(outcome.pre_drift_accuracy);
+      local.gauge("chaos.drift.post_accuracy." + outcome.id)
+          .set(outcome.post_drift_accuracy);
+      local.counter("chaos.online.flips." + outcome.id)
+          .add(outcome.flips);
+      local.counter("chaos.online.feedback." + outcome.id)
+          .add(outcome.feedback_accepted);
+      for (std::size_t b = 0; b < outcome.accuracy_curve.size(); ++b) {
+        local
+            .gauge("chaos.drift.curve." + outcome.id + ".b" +
+                   std::to_string(b))
+            .set(outcome.accuracy_curve[b]);
+      }
+    }
   }
 
   obs::Json context = obs::Json::object();
@@ -476,6 +735,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
   context.set("horizon_us", config.arrivals.horizon_us);
   context.set("model_ber", config.model_ber);
   context.set("invariants_checked", invariants.size());
+  if (drift) {
+    context.set("drift_at_us", config.drift_at_us);
+    context.set("online_tenants", config.online_tenants.size());
+  }
   result.report = obs::metrics_snapshot(local, std::move(context));
   return result;
 }

@@ -28,6 +28,7 @@
 #include "chaos/arrival.hpp"
 #include "obs/json.hpp"
 #include "serve/batcher.hpp"
+#include "serve/online.hpp"
 
 namespace lehdc::chaos {
 
@@ -51,6 +52,12 @@ enum class Invariant {
   /// Every tenant that submitted at least one request had at least one
   /// served — no tenant was starved outright.
   kAllTenantsServed,
+  /// Drift scenarios only (drift_at_us > 0): every online tenant's served
+  /// accuracy over the post-drift tail recovered to at least
+  /// drift_recovery_fraction of its pre-drift accuracy, while every
+  /// frozen tenant decayed by at least drift_decay_min — proving both
+  /// that the drift bit and that the online path healed it.
+  kDriftRecovery,
 };
 
 /// Stable lowercase identifier ("bounded_queue_depth", ...).
@@ -95,6 +102,31 @@ struct ScenarioConfig {
   std::size_t train_count = 90;
   /// Distinct queries per tenant; the arrival stream cycles through them.
   std::size_t query_pool = 32;
+
+  // --- online learning under drift (all off by default) ---
+  /// Virtual time at which the synthetic generator's class prototypes
+  /// shift: arrivals from here on draw from a re-drawn query pool (same
+  /// per-tenant seed derivation, so tenants sharing a seed share the
+  /// shifted problem too). 0 disables drift.
+  std::uint64_t drift_at_us = 0;
+  /// Tenant ids served with the online sidecar enabled (shadow learner +
+  /// blue-green flips); ground truth feeds back for their served
+  /// responses. Tenants not listed serve a frozen model.
+  std::vector<std::string> online_tenants;
+  /// Sidecar knobs for online tenants; `manual` is forced on so feedback
+  /// drains deterministically inside the virtual-time loop.
+  serve::OnlineSidecarConfig online;
+  /// Every Nth served response of an online tenant returns its true
+  /// label as feedback (1 = every response).
+  std::size_t feedback_every = 1;
+  /// kDriftRecovery: online tenants must recover at least this fraction
+  /// of their pre-drift served accuracy over the post-drift tail.
+  double drift_recovery_fraction = 0.9;
+  /// kDriftRecovery: frozen tenants must decay by at least this much
+  /// (absolute accuracy) over the same tail, proving the drift bit.
+  double drift_decay_min = 0.1;
+  /// Served-accuracy curve resolution: buckets over the horizon.
+  std::size_t curve_buckets = 10;
 };
 
 struct TenantOutcome {
@@ -109,6 +141,20 @@ struct TenantOutcome {
   /// The active generation's accuracy on the full query pool, measured
   /// directly (predict_batch, no server).
   double offline_accuracy = 0.0;
+
+  // --- drift scenarios only (zero/empty otherwise) ---
+  /// Served accuracy before drift_at_us / over the post-drift tail (the
+  /// second half of the post-drift window, giving the learner the first
+  /// half to adapt).
+  double pre_drift_accuracy = 0.0;
+  double post_drift_accuracy = 0.0;
+  /// Feedback frames accepted and blue-green flips performed for this
+  /// tenant by the online sidecar.
+  std::size_t feedback_accepted = 0;
+  std::size_t flips = 0;
+  /// Served accuracy per time bucket over the horizon (the drift-recovery
+  /// curve; 0 for buckets with nothing served).
+  std::vector<double> accuracy_curve;
 };
 
 struct ScenarioResult {

@@ -100,6 +100,38 @@ ScenarioConfig tenant_starvation(double scale) {
   return config;
 }
 
+ScenarioConfig online_drift_recovery(double scale) {
+  ScenarioConfig config = base_config("online_drift_recovery", scale);
+  config.arrivals.process = ArrivalProcess::kUniform;
+  // Enough traffic for the shadow learner to see hundreds of labels on
+  // each side of the shift.
+  config.arrivals.rate_per_sec = 20'000.0;
+  config.arrivals.horizon_us =
+      static_cast<std::uint64_t>(200'000.0 * scale);
+  // Two tenants, ONE seed: identical models serving the identical
+  // problem, and an identical prototype shift at drift_at_us. "adaptive"
+  // runs with the online sidecar (feedback → shadow learner → blue-green
+  // flips); "frozen" is the untouched control whose accuracy must decay.
+  config.tenants = {{"adaptive", 17, 1.0}, {"frozen", 17, 1.0}};
+  // A pool this size keeps the perceptron from simply memorizing the
+  // stream: mistakes — and therefore flip attempts — keep coming until
+  // the shadow genuinely learns the shifted prototypes.
+  config.query_pool = 128;
+  config.drift_at_us = config.arrivals.horizon_us * 3 / 10;
+  config.online_tenants = {"adaptive"};
+  config.online.seed = 41;
+  config.online.flip_every_updates = 16;
+  // The perceptron converges after a handful of mistakes, so the
+  // count trigger alone can starve — the time trigger (any pending
+  // update, checked every 1/40th of the horizon) is what drives flips
+  // once the shadow has quietly adapted.
+  config.online.flip_every_us = config.arrivals.horizon_us / 40;
+  config.online.refine_every_flips = 2;
+  config.online.refine_epochs = 3;
+  config.feedback_every = 1;
+  return config;
+}
+
 }  // namespace
 
 const std::vector<NamedScenario>& scenario_matrix() {
@@ -137,6 +169,10 @@ const std::vector<NamedScenario>& scenario_matrix() {
        {Invariant::kBoundedQueueDepth, Invariant::kTypedRejectsOnly,
         Invariant::kNoCrossTenantLeakage, Invariant::kAllTenantsServed},
        &tenant_starvation},
+      {"online_drift_recovery",
+       {Invariant::kBoundedQueueDepth, Invariant::kTypedRejectsOnly,
+        Invariant::kAllTenantsServed, Invariant::kDriftRecovery},
+       &online_drift_recovery},
   };
   // LINT-SCENARIOS-END
   return matrix;

@@ -1,9 +1,28 @@
 #include "core/online.hpp"
 
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
 #include "util/check.hpp"
+#include "util/fileio.hpp"
 #include "util/rng.hpp"
+#include "util/serial.hpp"
 
 namespace lehdc::core {
+
+namespace {
+
+constexpr char kOnlineMagic[4] = {'L', 'H', 'O', 'N'};
+constexpr std::uint32_t kOnlineVersion = 2;
+
+// Accumulators are i32[dim] per class; paper scale (10 x D=10,000) is
+// ~400 KiB. 1 GiB bounds a corrupt length field without constraining
+// real deployments.
+constexpr std::size_t kMaxOnlinePayload = std::size_t{1} << 30;
+
+}  // namespace
 
 OnlineHdcLearner::OnlineHdcLearner(const OnlineConfig& config)
     : dim_(config.dim),
@@ -90,6 +109,99 @@ double OnlineHdcLearner::accuracy(const hdc::EncodedDataset& dataset) const {
 
 hdc::BinaryClassifier OnlineHdcLearner::snapshot() const {
   return hdc::BinaryClassifier(binary_);
+}
+
+void OnlineHdcLearner::save(const std::string& path) const {
+  util::PayloadWriter payload;
+  payload.pod(static_cast<std::uint64_t>(dim_));
+  payload.pod(static_cast<std::uint64_t>(classes_.size()));
+  payload.pod(static_cast<std::uint8_t>(config_.mode));
+  payload.pod(config_.alpha);
+  payload.pod(static_cast<std::uint64_t>(config_.warmup_per_class));
+  payload.pod(config_.seed);
+  payload.pod(static_cast<std::uint64_t>(observed_));
+  payload.pod(static_cast<std::uint64_t>(updates_));
+  for (const std::size_t seen : seen_per_class_) {
+    payload.pod(static_cast<std::uint64_t>(seen));
+  }
+  for (const hv::IntVector& accumulator : classes_) {
+    const auto values = accumulator.values();
+    payload.bytes(values.data(), values.size() * sizeof(std::int32_t));
+  }
+
+  std::ostringstream buffer(std::ios::binary);
+  buffer.write(kOnlineMagic, sizeof(kOnlineMagic));
+  buffer.write(reinterpret_cast<const char*>(&kOnlineVersion),
+               sizeof(kOnlineVersion));
+  util::write_framed_payload(buffer, payload.str());
+  util::atomic_write_file(path, buffer.view());
+}
+
+OnlineHdcLearner OnlineHdcLearner::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open online learner state: " + path);
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kOnlineMagic, sizeof(kOnlineMagic)) != 0) {
+    throw std::runtime_error("not a LHON learner state file: " + path);
+  }
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in) {
+    throw std::runtime_error("truncated learner state header in " + path);
+  }
+  if (version != kOnlineVersion) {
+    throw std::runtime_error("unsupported learner state version in " + path);
+  }
+
+  const std::string payload =
+      util::read_framed_payload(in, kMaxOnlinePayload, path);
+  util::PayloadReader reader(payload, path);
+
+  OnlineConfig config;
+  config.dim = static_cast<std::size_t>(reader.pod<std::uint64_t>());
+  config.class_count = static_cast<std::size_t>(reader.pod<std::uint64_t>());
+  const auto mode = reader.pod<std::uint8_t>();
+  if (mode > static_cast<std::uint8_t>(OnlineMode::kPerceptron)) {
+    throw std::runtime_error("unknown online mode in " + path);
+  }
+  config.mode = static_cast<OnlineMode>(mode);
+  config.alpha = reader.pod<std::int32_t>();
+  config.warmup_per_class =
+      static_cast<std::size_t>(reader.pod<std::uint64_t>());
+  config.seed = reader.pod<std::uint64_t>();
+
+  // Header fields must agree with the remaining payload before any
+  // allocation: counters + per-class seen counts + i32 accumulators.
+  const std::uint64_t fixed = 2 * sizeof(std::uint64_t);
+  const std::uint64_t remaining = reader.remaining();
+  if (config.dim == 0 || config.class_count == 0 ||
+      config.class_count > remaining ||
+      remaining < fixed + config.class_count * sizeof(std::uint64_t) ||
+      config.dim > (remaining - fixed -
+                    config.class_count * sizeof(std::uint64_t)) /
+                       (config.class_count * sizeof(std::int32_t))) {
+    throw std::runtime_error(
+        "learner state header disagrees with payload size in " + path);
+  }
+
+  // The constructor validates the config and rebuilds the seeded
+  // tie-break hypervector, so binarization is bit-identical after resume.
+  OnlineHdcLearner learner(config);
+  learner.observed_ = static_cast<std::size_t>(reader.pod<std::uint64_t>());
+  learner.updates_ = static_cast<std::size_t>(reader.pod<std::uint64_t>());
+  for (std::size_t& seen : learner.seen_per_class_) {
+    seen = static_cast<std::size_t>(reader.pod<std::uint64_t>());
+  }
+  for (std::size_t k = 0; k < config.class_count; ++k) {
+    const auto values = learner.classes_[k].values();
+    reader.bytes(values.data(), values.size() * sizeof(std::int32_t));
+    learner.rebinarize(k);
+  }
+  reader.expect_done();
+  return learner;
 }
 
 }  // namespace lehdc::core

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "hdc/classifier.hpp"
@@ -71,6 +72,16 @@ class OnlineHdcLearner {
 
   /// Snapshot of the current binary model (deployable like any other).
   [[nodiscard]] hdc::BinaryClassifier snapshot() const;
+
+  [[nodiscard]] const OnlineConfig& config() const noexcept { return config_; }
+
+  /// Writes the learner state (config + non-binary accumulators + stream
+  /// counters) as a checksummed LHON file via atomic write-then-rename. A
+  /// load() of the file resumes the stream bit-identically: the binary
+  /// model is recomputed from the accumulators with the same seeded
+  /// tie-break hypervector.
+  void save(const std::string& path) const;
+  [[nodiscard]] static OnlineHdcLearner load(const std::string& path);
 
  private:
   void rebinarize(std::size_t k);

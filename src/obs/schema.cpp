@@ -36,6 +36,13 @@ constexpr std::array kKnownNames = {
     std::string_view{"serve.dispatch_seconds"},
     std::string_view{"serve.e2e_latency_seconds"},
     std::string_view{"serve.model_loads"},
+    std::string_view{"serve.online.feedback"},
+    std::string_view{"serve.online.flips"},
+    std::string_view{"serve.online.queue_depth"},
+    std::string_view{"serve.online.refinements"},
+    std::string_view{"serve.online.rejected"},
+    std::string_view{"serve.online.shadow_accuracy"},
+    std::string_view{"serve.online.updates"},
     std::string_view{"serve.queue_depth"},
     std::string_view{"serve.rejected_bad_request"},
     std::string_view{"serve.rejected_deadline"},

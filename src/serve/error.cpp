@@ -16,6 +16,8 @@ const char* reject_name(Reject reason) noexcept {
       return "model_not_found";
     case Reject::kBadRequest:
       return "bad_request";
+    case Reject::kUnknownCorrelation:
+      return "unknown_correlation";
   }
   return "unknown";
 }

@@ -27,6 +27,10 @@ enum class Reject : std::uint8_t {
   /// The request is malformed (e.g. feature count does not match the
   /// model's encoder).
   kBadRequest = 5,
+  /// A feedback frame referenced a request id the server has no record of
+  /// for that tenant — the correlation window expired, the id was never
+  /// served, or the feedback named a different tenant than the request.
+  kUnknownCorrelation = 6,
 };
 
 /// Stable lowercase identifier ("queue_full", ...) for logs and metrics.

@@ -14,10 +14,14 @@ constexpr std::size_t kHeaderBytes = 8;  // 4-byte magic + u32 payload size
 }  // namespace
 
 FrameDecoder::FrameDecoder(const char magic_v1[4], const char magic_v2[4],
-                           std::string context)
+                           std::string context, const char* magic_extra)
     : context_(std::move(context)) {
   std::memcpy(magic_v1_, magic_v1, sizeof(magic_v1_));
   std::memcpy(magic_v2_, magic_v2, sizeof(magic_v2_));
+  if (magic_extra != nullptr) {
+    std::memcpy(magic_extra_, magic_extra, sizeof(magic_extra_));
+    has_extra_ = true;
+  }
 }
 
 void FrameDecoder::feed(std::string_view bytes) {
@@ -43,6 +47,8 @@ bool FrameDecoder::next(Frame* out) {
     version = 1;
   } else if (std::memcmp(header, magic_v2_, 4) == 0) {
     version = 2;
+  } else if (has_extra_ && std::memcmp(header, magic_extra_, 4) == 0) {
+    version = kFeedbackFrameKind;
   } else {
     throw std::runtime_error("bad frame magic in " + context_);
   }
@@ -85,7 +91,8 @@ void FrameDecoder::reset() noexcept {
 }
 
 FrameDecoder make_request_decoder(std::string context) {
-  return {kRequestMagic, kRequestMagicV2, std::move(context)};
+  return {kRequestMagic, kRequestMagicV2, std::move(context),
+          kFeedbackMagicV2};
 }
 
 FrameDecoder make_response_decoder(std::string context) {

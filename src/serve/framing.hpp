@@ -38,9 +38,12 @@ class FrameDecoder {
     std::string_view payload;
   };
 
-  /// `context` names the byte source for error messages.
+  /// `context` names the byte source for error messages. `magic_extra`
+  /// optionally accepts a third magic reported as version
+  /// kFeedbackFrameKind — the request direction carries LSF2 feedback
+  /// frames interleaved with LSRQ/LSR2 on the same stream.
   FrameDecoder(const char magic_v1[4], const char magic_v2[4],
-               std::string context);
+               std::string context, const char* magic_extra = nullptr);
 
   /// Appends raw bytes from the transport. The decoder never rejects a
   /// feed; validation happens in next() at frame-header granularity.
@@ -69,6 +72,8 @@ class FrameDecoder {
  private:
   char magic_v1_[4];
   char magic_v2_[4];
+  char magic_extra_[4];
+  bool has_extra_ = false;
   std::string context_;
   std::string buffer_;
   /// Bytes of buffer_ already consumed by returned frames; compacted on
@@ -76,7 +81,8 @@ class FrameDecoder {
   std::size_t pos_ = 0;
 };
 
-/// Decoder for request frames (LSRQ / LSR2).
+/// Decoder for request frames (LSRQ / LSR2), plus LSF2 feedback frames
+/// reported as version kFeedbackFrameKind.
 [[nodiscard]] FrameDecoder make_request_decoder(std::string context);
 /// Decoder for response frames (LSRS / LSS2).
 [[nodiscard]] FrameDecoder make_response_decoder(std::string context);

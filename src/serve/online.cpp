@@ -1,0 +1,490 @@
+#include "serve/online.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/lehdc_trainer.hpp"
+#include "core/pipeline.hpp"
+#include "hdc/encoded_dataset.hpp"
+#include "hdc/encoder.hpp"
+#include "obs/metrics.hpp"
+#include "train/trainer.hpp"
+#include "util/check.hpp"
+
+namespace lehdc::serve {
+
+namespace {
+
+obs::Counter& feedback_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("serve.online.feedback");
+  return c;
+}
+
+obs::Counter& rejected_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("serve.online.rejected");
+  return c;
+}
+
+obs::Counter& updates_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("serve.online.updates");
+  return c;
+}
+
+obs::Counter& flips_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("serve.online.flips");
+  return c;
+}
+
+obs::Counter& refinements_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("serve.online.refinements");
+  return c;
+}
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("serve.online.queue_depth");
+  return g;
+}
+
+obs::Gauge& shadow_accuracy_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("serve.online.shadow_accuracy");
+  return g;
+}
+
+}  // namespace
+
+struct OnlineSidecar::TenantState {
+  explicit TenantState(const core::OnlineConfig& learner_config)
+      : learner(learner_config) {}
+
+  // --- correlation side (guarded by OnlineSidecar::mutex_) ---
+  std::unordered_map<std::uint64_t, Correlation> correlations;
+  /// Insertion order as (id, seq); a re-served id leaves a stale entry
+  /// that eviction skips by sequence mismatch, so the deque stays exact
+  /// (one pop per push) and the map is bounded by correlation_capacity.
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> order;
+  std::uint64_t next_seq = 0;
+  std::size_t accepted = 0;
+
+  // --- learning side (guarded by OnlineSidecar::learn_mutex_) ---
+  core::OnlineHdcLearner learner;
+  /// Generation bound at enable(); pins the (immutable, generation-
+  /// invariant) encoder and the PipelineConfig that flips restore with.
+  std::shared_ptr<const core::Pipeline> base;
+  hdc::RecordEncoderConfig encoder_config;
+
+  std::vector<hv::BitVector> holdout_hv;
+  std::vector<int> holdout_labels;
+  std::size_t holdout_next = 0;
+
+  std::vector<hv::BitVector> refine_hv;
+  std::vector<int> refine_labels;
+  std::size_t refine_next = 0;
+
+  std::size_t feedback_seen = 0;
+  std::size_t updates_at_last_check = 0;
+  std::uint64_t last_check_us = 0;
+  std::size_t flips = 0;
+  std::size_t refinements = 0;
+  double last_shadow_accuracy = 0.0;
+};
+
+OnlineSidecar::OnlineSidecar(ModelRegistry& registry,
+                             const OnlineSidecarConfig& config, Clock* clock)
+    : registry_(registry),
+      config_(config),
+      clock_(clock != nullptr ? clock : &system_clock()) {
+  util::expects(config.correlation_capacity > 0,
+                "correlation_capacity must be positive");
+  util::expects(config.queue_capacity > 0, "queue_capacity must be positive");
+  if (!config_.manual) {
+    worker_ = std::thread(&OnlineSidecar::worker_loop, this);
+  }
+}
+
+OnlineSidecar::~OnlineSidecar() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+}
+
+void OnlineSidecar::enable(const std::string& tenant) {
+  const auto live = registry_.get(tenant);
+  util::expects(live != nullptr, "online enable: tenant has no bound model");
+  const hdc::BinaryClassifier* binary = live->model().as_binary();
+  util::expects(binary != nullptr,
+                "online enable: bound model exports no binary classifier");
+  const auto& encoder =
+      dynamic_cast<const hdc::RecordEncoder&>(live->encoder());
+
+  core::OnlineConfig learner_config;
+  learner_config.dim = live->config().dim;
+  learner_config.class_count = binary->class_count();
+  learner_config.mode = config_.mode;
+  learner_config.alpha = config_.alpha;
+  learner_config.warmup_per_class = config_.warmup_per_class;
+  learner_config.seed = config_.seed;
+
+  auto state = std::make_unique<TenantState>(learner_config);
+  state->base = live;
+  state->encoder_config = encoder.config();
+  state->last_check_us = clock_->now_us();
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  util::expects(tenants_.find(tenant) == tenants_.end(),
+                "online enable: tenant already enabled");
+  tenants_.emplace(tenant, std::move(state));
+}
+
+bool OnlineSidecar::enabled(const std::string& tenant) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tenants_.find(tenant) != tenants_.end();
+}
+
+void OnlineSidecar::record(const std::string& tenant, std::uint64_t id,
+                           std::vector<float> features) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    return;
+  }
+  TenantState& state = *it->second;
+  const std::uint64_t seq = state.next_seq++;
+  state.correlations[id] = Correlation{seq, std::move(features)};
+  state.order.emplace_back(id, seq);
+  // One amortized pop per push keeps both containers bounded; stale
+  // entries (the id was re-served under a newer seq) pop for free.
+  while (state.order.size() > config_.correlation_capacity) {
+    const auto [old_id, old_seq] = state.order.front();
+    state.order.pop_front();
+    const auto victim = state.correlations.find(old_id);
+    if (victim != state.correlations.end() &&
+        victim->second.seq == old_seq) {
+      state.correlations.erase(victim);
+    }
+  }
+}
+
+Reject OnlineSidecar::offer_feedback(const std::string& tenant,
+                                     std::uint64_t id, std::int32_t label) {
+  Reject verdict = Reject::kNone;
+  bool notify = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+      verdict = Reject::kUnknownCorrelation;
+    } else {
+      TenantState& state = *it->second;
+      const auto correlation = state.correlations.find(id);
+      if (correlation == state.correlations.end()) {
+        verdict = Reject::kUnknownCorrelation;
+      } else if (label < 0 || static_cast<std::size_t>(label) >=
+                                  state.learner.class_count()) {
+        verdict = Reject::kBadRequest;
+      } else if (queue_.size() >= config_.queue_capacity) {
+        verdict = Reject::kQueueFull;
+      } else {
+        FeedbackItem item;
+        item.tenant = tenant;
+        item.features = std::move(correlation->second.features);
+        item.label = label;
+        item.now_us = clock_->now_us();
+        state.correlations.erase(correlation);
+        queue_.push_back(std::move(item));
+        queue_depth_gauge().set(static_cast<double>(queue_.size()));
+        ++state.accepted;
+        notify = true;
+      }
+    }
+  }
+  if (verdict == Reject::kNone) {
+    feedback_counter().add();
+    if (notify) {
+      work_ready_.notify_one();
+    }
+  } else {
+    rejected_counter().add();
+  }
+  return verdict;
+}
+
+std::size_t OnlineSidecar::pump() {
+  std::size_t consumed = 0;
+  while (true) {
+    FeedbackItem item;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.empty()) {
+        return consumed;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      queue_depth_gauge().set(static_cast<double>(queue_.size()));
+    }
+    process(std::move(item));
+    ++consumed;
+  }
+}
+
+void OnlineSidecar::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (queue_.empty()) {
+      if (stop_) {
+        return;  // accepted feedback is drained before shutdown
+      }
+      work_ready_.wait(lock);
+      continue;
+    }
+    FeedbackItem item = std::move(queue_.front());
+    queue_.pop_front();
+    queue_depth_gauge().set(static_cast<double>(queue_.size()));
+    lock.unlock();
+    process(std::move(item));
+    lock.lock();
+  }
+}
+
+void OnlineSidecar::process(FeedbackItem item) {
+  TenantState* state = nullptr;
+  std::shared_ptr<const core::Pipeline> base;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = tenants_.find(item.tenant);
+    if (it == tenants_.end()) {
+      return;
+    }
+    state = it->second.get();
+    base = it->second->base;
+  }
+  // Encode outside both locks: the encoder is immutable and shared across
+  // generations, and this is the expensive part of a feedback update.
+  const hv::BitVector encoded = base->encoder().encode(item.features);
+
+  const std::lock_guard<std::mutex> lock(learn_mutex_);
+  ++state->feedback_seen;
+  const bool hold_out = config_.holdout_every > 0 &&
+                        config_.holdout_capacity > 0 &&
+                        state->feedback_seen % config_.holdout_every == 0;
+  if (hold_out) {
+    if (state->holdout_hv.size() < config_.holdout_capacity) {
+      state->holdout_hv.push_back(encoded);
+      state->holdout_labels.push_back(item.label);
+    } else {
+      state->holdout_hv[state->holdout_next] = encoded;
+      state->holdout_labels[state->holdout_next] = item.label;
+      state->holdout_next =
+          (state->holdout_next + 1) % config_.holdout_capacity;
+    }
+  } else {
+    const std::size_t before = state->learner.updates();
+    state->learner.observe(encoded, item.label);
+    const std::size_t applied = state->learner.updates() - before;
+    if (applied > 0) {
+      updates_counter().add(static_cast<std::uint64_t>(applied));
+    }
+    if (config_.refine_every_flips > 0 && config_.refine_capacity > 0) {
+      if (state->refine_hv.size() < config_.refine_capacity) {
+        state->refine_hv.push_back(encoded);
+        state->refine_labels.push_back(item.label);
+      } else {
+        state->refine_hv[state->refine_next] = encoded;
+        state->refine_labels[state->refine_next] = item.label;
+        state->refine_next =
+            (state->refine_next + 1) % config_.refine_capacity;
+      }
+    }
+  }
+  maybe_flip(*state, item.tenant, item.now_us);
+}
+
+void OnlineSidecar::maybe_flip(TenantState& state, const std::string& tenant,
+                               std::uint64_t now_us) {
+  const std::size_t since_check =
+      state.learner.updates() - state.updates_at_last_check;
+  const bool count_due = config_.flip_every_updates > 0 &&
+                         since_check >= config_.flip_every_updates;
+  const bool time_due = config_.flip_every_us > 0 && since_check > 0 &&
+                        now_us - state.last_check_us >= config_.flip_every_us;
+  if (!count_due && !time_due) {
+    return;
+  }
+  state.updates_at_last_check = state.learner.updates();
+  state.last_check_us = now_us;
+
+  if (state.holdout_hv.size() < config_.min_holdout) {
+    return;
+  }
+
+  // Gate: the shadow must match or beat the live generation over the
+  // holdout, else the flip is skipped (the counters reset above keep the
+  // cadence — the next attempt waits for K more updates).
+  std::size_t shadow_correct = 0;
+  for (std::size_t i = 0; i < state.holdout_hv.size(); ++i) {
+    if (state.learner.predict(state.holdout_hv[i]) ==
+        state.holdout_labels[i]) {
+      ++shadow_correct;
+    }
+  }
+  const double shadow_accuracy = static_cast<double>(shadow_correct) /
+                                 static_cast<double>(state.holdout_hv.size());
+  state.last_shadow_accuracy = shadow_accuracy;
+  shadow_accuracy_gauge().set(shadow_accuracy);
+
+  const auto live = registry_.get(tenant);
+  if (live == nullptr) {
+    return;  // evicted mid-run: nothing to flip against
+  }
+  std::vector<int> live_predictions(state.holdout_hv.size(), -1);
+  live->predict_batch(state.holdout_hv, live_predictions);
+  std::size_t live_correct = 0;
+  for (std::size_t i = 0; i < live_predictions.size(); ++i) {
+    if (live_predictions[i] == state.holdout_labels[i]) {
+      ++live_correct;
+    }
+  }
+  const double live_accuracy = static_cast<double>(live_correct) /
+                               static_cast<double>(state.holdout_hv.size());
+  if (shadow_accuracy < live_accuracy) {
+    return;
+  }
+
+  hdc::BinaryClassifier next_model = state.learner.snapshot();
+  if (config_.refine_every_flips > 0 && !state.refine_hv.empty() &&
+      (state.flips + 1) % config_.refine_every_flips == 0) {
+    // Background LeHDC refinement: retrain on the accumulated feedback
+    // set through the src/nn trainer. Deterministic given the seed, so
+    // chaos runs stay byte-identical.
+    hdc::EncodedDataset feedback_set(state.learner.dim(),
+                                     state.learner.class_count());
+    for (std::size_t i = 0; i < state.refine_hv.size(); ++i) {
+      feedback_set.add(state.refine_hv[i], state.refine_labels[i]);
+    }
+    core::LeHdcConfig refine_config = state.base->config().lehdc;
+    refine_config.epochs = config_.refine_epochs;
+    const core::LeHdcTrainer trainer(refine_config);
+    train::TrainOptions options;
+    options.seed = config_.seed + state.flips;
+    const train::TrainResult result = trainer.train(feedback_set, options);
+    if (const hdc::BinaryClassifier* refined = result.model->as_binary()) {
+      // Gate the refined candidate on the same holdout before it may
+      // displace the shadow snapshot: the feedback ring spans the whole
+      // stream, so right after a concept shift it still carries stale
+      // labels and the retrained model can score far below the shadow.
+      // Binding it anyway would wedge the tenant — a converged shadow
+      // stops producing updates, so no later flip would repair the live
+      // generation.
+      std::size_t refined_correct = 0;
+      for (std::size_t i = 0; i < state.holdout_hv.size(); ++i) {
+        if (refined->predict(state.holdout_hv[i]) ==
+            state.holdout_labels[i]) {
+          ++refined_correct;
+        }
+      }
+      if (refined_correct >= shadow_correct) {
+        next_model = *refined;
+        ++state.refinements;
+        refinements_counter().add();
+      }
+    }
+  }
+
+  auto generation = std::make_shared<const core::Pipeline>(
+      core::Pipeline::restore(state.base->config(), state.encoder_config,
+                              std::move(next_model)));
+  registry_.bind(tenant, std::move(generation));
+  ++state.flips;
+  flips_counter().add();
+}
+
+void OnlineSidecar::save_shadow(const std::string& tenant,
+                                const std::string& path) const {
+  const TenantState* state = find(tenant);
+  util::expects(state != nullptr, "save_shadow: tenant not online-enabled");
+  const std::lock_guard<std::mutex> lock(learn_mutex_);
+  state->learner.save(path);
+}
+
+void OnlineSidecar::restore_shadow(const std::string& tenant,
+                                   const std::string& path) {
+  const TenantState* state = find(tenant);
+  util::expects(state != nullptr,
+                "restore_shadow: tenant not online-enabled");
+  core::OnlineHdcLearner loaded = core::OnlineHdcLearner::load(path);
+  auto* mutable_state = const_cast<TenantState*>(state);
+  const std::lock_guard<std::mutex> lock(learn_mutex_);
+  util::expects(loaded.dim() == mutable_state->learner.dim() &&
+                    loaded.class_count() ==
+                        mutable_state->learner.class_count(),
+                "restore_shadow: saved state shape mismatch");
+  mutable_state->learner = std::move(loaded);
+}
+
+const OnlineSidecar::TenantState* OnlineSidecar::find(
+    const std::string& tenant) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+std::size_t OnlineSidecar::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t OnlineSidecar::feedback_accepted(
+    const std::string& tenant) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second->accepted;
+}
+
+std::size_t OnlineSidecar::updates(const std::string& tenant) const {
+  const TenantState* state = find(tenant);
+  if (state == nullptr) {
+    return 0;
+  }
+  const std::lock_guard<std::mutex> lock(learn_mutex_);
+  return state->learner.updates();
+}
+
+std::size_t OnlineSidecar::flips(const std::string& tenant) const {
+  const TenantState* state = find(tenant);
+  if (state == nullptr) {
+    return 0;
+  }
+  const std::lock_guard<std::mutex> lock(learn_mutex_);
+  return state->flips;
+}
+
+std::size_t OnlineSidecar::refinements(const std::string& tenant) const {
+  const TenantState* state = find(tenant);
+  if (state == nullptr) {
+    return 0;
+  }
+  const std::lock_guard<std::mutex> lock(learn_mutex_);
+  return state->refinements;
+}
+
+double OnlineSidecar::shadow_accuracy(const std::string& tenant) const {
+  const TenantState* state = find(tenant);
+  if (state == nullptr) {
+    return 0.0;
+  }
+  const std::lock_guard<std::mutex> lock(learn_mutex_);
+  return state->last_shadow_accuracy;
+}
+
+}  // namespace lehdc::serve

@@ -1,0 +1,200 @@
+// Online learning sidecar: label feedback → shadow learner → blue-green
+// flips.
+//
+// The serving hot path predicts; ground truth arrives later (if at all) as
+// LSF2 feedback frames correlated by (tenant, request id). This sidecar
+// turns that feedback into model improvement without ever blocking
+// inference dispatch:
+//
+//   dispatch ──record()──► correlation ring   (features of served requests)
+//   feedback ──offer()──► bounded queue ──worker──► shadow OnlineHdcLearner
+//                                             │
+//                           every K updates / T µs, gated on shadow-vs-live
+//                           accuracy over a holdout ring
+//                                             ▼
+//                          binarize → Pipeline::restore → ModelRegistry::bind
+//
+// The shadow learner is a per-tenant core::OnlineHdcLearner (the streaming
+// Eq. 3 rule) fed off the hot path: record() and offer_feedback() do O(1)
+// map work under a mutex the learner never holds, and all learning happens
+// on the sidecar's own worker thread (production) or inside pump()
+// (manual mode — the chaos harness drives it in virtual time for
+// deterministic drift scenarios). A flip publishes the binarized shadow as
+// a new pipeline generation through the registry's atomic shared_ptr swap;
+// in-flight batches keep their pinned generation, exactly like a hot
+// reload. Optionally every Rth flip runs a background LeHDC refinement
+// pass (the src/nn trainer) over the accumulated feedback set instead of
+// a plain binarization.
+//
+// Metrics (lehdc.metrics.v1):
+//   serve.online.feedback / rejected / updates / flips / refinements
+//   serve.online.queue_depth / shadow_accuracy                    gauges
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/online.hpp"
+#include "serve/clock.hpp"
+#include "serve/error.hpp"
+#include "serve/registry.hpp"
+
+namespace lehdc::serve {
+
+struct OnlineSidecarConfig {
+  /// Shadow learner update rule (core/online.hpp). Perceptron is the
+  /// paper's Eq. 3 retraining rule in streaming form.
+  core::OnlineMode mode = core::OnlineMode::kPerceptron;
+  std::int32_t alpha = 1;
+  std::size_t warmup_per_class = 3;
+  /// Seeds the learner tie-break and the refinement pass.
+  std::uint64_t seed = 1;
+
+  /// Served predictions remembered per tenant for feedback correlation;
+  /// oldest entries are evicted, and feedback for an evicted id is a
+  /// typed kUnknownCorrelation.
+  std::size_t correlation_capacity = 1024;
+  /// Bounded feedback queue (all tenants); a full queue sheds feedback
+  /// with kQueueFull instead of blocking the transport.
+  std::size_t queue_capacity = 256;
+
+  /// Every Nth accepted feedback is held out (never trained on) to gate
+  /// flips; 0 disables the holdout and every feedback trains.
+  std::size_t holdout_every = 4;
+  /// Holdout ring size per tenant (oldest samples overwritten).
+  std::size_t holdout_capacity = 64;
+  /// Flips are suppressed until the holdout holds this many samples.
+  std::size_t min_holdout = 8;
+
+  /// Flip policy: attempt a blue-green flip every K shadow updates
+  /// (0 disables the count trigger) ...
+  std::size_t flip_every_updates = 64;
+  /// ... or every T microseconds of Clock time with at least one update
+  /// pending (0 disables the time trigger).
+  std::uint64_t flip_every_us = 0;
+
+  /// Every Rth flip runs a LeHDC refinement pass over the accumulated
+  /// feedback set instead of plain binarization (0 = never refine).
+  std::size_t refine_every_flips = 0;
+  std::size_t refine_epochs = 5;
+  /// Feedback samples retained for refinement (ring, oldest overwritten).
+  std::size_t refine_capacity = 2048;
+
+  /// No worker thread; the owner drains feedback explicitly with pump().
+  /// Combined with a FakeClock this makes flip timing deterministic — the
+  /// chaos drift scenarios run this way.
+  bool manual = false;
+};
+
+/// Per-tenant online-learning state machine. Thread-safe; one instance
+/// serves every tenant of a registry. Construction starts the worker
+/// unless config.manual.
+class OnlineSidecar {
+ public:
+  /// `registry` must outlive the sidecar; `clock` == nullptr selects the
+  /// system steady clock (share the server's FakeClock in tests).
+  OnlineSidecar(ModelRegistry& registry, const OnlineSidecarConfig& config,
+                Clock* clock = nullptr);
+  ~OnlineSidecar();
+
+  OnlineSidecar(const OnlineSidecar&) = delete;
+  OnlineSidecar& operator=(const OnlineSidecar&) = delete;
+
+  /// Enables online learning for `tenant`. The shadow learner's dimension
+  /// and class count are taken from the currently bound pipeline, which
+  /// must exist and export a binary classifier. Throws on violation.
+  void enable(const std::string& tenant);
+  [[nodiscard]] bool enabled(const std::string& tenant) const;
+
+  /// Called by the dispatch path for every served prediction of an
+  /// enabled tenant (no-op otherwise): remembers the request's features
+  /// so later feedback can be correlated. O(1) under a mutex; never
+  /// touches the learner.
+  void record(const std::string& tenant, std::uint64_t id,
+              std::vector<float> features);
+
+  /// Offers one ground-truth label for a previously served request.
+  /// kNone: accepted (the correlation record is consumed — a second
+  /// feedback for the same id is unknown). kUnknownCorrelation: the
+  /// tenant is not online-enabled, the id was never served for it, or
+  /// its record was evicted. kBadRequest: label out of range.
+  /// kQueueFull: the bounded feedback queue is at capacity.
+  Reject offer_feedback(const std::string& tenant, std::uint64_t id,
+                        std::int32_t label);
+
+  /// Manual-mode drain: consumes every queued feedback item through the
+  /// same learn/flip path the worker runs, returning the number consumed.
+  std::size_t pump();
+
+  /// Persists / restores a tenant's shadow accumulators (LHON file, see
+  /// core/online.hpp) so a restarted server resumes bit-identically.
+  void save_shadow(const std::string& tenant,
+                   const std::string& path) const;
+  void restore_shadow(const std::string& tenant, const std::string& path);
+
+  // Introspection (tests, chaos invariants, CLI stats).
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::size_t feedback_accepted(const std::string& tenant) const;
+  [[nodiscard]] std::size_t updates(const std::string& tenant) const;
+  [[nodiscard]] std::size_t flips(const std::string& tenant) const;
+  [[nodiscard]] std::size_t refinements(const std::string& tenant) const;
+  /// Shadow accuracy over the holdout at the last flip attempt (0 before).
+  [[nodiscard]] double shadow_accuracy(const std::string& tenant) const;
+
+  [[nodiscard]] const OnlineSidecarConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Correlation {
+    std::uint64_t seq = 0;
+    std::vector<float> features;
+  };
+
+  struct TenantState;
+
+  struct FeedbackItem {
+    std::string tenant;
+    std::vector<float> features;
+    std::int32_t label = 0;
+    std::uint64_t now_us = 0;
+  };
+
+  void worker_loop();
+  /// Encode → observe/holdout → flip check for one item. Takes the locks
+  /// it needs; caller holds none.
+  void process(FeedbackItem item);
+  /// Flip policy + gate + bind. Caller holds learn_mutex_.
+  void maybe_flip(TenantState& state, const std::string& tenant,
+                  std::uint64_t now_us);
+  [[nodiscard]] const TenantState* find(const std::string& tenant) const;
+
+  ModelRegistry& registry_;
+  OnlineSidecarConfig config_;
+  Clock* clock_;
+
+  /// Guards tenants_ (map shape + correlation rings), queue_ and stop_.
+  /// Hot-path cost for record()/offer_feedback() is one lock + map op.
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::map<std::string, std::unique_ptr<TenantState>> tenants_;
+  std::deque<FeedbackItem> queue_;
+  bool stop_ = false;
+
+  /// Guards every tenant's learner/holdout/flip state. Only the learning
+  /// side (worker or pump) and introspection take it, so a slow
+  /// refinement pass never delays record() on the dispatch path.
+  mutable std::mutex learn_mutex_;
+
+  std::thread worker_;
+};
+
+}  // namespace lehdc::serve

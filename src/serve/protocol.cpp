@@ -32,8 +32,9 @@ std::string frame(const char magic[4], const util::PayloadWriter& payload) {
 /// the following frame boundary, never over-read.
 bool read_frame(std::istream& in, const char magic_v1[4],
                 const char magic_v2[4], int* version, std::string* payload,
-                const std::string& context) {
-  FrameDecoder decoder(magic_v1, magic_v2, context);
+                const std::string& context,
+                const char* magic_extra = nullptr) {
+  FrameDecoder decoder(magic_v1, magic_v2, context, magic_extra);
   char header[8];
   in.read(header, sizeof(header));
   if (in.gcount() == 0 && in.eof()) {
@@ -104,6 +105,17 @@ std::string encode_request(const WireRequest& request) {
                payload);
 }
 
+std::string encode_feedback(const WireFeedback& feedback) {
+  check_tenant(feedback.tenant, "encode_feedback");
+  util::PayloadWriter payload;
+  payload.pod<std::uint64_t>(feedback.id);
+  payload.pod<std::uint16_t>(
+      static_cast<std::uint16_t>(feedback.tenant.size()));
+  payload.bytes(feedback.tenant.data(), feedback.tenant.size());
+  payload.pod<std::int32_t>(feedback.label);
+  return frame(kFeedbackMagicV2, payload);
+}
+
 std::string encode_response(const Response& response, int version) {
   check_version(version, "encode_response");
   util::PayloadWriter payload;
@@ -157,7 +169,7 @@ Response decode_response_payload(std::string_view payload, int version,
   Response response;
   response.id = reader.pod<std::uint64_t>();
   const auto status = reader.pod<std::uint8_t>();
-  if (status > static_cast<std::uint8_t>(Reject::kBadRequest)) {
+  if (status > static_cast<std::uint8_t>(Reject::kUnknownCorrelation)) {
     throw std::runtime_error("unknown response status in " + context);
   }
   response.error = static_cast<Reject>(status);
@@ -177,6 +189,23 @@ Response decode_response_payload(std::string_view payload, int version,
   return response;
 }
 
+WireFeedback decode_feedback_payload(std::string_view payload,
+                                     const std::string& context) {
+  util::PayloadReader reader(payload, context);
+  WireFeedback feedback;
+  feedback.id = reader.pod<std::uint64_t>();
+  const auto tenant_length = reader.pod<std::uint16_t>();
+  if (tenant_length > kMaxTenantIdBytes) {
+    throw std::runtime_error("oversized tenant id in " + context);
+  }
+  feedback.tenant.resize(tenant_length);
+  reader.bytes(feedback.tenant.data(), tenant_length);
+  check_tenant(feedback.tenant, context);
+  feedback.label = reader.pod<std::int32_t>();
+  reader.expect_done();
+  return feedback;
+}
+
 bool read_request(std::istream& in, WireRequest* out,
                   const std::string& context) {
   std::string payload;
@@ -186,6 +215,23 @@ bool read_request(std::istream& in, WireRequest* out,
     return false;
   }
   *out = decode_request_payload(payload, version, context);
+  return true;
+}
+
+bool read_client_frame(std::istream& in, ClientFrame* out,
+                       const std::string& context) {
+  std::string payload;
+  int version = 0;
+  if (!read_frame(in, kRequestMagic, kRequestMagicV2, &version, &payload,
+                  context, kFeedbackMagicV2)) {
+    return false;
+  }
+  out->kind = version;
+  if (version == kFeedbackFrameKind) {
+    out->feedback = decode_feedback_payload(payload, context);
+  } else {
+    out->request = decode_request_payload(payload, version, context);
+  }
   return true;
 }
 
@@ -213,6 +259,13 @@ void write_response(std::ostream& out, const Response& response,
   const std::string bytes = encode_response(response, version);
   if (!out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
     throw std::runtime_error("failed to write response frame");
+  }
+}
+
+void write_feedback(std::ostream& out, const WireFeedback& feedback) {
+  const std::string bytes = encode_feedback(feedback);
+  if (!out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
+    throw std::runtime_error("failed to write feedback frame");
   }
 }
 

@@ -17,6 +17,11 @@
 //   v2 "LSS2" response payload := the v1 layout followed by
 //     u16 tenant_length | tenant bytes — the server echoes the tenant it
 //     routed to, so clients can detect cross-tenant mixups on the wire.
+//   v2 "LSF2" feedback payload :=
+//     u64 id | u16 tenant_length | tenant bytes | i32 label — the true
+//     label for an earlier prediction, correlated by (tenant, id);
+//     acknowledged with a normal response frame (status kNone or
+//     kUnknownCorrelation, label -1).
 //
 // Decoders accept both generations and record which one arrived in
 // WireRequest::version / Response (responses are echoed at the request's
@@ -47,6 +52,11 @@ inline constexpr char kRequestMagic[4] = {'L', 'S', 'R', 'Q'};
 inline constexpr char kResponseMagic[4] = {'L', 'S', 'R', 'S'};
 inline constexpr char kRequestMagicV2[4] = {'L', 'S', 'R', '2'};
 inline constexpr char kResponseMagicV2[4] = {'L', 'S', 'S', '2'};
+inline constexpr char kFeedbackMagicV2[4] = {'L', 'S', 'F', '2'};
+
+/// FrameDecoder::Frame::version value for an LSF2 feedback frame on the
+/// request stream (1 and 2 are the request generations).
+inline constexpr int kFeedbackFrameKind = 3;
 
 /// Upper bound on a frame payload (16 MiB ≈ 4M float features) — an
 /// admission check against hostile length prefixes.
@@ -68,11 +78,31 @@ struct WireRequest {
   int version = 2;
 };
 
+/// Label feedback for an earlier prediction. Travels client→server as a
+/// v2-only "LSF2" frame interleaved with requests on the same stream:
+///
+///   LSF2 payload := u64 id | u16 tenant_length | tenant bytes | i32 label
+///
+/// `id` + `tenant` must match a previously served request (the correlation
+/// key is the pair, so one tenant can never relabel another's traffic).
+/// The server acknowledges with a normal response frame: id echoed,
+/// status kNone on acceptance or kUnknownCorrelation on a typed reject,
+/// label -1 (a feedback ack predicts nothing).
+struct WireFeedback {
+  std::uint64_t id = 0;
+  /// Tenant the original request was served under; empty selects the
+  /// server's default tenant (matching request routing).
+  std::string tenant;
+  /// Ground-truth class label observed after the prediction.
+  std::int32_t label = 0;
+};
+
 /// Serializes one complete frame (header + payload) at the message's
 /// recorded version.
 [[nodiscard]] std::string encode_request(const WireRequest& request);
 [[nodiscard]] std::string encode_response(const Response& response,
                                           int version = 2);
+[[nodiscard]] std::string encode_feedback(const WireFeedback& feedback);
 
 /// Parses a frame payload (the bytes after the length prefix). `context`
 /// names the source for error messages. Throws std::runtime_error on a
@@ -83,6 +113,21 @@ struct WireRequest {
 [[nodiscard]] Response decode_response_payload(std::string_view payload,
                                                int version,
                                                const std::string& context);
+[[nodiscard]] WireFeedback decode_feedback_payload(
+    std::string_view payload, const std::string& context);
+
+/// One inbound message on the request stream: a request frame or a
+/// feedback frame (clients interleave both on one connection).
+struct ClientFrame {
+  /// kFeedbackFrameKind selects `feedback`; 1 or 2 select `request`.
+  int kind = 0;
+  WireRequest request;
+  WireFeedback feedback;
+
+  [[nodiscard]] bool is_feedback() const noexcept {
+    return kind == kFeedbackFrameKind;
+  }
+};
 
 /// Reads one frame from a stream, accepting either protocol generation.
 /// Returns false on clean EOF at a frame boundary; throws
@@ -92,11 +137,16 @@ bool read_request(std::istream& in, WireRequest* out,
                   const std::string& context);
 bool read_response(std::istream& in, Response* out,
                    const std::string& context);
+/// Like read_request but also accepts LSF2 feedback frames, reporting
+/// which arrived via ClientFrame::kind.
+bool read_client_frame(std::istream& in, ClientFrame* out,
+                       const std::string& context);
 
 /// Writes one frame; throws std::runtime_error when the stream fails.
 /// Responses are written at `version` (echo the request's version).
 void write_request(std::ostream& out, const WireRequest& request);
 void write_response(std::ostream& out, const Response& response,
                     int version = 2);
+void write_feedback(std::ostream& out, const WireFeedback& feedback);
 
 }  // namespace lehdc::serve

@@ -6,6 +6,7 @@
 #include "data/dataset.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "serve/online.hpp"
 #include "serve/tenant.hpp"
 #include "util/check.hpp"
 
@@ -31,6 +32,12 @@ obs::Counter& reject_counter(Reject reason) {
     case Reject::kModelNotFound: {
       static obs::Counter& c =
           registry.counter("serve.rejected_model_not_found");
+      return c;
+    }
+    case Reject::kUnknownCorrelation: {
+      // Feedback rejects are the sidecar's; routed here only if a caller
+      // misuses the code for a request.
+      static obs::Counter& c = registry.counter("serve.online.rejected");
       return c;
     }
     case Reject::kNone:
@@ -259,8 +266,17 @@ void InferenceServer::dispatch(const std::string& tenant,
 
   const std::vector<int> labels = pipeline->predict_batch(queries);
   const std::uint64_t now = clock_->now_us();
+  OnlineSidecar* online = online_.load(std::memory_order_acquire);
   for (std::size_t v = 0; v < valid.size(); ++v) {
     PendingRequest& request = batch[valid[v]];
+    if (online != nullptr) {
+      // Remember the served request for feedback correlation *before* the
+      // promise resolves, so a client reacting instantly to its response
+      // can never race an unrecorded prediction. add_sample() copied the
+      // features above, so moving them out here is safe.
+      online->record(request.tenant, request.id,
+                     std::move(request.features));
+    }
     Response response;
     response.id = request.id;
     response.label = labels[v];

@@ -29,6 +29,7 @@
 // time while still exercising the real admission/dispatch code.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -42,6 +43,8 @@
 #include "serve/registry.hpp"
 
 namespace lehdc::serve {
+
+class OnlineSidecar;
 
 struct ServerConfig {
   BatcherConfig batcher;
@@ -108,6 +111,19 @@ class InferenceServer {
   [[nodiscard]] Clock& clock() noexcept { return *clock_; }
   [[nodiscard]] ModelRegistry& registry() noexcept { return registry_; }
 
+  /// Attaches the online-learning sidecar (serve/online.hpp): every served
+  /// prediction of an online-enabled tenant is recorded for feedback
+  /// correlation just before its promise resolves. The sidecar must
+  /// outlive the server; pass nullptr to detach. The pointer is atomic so
+  /// attaching races cleanly with a running worker, but attaching before
+  /// traffic is the intended shape.
+  void attach_online(OnlineSidecar* sidecar) noexcept {
+    online_.store(sidecar, std::memory_order_release);
+  }
+  [[nodiscard]] OnlineSidecar* online() const noexcept {
+    return online_.load(std::memory_order_acquire);
+  }
+
  private:
   void worker_loop();
   /// Scores one single-tenant flushed batch and fulfils its promises.
@@ -120,6 +136,7 @@ class InferenceServer {
   ModelRegistry& registry_;
   ServerConfig config_;
   Clock* clock_;
+  std::atomic<OnlineSidecar*> online_{nullptr};
 
   mutable std::mutex mutex_;
   std::condition_variable work_ready_;

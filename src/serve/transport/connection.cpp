@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "serve/online.hpp"
 #include "serve/protocol.hpp"
 #include "serve/tenant.hpp"
 
@@ -53,6 +54,13 @@ void Connection::decode_pending(std::uint64_t now_us) {
       if (!decoder_.next(&frame)) {
         return;  // mid-frame; wait for more bytes
       }
+      if (frame.version == kFeedbackFrameKind) {
+        const WireFeedback feedback = decode_feedback_payload(
+            frame.payload, "connection " + std::to_string(id_));
+        ++feedback_decoded_;
+        acknowledge_feedback(feedback);
+        continue;
+      }
       request = decode_request_payload(frame.payload, frame.version,
                                        "connection " + std::to_string(id_));
     } catch (const std::runtime_error& e) {
@@ -97,6 +105,38 @@ void Connection::shed(const WireRequest& request) {
   promise.set_value(std::move(response));
   Inflight entry;
   entry.version = request.version;
+  entry.future = promise.get_future();
+  inflight_.push_back(std::move(entry));
+}
+
+void Connection::acknowledge_feedback(const WireFeedback& feedback) {
+  Response ack;
+  ack.id = feedback.id;
+  ack.label = -1;  // an ack predicts nothing
+  ack.tenant = feedback.tenant.empty() ? server_.config().default_tenant
+                                       : feedback.tenant;
+  if (encoder_.backlog_bytes() >= config_.write_backlog_max_bytes) {
+    // Slow reader: shed the feedback exactly like a request would be.
+    ++sheds_;
+    shed_counter().add();
+    ack.error = Reject::kQueueFull;
+  } else {
+    OnlineSidecar* online = server_.online();
+    // Without a sidecar no correlation can exist, so the typed verdict is
+    // the same a stale correlation would earn.
+    ack.error = online == nullptr
+                    ? Reject::kUnknownCorrelation
+                    : online->offer_feedback(ack.tenant, feedback.id,
+                                             feedback.label);
+  }
+  // The ack travels through the in-flight FIFO as an already-ready future
+  // (the shed() pattern), preserving per-connection response order
+  // between acks and in-flight predictions. LSF2 is v2-only, so the ack
+  // is always an LSS2 frame.
+  std::promise<Response> promise;
+  promise.set_value(std::move(ack));
+  Inflight entry;
+  entry.version = 2;
   entry.future = promise.get_future();
   inflight_.push_back(std::move(entry));
 }

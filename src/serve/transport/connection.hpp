@@ -139,6 +139,9 @@ class Connection {
   [[nodiscard]] std::uint64_t requests_decoded() const noexcept {
     return requests_decoded_;
   }
+  [[nodiscard]] std::uint64_t feedback_decoded() const noexcept {
+    return feedback_decoded_;
+  }
   [[nodiscard]] std::uint64_t responses_sent() const noexcept {
     return responses_sent_;
   }
@@ -154,6 +157,10 @@ class Connection {
   void decode_pending(std::uint64_t now_us);
   /// Queues an immediate typed-reject response for a shed request.
   void shed(const WireRequest& request);
+  /// Resolves one LSF2 feedback frame through the server's online sidecar
+  /// and queues the ack/reject through the same in-flight FIFO, so
+  /// feedback acks never overtake earlier in-flight responses.
+  void acknowledge_feedback(const WireFeedback& feedback);
 
   struct Inflight {
     std::future<Response> future;
@@ -170,6 +177,7 @@ class Connection {
   std::uint64_t bytes_read_ = 0;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t requests_decoded_ = 0;
+  std::uint64_t feedback_decoded_ = 0;
   std::uint64_t responses_sent_ = 0;
   std::uint64_t sheds_ = 0;
   bool eof_ = false;

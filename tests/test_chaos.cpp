@@ -163,6 +163,41 @@ TEST(ChaosScenario, ServedAccuracyTracksOfflineThroughLiveBitErrors) {
   }
 }
 
+TEST(ChaosScenario, OnlineDriftRecoveryHealsAdaptiveAndDecaysFrozen) {
+  // Two tenants share one model and one mid-run prototype shift; only
+  // "adaptive" runs the online sidecar. The invariant demands the pair
+  // diverge: the adaptive tenant's post-drift tail recovers to >= 90% of
+  // its pre-drift accuracy through feedback-driven blue-green flips while
+  // the frozen control decays — proving both that the drift bit and that
+  // the online path healed it.
+  const chaos::NamedScenario& named =
+      chaos::scenario_by_name("online_drift_recovery");
+  const chaos::ScenarioConfig config = named.configure(0.25);
+  const chaos::ScenarioResult result =
+      chaos::run_scenario(config, named.invariants);
+  EXPECT_TRUE(result.violations.empty())
+      << result.violations.front();
+  ASSERT_EQ(result.tenants.size(), 2u);
+  const chaos::TenantOutcome* adaptive = nullptr;
+  const chaos::TenantOutcome* frozen = nullptr;
+  for (const chaos::TenantOutcome& outcome : result.tenants) {
+    (outcome.id == "adaptive" ? adaptive : frozen) = &outcome;
+  }
+  ASSERT_NE(adaptive, nullptr);
+  ASSERT_NE(frozen, nullptr);
+
+  EXPECT_GT(adaptive->feedback_accepted, 0u);
+  EXPECT_GT(adaptive->flips, 0u);
+  EXPECT_GE(adaptive->post_drift_accuracy,
+            config.drift_recovery_fraction * adaptive->pre_drift_accuracy);
+  EXPECT_EQ(frozen->feedback_accepted, 0u);
+  EXPECT_EQ(frozen->flips, 0u);
+  EXPECT_LE(frozen->post_drift_accuracy,
+            frozen->pre_drift_accuracy - config.drift_decay_min);
+  EXPECT_EQ(adaptive->accuracy_curve.size(), config.curve_buckets);
+  EXPECT_EQ(frozen->accuracy_curve.size(), config.curve_buckets);
+}
+
 TEST(ChaosScenario, RunScenarioRefusesAssertionFreeRuns) {
   const chaos::NamedScenario& named =
       chaos::scenario_by_name("steady_multi_tenant");

@@ -33,6 +33,7 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "serve/online.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
 #include "util/thread_pool.hpp"
@@ -513,6 +514,117 @@ TEST(ServerStress, ChaosInjectionRacesInferenceWithoutLeaks) {
   EXPECT_GT(served.load(), 0);
   EXPECT_EQ(leaked.load(), 0);
   EXPECT_EQ(registry.size(), tenants.size());
+}
+
+TEST(ServerStress, OnlineLearningRacesInferenceAndBlueGreenFlips) {
+  // The full online path under real threads: producers hammer inference
+  // and return ground-truth feedback for every served response, the
+  // sidecar's own worker consumes the queue and performs blue-green
+  // flips through the registry while batches are in flight. TSan
+  // instruments the three-way race (dispatch record / feedback offer /
+  // learner+flip on the worker); the shared_ptr bind contract keeps
+  // in-flight batches on their pinned generation across every flip.
+  serve::ModelRegistry registry;
+  registry.add("acme", make_stress_pipeline(401));
+  const data::Dataset queries = make_stress_queries(32, 13);
+
+  serve::ServerConfig config;
+  config.batcher.max_batch = 8;
+  config.batcher.max_wait_us = 200;
+  config.batcher.queue_capacity = 1024;
+  config.default_tenant = "acme";
+  serve::InferenceServer server(registry, config);
+
+  serve::OnlineSidecarConfig online_config;
+  online_config.mode = core::OnlineMode::kCentroid;  // every feedback updates
+  online_config.flip_every_updates = 8;
+  online_config.holdout_every = 4;
+  online_config.min_holdout = 2;
+  online_config.correlation_capacity = 8192;
+  online_config.queue_capacity = 4096;
+  online_config.seed = 5;
+  serve::OnlineSidecar sidecar(registry, online_config);  // worker thread
+  sidecar.enable("acme");
+  server.attach_online(&sidecar);
+
+  constexpr int kProducers = 4;
+  constexpr int kRequestsPerProducer = 150;
+  std::atomic<bool> start{false};
+  std::atomic<int> accepted{0};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kRequestsPerProducer; ++i) {
+        const std::size_t q = static_cast<std::size_t>(p * 31 + i) %
+                              queries.size();
+        const auto row = queries.sample(q);
+        const std::uint64_t id =
+            static_cast<std::uint64_t>(p) * 100000 + static_cast<std::uint64_t>(i);
+        std::future<serve::Response> future =
+            server.submit({row.begin(), row.end()}, 0, "acme", id);
+        const serve::Response response = future.get();
+        if (response.error != serve::Reject::kNone) {
+          EXPECT_EQ(response.error, serve::Reject::kQueueFull);
+          continue;
+        }
+        EXPECT_GE(response.label, 0);
+        EXPECT_LT(response.label, 3);
+        // The response resolved after dispatch recorded the correlation,
+        // so feedback for it can only be accepted or queue-shed — an
+        // unknown correlation here would mean record() raced set_value.
+        const serve::Reject verdict =
+            sidecar.offer_feedback("acme", id, queries.label(q));
+        EXPECT_TRUE(verdict == serve::Reject::kNone ||
+                    verdict == serve::Reject::kQueueFull)
+            << serve::reject_name(verdict);
+        if (verdict == serve::Reject::kNone) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+  for (auto& thread : producers) {
+    thread.join();
+  }
+
+  EXPECT_GT(accepted.load(), 0);
+  // Drive the worker to an actual flip: keep offering labelled feedback
+  // (fresh correlations, true labels) and let the worker drain. The
+  // centroid shadow converges on the separable synthetic stream, so the
+  // shadow-vs-live holdout gate passes and the count trigger (every 8
+  // updates) fires. Rendezvous is yield-only — no sleeps.
+  std::size_t extra = 0;
+  for (int round = 0; round < 200 && sidecar.flips("acme") == 0; ++round) {
+    for (std::size_t j = 0; j < 32; ++j) {
+      const std::size_t q = (extra + j) % queries.size();
+      const auto row = queries.sample(q);
+      const std::uint64_t id = 1'000'000 + extra + j;
+      sidecar.record("acme", id, {row.begin(), row.end()});
+      (void)sidecar.offer_feedback("acme", id, queries.label(q));
+    }
+    extra += 32;
+    while (sidecar.queue_depth() > 0) {
+      std::this_thread::yield();
+    }
+  }
+  EXPECT_GT(sidecar.flips("acme"), 0u) << "no blue-green flip ever fired";
+  EXPECT_GT(sidecar.updates("acme"), 0u);
+
+  // The registry still serves post-flip, and the flipped generation is a
+  // working model (labels in range on every query).
+  const auto flipped = registry.get("acme");
+  ASSERT_NE(flipped, nullptr);
+  const std::vector<int> labels = flipped->predict_batch(queries);
+  for (const int label : labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 3);
+  }
+  server.shutdown();
 }
 
 TEST(ServerStress, SubmitVersusShutdownAlwaysResolvesFutures) {

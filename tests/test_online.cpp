@@ -1,8 +1,12 @@
 // OnlineHdcLearner: streaming centroid / perceptron updates over encoded
 // samples. Covers counting semantics, snapshot parity, the perceptron
-// warm-up and mistake-driven rules, and precondition checks.
+// warm-up and mistake-driven rules, precondition checks, drift recovery
+// (prototype shift mid-stream), warm-up edge cases, tie-break determinism
+// and the checksummed LHON save/load resume path.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -158,6 +162,208 @@ TEST(OnlineLearner, AccuracyOfEmptyDatasetIsZero) {
   core::OnlineHdcLearner learner(config_for(core::OnlineMode::kCentroid));
   const hdc::EncodedDataset empty(kDim, 3);
   EXPECT_EQ(learner.accuracy(empty), 0.0);
+}
+
+// ------------------------------------------------------ drift recovery --
+
+/// Class prototypes drawn from `rng`, one per class.
+std::vector<hv::BitVector> draw_prototypes(std::size_t class_count,
+                                           util::Rng& rng) {
+  std::vector<hv::BitVector> prototypes;
+  for (std::size_t k = 0; k < class_count; ++k) {
+    prototypes.push_back(hv::BitVector::random(kDim, rng));
+  }
+  return prototypes;
+}
+
+/// A stream clustered around the given prototypes (round-robin labels).
+hdc::EncodedDataset stream_around(const std::vector<hv::BitVector>& prototypes,
+                                  std::size_t per_class, util::Rng& rng) {
+  hdc::EncodedDataset stream(kDim, prototypes.size());
+  for (std::size_t i = 0; i < per_class; ++i) {
+    for (std::size_t k = 0; k < prototypes.size(); ++k) {
+      hv::BitVector sample = prototypes[k];
+      sample.flip_random(kDim / 16, rng);
+      stream.add(std::move(sample), static_cast<int>(k));
+    }
+  }
+  return stream;
+}
+
+void feed(core::OnlineHdcLearner& learner, const hdc::EncodedDataset& stream) {
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    learner.observe(stream.hypervector(i), stream.label(i));
+  }
+}
+
+TEST(OnlineDrift, PerceptronRecoversFromPrototypeShiftWhileCentroidLags) {
+  // Mid-stream concept drift, worst case: the class prototypes ROTATE
+  // (class k now emits what used to be class k+1's pattern), so the
+  // pre-drift model is 100% confidently wrong — a re-draw can land
+  // accidentally aligned, a rotation cannot. The mistake-driven
+  // perceptron both adds the new pattern and *subtracts* it from the
+  // class it was confused with, so a handful of mistakes re-aim the
+  // discriminative coordinates; the centroid only ever piles on, and a
+  // post-drift budget half the pre-drift mass leaves it anchored to the
+  // stale prototypes.
+  util::Rng rng(23);
+  const auto before = draw_prototypes(3, rng);
+  const std::vector<hv::BitVector> after = {before[1], before[2],
+                                            before[0]};
+  const auto pre_stream = stream_around(before, 40, rng);
+  const auto drift_stream = stream_around(after, 20, rng);
+  const auto drifted_eval = stream_around(after, 20, rng);  // held out
+
+  core::OnlineHdcLearner perceptron(
+      config_for(core::OnlineMode::kPerceptron));
+  core::OnlineHdcLearner centroid(config_for(core::OnlineMode::kCentroid));
+  feed(perceptron, pre_stream);
+  feed(centroid, pre_stream);
+  ASSERT_GE(perceptron.accuracy(pre_stream), 0.95);
+  ASSERT_GE(centroid.accuracy(pre_stream), 0.95);
+  // The drift is real: the rotated labels gut the pre-drift models.
+  ASSERT_LE(perceptron.accuracy(drifted_eval), 0.2);
+  ASSERT_LE(centroid.accuracy(drifted_eval), 0.2);
+
+  feed(perceptron, drift_stream);
+  feed(centroid, drift_stream);
+  const double recovered = perceptron.accuracy(drifted_eval);
+  const double lagging = centroid.accuracy(drifted_eval);
+  EXPECT_GE(recovered, 0.9) << "perceptron failed to recover from drift";
+  EXPECT_GE(recovered, lagging + 0.5)
+      << "perceptron=" << recovered << " centroid=" << lagging
+      << " — the mistake-driven rule should outpace pure bundling";
+}
+
+// ------------------------------------------------- warm-up edge cases --
+
+TEST(OnlineLearner, WarmupZeroIsMistakeDrivenFromTheFirstSample) {
+  auto config = config_for(core::OnlineMode::kPerceptron);
+  config.warmup_per_class = 0;
+  core::OnlineHdcLearner learner(config);
+  util::Rng rng(29);
+  const auto sample = hv::BitVector::random(kDim, rng);
+  // A cold model predicts class 0 on everything (all-(+1) fallback), so a
+  // class-0 label is "correct" and must NOT bundle in...
+  ASSERT_EQ(learner.predict(sample), 0);
+  learner.observe(sample, 0);
+  EXPECT_EQ(learner.observed(), 1u);
+  EXPECT_EQ(learner.updates(), 0u);
+  // ...while any other label is a mistake and must update immediately.
+  learner.observe(sample, 1);
+  EXPECT_EQ(learner.updates(), 1u);
+}
+
+TEST(OnlineLearner, WarmupLongerThanStreamBundlesEverySample) {
+  auto config = config_for(core::OnlineMode::kPerceptron);
+  const auto stream = clustered_stream(5, 3, 31);
+  config.warmup_per_class = stream.size() + 1;  // never leaves warm-up
+  core::OnlineHdcLearner learner(config);
+  feed(learner, stream);
+  // Inside the warm-up window the perceptron degenerates to the centroid
+  // rule: every observation is an update, right up to the stream's end.
+  EXPECT_EQ(learner.updates(), stream.size());
+  EXPECT_EQ(learner.observed(), stream.size());
+}
+
+// ------------------------------------------- tie-break determinism --
+
+TEST(OnlineLearner, TieBreakIsDeterministicAcrossSeeds) {
+  // sgn(0) coordinates resolve via a seeded tie-break hypervector. For
+  // any seed, two learners built from the same config and fed the same
+  // stream must agree on every prediction — including queries that hit
+  // zero accumulators — and stay deterministic across repeat runs.
+  const auto stream = clustered_stream(8, 3, 37);
+  util::Rng query_rng(41);
+  std::vector<hv::BitVector> queries;
+  for (int i = 0; i < 32; ++i) {
+    queries.push_back(hv::BitVector::random(kDim, query_rng));
+  }
+  for (const std::uint64_t seed : {1ull, 2ull, 977ull}) {
+    auto config = config_for(core::OnlineMode::kPerceptron);
+    config.seed = seed;
+    core::OnlineHdcLearner a(config);
+    core::OnlineHdcLearner b(config);
+    // Cold models: every accumulator is zero, so predictions are pure
+    // tie-break — they must already agree.
+    for (const auto& query : queries) {
+      ASSERT_EQ(a.predict(query), b.predict(query)) << "seed=" << seed;
+    }
+    feed(a, stream);
+    feed(b, stream);
+    EXPECT_EQ(a.updates(), b.updates()) << "seed=" << seed;
+    for (const auto& query : queries) {
+      ASSERT_EQ(a.predict(query), b.predict(query)) << "seed=" << seed;
+    }
+  }
+}
+
+// ------------------------------------------------ LHON save / load --
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(OnlineLearner, SaveLoadResumesStreamBitIdentically) {
+  // Kill-resume contract: save mid-stream, load, finish the stream on
+  // both the original and the resumed learner — counters, predictions
+  // and re-saved bytes must all be identical.
+  const auto stream = clustered_stream(12, 3, 43);
+  const std::size_t half = stream.size() / 2;
+  auto config = config_for(core::OnlineMode::kPerceptron);
+  config.warmup_per_class = 2;
+  core::OnlineHdcLearner original(config);
+  for (std::size_t i = 0; i < half; ++i) {
+    original.observe(stream.hypervector(i), stream.label(i));
+  }
+  const auto path = temp_path("resume.lhon");
+  original.save(path);
+  core::OnlineHdcLearner resumed = core::OnlineHdcLearner::load(path);
+  EXPECT_EQ(resumed.observed(), original.observed());
+  EXPECT_EQ(resumed.updates(), original.updates());
+  EXPECT_EQ(resumed.config().warmup_per_class, 2u);
+
+  for (std::size_t i = half; i < stream.size(); ++i) {
+    original.observe(stream.hypervector(i), stream.label(i));
+    resumed.observe(stream.hypervector(i), stream.label(i));
+  }
+  EXPECT_EQ(resumed.observed(), original.observed());
+  EXPECT_EQ(resumed.updates(), original.updates());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_EQ(resumed.predict(stream.hypervector(i)),
+              original.predict(stream.hypervector(i)))
+        << "i=" << i;
+  }
+  // Byte-identical artifacts, not just equivalent behavior.
+  const auto original_path = temp_path("resume_original.lhon");
+  const auto resumed_path = temp_path("resume_resumed.lhon");
+  original.save(original_path);
+  resumed.save(resumed_path);
+  EXPECT_EQ(file_bytes(original_path), file_bytes(resumed_path));
+}
+
+TEST(OnlineLearner, LoadRejectsCorruptedFile) {
+  core::OnlineHdcLearner learner(config_for(core::OnlineMode::kCentroid));
+  const auto stream = clustered_stream(4, 3, 47);
+  feed(learner, stream);
+  const auto path = temp_path("corrupt.lhon");
+  learner.save(path);
+  std::string bytes = file_bytes(path);
+  ASSERT_GT(bytes.size(), 32u);
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one stored bit
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW((void)core::OnlineHdcLearner::load(path), std::runtime_error);
 }
 
 }  // namespace

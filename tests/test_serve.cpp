@@ -19,6 +19,7 @@
 #include "data/synthetic.hpp"
 #include "serve/batcher.hpp"
 #include "serve/clock.hpp"
+#include "serve/online.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
@@ -678,6 +679,185 @@ TEST(InferenceServer, ManualDispatchPumpsOnlyWhenDriven) {
     EXPECT_EQ(response.label, direct[i]);
   }
   server.shutdown();
+}
+
+// ------------------------------------------- online feedback: protocol --
+
+TEST(Protocol, FeedbackFrameRoundTripsThroughClientFrameReader) {
+  serve::WireFeedback feedback;
+  feedback.id = 31;
+  feedback.tenant = "acme";
+  feedback.label = 2;
+  std::stringstream stream;
+  serve::write_feedback(stream, feedback);
+  EXPECT_EQ(stream.str().substr(0, 4), "LSF2");
+  serve::ClientFrame frame;
+  ASSERT_TRUE(serve::read_client_frame(stream, &frame, "test"));
+  ASSERT_TRUE(frame.is_feedback());
+  EXPECT_EQ(frame.feedback.id, 31u);
+  EXPECT_EQ(frame.feedback.tenant, "acme");
+  EXPECT_EQ(frame.feedback.label, 2);
+  // Clean EOF at the frame boundary reads as "no more frames".
+  EXPECT_FALSE(serve::read_client_frame(stream, &frame, "test"));
+}
+
+TEST(Protocol, ClientFrameReaderInterleavesRequestsAndFeedback) {
+  serve::WireRequest request;
+  request.id = 1;
+  request.tenant = "acme";
+  request.features = {0.5f, 1.5f};
+  serve::WireFeedback feedback;
+  feedback.id = 1;
+  feedback.tenant = "acme";
+  feedback.label = 0;
+
+  std::stringstream stream;
+  serve::write_request(stream, request);
+  serve::write_feedback(stream, feedback);
+  request.id = 2;
+  serve::write_request(stream, request);
+
+  serve::ClientFrame frame;
+  ASSERT_TRUE(serve::read_client_frame(stream, &frame, "test"));
+  EXPECT_FALSE(frame.is_feedback());
+  EXPECT_EQ(frame.request.id, 1u);
+  ASSERT_TRUE(serve::read_client_frame(stream, &frame, "test"));
+  ASSERT_TRUE(frame.is_feedback());
+  EXPECT_EQ(frame.feedback.id, 1u);
+  ASSERT_TRUE(serve::read_client_frame(stream, &frame, "test"));
+  EXPECT_FALSE(frame.is_feedback());
+  EXPECT_EQ(frame.request.id, 2u);
+  EXPECT_FALSE(serve::read_client_frame(stream, &frame, "test"));
+}
+
+TEST(Protocol, FeedbackRejectsInvalidTenantIdsAndLabels) {
+  serve::WireFeedback feedback;
+  feedback.tenant = "Not.Valid";
+  EXPECT_THROW((void)serve::encode_feedback(feedback), std::runtime_error);
+}
+
+TEST(Protocol, FeedbackDecodeFuzzTypedErrorsNeverCrashOrHang) {
+  // The same hostile-input contract the request fuzz enforces, against
+  // the LSF2 generation: every truncation is a clean EOF (empty input)
+  // or a typed error, and every single-byte corruption either decodes or
+  // raises std::runtime_error — never a crash, hang or silent junk.
+  serve::WireFeedback feedback;
+  feedback.id = 77;
+  feedback.tenant = "acme";
+  feedback.label = 1;
+  const std::string frame = serve::encode_feedback(feedback);
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    std::stringstream stream(frame.substr(0, cut));
+    serve::ClientFrame out;
+    if (cut == 0) {
+      EXPECT_FALSE(serve::read_client_frame(stream, &out, "fuzz"));
+    } else {
+      EXPECT_THROW((void)serve::read_client_frame(stream, &out, "fuzz"),
+                   std::runtime_error);
+    }
+  }
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    for (const char flip : {'\x01', '\x7f', '\xff'}) {
+      std::string mutated = frame;
+      mutated[i] = static_cast<char>(mutated[i] ^ flip);
+      std::stringstream stream(mutated);
+      serve::ClientFrame out;
+      try {
+        (void)serve::read_client_frame(stream, &out, "fuzz");
+      } catch (const std::runtime_error&) {
+        // typed rejection: exactly what the contract promises
+      }
+    }
+  }
+}
+
+// -------------------------------------------- online feedback: sidecar --
+
+serve::OnlineSidecarConfig manual_sidecar_config() {
+  serve::OnlineSidecarConfig config;
+  config.manual = true;
+  config.seed = 7;
+  return config;
+}
+
+TEST(OnlineSidecar, UnknownAndCrossTenantFeedbackRejectTyped) {
+  serve::ModelRegistry registry;
+  registry.add("acme", make_pipeline(61));
+  registry.add("globex", make_pipeline(62));
+  serve::FakeClock clock;
+  serve::OnlineSidecar sidecar(registry, manual_sidecar_config(), &clock);
+  sidecar.enable("acme");
+  sidecar.enable("globex");
+  const data::Dataset queries = make_queries(4, 63);
+
+  sidecar.record("acme", 5, features_of(queries, 0));
+  // The correlation key is (tenant, id): globex cannot relabel acme's
+  // traffic even with the right id, and an id acme never served is
+  // equally unknown.
+  EXPECT_EQ(sidecar.offer_feedback("globex", 5, 0),
+            serve::Reject::kUnknownCorrelation);
+  EXPECT_EQ(sidecar.offer_feedback("acme", 999, 0),
+            serve::Reject::kUnknownCorrelation);
+  // A tenant that is not online-enabled at all is the same typed reject.
+  EXPECT_EQ(sidecar.offer_feedback("mouse", 5, 0),
+            serve::Reject::kUnknownCorrelation);
+  // Out-of-range labels are a bad request and do NOT consume the record.
+  EXPECT_EQ(sidecar.offer_feedback("acme", 5, 3),
+            serve::Reject::kBadRequest);
+  EXPECT_EQ(sidecar.offer_feedback("acme", 5, -1),
+            serve::Reject::kBadRequest);
+  // The happy path accepts exactly once: acceptance consumes the record,
+  // so a duplicate feedback is unknown again.
+  EXPECT_EQ(sidecar.offer_feedback("acme", 5, 1), serve::Reject::kNone);
+  EXPECT_EQ(sidecar.offer_feedback("acme", 5, 1),
+            serve::Reject::kUnknownCorrelation);
+  EXPECT_EQ(sidecar.pump(), 1u);
+  EXPECT_EQ(sidecar.feedback_accepted("acme"), 1u);
+  EXPECT_EQ(sidecar.feedback_accepted("globex"), 0u);
+}
+
+TEST(OnlineSidecar, FullFeedbackQueueShedsTyped) {
+  serve::ModelRegistry registry;
+  registry.add("acme", make_pipeline(67));
+  serve::FakeClock clock;
+  auto config = manual_sidecar_config();
+  config.queue_capacity = 2;
+  serve::OnlineSidecar sidecar(registry, config, &clock);
+  sidecar.enable("acme");
+  const data::Dataset queries = make_queries(3, 68);
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    sidecar.record("acme", id, features_of(queries, id));
+  }
+  EXPECT_EQ(sidecar.offer_feedback("acme", 0, 0), serve::Reject::kNone);
+  EXPECT_EQ(sidecar.offer_feedback("acme", 1, 0), serve::Reject::kNone);
+  // Queue at capacity: shed typed, correlation NOT consumed...
+  EXPECT_EQ(sidecar.offer_feedback("acme", 2, 0),
+            serve::Reject::kQueueFull);
+  EXPECT_EQ(sidecar.pump(), 2u);
+  // ...so the same feedback succeeds once the queue drained.
+  EXPECT_EQ(sidecar.offer_feedback("acme", 2, 0), serve::Reject::kNone);
+  EXPECT_EQ(sidecar.pump(), 1u);
+  EXPECT_EQ(sidecar.feedback_accepted("acme"), 3u);
+}
+
+TEST(OnlineSidecar, CorrelationRingEvictsOldestServedRequests) {
+  serve::ModelRegistry registry;
+  registry.add("acme", make_pipeline(71));
+  serve::FakeClock clock;
+  auto config = manual_sidecar_config();
+  config.correlation_capacity = 2;
+  serve::OnlineSidecar sidecar(registry, config, &clock);
+  sidecar.enable("acme");
+  const data::Dataset queries = make_queries(3, 72);
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    sidecar.record("acme", id, features_of(queries, id));
+  }
+  // id 0 was evicted to make room for id 2; late feedback for it is the
+  // same typed reject as never-served.
+  EXPECT_EQ(sidecar.offer_feedback("acme", 0, 0),
+            serve::Reject::kUnknownCorrelation);
+  EXPECT_EQ(sidecar.offer_feedback("acme", 1, 0), serve::Reject::kNone);
+  EXPECT_EQ(sidecar.offer_feedback("acme", 2, 0), serve::Reject::kNone);
 }
 
 }  // namespace

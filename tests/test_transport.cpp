@@ -22,6 +22,7 @@
 #include "data/synthetic.hpp"
 #include "serve/clock.hpp"
 #include "serve/framing.hpp"
+#include "serve/online.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
@@ -407,6 +408,96 @@ TEST(Connection, IdleDeadlineTracksActivity) {
   EXPECT_TRUE(conn.idle_expired(6000));
   ASSERT_TRUE(conn.on_bytes(frame_stream(1), 5500));
   EXPECT_EQ(conn.idle_deadline_us(), 6500u);  // progress pushes it out
+}
+
+TEST(Connection, FeedbackAcksKeepArrivalOrderAmongResponses) {
+  // One connection interleaving LSF2 feedback among request frames: acks
+  // must come back exactly where the feedback arrived in the stream —
+  // never jumping ahead of an earlier in-flight response, never stalling
+  // a later one.
+  ServerFixture fx;
+  serve::OnlineSidecarConfig online_config;
+  online_config.manual = true;
+  serve::OnlineSidecar sidecar(fx.registry, online_config, &fx.clock);
+  sidecar.enable("acme");
+  fx.server->attach_online(&sidecar);
+  serve::transport::Connection conn(
+      1, *fx.server, serve::transport::ConnectionConfig{}, 0);
+
+  // Serve requests 1..3 fully so their correlations are recorded.
+  ASSERT_TRUE(conn.on_bytes(frame_stream(3), 0));
+  ASSERT_EQ(drain(conn, fx).size(), 3u);
+
+  // Now interleave: feedback for served id 2 (an "acme" frame in
+  // frame_stream), two fresh requests, then feedback for a never-served
+  // id.
+  serve::WireFeedback good;
+  good.id = 2;
+  good.tenant = "acme";
+  good.label = 0;
+  serve::WireFeedback unknown;
+  unknown.id = 999;
+  unknown.tenant = "acme";
+  unknown.label = 0;
+  std::string bytes = serve::encode_feedback(good);
+  bytes += serve::encode_request(make_request(4, 2));
+  bytes += serve::encode_request(make_request(5, 2));
+  bytes += serve::encode_feedback(unknown);
+  ASSERT_TRUE(conn.on_bytes(bytes, 0));
+
+  std::vector<serve::Response> responses;
+  const auto ids = drain(conn, fx, &responses);
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{2, 4, 5, 999}));
+  // The accepted ack: ok, label -1 (an ack predicts nothing).
+  EXPECT_TRUE(responses[0].ok());
+  EXPECT_EQ(responses[0].label, -1);
+  // Real predictions in between.
+  EXPECT_TRUE(responses[1].ok());
+  EXPECT_GE(responses[1].label, 0);
+  // The unknown-correlation ack is typed, and arrives last.
+  EXPECT_EQ(responses[3].error, serve::Reject::kUnknownCorrelation);
+  EXPECT_EQ(responses[3].label, -1);
+  EXPECT_EQ(sidecar.pump(), 1u);
+  EXPECT_EQ(sidecar.feedback_accepted("acme"), 1u);
+}
+
+TEST(Connection, FeedbackRacingItsOwnResponseIsUnknownCorrelation) {
+  // Feedback that arrives before the request it labels has been
+  // dispatched cannot correlate (the record is written at dispatch, after
+  // the prediction exists) — it must be a typed reject, not a block or a
+  // retroactive match.
+  ServerFixture fx;
+  serve::OnlineSidecarConfig online_config;
+  online_config.manual = true;
+  serve::OnlineSidecar sidecar(fx.registry, online_config, &fx.clock);
+  sidecar.enable("acme");
+  fx.server->attach_online(&sidecar);
+  serve::transport::Connection conn(
+      1, *fx.server, serve::transport::ConnectionConfig{}, 0);
+
+  serve::WireFeedback feedback;
+  feedback.id = 2;
+  feedback.tenant = "acme";
+  feedback.label = 0;
+  std::string bytes = serve::encode_request(make_request(2, 2));
+  bytes += serve::encode_feedback(feedback);
+  ASSERT_TRUE(conn.on_bytes(bytes, 0));  // no dispatch yet
+
+  std::vector<serve::Response> responses;
+  const auto ids = drain(conn, fx, &responses);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{2, 2}));
+  EXPECT_TRUE(responses[0].ok());
+  EXPECT_EQ(responses[1].error, serve::Reject::kUnknownCorrelation);
+  // The correlation recorded at dispatch is still live: feedback after
+  // the response is the normal accepted path.
+  ASSERT_TRUE(conn.on_bytes(serve::encode_feedback(feedback), 0));
+  responses.clear();
+  const auto late = drain(conn, fx, &responses);
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_TRUE(responses[0].ok());
+  EXPECT_EQ(sidecar.pump(), 1u);
 }
 
 // -------------------------------------------------------- chaos matrix --

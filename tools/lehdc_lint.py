@@ -49,6 +49,12 @@ ctest as the `lehdc_lint` test and from the CI lint job):
                     must be an exact lehdc.metrics.v1 schema name, so the
                     per-tenant expansions stay under the reserved
                     "serve.tenant." prefix the validator admits.
+  online-metrics    The online-learning surface ("serve.online.*") must be
+                    enumerated name-by-name in the LINT-METRICS block —
+                    never admitted wholesale via a reserved prefix — and
+                    every name must fit serve.online.[a-z0-9_]+. A typo'd
+                    or unregistered online metric must fail validation,
+                    not silently slip through a prefix.
 
 Usage:
   tools/lehdc_lint.py [--root DIR] [--report FILE] [--list-rules]
@@ -233,6 +239,34 @@ def load_schema_names(root: Path) -> tuple[set[str], list[str]]:
     return names, prefixes
 
 
+ONLINE_METRIC_SHAPE = re.compile(r"serve\.online\.[a-z0-9_]+$")
+
+
+def lint_online_metrics(root: Path, schema_names: set[str],
+                        schema_prefixes: list[str]) -> None:
+    """online-metrics: the serve.online.* namespace is enumerated, not
+    prefix-reserved. See the rule description in the module docstring."""
+    rel = "src/obs/schema.cpp"
+    if "serve.online." in schema_prefixes:
+        FINDINGS.append(
+            f"{rel}:1: [online-metrics] 'serve.online.' is a reserved "
+            "prefix — online metrics must be enumerated exactly in the "
+            "LINT-METRICS block, not admitted wholesale")
+    online = sorted(n for n in schema_names
+                    if n.startswith("serve.online."))
+    if not online:
+        FINDINGS.append(
+            f"{rel}:1: [online-metrics] no serve.online.* names in the "
+            "LINT-METRICS block — the online-learning surface must be "
+            "registered in the schema")
+    for name in online:
+        if not ONLINE_METRIC_SHAPE.fullmatch(name):
+            FINDINGS.append(
+                f"{rel}:1: [online-metrics] '{name}' does not fit "
+                "serve.online.[a-z0-9_]+ — one lowercase segment after "
+                "the namespace")
+
+
 def lint_scenario_matrix(root: Path) -> None:
     """chaos-invariants: every entry in a scenario matrix registers at
     least one Invariant::k* (the transport matrix's TransportInvariant::k*
@@ -377,6 +411,7 @@ def main() -> int:
         return 2
 
     schema_names, schema_prefixes = load_schema_names(root)
+    lint_online_metrics(root, schema_names, schema_prefixes)
     lint_scenario_matrix(root)
 
     files = []

@@ -26,11 +26,20 @@
 // appends N malformed frames (bad magic, truncation, oversized length,
 // lying feature counts, bad tenant lengths, mid-header cuts, interleaved
 // garbage) for decode-hardening tests.
+//
+// Online learning: --online attaches the feedback sidecar (shadow
+// learner + blue-green flips, serve/online.hpp) to every tenant;
+// --flip-every K sets the flip cadence in shadow updates. Clients return
+// ground truth as LSF2 feedback frames: genframes/client emit one after
+// every --feedback-every-th request, and each feedback is acknowledged
+// with a typed response (kNone accepted, unknown_correlation otherwise)
+// that never overtakes earlier in-flight responses.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -44,6 +53,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "serve/online.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/transport/event_loop.hpp"
@@ -81,12 +91,16 @@ serve::BatcherConfig batcher_config(const util::FlagParser& flags) {
 
 /// Binds the served models: every `tenant=path` pair from --models, or the
 /// single --model bundle as "default". Returns the default tenant id (the
-/// first listed).
+/// first listed); `tenants` (when non-null) collects every bound id.
 std::string load_models(serve::ModelRegistry& registry,
-                        const util::FlagParser& flags) {
+                        const util::FlagParser& flags,
+                        std::vector<std::string>* tenants = nullptr) {
   const std::string& spec = flags.get_string("models");
   if (spec.empty()) {
     registry.load("default", flags.get_string("model"));
+    if (tenants != nullptr) {
+      tenants->push_back("default");
+    }
     return "default";
   }
   std::string default_tenant;
@@ -100,6 +114,9 @@ std::string load_models(serve::ModelRegistry& registry,
     }
     const std::string tenant = pair.substr(0, eq);
     registry.load(tenant, pair.substr(eq + 1));
+    if (tenants != nullptr) {
+      tenants->push_back(tenant);
+    }
     if (default_tenant.empty()) {
       default_tenant = tenant;
     }
@@ -108,6 +125,33 @@ std::string load_models(serve::ModelRegistry& registry,
     throw std::runtime_error("--models was empty after parsing");
   }
   return default_tenant;
+}
+
+/// --online: builds the feedback sidecar and enables it for every bound
+/// tenant. Returns null when --online was not given. Pipe mode passes
+/// manual=true: the scripted replay pumps the learner at deterministic
+/// stream positions instead of racing a worker thread against the
+/// batcher, so two runs over the same frame file are byte-identical.
+std::unique_ptr<serve::OnlineSidecar> make_sidecar(
+    serve::ModelRegistry& registry, serve::InferenceServer& server,
+    const util::FlagParser& flags,
+    const std::vector<std::string>& tenants, bool manual) {
+  if (!flags.get_flag("online")) {
+    return nullptr;
+  }
+  serve::OnlineSidecarConfig config;
+  config.flip_every_updates =
+      static_cast<std::size_t>(flags.get_int("flip-every"));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.manual = manual;
+  auto sidecar =
+      std::make_unique<serve::OnlineSidecar>(registry, config,
+                                             &server.clock());
+  for (const std::string& tenant : tenants) {
+    sidecar->enable(tenant);
+  }
+  server.attach_online(sidecar.get());
+  return sidecar;
 }
 
 /// Submits one wire request (translating the relative deadline budget into
@@ -136,12 +180,27 @@ void write_metrics(const util::FlagParser& flags, const std::string& mode) {
 
 // ------------------------------------------------------------- pipe mode --
 
+/// A pipe-stream entry: a submitted request awaiting its response, or a
+/// feedback frame whose ack is resolved at drain time — after every
+/// earlier request's response has been collected, so the served
+/// prediction it references has been recorded by then (the same
+/// ack-after-earlier-responses order the transport Connection keeps).
+struct PipeEntry {
+  bool is_feedback = false;
+  std::future<serve::Response> future;
+  int version = 2;
+  serve::WireFeedback feedback;
+};
+
 int cmd_pipe(util::FlagParser& flags) {
   serve::ModelRegistry registry;
   serve::ServerConfig config;
-  config.default_tenant = load_models(registry, flags);
+  std::vector<std::string> tenant_ids;
+  config.default_tenant = load_models(registry, flags, &tenant_ids);
   config.batcher = batcher_config(flags);
   serve::InferenceServer server(registry, config);
+  const std::unique_ptr<serve::OnlineSidecar> sidecar =
+      make_sidecar(registry, server, flags, tenant_ids, /*manual=*/true);
 
   const std::string& in_path = flags.get_string("in");
   const std::string& out_path = flags.get_string("out");
@@ -176,24 +235,52 @@ int cmd_pipe(util::FlagParser& flags) {
   // way to re-synchronize a length-prefixed stream past a corrupt header.
   std::string decode_error;
   while (!eof) {
-    std::vector<std::future<serve::Response>> inflight;
-    std::vector<int> versions;
-    serve::WireRequest request;
+    std::vector<PipeEntry> inflight;
+    serve::ClientFrame frame;
     try {
       while (inflight.size() < window &&
-             serve::read_request(*in, &request, in_path)) {
-        versions.push_back(request.version);
-        inflight.push_back(submit_wire(server, std::move(request)));
+             serve::read_client_frame(*in, &frame, in_path)) {
+        PipeEntry entry;
+        if (frame.is_feedback()) {
+          entry.is_feedback = true;
+          entry.feedback = std::move(frame.feedback);
+        } else {
+          entry.version = frame.request.version;
+          entry.future = submit_wire(server, std::move(frame.request));
+        }
+        inflight.push_back(std::move(entry));
       }
     } catch (const std::exception& error) {
       decode_error = error.what();
     }
     eof = inflight.size() < window || !decode_error.empty();
-    for (std::size_t i = 0; i < inflight.size(); ++i) {
+    for (PipeEntry& entry : inflight) {
+      if (entry.is_feedback) {
+        serve::Response ack;
+        ack.id = entry.feedback.id;
+        ack.label = -1;
+        ack.tenant = entry.feedback.tenant.empty()
+                         ? config.default_tenant
+                         : entry.feedback.tenant;
+        ack.error = sidecar == nullptr
+                        ? serve::Reject::kUnknownCorrelation
+                        : sidecar->offer_feedback(ack.tenant,
+                                                  entry.feedback.id,
+                                                  entry.feedback.label);
+        serve::write_response(*out, ack, 2);
+        ++served;
+        continue;
+      }
       // Echo each response at its request's protocol generation: a v1
       // client never sees v2 bytes.
-      serve::write_response(*out, inflight[i].get(), versions[i]);
+      serve::write_response(*out, entry.future.get(), entry.version);
       ++served;
+    }
+    // Apply this window's accepted feedback (and any resulting flip)
+    // before the next window is submitted — a deterministic stream
+    // position, so the served labels don't depend on scheduler timing.
+    if (sidecar != nullptr) {
+      (void)sidecar->pump();
     }
   }
   out->flush();
@@ -267,9 +354,12 @@ std::string effective_uds_path(const util::FlagParser& flags) {
 int cmd_serve(util::FlagParser& flags) {
   serve::ModelRegistry registry;
   serve::ServerConfig config;
-  config.default_tenant = load_models(registry, flags);
+  std::vector<std::string> tenant_ids;
+  config.default_tenant = load_models(registry, flags, &tenant_ids);
   config.batcher = batcher_config(flags);
   serve::InferenceServer server(registry, config);
+  const std::unique_ptr<serve::OnlineSidecar> sidecar =
+      make_sidecar(registry, server, flags, tenant_ids, /*manual=*/false);
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
@@ -346,17 +436,9 @@ int cmd_client(util::FlagParser& flags) {
   } else {
     fd = serve::transport::connect_unix(effective_uds_path(flags));
   }
-  for (std::size_t i = 0; i < count; ++i) {
-    serve::WireRequest request;
-    request.id = i;
-    request.deadline_budget_us =
-        static_cast<std::uint64_t>(flags.get_int("deadline-us"));
-    request.tenant = flags.get_string("tenant");
-    request.version = flags.get_int("wire-version");
-    const auto features = dataset.sample(i);
-    request.features.assign(features.begin(), features.end());
-    write_all(fd, serve::encode_request(request));
-
+  const auto feedback_every =
+      static_cast<std::size_t>(flags.get_int("feedback-every"));
+  const auto read_one_response = [&](const char* what) {
     char header[8];
     if (!read_exact(fd, header, sizeof(header))) {
       throw std::runtime_error("server closed connection");
@@ -373,10 +455,34 @@ int cmd_client(util::FlagParser& flags) {
     read_exact(fd, payload.data(), size);
     const serve::Response response =
         serve::decode_response_payload(payload, version, "socket");
-    std::printf("%llu %d %s %s\n",
+    std::printf("%s %llu %d %s %s\n", what,
                 static_cast<unsigned long long>(response.id), response.label,
                 serve::reject_name(response.error),
                 response.tenant.empty() ? "-" : response.tenant.c_str());
+  };
+  for (std::size_t i = 0; i < count; ++i) {
+    serve::WireRequest request;
+    request.id = i;
+    request.deadline_budget_us =
+        static_cast<std::uint64_t>(flags.get_int("deadline-us"));
+    request.tenant = flags.get_string("tenant");
+    request.version = flags.get_int("wire-version");
+    const auto features = dataset.sample(i);
+    request.features.assign(features.begin(), features.end());
+    write_all(fd, serve::encode_request(request));
+    read_one_response("response");
+
+    // Ground-truth feedback for every Kth served request: the LSF2 frame
+    // correlates by (tenant, id) and the ack comes back as a normal
+    // response with label -1.
+    if (feedback_every > 0 && (i + 1) % feedback_every == 0) {
+      serve::WireFeedback feedback;
+      feedback.id = i;
+      feedback.tenant = flags.get_string("tenant");
+      feedback.label = dataset.label(i);
+      write_all(fd, serve::encode_feedback(feedback));
+      read_one_response("feedback");
+    }
   }
   ::close(fd);
   return 0;
@@ -459,6 +565,9 @@ int cmd_genframes(util::FlagParser& flags) {
   if (!out) {
     throw std::runtime_error("cannot open " + out_path);
   }
+  const auto feedback_every =
+      static_cast<std::size_t>(flags.get_int("feedback-every"));
+  std::size_t feedback_count = 0;
   serve::WireRequest request;
   for (std::size_t i = 0; i < count; ++i) {
     request = serve::WireRequest{};
@@ -470,6 +579,17 @@ int cmd_genframes(util::FlagParser& flags) {
     const auto features = dataset.sample(i);
     request.features.assign(features.begin(), features.end());
     serve::write_request(out, request);
+    // Interleave an LSF2 ground-truth frame right after every Kth
+    // request, correlating back to it by id — the shape an online
+    // client produces.
+    if (feedback_every > 0 && (i + 1) % feedback_every == 0) {
+      serve::WireFeedback feedback;
+      feedback.id = i;
+      feedback.tenant = request.tenant;
+      feedback.label = dataset.label(i);
+      serve::write_feedback(out, feedback);
+      ++feedback_count;
+    }
   }
   // Malformed frames go after the valid ones: a reader must fail with a
   // typed error at the first corrupt frame instead of crashing or hanging.
@@ -479,8 +599,10 @@ int cmd_genframes(util::FlagParser& flags) {
     out.write(frame.data(),
               static_cast<std::streamsize>(frame.size()));
   }
-  std::fprintf(stderr, "wrote %zu request frames (+%zu corrupt) to %s\n",
-               count, corrupt, out_path.c_str());
+  std::fprintf(stderr,
+               "wrote %zu request frames (+%zu feedback, +%zu corrupt) "
+               "to %s\n",
+               count, feedback_count, corrupt, out_path.c_str());
   return 0;
 }
 
@@ -517,12 +639,17 @@ void print_usage() {
       "            SIGHUP hot-reloads the bundles; SIGINT/SIGTERM stop)\n"
       "            [--backlog N --max-connections N --idle-timeout-us N]\n"
       "            [--read-budget B --write-backlog B --max-inflight N]\n"
+      "            [--online --flip-every N] (LSF2 feedback -> shadow\n"
+      "            learner -> blue-green flips)\n"
       "  pipe      --model out.lhdp --in requests.bin --out responses.bin\n"
       "            ('-' = stdin/stdout; same binary frame protocol)\n"
+      "            [--online --flip-every N]\n"
       "  genframes --data <spec> --count N --out requests.bin\n"
       "            [--tenant id] [--wire-version 1|2] [--corrupt N]\n"
+      "            [--feedback-every K] (true-label LSF2 frames)\n"
       "  decode    --in responses.bin [--expect-ok N]\n"
       "  client    --socket /tmp/lehdc.sock --data <spec> --count N\n"
+      "            [--feedback-every K] (send feedback, print acks)\n"
       "tenancy:  --models acme=a.lhdp,globex=b.lhdp --tenant acme\n"
       "batching: --max-batch 64 --max-wait-us 1000 --queue-capacity 1024\n"
       "          --tenant-capacity 0 (per-tenant admission cap)\n"
@@ -611,6 +738,14 @@ int main(int argc, char** argv) {
   flags.add_int("threads", 0,
                 "worker threads (0 = LEHDC_THREADS env var, then hardware)");
   flags.add_int("seed", 1, "data spec seed");
+  flags.add_flag("online",
+                 "serve/pipe: attach the online-learning sidecar (LSF2 "
+                 "feedback -> shadow learner -> blue-green flips)");
+  flags.add_int("flip-every", 64,
+                "online: attempt a blue-green flip every N shadow updates");
+  flags.add_int("feedback-every", 0,
+                "genframes/client: send a true-label LSF2 feedback frame "
+                "after every Kth request (0 = never)");
   flags.add_double("scale", 0.05, "synthetic profile sample scale");
   flags.add_string("metrics-out", "",
                    "write a metrics JSON snapshot here on exit");
