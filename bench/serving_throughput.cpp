@@ -126,7 +126,11 @@ struct OpenLoopResult {
 OpenLoopResult run_open_loop(serve::ModelRegistry& registry,
                              const data::Dataset& queries, std::size_t conns,
                              double rate_per_sec, double seconds,
-                             std::uint64_t seed) {
+                             std::uint64_t seed,
+                             chaos::ArrivalProcess process =
+                                 chaos::ArrivalProcess::kUniform,
+                             double burst_factor = 8.0,
+                             std::uint64_t burst_period_us = 200'000) {
   OpenLoopResult result;
   raise_fd_limit(conns);
 
@@ -151,9 +155,11 @@ OpenLoopResult run_open_loop(serve::ModelRegistry& registry,
   });
 
   chaos::ArrivalConfig arrivals;
-  arrivals.process = chaos::ArrivalProcess::kUniform;
+  arrivals.process = process;
   arrivals.rate_per_sec = rate_per_sec;
   arrivals.horizon_us = static_cast<std::uint64_t>(seconds * 1e6);
+  arrivals.burst_factor = burst_factor;
+  arrivals.period_us = burst_period_us;
   arrivals.seed = seed;
   const std::vector<std::uint64_t> schedule = chaos::arrival_times(arrivals);
   result.sent = schedule.size();
@@ -284,6 +290,11 @@ int main(int argc, char** argv) {
   flags.add_double("open-rate", 5000.0,
                    "open-loop arrival rate, requests/second");
   flags.add_double("open-seconds", 1.0, "open-loop schedule horizon");
+  flags.add_double("burst-factor", 8.0,
+                   "bursty open-loop phase: square-wave peak multiplier "
+                   "over --open-rate (0 skips the burst phase)");
+  flags.add_int("burst-period-us", 200000,
+                "bursty open-loop phase: square-wave period");
   flags.add_string("out", "BENCH_serving.json", "JSON output path");
   flags.parse(argc, argv);
 
@@ -389,6 +400,23 @@ int main(int argc, char** argv) {
                          flags.get_double("open-seconds"), seed);
   }
 
+  // 5. Open-loop TCP again under bursty arrivals: the same base rate, but
+  // delivered as a square wave that alternates quiet valleys with
+  // burst-factor× peaks (chaos::ArrivalProcess::kBursty, the same
+  // generator the chaos scenarios use). Tail latency under burst is the
+  // honest serving number — a uniform schedule never exercises the
+  // micro-batcher's queue-then-flush transient.
+  const double burst_factor = flags.get_double("burst-factor");
+  OpenLoopResult burst;
+  const bool run_burst = conns > 0 && burst_factor > 0.0;
+  if (run_burst) {
+    burst = run_open_loop(
+        registry, queries, conns, flags.get_double("open-rate"),
+        flags.get_double("open-seconds"), seed + 1,
+        chaos::ArrivalProcess::kBursty, burst_factor,
+        static_cast<std::uint64_t>(flags.get_int("burst-period-us")));
+  }
+
   std::printf("direct batch-%zu:      %.0f qps\n", batch, direct_qps);
   std::printf("server saturated:     %.0f qps (%.1f%% of direct)\n",
               server_qps, ratio * 100.0);
@@ -407,6 +435,18 @@ int main(int argc, char** argv) {
         percentile(open.latency_ms, 0.50), percentile(open.latency_ms, 0.99),
         percentile(open.latency_ms, 0.999), open.bytes_read_per_conn,
         open.bytes_written_per_conn, open.peak_queue_depth);
+  }
+  if (run_burst) {
+    std::printf(
+        "open-loop tcp burst:  %.0fx peaks every %dus, %zu reqs in %.2fs "
+        "(ok=%zu rejected=%zu)\n",
+        burst_factor, flags.get_int("burst-period-us"), burst.sent,
+        burst.elapsed_seconds, burst.ok, burst.rejected);
+    std::printf(
+        "  latency p50=%.2fms p99=%.2fms p99.9=%.2fms; peak depth %zu\n",
+        percentile(burst.latency_ms, 0.50),
+        percentile(burst.latency_ms, 0.99),
+        percentile(burst.latency_ms, 0.999), burst.peak_queue_depth);
   }
 
   bool failed = false;
@@ -435,6 +475,16 @@ int main(int argc, char** argv) {
     }
     if (open.peak_queue_depth > open.queue_capacity) {
       std::fprintf(stderr, "FAIL: open-loop queue depth unbounded\n");
+      failed = true;
+    }
+  }
+  if (run_burst) {
+    if (burst.failed || burst.ok + burst.rejected != burst.sent) {
+      std::fprintf(stderr, "FAIL: burst open-loop responses lost\n");
+      failed = true;
+    }
+    if (burst.peak_queue_depth > burst.queue_capacity) {
+      std::fprintf(stderr, "FAIL: burst queue depth unbounded\n");
       failed = true;
     }
   }
@@ -472,6 +522,27 @@ int main(int argc, char** argv) {
         .set(open.bytes_written_per_conn);
     registry_obs.gauge("bench.serving.tcp.peak_queue_depth")
         .set(static_cast<double>(open.peak_queue_depth));
+  }
+  if (run_burst) {
+    const double elapsed =
+        burst.elapsed_seconds > 0.0 ? burst.elapsed_seconds : 1.0;
+    registry_obs.gauge("bench.serving.tcp.burst.factor").set(burst_factor);
+    registry_obs.gauge("bench.serving.tcp.burst.period_us")
+        .set(static_cast<double>(flags.get_int("burst-period-us")));
+    registry_obs.gauge("bench.serving.tcp.burst.requests")
+        .set(static_cast<double>(burst.sent));
+    registry_obs.gauge("bench.serving.tcp.burst.qps")
+        .set(static_cast<double>(burst.ok + burst.rejected) / elapsed);
+    registry_obs.gauge("bench.serving.tcp.burst.rejected")
+        .set(static_cast<double>(burst.rejected));
+    registry_obs.gauge("bench.serving.tcp.burst.p50_ms")
+        .set(percentile(burst.latency_ms, 0.50));
+    registry_obs.gauge("bench.serving.tcp.burst.p99_ms")
+        .set(percentile(burst.latency_ms, 0.99));
+    registry_obs.gauge("bench.serving.tcp.burst.p999_ms")
+        .set(percentile(burst.latency_ms, 0.999));
+    registry_obs.gauge("bench.serving.tcp.burst.peak_queue_depth")
+        .set(static_cast<double>(burst.peak_queue_depth));
   }
 
   obs::Json context = obs::Json::object();

@@ -8,7 +8,10 @@
 #   asan      AddressSanitizer + UndefinedBehaviorSanitizer
 #   tsan      ThreadSanitizer (data races, lock-order inversions)
 #   msan      MemorySanitizer — requires clang; reports and skips on gcc
-#   all       release asan tsan msan
+#   analyze   static concurrency analysis: clang -Werror=thread-safety
+#             build (skips loudly without clang) + the call-graph hot-path
+#             checker (tools/lehdc_callgraph.py) + project lint
+#   all       release asan tsan msan analyze
 #
 # With no modes the historical default runs: release then asan.
 # `--skip-sanitize` (legacy flag) runs release only.
@@ -28,9 +31,9 @@ while [[ $# -gt 0 ]]; do
   case "$1" in
     --skip-sanitize) modes=(release) ;;
     --) shift; ctest_extra=("$@"); break ;;
-    release|asan|tsan|msan) modes+=("$1") ;;
-    all) modes+=(release asan tsan msan) ;;
-    *) echo "check.sh: unknown mode '$1' (release|asan|tsan|msan|all)" >&2
+    release|asan|tsan|msan|analyze) modes+=("$1") ;;
+    all) modes+=(release asan tsan msan analyze) ;;
+    *) echo "check.sh: unknown mode '$1' (release|asan|tsan|msan|analyze|all)" >&2
        exit 2 ;;
   esac
   shift
@@ -99,6 +102,35 @@ for mode in "${modes[@]}"; do
           exit 3
         fi
       fi
+      ;;
+    analyze)
+      echo "== mode: analyze (thread-safety + call-graph + lint) =="
+      # (1) Clang thread-safety analysis: a full build with the LEHDC_*
+      # capability annotations promoted to errors. Gcc has no
+      # -Wthread-safety, so without clang this half skips loudly (CI's
+      # thread-safety job is the enforcing run; LEHDC_REQUIRE_ANALYZE=1
+      # makes the skip fatal for environments that must not skip).
+      if command -v clang++ >/dev/null 2>&1; then
+        cmake -B build-analyze -S . -DCMAKE_CXX_COMPILER=clang++ \
+            -DLEHDC_THREAD_SAFETY=ON >/dev/null
+        cmake --build build-analyze -j "$jobs"
+        echo "== analyze: thread-safety build OK =="
+      else
+        echo "== analyze: thread-safety build SKIPPED (clang++ not found; CI enforces it) =="
+        if [[ "${LEHDC_REQUIRE_ANALYZE:-0}" == "1" ]]; then
+          echo "check.sh: analyze required via LEHDC_REQUIRE_ANALYZE=1 but clang unavailable" >&2
+          exit 3
+        fi
+      fi
+      # (2) Hot-path call-graph discipline (skips itself without clang,
+      # diffs against scripts/callgraph_baseline.txt otherwise) plus its
+      # clang-free self-tests, (3) project lint.
+      python3 tools/lehdc_callgraph.py --build-dir build-analyze \
+          --report build-analyze-callgraph_report.txt
+      python3 tools/test_lehdc_callgraph.py
+      python3 tools/lehdc_lint.py --root .
+      ran+=(analyze)
+      echo "== mode analyze: OK =="
       ;;
   esac
 done

@@ -5,12 +5,12 @@
 #include <cstring>
 #include <limits>
 #include <memory>
-#include <mutex>
 
 #include "hv/batch_score.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "util/check.hpp"
+#include "util/mutex.hpp"
 #include "util/stopwatch.hpp"
 
 namespace lehdc::hdc {
@@ -122,7 +122,7 @@ util::ThreadPool& BatchScorer::pool() const noexcept {
 
 std::unique_ptr<BatchScorer::Scratch> BatchScorer::acquire_scratch() const {
   {
-    const std::scoped_lock lock(scratch_mutex_);
+    const util::MutexLock lock(scratch_mutex_);
     if (!free_scratch_.empty()) {
       auto scratch = std::move(free_scratch_.back());
       free_scratch_.pop_back();
@@ -133,7 +133,7 @@ std::unique_ptr<BatchScorer::Scratch> BatchScorer::acquire_scratch() const {
 }
 
 void BatchScorer::release_scratch(std::unique_ptr<Scratch> scratch) const {
-  const std::scoped_lock lock(scratch_mutex_);
+  const util::MutexLock lock(scratch_mutex_);
   free_scratch_.push_back(std::move(scratch));
 }
 
@@ -186,7 +186,7 @@ void BatchScorer::predict_range(std::span<const hv::BitVector> queries,
 void BatchScorer::predict_encoded(std::span<const hv::BitVector> queries,
                                   std::span<int> out,
                                   PredictStats* stats) const {
-  std::mutex stats_mutex;
+  util::Mutex stats_mutex;
   pool().parallel_for(0, queries.size(),
                       [&](std::size_t lo, std::size_t hi) {
                         obs::ScopedTimer chunk_timer(chunk_histogram());
@@ -195,7 +195,7 @@ void BatchScorer::predict_encoded(std::span<const hv::BitVector> queries,
                         predict_range(queries, lo, hi, out, *scratch);
                         release_scratch(std::move(scratch));
                         if (stats != nullptr) {
-                          const std::scoped_lock lock(stats_mutex);
+                          const util::MutexLock lock(stats_mutex);
                           stats->score_seconds += watch.elapsed_seconds();
                         }
                       });
@@ -209,7 +209,7 @@ void BatchScorer::predict_fused(const data::Dataset& dataset,
   const std::size_t range_words =
       block_range_words(dataset.feature_count(), encoder.word_count());
   const std::size_t blocks = (n + kSampleBlock - 1) / kSampleBlock;
-  std::mutex stats_mutex;
+  util::Mutex stats_mutex;
   pool().parallel_for(0, blocks, [&](std::size_t lo, std::size_t hi) {
     obs::ScopedTimer chunk_timer(chunk_histogram());
     auto cursor = encoder.make_cursor(EncodePath::kRematerialized);
@@ -274,7 +274,7 @@ void BatchScorer::predict_fused(const data::Dataset& dataset,
       local_score += watch.elapsed_seconds();
     }
     if (stats != nullptr) {
-      const std::scoped_lock lock(stats_mutex);
+      const util::MutexLock lock(stats_mutex);
       stats->encode_seconds += local_encode;
       stats->score_seconds += local_score;
     }
@@ -288,7 +288,7 @@ void BatchScorer::predict_blocked(const data::Dataset& dataset,
   const std::size_t n = dataset.size();
   const auto* block = dynamic_cast<const BlockEncoder*>(&encoder);
   const std::size_t blocks = (n + kSampleBlock - 1) / kSampleBlock;
-  std::mutex stats_mutex;
+  util::Mutex stats_mutex;
   pool().parallel_for(0, blocks, [&](std::size_t lo, std::size_t hi) {
     obs::ScopedTimer chunk_timer(chunk_histogram());
     auto cursor = block != nullptr ? block->make_cursor(path) : nullptr;
@@ -335,7 +335,7 @@ void BatchScorer::predict_blocked(const data::Dataset& dataset,
     }
     release_scratch(std::move(scratch));
     if (stats != nullptr) {
-      const std::scoped_lock lock(stats_mutex);
+      const util::MutexLock lock(stats_mutex);
       stats->encode_seconds += local_encode;
       stats->score_seconds += local_score;
     }

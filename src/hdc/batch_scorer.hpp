@@ -13,13 +13,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "hdc/classifier.hpp"
 #include "hdc/encoded_dataset.hpp"
 #include "hdc/query_batch.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lehdc::hdc {
@@ -117,8 +118,10 @@ class BatchScorer {
   [[nodiscard]] double cosine_score(const hv::BitVector& query,
                                     std::size_t k) const;
 
-  [[nodiscard]] std::unique_ptr<Scratch> acquire_scratch() const;
-  void release_scratch(std::unique_ptr<Scratch> scratch) const;
+  [[nodiscard]] std::unique_ptr<Scratch> acquire_scratch() const
+      LEHDC_EXCLUDES(scratch_mutex_);
+  void release_scratch(std::unique_ptr<Scratch> scratch) const
+      LEHDC_EXCLUDES(scratch_mutex_);
 
   [[nodiscard]] util::ThreadPool& pool() const noexcept;
 
@@ -141,8 +144,9 @@ class BatchScorer {
   std::vector<double> norms_;
 
   // Reusable scratch, one buffer per in-flight parallel task.
-  mutable std::mutex scratch_mutex_;
-  mutable std::vector<std::unique_ptr<Scratch>> free_scratch_;
+  mutable util::Mutex scratch_mutex_;
+  mutable std::vector<std::unique_ptr<Scratch>> free_scratch_
+      LEHDC_GUARDED_BY(scratch_mutex_);
 };
 
 }  // namespace lehdc::hdc

@@ -209,7 +209,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (const auto it = by_name_.find(name); it != by_name_.end()) {
     if (it->second.kind != Kind::kCounter) {
       throw std::invalid_argument("metric '" + std::string(name) +
@@ -224,7 +224,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (const auto it = by_name_.find(name); it != by_name_.end()) {
     if (it->second.kind != Kind::kGauge) {
       throw std::invalid_argument("metric '" + std::string(name) +
@@ -239,7 +239,7 @@ Gauge& Registry::gauge(std::string_view name) {
 
 Histogram& Registry::histogram(std::string_view name,
                                std::span<const double> bounds) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (const auto it = by_name_.find(name); it != by_name_.end()) {
     if (it->second.kind != Kind::kHistogram) {
       throw std::invalid_argument("metric '" + std::string(name) +
@@ -256,14 +256,14 @@ Histogram& Registry::histogram(std::string_view name,
 
 void Registry::visit_counters(
     const std::function<void(const Counter&)>& fn) const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (const auto& counter : counters_) {
     fn(*counter);
   }
 }
 
 void Registry::visit_gauges(const std::function<void(const Gauge&)>& fn) const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (const auto& gauge : gauges_) {
     fn(*gauge);
   }
@@ -271,14 +271,14 @@ void Registry::visit_gauges(const std::function<void(const Gauge&)>& fn) const {
 
 void Registry::visit_histograms(
     const std::function<void(const Histogram&)>& fn) const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (const auto& histogram : histograms_) {
     fn(*histogram);
   }
 }
 
 void Registry::reset() {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (const auto& counter : counters_) {
     counter->reset();
   }

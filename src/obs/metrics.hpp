@@ -47,6 +47,12 @@
 //    registry mutex; records running concurrently land before or after
 //    each individual zero. Callers that need an exact zero (tests,
 //    benches between phases) quiesce their recording threads first.
+//
+// The mutex-guarded registration structures carry clang thread-safety
+// annotations (LEHDC_GUARDED_BY; DESIGN.md §5k), so the "cold path locks,
+// hot path is lock-free atomics" split above is compiler-enforced, not
+// just documented: any new Registry code touching the maps without the
+// mutex fails the -Werror=thread-safety build.
 #pragma once
 
 #include <atomic>
@@ -54,11 +60,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace lehdc::obs {
 
@@ -206,23 +214,26 @@ class Registry {
   /// The process-wide registry every built-in instrumentation site uses.
   [[nodiscard]] static Registry& global();
 
-  [[nodiscard]] Counter& counter(std::string_view name);
-  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Counter& counter(std::string_view name)
+      LEHDC_EXCLUDES(mutex_);
+  [[nodiscard]] Gauge& gauge(std::string_view name) LEHDC_EXCLUDES(mutex_);
   /// `bounds` applies only on first creation; empty selects
   /// default_time_buckets().
   [[nodiscard]] Histogram& histogram(std::string_view name,
-                                     std::span<const double> bounds = {});
+                                     std::span<const double> bounds = {})
+      LEHDC_EXCLUDES(mutex_);
 
   /// Visits metrics in registration order (snapshot/export path).
-  void visit_counters(
-      const std::function<void(const Counter&)>& fn) const;
-  void visit_gauges(const std::function<void(const Gauge&)>& fn) const;
-  void visit_histograms(
-      const std::function<void(const Histogram&)>& fn) const;
+  void visit_counters(const std::function<void(const Counter&)>& fn) const
+      LEHDC_EXCLUDES(mutex_);
+  void visit_gauges(const std::function<void(const Gauge&)>& fn) const
+      LEHDC_EXCLUDES(mutex_);
+  void visit_histograms(const std::function<void(const Histogram&)>& fn) const
+      LEHDC_EXCLUDES(mutex_);
 
   /// Zeroes every metric (keeps registrations). Benches use this between
   /// phases; tests use it for isolation.
-  void reset();
+  void reset() LEHDC_EXCLUDES(mutex_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -231,11 +242,12 @@ class Registry {
     std::size_t index;  // into the matching vector below
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry, std::less<>> by_name_;
-  std::vector<std::unique_ptr<Counter>> counters_;
-  std::vector<std::unique_ptr<Gauge>> gauges_;
-  std::vector<std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, Entry, std::less<>> by_name_ LEHDC_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Counter>> counters_ LEHDC_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Gauge>> gauges_ LEHDC_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Histogram>> histograms_
+      LEHDC_GUARDED_BY(mutex_);
 };
 
 }  // namespace lehdc::obs

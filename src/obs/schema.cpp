@@ -36,6 +36,7 @@ constexpr std::array kKnownNames = {
     std::string_view{"serve.dispatch_seconds"},
     std::string_view{"serve.e2e_latency_seconds"},
     std::string_view{"serve.model_loads"},
+    std::string_view{"serve.online.drift_alarm"},
     std::string_view{"serve.online.feedback"},
     std::string_view{"serve.online.flips"},
     std::string_view{"serve.online.queue_depth"},

@@ -45,6 +45,12 @@ obs::Counter& refinements_counter() {
   return c;
 }
 
+obs::Counter& drift_alarm_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("serve.online.drift_alarm");
+  return c;
+}
+
 obs::Gauge& queue_depth_gauge() {
   static obs::Gauge& g =
       obs::Registry::global().gauge("serve.online.queue_depth");
@@ -61,7 +67,14 @@ obs::Gauge& shadow_accuracy_gauge() {
 
 struct OnlineSidecar::TenantState {
   explicit TenantState(const core::OnlineConfig& learner_config)
-      : learner(learner_config) {}
+      : class_count(learner_config.class_count), learner(learner_config) {}
+
+  // --- immutable after construction (readable under either mutex) ---
+  /// Label range for admission checks. Duplicates learner.class_count():
+  /// offer_feedback() validates labels under mutex_ and must not peek at
+  /// the learn_mutex_-side learner to do so (restore_shadow() asserts the
+  /// shape never changes, so this copy cannot go stale).
+  const std::size_t class_count;
 
   // --- correlation side (guarded by OnlineSidecar::mutex_) ---
   std::unordered_map<std::uint64_t, Correlation> correlations;
@@ -93,6 +106,7 @@ struct OnlineSidecar::TenantState {
   std::size_t flips = 0;
   std::size_t refinements = 0;
   double last_shadow_accuracy = 0.0;
+  std::size_t drift_alarms = 0;
 };
 
 OnlineSidecar::OnlineSidecar(ModelRegistry& registry,
@@ -110,7 +124,7 @@ OnlineSidecar::OnlineSidecar(ModelRegistry& registry,
 
 OnlineSidecar::~OnlineSidecar() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     stop_ = true;
   }
   work_ready_.notify_all();
@@ -141,20 +155,20 @@ void OnlineSidecar::enable(const std::string& tenant) {
   state->encoder_config = encoder.config();
   state->last_check_us = clock_->now_us();
 
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   util::expects(tenants_.find(tenant) == tenants_.end(),
                 "online enable: tenant already enabled");
   tenants_.emplace(tenant, std::move(state));
 }
 
 bool OnlineSidecar::enabled(const std::string& tenant) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return tenants_.find(tenant) != tenants_.end();
 }
 
 void OnlineSidecar::record(const std::string& tenant, std::uint64_t id,
                            std::vector<float> features) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = tenants_.find(tenant);
   if (it == tenants_.end()) {
     return;
@@ -181,7 +195,7 @@ Reject OnlineSidecar::offer_feedback(const std::string& tenant,
   Reject verdict = Reject::kNone;
   bool notify = false;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const auto it = tenants_.find(tenant);
     if (it == tenants_.end()) {
       verdict = Reject::kUnknownCorrelation;
@@ -190,8 +204,8 @@ Reject OnlineSidecar::offer_feedback(const std::string& tenant,
       const auto correlation = state.correlations.find(id);
       if (correlation == state.correlations.end()) {
         verdict = Reject::kUnknownCorrelation;
-      } else if (label < 0 || static_cast<std::size_t>(label) >=
-                                  state.learner.class_count()) {
+      } else if (label < 0 ||
+                 static_cast<std::size_t>(label) >= state.class_count) {
         verdict = Reject::kBadRequest;
       } else if (queue_.size() >= config_.queue_capacity) {
         verdict = Reject::kQueueFull;
@@ -225,7 +239,7 @@ std::size_t OnlineSidecar::pump() {
   while (true) {
     FeedbackItem item;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       if (queue_.empty()) {
         return consumed;
       }
@@ -239,7 +253,7 @@ std::size_t OnlineSidecar::pump() {
 }
 
 void OnlineSidecar::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::UniqueLock lock(mutex_);
   while (true) {
     if (queue_.empty()) {
       if (stop_) {
@@ -261,7 +275,7 @@ void OnlineSidecar::process(FeedbackItem item) {
   TenantState* state = nullptr;
   std::shared_ptr<const core::Pipeline> base;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const auto it = tenants_.find(item.tenant);
     if (it == tenants_.end()) {
       return;
@@ -273,7 +287,7 @@ void OnlineSidecar::process(FeedbackItem item) {
   // generations, and this is the expensive part of a feedback update.
   const hv::BitVector encoded = base->encoder().encode(item.features);
 
-  const std::lock_guard<std::mutex> lock(learn_mutex_);
+  const util::MutexLock lock(learn_mutex_);
   ++state->feedback_seen;
   const bool hold_out = config_.holdout_every > 0 &&
                         config_.holdout_capacity > 0 &&
@@ -357,6 +371,17 @@ void OnlineSidecar::maybe_flip(TenantState& state, const std::string& tenant,
   }
   const double live_accuracy = static_cast<double>(live_correct) /
                                static_cast<double>(state.holdout_hv.size());
+  // Drift detection (not just recovery): the live generation trailing the
+  // shadow by the configured margin means the traffic the feedback stream
+  // describes has moved away from what the live model was trained on.
+  // Alarm before the flip gate so the event is visible even though the
+  // flip below usually repairs it (and also when the margin is crossed
+  // but the flip is later skipped, e.g. a refinement gate).
+  if (config_.drift_alarm_margin > 0.0 &&
+      live_accuracy + config_.drift_alarm_margin <= shadow_accuracy) {
+    ++state.drift_alarms;
+    drift_alarm_counter().add();
+  }
   if (shadow_accuracy < live_accuracy) {
     return;
   }
@@ -413,40 +438,44 @@ void OnlineSidecar::save_shadow(const std::string& tenant,
                                 const std::string& path) const {
   const TenantState* state = find(tenant);
   util::expects(state != nullptr, "save_shadow: tenant not online-enabled");
-  const std::lock_guard<std::mutex> lock(learn_mutex_);
+  const util::MutexLock lock(learn_mutex_);
   state->learner.save(path);
 }
 
 void OnlineSidecar::restore_shadow(const std::string& tenant,
                                    const std::string& path) {
-  const TenantState* state = find(tenant);
+  TenantState* state = find(tenant);
   util::expects(state != nullptr,
                 "restore_shadow: tenant not online-enabled");
   core::OnlineHdcLearner loaded = core::OnlineHdcLearner::load(path);
-  auto* mutable_state = const_cast<TenantState*>(state);
-  const std::lock_guard<std::mutex> lock(learn_mutex_);
-  util::expects(loaded.dim() == mutable_state->learner.dim() &&
-                    loaded.class_count() ==
-                        mutable_state->learner.class_count(),
+  const util::MutexLock lock(learn_mutex_);
+  util::expects(loaded.dim() == state->learner.dim() &&
+                    loaded.class_count() == state->learner.class_count(),
                 "restore_shadow: saved state shape mismatch");
-  mutable_state->learner = std::move(loaded);
+  state->learner = std::move(loaded);
 }
 
 const OnlineSidecar::TenantState* OnlineSidecar::find(
     const std::string& tenant) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+OnlineSidecar::TenantState* OnlineSidecar::find(const std::string& tenant) {
+  const util::MutexLock lock(mutex_);
   const auto it = tenants_.find(tenant);
   return it == tenants_.end() ? nullptr : it->second.get();
 }
 
 std::size_t OnlineSidecar::queue_depth() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return queue_.size();
 }
 
 std::size_t OnlineSidecar::feedback_accepted(
     const std::string& tenant) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = tenants_.find(tenant);
   return it == tenants_.end() ? 0 : it->second->accepted;
 }
@@ -456,7 +485,7 @@ std::size_t OnlineSidecar::updates(const std::string& tenant) const {
   if (state == nullptr) {
     return 0;
   }
-  const std::lock_guard<std::mutex> lock(learn_mutex_);
+  const util::MutexLock lock(learn_mutex_);
   return state->learner.updates();
 }
 
@@ -465,7 +494,7 @@ std::size_t OnlineSidecar::flips(const std::string& tenant) const {
   if (state == nullptr) {
     return 0;
   }
-  const std::lock_guard<std::mutex> lock(learn_mutex_);
+  const util::MutexLock lock(learn_mutex_);
   return state->flips;
 }
 
@@ -474,7 +503,7 @@ std::size_t OnlineSidecar::refinements(const std::string& tenant) const {
   if (state == nullptr) {
     return 0;
   }
-  const std::lock_guard<std::mutex> lock(learn_mutex_);
+  const util::MutexLock lock(learn_mutex_);
   return state->refinements;
 }
 
@@ -483,8 +512,17 @@ double OnlineSidecar::shadow_accuracy(const std::string& tenant) const {
   if (state == nullptr) {
     return 0.0;
   }
-  const std::lock_guard<std::mutex> lock(learn_mutex_);
+  const util::MutexLock lock(learn_mutex_);
   return state->last_shadow_accuracy;
+}
+
+std::size_t OnlineSidecar::drift_alarms(const std::string& tenant) const {
+  const TenantState* state = find(tenant);
+  if (state == nullptr) {
+    return 0;
+  }
+  const util::MutexLock lock(learn_mutex_);
+  return state->drift_alarms;
 }
 
 }  // namespace lehdc::serve

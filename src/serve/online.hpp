@@ -28,15 +28,14 @@
 //
 // Metrics (lehdc.metrics.v1):
 //   serve.online.feedback / rejected / updates / flips / refinements
+//   serve.online.drift_alarm                                    counters
 //   serve.online.queue_depth / shadow_accuracy                    gauges
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -46,6 +45,8 @@
 #include "serve/clock.hpp"
 #include "serve/error.hpp"
 #include "serve/registry.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace lehdc::serve {
 
@@ -87,6 +88,13 @@ struct OnlineSidecarConfig {
   std::size_t refine_epochs = 5;
   /// Feedback samples retained for refinement (ring, oldest overwritten).
   std::size_t refine_capacity = 2048;
+
+  /// Drift alarm: at every flip attempt, when the live generation's
+  /// holdout accuracy trails the shadow's by at least this margin, the
+  /// serve.online.drift_alarm counter fires — the live model has visibly
+  /// drifted from what the feedback stream supports, even if the flip
+  /// that usually follows repairs it. 0 disables the alarm.
+  double drift_alarm_margin = 0.1;
 
   /// No worker thread; the owner drains feedback explicitly with pump().
   /// Combined with a FakeClock this makes flip timing deterministic — the
@@ -148,6 +156,8 @@ class OnlineSidecar {
   [[nodiscard]] std::size_t refinements(const std::string& tenant) const;
   /// Shadow accuracy over the holdout at the last flip attempt (0 before).
   [[nodiscard]] double shadow_accuracy(const std::string& tenant) const;
+  /// Drift alarms raised for the tenant (see drift_alarm_margin).
+  [[nodiscard]] std::size_t drift_alarms(const std::string& tenant) const;
 
   [[nodiscard]] const OnlineSidecarConfig& config() const noexcept {
     return config_;
@@ -168,14 +178,23 @@ class OnlineSidecar {
     std::uint64_t now_us = 0;
   };
 
-  void worker_loop();
+  void worker_loop() LEHDC_EXCLUDES(mutex_, learn_mutex_);
   /// Encode → observe/holdout → flip check for one item. Takes the locks
-  /// it needs; caller holds none.
-  void process(FeedbackItem item);
+  /// it needs (mutex_ then, after releasing it, learn_mutex_ — never both
+  /// at once); caller holds none.
+  void process(FeedbackItem item) LEHDC_EXCLUDES(mutex_, learn_mutex_);
   /// Flip policy + gate + bind. Caller holds learn_mutex_.
   void maybe_flip(TenantState& state, const std::string& tenant,
-                  std::uint64_t now_us);
-  [[nodiscard]] const TenantState* find(const std::string& tenant) const;
+                  std::uint64_t now_us) LEHDC_REQUIRES(learn_mutex_);
+  /// Looks a tenant up under mutex_ and lets the pointer escape the lock:
+  /// safe because tenants_ values are never erased (the map only grows),
+  /// so TenantState addresses are stable for the sidecar's lifetime.
+  /// Callers must still take the side-appropriate mutex before touching
+  /// the state's fields.
+  [[nodiscard]] const TenantState* find(const std::string& tenant) const
+      LEHDC_EXCLUDES(mutex_);
+  [[nodiscard]] TenantState* find(const std::string& tenant)
+      LEHDC_EXCLUDES(mutex_);
 
   ModelRegistry& registry_;
   OnlineSidecarConfig config_;
@@ -183,18 +202,25 @@ class OnlineSidecar {
 
   /// Guards tenants_ (map shape + correlation rings), queue_ and stop_.
   /// Hot-path cost for record()/offer_feedback() is one lock + map op.
-  mutable std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::map<std::string, std::unique_ptr<TenantState>> tenants_;
-  std::deque<FeedbackItem> queue_;
-  bool stop_ = false;
+  /// Lock-order discipline (compiler-checked via the LEHDC_EXCLUDES
+  /// annotations above): mutex_ and learn_mutex_ are never held at the
+  /// same time — every path releases one before taking the other.
+  mutable util::Mutex mutex_;
+  util::CondVar work_ready_;
+  /// Map shape is guarded by mutex_. The pointed-to TenantState is
+  /// split-guarded: its correlation side under mutex_, its learning side
+  /// under learn_mutex_ (see the section comments in online.cpp).
+  std::map<std::string, std::unique_ptr<TenantState>> tenants_
+      LEHDC_GUARDED_BY(mutex_);
+  std::deque<FeedbackItem> queue_ LEHDC_GUARDED_BY(mutex_);
+  bool stop_ LEHDC_GUARDED_BY(mutex_) = false;
 
   /// Guards every tenant's learner/holdout/flip state. Only the learning
   /// side (worker or pump) and introspection take it, so a slow
   /// refinement pass never delays record() on the dispatch path.
-  mutable std::mutex learn_mutex_;
+  mutable util::Mutex learn_mutex_;
 
-  std::thread worker_;
+  std::thread worker_;  // set in ctor, joined in dtor
 };
 
 }  // namespace lehdc::serve

@@ -32,25 +32,25 @@ std::shared_ptr<const core::Pipeline> ModelRegistry::bind(
   util::expects(model != nullptr, "cannot bind a null pipeline generation");
   util::expects(valid_tenant_id(name),
                 "tenant id must be 1-64 chars of [a-z0-9_]");
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   models_[name] = model;
   return model;
 }
 
 std::shared_ptr<const core::Pipeline> ModelRegistry::get(
     const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = models_.find(name);
   return it == models_.end() ? nullptr : it->second;
 }
 
 bool ModelRegistry::evict(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return models_.erase(name) > 0;
 }
 
 std::vector<std::string> ModelRegistry::names() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(models_.size());
   for (const auto& [name, model] : models_) {
@@ -60,7 +60,7 @@ std::vector<std::string> ModelRegistry::names() const {
 }
 
 std::size_t ModelRegistry::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return models_.size();
 }
 

@@ -13,11 +13,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace lehdc::serve {
 
@@ -61,8 +62,9 @@ class ModelRegistry {
   [[nodiscard]] std::size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<const core::Pipeline>> models_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::shared_ptr<const core::Pipeline>> models_
+      LEHDC_GUARDED_BY(mutex_);
 };
 
 }  // namespace lehdc::serve

@@ -117,7 +117,7 @@ std::future<Response> InferenceServer::submit(std::vector<float> features,
   const std::uint64_t now = clock_->now_us();
   Reject verdict = Reject::kNone;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     // offer() consumes the request only on success, so a rejected request
     // can still carry its promise to reject() below.
     const std::string queue_tenant = request.tenant;
@@ -151,7 +151,7 @@ std::size_t InferenceServer::pump(bool force) {
   while (true) {
     MicroBatcher::Flush flush;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       flush = batcher_.poll(clock_->now_us(), force || stop_);
       queue_depth_gauge().set(static_cast<double>(batcher_.depth()));
       if (obs::enabled() && !flush.tenant.empty()) {
@@ -180,12 +180,12 @@ std::size_t InferenceServer::run_until_idle() {
 }
 
 std::uint64_t InferenceServer::next_event_us() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return batcher_.next_event_us();
 }
 
 void InferenceServer::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::UniqueLock lock(mutex_);
   while (true) {
     MicroBatcher::Flush flush = batcher_.poll(clock_->now_us(), stop_);
     if (flush.batch.empty() && flush.expired.empty()) {
@@ -295,7 +295,7 @@ void InferenceServer::dispatch(const std::string& tenant,
 
 void InferenceServer::shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (stop_ && !worker_.joinable()) {
       // Manual mode: already drained by a previous shutdown().
       if (config_.manual_dispatch) {
@@ -316,12 +316,12 @@ void InferenceServer::shutdown() {
 }
 
 std::size_t InferenceServer::queue_depth() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return batcher_.depth();
 }
 
 std::size_t InferenceServer::peak_queue_depth() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return peak_depth_;
 }
 

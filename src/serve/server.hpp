@@ -30,10 +30,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,6 +39,8 @@
 #include "serve/batcher.hpp"
 #include "serve/clock.hpp"
 #include "serve/registry.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace lehdc::serve {
 
@@ -125,25 +125,25 @@ class InferenceServer {
   }
 
  private:
-  void worker_loop();
+  void worker_loop() LEHDC_EXCLUDES(mutex_);
   /// Scores one single-tenant flushed batch and fulfils its promises.
-  void dispatch(const std::string& tenant,
-                std::vector<PendingRequest> batch);
+  void dispatch(const std::string& tenant, std::vector<PendingRequest> batch)
+      LEHDC_EXCLUDES(mutex_);
   void reject(PendingRequest&& request, Reject reason);
   /// Polls + dispatches everything currently due. Caller holds no lock.
-  std::size_t pump(bool force);
+  std::size_t pump(bool force) LEHDC_EXCLUDES(mutex_);
 
   ModelRegistry& registry_;
   ServerConfig config_;
   Clock* clock_;
   std::atomic<OnlineSidecar*> online_{nullptr};
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_ready_;
-  MicroBatcher batcher_;
-  bool stop_ = false;
-  std::size_t peak_depth_ = 0;
-  std::thread worker_;
+  mutable util::Mutex mutex_;
+  util::CondVar work_ready_;
+  MicroBatcher batcher_ LEHDC_GUARDED_BY(mutex_);
+  bool stop_ LEHDC_GUARDED_BY(mutex_) = false;
+  std::size_t peak_depth_ LEHDC_GUARDED_BY(mutex_) = 0;
+  std::thread worker_;  // set in ctor, joined by shutdown()
 };
 
 }  // namespace lehdc::serve

@@ -2,11 +2,32 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "util/check.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace lehdc::serve {
+
+namespace {
+
+// Mutex and the cache it guards live in one object so the guarded_by
+// relation is expressible (function-local statics cannot carry
+// LEHDC_GUARDED_BY). Handles reference registry-owned instruments, so
+// caching them is safe for the process lifetime; the map only ever grows
+// (tenants are few).
+struct TenantMetricsCache {
+  util::Mutex mutex;
+  std::map<std::string, std::unique_ptr<TenantMetrics>> by_tenant
+      LEHDC_GUARDED_BY(mutex);
+};
+
+TenantMetricsCache& metrics_cache() {
+  static TenantMetricsCache cache;
+  return cache;
+}
+
+}  // namespace
 
 bool valid_tenant_id(std::string_view tenant) noexcept {
   if (tenant.empty() || tenant.size() > kMaxTenantIdBytes) {
@@ -35,13 +56,10 @@ std::string tenant_metric_name(std::string_view base,
 }
 
 TenantMetrics& tenant_metrics(const std::string& tenant) {
-  // Handles reference registry-owned instruments, so caching them is safe
-  // for the process lifetime; the map only ever grows (tenants are few).
-  static std::mutex mutex;
-  static std::map<std::string, std::unique_ptr<TenantMetrics>> cache;
-  const std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(tenant);
-  if (it == cache.end()) {
+  TenantMetricsCache& cache = metrics_cache();
+  const util::MutexLock lock(cache.mutex);
+  auto it = cache.by_tenant.find(tenant);
+  if (it == cache.by_tenant.end()) {
     auto& registry = obs::Registry::global();
     auto metrics = std::make_unique<TenantMetrics>(TenantMetrics{
         registry.counter(tenant_metric_name("serve.tenant.requests", tenant)),
@@ -50,7 +68,7 @@ TenantMetrics& tenant_metrics(const std::string& tenant) {
         registry.counter(tenant_metric_name("serve.tenant.rejected", tenant)),
         registry.gauge(
             tenant_metric_name("serve.tenant.queue_depth", tenant))});
-    it = cache.emplace(tenant, std::move(metrics)).first;
+    it = cache.by_tenant.emplace(tenant, std::move(metrics)).first;
   }
   return *it->second;
 }

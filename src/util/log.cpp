@@ -2,22 +2,27 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <utility>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace lehdc::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
-std::mutex& sink_mutex() {
-  static std::mutex mutex;
-  return mutex;
-}
+// Mutex and the sink it guards live in one object so the guarded_by
+// relation is expressible (function-local statics cannot carry
+// LEHDC_GUARDED_BY).
+struct SinkState {
+  Mutex mutex;
+  LogSink sink LEHDC_GUARDED_BY(mutex);  // empty = stderr default
+};
 
-LogSink& sink_slot() {
-  static LogSink sink;  // empty = stderr default
-  return sink;
+SinkState& sink_state() {
+  static SinkState state;
+  return state;
 }
 
 constexpr const char* level_name(LogLevel level) noexcept {
@@ -40,9 +45,10 @@ void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
 LogSink set_log_sink(LogSink sink) {
-  const std::scoped_lock lock(sink_mutex());
-  LogSink previous = std::move(sink_slot());
-  sink_slot() = std::move(sink);
+  SinkState& state = sink_state();
+  const MutexLock lock(state.mutex);
+  LogSink previous = std::move(state.sink);
+  state.sink = std::move(sink);
   return previous;
 }
 
@@ -51,8 +57,9 @@ void log(LogLevel level, std::string_view message) {
     return;
   }
   {
-    const std::scoped_lock lock(sink_mutex());
-    if (const LogSink& sink = sink_slot(); sink) {
+    SinkState& state = sink_state();
+    const MutexLock lock(state.mutex);
+    if (const LogSink& sink = state.sink; sink) {
       sink(level, message);
       return;
     }

@@ -1,0 +1,168 @@
+// Capability-annotated lock primitives.
+//
+// libstdc++'s std::mutex / std::lock_guard / std::unique_lock carry no
+// thread-safety attributes, so clang's -Wthread-safety analysis cannot see
+// which lock a scope holds when code uses them directly. These thin
+// wrappers attach the capability annotations (util/thread_annotations.hpp)
+// to the exact same primitives: `Mutex` IS a std::mutex the analysis can
+// name in LEHDC_GUARDED_BY, `MutexLock`/`UniqueLock` are the RAII scopes
+// it tracks, and `CondVar` waits on a `UniqueLock` without confusing the
+// analysis (a cv wait releases and reacquires internally — a false
+// negative the analysis accepts by design; see DESIGN.md §5k).
+//
+// The wrapper method *bodies* are excluded from analysis
+// (LEHDC_NO_THREAD_SAFETY_ANALYSIS) because they manipulate the
+// unannotated std primitives; their *declarations* carry the acquire/
+// release contracts the analysis enforces at every call site.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace lehdc::util {
+
+/// std::mutex with thread-safety capability annotations. Same cost, same
+/// semantics; lock sites should prefer MutexLock/UniqueLock over calling
+/// lock()/unlock() directly.
+class LEHDC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LEHDC_ACQUIRE() LEHDC_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+  void unlock() LEHDC_RELEASE() LEHDC_NO_THREAD_SAFETY_ANALYSIS {
+    mu_.unlock();
+  }
+  bool try_lock() LEHDC_TRY_ACQUIRE(true) LEHDC_NO_THREAD_SAFETY_ANALYSIS {
+    return mu_.try_lock();
+  }
+
+  /// The wrapped std::mutex, for interop with std APIs that need one
+  /// (e.g. std::condition_variable). Callers are responsible for keeping
+  /// the analysis honest — prefer CondVar, which does.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with capability annotations (reader/writer). Not yet
+/// used by the serving stack but provided so new code never has to reach
+/// for the unannotated std type.
+class LEHDC_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() LEHDC_ACQUIRE() LEHDC_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+  void unlock() LEHDC_RELEASE() LEHDC_NO_THREAD_SAFETY_ANALYSIS {
+    mu_.unlock();
+  }
+  void lock_shared() LEHDC_ACQUIRE_SHARED() LEHDC_NO_THREAD_SAFETY_ANALYSIS {
+    mu_.lock_shared();
+  }
+  void unlock_shared() LEHDC_RELEASE_SHARED() LEHDC_NO_THREAD_SAFETY_ANALYSIS {
+    mu_.unlock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped lock over one Mutex: the std::lock_guard analogue. Acquires in
+/// the constructor, releases in the destructor, no unlock/relock.
+class LEHDC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LEHDC_ACQUIRE(mu)
+      LEHDC_NO_THREAD_SAFETY_ANALYSIS : mu_(mu) {
+    mu_.lock();
+  }
+  ~MutexLock() LEHDC_RELEASE() LEHDC_NO_THREAD_SAFETY_ANALYSIS {
+    mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped shared (reader) lock over a SharedMutex.
+class LEHDC_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mu) LEHDC_ACQUIRE_SHARED(mu)
+      LEHDC_NO_THREAD_SAFETY_ANALYSIS : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedLock() LEHDC_RELEASE() LEHDC_NO_THREAD_SAFETY_ANALYSIS {
+    mu_.unlock_shared();
+  }
+
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Relockable scoped lock: the std::unique_lock analogue, for worker loops
+/// that drop the lock around task execution and for CondVar waits. Starts
+/// locked.
+class LEHDC_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) LEHDC_ACQUIRE(mu)
+      LEHDC_NO_THREAD_SAFETY_ANALYSIS : lock_(mu.native()) {}
+  ~UniqueLock() LEHDC_RELEASE() LEHDC_NO_THREAD_SAFETY_ANALYSIS {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() LEHDC_ACQUIRE() LEHDC_NO_THREAD_SAFETY_ANALYSIS {
+    lock_.lock();
+  }
+  void unlock() LEHDC_RELEASE() LEHDC_NO_THREAD_SAFETY_ANALYSIS {
+    lock_.unlock();
+  }
+
+  /// The wrapped std::unique_lock, used by CondVar.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with UniqueLock. Waits release and reacquire
+/// the lock internally, which the analysis does not model — guarded state
+/// read in a wait *predicate lambda* would be analyzed as an unlocked
+/// function, so wait sites must use explicit `while (!cond) cv.wait(lk);`
+/// loops where the condition reads happen in the (annotated) caller.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Caller must hold the lock; it is held again when wait returns.
+  void wait(UniqueLock& lock) { cv_.wait(lock.native()); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock.native(), d);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace lehdc::util

@@ -1,0 +1,79 @@
+// Portable Clang thread-safety-analysis capability macros.
+//
+// Clang's `-Wthread-safety` analysis proves locking invariants at compile
+// time: a field marked LEHDC_GUARDED_BY(mu) may only be touched while `mu`
+// is held, a function marked LEHDC_REQUIRES(mu) may only be called with
+// `mu` held, and the RAII wrappers in util/mutex.hpp tell the analysis
+// exactly which acquisitions each scope performs. On non-clang compilers
+// (the container's gcc toolchain included) every macro expands to nothing,
+// so annotated code builds everywhere while clang builds — CI's
+// thread-safety job runs with -Werror=thread-safety — enforce the
+// invariants as hard errors. See DESIGN.md §5k.
+//
+// The macro set mirrors the attribute names of the upstream analysis
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed so the
+// expansion can never collide with another library's shim.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define LEHDC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LEHDC_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Marks a type as a capability ("mutex" in diagnostics). Only the lock
+/// wrapper types in util/mutex.hpp should need this.
+#define LEHDC_CAPABILITY(x) LEHDC_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define LEHDC_SCOPED_CAPABILITY LEHDC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define LEHDC_GUARDED_BY(x) LEHDC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define LEHDC_PT_GUARDED_BY(x) LEHDC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capabilities to be held on entry (and still held
+/// on exit).
+#define LEHDC_REQUIRES(...) \
+  LEHDC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define LEHDC_REQUIRES_SHARED(...) \
+  LEHDC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capabilities (not held on entry, held on exit).
+#define LEHDC_ACQUIRE(...) \
+  LEHDC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define LEHDC_ACQUIRE_SHARED(...) \
+  LEHDC_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capabilities (held on entry, released on exit).
+#define LEHDC_RELEASE(...) \
+  LEHDC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define LEHDC_RELEASE_SHARED(...) \
+  LEHDC_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function tries to acquire and reports success as `b`.
+#define LEHDC_TRY_ACQUIRE(...) \
+  LEHDC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capabilities (catches self-deadlock at call
+/// sites the analysis can prove).
+#define LEHDC_EXCLUDES(...) LEHDC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares that the capability is held at this point (runtime-checked
+/// escape hatch for flows the analysis cannot follow).
+#define LEHDC_ASSERT_CAPABILITY(x) \
+  LEHDC_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define LEHDC_RETURN_CAPABILITY(x) LEHDC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Turns the analysis off for one function body. Reserved for the lock
+/// wrapper implementations themselves (their bodies manipulate the
+/// underlying std primitives the analysis cannot see) and for
+/// condition-variable internals; never use it to silence a real finding —
+/// that is what `lehdc-callgraph: allow(...)` style baselines are for.
+#define LEHDC_NO_THREAD_SAFETY_ANALYSIS \
+  LEHDC_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -39,7 +39,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   task_ready_.notify_all();
@@ -53,8 +53,13 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      UniqueLock lock(mutex_);
+      // Explicit wait loop (not a predicate lambda): the guarded reads of
+      // stopping_/tasks_ must happen in this annotated scope, where the
+      // analysis can see the lock is held.
+      while (!stopping_ && tasks_.empty()) {
+        task_ready_.wait(lock);
+      }
       if (stopping_ && tasks_.empty()) {
         return;
       }
@@ -87,9 +92,9 @@ void ThreadPool::parallel_for(
 
   std::atomic<std::size_t> remaining{chunks};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done;
+  Mutex error_mutex;
+  Mutex done_mutex;
+  CondVar done;
 
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * chunk_size;
@@ -98,25 +103,27 @@ void ThreadPool::parallel_for(
       try {
         fn(lo, hi);
       } catch (...) {
-        const std::scoped_lock lock(error_mutex);
+        const MutexLock lock(error_mutex);
         if (!first_error) {
           first_error = std::current_exception();
         }
       }
       if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        const std::scoped_lock lock(done_mutex);
+        const MutexLock lock(done_mutex);
         done.notify_one();
       }
     };
     {
-      const std::scoped_lock lock(mutex_);
+      const MutexLock lock(mutex_);
       tasks_.emplace(std::move(task));
     }
     task_ready_.notify_one();
   }
 
-  std::unique_lock lock(done_mutex);
-  done.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  UniqueLock lock(done_mutex);
+  while (remaining.load(std::memory_order_acquire) != 0) {
+    done.wait(lock);
+  }
   if (first_error) {
     std::rethrow_exception(first_error);
   }

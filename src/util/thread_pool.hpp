@@ -9,13 +9,14 @@
 // parallel evaluation loop) therefore cannot stall the pool.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace lehdc::util {
 
@@ -51,13 +52,13 @@ class ThreadPool {
   static bool configure_global(std::size_t workers);
 
  private:
-  void worker_loop();
+  void worker_loop() LEHDC_EXCLUDES(mutex_);
 
-  std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  bool stopping_ = false;
+  std::vector<std::thread> threads_;  // written only in ctor, joined in dtor
+  Mutex mutex_;
+  CondVar task_ready_;
+  std::queue<std::function<void()>> tasks_ LEHDC_GUARDED_BY(mutex_);
+  bool stopping_ LEHDC_GUARDED_BY(mutex_) = false;
 };
 
 /// Parses a worker-count override such as the LEHDC_THREADS value: returns

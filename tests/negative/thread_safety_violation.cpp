@@ -1,0 +1,41 @@
+// Negative-compile probe for the thread-safety gate. This TU accesses a
+// LEHDC_GUARDED_BY field without its mutex and calls a LEHDC_REQUIRES
+// function lock-free; under `clang -Wthread-safety -Werror=thread-safety`
+// it MUST fail to compile. The ctest `thread_safety_negative_compile`
+// (clang-gated, WILL_FAIL) syntax-checks it at test time, proving the
+// gate is live rather than silently pacified. It is never linked into
+// any target, and under gcc (annotations are no-ops) it is not built.
+#include <cstdint>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(std::int64_t amount) {
+    balance_ += amount;  // BUG: guarded write without holding mutex_
+  }
+
+  void audited_set(std::int64_t amount) LEHDC_REQUIRES(mutex_) {
+    balance_ = amount;
+  }
+
+  void set_without_lock(std::int64_t amount) {
+    audited_set(amount);  // BUG: REQUIRES(mutex_) callee, lock not held
+  }
+
+ private:
+  lehdc::util::Mutex mutex_;
+  std::int64_t balance_ LEHDC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  account.set_without_lock(2);
+  return 0;
+}

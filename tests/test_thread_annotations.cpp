@@ -1,0 +1,136 @@
+// Runtime behavior of the annotated lock wrappers (util/mutex.hpp): the
+// thread-safety attributes are compile-time only, so these tests pin the
+// wrappers' actual semantics — mutual exclusion, condition-variable
+// wakeups, shared/exclusive reader-writer behavior, try_lock — plus the
+// macro no-op guarantee on non-clang compilers. The compile-time side is
+// covered by the clang-gated `thread_safety_negative_compile` ctest over
+// tests/negative/thread_safety_violation.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace lehdc::util {
+namespace {
+
+TEST(MutexTest, MutexLockProvidesMutualExclusion) {
+  Mutex mutex;
+  std::int64_t counter = 0;  // intentionally non-atomic
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        const MutexLock lock(mutex);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter, static_cast<std::int64_t>(kThreads) * kIncrements);
+}
+
+TEST(MutexTest, TryLockReportsContention) {
+  Mutex mutex;
+  mutex.lock();
+  EXPECT_FALSE(mutex.try_lock());
+  mutex.unlock();
+  EXPECT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+TEST(MutexTest, CondVarWakesWaiterOnNotify) {
+  Mutex mutex;
+  CondVar ready;
+  bool go = false;
+  std::int64_t observed = -1;
+  std::thread waiter([&] {
+    UniqueLock lock(mutex);
+    while (!go) {
+      ready.wait(lock);
+    }
+    observed = 42;
+  });
+  {
+    const MutexLock lock(mutex);
+    go = true;
+  }
+  ready.notify_one();
+  waiter.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(MutexTest, CondVarWaitForTimesOut) {
+  Mutex mutex;
+  CondVar never;
+  UniqueLock lock(mutex);
+  const auto status = never.wait_for(lock, std::chrono::milliseconds(5));
+  EXPECT_EQ(status, std::cv_status::timeout);
+}
+
+TEST(MutexTest, UniqueLockRelocks) {
+  Mutex mutex;
+  UniqueLock lock(mutex);
+  lock.unlock();
+  EXPECT_TRUE(mutex.try_lock());  // released for real
+  mutex.unlock();
+  lock.lock();
+  EXPECT_FALSE(mutex.try_lock());  // held again
+}
+
+TEST(SharedMutexTest, ManyReadersOneWriter) {
+  SharedMutex mutex;
+  std::int64_t value = 0;
+  std::atomic<int> concurrent_readers{0};
+  std::atomic<int> peak_readers{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        const SharedLock lock(mutex);
+        const int now = concurrent_readers.fetch_add(1) + 1;
+        int peak = peak_readers.load();
+        while (now > peak && !peak_readers.compare_exchange_weak(peak, now)) {
+        }
+        (void)value;
+        concurrent_readers.fetch_sub(1);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 50; ++i) {
+      mutex.lock();
+      EXPECT_EQ(concurrent_readers.load(), 0);  // writers exclude readers
+      ++value;
+      mutex.unlock();
+    }
+  });
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(value, 50);
+  EXPECT_GE(peak_readers.load(), 1);
+}
+
+TEST(AnnotationMacroTest, MacrosAreInertOffClang) {
+#if !defined(__clang__)
+  // On gcc every LEHDC_* macro must expand to nothing — this TU compiling
+  // with the annotations above is itself the assertion; record it.
+  SUCCEED() << "annotations compiled as no-ops";
+#else
+  SUCCEED() << "clang build: annotations active, enforced by "
+               "-Werror=thread-safety";
+#endif
+}
+
+}  // namespace
+}  // namespace lehdc::util

@@ -55,6 +55,18 @@ ctest as the `lehdc_lint` test and from the CI lint job):
                     every name must fit serve.online.[a-z0-9_]+. A typo'd
                     or unregistered online metric must fail validation,
                     not silently slip through a prefix.
+  mutex-annotations src/ concurrency must be visible to the clang
+                    thread-safety analysis (DESIGN.md §5k). Raw std::mutex
+                    / std::shared_mutex are banned outside util/mutex.hpp
+                    — they carry no capability attributes, so locks taken
+                    on them are invisible to -Wthread-safety; use
+                    util::Mutex / util::SharedMutex. And every util::Mutex
+                    / util::SharedMutex *member* (trailing-underscore
+                    naming) must have at least one LEHDC_GUARDED_BY /
+                    LEHDC_REQUIRES / LEHDC_ACQUIRE / LEHDC_EXCLUDES user
+                    in its file — an unreferenced mutex member means the
+                    data it protects is unannotated and the analysis is
+                    silently blind to it.
 
 Usage:
   tools/lehdc_lint.py [--root DIR] [--report FILE] [--list-rules]
@@ -210,6 +222,15 @@ METRIC_REG_RE = re.compile(
     r"\.\s*(counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
 TENANT_METRIC_RE = re.compile(r"tenant_metric_name\s*\(\s*\"([^\"]*)\"")
 INCLUDE_RE = re.compile(r"^\s*#\s*include\s+\"([^\"]+)\"", re.M)
+# Annotated-wrapper mutex members: repo convention gives members a
+# trailing underscore, which keeps function-local rendezvous mutexes
+# (error_mutex, done_mutex, ...) out of the member rule.
+MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:mutable\s+)?(?:util::)?(?:Shared)?Mutex\s+(\w+_)\s*;")
+RAW_MUTEX_RE = re.compile(r"\bstd::(?:shared_|timed_|recursive_)?mutex\b")
+# Files allowed to hold raw std mutex primitives: the annotated wrapper
+# itself (its whole point is owning the raw types).
+RAW_MUTEX_ALLOW = {"src/util/mutex.hpp"}
 # One matrix entry: {"name", {...invariants...}, &configure_fn}. Applied to
 # the comment-stripped LINT-SCENARIOS block of src/chaos/scenarios.cpp.
 SCENARIO_ENTRY_RE = re.compile(
@@ -367,6 +388,26 @@ def lint_file(path: Path, root: Path, schema_names: set[str],
                        f"tenant metric base '{base}' is not an exact "
                        "lehdc.metrics.v1 schema name "
                        "(src/obs/schema.cpp)", allowed)
+        # Thread-safety visibility (see rule description up top).
+        if rel not in RAW_MUTEX_ALLOW:
+            for m in RAW_MUTEX_RE.finditer(text):
+                report("mutex-annotations", rel, line_of(text, m.start()),
+                       f"{m.group(0)} is invisible to -Wthread-safety — "
+                       "use util::Mutex / util::SharedMutex "
+                       "(src/util/mutex.hpp)", allowed)
+        for m in MUTEX_MEMBER_RE.finditer(text):
+            name = m.group(1)
+            user = re.search(
+                r"LEHDC_(?:PT_)?GUARDED_BY\(\s*" + re.escape(name) +
+                r"\s*\)|LEHDC_(?:REQUIRES|REQUIRES_SHARED|ACQUIRE|"
+                r"ACQUIRE_SHARED|RELEASE|RELEASE_SHARED|TRY_ACQUIRE|"
+                r"EXCLUDES|ASSERT_CAPABILITY|RETURN_CAPABILITY)"
+                r"\([^)]*\b" + re.escape(name) + r"\b", raw)
+            if user is None:
+                report("mutex-annotations", rel, line_of(text, m.start()),
+                       f"mutex member '{name}' has no LEHDC_GUARDED_BY / "
+                       "LEHDC_REQUIRES / ... users — annotate the state it "
+                       "protects so -Wthread-safety can see it", allowed)
         # Layering + header hygiene.
         parts = rel.split("/")
         layer = parts[1] if len(parts) > 2 else None

@@ -37,6 +37,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -154,6 +155,63 @@ std::unique_ptr<serve::OnlineSidecar> make_sidecar(
   return sidecar;
 }
 
+/// --shadow-dir: path of a tenant's persisted shadow accumulators
+/// (checksummed LHON file, core/online.hpp).
+std::string shadow_path(const std::string& dir, const std::string& tenant) {
+  return (std::filesystem::path(dir) / (tenant + ".lhon")).string();
+}
+
+/// Restores every enabled tenant's shadow accumulators from --shadow-dir
+/// at startup. A missing file is a cold start, not an error; a corrupt or
+/// shape-mismatched file is refused by restore_shadow's checksum/shape
+/// validation and logged, keeping the fresh learner.
+void restore_shadows(serve::OnlineSidecar* sidecar,
+                     const util::FlagParser& flags,
+                     const std::vector<std::string>& tenants) {
+  const std::string& dir = flags.get_string("shadow-dir");
+  if (sidecar == nullptr || dir.empty()) {
+    return;
+  }
+  for (const std::string& tenant : tenants) {
+    const std::string path = shadow_path(dir, tenant);
+    if (!std::filesystem::exists(path)) {
+      continue;
+    }
+    try {
+      sidecar->restore_shadow(tenant, path);
+      util::log_info("restored shadow learner for '" + tenant + "' from " +
+                     path);
+    } catch (const std::exception& error) {
+      util::log_warn("shadow restore for '" + tenant + "' failed (" +
+                     error.what() + "); starting cold");
+    }
+  }
+}
+
+/// Saves every enabled tenant's shadow accumulators to --shadow-dir at
+/// shutdown (serve mode: on SIGINT/SIGTERM; pipe mode: after the stream
+/// drains). Failures are logged, never fatal — shutdown must complete.
+void save_shadows(serve::OnlineSidecar* sidecar,
+                  const util::FlagParser& flags,
+                  const std::vector<std::string>& tenants) {
+  const std::string& dir = flags.get_string("shadow-dir");
+  if (sidecar == nullptr || dir.empty()) {
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  for (const std::string& tenant : tenants) {
+    const std::string path = shadow_path(dir, tenant);
+    try {
+      sidecar->save_shadow(tenant, path);
+      util::log_info("saved shadow learner for '" + tenant + "' to " + path);
+    } catch (const std::exception& error) {
+      util::log_warn("shadow save for '" + tenant + "' failed: " +
+                     error.what());
+    }
+  }
+}
+
 /// Submits one wire request (translating the relative deadline budget into
 /// an absolute clock deadline) and returns its future.
 std::future<serve::Response> submit_wire(serve::InferenceServer& server,
@@ -201,6 +259,7 @@ int cmd_pipe(util::FlagParser& flags) {
   serve::InferenceServer server(registry, config);
   const std::unique_ptr<serve::OnlineSidecar> sidecar =
       make_sidecar(registry, server, flags, tenant_ids, /*manual=*/true);
+  restore_shadows(sidecar.get(), flags, tenant_ids);
 
   const std::string& in_path = flags.get_string("in");
   const std::string& out_path = flags.get_string("out");
@@ -284,6 +343,7 @@ int cmd_pipe(util::FlagParser& flags) {
     }
   }
   out->flush();
+  save_shadows(sidecar.get(), flags, tenant_ids);
   server.shutdown();
   std::fprintf(stderr, "served %zu requests from %s\n", served,
                in_path.c_str());
@@ -360,6 +420,7 @@ int cmd_serve(util::FlagParser& flags) {
   serve::InferenceServer server(registry, config);
   const std::unique_ptr<serve::OnlineSidecar> sidecar =
       make_sidecar(registry, server, flags, tenant_ids, /*manual=*/false);
+  restore_shadows(sidecar.get(), flags, tenant_ids);
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
@@ -415,6 +476,9 @@ int cmd_serve(util::FlagParser& flags) {
   if (!uds_path.empty()) {
     ::unlink(uds_path.c_str());
   }
+  // SIGINT/SIGTERM reached here: persist the shadow learners before the
+  // sidecar is torn down so the next start resumes where this one stopped.
+  save_shadows(sidecar.get(), flags, tenant_ids);
   server.shutdown();
   write_metrics(flags, "serve");
   return 0;
@@ -641,9 +705,11 @@ void print_usage() {
       "            [--read-budget B --write-backlog B --max-inflight N]\n"
       "            [--online --flip-every N] (LSF2 feedback -> shadow\n"
       "            learner -> blue-green flips)\n"
+      "            [--shadow-dir DIR] (restore <tenant>.lhon at startup,\n"
+      "            save on SIGINT/SIGTERM shutdown)\n"
       "  pipe      --model out.lhdp --in requests.bin --out responses.bin\n"
       "            ('-' = stdin/stdout; same binary frame protocol)\n"
-      "            [--online --flip-every N]\n"
+      "            [--online --flip-every N --shadow-dir DIR]\n"
       "  genframes --data <spec> --count N --out requests.bin\n"
       "            [--tenant id] [--wire-version 1|2] [--corrupt N]\n"
       "            [--feedback-every K] (true-label LSF2 frames)\n"
@@ -743,6 +809,10 @@ int main(int argc, char** argv) {
                  "feedback -> shadow learner -> blue-green flips)");
   flags.add_int("flip-every", 64,
                 "online: attempt a blue-green flip every N shadow updates");
+  flags.add_string("shadow-dir", "",
+                   "online: directory of per-tenant shadow-learner "
+                   "snapshots (<tenant>.lhon) restored at startup and "
+                   "saved at shutdown (empty = no persistence)");
   flags.add_int("feedback-every", 0,
                 "genframes/client: send a true-label LSF2 feedback frame "
                 "after every Kth request (0 = never)");
